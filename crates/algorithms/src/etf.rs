@@ -1,0 +1,109 @@
+//! ETF — Earliest Task First (Hwang, Chow, Anger, Lee; §3.2 of the
+//! paper).
+//!
+//! At each step the earliest start time of every ready node on every
+//! processor is computed and the (node, processor) pair with the
+//! smallest start time is scheduled; ties are broken in favour of the
+//! node with the higher static level. O(p v²).
+
+use crate::list_common::{DatCache, Machine, ReadySet};
+use crate::scheduler::Scheduler;
+use fastsched_dag::{attributes::static_levels, Cost, Dag};
+use fastsched_schedule::{ProcId, Schedule};
+
+/// The ETF scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Etf;
+
+impl Etf {
+    /// New ETF scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for Etf {
+    fn name(&self) -> &'static str {
+        "ETF"
+    }
+
+    fn schedule(&self, dag: &Dag, num_procs: u32) -> Schedule {
+        assert!(num_procs >= 1);
+        let sl = static_levels(dag);
+        let mut machine = Machine::new(dag.node_count(), num_procs);
+        let mut ready = ReadySet::new(dag);
+        // Final once a node is ready (its parents are all placed).
+        let mut dat: Vec<Option<DatCache>> = vec![None; dag.node_count()];
+
+        while !ready.is_empty() {
+            // Global minimum over ready-node × processor pairs — the
+            // published O(p v²) pair scan. The DatCache keeps each
+            // probe O(1); the scan itself is deliberately not pruned,
+            // because the pair-scan cost *is* the algorithm the
+            // paper's scheduling-time comparison measures.
+            let mut best: Option<(Cost, Cost, u32, ProcId)> = None; // (est, -sl, id, proc)
+            for &n in ready.ready() {
+                let cache =
+                    dat[n.index()].get_or_insert_with(|| DatCache::compute(dag, &machine, n));
+                for pi in 0..num_procs {
+                    let p = ProcId(pi);
+                    let est = machine.ready_time(p).max(cache.dat(p));
+                    let key = (est, Cost::MAX - sl[n.index()], n.0);
+                    match best {
+                        Some((e, s, i, _)) if (e, s, i) <= key => {}
+                        _ => best = Some((key.0, key.1, key.2, p)),
+                    }
+                }
+            }
+            let (est, _, id, proc) = best.expect("ready set non-empty");
+            let n = fastsched_dag::NodeId(id);
+            machine.place(dag, n, proc, est);
+            ready.complete(dag, n);
+        }
+        machine.into_schedule(dag).compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsched_dag::examples::{fork_join, paper_figure1, paper_node};
+    use fastsched_schedule::validate;
+
+    #[test]
+    fn valid_on_paper_example() {
+        let g = paper_figure1();
+        let s = Etf::new().schedule(&g, 9);
+        assert_eq!(validate(&g, &s), Ok(()));
+    }
+
+    #[test]
+    fn spreads_a_fork_join_across_processors() {
+        let g = fork_join(4, 10, 1);
+        let s = Etf::new().schedule(&g, 4);
+        assert_eq!(validate(&g, &s), Ok(()));
+        // Communication (1) is tiny next to task weight (10): the four
+        // middle tasks should not serialize on one processor.
+        assert!(s.processors_used() >= 3);
+        assert!(s.makespan() < 5 * 10);
+    }
+
+    #[test]
+    fn etf_prefers_high_static_level_on_tie() {
+        // The paper's Figure 2 story: ETF schedules n5 early because
+        // SL(n5) > SL(n2); verify n5 is placed no later than n2 starts.
+        let g = paper_figure1();
+        let s = Etf::new().schedule(&g, 9);
+        let st5 = s.start_of(paper_node(5)).unwrap();
+        let st2 = s.start_of(paper_node(2)).unwrap();
+        assert!(st5 <= st2, "ETF should start n5 ({st5}) before n2 ({st2})");
+    }
+
+    #[test]
+    fn single_processor_is_serial() {
+        let g = paper_figure1();
+        let s = Etf::new().schedule(&g, 1);
+        assert_eq!(validate(&g, &s), Ok(()));
+        assert_eq!(s.makespan(), g.total_computation());
+    }
+}

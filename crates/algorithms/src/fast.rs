@@ -1,0 +1,318 @@
+//! FAST — Fast Assignment using Search Technique (§4 of the paper).
+//!
+//! Phase 1 ([`Fast::initial_schedule`]): classical list scheduling over
+//! the CPN-Dominate list. To stay O(e), no slot insertion is performed
+//! — a node is appended at the *ready time* of a processor — and only
+//! the processors accommodating the node's parents plus one unused
+//! processor are probed (§4.2).
+//!
+//! Phase 2: local neighbourhood search (§4.3–4.4). The neighbourhood
+//! is defined by the static *blocking-node list* (all IBNs and OBNs);
+//! `MAXSTEP` times, a random blocking node is transferred to a random
+//! processor, the schedule length is re-evaluated in O(v + e) with the
+//! fixed-order evaluator, and the move is reverted unless it strictly
+//! improves.
+
+use crate::scheduler::Scheduler;
+use fastsched_dag::{
+    classify_nodes, cpn_dominate_list, CpnListConfig, Dag, GraphAttributes, NodeClass, NodeId,
+    ObnOrder,
+};
+use fastsched_schedule::evaluate::{evaluate_fixed_order, evaluate_makespan_into};
+use fastsched_schedule::{ProcId, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunables of the FAST algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct FastConfig {
+    /// `MAXSTEP` of §4.4 — number of local-search probes. The paper
+    /// fixes 64 for all results and observes 100 suffices even for
+    /// DAGs with tens of thousands of nodes.
+    pub max_steps: u32,
+    /// RNG seed for the random node/processor picks (the paper's
+    /// algorithm is randomized; a fixed seed makes runs reproducible).
+    pub seed: u64,
+    /// OBN tail ordering of the CPN-Dominate list.
+    pub obn_order: ObnOrder,
+}
+
+impl Default for FastConfig {
+    fn default() -> Self {
+        Self {
+            max_steps: 64,
+            seed: 0xFA57,
+            obn_order: ObnOrder::Decreasing,
+        }
+    }
+}
+
+/// The FAST scheduler (initial schedule + local search).
+#[derive(Debug, Clone, Default)]
+pub struct Fast {
+    config: FastConfig,
+}
+
+impl Fast {
+    /// FAST with default configuration (MAXSTEP = 64).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// FAST with an explicit configuration.
+    pub fn with_config(config: FastConfig) -> Self {
+        Self { config }
+    }
+
+    /// Phase 1 only (`InitialSchedule()` of §4.2), exposed for the
+    /// paper's Figure 4(a) comparison and for ablation benches.
+    ///
+    /// Returns the schedule together with the CPN-Dominate list and
+    /// the node→processor assignment, which phase 2 consumes.
+    pub fn initial_schedule(
+        &self,
+        dag: &Dag,
+        num_procs: u32,
+    ) -> (Schedule, Vec<NodeId>, Vec<ProcId>) {
+        assert!(num_procs >= 1, "need at least one processor");
+        let attrs = GraphAttributes::compute(dag);
+        let classes = classify_nodes(dag, &attrs);
+        let list = cpn_dominate_list(
+            dag,
+            &attrs,
+            &classes,
+            CpnListConfig {
+                obn_order: self.config.obn_order,
+            },
+        );
+
+        let v = dag.node_count();
+        let mut ready = vec![0u64; num_procs as usize];
+        let mut finish = vec![0u64; v];
+        let mut assignment = vec![ProcId(0); v];
+        let mut placed = vec![false; v];
+        let mut schedule = Schedule::new(v, num_procs);
+        let mut used_procs = 0u32;
+        // Reused candidate buffer: parents' processors + one unused.
+        let mut candidates: Vec<ProcId> = Vec::with_capacity(8);
+
+        for &n in &list {
+            candidates.clear();
+            for e in dag.preds(n) {
+                let p = assignment[e.node.index()];
+                if !candidates.contains(&p) {
+                    candidates.push(p);
+                }
+            }
+            if used_procs < num_procs {
+                candidates.push(ProcId(used_procs)); // the "new" processor
+            }
+            if candidates.is_empty() {
+                // No parents and no unused processor left: fall back to
+                // the least-loaded used processor.
+                let p = (0..used_procs)
+                    .min_by_key(|&i| ready[i as usize])
+                    .map(ProcId)
+                    .expect("some processor must exist");
+                candidates.push(p);
+            }
+
+            let mut best_p = candidates[0];
+            let mut best_start = u64::MAX;
+            for &p in &candidates {
+                // DAT: max message arrival over parents (§4.2).
+                let mut dat = 0u64;
+                for e in dag.preds(n) {
+                    debug_assert!(placed[e.node.index()]);
+                    let f = finish[e.node.index()];
+                    let arrival = if assignment[e.node.index()] == p {
+                        f
+                    } else {
+                        f + e.cost
+                    };
+                    dat = dat.max(arrival);
+                }
+                let start = dat.max(ready[p.index()]);
+                if start < best_start {
+                    best_start = start;
+                    best_p = p;
+                }
+            }
+
+            let end = best_start + dag.weight(n);
+            if best_p.0 == used_procs {
+                used_procs += 1;
+            }
+            ready[best_p.index()] = end;
+            finish[n.index()] = end;
+            assignment[n.index()] = best_p;
+            placed[n.index()] = true;
+            schedule.place(n, best_p, best_start, end);
+        }
+
+        (schedule, list, assignment)
+    }
+
+    /// Blocking-node list of §4.3: all IBNs and OBNs, in id order.
+    pub fn blocking_nodes(dag: &Dag) -> Vec<NodeId> {
+        let attrs = GraphAttributes::compute(dag);
+        let classes = classify_nodes(dag, &attrs);
+        dag.nodes()
+            .filter(|&n| classes[n.index()] != NodeClass::Cpn)
+            .collect()
+    }
+}
+
+impl Scheduler for Fast {
+    fn name(&self) -> &'static str {
+        "FAST"
+    }
+
+    fn schedule(&self, dag: &Dag, num_procs: u32) -> Schedule {
+        let (initial, order, mut assignment) = self.initial_schedule(dag, num_procs);
+        let blocking = Self::blocking_nodes(dag);
+        if blocking.is_empty() || num_procs < 2 {
+            return initial.compact();
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut best = initial.makespan();
+        // Scratch buffers: each probe is one allocation-free O(v + e)
+        // fixed-order re-evaluation.
+        let (mut ready_buf, mut finish_buf) = (Vec::new(), Vec::new());
+        // Random processor pool: the processors in use plus one spare.
+        let mut max_used = assignment.iter().map(|p| p.0).max().unwrap_or(0);
+
+        for _ in 0..self.config.max_steps {
+            let node = blocking[rng.gen_range(0..blocking.len())];
+            let pool = (max_used + 2).min(num_procs);
+            let target = ProcId(rng.gen_range(0..pool));
+            let original = assignment[node.index()];
+            if target == original {
+                continue;
+            }
+            assignment[node.index()] = target;
+            let makespan =
+                evaluate_makespan_into(dag, &order, &assignment, &mut ready_buf, &mut finish_buf);
+            if makespan < best {
+                best = makespan;
+                max_used = max_used.max(target.0);
+            } else {
+                assignment[node.index()] = original; // revert (§4.4 step 8)
+            }
+        }
+
+        evaluate_fixed_order(dag, &order, &assignment, num_procs).compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsched_dag::examples::{paper_figure1, paper_node};
+    use fastsched_schedule::validate;
+
+    #[test]
+    fn figure1_initial_schedule_is_valid_and_reproducible() {
+        let g = paper_figure1();
+        let fast = Fast::new();
+        let (s1, list, _) = fast.initial_schedule(&g, 9);
+        assert_eq!(validate(&g, &s1), Ok(()));
+        // The CPN-Dominate list drives the schedule; it must match §4.2.
+        let expected: Vec<_> = [1, 3, 2, 7, 6, 5, 4, 8, 9]
+            .iter()
+            .map(|&k| paper_node(k))
+            .collect();
+        assert_eq!(list, expected);
+        let (s2, _, _) = fast.initial_schedule(&g, 9);
+        assert_eq!(s1.makespan(), s2.makespan());
+    }
+
+    #[test]
+    fn figure1_initial_schedule_hand_replay() {
+        // Hand replay of InitialSchedule() over the reconstructed
+        // Figure 1 graph (see examples.rs for the derivation): the
+        // makespan is 19.
+        let g = paper_figure1();
+        let (s, _, _) = Fast::new().initial_schedule(&g, 9);
+        assert_eq!(s.makespan(), 19);
+        // n1, n3, n2, n7 pack onto the first processor.
+        let p = s.proc_of(paper_node(1)).unwrap();
+        for k in [3, 2, 7] {
+            assert_eq!(s.proc_of(paper_node(k)).unwrap(), p);
+        }
+        assert_eq!(s.start_of(paper_node(7)), Some(8));
+    }
+
+    #[test]
+    fn local_search_never_worsens_initial_schedule() {
+        let g = paper_figure1();
+        let fast = Fast::new();
+        let (initial, _, _) = fast.initial_schedule(&g, 9);
+        let refined = fast.schedule(&g, 9);
+        assert_eq!(validate(&g, &refined), Ok(()));
+        assert!(refined.makespan() <= initial.makespan());
+    }
+
+    #[test]
+    fn blocking_list_matches_paper() {
+        let g = paper_figure1();
+        let blocking = Fast::blocking_nodes(&g);
+        let labels: Vec<u32> = blocking.iter().map(|n| n.0 + 1).collect();
+        assert_eq!(labels, vec![2, 3, 4, 5, 6, 8]); // §4.3
+    }
+
+    #[test]
+    fn single_processor_degenerates_to_serial_order() {
+        let g = paper_figure1();
+        let s = Fast::new().schedule(&g, 1);
+        assert_eq!(validate(&g, &s), Ok(()));
+        assert_eq!(s.makespan(), g.total_computation());
+        assert_eq!(s.processors_used(), 1);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = paper_figure1();
+        let a = Fast::with_config(FastConfig {
+            seed: 42,
+            ..Default::default()
+        })
+        .schedule(&g, 9);
+        let b = Fast::with_config(FastConfig {
+            seed: 42,
+            ..Default::default()
+        })
+        .schedule(&g, 9);
+        assert_eq!(a.makespan(), b.makespan());
+    }
+
+    #[test]
+    fn more_search_steps_never_hurt() {
+        let g = paper_figure1();
+        let short = Fast::with_config(FastConfig {
+            max_steps: 4,
+            seed: 7,
+            ..Default::default()
+        })
+        .schedule(&g, 9);
+        let long = Fast::with_config(FastConfig {
+            max_steps: 512,
+            seed: 7,
+            ..Default::default()
+        })
+        .schedule(&g, 9);
+        assert!(long.makespan() <= short.makespan());
+    }
+
+    #[test]
+    fn all_cpn_chain_skips_search() {
+        // A pure chain has no blocking nodes; FAST returns the initial
+        // schedule (everything on one processor).
+        let g = fastsched_dag::examples::chain(6, 3, 2);
+        let s = Fast::new().schedule(&g, 4);
+        assert_eq!(validate(&g, &s), Ok(()));
+        assert_eq!(s.processors_used(), 1);
+        assert_eq!(s.makespan(), 18);
+    }
+}

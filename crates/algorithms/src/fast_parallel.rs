@@ -1,0 +1,192 @@
+//! Multi-start parallel FAST (the authors' follow-up idea, published
+//! as FASTEST): run several independent local-search chains from the
+//! same initial schedule on separate threads and keep the best
+//! refinement.
+//!
+//! The search phase of FAST is embarrassingly parallel — each chain
+//! only needs the immutable DAG, the CPN-Dominate order and a private
+//! copy of the assignment vector — so this is a natural
+//! crossbeam-scoped-threads extension. Results are deterministic for a
+//! fixed `(seed, chains)` pair: chain `i` uses seed `seed + i` and the
+//! winner is the lowest `(makespan, chain index)`.
+
+use crate::fast::{Fast, FastConfig};
+use crate::scheduler::Scheduler;
+use fastsched_dag::{Dag, NodeId};
+use fastsched_schedule::evaluate::{evaluate_fixed_order, evaluate_makespan_into};
+use fastsched_schedule::{ProcId, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunables of the multi-start search.
+#[derive(Debug, Clone, Copy)]
+pub struct FastParallelConfig {
+    /// Independent search chains (threads).
+    pub chains: u32,
+    /// Probes per chain (each chain gets the full MAXSTEP budget).
+    pub max_steps_per_chain: u32,
+    /// Base RNG seed; chain `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for FastParallelConfig {
+    fn default() -> Self {
+        Self {
+            chains: 4,
+            max_steps_per_chain: 64,
+            seed: 0xFA57,
+        }
+    }
+}
+
+/// The multi-start parallel FAST scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct FastParallel {
+    config: FastParallelConfig,
+}
+
+impl FastParallel {
+    /// Multi-start FAST with default configuration (4 chains).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Multi-start FAST with an explicit configuration.
+    pub fn with_config(config: FastParallelConfig) -> Self {
+        Self { config }
+    }
+}
+
+/// One sequential search chain over a private assignment copy;
+/// returns the best (makespan, assignment) it reached.
+fn run_chain(
+    dag: &Dag,
+    order: &[NodeId],
+    blocking: &[NodeId],
+    mut assignment: Vec<ProcId>,
+    num_procs: u32,
+    max_steps: u32,
+    seed: u64,
+) -> (u64, Vec<ProcId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut ready_buf, mut finish_buf) = (Vec::new(), Vec::new());
+    let mut best = evaluate_makespan_into(dag, order, &assignment, &mut ready_buf, &mut finish_buf);
+    let mut max_used = assignment.iter().map(|p| p.0).max().unwrap_or(0);
+
+    for _ in 0..max_steps {
+        let node = blocking[rng.gen_range(0..blocking.len())];
+        let pool = (max_used + 2).min(num_procs);
+        let target = ProcId(rng.gen_range(0..pool));
+        let original = assignment[node.index()];
+        if target == original {
+            continue;
+        }
+        assignment[node.index()] = target;
+        let m = evaluate_makespan_into(dag, order, &assignment, &mut ready_buf, &mut finish_buf);
+        if m < best {
+            best = m;
+            max_used = max_used.max(target.0);
+        } else {
+            assignment[node.index()] = original;
+        }
+    }
+    (best, assignment)
+}
+
+impl Scheduler for FastParallel {
+    fn name(&self) -> &'static str {
+        "FAST-MS"
+    }
+
+    fn schedule(&self, dag: &Dag, num_procs: u32) -> Schedule {
+        let fast = Fast::with_config(FastConfig {
+            max_steps: 0,
+            seed: self.config.seed,
+            ..Default::default()
+        });
+        let (initial, order, assignment) = fast.initial_schedule(dag, num_procs);
+        let blocking = Fast::blocking_nodes(dag);
+        if blocking.is_empty() || num_procs < 2 || self.config.chains == 0 {
+            return initial.compact();
+        }
+
+        let results: Vec<(u64, Vec<ProcId>)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.config.chains)
+                .map(|i| {
+                    let assignment = assignment.clone();
+                    let order = &order;
+                    let blocking = &blocking;
+                    scope.spawn(move |_| {
+                        run_chain(
+                            dag,
+                            order,
+                            blocking,
+                            assignment,
+                            num_procs,
+                            self.config.max_steps_per_chain,
+                            self.config.seed + i as u64,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("search chains do not panic");
+
+        let (_, best_assignment) = results
+            .into_iter()
+            .enumerate()
+            .min_by_key(|(i, (m, _))| (*m, *i))
+            .map(|(_, r)| r)
+            .expect("at least one chain");
+        evaluate_fixed_order(dag, &order, &best_assignment, num_procs).compact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsched_dag::examples::paper_figure1;
+    use fastsched_schedule::validate;
+
+    #[test]
+    fn valid_and_deterministic() {
+        let g = paper_figure1();
+        let sched = FastParallel::new();
+        let a = sched.schedule(&g, 9);
+        let b = sched.schedule(&g, 9);
+        assert_eq!(validate(&g, &a), Ok(()));
+        assert_eq!(a.makespan(), b.makespan());
+    }
+
+    #[test]
+    fn multi_start_at_least_matches_single_chain() {
+        let g = paper_figure1();
+        let single = Fast::with_config(FastConfig {
+            max_steps: 64,
+            seed: 0xFA57,
+            ..Default::default()
+        })
+        .schedule(&g, 9);
+        let multi = FastParallel::with_config(FastParallelConfig {
+            chains: 4,
+            max_steps_per_chain: 64,
+            seed: 0xFA57,
+        })
+        .schedule(&g, 9);
+        assert!(multi.makespan() <= single.makespan());
+    }
+
+    #[test]
+    fn zero_chains_returns_initial_schedule() {
+        let g = paper_figure1();
+        let sched = FastParallel::with_config(FastParallelConfig {
+            chains: 0,
+            ..Default::default()
+        });
+        let s = sched.schedule(&g, 9);
+        assert_eq!(validate(&g, &s), Ok(()));
+        let (initial, _, _) = Fast::new().initial_schedule(&g, 9);
+        assert_eq!(s.makespan(), initial.makespan());
+    }
+}

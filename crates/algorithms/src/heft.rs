@@ -1,0 +1,89 @@
+//! HEFT — Heterogeneous Earliest Finish Time (Topcuoglu, Hariri, Wu),
+//! specialized to identical processors.
+//!
+//! Included as a post-paper extension for context: HEFT became the
+//! de-facto standard list scheduler after 1996, and it is the natural
+//! "what came later" comparison point for FAST. Nodes are ordered by
+//! descending *upward rank* (which on homogeneous machines equals the
+//! b-level) and placed on the processor minimizing the
+//! insertion-based earliest finish time.
+
+use crate::list_common::{run_static_list, Machine};
+use crate::scheduler::Scheduler;
+use fastsched_dag::{attributes::b_levels, Dag, NodeId};
+use fastsched_schedule::Schedule;
+
+/// The HEFT scheduler (homogeneous specialization).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Heft;
+
+impl Heft {
+    /// New HEFT scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Priority list: descending upward rank (= b-level on identical
+    /// processors), ties by node id. Always topological because a
+    /// parent's b-level strictly exceeds its child's.
+    pub fn priority_list(dag: &Dag) -> Vec<NodeId> {
+        let bl = b_levels(dag);
+        let mut order: Vec<NodeId> = dag.nodes().collect();
+        order.sort_by_key(|&n| (std::cmp::Reverse(bl[n.index()]), n.0));
+        order
+    }
+}
+
+impl Scheduler for Heft {
+    fn name(&self) -> &'static str {
+        "HEFT"
+    }
+
+    fn schedule(&self, dag: &Dag, num_procs: u32) -> Schedule {
+        assert!(num_procs >= 1);
+        let order = Self::priority_list(dag);
+        // On identical processors minimizing EFT == minimizing EST, so
+        // the shared insertion engine applies directly.
+        run_static_list(dag, &order, num_procs, true).compact()
+    }
+}
+
+/// Expose the insertion probe for tests of the slot-search behaviour.
+pub fn earliest_insertion_start(
+    machine: &Machine,
+    dag: &Dag,
+    n: NodeId,
+    proc: fastsched_schedule::ProcId,
+) -> u64 {
+    machine.earliest_start_insert(dag, n, proc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsched_dag::examples::{fork_join, paper_figure1};
+    use fastsched_dag::topo::is_topological_order;
+    use fastsched_schedule::validate;
+
+    #[test]
+    fn priority_list_is_topological() {
+        let g = paper_figure1();
+        assert!(is_topological_order(&g, &Heft::priority_list(&g)));
+    }
+
+    #[test]
+    fn valid_on_paper_example() {
+        let g = paper_figure1();
+        let s = Heft::new().schedule(&g, 9);
+        assert_eq!(validate(&g, &s), Ok(()));
+    }
+
+    #[test]
+    fn competitive_on_fork_join() {
+        let g = fork_join(8, 10, 1);
+        let s = Heft::new().schedule(&g, 8);
+        assert_eq!(validate(&g, &s), Ok(()));
+        // 8 tasks of 10 over 8 procs plus fork/join: well under serial.
+        assert!(s.makespan() < 50);
+    }
+}

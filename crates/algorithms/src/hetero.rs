@@ -1,0 +1,268 @@
+//! Heterogeneous-processor extension: HEFT in its native habitat.
+//!
+//! The paper's machine model (and every algorithm above) assumes
+//! identical processors. DLS was originally proposed for
+//! "interconnection-constrained heterogeneous processor architectures"
+//! (the paper's §3.3 citation) and HEFT became the standard
+//! heterogeneous list scheduler — this module provides the machinery
+//! to explore that direction: per-processor speed factors, a
+//! heterogeneity-aware HEFT, and a dedicated validator.
+//!
+//! Execution time of node `n` on processor `p` is
+//! `ceil(w(n) * 100 / speed_percent[p])` (at least 1): speed 100 is
+//! nominal, 200 runs twice as fast, 50 half as fast.
+
+use fastsched_dag::{Cost, Dag, NodeId};
+use fastsched_schedule::{ProcId, Schedule, ScheduleError};
+
+/// Relative processor speeds, in percent of nominal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessorSpeeds {
+    /// `speed_percent[p]` — 100 = nominal speed.
+    pub speed_percent: Vec<u32>,
+}
+
+impl ProcessorSpeeds {
+    /// `count` identical nominal-speed processors (the homogeneous
+    /// special case).
+    pub fn uniform(count: u32) -> Self {
+        Self {
+            speed_percent: vec![100; count as usize],
+        }
+    }
+
+    /// Explicit speeds.
+    pub fn new(speed_percent: Vec<u32>) -> Self {
+        assert!(!speed_percent.is_empty());
+        assert!(
+            speed_percent.iter().all(|&s| s > 0),
+            "speeds must be positive"
+        );
+        Self { speed_percent }
+    }
+
+    /// Processor count.
+    pub fn count(&self) -> u32 {
+        self.speed_percent.len() as u32
+    }
+
+    /// Execution time of a nominal-cost `w` task on processor `p`.
+    #[inline]
+    pub fn exec_time(&self, w: Cost, p: ProcId) -> Cost {
+        let s = self.speed_percent[p.index()] as Cost;
+        (w * 100).div_ceil(s).max(1)
+    }
+
+    /// Mean execution time of a nominal-cost `w` task across all
+    /// processors (HEFT's ranking cost).
+    pub fn mean_exec_time(&self, w: Cost) -> Cost {
+        let total: Cost = (0..self.count())
+            .map(|p| self.exec_time(w, ProcId(p)))
+            .sum();
+        (total / self.count() as Cost).max(1)
+    }
+}
+
+/// Validate a schedule against the heterogeneous execution-time model:
+/// completeness, `finish - start == exec_time(w, proc)`,
+/// communication-aware precedence, and per-processor non-overlap.
+pub fn validate_hetero(
+    dag: &Dag,
+    schedule: &Schedule,
+    speeds: &ProcessorSpeeds,
+) -> Result<(), ScheduleError> {
+    if schedule.num_nodes() != dag.node_count() {
+        return Err(ScheduleError::WrongSize {
+            expected: dag.node_count(),
+            actual: schedule.num_nodes(),
+        });
+    }
+    for n in dag.nodes() {
+        match schedule.task(n) {
+            None => return Err(ScheduleError::Unscheduled(n.0)),
+            Some(t) => {
+                if t.finish != t.start + speeds.exec_time(dag.weight(n), t.proc) {
+                    return Err(ScheduleError::BadDuration(n.0));
+                }
+            }
+        }
+    }
+    for (p, c, cost) in dag.edges() {
+        let tp = schedule.task(p).unwrap();
+        let tc = schedule.task(c).unwrap();
+        let legal = if tp.proc == tc.proc {
+            tp.finish
+        } else {
+            tp.finish + cost
+        };
+        if tc.start < legal {
+            return Err(ScheduleError::PrecedenceViolation(
+                p.0, c.0, legal, tc.start,
+            ));
+        }
+    }
+    for lane in schedule.timelines() {
+        for w in lane.windows(2) {
+            if w[1].start < w[0].finish {
+                return Err(ScheduleError::Overlap(w[0].node.0, w[1].node.0));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// HEFT for heterogeneous processors: descending upward rank (mean
+/// execution times), insertion-based placement minimizing *earliest
+/// finish time* — on unequal processors minimizing EFT is genuinely
+/// different from minimizing EST, which is why this needs its own
+/// engine rather than the shared homogeneous one.
+#[derive(Debug, Clone)]
+pub struct HeftHetero {
+    speeds: ProcessorSpeeds,
+}
+
+impl HeftHetero {
+    /// HEFT over the given processor speeds.
+    pub fn new(speeds: ProcessorSpeeds) -> Self {
+        Self { speeds }
+    }
+
+    /// Upward ranks: `rank(n) = mean_exec(n) + max over children of
+    /// (c + rank(child))`.
+    pub fn upward_ranks(&self, dag: &Dag) -> Vec<Cost> {
+        let mut rank = vec![0 as Cost; dag.node_count()];
+        for &n in dag.topo_order().iter().rev() {
+            let best = dag
+                .succs(n)
+                .iter()
+                .map(|e| e.cost + rank[e.node.index()])
+                .max()
+                .unwrap_or(0);
+            rank[n.index()] = self.speeds.mean_exec_time(dag.weight(n)) + best;
+        }
+        rank
+    }
+
+    /// Schedule `dag` over this machine's processors.
+    pub fn schedule(&self, dag: &Dag) -> Schedule {
+        let p_count = self.speeds.count();
+        let mut order: Vec<NodeId> = dag.nodes().collect();
+        let ranks = self.upward_ranks(dag);
+        order.sort_by_key(|&n| (std::cmp::Reverse(ranks[n.index()]), n.0));
+
+        // Per-processor sorted busy slots (start, finish, node).
+        let mut lanes: Vec<Vec<(Cost, Cost, NodeId)>> = vec![Vec::new(); p_count as usize];
+        let mut finish = vec![0 as Cost; dag.node_count()];
+        let mut proc = vec![ProcId(0); dag.node_count()];
+        let mut schedule = Schedule::new(dag.node_count(), p_count);
+
+        for &n in &order {
+            let mut best: Option<(Cost, Cost, ProcId)> = None; // (eft, est, proc)
+            for pi in 0..p_count {
+                let p = ProcId(pi);
+                let w = self.speeds.exec_time(dag.weight(n), p);
+                // DAT on p.
+                let mut dat = 0;
+                for e in dag.preds(n) {
+                    let f = finish[e.node.index()];
+                    dat = dat.max(if proc[e.node.index()] == p {
+                        f
+                    } else {
+                        f + e.cost
+                    });
+                }
+                // Insertion: first gap of length w at or after dat.
+                let mut cursor = dat;
+                for &(s, f, _) in &lanes[p.index()] {
+                    if f <= cursor {
+                        continue;
+                    }
+                    if s >= cursor && s - cursor >= w {
+                        break;
+                    }
+                    cursor = cursor.max(f);
+                }
+                let est = cursor;
+                let eft = est + w;
+                if best.is_none_or(|(beft, best_est, bp)| (eft, est, p.0) < (beft, best_est, bp.0))
+                {
+                    best = Some((eft, est, p));
+                }
+            }
+            let (eft, est, p) = best.expect("at least one processor");
+            let lane = &mut lanes[p.index()];
+            let pos = lane.partition_point(|&(s, _, _)| s < est);
+            lane.insert(pos, (est, eft, n));
+            finish[n.index()] = eft;
+            proc[n.index()] = p;
+            schedule.place(n, p, est, eft);
+        }
+        schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Scheduler as _;
+    use fastsched_dag::examples::{fork_join, paper_figure1};
+
+    #[test]
+    fn uniform_speeds_reduce_to_homogeneous_heft() {
+        let g = paper_figure1();
+        let hetero = HeftHetero::new(ProcessorSpeeds::uniform(4)).schedule(&g);
+        validate_hetero(&g, &hetero, &ProcessorSpeeds::uniform(4)).unwrap();
+        let homo = crate::heft::Heft::new().schedule(&g, 4);
+        assert_eq!(hetero.makespan(), homo.makespan());
+    }
+
+    #[test]
+    fn exec_time_scaling() {
+        let s = ProcessorSpeeds::new(vec![100, 200, 50]);
+        assert_eq!(s.exec_time(10, ProcId(0)), 10);
+        assert_eq!(s.exec_time(10, ProcId(1)), 5);
+        assert_eq!(s.exec_time(10, ProcId(2)), 20);
+        assert_eq!(s.mean_exec_time(10), (10 + 5 + 20) / 3);
+    }
+
+    #[test]
+    fn fast_processor_attracts_the_critical_chain() {
+        // One 4x processor and two nominal ones: the heavy chain
+        // should land on the fast processor.
+        let g = fastsched_dag::examples::chain(5, 40, 1);
+        let speeds = ProcessorSpeeds::new(vec![100, 400, 100]);
+        let s = HeftHetero::new(speeds.clone()).schedule(&g);
+        validate_hetero(&g, &s, &speeds).unwrap();
+        // Entire chain on the fast processor: 5 × ceil(40/4) = 50.
+        assert_eq!(s.makespan(), 50);
+        assert_eq!(s.processors_used(), 1);
+        assert!(g.nodes().all(|n| s.proc_of(n) == Some(ProcId(1))));
+    }
+
+    #[test]
+    fn heterogeneity_beats_the_equivalent_uniform_machine_on_parallel_work() {
+        // Same aggregate capacity, one hot processor: for a fork-join
+        // the hot processor absorbs more of the work.
+        let g = fork_join(6, 30, 5);
+        let skewed = ProcessorSpeeds::new(vec![300, 100, 100, 100]);
+        let s = HeftHetero::new(skewed.clone()).schedule(&g);
+        validate_hetero(&g, &s, &skewed).unwrap();
+        // The hot processor must run more than a proportional share.
+        let hot_tasks = s.tasks().filter(|t| t.proc == ProcId(0)).count();
+        assert!(hot_tasks >= 3, "hot processor ran only {hot_tasks} tasks");
+    }
+
+    #[test]
+    fn validator_rejects_wrong_duration_for_proc_speed() {
+        let g = fastsched_dag::examples::chain(2, 10, 1);
+        let speeds = ProcessorSpeeds::new(vec![100, 200]);
+        let mut s = Schedule::new(2, 2);
+        // Node 0 on the 2x processor must take 5, not 10.
+        s.place(NodeId(0), ProcId(1), 0, 10);
+        s.place(NodeId(1), ProcId(1), 10, 15);
+        assert_eq!(
+            validate_hetero(&g, &s, &speeds),
+            Err(ScheduleError::BadDuration(0))
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! # fastsched-algorithms
+//!
+//! The scheduling algorithms of the FAST paper and its comparison
+//! study, all programmed against the same [`Scheduler`] trait:
+//!
+//! * [`fast::Fast`] — the paper's contribution: CPN-Dominate list
+//!   scheduling plus random-transfer local search (§4), O(e);
+//! * [`dsc::Dsc`] — Dominant Sequence Clustering (Yang & Gerasoulis),
+//!   O((v + e) log v), unbounded processors;
+//! * [`md::Md`] — Mobility Directed (Wu & Gajski), O(v³);
+//! * [`etf::Etf`] — Earliest Task First (Hwang et al.), O(p v²);
+//! * [`dls::Dls`] — Dynamic Level Scheduling (Sih & Lee), O(p e v);
+//!
+//! plus members of the same algorithm family used for ablations and as
+//! extensions:
+//!
+//! * [`hlfet::Hlfet`] — static-level list scheduling (the classical
+//!   baseline FAST's CPN-Dominate list is designed to beat);
+//! * [`mcp::Mcp`] — Modified Critical Path (ALAP-ordered list
+//!   scheduling with insertion);
+//! * [`heft::Heft`] — the later insertion-based standard, for context;
+//! * [`fast_parallel::FastParallel`] — multi-start parallel FAST (the
+//!   authors' follow-up FASTEST), built on crossbeam scoped threads.
+//!
+//! Every scheduler returns a [`fastsched_schedule::Schedule`] that
+//! passes [`fastsched_schedule::validate()`](fn@fastsched_schedule::validate); the workspace test-suite
+//! enforces this across all workloads.
+
+#![warn(missing_docs)]
+
+pub mod bounded_dsc;
+pub mod cpop;
+pub mod dcp;
+pub mod dls;
+pub mod dsc;
+pub mod duplication;
+pub mod etf;
+pub mod ez;
+pub mod fast;
+pub mod fast_parallel;
+pub mod fast_sa;
+pub mod heft;
+pub mod hetero;
+pub mod hlfet;
+pub mod ish;
+pub mod lc;
+pub mod list_common;
+pub mod mcp;
+pub mod md;
+pub mod optimal;
+pub mod scheduler;
+
+pub use bounded_dsc::BoundedDsc;
+pub use cpop::Cpop;
+pub use dcp::Dcp;
+pub use dls::Dls;
+pub use dsc::Dsc;
+pub use duplication::{validate_dup, Dsh, DupSchedule};
+pub use etf::Etf;
+pub use ez::Ez;
+pub use fast::{Fast, FastConfig};
+pub use fast_parallel::{FastParallel, FastParallelConfig};
+pub use fast_sa::{FastSa, FastSaConfig};
+pub use heft::Heft;
+pub use hetero::{HeftHetero, ProcessorSpeeds};
+pub use hlfet::Hlfet;
+pub use ish::Ish;
+pub use lc::Lc;
+pub use mcp::Mcp;
+pub use md::Md;
+pub use optimal::BranchAndBound;
+pub use scheduler::{all_schedulers, paper_schedulers, Scheduler};

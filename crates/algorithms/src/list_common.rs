@@ -1,0 +1,450 @@
+//! Shared machinery for the list-scheduling family: ready-set
+//! tracking, earliest-start-time probing (both the paper's
+//! ready-time/no-insertion policy and the insertion policy used by
+//! MCP/HEFT), and static-list execution.
+
+use fastsched_dag::{Cost, Dag, NodeId};
+use fastsched_schedule::{ProcId, Schedule};
+
+/// Mutable list-scheduling state: per-processor timelines plus
+/// per-node placement, cheaper to probe than re-deriving from
+/// [`Schedule`].
+pub struct Machine {
+    /// Per-processor ordered slots `(start, finish, node)`.
+    pub lanes: Vec<Vec<(Cost, Cost, NodeId)>>,
+    /// Finish time per placed node (0 = unplaced; query `placed`).
+    pub finish: Vec<Cost>,
+    /// Processor per placed node.
+    pub proc: Vec<ProcId>,
+    /// Whether each node has been placed.
+    pub placed: Vec<bool>,
+}
+
+impl Machine {
+    /// Empty machine with `num_procs` processors for `num_nodes` tasks.
+    pub fn new(num_nodes: usize, num_procs: u32) -> Self {
+        Self {
+            lanes: vec![Vec::new(); num_procs as usize],
+            finish: vec![0; num_nodes],
+            proc: vec![ProcId(0); num_nodes],
+            placed: vec![false; num_nodes],
+        }
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn num_procs(&self) -> u32 {
+        self.lanes.len() as u32
+    }
+
+    /// Ready time of a processor: finish of its last task.
+    #[inline]
+    pub fn ready_time(&self, p: ProcId) -> Cost {
+        self.lanes[p.index()].last().map_or(0, |&(_, f, _)| f)
+    }
+
+    /// Data arrival time of `n` on `p` given current placements. All
+    /// parents must already be placed.
+    pub fn data_arrival_time(&self, dag: &Dag, n: NodeId, p: ProcId) -> Cost {
+        let mut dat = 0;
+        for e in dag.preds(n) {
+            debug_assert!(self.placed[e.node.index()], "parent must be placed");
+            let f = self.finish[e.node.index()];
+            let arrival = if self.proc[e.node.index()] == p {
+                f
+            } else {
+                f + e.cost
+            };
+            dat = dat.max(arrival);
+        }
+        dat
+    }
+
+    /// Earliest start of `n` on `p` under the *no-insertion* policy of
+    /// the paper (§4.2): `max(ready_time(p), DAT(n, p))`.
+    pub fn earliest_start_append(&self, dag: &Dag, n: NodeId, p: ProcId) -> Cost {
+        self.data_arrival_time(dag, n, p).max(self.ready_time(p))
+    }
+
+    /// Earliest start of `n` on `p` under the *insertion* policy:
+    /// the first idle gap of length `w(n)` starting at or after
+    /// `DAT(n, p)` (MCP / HEFT / MD).
+    pub fn earliest_start_insert(&self, dag: &Dag, n: NodeId, p: ProcId) -> Cost {
+        let dat = self.data_arrival_time(dag, n, p);
+        self.earliest_gap_at_or_after(p, dat, dag.weight(n))
+    }
+
+    /// First time >= `lower` at which an idle interval of length `w`
+    /// exists on `p`.
+    pub fn earliest_gap_at_or_after(&self, p: ProcId, lower: Cost, w: Cost) -> Cost {
+        let lane = &self.lanes[p.index()];
+        let mut cursor = lower;
+        for &(s, f, _) in lane {
+            if f <= cursor {
+                continue;
+            }
+            if s >= cursor && s - cursor >= w {
+                return cursor;
+            }
+            cursor = cursor.max(f);
+        }
+        cursor
+    }
+
+    /// Place `n` on `p` at `start` (keeping the lane sorted). The
+    /// caller guarantees the slot is idle.
+    pub fn place(&mut self, dag: &Dag, n: NodeId, p: ProcId, start: Cost) {
+        let fin = start + dag.weight(n);
+        let lane = &mut self.lanes[p.index()];
+        let pos = lane.partition_point(|&(s, _, _)| s < start);
+        lane.insert(pos, (start, fin, n));
+        self.finish[n.index()] = fin;
+        self.proc[n.index()] = p;
+        self.placed[n.index()] = true;
+    }
+
+    /// Convert the machine state into a [`Schedule`].
+    pub fn into_schedule(self, dag: &Dag) -> Schedule {
+        let mut s = Schedule::new(dag.node_count(), self.num_procs());
+        for (pi, lane) in self.lanes.iter().enumerate() {
+            for &(start, fin, n) in lane {
+                s.place(n, ProcId(pi as u32), start, fin);
+            }
+        }
+        debug_assert!(s.is_complete() || dag.node_count() > s.tasks().count());
+        s
+    }
+}
+
+/// Cached data-arrival times of a *ready* node (all parents placed, so
+/// the values are final): the all-remote bound plus the per-processor
+/// exceptions for processors hosting a parent.
+///
+/// `DAT(n, P)` is `remote` unless `P` hosts a parent, in which case the
+/// message from that parent is free. Caching this when the node
+/// becomes ready makes every subsequent `(node, processor)` probe O(1)
+/// amortized instead of O(in-degree) — the difference between the
+/// published O(p v²) for ETF and an accidental O(p v² d).
+#[derive(Debug, Clone)]
+pub struct DatCache {
+    /// `max over parents (finish + c)` — DAT on any processor hosting
+    /// no parent.
+    pub remote: Cost,
+    /// `(proc, DAT(n, proc))` for each distinct parent processor.
+    pub parent_procs: Vec<(ProcId, Cost)>,
+}
+
+impl DatCache {
+    /// Build the cache for ready node `n` against current placements.
+    pub fn compute(dag: &Dag, machine: &Machine, n: NodeId) -> Self {
+        let mut remote: Cost = 0;
+        let mut parent_procs: Vec<(ProcId, Cost)> = Vec::new();
+        for e in dag.preds(n) {
+            debug_assert!(machine.placed[e.node.index()]);
+            remote = remote.max(machine.finish[e.node.index()] + e.cost);
+            let p = machine.proc[e.node.index()];
+            if !parent_procs.iter().any(|&(q, _)| q == p) {
+                parent_procs.push((p, 0));
+            }
+        }
+        // DAT on parent processor q: messages from parents on q are
+        // free, others pay their edge cost.
+        for slot in &mut parent_procs {
+            let q = slot.0;
+            let mut dat = 0;
+            for e in dag.preds(n) {
+                let arrival = if machine.proc[e.node.index()] == q {
+                    machine.finish[e.node.index()]
+                } else {
+                    machine.finish[e.node.index()] + e.cost
+                };
+                dat = dat.max(arrival);
+            }
+            slot.1 = dat;
+        }
+        Self {
+            remote,
+            parent_procs,
+        }
+    }
+
+    /// `DAT(n, p)` in O(parent-processor count).
+    #[inline]
+    pub fn dat(&self, p: ProcId) -> Cost {
+        self.parent_procs
+            .iter()
+            .find(|&&(q, _)| q == p)
+            .map_or(self.remote, |&(_, d)| d)
+    }
+}
+
+/// Lazy min-heap over processor ready times, letting pair-scanning
+/// schedulers find the least-busy processor in O(log p) amortized.
+pub struct ProcPool {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(Cost, u32)>>,
+}
+
+impl ProcPool {
+    /// All `num_procs` processors idle at time 0.
+    pub fn new(num_procs: u32) -> Self {
+        let heap = (0..num_procs).map(|p| std::cmp::Reverse((0, p))).collect();
+        Self { heap }
+    }
+
+    /// Record that `p`'s ready time changed (stale entries are purged
+    /// lazily on query).
+    pub fn update(&mut self, p: ProcId, ready: Cost) {
+        self.heap.push(std::cmp::Reverse((ready, p.0)));
+    }
+
+    /// The processor with the smallest current ready time (ties: the
+    /// one that reached that ready time first, then lowest id).
+    pub fn min_ready_proc(&mut self, machine: &Machine) -> ProcId {
+        loop {
+            let &std::cmp::Reverse((ready, p)) = self.heap.peek().expect("pool never empty");
+            if machine.ready_time(ProcId(p)) == ready {
+                return ProcId(p);
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+/// Best processor for ready node `n` among *all* processors, using its
+/// [`DatCache`]: only the parent processors and the least-ready
+/// processor can achieve the minimum `EST = max(ready(P), DAT(n, P))`,
+/// so the probe is O(distinct parent processors). Ties go to the
+/// candidate with the lower EST-then-id.
+pub fn best_append_proc(machine: &Machine, pool_min: ProcId, cache: &DatCache) -> (ProcId, Cost) {
+    let mut best_p = pool_min;
+    let mut best_est = machine.ready_time(pool_min).max(cache.dat(pool_min));
+    for &(q, dat) in &cache.parent_procs {
+        let est = machine.ready_time(q).max(dat);
+        if est < best_est || (est == best_est && q.0 < best_p.0) {
+            best_est = est;
+            best_p = q;
+        }
+    }
+    (best_p, best_est)
+}
+
+/// Ready-set tracker: nodes become ready when all parents are placed.
+pub struct ReadySet {
+    remaining_parents: Vec<u32>,
+    ready: Vec<NodeId>,
+}
+
+impl ReadySet {
+    /// Initialize from the DAG: entry nodes are immediately ready.
+    pub fn new(dag: &Dag) -> Self {
+        let remaining_parents: Vec<u32> = dag.nodes().map(|n| dag.in_degree(n) as u32).collect();
+        let ready = dag.entry_nodes();
+        Self {
+            remaining_parents,
+            ready,
+        }
+    }
+
+    /// Current ready nodes (unordered).
+    #[inline]
+    pub fn ready(&self) -> &[NodeId] {
+        &self.ready
+    }
+
+    /// `true` when no node is ready (all placed, if used correctly).
+    pub fn is_empty(&self) -> bool {
+        self.ready.is_empty()
+    }
+
+    /// Mark `n` placed: remove it from the ready set and release any
+    /// children that become ready.
+    pub fn complete(&mut self, dag: &Dag, n: NodeId) {
+        let pos = self
+            .ready
+            .iter()
+            .position(|&x| x == n)
+            .expect("completed node must be ready");
+        self.ready.swap_remove(pos);
+        for e in dag.succs(n) {
+            let r = &mut self.remaining_parents[e.node.index()];
+            *r -= 1;
+            if *r == 0 {
+                self.ready.push(e.node);
+            }
+        }
+    }
+}
+
+/// Run static list scheduling over `order` (a topological order):
+/// every node is appended to the processor minimizing its start time,
+/// probing either all processors (`probe_all = true`, classical HLFET)
+/// or, as FAST's `InitialSchedule()` does, only the parents' processors
+/// plus one unused processor.
+pub fn run_static_list(dag: &Dag, order: &[NodeId], num_procs: u32, insertion: bool) -> Schedule {
+    let mut m = Machine::new(dag.node_count(), num_procs);
+    for &n in order {
+        let mut best_p = ProcId(0);
+        let mut best_s = Cost::MAX;
+        for pi in 0..num_procs {
+            let p = ProcId(pi);
+            let s = if insertion {
+                m.earliest_start_insert(dag, n, p)
+            } else {
+                m.earliest_start_append(dag, n, p)
+            };
+            if s < best_s {
+                best_s = s;
+                best_p = p;
+            }
+        }
+        m.place(dag, n, best_p, best_s);
+    }
+    m.into_schedule(dag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsched_dag::DagBuilder;
+    use fastsched_schedule::validate;
+
+    fn pair() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_task(2);
+        let c = b.add_task(3);
+        b.add_edge(a, c, 4).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ready_set_releases_children() {
+        let g = pair();
+        let mut rs = ReadySet::new(&g);
+        assert_eq!(rs.ready(), &[NodeId(0)]);
+        rs.complete(&g, NodeId(0));
+        assert_eq!(rs.ready(), &[NodeId(1)]);
+        rs.complete(&g, NodeId(1));
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn append_policy_respects_ready_time() {
+        let g = pair();
+        let mut m = Machine::new(2, 2);
+        m.place(&g, NodeId(0), ProcId(0), 0);
+        // Same proc: DAT 2, ready 2 → 2. Other proc: DAT 2 + 4 = 6.
+        assert_eq!(m.earliest_start_append(&g, NodeId(1), ProcId(0)), 2);
+        assert_eq!(m.earliest_start_append(&g, NodeId(1), ProcId(1)), 6);
+    }
+
+    #[test]
+    fn insertion_finds_interior_gap() {
+        // Three independent tasks; craft a lane with a gap.
+        let mut b = DagBuilder::new();
+        b.add_task(5);
+        b.add_task(5);
+        b.add_task(3);
+        let g = b.build().unwrap();
+        let mut m = Machine::new(3, 1);
+        m.place(&g, NodeId(0), ProcId(0), 0); // [0,5)
+        m.place(&g, NodeId(1), ProcId(0), 9); // [9,14)
+                                              // Gap [5,9) holds a weight-3 task.
+        assert_eq!(m.earliest_start_insert(&g, NodeId(2), ProcId(0)), 5);
+        // Append policy would go after 14.
+        assert_eq!(m.earliest_start_append(&g, NodeId(2), ProcId(0)), 14);
+    }
+
+    #[test]
+    fn gap_probe_edge_cases() {
+        let mut b = DagBuilder::new();
+        b.add_task(5);
+        let g = b.build().unwrap();
+        let mut m = Machine::new(1, 1);
+        // Empty lane: gap at the lower bound.
+        assert_eq!(m.earliest_gap_at_or_after(ProcId(0), 7, 100), 7);
+        m.place(&g, NodeId(0), ProcId(0), 3); // [3,8)
+                                              // Gap of 3 before the task fits at 0.
+        assert_eq!(m.earliest_gap_at_or_after(ProcId(0), 0, 3), 0);
+        // Gap of 4 does not fit before; goes after.
+        assert_eq!(m.earliest_gap_at_or_after(ProcId(0), 0, 4), 8);
+        // Lower bound inside the busy interval.
+        assert_eq!(m.earliest_gap_at_or_after(ProcId(0), 5, 1), 8);
+    }
+
+    #[test]
+    fn dat_cache_matches_direct_computation() {
+        // Mixed parents on different processors: the cache must agree
+        // with Machine::data_arrival_time on every processor.
+        let mut b = DagBuilder::new();
+        let p1 = b.add_task(2);
+        let p2 = b.add_task(3);
+        let child = b.add_task(1);
+        b.add_edge(p1, child, 10).unwrap();
+        b.add_edge(p2, child, 4).unwrap();
+        let g = b.build().unwrap();
+        let mut m = Machine::new(3, 4);
+        m.place(&g, p1, ProcId(0), 0); // finish 2
+        m.place(&g, p2, ProcId(2), 5); // finish 8
+        let cache = DatCache::compute(&g, &m, child);
+        for pi in 0..4 {
+            let p = ProcId(pi);
+            assert_eq!(cache.dat(p), m.data_arrival_time(&g, child, p), "proc {pi}");
+        }
+        // All-remote bound: max(2 + 10, 8 + 4) = 12.
+        assert_eq!(cache.remote, 12);
+        // On proc 0 the heavy message is free: max(2, 8 + 4) = 12; on
+        // proc 2: max(2 + 10, 8) = 12 — and on proc 1/3 also 12.
+        assert_eq!(cache.dat(ProcId(0)), 12);
+    }
+
+    #[test]
+    fn proc_pool_tracks_min_ready() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task(5);
+        let c = b.add_task(2);
+        let g = b.build().unwrap();
+        let mut m = Machine::new(2, 3);
+        let mut pool = ProcPool::new(3);
+        assert_eq!(pool.min_ready_proc(&m), ProcId(0));
+        m.place(&g, a, ProcId(0), 0);
+        pool.update(ProcId(0), m.ready_time(ProcId(0)));
+        assert_eq!(pool.min_ready_proc(&m), ProcId(1));
+        m.place(&g, c, ProcId(1), 0);
+        pool.update(ProcId(1), m.ready_time(ProcId(1)));
+        assert_eq!(pool.min_ready_proc(&m), ProcId(2));
+    }
+
+    #[test]
+    fn best_append_proc_agrees_with_full_scan() {
+        let mut b = DagBuilder::new();
+        let p1 = b.add_task(2);
+        let p2 = b.add_task(3);
+        let child = b.add_task(1);
+        b.add_edge(p1, child, 10).unwrap();
+        b.add_edge(p2, child, 4).unwrap();
+        let g = b.build().unwrap();
+        let mut m = Machine::new(3, 4);
+        let mut pool = ProcPool::new(4);
+        m.place(&g, p1, ProcId(0), 0);
+        pool.update(ProcId(0), 2);
+        m.place(&g, p2, ProcId(2), 5);
+        pool.update(ProcId(2), 13);
+        let cache = DatCache::compute(&g, &m, child);
+        let (_, est) = best_append_proc(&m, pool.min_ready_proc(&m), &cache);
+        let full = (0..4)
+            .map(|pi| m.earliest_start_append(&g, child, ProcId(pi)))
+            .min()
+            .unwrap();
+        assert_eq!(est, full);
+    }
+
+    #[test]
+    fn static_list_produces_valid_schedules() {
+        let g = pair();
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        for insertion in [false, true] {
+            let s = run_static_list(&g, &order, 3, insertion);
+            assert_eq!(validate(&g, &s), Ok(()));
+        }
+    }
+}

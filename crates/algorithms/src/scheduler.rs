@@ -1,0 +1,115 @@
+//! The common [`Scheduler`] interface and the algorithm registry used
+//! by the CLI and the benchmark harness.
+
+use fastsched_dag::Dag;
+use fastsched_schedule::Schedule;
+
+/// A static DAG-scheduling algorithm.
+///
+/// ```
+/// use fastsched_algorithms::{Fast, Scheduler};
+/// use fastsched_dag::examples::paper_figure1;
+/// use fastsched_schedule::validate;
+///
+/// let dag = paper_figure1();
+/// let schedule = Fast::new().schedule(&dag, 9);
+/// assert!(validate(&dag, &schedule).is_ok());
+/// // InitialSchedule() yields 19; the local search finds one
+/// // improving transfer (the paper's Figure 4 story): 18.
+/// assert_eq!(schedule.makespan(), 18);
+/// ```
+///
+/// `num_procs` is the number of identical processors made available.
+/// Bounded algorithms (FAST, ETF, DLS, MD, HLFET, MCP, HEFT) never use
+/// more; "unbounded" algorithms (DSC) treat it as the processor pool
+/// size and may want `num_procs == v` to behave as published — the
+/// paper's experiments "give more than enough processors to all the
+/// algorithms".
+pub trait Scheduler: Send + Sync {
+    /// Short display name ("FAST", "DSC", ...), used in tables.
+    fn name(&self) -> &'static str;
+
+    /// `true` for clustering algorithms built on the unbounded-
+    /// processor model (DSC, EZ, LC): they treat `num_procs` as a
+    /// container bound, not a constraint, and may use up to `v`
+    /// processors regardless of it.
+    fn is_unbounded(&self) -> bool {
+        false
+    }
+
+    /// Produce a complete schedule of `dag` on `num_procs` processors.
+    ///
+    /// Implementations must return a schedule that passes
+    /// [`fastsched_schedule::validate()`](fn@fastsched_schedule::validate); processor ids must be dense
+    /// from 0 (use [`Schedule::compact`] before returning when the
+    /// construction leaves gaps).
+    fn schedule(&self, dag: &Dag, num_procs: u32) -> Schedule;
+}
+
+/// The four baselines compared in the paper plus FAST itself, in the
+/// paper's table order: FAST, DSC, MD, ETF, DLS.
+///
+/// FAST's local search is seeded with `seed` for reproducibility.
+pub fn paper_schedulers(seed: u64) -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(crate::fast::Fast::with_config(crate::fast::FastConfig {
+            seed,
+            ..Default::default()
+        })),
+        Box::new(crate::dsc::Dsc::new()),
+        Box::new(crate::md::Md::new()),
+        Box::new(crate::etf::Etf::new()),
+        Box::new(crate::dls::Dls::new()),
+    ]
+}
+
+/// Every scheduler in the workspace (paper set plus extensions), for
+/// exhaustive cross-validation tests. Excludes the exponential
+/// [`crate::optimal::BranchAndBound`] reference, which only accepts
+/// tiny graphs.
+pub fn all_schedulers(seed: u64) -> Vec<Box<dyn Scheduler>> {
+    let mut v = paper_schedulers(seed);
+    v.push(Box::new(crate::hlfet::Hlfet::new()));
+    v.push(Box::new(crate::mcp::Mcp::new()));
+    v.push(Box::new(crate::heft::Heft::new()));
+    v.push(Box::new(crate::dcp::Dcp::new()));
+    v.push(Box::new(crate::ish::Ish::new()));
+    v.push(Box::new(crate::ez::Ez::new()));
+    v.push(Box::new(crate::lc::Lc::new()));
+    v.push(Box::new(crate::cpop::Cpop::new()));
+    v.push(Box::new(crate::bounded_dsc::BoundedDsc::new()));
+    v.push(Box::new(crate::fast_parallel::FastParallel::with_config(
+        crate::fast_parallel::FastParallelConfig {
+            seed,
+            ..Default::default()
+        },
+    )));
+    v.push(Box::new(crate::fast_sa::FastSa::with_config(
+        crate::fast_sa::FastSaConfig {
+            seed,
+            steps: 512,
+            ..Default::default()
+        },
+    )));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_registry_has_the_five_paper_algorithms() {
+        let names: Vec<&str> = paper_schedulers(1).iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["FAST", "DSC", "MD", "ETF", "DLS"]);
+    }
+
+    #[test]
+    fn all_registry_extends_paper_registry() {
+        let names: Vec<&str> = all_schedulers(1).iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"HLFET"));
+        assert!(names.contains(&"MCP"));
+        assert!(names.contains(&"HEFT"));
+        assert!(names.contains(&"FAST-MS"));
+    }
+}

@@ -1,0 +1,33 @@
+use fastsched_algorithms::scheduler::paper_schedulers;
+use fastsched_schedule::validate;
+use fastsched_workloads::{fft_dag, gaussian_elimination_dag, laplace_dag, TimingDatabase};
+
+#[test]
+fn smoke_compare() {
+    let db = TimingDatabase::paragon();
+    for (name, dag) in [
+        ("gauss8", gaussian_elimination_dag(8, &db)),
+        ("laplace8", laplace_dag(8, &db)),
+        ("fft64", fft_dag(64, &db)),
+    ] {
+        println!(
+            "== {name}: v={} e={} ccr={:.2}",
+            dag.node_count(),
+            dag.edge_count(),
+            dag.ccr()
+        );
+        for s in paper_schedulers(1) {
+            let t = std::time::Instant::now();
+            let sched = s.schedule(&dag, dag.node_count() as u32);
+            let dt = t.elapsed();
+            validate(&dag, &sched).unwrap();
+            println!(
+                "  {:6} makespan={:8} procs={:4} time={:?}",
+                s.name(),
+                sched.makespan(),
+                sched.processors_used(),
+                dt
+            );
+        }
+    }
+}

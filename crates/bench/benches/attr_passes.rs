@@ -1,0 +1,36 @@
+//! Criterion bench backing the paper's O(e) complexity claims for the
+//! attribute machinery (§2, §4.1): t-level / b-level passes, the
+//! CPN/IBN/OBN classification, and the CPN-Dominate list construction
+//! should all scale linearly in the edge count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastsched::dag::{attributes, classify_nodes, cpn_dominate_list, CpnListConfig};
+use fastsched::prelude::*;
+
+fn bench_attr_passes(c: &mut Criterion) {
+    let db = TimingDatabase::paragon();
+    let mut group = c.benchmark_group("attr_passes");
+    for v in [500usize, 1000, 2000, 4000] {
+        let dag = random_layered_dag(&RandomDagConfig::paper(v, &db), 42);
+        group.throughput(Throughput::Elements(dag.edge_count() as u64));
+
+        group.bench_with_input(BenchmarkId::new("t_levels", v), &dag, |b, dag| {
+            b.iter(|| attributes::t_levels(dag))
+        });
+        group.bench_with_input(BenchmarkId::new("b_levels", v), &dag, |b, dag| {
+            b.iter(|| attributes::b_levels(dag))
+        });
+        group.bench_with_input(BenchmarkId::new("full_attributes", v), &dag, |b, dag| {
+            b.iter(|| GraphAttributes::compute(dag))
+        });
+        let attrs = GraphAttributes::compute(&dag);
+        let classes = classify_nodes(&dag, &attrs);
+        group.bench_with_input(BenchmarkId::new("cpn_dominate_list", v), &dag, |b, dag| {
+            b.iter(|| cpn_dominate_list(dag, &attrs, &classes, CpnListConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attr_passes);
+criterion_main!(benches);

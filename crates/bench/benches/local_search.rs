@@ -1,0 +1,43 @@
+//! Criterion bench for the cost of one local-search probe — the §4.4
+//! claim that a node transfer is re-evaluated in O(e): the fixed-order
+//! makespan evaluation should scale linearly with the edge count and
+//! stay allocation-free.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastsched::algorithms::{Fast, FastConfig};
+use fastsched::prelude::*;
+use fastsched::schedule::evaluate::evaluate_makespan_into;
+
+fn bench_probe(c: &mut Criterion) {
+    let db = TimingDatabase::paragon();
+    let mut group = c.benchmark_group("local_search_probe");
+    for v in [500usize, 1000, 2000, 4000] {
+        let dag = random_layered_dag(&RandomDagConfig::paper(v, &db), 5);
+        group.throughput(Throughput::Elements(dag.edge_count() as u64));
+        let fast = Fast::new();
+        let (_, order, assignment) = fast.initial_schedule(&dag, 512);
+        group.bench_with_input(BenchmarkId::new("evaluate_makespan", v), &dag, |b, dag| {
+            let (mut ready, mut finish) = (Vec::new(), Vec::new());
+            b.iter(|| evaluate_makespan_into(dag, &order, &assignment, &mut ready, &mut finish))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_fast(c: &mut Criterion) {
+    let db = TimingDatabase::paragon();
+    let mut group = c.benchmark_group("fast_phases");
+    let dag = random_layered_dag(&RandomDagConfig::paper(2000, &db), 5);
+    group.bench_function("initial_schedule_2000", |b| {
+        let fast = Fast::new();
+        b.iter(|| fast.initial_schedule(&dag, 512))
+    });
+    group.bench_function("full_fast_2000", |b| {
+        let fast = Fast::with_config(FastConfig::default());
+        b.iter(|| fast.schedule(&dag, 512))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe, bench_full_fast);
+criterion_main!(benches);

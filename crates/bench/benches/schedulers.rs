@@ -1,0 +1,33 @@
+//! Criterion bench comparing whole-algorithm scheduling cost — the
+//! micro-benchmark companion of the paper's scheduling-time tables
+//! (Figures 5(c)–8(c)): FAST and DSC stay cheap as graphs grow; ETF
+//! and DLS pay their pair-scan; MD pays its per-step attribute
+//! recomputation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastsched::prelude::*;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let db = TimingDatabase::paragon();
+    let gauss = gaussian_elimination_dag(16, &db); // 170 tasks
+    let random = random_layered_dag(&RandomDagConfig::sparse(500, &db), 9);
+
+    let mut group = c.benchmark_group("schedulers");
+    for (wname, dag) in [("gauss16", &gauss), ("random500", &random)] {
+        let procs = dag.node_count() as u32;
+        for s in paper_schedulers(1) {
+            // MD on the 500-node graph is outside micro-bench budgets
+            // (that is the paper's point); measure it on gauss16 only.
+            if s.name() == "MD" && dag.node_count() > 200 {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(s.name(), wname), dag, |b, dag| {
+                b.iter(|| s.schedule(dag, procs))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the discrete-event simulator: events per
+//! second on schedules of growing size, with and without contention
+//! modelling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fastsched::prelude::*;
+use fastsched::sim::network::ContentionModel;
+
+fn bench_simulator(c: &mut Criterion) {
+    let db = TimingDatabase::paragon();
+    let mut group = c.benchmark_group("simulator");
+    for v in [500usize, 1000, 2000] {
+        let dag = random_layered_dag(&RandomDagConfig::sparse(v, &db), 3);
+        let schedule = Fast::new().schedule(&dag, 64);
+        group.throughput(Throughput::Elements(v as u64));
+        group.bench_with_input(
+            BenchmarkId::new("mesh_contention", v),
+            &(&dag, &schedule),
+            |b, (dag, schedule)| b.iter(|| simulate(dag, schedule, &SimConfig::default())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("no_contention", v),
+            &(&dag, &schedule),
+            |b, (dag, schedule)| {
+                let cfg = SimConfig {
+                    contention: ContentionModel::None,
+                    ..Default::default()
+                };
+                b.iter(|| simulate(dag, schedule, &cfg))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

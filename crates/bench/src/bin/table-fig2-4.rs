@@ -1,0 +1,52 @@
+//! Regenerates the paper's **Figures 2–4** — the worked example: the
+//! schedules every algorithm produces for the (reconstructed) Figure 1
+//! task graph, including FAST's initial schedule and its local-search
+//! refinement.
+//!
+//! ```text
+//! cargo run --release -p fastsched-bench --bin table-fig2-4
+//! ```
+
+use fastsched::dag::examples::paper_figure1;
+use fastsched::prelude::*;
+use fastsched::schedule::gantt;
+
+fn main() {
+    let dag = paper_figure1();
+    println!(
+        "Figure 1 example graph (reconstruction): v = {}, e = {}, CP = {}",
+        dag.node_count(),
+        dag.edge_count(),
+        GraphAttributes::compute(&dag).cp_length
+    );
+
+    // Figures 2 and 3: the four baselines.
+    for s in paper_schedulers(1).iter().skip(1) {
+        let schedule = s.schedule(&dag, 9);
+        validate(&dag, &schedule).unwrap();
+        println!(
+            "\n-- {} (schedule length {}) --",
+            s.name(),
+            schedule.makespan()
+        );
+        print!("{}", gantt::render_listing(&dag, &schedule));
+    }
+
+    // Figure 4(a): InitialSchedule().
+    let fast = Fast::new();
+    let (initial, _, _) = fast.initial_schedule(&dag, 9);
+    println!(
+        "\n-- FAST InitialSchedule() (schedule length {}) --",
+        initial.makespan()
+    );
+    print!("{}", gantt::render_listing(&dag, &initial.compact()));
+
+    // Figure 4(b): after the local search.
+    let refined = fast.schedule(&dag, 9);
+    validate(&dag, &refined).unwrap();
+    println!(
+        "\n-- FAST after local search (schedule length {}) --",
+        refined.makespan()
+    );
+    print!("{}", gantt::render_listing(&dag, &refined));
+}

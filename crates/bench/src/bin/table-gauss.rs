@@ -1,0 +1,33 @@
+//! Regenerates the paper's **Figure 5** — Gaussian elimination on the
+//! (simulated) Paragon: (a) normalized execution times, (b) processors
+//! used, (c) scheduling times — for matrix dimensions 4, 8, 16, 32
+//! (task counts 20, 54, 170, 594, matching the paper exactly).
+//!
+//! ```text
+//! cargo run --release -p fastsched-bench --bin table-gauss
+//! ```
+
+use fastsched::prelude::*;
+use fastsched_bench::run_figure;
+
+fn main() {
+    let db = TimingDatabase::paragon();
+    let dims = [4usize, 8, 16, 32];
+    let dags: Vec<Dag> = dims
+        .iter()
+        .map(|&n| gaussian_elimination_dag(n, &db))
+        .collect();
+    let labels = dims.iter().map(|n| format!("N={n}")).collect();
+
+    let out = run_figure(
+        "Figure 5: Gaussian elimination (Paragon-substitute simulation)",
+        labels,
+        &dags,
+        &paper_schedulers(1),
+        // "More than enough" processors for the bounded algorithms.
+        |dag| (2.0 * (dag.node_count() as f64).sqrt()) as u32 + 2,
+        &SimConfig::default(),
+        false,
+    );
+    println!("{out}");
+}

@@ -1,0 +1,29 @@
+//! Regenerates the paper's **Figure 6** — the Laplace equation solver
+//! on the (simulated) Paragon: (a) normalized execution times, (b)
+//! processors used, (c) scheduling times — for grid dimensions 4, 8,
+//! 16, 32 (task counts 18, 66, 258, 1026, matching the paper exactly).
+//!
+//! ```text
+//! cargo run --release -p fastsched-bench --bin table-laplace
+//! ```
+
+use fastsched::prelude::*;
+use fastsched_bench::run_figure;
+
+fn main() {
+    let db = TimingDatabase::paragon();
+    let dims = [4usize, 8, 16, 32];
+    let dags: Vec<Dag> = dims.iter().map(|&n| laplace_dag(n, &db)).collect();
+    let labels = dims.iter().map(|n| format!("N={n}")).collect();
+
+    let out = run_figure(
+        "Figure 6: Laplace equation solver (Paragon-substitute simulation)",
+        labels,
+        &dags,
+        &paper_schedulers(1),
+        |dag| (2.0 * (dag.node_count() as f64).sqrt()) as u32 + 2,
+        &SimConfig::default(),
+        false,
+    );
+    println!("{out}");
+}

@@ -1,0 +1,326 @@
+//! `casch` — the command-line front end of the CASCH-substitute
+//! pipeline.
+//!
+//! ```text
+//! casch generate --app gauss --size 8 --out dag.json
+//! casch info     --dag dag.json
+//! casch dot      --dag dag.json > dag.dot
+//! casch schedule --dag dag.json --algo fast --procs 16 --gantt
+//! casch compare  --app laplace --size 8 --procs 16
+//! ```
+
+use fastsched_algorithms::{
+    paper_schedulers, BoundedDsc, BranchAndBound, Cpop, Dcp, Dls, Dsc, Etf, Ez, Fast, FastParallel,
+    FastSa, Heft, Hlfet, Ish, Lc, Mcp, Md, Scheduler,
+};
+use fastsched_casch::{compare_algorithms, run_on_dag, Application};
+use fastsched_dag::{io, Dag, GraphAttributes};
+use fastsched_schedule::gantt;
+use fastsched_sim::SimConfig;
+use fastsched_workloads::TimingDatabase;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "info" => cmd_info(&opts),
+        "dot" => cmd_dot(&opts),
+        "schedule" => cmd_schedule(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "compare" => cmd_compare(&opts),
+        _ => Err(format!("unknown command `{cmd}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+casch — CASCH-substitute scheduling pipeline
+
+USAGE:
+  casch generate --app <gauss|laplace|fft|random|random-sparse|cholesky|systolic> --size <n> [--seed <s>] [--out <file>]
+  casch info     --dag <file.json>
+  casch dot      --dag <file.json>
+  casch schedule --dag <file.json> --algo <name> [--procs <p>] [--gantt]
+                 [--svg <out.svg>] [--out-schedule <out.json>]
+  casch simulate --dag <file.json> --schedule <sched.json>
+                 [--topology <mesh|torus|hypercube|full>] [--hop <us>]
+                 [--send-overhead <us>] [--recv-overhead <us>] [--trace <out.json>]
+  casch compare  (--dag <file.json> | --app <name> --size <n>) [--procs <p>] [--seed <s>] [--all]
+
+ALGORITHMS: fast, dsc, md, etf, dls, hlfet, mcp, heft, dcp, ish, ez, lc,
+            cpop, dsc-llb, fast-ms, fast-sa, bnb (exhaustive, tiny graphs)";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut out = Flags::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{a}`"));
+        };
+        // Boolean flags take no value.
+        if matches!(key, "gantt" | "all") {
+            out.insert(key.to_string(), "true".to_string());
+            continue;
+        }
+        let val = it
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        out.insert(key.to_string(), val.clone());
+    }
+    Ok(out)
+}
+
+fn get_usize(opts: &Flags, key: &str) -> Result<usize, String> {
+    opts.get(key)
+        .ok_or_else(|| format!("missing --{key}"))?
+        .parse()
+        .map_err(|_| format!("--{key} must be a number"))
+}
+
+fn get_u64_or(opts: &Flags, key: &str, default: u64) -> Result<u64, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} must be a number")),
+    }
+}
+
+fn load_app(opts: &Flags) -> Result<Application, String> {
+    let name = opts.get("app").ok_or("missing --app")?;
+    let size = get_usize(opts, "size")?;
+    let seed = get_u64_or(opts, "seed", 1)?;
+    Application::from_cli(name, size, seed).ok_or_else(|| format!("unknown app `{name}`"))
+}
+
+fn load_dag(opts: &Flags) -> Result<Dag, String> {
+    let path = opts.get("dag").ok_or("missing --dag")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if path.ends_with(".tg") {
+        fastsched_dag::io_text::from_text(&text).map_err(|e| e.to_string())
+    } else {
+        io::from_json(&text).map_err(|e| e.to_string())
+    }
+}
+
+fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
+    Ok(match name {
+        "fast" => Box::new(Fast::new()),
+        "dsc" => Box::new(Dsc::new()),
+        "md" => Box::new(Md::new()),
+        "etf" => Box::new(Etf::new()),
+        "dls" => Box::new(Dls::new()),
+        "hlfet" => Box::new(Hlfet::new()),
+        "mcp" => Box::new(Mcp::new()),
+        "heft" => Box::new(Heft::new()),
+        "fast-ms" => Box::new(FastParallel::new()),
+        "fast-sa" => Box::new(FastSa::new()),
+        "dcp" => Box::new(Dcp::new()),
+        "ish" => Box::new(Ish::new()),
+        "ez" => Box::new(Ez::new()),
+        "lc" => Box::new(Lc::new()),
+        "cpop" => Box::new(Cpop::new()),
+        "dsc-llb" => Box::new(BoundedDsc::new()),
+        "bnb" => Box::new(BranchAndBound::new()),
+        _ => return Err(format!("unknown algorithm `{name}`")),
+    })
+}
+
+fn cmd_generate(opts: &Flags) -> Result<(), String> {
+    let app = load_app(opts)?;
+    let dag = app.generate(&TimingDatabase::paragon());
+    let json = io::to_json(&dag).map_err(|e| e.to_string())?;
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {app}: {} nodes, {} edges",
+                dag.node_count(),
+                dag.edge_count()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_info(opts: &Flags) -> Result<(), String> {
+    let dag = load_dag(opts)?;
+    let attrs = GraphAttributes::compute(&dag);
+    let stats = fastsched_dag::DagStats::compute(&dag);
+    println!("nodes:        {}", stats.nodes);
+    println!("edges:        {}", stats.edges);
+    println!("avg degree:   {:.2}", stats.avg_degree);
+    println!(
+        "max in/out:   {} / {}",
+        stats.max_in_degree, stats.max_out_degree
+    );
+    println!("entries:      {}", stats.entries);
+    println!("exits:        {}", stats.exits);
+    println!("height:       {}", stats.height);
+    println!("max width:    {}", stats.max_level_width);
+    println!("CCR:          {:.3}", stats.ccr);
+    println!("CP length:    {}", stats.cp_length);
+    println!("CP nodes:     {}", attrs.cpn.iter().filter(|&&c| c).count());
+    println!("total work:   {}", stats.total_computation);
+    println!("total comm:   {}", dag.total_communication());
+    println!("parallelism:  {:.2}", stats.parallelism);
+    Ok(())
+}
+
+fn cmd_dot(opts: &Flags) -> Result<(), String> {
+    let dag = load_dag(opts)?;
+    print!("{}", io::to_dot(&dag));
+    Ok(())
+}
+
+fn cmd_schedule(opts: &Flags) -> Result<(), String> {
+    let dag = load_dag(opts)?;
+    let algo = scheduler_by_name(opts.get("algo").ok_or("missing --algo")?)?;
+    let procs = get_u64_or(opts, "procs", dag.node_count() as u64)? as u32;
+    let report = run_on_dag(&dag, algo.as_ref(), procs, &SimConfig::default());
+    println!("algorithm:        {}", report.algorithm);
+    println!("schedule length:  {}", report.metrics.makespan);
+    println!("execution (sim):  {}", report.execution.execution_time);
+    println!("processors used:  {}", report.metrics.processors_used);
+    println!("speedup:          {:.2}", report.metrics.speedup);
+    println!("remote comm:      {}", report.metrics.remote_communication);
+    println!("contention delay: {}", report.execution.contention_delay);
+    println!("scheduling time:  {:?}", report.scheduling_time);
+    if opts.contains_key("gantt") {
+        println!("\n{}", gantt::render_bars(&dag, &report.schedule, 72));
+    }
+    if let Some(path) = opts.get("svg") {
+        let svg = fastsched_schedule::svg::render_svg(
+            &dag,
+            &report.schedule,
+            &fastsched_schedule::svg::SvgOptions::default(),
+        );
+        std::fs::write(path, svg).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = opts.get("out-schedule") {
+        std::fs::write(path, fastsched_schedule::io::to_json(&report.schedule))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Flags) -> Result<(), String> {
+    use fastsched_sim::topology::Topology;
+    let dag = load_dag(opts)?;
+    let sched_path = opts.get("schedule").ok_or("missing --schedule")?;
+    let text =
+        std::fs::read_to_string(sched_path).map_err(|e| format!("reading {sched_path}: {e}"))?;
+    let schedule =
+        fastsched_schedule::io::from_json(&text, dag.node_count()).map_err(|e| e.to_string())?;
+    fastsched_schedule::validate(&dag, &schedule).map_err(|e| e.to_string())?;
+
+    let procs = schedule.processors_used();
+    let topology = match opts.get("topology").map(String::as_str) {
+        None | Some("mesh") => Some(Topology::mesh_for(procs)),
+        Some("full") => Some(Topology::FullyConnected),
+        Some("torus") => {
+            let w = (procs as f64).sqrt().ceil() as u32;
+            Some(Topology::Torus2D {
+                width: w,
+                height: procs.div_ceil(w),
+            })
+        }
+        Some("hypercube") => {
+            let dim = 32 - procs.next_power_of_two().leading_zeros() - 1;
+            Some(Topology::Hypercube { dim: dim.max(1) })
+        }
+        Some(other) => return Err(format!("unknown topology `{other}`")),
+    };
+    let config = SimConfig {
+        topology,
+        hop_latency_us: get_u64_or(opts, "hop", 2)?,
+        send_overhead_us: get_u64_or(opts, "send-overhead", 0)?,
+        recv_overhead_us: get_u64_or(opts, "recv-overhead", 0)?,
+        trace: opts.contains_key("trace"),
+        ..SimConfig::default()
+    };
+    let report = fastsched_sim::simulate(&dag, &schedule, &config);
+    if let Some(path) = opts.get("trace") {
+        let json = serde_json::to_string_pretty(&report.trace).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {} events to {path}", report.trace.len());
+    }
+    println!("predicted makespan: {}", report.predicted_makespan);
+    println!("measured execution: {}", report.execution_time);
+    println!("slowdown:           {:.3}", report.slowdown_vs_prediction());
+    println!("processors used:    {}", report.processors_used);
+    println!("remote messages:    {}", report.messages);
+    println!("contention delay:   {}", report.contention_delay);
+    println!("utilization:        {:.3}", report.utilization());
+    Ok(())
+}
+
+fn cmd_compare(opts: &Flags) -> Result<(), String> {
+    let db = TimingDatabase::paragon();
+    let seed = get_u64_or(opts, "seed", 1)?;
+    let schedulers: Vec<Box<dyn Scheduler>> = if opts.contains_key("all") {
+        fastsched_algorithms::all_schedulers(seed)
+    } else {
+        paper_schedulers(seed)
+    };
+    let (app, default_procs) = if opts.contains_key("dag") {
+        let dag = load_dag(opts)?;
+        // Wrap a pre-built DAG by scheduling it directly.
+        let procs = get_u64_or(opts, "procs", dag.node_count() as u64)? as u32;
+        let sim = SimConfig::default();
+        println!(
+            "workload from --dag (v = {}, e = {})",
+            dag.node_count(),
+            dag.edge_count()
+        );
+        println!(
+            "{:<8} {:>12} {:>10} {:>12} {:>8} {:>14}",
+            "algo", "exec(us)", "norm", "makespan", "procs", "sched time"
+        );
+        let mut reference = None;
+        for s in &schedulers {
+            let r = run_on_dag(&dag, s.as_ref(), procs, &sim);
+            let base = *reference.get_or_insert(r.execution.execution_time.max(1));
+            println!(
+                "{:<8} {:>12} {:>10.2} {:>12} {:>8} {:>14?}",
+                r.algorithm,
+                r.execution.execution_time,
+                r.execution.execution_time as f64 / base as f64,
+                r.metrics.makespan,
+                r.metrics.processors_used,
+                r.scheduling_time
+            );
+        }
+        return Ok(());
+    } else {
+        let app = load_app(opts)?;
+        let v = app.generate(&db).node_count();
+        (app, v as u64)
+    };
+    let procs = get_u64_or(opts, "procs", default_procs)? as u32;
+    let table = compare_algorithms(app, &db, &schedulers, procs, &SimConfig::default());
+    print!("{}", table.render());
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! # fastsched-casch
+//!
+//! The CASCH-tool substitute (DESIGN.md §2): the paper's experiments
+//! run through CASCH, a prototype tool that takes a sequential
+//! program, generates a task graph with weights from a benchmarked
+//! timing database, schedules it with a chosen algorithm, generates
+//! parallel code, and measures the code's execution on the Intel
+//! Paragon. This crate reproduces that pipeline end to end:
+//!
+//! * [`application::Application`] — the supported programs (Gaussian
+//!   elimination, Laplace solver, FFT, random synthetic DAGs);
+//! * [`pipeline`] — application → DAG (via the timing database) →
+//!   schedule (any [`fastsched_algorithms::Scheduler`]) → validation →
+//!   simulated execution, all captured in a
+//!   [`pipeline::PipelineReport`];
+//! * [`compare`] — multi-algorithm comparison tables in the paper's
+//!   normalized format (execution time relative to FAST, processors
+//!   used, scheduling time);
+//! * the `casch` CLI binary (`src/bin/casch.rs`).
+
+#![warn(missing_docs)]
+
+pub mod application;
+pub mod compare;
+pub mod pipeline;
+
+pub use application::Application;
+pub use compare::{compare_algorithms, ComparisonRow, ComparisonTable};
+pub use pipeline::{run_on_dag, run_pipeline, PipelineReport};

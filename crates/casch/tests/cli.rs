@@ -1,0 +1,203 @@
+//! Integration tests for the `casch` CLI binary.
+
+use std::process::Command;
+
+fn casch() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_casch"))
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = casch().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = casch().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_info_schedule_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("casch-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dag_path = dir.join("gauss.json");
+
+    // generate
+    let out = casch()
+        .args(["generate", "--app", "gauss", "--size", "4", "--out"])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(dag_path.exists());
+
+    // info
+    let out = casch()
+        .args(["info", "--dag"])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("nodes:        20"), "{text}");
+    assert!(text.contains("CP length"));
+
+    // dot
+    let out = casch()
+        .args(["dot", "--dag"])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("digraph"));
+
+    // schedule with gantt
+    let out = casch()
+        .args([
+            "schedule", "--algo", "fast", "--procs", "8", "--gantt", "--dag",
+        ])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("algorithm:        FAST"));
+    assert!(text.contains("schedule length:"));
+    assert!(text.contains("PE0"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn schedule_simulate_roundtrip_with_svg() {
+    let dir = std::env::temp_dir().join(format!("casch-sim-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dag_path = dir.join("fft.json");
+    let sched_path = dir.join("sched.json");
+    let svg_path = dir.join("gantt.svg");
+
+    let out = casch()
+        .args(["generate", "--app", "fft", "--size", "16", "--out"])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = casch()
+        .args(["schedule", "--algo", "dcp", "--procs", "6"])
+        .args(["--dag"])
+        .arg(&dag_path)
+        .args(["--out-schedule"])
+        .arg(&sched_path)
+        .args(["--svg"])
+        .arg(&svg_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(sched_path.exists() && svg_path.exists());
+    let svg = std::fs::read_to_string(&svg_path).unwrap();
+    assert!(svg.starts_with("<svg"));
+
+    // Re-simulate the saved schedule on a hypercube with overheads.
+    let out = casch()
+        .args(["simulate", "--dag"])
+        .arg(&dag_path)
+        .args(["--schedule"])
+        .arg(&sched_path)
+        .args(["--topology", "hypercube", "--send-overhead", "10"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("measured execution:"));
+    assert!(text.contains("slowdown:"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn extension_algorithms_are_reachable_from_cli() {
+    let dir = std::env::temp_dir().join(format!("casch-ext-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dag_path = dir.join("g.json");
+    casch()
+        .args(["generate", "--app", "gauss", "--size", "4", "--out"])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+    for algo in ["ish", "ez", "lc", "fast-sa", "hlfet", "mcp", "heft"] {
+        let out = casch()
+            .args(["schedule", "--algo", algo, "--procs", "8", "--dag"])
+            .arg(&dag_path)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compare_runs_all_paper_algorithms() {
+    let out = casch()
+        .args(["compare", "--app", "fft", "--size", "16"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for algo in ["FAST", "DSC", "MD", "ETF", "DLS"] {
+        assert!(text.contains(algo), "missing {algo}: {text}");
+    }
+}
+
+#[test]
+fn schedule_rejects_unknown_algorithm() {
+    let out = casch()
+        .args([
+            "schedule",
+            "--algo",
+            "quantum",
+            "--dag",
+            "/nonexistent.json",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn generate_rejects_unknown_app() {
+    let out = casch()
+        .args(["generate", "--app", "doom", "--size", "4"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown app"));
+}

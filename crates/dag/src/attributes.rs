@@ -1,0 +1,284 @@
+//! The scheduling attributes of §2 of the paper: *t-level* (ASAP),
+//! *b-level*, *static level* (SL), *ALAP*, critical-path length and
+//! critical-path-node (CPN) identification.
+//!
+//! All passes are single O(v + e) sweeps over the frozen topological
+//! order.
+
+use crate::graph::{Cost, Dag, NodeId};
+
+/// The *t-level* (ASAP start time) of every node: the length of the
+/// longest path from an entry node to `n`, excluding `w(n)`.
+pub fn t_levels(dag: &Dag) -> Vec<Cost> {
+    let mut tl = vec![0; dag.node_count()];
+    for &n in dag.topo_order() {
+        let reach = tl[n.index()] + dag.weight(n);
+        for e in dag.succs(n) {
+            let cand = reach + e.cost;
+            if cand > tl[e.node.index()] {
+                tl[e.node.index()] = cand;
+            }
+        }
+    }
+    tl
+}
+
+/// The *b-level* of every node: the length of the longest path from `n`
+/// to an exit node, including `w(n)` and the communication costs along
+/// the path.
+pub fn b_levels(dag: &Dag) -> Vec<Cost> {
+    let mut bl = vec![0; dag.node_count()];
+    for &n in dag.topo_order().iter().rev() {
+        let mut best = 0;
+        for e in dag.succs(n) {
+            let cand = e.cost + bl[e.node.index()];
+            if cand > best {
+                best = cand;
+            }
+        }
+        bl[n.index()] = dag.weight(n) + best;
+    }
+    bl
+}
+
+/// The *static level* (SL, also called static b-level): like
+/// [`b_levels`] but ignoring communication costs.
+pub fn static_levels(dag: &Dag) -> Vec<Cost> {
+    let mut sl = vec![0; dag.node_count()];
+    for &n in dag.topo_order().iter().rev() {
+        let best = dag
+            .succs(n)
+            .iter()
+            .map(|e| sl[e.node.index()])
+            .max()
+            .unwrap_or(0);
+        sl[n.index()] = dag.weight(n) + best;
+    }
+    sl
+}
+
+/// All §2 attributes of a DAG, computed in three O(v + e) passes.
+#[derive(Debug, Clone)]
+pub struct GraphAttributes {
+    /// t-level (ASAP start time) per node.
+    pub t_level: Vec<Cost>,
+    /// b-level per node.
+    pub b_level: Vec<Cost>,
+    /// Static level (SL) per node.
+    pub static_level: Vec<Cost>,
+    /// ALAP start time per node: `cp_length - b_level`.
+    pub alap: Vec<Cost>,
+    /// Critical-path length: `max_n (t_level + b_level)`.
+    pub cp_length: Cost,
+    /// `cpn[n]` is `true` iff `t_level[n] + b_level[n] == cp_length`.
+    pub cpn: Vec<bool>,
+}
+
+impl GraphAttributes {
+    /// Compute every attribute for `dag`.
+    pub fn compute(dag: &Dag) -> Self {
+        let t_level = t_levels(dag);
+        let b_level = b_levels(dag);
+        let static_level = static_levels(dag);
+        let cp_length = t_level
+            .iter()
+            .zip(&b_level)
+            .map(|(&t, &b)| t + b)
+            .max()
+            .expect("non-empty graph");
+        let cpn: Vec<bool> = t_level
+            .iter()
+            .zip(&b_level)
+            .map(|(&t, &b)| t + b == cp_length)
+            .collect();
+        let alap = b_level.iter().map(|&b| cp_length - b).collect();
+        Self {
+            t_level,
+            b_level,
+            static_level,
+            alap,
+            cp_length,
+            cpn,
+        }
+    }
+
+    /// `true` if `n` lies on a critical path.
+    #[inline]
+    pub fn is_cpn(&self, n: NodeId) -> bool {
+        self.cpn[n.index()]
+    }
+
+    /// All CPNs in ascending t-level order (the order the CPN-Dominate
+    /// list walks the critical path), ties broken by node id.
+    pub fn cpns_by_t_level(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = (0..self.cpn.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.cpn[n.index()])
+            .collect();
+        out.sort_by_key(|&n| (self.t_level[n.index()], n.0));
+        out
+    }
+
+    /// One concrete critical path, as a node sequence from an entry CPN
+    /// to an exit CPN, following edges that stay tight
+    /// (`t + w + c == t_child` and child is a CPN).
+    pub fn critical_path(&self, dag: &Dag) -> Vec<NodeId> {
+        // Start at a CPN entry node with t-level 0.
+        let mut cur = (0..dag.node_count() as u32)
+            .map(NodeId)
+            .find(|&n| self.cpn[n.index()] && self.t_level[n.index()] == 0)
+            .expect("a critical path always starts at an entry node");
+        let mut path = vec![cur];
+        loop {
+            let reach = self.t_level[cur.index()] + dag.weight(cur);
+            let next = dag.succs(cur).iter().find(|e| {
+                self.cpn[e.node.index()]
+                    && reach + e.cost == self.t_level[e.node.index()]
+                    && self.b_level[cur.index()]
+                        == dag.weight(cur) + e.cost + self.b_level[e.node.index()]
+            });
+            match next {
+                Some(e) => {
+                    cur = e.node;
+                    path.push(cur);
+                }
+                None => break,
+            }
+        }
+        path
+    }
+
+    /// *Relative mobility* of every node as used by the MD algorithm:
+    /// `(ALAP - ASAP) / w(n)`. CPNs have mobility zero.
+    pub fn relative_mobility(&self, dag: &Dag) -> Vec<f64> {
+        (0..dag.node_count())
+            .map(|i| (self.alap[i] - self.t_level[i]) as f64 / dag.weights()[i] as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DagBuilder;
+
+    /// Small hand-checkable graph:
+    ///
+    /// ```text
+    ///   a(2) --4--> b(3) --2--> d(1)
+    ///     \--1--> c(5) ----1------^
+    /// ```
+    fn sample() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_task(2);
+        let nb = b.add_task(3);
+        let nc = b.add_task(5);
+        let nd = b.add_task(1);
+        b.add_edge(a, nb, 4).unwrap();
+        b.add_edge(a, nc, 1).unwrap();
+        b.add_edge(nb, nd, 2).unwrap();
+        b.add_edge(nc, nd, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn t_levels_match_hand_computation() {
+        let g = sample();
+        // t(a)=0, t(b)=2+4=6, t(c)=2+1=3, t(d)=max(6+3+2, 3+5+1)=11.
+        assert_eq!(t_levels(&g), vec![0, 6, 3, 11]);
+    }
+
+    #[test]
+    fn b_levels_match_hand_computation() {
+        let g = sample();
+        // b(d)=1, b(b)=3+2+1=6, b(c)=5+1+1=7, b(a)=2+max(4+6,1+7)=12.
+        assert_eq!(b_levels(&g), vec![12, 6, 7, 1]);
+    }
+
+    #[test]
+    fn static_levels_ignore_communication() {
+        let g = sample();
+        // sl(d)=1, sl(b)=4, sl(c)=6, sl(a)=2+6=8.
+        assert_eq!(static_levels(&g), vec![8, 4, 6, 1]);
+    }
+
+    #[test]
+    fn cp_and_alap() {
+        let g = sample();
+        let at = GraphAttributes::compute(&g);
+        assert_eq!(at.cp_length, 12);
+        // t+b: a=12*, b=12*, c=10, d=12*.
+        assert_eq!(at.cpn, vec![true, true, false, true]);
+        // ALAP = 12 - b.
+        assert_eq!(at.alap, vec![0, 6, 5, 11]);
+        // ASAP == ALAP exactly on CPNs (paper §2).
+        for n in g.nodes() {
+            assert_eq!(
+                at.t_level[n.index()] == at.alap[n.index()],
+                at.is_cpn(n),
+                "ASAP==ALAP must characterize CPNs, node {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn critical_path_is_a_tight_cpn_path() {
+        let g = sample();
+        let at = GraphAttributes::compute(&g);
+        let cp = at.critical_path(&g);
+        assert_eq!(cp, vec![NodeId(0), NodeId(1), NodeId(3)]);
+        // Path length equals CP length.
+        let mut len = 0;
+        for w in cp.windows(2) {
+            len += g.weight(w[0]) + g.edge_cost(w[0], w[1]).unwrap();
+        }
+        len += g.weight(*cp.last().unwrap());
+        assert_eq!(len, at.cp_length);
+    }
+
+    #[test]
+    fn cpns_sorted_by_t_level() {
+        let g = sample();
+        let at = GraphAttributes::compute(&g);
+        assert_eq!(at.cpns_by_t_level(), vec![NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn relative_mobility_zero_exactly_on_cpns() {
+        let g = sample();
+        let at = GraphAttributes::compute(&g);
+        let mob = at.relative_mobility(&g);
+        for n in g.nodes() {
+            assert_eq!(mob[n.index()] == 0.0, at.is_cpn(n));
+        }
+        // c: (5 - 3) / 5 = 0.4.
+        assert!((mob[2] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut b = DagBuilder::new();
+        b.add_task(7);
+        let g = b.build().unwrap();
+        let at = GraphAttributes::compute(&g);
+        assert_eq!(at.cp_length, 7);
+        assert_eq!(at.t_level, vec![0]);
+        assert_eq!(at.b_level, vec![7]);
+        assert!(at.cpn[0]);
+    }
+
+    #[test]
+    fn disconnected_components_share_cp_length() {
+        // Two isolated chains; CP length is the longer one.
+        let mut b = DagBuilder::new();
+        let a = b.add_task(10);
+        let c = b.add_task(2);
+        let d = b.add_task(3);
+        b.add_edge(c, d, 1).unwrap();
+        let g = b.build().unwrap();
+        let at = GraphAttributes::compute(&g);
+        assert_eq!(at.cp_length, 10);
+        assert!(at.is_cpn(a));
+        assert!(!at.is_cpn(c) && !at.is_cpn(d));
+    }
+}

@@ -1,0 +1,478 @@
+//! Core weighted-DAG representation.
+//!
+//! The working representation is an immutable CSR (compressed sparse
+//! row) adjacency in both directions, frozen together with a
+//! topological order at build time. All attribute passes in this crate
+//! are single sweeps over the CSR arrays, which is what makes the
+//! paper's O(e) bounds achievable in practice (no per-node allocation,
+//! no hashing on the hot path).
+
+use crate::error::DagError;
+use serde::{Deserialize, Serialize};
+
+/// Computation / communication cost unit.
+///
+/// Costs are integral "time units" (the workloads crate uses
+/// microseconds from its timing database). Integral costs keep every
+/// attribute and schedule computation exact, so tests can assert
+/// equality rather than tolerances.
+pub type Cost = u64;
+
+/// Dense node identifier: an index into the graph's node arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's dense index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+use std::fmt;
+
+/// A directed edge endpoint as seen from one side: the other node and
+/// the communication cost of the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRef {
+    /// The node on the other end of the edge.
+    pub node: NodeId,
+    /// Communication cost `c(n_i, n_j)` of the message.
+    pub cost: Cost,
+}
+
+/// Immutable node- and edge-weighted directed acyclic graph.
+///
+/// Construct through [`DagBuilder`]. Nodes are identified by dense
+/// [`NodeId`]s in insertion order; `dag.topo_order()` exposes a frozen
+/// topological order computed once at build time.
+#[derive(Debug, Clone)]
+pub struct Dag {
+    weights: Vec<Cost>,
+    names: Vec<String>,
+    // CSR successors.
+    succ_offsets: Vec<u32>,
+    succ_edges: Vec<EdgeRef>,
+    // CSR predecessors.
+    pred_offsets: Vec<u32>,
+    pred_edges: Vec<EdgeRef>,
+    topo: Vec<NodeId>,
+}
+
+impl Dag {
+    /// Number of nodes `v`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of edges `e`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.succ_edges.len()
+    }
+
+    /// Computation cost `w(n)` of a node.
+    #[inline]
+    pub fn weight(&self, n: NodeId) -> Cost {
+        self.weights[n.index()]
+    }
+
+    /// All node computation costs, indexed by `NodeId`.
+    #[inline]
+    pub fn weights(&self) -> &[Cost] {
+        &self.weights
+    }
+
+    /// Human-readable node name (defaults to `n<i>`).
+    #[inline]
+    pub fn name(&self, n: NodeId) -> &str {
+        &self.names[n.index()]
+    }
+
+    /// Iterator over all node ids in insertion order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Successor edges of `n` (messages `n` sends).
+    #[inline]
+    pub fn succs(&self, n: NodeId) -> &[EdgeRef] {
+        let lo = self.succ_offsets[n.index()] as usize;
+        let hi = self.succ_offsets[n.index() + 1] as usize;
+        &self.succ_edges[lo..hi]
+    }
+
+    /// Predecessor edges of `n` (messages `n` receives).
+    #[inline]
+    pub fn preds(&self, n: NodeId) -> &[EdgeRef] {
+        let lo = self.pred_offsets[n.index()] as usize;
+        let hi = self.pred_offsets[n.index() + 1] as usize;
+        &self.pred_edges[lo..hi]
+    }
+
+    /// Out-degree of `n`.
+    #[inline]
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.succs(n).len()
+    }
+
+    /// In-degree of `n`.
+    #[inline]
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.preds(n).len()
+    }
+
+    /// `true` if `n` has no parents.
+    #[inline]
+    pub fn is_entry(&self, n: NodeId) -> bool {
+        self.in_degree(n) == 0
+    }
+
+    /// `true` if `n` has no children.
+    #[inline]
+    pub fn is_exit(&self, n: NodeId) -> bool {
+        self.out_degree(n) == 0
+    }
+
+    /// All entry nodes (no parents), in id order.
+    pub fn entry_nodes(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&n| self.is_entry(n)).collect()
+    }
+
+    /// All exit nodes (no children), in id order.
+    pub fn exit_nodes(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&n| self.is_exit(n)).collect()
+    }
+
+    /// Communication cost of the edge `(src, dst)`, if that edge exists.
+    pub fn edge_cost(&self, src: NodeId, dst: NodeId) -> Option<Cost> {
+        self.succs(src)
+            .iter()
+            .find(|e| e.node == dst)
+            .map(|e| e.cost)
+    }
+
+    /// A topological order of the nodes, frozen at build time.
+    ///
+    /// The order is deterministic: among ready nodes, smaller ids come
+    /// first (Kahn's algorithm with an index-ordered frontier).
+    #[inline]
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Sum of all computation costs (the sequential execution time,
+    /// and a trivial upper bound on any single-processor schedule).
+    pub fn total_computation(&self) -> Cost {
+        self.weights.iter().sum()
+    }
+
+    /// Sum of all communication costs.
+    pub fn total_communication(&self) -> Cost {
+        self.succ_edges.iter().map(|e| e.cost).sum()
+    }
+
+    /// Communication-to-computation ratio (CCR): average communication
+    /// cost divided by average computation cost (§2 of the paper).
+    /// Returns 0.0 for a graph with no edges.
+    pub fn ccr(&self) -> f64 {
+        if self.edge_count() == 0 {
+            return 0.0;
+        }
+        let avg_comm = self.total_communication() as f64 / self.edge_count() as f64;
+        let avg_comp = self.total_computation() as f64 / self.node_count() as f64;
+        avg_comm / avg_comp
+    }
+
+    /// Iterate over all edges as `(src, dst, cost)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Cost)> + '_ {
+        self.nodes()
+            .flat_map(move |src| self.succs(src).iter().map(move |e| (src, e.node, e.cost)))
+    }
+}
+
+/// Incremental builder for [`Dag`].
+///
+/// Collects nodes and edges, then [`DagBuilder::build`] validates
+/// (unknown ids, self-loops, duplicate edges, zero weights, cycles) and
+/// freezes the CSR representation and topological order.
+#[derive(Debug, Default, Clone)]
+pub struct DagBuilder {
+    weights: Vec<Cost>,
+    names: Vec<String>,
+    edges: Vec<(NodeId, NodeId, Cost)>,
+}
+
+impl DagBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder with preallocated capacity for `nodes` nodes and `edges`
+    /// edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Self {
+            weights: Vec::with_capacity(nodes),
+            names: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Add a task with the given name and computation cost; returns its
+    /// id. Zero weights are rejected at `build` time.
+    pub fn add_node(&mut self, name: impl Into<String>, weight: Cost) -> NodeId {
+        let id = NodeId(self.weights.len() as u32);
+        self.weights.push(weight);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Add an anonymous task (named `n<i>`).
+    pub fn add_task(&mut self, weight: Cost) -> NodeId {
+        let id = NodeId(self.weights.len() as u32);
+        self.weights.push(weight);
+        self.names.push(format!("n{}", id.0));
+        id
+    }
+
+    /// Add a directed message edge `src → dst` with communication cost
+    /// `cost`. Fails fast on unknown endpoints or self-loops; duplicate
+    /// edges are caught at `build` time.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, cost: Cost) -> Result<(), DagError> {
+        let n = self.weights.len() as u32;
+        if src.0 >= n {
+            return Err(DagError::UnknownNode(src.0));
+        }
+        if dst.0 >= n {
+            return Err(DagError::UnknownNode(dst.0));
+        }
+        if src == dst {
+            return Err(DagError::SelfLoop(src.0));
+        }
+        self.edges.push((src, dst, cost));
+        Ok(())
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Validate and freeze into an immutable [`Dag`].
+    pub fn build(self) -> Result<Dag, DagError> {
+        let v = self.weights.len();
+        if v == 0 {
+            return Err(DagError::Empty);
+        }
+        if let Some(i) = self.weights.iter().position(|&w| w == 0) {
+            return Err(DagError::ZeroWeight(i as u32));
+        }
+
+        // Degree counts for CSR offsets.
+        let mut succ_offsets = vec![0u32; v + 1];
+        let mut pred_offsets = vec![0u32; v + 1];
+        for &(s, d, _) in &self.edges {
+            succ_offsets[s.index() + 1] += 1;
+            pred_offsets[d.index() + 1] += 1;
+        }
+        for i in 0..v {
+            succ_offsets[i + 1] += succ_offsets[i];
+            pred_offsets[i + 1] += pred_offsets[i];
+        }
+
+        let e = self.edges.len();
+        let mut succ_edges = vec![
+            EdgeRef {
+                node: NodeId(0),
+                cost: 0
+            };
+            e
+        ];
+        let mut pred_edges = succ_edges.clone();
+        let mut succ_fill = succ_offsets.clone();
+        let mut pred_fill = pred_offsets.clone();
+        for &(s, d, c) in &self.edges {
+            let si = succ_fill[s.index()] as usize;
+            succ_edges[si] = EdgeRef { node: d, cost: c };
+            succ_fill[s.index()] += 1;
+            let pi = pred_fill[d.index()] as usize;
+            pred_edges[pi] = EdgeRef { node: s, cost: c };
+            pred_fill[d.index()] += 1;
+        }
+
+        // Sort each adjacency run by neighbour id: deterministic
+        // iteration order and O(deg log deg) duplicate detection.
+        for i in 0..v {
+            let (lo, hi) = (succ_offsets[i] as usize, succ_offsets[i + 1] as usize);
+            succ_edges[lo..hi].sort_unstable_by_key(|e| e.node);
+            if let Some(w) = succ_edges[lo..hi]
+                .windows(2)
+                .find(|w| w[0].node == w[1].node)
+            {
+                return Err(DagError::DuplicateEdge(i as u32, w[0].node.0));
+            }
+            let (lo, hi) = (pred_offsets[i] as usize, pred_offsets[i + 1] as usize);
+            pred_edges[lo..hi].sort_unstable_by_key(|e| e.node);
+        }
+
+        let mut dag = Dag {
+            weights: self.weights,
+            names: self.names,
+            succ_offsets,
+            succ_edges,
+            pred_offsets,
+            pred_edges,
+            topo: Vec::new(),
+        };
+        dag.topo = crate::topo::topological_order(&dag)?;
+        Ok(dag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_task(1);
+        let c = b.add_task(2);
+        let d = b.add_task(3);
+        b.add_edge(a, c, 5).unwrap();
+        b.add_edge(c, d, 7).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_weights() {
+        let g = chain3();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.weight(NodeId(1)), 2);
+        assert_eq!(g.total_computation(), 6);
+        assert_eq!(g.total_communication(), 12);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = chain3();
+        assert_eq!(
+            g.succs(NodeId(0)),
+            &[EdgeRef {
+                node: NodeId(1),
+                cost: 5
+            }]
+        );
+        assert_eq!(
+            g.preds(NodeId(1)),
+            &[EdgeRef {
+                node: NodeId(0),
+                cost: 5
+            }]
+        );
+        assert_eq!(g.edge_cost(NodeId(1), NodeId(2)), Some(7));
+        assert_eq!(g.edge_cost(NodeId(2), NodeId(1)), None);
+    }
+
+    #[test]
+    fn entry_and_exit_detection() {
+        let g = chain3();
+        assert_eq!(g.entry_nodes(), vec![NodeId(0)]);
+        assert_eq!(g.exit_nodes(), vec![NodeId(2)]);
+        assert!(g.is_entry(NodeId(0)) && !g.is_entry(NodeId(1)));
+        assert!(g.is_exit(NodeId(2)) && !g.is_exit(NodeId(1)));
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert_eq!(DagBuilder::new().build().unwrap_err(), DagError::Empty);
+    }
+
+    #[test]
+    fn rejects_zero_weight() {
+        let mut b = DagBuilder::new();
+        b.add_task(0);
+        assert_eq!(b.build().unwrap_err(), DagError::ZeroWeight(0));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task(1);
+        assert_eq!(b.add_edge(a, a, 1).unwrap_err(), DagError::SelfLoop(0));
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task(1);
+        assert_eq!(
+            b.add_edge(a, NodeId(7), 1).unwrap_err(),
+            DagError::UnknownNode(7)
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task(1);
+        let c = b.add_task(1);
+        b.add_edge(a, c, 1).unwrap();
+        b.add_edge(a, c, 2).unwrap();
+        assert_eq!(b.build().unwrap_err(), DagError::DuplicateEdge(0, 1));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task(1);
+        let c = b.add_task(1);
+        let d = b.add_task(1);
+        b.add_edge(a, c, 1).unwrap();
+        b.add_edge(c, d, 1).unwrap();
+        b.add_edge(d, a, 1).unwrap();
+        assert!(matches!(b.build().unwrap_err(), DagError::Cycle(_)));
+    }
+
+    #[test]
+    fn ccr_matches_definition() {
+        let g = chain3();
+        // avg comm = 6, avg comp = 2 → CCR = 3.
+        assert!((g.ccr() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_iterator_yields_all_edges() {
+        let g = chain3();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(
+            edges,
+            vec![(NodeId(0), NodeId(1), 5), (NodeId(1), NodeId(2), 7)]
+        );
+    }
+
+    #[test]
+    fn names_default_and_custom() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node("alpha", 1);
+        let c = b.add_task(1);
+        b.add_edge(a, c, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.name(a), "alpha");
+        assert_eq!(g.name(c), "n1");
+    }
+}

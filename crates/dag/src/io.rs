@@ -1,0 +1,170 @@
+//! DAG (de)serialization: Graphviz DOT export and a JSON interchange
+//! format used by the `casch` CLI.
+
+use crate::error::DagError;
+use crate::graph::{Cost, Dag, DagBuilder, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Serializable description of a task graph.
+///
+/// This is the on-disk format consumed and produced by the `casch`
+/// CLI (`casch schedule --dag graph.json ...`).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct DagSpec {
+    /// Tasks, in id order.
+    pub nodes: Vec<NodeSpec>,
+    /// Message edges.
+    pub edges: Vec<EdgeSpec>,
+}
+
+/// One task in a [`DagSpec`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Computation cost `w(n)`.
+    pub weight: Cost,
+}
+
+/// One message edge in a [`DagSpec`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct EdgeSpec {
+    /// Source node index.
+    pub src: u32,
+    /// Destination node index.
+    pub dst: u32,
+    /// Communication cost `c(src, dst)`.
+    pub cost: Cost,
+}
+
+impl DagSpec {
+    /// Capture an existing graph as a spec.
+    pub fn from_dag(dag: &Dag) -> Self {
+        let nodes = dag
+            .nodes()
+            .map(|n| NodeSpec {
+                name: dag.name(n).to_string(),
+                weight: dag.weight(n),
+            })
+            .collect();
+        let edges = dag
+            .edges()
+            .map(|(s, d, c)| EdgeSpec {
+                src: s.0,
+                dst: d.0,
+                cost: c,
+            })
+            .collect();
+        Self { nodes, edges }
+    }
+
+    /// Validate and build the described graph.
+    pub fn build(&self) -> Result<Dag, DagError> {
+        let mut b = DagBuilder::with_capacity(self.nodes.len(), self.edges.len());
+        for n in &self.nodes {
+            b.add_node(n.name.clone(), n.weight);
+        }
+        for e in &self.edges {
+            b.add_edge(NodeId(e.src), NodeId(e.dst), e.cost)?;
+        }
+        b.build()
+    }
+}
+
+/// Serialize a graph to pretty-printed JSON.
+pub fn to_json(dag: &Dag) -> Result<String, DagError> {
+    serde_json::to_string_pretty(&DagSpec::from_dag(dag))
+        .map_err(|e| DagError::Serde(e.to_string()))
+}
+
+/// Parse a graph from JSON produced by [`to_json`].
+pub fn from_json(s: &str) -> Result<Dag, DagError> {
+    let spec: DagSpec = serde_json::from_str(s).map_err(|e| DagError::Serde(e.to_string()))?;
+    spec.build()
+}
+
+/// Render the graph in Graphviz DOT syntax. Node labels show
+/// `name (weight)`; edge labels show the communication cost.
+pub fn to_dot(dag: &Dag) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(64 * dag.node_count());
+    out.push_str("digraph dag {\n  rankdir=TB;\n  node [shape=circle];\n");
+    for n in dag.nodes() {
+        writeln!(
+            out,
+            "  {} [label=\"{} ({})\"];",
+            n.0,
+            dag.name(n),
+            dag.weight(n)
+        )
+        .unwrap();
+    }
+    for (s, d, c) in dag.edges() {
+        writeln!(out, "  {} -> {} [label=\"{}\"];", s.0, d.0, c).unwrap();
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_node("src", 2);
+        let c = b.add_node("dst", 3);
+        b.add_edge(a, c, 4).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_structure() {
+        let g = sample();
+        let json = to_json(&g).unwrap();
+        let g2 = from_json(&json).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        assert_eq!(g2.name(NodeId(0)), "src");
+        assert_eq!(g2.weight(NodeId(1)), 3);
+        assert_eq!(g2.edge_cost(NodeId(0), NodeId(1)), Some(4));
+    }
+
+    #[test]
+    fn spec_roundtrip_is_identity() {
+        let g = sample();
+        let spec = DagSpec::from_dag(&g);
+        let spec2 = DagSpec::from_dag(&spec.build().unwrap());
+        assert_eq!(spec, spec2);
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        let spec = DagSpec {
+            nodes: vec![NodeSpec {
+                name: "a".into(),
+                weight: 1,
+            }],
+            edges: vec![EdgeSpec {
+                src: 0,
+                dst: 5,
+                cost: 1,
+            }],
+        };
+        assert_eq!(spec.build().unwrap_err(), DagError::UnknownNode(5));
+    }
+
+    #[test]
+    fn malformed_json_reports_serde_error() {
+        assert!(matches!(from_json("{oops"), Err(DagError::Serde(_))));
+    }
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let dot = to_dot(&sample());
+        assert!(dot.starts_with("digraph dag {"));
+        assert!(dot.contains("0 [label=\"src (2)\"];"));
+        assert!(dot.contains("0 -> 1 [label=\"4\"];"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,60 @@
+//! # fastsched-dag
+//!
+//! Weighted task-graph (DAG) model for static multiprocessor scheduling,
+//! built for the reproduction of *FAST: A Low-Complexity Algorithm for
+//! Efficient Scheduling of DAGs on Parallel Processors* (Kwok, Ahmad and
+//! Gu, ICPP 1996).
+//!
+//! A parallel program is modeled as a node- and edge-weighted directed
+//! acyclic graph `G = (V, E)`: nodes are tasks with a *computation cost*
+//! `w(n)`, edges are messages with a *communication cost* `c(n_i, n_j)`.
+//! This crate provides:
+//!
+//! * [`Dag`] — an immutable, cache-friendly CSR representation with a
+//!   frozen topological order, produced by [`DagBuilder`];
+//! * [`attributes`] — the O(e) passes the paper relies on: *t-level*
+//!   (ASAP), *b-level*, *static level* (SL), *ALAP*, critical-path
+//!   length, and critical-path-node identification;
+//! * [`classify`] — the CPN / IBN / OBN node partition of §4.1;
+//! * [`cpn_list`] — the CPN-Dominate list construction of §4.1;
+//! * [`io`] — DOT export and JSON (de)serialization;
+//! * [`examples`] — the reconstructed Figure 1 example graph and other
+//!   small graphs used across the workspace tests.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fastsched_dag::{DagBuilder, attributes::GraphAttributes};
+//!
+//! let mut b = DagBuilder::new();
+//! let a = b.add_node("a", 2);
+//! let c = b.add_node("c", 3);
+//! b.add_edge(a, c, 4).unwrap();
+//! let dag = b.build().unwrap();
+//!
+//! let attrs = GraphAttributes::compute(&dag);
+//! assert_eq!(attrs.cp_length, 2 + 4 + 3);
+//! assert!(attrs.is_cpn(a) && attrs.is_cpn(c));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod attributes;
+pub mod classify;
+pub mod cpn_list;
+pub mod error;
+pub mod examples;
+pub mod graph;
+pub mod io;
+pub mod io_text;
+pub mod stats;
+pub mod topo;
+pub mod transform;
+
+pub use attributes::GraphAttributes;
+pub use classify::{classify_nodes, NodeClass};
+pub use cpn_list::{cpn_dominate_list, CpnListConfig, ObnOrder};
+pub use error::DagError;
+pub use graph::{Cost, Dag, DagBuilder, EdgeRef, NodeId};
+pub use stats::DagStats;
+pub use transform::{merge_linear_chains, scale_communication, ChainMerge};

@@ -1,0 +1,110 @@
+//! Structural statistics of a task graph, used by the CLI's `info`
+//! command and by experiment reports.
+
+use crate::attributes::GraphAttributes;
+use crate::graph::{Cost, Dag};
+use crate::topo::{depths, height};
+
+/// Summary statistics of a DAG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagStats {
+    /// Node count `v`.
+    pub nodes: usize,
+    /// Edge count `e`.
+    pub edges: usize,
+    /// Average out-degree `e / v`.
+    pub avg_degree: f64,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Number of entry nodes.
+    pub entries: usize,
+    /// Number of exit nodes.
+    pub exits: usize,
+    /// Longest path in edge count ("levels" in a layered drawing).
+    pub height: u32,
+    /// Maximum number of nodes sharing one depth — a cheap lower-bound
+    /// estimate of the graph's width (available parallelism).
+    pub max_level_width: usize,
+    /// Critical-path length (with communication).
+    pub cp_length: Cost,
+    /// Total computation (serial time).
+    pub total_computation: Cost,
+    /// Communication-to-computation ratio.
+    pub ccr: f64,
+    /// `total_computation / cp_length` — the speedup an unbounded
+    /// machine could at best approach if communication were free.
+    pub parallelism: f64,
+}
+
+impl DagStats {
+    /// Compute every statistic for `dag`.
+    pub fn compute(dag: &Dag) -> Self {
+        let attrs = GraphAttributes::compute(dag);
+        let d = depths(dag);
+        let h = height(dag);
+        let mut level_width = vec![0usize; h as usize];
+        for n in dag.nodes() {
+            level_width[d[n.index()] as usize] += 1;
+        }
+        let cp_comp: Cost = attrs
+            .critical_path(dag)
+            .iter()
+            .map(|&n| dag.weight(n))
+            .sum();
+        Self {
+            nodes: dag.node_count(),
+            edges: dag.edge_count(),
+            avg_degree: dag.edge_count() as f64 / dag.node_count() as f64,
+            max_in_degree: dag.nodes().map(|n| dag.in_degree(n)).max().unwrap_or(0),
+            max_out_degree: dag.nodes().map(|n| dag.out_degree(n)).max().unwrap_or(0),
+            entries: dag.entry_nodes().len(),
+            exits: dag.exit_nodes().len(),
+            height: h,
+            max_level_width: level_width.into_iter().max().unwrap_or(0),
+            cp_length: attrs.cp_length,
+            total_computation: dag.total_computation(),
+            ccr: dag.ccr(),
+            parallelism: dag.total_computation() as f64 / cp_comp.max(1) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{chain, fork_join, paper_figure1};
+
+    #[test]
+    fn chain_stats() {
+        let s = DagStats::compute(&chain(5, 2, 3));
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.height, 5);
+        assert_eq!(s.max_level_width, 1);
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.exits, 1);
+        assert!((s.parallelism - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fork_join_stats() {
+        let s = DagStats::compute(&fork_join(6, 4, 1));
+        assert_eq!(s.max_level_width, 6);
+        assert_eq!(s.height, 3);
+        assert_eq!(s.max_out_degree, 6);
+        assert_eq!(s.max_in_degree, 6);
+        // 8 tasks of 4 over a 3-task critical chain: parallelism 8/3.
+        assert!((s.parallelism - 8.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure1_stats() {
+        let s = DagStats::compute(&paper_figure1());
+        assert_eq!(s.nodes, 9);
+        assert_eq!(s.edges, 12);
+        assert_eq!(s.cp_length, 23);
+        assert_eq!(s.total_computation, 30);
+    }
+}

@@ -1,0 +1,159 @@
+//! Topological ordering and reachability helpers.
+
+use crate::error::DagError;
+use crate::graph::{Dag, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Compute a deterministic topological order with Kahn's algorithm,
+/// breaking ties by smallest node id. Returns `DagError::Cycle` if the
+/// edge set is cyclic.
+pub fn topological_order(dag: &Dag) -> Result<Vec<NodeId>, DagError> {
+    let v = dag.node_count();
+    let mut indeg: Vec<u32> = (0..v)
+        .map(|i| dag.in_degree(NodeId(i as u32)) as u32)
+        .collect();
+    let mut heap: BinaryHeap<Reverse<u32>> = indeg
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| Reverse(i as u32))
+        .collect();
+
+    let mut order = Vec::with_capacity(v);
+    while let Some(Reverse(i)) = heap.pop() {
+        let n = NodeId(i);
+        order.push(n);
+        for e in dag.succs(n) {
+            let d = &mut indeg[e.node.index()];
+            *d -= 1;
+            if *d == 0 {
+                heap.push(Reverse(e.node.0));
+            }
+        }
+    }
+    if order.len() != v {
+        // Some node still has positive in-degree: it is on (or behind) a cycle.
+        let stuck = indeg.iter().position(|&d| d > 0).unwrap() as u32;
+        return Err(DagError::Cycle(stuck));
+    }
+    Ok(order)
+}
+
+/// `true` if `order` is a valid topological order of `dag` containing
+/// every node exactly once.
+pub fn is_topological_order(dag: &Dag, order: &[NodeId]) -> bool {
+    if order.len() != dag.node_count() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; dag.node_count()];
+    for (i, &n) in order.iter().enumerate() {
+        if n.index() >= dag.node_count() || pos[n.index()] != usize::MAX {
+            return false;
+        }
+        pos[n.index()] = i;
+    }
+    dag.edges().all(|(s, d, _)| pos[s.index()] < pos[d.index()])
+}
+
+/// Set of nodes from which at least one node in `targets` is reachable
+/// (including the targets themselves). Runs one reverse BFS seeded with
+/// all targets: O(v + e).
+pub fn reaches_any(dag: &Dag, targets: &[NodeId]) -> Vec<bool> {
+    let mut seen = vec![false; dag.node_count()];
+    let mut stack: Vec<NodeId> = Vec::with_capacity(targets.len());
+    for &t in targets {
+        if !seen[t.index()] {
+            seen[t.index()] = true;
+            stack.push(t);
+        }
+    }
+    while let Some(n) = stack.pop() {
+        for e in dag.preds(n) {
+            if !seen[e.node.index()] {
+                seen[e.node.index()] = true;
+                stack.push(e.node);
+            }
+        }
+    }
+    seen
+}
+
+/// Depth of each node: the number of edges on the longest edge-count
+/// path from an entry node (entries have depth 0).
+pub fn depths(dag: &Dag) -> Vec<u32> {
+    let mut depth = vec![0u32; dag.node_count()];
+    for &n in dag.topo_order() {
+        for e in dag.succs(n) {
+            let d = depth[n.index()] + 1;
+            if d > depth[e.node.index()] {
+                depth[e.node.index()] = d;
+            }
+        }
+    }
+    depth
+}
+
+/// The height of the DAG: the maximum [`depths`] value plus one (the
+/// number of "levels" in a layered drawing).
+pub fn height(dag: &Dag) -> u32 {
+    depths(dag).into_iter().max().map_or(0, |d| d + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DagBuilder;
+
+    fn diamond() -> Dag {
+        // a → b, a → c, b → d, c → d
+        let mut b = DagBuilder::new();
+        let n: Vec<_> = (0..4).map(|_| b.add_task(1)).collect();
+        b.add_edge(n[0], n[1], 1).unwrap();
+        b.add_edge(n[0], n[2], 1).unwrap();
+        b.add_edge(n[1], n[3], 1).unwrap();
+        b.add_edge(n[2], n[3], 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn topo_order_is_valid_and_deterministic() {
+        let g = diamond();
+        let order = g.topo_order();
+        assert!(is_topological_order(&g, order));
+        // Kahn with min-id tie-break: 0, 1, 2, 3.
+        assert_eq!(order, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn is_topological_order_rejects_bad_orders() {
+        let g = diamond();
+        assert!(!is_topological_order(
+            &g,
+            &[NodeId(1), NodeId(0), NodeId(2), NodeId(3)]
+        ));
+        // Wrong length.
+        assert!(!is_topological_order(&g, &[NodeId(0)]));
+        // Duplicate entry.
+        assert!(!is_topological_order(
+            &g,
+            &[NodeId(0), NodeId(1), NodeId(1), NodeId(3)]
+        ));
+    }
+
+    #[test]
+    fn reaches_any_finds_all_ancestors() {
+        let g = diamond();
+        let r = reaches_any(&g, &[NodeId(3)]);
+        assert_eq!(r, vec![true, true, true, true]);
+        let r = reaches_any(&g, &[NodeId(1)]);
+        assert_eq!(r, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn depths_and_height() {
+        let g = diamond();
+        assert_eq!(depths(&g), vec![0, 1, 1, 2]);
+        assert_eq!(height(&g), 3);
+    }
+}

@@ -1,0 +1,229 @@
+//! Post-hoc schedule analysis: what actually determines the makespan?
+//!
+//! [`bottleneck_chain`] walks backwards from the last-finishing task,
+//! at each step attributing the wait to either the preceding task on
+//! the same processor (a *processor* dependence) or the
+//! latest-arriving message (a *data* dependence). The result is the
+//! schedule's own critical chain — the thing a refinement step (like
+//! FAST's blocking-node transfers) must break to improve the schedule.
+//! [`idle_profile`] reports how each processor's time splits between
+//! busy and idle.
+
+use crate::schedule::{ProcId, Schedule};
+use fastsched_dag::{Cost, Dag, NodeId};
+
+/// Why a task on the bottleneck chain could not start earlier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitReason {
+    /// First task of the chain: started at time zero (or was an entry
+    /// task whose start equals its data arrival).
+    ChainHead,
+    /// Waited for the previous task on the same processor to finish.
+    Processor(NodeId),
+    /// Waited for a message (or local result) from this parent.
+    Data(NodeId),
+}
+
+/// One link of the bottleneck chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainLink {
+    /// The task.
+    pub node: NodeId,
+    /// What it waited for.
+    pub reason: WaitReason,
+}
+
+/// Extract the bottleneck chain of a complete, valid schedule, from
+/// chain head to the last-finishing task.
+pub fn bottleneck_chain(dag: &Dag, schedule: &Schedule) -> Vec<ChainLink> {
+    debug_assert!(schedule.is_complete());
+    // Previous task on the same processor, by start time.
+    let mut prev_on_proc: Vec<Option<NodeId>> = vec![None; dag.node_count()];
+    for lane in schedule.timelines() {
+        for w in lane.windows(2) {
+            prev_on_proc[w[1].node.index()] = Some(w[0].node);
+        }
+    }
+
+    let last = schedule
+        .tasks()
+        .max_by_key(|t| (t.finish, t.node.0))
+        .expect("complete schedule")
+        .node;
+
+    let mut chain = Vec::new();
+    let mut cur = last;
+    loop {
+        let task = schedule.task(cur).expect("complete");
+        // Processor dependence: the previous lane task finished exactly
+        // when this one started.
+        if let Some(prev) = prev_on_proc[cur.index()] {
+            if schedule.finish_of(prev) == Some(task.start) {
+                chain.push(ChainLink {
+                    node: cur,
+                    reason: WaitReason::Processor(prev),
+                });
+                cur = prev;
+                continue;
+            }
+        }
+        // Data dependence: a parent whose arrival equals the start.
+        let binding_parent = dag.preds(cur).iter().find(|e| {
+            let pt = schedule.task(e.node).expect("complete");
+            let arrival = if pt.proc == task.proc {
+                pt.finish
+            } else {
+                pt.finish + e.cost
+            };
+            arrival == task.start
+        });
+        match binding_parent {
+            Some(e) => {
+                chain.push(ChainLink {
+                    node: cur,
+                    reason: WaitReason::Data(e.node),
+                });
+                cur = e.node;
+            }
+            None => {
+                chain.push(ChainLink {
+                    node: cur,
+                    reason: WaitReason::ChainHead,
+                });
+                break;
+            }
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+/// Per-processor busy/idle breakdown over `[0, makespan]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcProfile {
+    /// Processor id.
+    pub proc: ProcId,
+    /// Total busy time.
+    pub busy: Cost,
+    /// Idle time before the first task.
+    pub lead_idle: Cost,
+    /// Idle time between tasks.
+    pub gap_idle: Cost,
+    /// Idle time after the last task until the makespan.
+    pub tail_idle: Cost,
+}
+
+/// Compute the idle/busy profile of every *used* processor.
+pub fn idle_profile(schedule: &Schedule) -> Vec<ProcProfile> {
+    let makespan = schedule.makespan();
+    schedule
+        .timelines()
+        .into_iter()
+        .enumerate()
+        .filter(|(_, lane)| !lane.is_empty())
+        .map(|(p, lane)| {
+            let busy: Cost = lane.iter().map(|t| t.finish - t.start).sum();
+            let lead_idle = lane[0].start;
+            let gap_idle: Cost = lane.windows(2).map(|w| w[1].start - w[0].finish).sum();
+            let tail_idle = makespan - lane.last().unwrap().finish;
+            ProcProfile {
+                proc: ProcId(p as u32),
+                busy,
+                lead_idle,
+                gap_idle,
+                tail_idle,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::evaluate_fixed_order;
+    use fastsched_dag::examples::paper_figure1;
+    use fastsched_dag::DagBuilder;
+
+    fn two_proc_schedule() -> (fastsched_dag::Dag, Schedule) {
+        // a(3) →5→ b(2); c(4) independent on the other processor.
+        let mut bld = DagBuilder::new();
+        let a = bld.add_task(3);
+        let b = bld.add_task(2);
+        let _c = bld.add_task(4);
+        bld.add_edge(a, b, 5).unwrap();
+        let g = bld.build().unwrap();
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        let assignment = vec![ProcId(0), ProcId(1), ProcId(1)];
+        let s = evaluate_fixed_order(&g, &order, &assignment, 2);
+        (g, s)
+    }
+
+    #[test]
+    fn chain_attributes_data_and_processor_waits() {
+        let (g, s) = two_proc_schedule();
+        // a: P0 0–3. b: P1, waits for a's message (3 + 5 = 8), 8–10.
+        // c: P1 after b, 10–14 — the last task.
+        let chain = bottleneck_chain(&g, &s);
+        assert_eq!(
+            chain,
+            vec![
+                ChainLink {
+                    node: NodeId(0),
+                    reason: WaitReason::ChainHead
+                },
+                ChainLink {
+                    node: NodeId(1),
+                    reason: WaitReason::Data(NodeId(0))
+                },
+                ChainLink {
+                    node: NodeId(2),
+                    reason: WaitReason::Processor(NodeId(1))
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn chain_follows_processor_dependences() {
+        // Two independent tasks serialized on one processor.
+        let mut bld = DagBuilder::new();
+        bld.add_task(5);
+        bld.add_task(7);
+        let g = bld.build().unwrap();
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        let s = evaluate_fixed_order(&g, &order, &[ProcId(0); 2], 1);
+        let chain = bottleneck_chain(&g, &s);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[1].reason, WaitReason::Processor(NodeId(0)));
+    }
+
+    #[test]
+    fn chain_spans_start_to_makespan_on_the_example() {
+        let g = paper_figure1();
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        let s = evaluate_fixed_order(&g, &order, &[ProcId(0); 9], 1);
+        let chain = bottleneck_chain(&g, &s);
+        // Serial schedule: the chain covers every task.
+        assert_eq!(chain.len(), 9);
+        assert_eq!(s.finish_of(chain.last().unwrap().node), Some(s.makespan()));
+    }
+
+    #[test]
+    fn idle_profile_accounts_for_every_microsecond() {
+        let (_, s) = two_proc_schedule();
+        for p in idle_profile(&s) {
+            assert_eq!(
+                p.busy + p.lead_idle + p.gap_idle + p.tail_idle,
+                s.makespan(),
+                "profile of {:?} must cover the makespan",
+                p.proc
+            );
+        }
+    }
+
+    #[test]
+    fn idle_profile_skips_unused_processors() {
+        let (_, s) = two_proc_schedule();
+        assert_eq!(idle_profile(&s).len(), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! ASCII Gantt-chart rendering of schedules, in the spirit of the
+//! paper's Figures 2–4.
+//!
+//! ```text
+//! PE0 |n1 [0-2]   |n3 [2-5]   |n2 [5-8]   |n7 [8-12]
+//! PE1 |n6 [9-13]
+//! PE2 |n5 [3-8]   |n4 [8-12]  |n8 [12-16] |n9 [18-19]
+//! makespan = 19
+//! ```
+
+use crate::schedule::Schedule;
+use fastsched_dag::Dag;
+use std::fmt::Write;
+
+/// Render a compact one-line-per-processor listing of the schedule.
+pub fn render_listing(dag: &Dag, schedule: &Schedule) -> String {
+    let mut out = String::new();
+    for (p, lane) in schedule.timelines().into_iter().enumerate() {
+        if lane.is_empty() {
+            continue;
+        }
+        write!(out, "PE{p}").unwrap();
+        for t in lane {
+            write!(out, " |{} [{}-{}]", dag.name(t.node), t.start, t.finish).unwrap();
+        }
+        out.push('\n');
+    }
+    writeln!(out, "makespan = {}", schedule.makespan()).unwrap();
+    out
+}
+
+/// Render a proportional bar chart: each processor is one row of
+/// `width` character cells spanning `[0, makespan]`; task cells show
+/// the first letter(s) of the node name, idle cells show `.`.
+pub fn render_bars(dag: &Dag, schedule: &Schedule, width: usize) -> String {
+    let makespan = schedule.makespan().max(1);
+    let mut out = String::new();
+    for (p, lane) in schedule.timelines().into_iter().enumerate() {
+        if lane.is_empty() {
+            continue;
+        }
+        let mut row = vec!['.'; width];
+        for t in &lane {
+            let lo = (t.start as u128 * width as u128 / makespan as u128) as usize;
+            let hi = (t.finish as u128 * width as u128).div_ceil(makespan as u128) as usize;
+            let hi = hi.min(width).max(lo + 1);
+            let name: Vec<char> = dag.name(t.node).chars().collect();
+            for (k, cell) in row[lo..hi].iter_mut().enumerate() {
+                *cell = if k < name.len() { name[k] } else { '=' };
+            }
+        }
+        let bar: String = row.into_iter().collect();
+        writeln!(out, "PE{p:<3} {bar}").unwrap();
+    }
+    writeln!(out, "0{:>width$}", schedule.makespan(), width = width + 4).unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ProcId;
+    use fastsched_dag::{DagBuilder, NodeId};
+
+    fn setup() -> (Dag, Schedule) {
+        let mut b = DagBuilder::new();
+        let a = b.add_node("a", 2);
+        let c = b.add_node("b", 2);
+        b.add_edge(a, c, 1).unwrap();
+        let g = b.build().unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(NodeId(0), ProcId(0), 0, 2);
+        s.place(NodeId(1), ProcId(1), 3, 5);
+        (g, s)
+    }
+
+    #[test]
+    fn listing_contains_tasks_and_makespan() {
+        let (g, s) = setup();
+        let out = render_listing(&g, &s);
+        assert!(out.contains("PE0 |a [0-2]"));
+        assert!(out.contains("PE1 |b [3-5]"));
+        assert!(out.contains("makespan = 5"));
+    }
+
+    #[test]
+    fn bars_have_one_row_per_used_processor() {
+        let (g, s) = setup();
+        let out = render_bars(&g, &s, 20);
+        let rows: Vec<&str> = out.lines().collect();
+        assert_eq!(rows.len(), 3); // PE0, PE1, axis
+        assert!(rows[0].starts_with("PE0"));
+        assert!(rows[0].contains('a'));
+        assert!(rows[1].contains('b'));
+    }
+
+    #[test]
+    fn bars_skip_empty_processors() {
+        let mut b = DagBuilder::new();
+        b.add_node("x", 1);
+        let g = b.build().unwrap();
+        let mut s = Schedule::new(1, 8);
+        s.place(NodeId(0), ProcId(5), 0, 1);
+        let out = render_bars(&g, &s, 10);
+        assert_eq!(out.lines().count(), 2); // one lane + axis
+    }
+}

@@ -1,0 +1,115 @@
+//! Schedule (de)serialization: a JSON interchange format used by the
+//! `casch` CLI so schedules can be saved, diffed and re-simulated.
+
+use crate::schedule::{ProcId, Schedule};
+use crate::validate::ScheduleError;
+use fastsched_dag::{Cost, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Serializable description of a schedule.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ScheduleSpec {
+    /// Number of processors the schedule was built for.
+    pub num_procs: u32,
+    /// One entry per task, in node-id order.
+    pub tasks: Vec<TaskSpec>,
+}
+
+/// One placed task in a [`ScheduleSpec`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Node id.
+    pub node: u32,
+    /// Processor id.
+    pub proc: u32,
+    /// Start time.
+    pub start: Cost,
+    /// Finish time.
+    pub finish: Cost,
+}
+
+impl ScheduleSpec {
+    /// Capture a complete schedule.
+    pub fn from_schedule(schedule: &Schedule) -> Self {
+        let mut tasks: Vec<TaskSpec> = schedule
+            .tasks()
+            .map(|t| TaskSpec {
+                node: t.node.0,
+                proc: t.proc.0,
+                start: t.start,
+                finish: t.finish,
+            })
+            .collect();
+        tasks.sort_by_key(|t| t.node);
+        Self {
+            num_procs: schedule.num_procs(),
+            tasks,
+        }
+    }
+
+    /// Rebuild the schedule; `num_nodes` sizes the container (task ids
+    /// beyond it are rejected).
+    pub fn build(&self, num_nodes: usize) -> Result<Schedule, ScheduleError> {
+        let mut s = Schedule::new(num_nodes, self.num_procs);
+        for t in &self.tasks {
+            if t.node as usize >= num_nodes {
+                return Err(ScheduleError::WrongSize {
+                    expected: num_nodes,
+                    actual: t.node as usize + 1,
+                });
+            }
+            s.place(NodeId(t.node), ProcId(t.proc), t.start, t.finish);
+        }
+        Ok(s)
+    }
+}
+
+/// Serialize a schedule to pretty JSON.
+pub fn to_json(schedule: &Schedule) -> String {
+    serde_json::to_string_pretty(&ScheduleSpec::from_schedule(schedule))
+        .expect("schedule spec always serializes")
+}
+
+/// Parse a schedule from JSON for a DAG with `num_nodes` tasks.
+pub fn from_json(s: &str, num_nodes: usize) -> Result<Schedule, ScheduleError> {
+    let spec: ScheduleSpec = serde_json::from_str(s).map_err(|_| ScheduleError::WrongSize {
+        expected: num_nodes,
+        actual: 0,
+    })?;
+    spec.build(num_nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schedule {
+        let mut s = Schedule::new(2, 2);
+        s.place(NodeId(0), ProcId(0), 0, 5);
+        s.place(NodeId(1), ProcId(1), 7, 9);
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let s = sample();
+        let json = to_json(&s);
+        let back = from_json(&json, 2).unwrap();
+        assert_eq!(back.num_procs(), 2);
+        assert_eq!(back.task(NodeId(0)), s.task(NodeId(0)));
+        assert_eq!(back.task(NodeId(1)), s.task(NodeId(1)));
+        assert_eq!(back.makespan(), s.makespan());
+    }
+
+    #[test]
+    fn rejects_out_of_range_nodes() {
+        let s = sample();
+        let json = to_json(&s);
+        assert!(from_json(&json, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(from_json("{nope", 2).is_err());
+    }
+}

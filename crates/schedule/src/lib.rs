@@ -1,0 +1,33 @@
+//! # fastsched-schedule
+//!
+//! Schedule representation and analysis for static DAG scheduling:
+//!
+//! * [`Schedule`] — per-node processor assignment plus start/finish
+//!   times, with per-processor timelines;
+//! * [`validate()`](fn@validate) — precedence- and overlap-checking against the DAG
+//!   (every schedule any algorithm produces must pass);
+//! * [`metrics`] — schedule length, processors used, speedup,
+//!   efficiency, load balance, communication volume;
+//! * [`evaluate`] — the O(v + e) fixed-order list-scheduling evaluator
+//!   (given a priority order and a node→processor assignment, compute
+//!   all start times). FAST's local search re-runs this after every
+//!   candidate node transfer;
+//! * [`gantt`] / [`svg`] — ASCII and SVG Gantt-chart rendering;
+//! * [`io`] — JSON (de)serialization of schedules for the CLI;
+//! * [`analysis`] — bottleneck-chain extraction and idle profiling.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod evaluate;
+pub mod gantt;
+pub mod io;
+pub mod metrics;
+pub mod schedule;
+pub mod svg;
+pub mod validate;
+
+pub use evaluate::{data_arrival_time, evaluate_fixed_order};
+pub use metrics::ScheduleMetrics;
+pub use schedule::{ProcId, Schedule, ScheduledTask};
+pub use validate::{validate, ScheduleError};

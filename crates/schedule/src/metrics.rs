@@ -1,0 +1,141 @@
+//! Derived schedule quality metrics used throughout the evaluation:
+//! schedule length, processors used, speedup, efficiency, load balance
+//! and communication volume.
+
+use crate::schedule::Schedule;
+use fastsched_dag::{Cost, Dag};
+
+/// Summary metrics of a complete schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleMetrics {
+    /// Schedule length (overall execution time).
+    pub makespan: Cost,
+    /// Number of processors with at least one task.
+    pub processors_used: u32,
+    /// Sequential time: sum of all computation costs.
+    pub sequential_time: Cost,
+    /// `sequential_time / makespan`.
+    pub speedup: f64,
+    /// `speedup / processors_used`.
+    pub efficiency: f64,
+    /// Total communication cost of edges crossing processors
+    /// (intra-processor messages are free, §2).
+    pub remote_communication: Cost,
+    /// Fraction of remote edges among all edges (0.0 when no edges).
+    pub remote_edge_fraction: f64,
+    /// Mean busy time per *used* processor divided by makespan
+    /// (1.0 = perfectly balanced, → 0 = mostly idle).
+    pub utilization: f64,
+}
+
+impl ScheduleMetrics {
+    /// Compute every metric for a complete `schedule` of `dag`.
+    ///
+    /// Panics (debug) if the schedule is incomplete — validate first.
+    pub fn compute(dag: &Dag, schedule: &Schedule) -> Self {
+        debug_assert!(schedule.is_complete());
+        let makespan = schedule.makespan();
+        let sequential_time = dag.total_computation();
+        let processors_used = schedule.processors_used();
+
+        let mut remote_communication = 0;
+        let mut remote_edges = 0usize;
+        for (p, c, cost) in dag.edges() {
+            if schedule.proc_of(p) != schedule.proc_of(c) {
+                remote_communication += cost;
+                remote_edges += 1;
+            }
+        }
+
+        let speedup = if makespan == 0 {
+            0.0
+        } else {
+            sequential_time as f64 / makespan as f64
+        };
+        let efficiency = if processors_used == 0 {
+            0.0
+        } else {
+            speedup / processors_used as f64
+        };
+        let utilization = if makespan == 0 || processors_used == 0 {
+            0.0
+        } else {
+            sequential_time as f64 / (makespan as f64 * processors_used as f64)
+        };
+        let remote_edge_fraction = if dag.edge_count() == 0 {
+            0.0
+        } else {
+            remote_edges as f64 / dag.edge_count() as f64
+        };
+
+        Self {
+            makespan,
+            processors_used,
+            sequential_time,
+            speedup,
+            efficiency,
+            remote_communication,
+            remote_edge_fraction,
+            utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ProcId;
+    use fastsched_dag::{DagBuilder, NodeId};
+
+    fn two_task_dag() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_task(4);
+        let c = b.add_task(4);
+        b.add_edge(a, c, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sequential_schedule_has_speedup_one() {
+        let g = two_task_dag();
+        let mut s = Schedule::new(2, 1);
+        s.place(NodeId(0), ProcId(0), 0, 4);
+        s.place(NodeId(1), ProcId(0), 4, 8);
+        let m = ScheduleMetrics::compute(&g, &s);
+        assert_eq!(m.makespan, 8);
+        assert_eq!(m.processors_used, 1);
+        assert!((m.speedup - 1.0).abs() < 1e-12);
+        assert!((m.efficiency - 1.0).abs() < 1e-12);
+        assert_eq!(m.remote_communication, 0);
+        assert!((m.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remote_edge_counts_communication() {
+        let g = two_task_dag();
+        let mut s = Schedule::new(2, 2);
+        s.place(NodeId(0), ProcId(0), 0, 4);
+        s.place(NodeId(1), ProcId(1), 6, 10);
+        let m = ScheduleMetrics::compute(&g, &s);
+        assert_eq!(m.remote_communication, 2);
+        assert!((m.remote_edge_fraction - 1.0).abs() < 1e-12);
+        assert_eq!(m.processors_used, 2);
+        // speedup = 8 / 10.
+        assert!((m.speedup - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_reflects_idle_time() {
+        // Two independent tasks on two processors, one long, one short.
+        let mut b = DagBuilder::new();
+        b.add_task(10);
+        b.add_task(2);
+        let g = b.build().unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(NodeId(0), ProcId(0), 0, 10);
+        s.place(NodeId(1), ProcId(1), 0, 2);
+        let m = ScheduleMetrics::compute(&g, &s);
+        // busy = 12, capacity = 10 * 2 = 20.
+        assert!((m.utilization - 0.6).abs() < 1e-12);
+    }
+}

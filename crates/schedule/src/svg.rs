@@ -1,0 +1,179 @@
+//! SVG Gantt-chart rendering — the publication-quality counterpart of
+//! [`crate::gantt`]'s ASCII charts.
+//!
+//! The output is self-contained SVG with one horizontal lane per used
+//! processor, one rectangle per task (deterministically colored by
+//! node id), and a time axis. No external dependencies.
+
+use crate::schedule::Schedule;
+use fastsched_dag::Dag;
+use std::fmt::Write;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct SvgOptions {
+    /// Total chart width in pixels (time axis scales to fit).
+    pub width: u32,
+    /// Height of one processor lane in pixels.
+    pub lane_height: u32,
+    /// Draw task names inside the bars.
+    pub labels: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            width: 960,
+            lane_height: 28,
+            labels: true,
+        }
+    }
+}
+
+/// Deterministic pastel color for a node id.
+fn color(id: u32) -> String {
+    // Golden-angle hue walk gives well-separated hues for small ids.
+    let hue = (id as u64 * 137) % 360;
+    format!("hsl({hue}, 62%, 72%)")
+}
+
+/// Render `schedule` as an SVG document string.
+pub fn render_svg(dag: &Dag, schedule: &Schedule, opts: &SvgOptions) -> String {
+    let lanes: Vec<_> = schedule
+        .timelines()
+        .into_iter()
+        .enumerate()
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+    let makespan = schedule.makespan().max(1);
+    let margin_left = 46u32;
+    let margin_top = 18u32;
+    let chart_w = opts.width.saturating_sub(margin_left + 10).max(100);
+    let height = margin_top + lanes.len() as u32 * (opts.lane_height + 6) + 30;
+    let x_of = |t: u64| margin_left as f64 + t as f64 / makespan as f64 * chart_w as f64;
+
+    let mut svg = String::with_capacity(4096);
+    writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{height}" font-family="monospace" font-size="11">"#,
+        opts.width
+    )
+    .unwrap();
+    writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#).unwrap();
+
+    for (row, (p, lane)) in lanes.iter().enumerate() {
+        let y = margin_top + row as u32 * (opts.lane_height + 6);
+        writeln!(
+            svg,
+            r##"<text x="4" y="{}" fill="#333">PE{p}</text>"##,
+            y + opts.lane_height / 2 + 4
+        )
+        .unwrap();
+        for t in lane {
+            let x0 = x_of(t.start);
+            let x1 = x_of(t.finish);
+            writeln!(
+                svg,
+                r##"<rect x="{x0:.1}" y="{y}" width="{:.1}" height="{}" fill="{}" stroke="#555" stroke-width="0.5"><title>{} [{}-{}] on PE{p}</title></rect>"##,
+                (x1 - x0).max(1.0),
+                opts.lane_height,
+                color(t.node.0),
+                dag.name(t.node),
+                t.start,
+                t.finish
+            )
+            .unwrap();
+            if opts.labels && x1 - x0 > 24.0 {
+                writeln!(
+                    svg,
+                    r##"<text x="{:.1}" y="{}" fill="#222">{}</text>"##,
+                    x0 + 3.0,
+                    y + opts.lane_height / 2 + 4,
+                    dag.name(t.node)
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    // Time axis.
+    let axis_y = height - 18;
+    writeln!(
+        svg,
+        r##"<line x1="{margin_left}" y1="{axis_y}" x2="{}" y2="{axis_y}" stroke="#333"/>"##,
+        margin_left + chart_w
+    )
+    .unwrap();
+    for k in 0..=4 {
+        let t = makespan * k / 4;
+        let x = x_of(t);
+        writeln!(
+            svg,
+            r##"<text x="{x:.1}" y="{}" fill="#333">{t}</text>"##,
+            axis_y + 14
+        )
+        .unwrap();
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ProcId;
+    use fastsched_dag::{DagBuilder, NodeId};
+
+    fn setup() -> (Dag, Schedule) {
+        let mut b = DagBuilder::new();
+        let a = b.add_node("alpha", 4);
+        let c = b.add_node("beta", 4);
+        b.add_edge(a, c, 2).unwrap();
+        let g = b.build().unwrap();
+        let mut s = Schedule::new(2, 3);
+        s.place(NodeId(0), ProcId(0), 0, 4);
+        s.place(NodeId(1), ProcId(2), 6, 10);
+        (g, s)
+    }
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let (g, s) = setup();
+        let svg = render_svg(&g, &s, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Balanced rect elements: one background + two tasks.
+        assert_eq!(svg.matches("<rect").count(), 3);
+        assert!(svg.contains("alpha"));
+        assert!(svg.contains("PE0") && svg.contains("PE2"));
+    }
+
+    #[test]
+    fn colors_are_deterministic_and_distinct_for_small_ids() {
+        assert_eq!(color(1), color(1));
+        assert_ne!(color(1), color(2));
+    }
+
+    #[test]
+    fn empty_lanes_are_skipped() {
+        let (g, s) = setup();
+        let svg = render_svg(&g, &s, &SvgOptions::default());
+        assert!(!svg.contains(">PE1<"));
+    }
+
+    #[test]
+    fn labels_can_be_disabled() {
+        let (g, s) = setup();
+        let svg = render_svg(
+            &g,
+            &s,
+            &SvgOptions {
+                labels: false,
+                ..Default::default()
+            },
+        );
+        // Title tooltips remain; free-standing text labels are gone
+        // except lane names and the axis.
+        assert!(svg.contains("<title>alpha"));
+    }
+}

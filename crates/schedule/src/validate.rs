@@ -1,0 +1,205 @@
+//! Schedule validation: the ground truth every algorithm's output must
+//! satisfy.
+
+use crate::schedule::Schedule;
+use fastsched_dag::Dag;
+use std::fmt;
+
+/// Violations detected by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A node was never placed.
+    Unscheduled(u32),
+    /// `finish != start + w(n)` for a node.
+    BadDuration(u32),
+    /// A child starts before its parent's message can arrive:
+    /// `(parent, child, earliest_legal_start, actual_start)`.
+    PrecedenceViolation(u32, u32, u64, u64),
+    /// Two tasks overlap in time on the same processor.
+    Overlap(u32, u32),
+    /// The schedule was built for a different node count than the DAG.
+    WrongSize {
+        /// Node count of the DAG being validated against.
+        expected: usize,
+        /// Node count the schedule was built for.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Unscheduled(n) => write!(f, "node n{n} was never scheduled"),
+            ScheduleError::BadDuration(n) => {
+                write!(f, "node n{n}: finish time != start + weight")
+            }
+            ScheduleError::PrecedenceViolation(p, c, legal, actual) => write!(
+                f,
+                "edge n{p} -> n{c}: child starts at {actual}, earliest legal start is {legal}"
+            ),
+            ScheduleError::Overlap(a, b) => {
+                write!(f, "nodes n{a} and n{b} overlap on the same processor")
+            }
+            ScheduleError::WrongSize { expected, actual } => {
+                write!(f, "schedule sized for {actual} nodes, DAG has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Check that `schedule` is a complete, legal schedule of `dag`:
+///
+/// 1. every node is placed, with `finish == start + w(n)`;
+/// 2. for every edge `(p, c)`: `ST(c) >= FT(p)` when co-located, and
+///    `ST(c) >= FT(p) + c(p, c)` when on different processors (the
+///    zero-intra-processor-communication model of §2);
+/// 3. no two tasks overlap on any processor.
+///
+/// Runs in O(v log v + e).
+pub fn validate(dag: &Dag, schedule: &Schedule) -> Result<(), ScheduleError> {
+    if schedule.num_nodes() != dag.node_count() {
+        return Err(ScheduleError::WrongSize {
+            expected: dag.node_count(),
+            actual: schedule.num_nodes(),
+        });
+    }
+
+    // 1. Completeness and durations.
+    for n in dag.nodes() {
+        match schedule.task(n) {
+            None => return Err(ScheduleError::Unscheduled(n.0)),
+            Some(t) => {
+                if t.finish != t.start + dag.weight(n) {
+                    return Err(ScheduleError::BadDuration(n.0));
+                }
+            }
+        }
+    }
+
+    // 2. Precedence with communication.
+    for (p, c, cost) in dag.edges() {
+        let tp = schedule.task(p).unwrap();
+        let tc = schedule.task(c).unwrap();
+        let legal = if tp.proc == tc.proc {
+            tp.finish
+        } else {
+            tp.finish + cost
+        };
+        if tc.start < legal {
+            return Err(ScheduleError::PrecedenceViolation(
+                p.0, c.0, legal, tc.start,
+            ));
+        }
+    }
+
+    // 3. No overlap per processor.
+    for lane in schedule.timelines() {
+        for w in lane.windows(2) {
+            if w[1].start < w[0].finish {
+                return Err(ScheduleError::Overlap(w[0].node.0, w[1].node.0));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ProcId;
+    use fastsched_dag::{DagBuilder, NodeId};
+
+    fn pair() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_task(2);
+        let c = b.add_task(3);
+        b.add_edge(a, c, 4).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accepts_legal_colocated_schedule() {
+        let g = pair();
+        let mut s = Schedule::new(2, 1);
+        s.place(NodeId(0), ProcId(0), 0, 2);
+        s.place(NodeId(1), ProcId(0), 2, 5); // no comm when co-located
+        assert_eq!(validate(&g, &s), Ok(()));
+    }
+
+    #[test]
+    fn accepts_legal_remote_schedule() {
+        let g = pair();
+        let mut s = Schedule::new(2, 2);
+        s.place(NodeId(0), ProcId(0), 0, 2);
+        s.place(NodeId(1), ProcId(1), 6, 9); // 2 + comm 4 = 6
+        assert_eq!(validate(&g, &s), Ok(()));
+    }
+
+    #[test]
+    fn rejects_missing_node() {
+        let g = pair();
+        let mut s = Schedule::new(2, 1);
+        s.place(NodeId(0), ProcId(0), 0, 2);
+        assert_eq!(validate(&g, &s), Err(ScheduleError::Unscheduled(1)));
+    }
+
+    #[test]
+    fn rejects_bad_duration() {
+        let g = pair();
+        let mut s = Schedule::new(2, 1);
+        s.place(NodeId(0), ProcId(0), 0, 3); // w = 2, duration 3
+        s.place(NodeId(1), ProcId(0), 3, 6);
+        assert_eq!(validate(&g, &s), Err(ScheduleError::BadDuration(0)));
+    }
+
+    #[test]
+    fn rejects_remote_start_before_message_arrival() {
+        let g = pair();
+        let mut s = Schedule::new(2, 2);
+        s.place(NodeId(0), ProcId(0), 0, 2);
+        s.place(NodeId(1), ProcId(1), 5, 8); // needs >= 6
+        assert_eq!(
+            validate(&g, &s),
+            Err(ScheduleError::PrecedenceViolation(0, 1, 6, 5))
+        );
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        let mut b = DagBuilder::new();
+        b.add_task(5);
+        b.add_task(5);
+        let g = b.build().unwrap();
+        let mut s = Schedule::new(2, 1);
+        s.place(NodeId(0), ProcId(0), 0, 5);
+        s.place(NodeId(1), ProcId(0), 3, 8);
+        assert_eq!(validate(&g, &s), Err(ScheduleError::Overlap(0, 1)));
+    }
+
+    #[test]
+    fn rejects_wrong_size() {
+        let g = pair();
+        let s = Schedule::new(5, 1);
+        assert_eq!(
+            validate(&g, &s),
+            Err(ScheduleError::WrongSize {
+                expected: 2,
+                actual: 5
+            })
+        );
+    }
+
+    #[test]
+    fn back_to_back_tasks_do_not_overlap() {
+        let mut b = DagBuilder::new();
+        b.add_task(5);
+        b.add_task(5);
+        let g = b.build().unwrap();
+        let mut s = Schedule::new(2, 1);
+        s.place(NodeId(0), ProcId(0), 0, 5);
+        s.place(NodeId(1), ProcId(0), 5, 10);
+        assert_eq!(validate(&g, &s), Ok(()));
+    }
+}

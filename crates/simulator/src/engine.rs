@@ -1,0 +1,527 @@
+//! The discrete-event execution engine.
+//!
+//! The engine takes a DAG and a complete static schedule and *runs*
+//! them: the schedule contributes only the processor assignment and
+//! the per-processor task order; every start time is re-derived from
+//! simulated message arrivals. This mirrors what CASCH's generated
+//! code does on the real machine — receive all inputs, compute, send
+//! all outputs — and lets network effects (hop latency, contention)
+//! feed back into the measured execution time.
+//!
+//! Deadlock-freedom: a task waits only for (a) tasks earlier on its
+//! own processor and (b) its DAG parents, both of which precede it in
+//! the valid static schedule's global start-time order, so the waits
+//! form a DAG and the event loop always drains.
+
+use crate::network::{ContentionModel, Network};
+use crate::report::ExecutionReport;
+use crate::topology::Topology;
+use fastsched_dag::{Cost, Dag, NodeId};
+use fastsched_schedule::{ProcId, Schedule};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Interconnect; `None` selects the smallest square 2D mesh that
+    /// fits the schedule's processors (the Paragon default).
+    pub topology: Option<Topology>,
+    /// Router latency per hop, microseconds.
+    pub hop_latency_us: Cost,
+    /// Link contention model.
+    pub contention: ContentionModel,
+    /// LogP-style *sender* overhead `o_s`: CPU time a processor spends
+    /// injecting each remote message. Sending k remote messages keeps
+    /// the processor busy for `k · o_s` after the task finishes, and
+    /// the i-th message enters the network `i · o_s` late. Zero by
+    /// default (the abstract model folds software cost into the edge
+    /// weight).
+    pub send_overhead_us: Cost,
+    /// LogP-style *receiver* overhead `o_r`: added to every remote
+    /// message's arrival time (modelled off the receiving CPU's
+    /// critical path, as on NIC-offloaded machines).
+    pub recv_overhead_us: Cost,
+    /// Record a full event log in the report (off by default: traces
+    /// are O(v + e) memory).
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            topology: None,
+            hop_latency_us: 2,
+            contention: ContentionModel::default(),
+            send_overhead_us: 0,
+            recv_overhead_us: 0,
+            trace: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The idealized network: fully connected, zero hop latency, no
+    /// contention, no software overheads. Execution time then equals
+    /// the schedule's predicted makespan exactly (a property the tests
+    /// pin down).
+    pub fn ideal() -> Self {
+        Self {
+            topology: Some(Topology::FullyConnected),
+            hop_latency_us: 0,
+            contention: ContentionModel::None,
+            send_overhead_us: 0,
+            recv_overhead_us: 0,
+            trace: false,
+        }
+    }
+}
+
+/// Execute `schedule` (a complete, valid schedule of `dag`) on the
+/// simulated machine.
+///
+/// Panics if the schedule is incomplete; run
+/// [`fastsched_schedule::validate()`](fn@fastsched_schedule::validate) first for precise diagnostics.
+pub fn simulate(dag: &Dag, schedule: &Schedule, config: &SimConfig) -> ExecutionReport {
+    let v = dag.node_count();
+    let lanes = schedule.timelines();
+    let topology = config
+        .topology
+        .unwrap_or_else(|| Topology::mesh_for(schedule.processors_used()));
+    assert!(
+        topology.capacity() >= lanes.len() as u32,
+        "topology too small for the schedule"
+    );
+    let mut network = Network::new(topology, config.hop_latency_us, config.contention);
+
+    // Per-lane progress and per-node readiness.
+    let mut lane_pos = vec![0usize; lanes.len()];
+    let mut deps: Vec<u32> = dag.nodes().map(|n| dag.in_degree(n) as u32).collect();
+    let mut data_ready = vec![0 as Cost; v];
+    let mut proc_free = vec![0 as Cost; lanes.len()];
+    let mut finish_times = vec![0 as Cost; v];
+    let mut started = vec![false; v];
+
+    // Completion events: (finish time, sequence, node, proc).
+    let mut events: BinaryHeap<Reverse<(Cost, u64, u32, u32)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+
+    let try_start = |p: usize,
+                     lane_pos: &mut [usize],
+                     deps: &[u32],
+                     data_ready: &[Cost],
+                     proc_free: &[Cost],
+                     started: &mut [bool],
+                     events: &mut BinaryHeap<Reverse<(Cost, u64, u32, u32)>>,
+                     seq: &mut u64| {
+        if let Some(&t) = lanes[p].get(lane_pos[p]) {
+            let n = t.node;
+            if !started[n.index()] && deps[n.index()] == 0 {
+                let start = data_ready[n.index()].max(proc_free[p]);
+                started[n.index()] = true;
+                *seq += 1;
+                events.push(Reverse((start + dag.weight(n), *seq, n.0, p as u32)));
+            }
+        }
+    };
+
+    for p in 0..lanes.len() {
+        try_start(
+            p,
+            &mut lane_pos,
+            &deps,
+            &data_ready,
+            &proc_free,
+            &mut started,
+            &mut events,
+            &mut seq,
+        );
+    }
+
+    let mut completed = 0usize;
+    let mut makespan = 0;
+    let mut trace: Vec<crate::report::TraceEvent> = Vec::new();
+    while let Some(Reverse((t, _, id, p))) = events.pop() {
+        let n = NodeId(id);
+        let p = p as usize;
+        if config.trace {
+            trace.push(crate::report::TraceEvent::TaskStart {
+                node: n.0,
+                proc: p as u32,
+                time: t - dag.weight(n),
+            });
+            trace.push(crate::report::TraceEvent::TaskFinish {
+                node: n.0,
+                proc: p as u32,
+                time: t,
+            });
+        }
+        finish_times[n.index()] = t;
+        makespan = makespan.max(t);
+        proc_free[p] = t;
+        lane_pos[p] += 1;
+        completed += 1;
+
+        // Send outputs: local data is available at finish; remote data
+        // rides the network, each injection delayed (and the sending
+        // CPU held) by the per-message sender overhead. The CPU hold
+        // is applied before any start attempt so a local successor
+        // cannot slip into the injection window.
+        let remote_children = dag
+            .succs(n)
+            .iter()
+            .filter(|e| schedule.proc_of(e.node).expect("complete schedule").index() != p)
+            .count() as Cost;
+        proc_free[p] = proc_free[p].max(t + remote_children * config.send_overhead_us);
+
+        let mut injections = 0 as Cost;
+        for e in dag.succs(n) {
+            let child = e.node;
+            let cp = schedule.proc_of(child).expect("complete schedule").index();
+            let arrival = if cp == p {
+                t
+            } else {
+                injections += 1;
+                let send_time = t + injections * config.send_overhead_us;
+                let arrived =
+                    network.deliver(ProcId(p as u32), ProcId(cp as u32), e.cost, send_time)
+                        + config.recv_overhead_us;
+                if config.trace {
+                    trace.push(crate::report::TraceEvent::Message {
+                        from_node: n.0,
+                        to_node: child.0,
+                        from_proc: p as u32,
+                        to_proc: cp as u32,
+                        sent: send_time,
+                        arrived,
+                    });
+                }
+                arrived
+            };
+            data_ready[child.index()] = data_ready[child.index()].max(arrival);
+            deps[child.index()] -= 1;
+            if deps[child.index()] == 0 {
+                try_start(
+                    cp,
+                    &mut lane_pos,
+                    &deps,
+                    &data_ready,
+                    &proc_free,
+                    &mut started,
+                    &mut events,
+                    &mut seq,
+                );
+            }
+        }
+
+        // This processor is free: start its next task if ready.
+        try_start(
+            p,
+            &mut lane_pos,
+            &deps,
+            &data_ready,
+            &proc_free,
+            &mut started,
+            &mut events,
+            &mut seq,
+        );
+    }
+    assert_eq!(completed, v, "schedule must cover every task");
+
+    ExecutionReport {
+        execution_time: makespan,
+        predicted_makespan: schedule.makespan(),
+        processors_used: schedule.processors_used(),
+        messages: network.messages,
+        contention_delay: network.contention_delay,
+        busy_time: dag.total_computation(),
+        finish_times,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsched_dag::examples::{fork_join, paper_figure1};
+    use fastsched_schedule::evaluate::evaluate_fixed_order;
+    use fastsched_schedule::validate;
+
+    /// A schedule built by the fixed-order evaluator on any topo order.
+    fn simple_schedule(dag: &Dag, procs: u32) -> Schedule {
+        let order: Vec<NodeId> = dag.topo_order().to_vec();
+        let assignment: Vec<ProcId> = dag.nodes().map(|n| ProcId(n.0 % procs)).collect();
+        evaluate_fixed_order(dag, &order, &assignment, procs)
+    }
+
+    #[test]
+    fn ideal_network_reproduces_predicted_makespan() {
+        let g = paper_figure1();
+        let s = simple_schedule(&g, 3);
+        assert_eq!(validate(&g, &s), Ok(()));
+        let r = simulate(&g, &s, &SimConfig::ideal());
+        assert_eq!(r.execution_time, s.makespan());
+        assert_eq!(r.contention_delay, 0);
+        assert!((r.slowdown_vs_prediction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mesh_execution_is_never_faster_than_prediction() {
+        let g = paper_figure1();
+        let s = simple_schedule(&g, 3);
+        let r = simulate(&g, &s, &SimConfig::default());
+        assert!(r.execution_time >= s.makespan());
+    }
+
+    #[test]
+    fn hop_latency_slows_remote_messages() {
+        let g = fork_join(4, 5, 10);
+        let s = simple_schedule(&g, 4);
+        let near = simulate(
+            &g,
+            &s,
+            &SimConfig {
+                topology: Some(Topology::FullyConnected),
+                hop_latency_us: 0,
+                contention: ContentionModel::None,
+                ..SimConfig::default()
+            },
+        );
+        let far = simulate(
+            &g,
+            &s,
+            &SimConfig {
+                topology: Some(Topology::Mesh2D {
+                    width: 4,
+                    height: 1,
+                }),
+                hop_latency_us: 50,
+                contention: ContentionModel::None,
+                ..SimConfig::default()
+            },
+        );
+        assert!(far.execution_time > near.execution_time);
+    }
+
+    #[test]
+    fn single_processor_schedule_has_no_messages() {
+        let g = paper_figure1();
+        let s = simple_schedule(&g, 1);
+        let r = simulate(&g, &s, &SimConfig::default());
+        assert_eq!(r.messages, 0);
+        assert_eq!(r.execution_time, g.total_computation());
+        assert_eq!(r.processors_used, 1);
+    }
+
+    #[test]
+    fn contention_adds_measurable_delay() {
+        // A one-to-many fan-out from a single processor funnels every
+        // message through the same outgoing links of a 1D mesh.
+        let g = fork_join(6, 2, 30);
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        // Fork and join on P0, workers on P1 — all six fork→worker
+        // messages traverse link 0→1.
+        let assignment: Vec<ProcId> = g
+            .nodes()
+            .map(|n| {
+                if g.name(n).starts_with("work") {
+                    ProcId(1)
+                } else {
+                    ProcId(0)
+                }
+            })
+            .collect();
+        let s = evaluate_fixed_order(&g, &order, &assignment, 2);
+        let contended = simulate(
+            &g,
+            &s,
+            &SimConfig {
+                topology: Some(Topology::Mesh2D {
+                    width: 2,
+                    height: 1,
+                }),
+                hop_latency_us: 0,
+                contention: ContentionModel::Links { pipelining: 1 },
+                ..SimConfig::default()
+            },
+        );
+        assert!(contended.contention_delay > 0);
+        let free = simulate(
+            &g,
+            &s,
+            &SimConfig {
+                topology: Some(Topology::Mesh2D {
+                    width: 2,
+                    height: 1,
+                }),
+                hop_latency_us: 0,
+                contention: ContentionModel::None,
+                ..SimConfig::default()
+            },
+        );
+        assert!(contended.execution_time > free.execution_time);
+    }
+
+    #[test]
+    fn finish_times_cover_every_task() {
+        let g = paper_figure1();
+        let s = simple_schedule(&g, 3);
+        let r = simulate(&g, &s, &SimConfig::default());
+        assert_eq!(r.finish_times.len(), g.node_count());
+        assert!(r.finish_times.iter().all(|&f| f > 0));
+        assert_eq!(
+            r.finish_times.iter().copied().max().unwrap(),
+            r.execution_time
+        );
+    }
+
+    #[test]
+    fn sender_overhead_delays_messages_and_holds_the_cpu() {
+        let g = fork_join(4, 5, 10);
+        let s = simple_schedule(&g, 4);
+        let base = simulate(&g, &s, &SimConfig::ideal());
+        let with_overhead = simulate(
+            &g,
+            &s,
+            &SimConfig {
+                send_overhead_us: 20,
+                ..SimConfig::ideal()
+            },
+        );
+        assert!(with_overhead.execution_time > base.execution_time);
+    }
+
+    #[test]
+    fn receiver_overhead_delays_arrivals() {
+        let g = fork_join(4, 5, 10);
+        let s = simple_schedule(&g, 4);
+        let base = simulate(&g, &s, &SimConfig::ideal());
+        let with_overhead = simulate(
+            &g,
+            &s,
+            &SimConfig {
+                recv_overhead_us: 15,
+                ..SimConfig::ideal()
+            },
+        );
+        assert!(with_overhead.execution_time >= base.execution_time + 15);
+    }
+
+    #[test]
+    fn overheads_do_not_touch_single_processor_runs() {
+        let g = paper_figure1();
+        let s = simple_schedule(&g, 1);
+        let r = simulate(
+            &g,
+            &s,
+            &SimConfig {
+                send_overhead_us: 50,
+                recv_overhead_us: 50,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(r.execution_time, g.total_computation());
+    }
+
+    #[test]
+    fn alternative_topologies_execute_correctly() {
+        let g = fork_join(6, 4, 8);
+        let s = simple_schedule(&g, 8);
+        for topo in [
+            Topology::Torus2D {
+                width: 3,
+                height: 3,
+            },
+            Topology::Hypercube { dim: 3 },
+        ] {
+            let r = simulate(
+                &g,
+                &s,
+                &SimConfig {
+                    topology: Some(topo),
+                    ..SimConfig::default()
+                },
+            );
+            assert!(r.execution_time >= s.makespan(), "{topo:?}");
+            assert_eq!(r.finish_times.len(), g.node_count());
+        }
+    }
+
+    #[test]
+    fn richer_connectivity_is_never_slower_without_contention() {
+        // Hypercube hops <= torus hops <= mesh hops for the same
+        // processor count; with contention off, execution time orders
+        // the same way.
+        let g = fork_join(6, 4, 8);
+        let s = simple_schedule(&g, 8);
+        let run = |topo| {
+            simulate(
+                &g,
+                &s,
+                &SimConfig {
+                    topology: Some(topo),
+                    hop_latency_us: 25,
+                    contention: ContentionModel::None,
+                    ..SimConfig::default()
+                },
+            )
+            .execution_time
+        };
+        let mesh = run(Topology::Mesh2D {
+            width: 8,
+            height: 1,
+        });
+        let torus = run(Topology::Torus2D {
+            width: 8,
+            height: 1,
+        });
+        let cube = run(Topology::Hypercube { dim: 3 });
+        assert!(torus <= mesh);
+        assert!(cube <= mesh);
+    }
+
+    #[test]
+    fn trace_records_every_task_and_message() {
+        let g = paper_figure1();
+        let s = simple_schedule(&g, 3);
+        let r = simulate(
+            &g,
+            &s,
+            &SimConfig {
+                trace: true,
+                ..SimConfig::default()
+            },
+        );
+        use crate::report::TraceEvent;
+        let starts = r
+            .trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TaskStart { .. }))
+            .count();
+        let finishes = r
+            .trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TaskFinish { .. }))
+            .count();
+        let messages = r
+            .trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Message { .. }))
+            .count() as u64;
+        assert_eq!(starts, g.node_count());
+        assert_eq!(finishes, g.node_count());
+        assert_eq!(messages, r.messages);
+        // Off by default.
+        let quiet = simulate(&g, &s, &SimConfig::default());
+        assert!(quiet.trace.is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = fork_join(8, 3, 7);
+        let s = simple_schedule(&g, 4);
+        let a = simulate(&g, &s, &SimConfig::default());
+        let b = simulate(&g, &s, &SimConfig::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,38 @@
+//! # fastsched-sim
+//!
+//! A discrete-event message-passing multicomputer simulator — the
+//! workspace's substitute for the paper's Intel Paragon testbed
+//! (DESIGN.md §2).
+//!
+//! The paper does not score algorithms on Gantt-chart length alone: it
+//! compiles the scheduled program with CASCH and *runs it* on the
+//! Paragon, so effects the abstract schedule model ignores (message
+//! hop distance, link contention from many-processor schedules) feed
+//! back into the measured execution time. This crate reproduces that
+//! feedback loop:
+//!
+//! * [`topology`] — processor interconnects: the Paragon's 2D mesh
+//!   with XY routing, plus a fully-connected ideal network;
+//! * [`network`] — per-message timing (nominal cost + per-hop latency)
+//!   and link contention (a message occupies every link on its route
+//!   for its transfer duration);
+//! * [`engine`] — the event-driven executor: tasks run on their
+//!   assigned processor in schedule order, started as soon as their
+//!   processor is free and all messages have arrived (the static
+//!   schedule's *order* is kept, its absolute times are re-derived);
+//! * [`report`] — the measured [`report::ExecutionReport`].
+//!
+//! A schedule that hoards processors (DSC's O(v) clusters) sends more
+//! and longer-range messages and loses execution time to contention —
+//! the effect behind the paper's Figures 5(a)–7(a).
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod network;
+pub mod report;
+pub mod topology;
+
+pub use engine::{simulate, SimConfig};
+pub use report::ExecutionReport;
+pub use topology::Topology;

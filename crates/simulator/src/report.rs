@@ -1,0 +1,123 @@
+//! The measured outcome of one simulated execution.
+
+use fastsched_dag::Cost;
+use serde::{Deserialize, Serialize};
+
+/// One event of a simulated execution, recorded when
+/// [`crate::SimConfig::trace`] is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A task began executing.
+    TaskStart {
+        /// Node id.
+        node: u32,
+        /// Processor id.
+        proc: u32,
+        /// Simulation time.
+        time: Cost,
+    },
+    /// A task finished executing.
+    TaskFinish {
+        /// Node id.
+        node: u32,
+        /// Processor id.
+        proc: u32,
+        /// Simulation time.
+        time: Cost,
+    },
+    /// A remote message was delivered.
+    Message {
+        /// Producing node.
+        from_node: u32,
+        /// Consuming node.
+        to_node: u32,
+        /// Sender processor.
+        from_proc: u32,
+        /// Receiver processor.
+        to_proc: u32,
+        /// Time the message entered the network.
+        sent: Cost,
+        /// Time the data became usable at the receiver.
+        arrived: Cost,
+    },
+}
+
+/// What running a scheduled program on the simulated machine measured
+/// — the analogue of timing the CASCH-generated code on the Paragon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// Wall-clock finish time of the last task (the paper's
+    /// "application execution time").
+    pub execution_time: Cost,
+    /// The static schedule's predicted makespan, for comparison.
+    pub predicted_makespan: Cost,
+    /// Processors that executed at least one task.
+    pub processors_used: u32,
+    /// Remote messages delivered.
+    pub messages: u64,
+    /// Total time messages spent waiting on busy links.
+    pub contention_delay: Cost,
+    /// Sum of task execution times (machine-independent work).
+    pub busy_time: Cost,
+    /// Per-task finish times, indexed by node id.
+    pub finish_times: Vec<Cost>,
+    /// Event log (empty unless [`crate::SimConfig::trace`] is set).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl ExecutionReport {
+    /// `execution_time / predicted_makespan` — how much the network
+    /// model inflated the abstract schedule (1.0 = perfect
+    /// prediction).
+    pub fn slowdown_vs_prediction(&self) -> f64 {
+        if self.predicted_makespan == 0 {
+            return 1.0;
+        }
+        self.execution_time as f64 / self.predicted_makespan as f64
+    }
+
+    /// Mean processor utilization during the run.
+    pub fn utilization(&self) -> f64 {
+        if self.execution_time == 0 || self.processors_used == 0 {
+            return 0.0;
+        }
+        self.busy_time as f64 / (self.execution_time as f64 * self.processors_used as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ExecutionReport {
+        ExecutionReport {
+            execution_time: 120,
+            predicted_makespan: 100,
+            processors_used: 4,
+            messages: 7,
+            contention_delay: 15,
+            busy_time: 240,
+            finish_times: vec![120],
+            trace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn slowdown_ratio() {
+        assert!((report().slowdown_vs_prediction() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_ratio() {
+        assert!((report().utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut r = report();
+        r.predicted_makespan = 0;
+        assert_eq!(r.slowdown_vs_prediction(), 1.0);
+        r.execution_time = 0;
+        assert_eq!(r.utilization(), 0.0);
+    }
+}

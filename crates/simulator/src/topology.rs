@@ -1,0 +1,326 @@
+//! Processor interconnect topologies.
+//!
+//! The Intel Paragon was a 2D mesh of i860 nodes with deterministic XY
+//! (dimension-ordered) routing; [`Topology::Mesh2D`] models it. The
+//! fully-connected variant is the idealized network under which the
+//! abstract schedule model (every message costs exactly its edge
+//! weight) is accurate — useful as a control in experiments.
+
+use fastsched_schedule::ProcId;
+
+/// A directed link between two adjacent routers, identified by the
+/// flat indices of its endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId {
+    /// Source router (flat processor index).
+    pub from: u32,
+    /// Destination router (flat processor index).
+    pub to: u32,
+}
+
+/// Interconnect shape.
+///
+/// ```
+/// use fastsched_sim::Topology;
+/// use fastsched_schedule::ProcId;
+///
+/// let mesh = Topology::Mesh2D { width: 4, height: 4 };
+/// assert_eq!(mesh.hops(ProcId(0), ProcId(15)), 6);
+/// let cube = Topology::Hypercube { dim: 4 };
+/// assert_eq!(cube.hops(ProcId(0), ProcId(15)), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Every pair of processors is one hop apart and every message
+    /// uses a private link (no contention possible).
+    FullyConnected,
+    /// `width × height` 2D mesh with XY routing (all X hops first,
+    /// then all Y hops). Processor `p` sits at
+    /// `(p % width, p / width)`. The Intel Paragon's shape.
+    Mesh2D {
+        /// Mesh width (columns).
+        width: u32,
+        /// Mesh height (rows).
+        height: u32,
+    },
+    /// `width × height` 2D torus: a mesh with wraparound links; XY
+    /// routing picks the shorter direction per axis.
+    Torus2D {
+        /// Torus width (columns).
+        width: u32,
+        /// Torus height (rows).
+        height: u32,
+    },
+    /// `2^dim`-node hypercube with dimension-ordered (e-cube) routing,
+    /// the Intel iPSC family's shape.
+    Hypercube {
+        /// Number of dimensions (processors = 2^dim).
+        dim: u32,
+    },
+}
+
+impl Topology {
+    /// A square-ish mesh with capacity for at least `procs`
+    /// processors: width = ceil(sqrt(procs)).
+    pub fn mesh_for(procs: u32) -> Self {
+        let procs = procs.max(1);
+        let width = (procs as f64).sqrt().ceil() as u32;
+        let height = procs.div_ceil(width);
+        Topology::Mesh2D { width, height }
+    }
+
+    /// Number of processor slots in the topology (`u32::MAX` for the
+    /// fully-connected ideal).
+    pub fn capacity(&self) -> u32 {
+        match *self {
+            Topology::FullyConnected => u32::MAX,
+            Topology::Mesh2D { width, height } | Topology::Torus2D { width, height } => {
+                width * height
+            }
+            Topology::Hypercube { dim } => 1 << dim,
+        }
+    }
+
+    /// Hop count between two processors under the topology's routing.
+    pub fn hops(&self, a: ProcId, b: ProcId) -> u32 {
+        match *self {
+            Topology::FullyConnected => u32::from(a != b),
+            Topology::Mesh2D { width, .. } => {
+                let (ax, ay) = (a.0 % width, a.0 / width);
+                let (bx, by) = (b.0 % width, b.0 / width);
+                ax.abs_diff(bx) + ay.abs_diff(by)
+            }
+            Topology::Torus2D { width, height } => {
+                let (ax, ay) = (a.0 % width, a.0 / width);
+                let (bx, by) = (b.0 % width, b.0 / width);
+                let dx = ax.abs_diff(bx).min(width - ax.abs_diff(bx));
+                let dy = ay.abs_diff(by).min(height - ay.abs_diff(by));
+                dx + dy
+            }
+            Topology::Hypercube { .. } => (a.0 ^ b.0).count_ones(),
+        }
+    }
+
+    /// The directed links an `a → b` message traverses (empty for
+    /// `a == b` or the fully-connected ideal, whose links are private
+    /// and never contended). Mesh and torus use XY routing; the
+    /// hypercube uses dimension-ordered (e-cube) routing.
+    pub fn route(&self, a: ProcId, b: ProcId) -> Vec<LinkId> {
+        match *self {
+            Topology::FullyConnected => Vec::new(),
+            Topology::Mesh2D { width, .. } => {
+                let mut links = Vec::new();
+                let (mut x, mut y) = (a.0 % width, a.0 / width);
+                let (bx, by) = (b.0 % width, b.0 / width);
+                let flat = |x: u32, y: u32| y * width + x;
+                while x != bx {
+                    let nx = if bx > x { x + 1 } else { x - 1 };
+                    links.push(LinkId {
+                        from: flat(x, y),
+                        to: flat(nx, y),
+                    });
+                    x = nx;
+                }
+                while y != by {
+                    let ny = if by > y { y + 1 } else { y - 1 };
+                    links.push(LinkId {
+                        from: flat(x, y),
+                        to: flat(x, ny),
+                    });
+                    y = ny;
+                }
+                links
+            }
+            Topology::Torus2D { width, height } => {
+                let mut links = Vec::new();
+                let (mut x, mut y) = (a.0 % width, a.0 / width);
+                let (bx, by) = (b.0 % width, b.0 / width);
+                let flat = |x: u32, y: u32| y * width + x;
+                // Per-axis direction: shorter way around, ties forward.
+                while x != bx {
+                    let fwd = (bx + width - x) % width;
+                    let bwd = (x + width - bx) % width;
+                    let nx = if fwd <= bwd {
+                        (x + 1) % width
+                    } else {
+                        (x + width - 1) % width
+                    };
+                    links.push(LinkId {
+                        from: flat(x, y),
+                        to: flat(nx, y),
+                    });
+                    x = nx;
+                }
+                while y != by {
+                    let fwd = (by + height - y) % height;
+                    let bwd = (y + height - by) % height;
+                    let ny = if fwd <= bwd {
+                        (y + 1) % height
+                    } else {
+                        (y + height - 1) % height
+                    };
+                    links.push(LinkId {
+                        from: flat(x, y),
+                        to: flat(x, ny),
+                    });
+                    y = ny;
+                }
+                links
+            }
+            Topology::Hypercube { dim } => {
+                let mut links = Vec::new();
+                let mut cur = a.0;
+                for d in 0..dim {
+                    let bit = 1u32 << d;
+                    if (cur ^ b.0) & bit != 0 {
+                        let next = cur ^ bit;
+                        links.push(LinkId {
+                            from: cur,
+                            to: next,
+                        });
+                        cur = next;
+                    }
+                }
+                links
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_for_builds_minimal_square() {
+        assert_eq!(
+            Topology::mesh_for(16),
+            Topology::Mesh2D {
+                width: 4,
+                height: 4
+            }
+        );
+        assert_eq!(
+            Topology::mesh_for(17),
+            Topology::Mesh2D {
+                width: 5,
+                height: 4
+            }
+        );
+        assert!(Topology::mesh_for(17).capacity() >= 17);
+        assert_eq!(
+            Topology::mesh_for(1),
+            Topology::Mesh2D {
+                width: 1,
+                height: 1
+            }
+        );
+    }
+
+    #[test]
+    fn mesh_hops_are_manhattan() {
+        let t = Topology::Mesh2D {
+            width: 4,
+            height: 4,
+        };
+        assert_eq!(t.hops(ProcId(0), ProcId(0)), 0);
+        assert_eq!(t.hops(ProcId(0), ProcId(3)), 3);
+        assert_eq!(t.hops(ProcId(0), ProcId(15)), 6);
+        assert_eq!(t.hops(ProcId(5), ProcId(10)), 2);
+    }
+
+    #[test]
+    fn fully_connected_is_one_hop() {
+        let t = Topology::FullyConnected;
+        assert_eq!(t.hops(ProcId(0), ProcId(99)), 1);
+        assert_eq!(t.hops(ProcId(7), ProcId(7)), 0);
+        assert!(t.route(ProcId(0), ProcId(99)).is_empty());
+    }
+
+    #[test]
+    fn xy_route_goes_x_then_y() {
+        let t = Topology::Mesh2D {
+            width: 3,
+            height: 3,
+        };
+        // 0 (0,0) → 8 (2,2): X to (1,0), (2,0); Y to (2,1), (2,2).
+        let route = t.route(ProcId(0), ProcId(8));
+        let pairs: Vec<(u32, u32)> = route.iter().map(|l| (l.from, l.to)).collect();
+        assert_eq!(pairs, vec![(0, 1), (1, 2), (2, 5), (5, 8)]);
+        assert_eq!(route.len() as u32, t.hops(ProcId(0), ProcId(8)));
+    }
+
+    #[test]
+    fn route_handles_negative_directions() {
+        let t = Topology::Mesh2D {
+            width: 3,
+            height: 3,
+        };
+        let route = t.route(ProcId(8), ProcId(0));
+        let pairs: Vec<(u32, u32)> = route.iter().map(|l| (l.from, l.to)).collect();
+        assert_eq!(pairs, vec![(8, 7), (7, 6), (6, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let t = Topology::Mesh2D {
+            width: 3,
+            height: 3,
+        };
+        assert!(t.route(ProcId(4), ProcId(4)).is_empty());
+    }
+
+    #[test]
+    fn torus_wraps_around() {
+        let t = Topology::Torus2D {
+            width: 4,
+            height: 4,
+        };
+        // 0 → 3 is one wraparound hop, not three mesh hops.
+        assert_eq!(t.hops(ProcId(0), ProcId(3)), 1);
+        let route = t.route(ProcId(0), ProcId(3));
+        assert_eq!(route.len(), 1);
+        assert_eq!((route[0].from, route[0].to), (0, 3));
+        // Interior pairs match the mesh.
+        assert_eq!(t.hops(ProcId(0), ProcId(5)), 2);
+        assert_eq!(t.capacity(), 16);
+    }
+
+    #[test]
+    fn hypercube_hops_are_hamming_distance() {
+        let t = Topology::Hypercube { dim: 4 };
+        assert_eq!(t.capacity(), 16);
+        assert_eq!(t.hops(ProcId(0b0000), ProcId(0b1111)), 4);
+        assert_eq!(t.hops(ProcId(0b0101), ProcId(0b0100)), 1);
+        // e-cube route flips bits lowest-first.
+        let route = t.route(ProcId(0b000), ProcId(0b101));
+        let pairs: Vec<(u32, u32)> = route.iter().map(|l| (l.from, l.to)).collect();
+        assert_eq!(pairs, vec![(0b000, 0b001), (0b001, 0b101)]);
+    }
+
+    #[test]
+    fn route_length_equals_hops_everywhere() {
+        for t in [
+            Topology::Mesh2D {
+                width: 4,
+                height: 3,
+            },
+            Topology::Torus2D {
+                width: 4,
+                height: 3,
+            },
+            Topology::Hypercube { dim: 3 },
+        ] {
+            let n = t.capacity().min(12);
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(
+                        t.route(ProcId(a), ProcId(b)).len() as u32,
+                        t.hops(ProcId(a), ProcId(b)),
+                        "{t:?} {a}->{b}"
+                    );
+                }
+            }
+        }
+    }
+}

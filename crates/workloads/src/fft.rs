@@ -1,0 +1,138 @@
+//! FFT task graph (the paper's third real workload).
+//!
+//! The `n` input points are blocked into `R = 2^ceil(log2(n)/2)` rows
+//! of `n/R` points each (CASCH's granularity — this is the unique
+//! blocking that reproduces the paper's task counts for all four table
+//! columns). The graph is then:
+//!
+//! * one *scatter* task;
+//! * one *bit-reverse/input* task per row;
+//! * `log2(R)` butterfly layers of `R` row tasks each, where the task
+//!   for row `r` in layer `l` consumes rows `r` and `r XOR 2^l` of the
+//!   previous layer (the classic radix-2 butterfly on rows);
+//! * one *gather* task.
+//!
+//! Total: `R·(log2(R)+1) + 2` tasks — exactly the paper's
+//! 14 / 34 / 82 / 194 for `n = 16 / 64 / 128 / 512`.
+
+use crate::timing::TimingDatabase;
+use fastsched_dag::{Dag, DagBuilder};
+
+/// Number of butterfly rows for `points` (`points` must be a power of
+/// two, at least 4): `2^ceil(log2(points)/2)`.
+pub fn fft_rows(points: usize) -> usize {
+    assert!(
+        points >= 4 && points.is_power_of_two(),
+        "points must be a power of two >= 4"
+    );
+    let log = points.trailing_zeros();
+    1usize << log.div_ceil(2)
+}
+
+/// The paper's closed-form task count for `points`.
+pub fn fft_task_count(points: usize) -> usize {
+    let r = fft_rows(points);
+    r * (r.trailing_zeros() as usize + 1) + 2
+}
+
+/// Build the FFT DAG for `points` input points (power of two, >= 4),
+/// weighted by `db`.
+pub fn fft_dag(points: usize, db: &TimingDatabase) -> Dag {
+    let rows = fft_rows(points);
+    let block = points / rows; // points per row
+    let layers = rows.trailing_zeros() as usize;
+    let v = rows * (layers + 1) + 2;
+    let mut b = DagBuilder::with_capacity(v, 2 * rows * layers + 2 * rows);
+
+    let scatter = b.add_node("scatter", db.io_cost(points as u64));
+
+    // Input layer: per-row bit-reverse + local FFT of the block
+    // (~5·block·log2(block) flops, at least the block copy).
+    let local_flops = 5 * block as u64 * (block.trailing_zeros() as u64).max(1);
+    let mut prev: Vec<_> = (0..rows)
+        .map(|r| b.add_node(format!("bitrev_{r}"), db.compute_cost(local_flops)))
+        .collect();
+    for &t in &prev {
+        b.add_edge(scatter, t, db.message_cost(block as u64))
+            .unwrap();
+    }
+
+    // Butterfly layers over rows.
+    for l in 0..layers {
+        let stride = 1usize << l;
+        let cur: Vec<_> = (0..rows)
+            .map(|r| b.add_node(format!("bfly_{l}_{r}"), db.compute_cost(10 * block as u64)))
+            .collect();
+        for r in 0..rows {
+            b.add_edge(prev[r], cur[r], db.message_cost(block as u64))
+                .unwrap();
+            b.add_edge(prev[r ^ stride], cur[r], db.message_cost(block as u64))
+                .unwrap();
+        }
+        prev = cur;
+    }
+
+    let gather = b.add_node("gather", db.io_cost(points as u64));
+    for &t in &prev {
+        b.add_edge(t, gather, db.message_cost(block as u64))
+            .unwrap();
+    }
+
+    b.build().expect("generator produces a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_counts_match_paper_table() {
+        let db = TimingDatabase::paragon();
+        for (points, expected) in [(16, 14), (64, 34), (128, 82), (512, 194)] {
+            let g = fft_dag(points, &db);
+            assert_eq!(g.node_count(), expected, "points = {points}");
+            assert_eq!(fft_task_count(points), expected);
+        }
+    }
+
+    #[test]
+    fn rows_formula() {
+        assert_eq!(fft_rows(16), 4);
+        assert_eq!(fft_rows(64), 8);
+        assert_eq!(fft_rows(128), 16);
+        assert_eq!(fft_rows(512), 32);
+    }
+
+    #[test]
+    fn butterfly_partners_are_xor_neighbours() {
+        let db = TimingDatabase::paragon();
+        let g = fft_dag(64, &db); // 8 rows, 3 layers
+                                  // bfly_1_2 depends on bfly_0_2 and bfly_0_0 (2 XOR 2 = 0).
+        let t = g.nodes().find(|&n| g.name(n) == "bfly_1_2").unwrap();
+        let mut parents: Vec<&str> = g.preds(t).iter().map(|e| g.name(e.node)).collect();
+        parents.sort_unstable();
+        assert_eq!(parents, vec!["bfly_0_0", "bfly_0_2"]);
+    }
+
+    #[test]
+    fn single_entry_single_exit() {
+        let db = TimingDatabase::paragon();
+        let g = fft_dag(16, &db);
+        assert_eq!(g.entry_nodes().len(), 1);
+        assert_eq!(g.exit_nodes().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        fft_dag(20, &TimingDatabase::paragon());
+    }
+
+    #[test]
+    fn all_rows_reach_gather() {
+        let db = TimingDatabase::paragon();
+        let g = fft_dag(64, &db);
+        let gather = g.exit_nodes()[0];
+        assert_eq!(g.in_degree(gather), 8);
+    }
+}

@@ -1,0 +1,148 @@
+//! Gaussian-elimination task graph (the paper's first real workload).
+//!
+//! The decomposition is column-oriented elimination of an `N × (N+1)`
+//! augmented system, the granularity CASCH derives from the sequential
+//! program in refs.\[2\], \[10\], \[17\] of the paper:
+//!
+//! * `N+1` *input* tasks, one per column of the augmented matrix;
+//! * for each elimination step `k = 1..N`: one *pivot* task `P_k`
+//!   (normalize column `k` below the diagonal) and `N+1-k` *update*
+//!   tasks `U_{k,j}` for the columns `j = k+1..N+1`;
+//! * one final *back-substitution* task consuming every pivot column
+//!   and the fully-updated right-hand side.
+//!
+//! Total: `(N+1) + N + N(N+1)/2 + 1 = (N+1)(N+4)/2` tasks — exactly
+//! the paper's 20 / 54 / 170 / 594 for `N = 4 / 8 / 16 / 32`.
+
+use crate::timing::TimingDatabase;
+use fastsched_dag::{Dag, DagBuilder, NodeId};
+
+/// Build the Gaussian-elimination DAG for matrix dimension `n`
+/// (`n >= 2`), weighted by `db`.
+pub fn gaussian_elimination_dag(n: usize, db: &TimingDatabase) -> Dag {
+    assert!(n >= 2, "matrix dimension must be at least 2");
+    let cols = n + 1; // augmented matrix
+    let v = (n + 1) * (n + 4) / 2;
+    let mut b = DagBuilder::with_capacity(v, 3 * v);
+
+    // Input tasks, one per column: distribute N matrix entries.
+    let input: Vec<NodeId> = (1..=cols)
+        .map(|j| b.add_node(format!("in_c{j}"), db.io_cost(n as u64)))
+        .collect();
+
+    // pivot[k-1] = P_k; updates[k-1][j-k-1] = U_{k,j}.
+    let mut pivot: Vec<NodeId> = Vec::with_capacity(n);
+    let mut updates: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+    // Last task that produced column j (1-based index j-1).
+    let mut producer: Vec<NodeId> = input.clone();
+
+    for k in 1..=n {
+        let len = (n - k + 1) as u64; // active column length at step k
+                                      // P_k: one reciprocal + len multiplies on column k.
+        let p = b.add_node(format!("piv_{k}"), db.compute_cost(len + 1));
+        // P_k reads the current state of column k.
+        b.add_edge(producer[k - 1], p, db.message_cost(len))
+            .unwrap();
+        producer[k - 1] = p;
+        pivot.push(p);
+
+        let mut row = Vec::with_capacity(cols - k);
+        for j in (k + 1)..=cols {
+            // U_{k,j}: len multiply-adds on column j.
+            let u = b.add_node(format!("upd_{k}_{j}"), db.compute_cost(2 * len));
+            // Needs the normalized pivot column and the current column j.
+            b.add_edge(p, u, db.message_cost(len)).unwrap();
+            b.add_edge(producer[j - 1], u, db.message_cost(len))
+                .unwrap();
+            producer[j - 1] = u;
+            row.push(u);
+        }
+        updates.push(row);
+    }
+
+    // Back substitution: needs every pivot column and the final RHS.
+    let back = b.add_node("backsub", db.compute_cost((n * n) as u64 / 2 + 1));
+    for (k, &p) in pivot.iter().enumerate() {
+        let len = (n - k) as u64 + 1;
+        b.add_edge(p, back, db.message_cost(len)).unwrap();
+    }
+    // producer of the RHS column (index cols-1) is U_{n, n+1}.
+    b.add_edge(producer[cols - 1], back, db.message_cost(n as u64))
+        .unwrap();
+
+    b.build().expect("generator produces a valid DAG")
+}
+
+/// The paper's closed-form task count for matrix dimension `n`.
+pub fn gaussian_task_count(n: usize) -> usize {
+    (n + 1) * (n + 4) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsched_dag::GraphAttributes;
+
+    #[test]
+    fn task_counts_match_paper_table() {
+        let db = TimingDatabase::paragon();
+        for (n, expected) in [(4, 20), (8, 54), (16, 170), (32, 594)] {
+            let g = gaussian_elimination_dag(n, &db);
+            assert_eq!(g.node_count(), expected, "N = {n}");
+            assert_eq!(gaussian_task_count(n), expected);
+        }
+    }
+
+    #[test]
+    fn single_entryless_structure() {
+        let db = TimingDatabase::paragon();
+        let g = gaussian_elimination_dag(4, &db);
+        // Entries are exactly the N+1 input tasks.
+        assert_eq!(g.entry_nodes().len(), 5);
+        // Exactly one exit: back substitution.
+        assert_eq!(g.exit_nodes().len(), 1);
+    }
+
+    #[test]
+    fn dependency_chain_grows_with_n() {
+        let db = TimingDatabase::paragon();
+        let g4 = gaussian_elimination_dag(4, &db);
+        let g8 = gaussian_elimination_dag(8, &db);
+        let a4 = GraphAttributes::compute(&g4);
+        let a8 = GraphAttributes::compute(&g8);
+        assert!(a8.cp_length > a4.cp_length);
+    }
+
+    #[test]
+    fn pivots_form_a_chain_through_updates() {
+        // P_{k+1} must (transitively) depend on P_k via U_{k,k+1}.
+        let db = TimingDatabase::paragon();
+        let g = gaussian_elimination_dag(4, &db);
+        let name_of = |id: NodeId| g.name(id).to_string();
+        // Find U_{1,2} and check its parents include piv_1 and its
+        // child includes piv_2.
+        let u12 = g.nodes().find(|&n| name_of(n) == "upd_1_2").unwrap();
+        let parents: Vec<String> = g.preds(u12).iter().map(|e| name_of(e.node)).collect();
+        assert!(parents.contains(&"piv_1".to_string()));
+        let children: Vec<String> = g.succs(u12).iter().map(|e| name_of(e.node)).collect();
+        assert!(children.contains(&"piv_2".to_string()));
+    }
+
+    #[test]
+    fn weights_shrink_with_elimination_step() {
+        let db = TimingDatabase::paragon();
+        let g = gaussian_elimination_dag(8, &db);
+        let w = |name: &str| {
+            let id = g.nodes().find(|&n| g.name(n) == name).unwrap();
+            g.weight(id)
+        };
+        assert!(w("piv_1") > w("piv_8"));
+        assert!(w("upd_1_2") > w("upd_8_9"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_matrices() {
+        gaussian_elimination_dag(1, &TimingDatabase::paragon());
+    }
+}

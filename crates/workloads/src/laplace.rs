@@ -1,0 +1,137 @@
+//! Laplace equation solver task graph (the paper's second real
+//! workload).
+//!
+//! The decomposition is the classic wavefront (Gauss–Seidel / SOR
+//! ordering) over an `N × N` interior grid, as in Wu and Gajski's
+//! Hypertool examples \[17\]: the task for point `(i, j)` consumes the
+//! freshly-updated values of its north `(i-1, j)` and west `(i, j-1)`
+//! neighbours. A scatter task feeds the first row and column; a gather
+//! task collects the last row and column.
+//!
+//! Total: `N² + 2` tasks — exactly the paper's 18 / 66 / 258 / 1026
+//! for `N = 4 / 8 / 16 / 32`.
+
+use crate::timing::TimingDatabase;
+use fastsched_dag::{Dag, DagBuilder, NodeId};
+
+/// Build the Laplace-solver DAG for grid dimension `n` (`n >= 2`),
+/// weighted by `db`.
+pub fn laplace_dag(n: usize, db: &TimingDatabase) -> Dag {
+    assert!(n >= 2, "grid dimension must be at least 2");
+    let v = n * n + 2;
+    let mut b = DagBuilder::with_capacity(v, 2 * n * n + 4 * n);
+
+    let scatter = b.add_node("scatter", db.io_cost((n * n) as u64));
+
+    // Point tasks: one task folds several relaxation sweeps over its
+    // point (the granularity that lets the real runs show speedup on a
+    // machine whose messages cost tens of microseconds — a bare
+    // 5-point update would drown in message startup). Boundary points
+    // average fewer live neighbours, so — as in CASCH's benchmarked
+    // timing database — their measured cost is smaller. The variation
+    // also matters structurally: with perfectly uniform weights every
+    // monotone grid path ties for the critical path and the
+    // CPN/IBN/OBN partition degenerates.
+    let mut grid = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row = Vec::with_capacity(n);
+        for j in 0..n {
+            let on_boundary = usize::from(i == 0 || i == n - 1) + usize::from(j == 0 || j == n - 1);
+            let flops = 40 - 8 * on_boundary as u64; // interior 40, edge 32, corner 24
+            row.push(b.add_node(format!("p_{i}_{j}"), db.compute_cost(flops)));
+        }
+        grid.push(row);
+    }
+
+    let gather = b.add_node("gather", db.io_cost((n * n) as u64));
+
+    // Boundary feeds: the first row and first column read from scatter.
+    for i in 0..n {
+        for j in 0..n {
+            let t = grid[i][j];
+            if i == 0 || j == 0 {
+                b.add_edge(scatter, t, db.message_cost(1)).unwrap();
+            }
+            if i > 0 {
+                b.add_edge(grid[i - 1][j], t, db.message_cost(1)).unwrap();
+            }
+            if j > 0 {
+                b.add_edge(grid[i][j - 1], t, db.message_cost(1)).unwrap();
+            }
+            if i == n - 1 || j == n - 1 {
+                b.add_edge(t, gather, db.message_cost(1)).unwrap();
+            }
+        }
+    }
+
+    b.build().expect("generator produces a valid DAG")
+}
+
+/// The paper's closed-form task count for grid dimension `n`.
+pub fn laplace_task_count(n: usize) -> usize {
+    n * n + 2
+}
+
+/// Helper: find the point-task id for `(i, j)` in a graph produced by
+/// [`laplace_dag`].
+pub fn point_task(dag: &Dag, i: usize, j: usize) -> Option<NodeId> {
+    let name = format!("p_{i}_{j}");
+    dag.nodes().find(|&n| dag.name(n) == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsched_dag::GraphAttributes;
+
+    #[test]
+    fn task_counts_match_paper_table() {
+        let db = TimingDatabase::paragon();
+        for (n, expected) in [(4, 18), (8, 66), (16, 258), (32, 1026)] {
+            let g = laplace_dag(n, &db);
+            assert_eq!(g.node_count(), expected, "N = {n}");
+            assert_eq!(laplace_task_count(n), expected);
+        }
+    }
+
+    #[test]
+    fn wavefront_dependencies() {
+        let db = TimingDatabase::paragon();
+        let g = laplace_dag(4, &db);
+        let p11 = point_task(&g, 1, 1).unwrap();
+        let parents: Vec<&str> = g.preds(p11).iter().map(|e| g.name(e.node)).collect();
+        assert!(parents.contains(&"p_0_1"));
+        assert!(parents.contains(&"p_1_0"));
+        assert_eq!(parents.len(), 2);
+    }
+
+    #[test]
+    fn single_entry_single_exit() {
+        let db = TimingDatabase::paragon();
+        let g = laplace_dag(4, &db);
+        assert_eq!(g.entry_nodes().len(), 1);
+        assert_eq!(g.exit_nodes().len(), 1);
+        assert_eq!(g.name(g.entry_nodes()[0]), "scatter");
+        assert_eq!(g.name(g.exit_nodes()[0]), "gather");
+    }
+
+    #[test]
+    fn critical_path_runs_along_the_diagonal() {
+        // The longest chain passes through ~2N-1 point tasks.
+        let db = TimingDatabase::compute_bound();
+        let g = laplace_dag(6, &db);
+        let at = GraphAttributes::compute(&g);
+        let corner_w = db.compute_cost(24); // cheapest point task
+                                            // The CP passes through at least 2N-1 point tasks.
+        let chain_points = 2 * 6 - 1;
+        assert!(at.cp_length >= chain_points as u64 * corner_w);
+    }
+
+    #[test]
+    fn edge_count_is_quadratic() {
+        let db = TimingDatabase::paragon();
+        let g = laplace_dag(8, &db);
+        // 2*n*(n-1) interior + 2n-1 scatter + 2n-1 gather.
+        assert_eq!(g.edge_count(), 2 * 8 * 7 + (2 * 8 - 1) * 2);
+    }
+}

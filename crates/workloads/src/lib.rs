@@ -1,0 +1,43 @@
+//! # fastsched-workloads
+//!
+//! Task-graph generators for the FAST reproduction: the three "real
+//! workload" applications of §5.1 (Gaussian elimination, Laplace
+//! equation solver, FFT) with task counts matching the paper's tables
+//! exactly, and the layered random-DAG generator of §5.2.
+//!
+//! The paper's task counts are recovered by these closed forms, all
+//! verified against the four table columns of Figures 5–7:
+//!
+//! * Gaussian elimination, matrix dimension `N`:
+//!   `(N+1)(N+4)/2` tasks (N+1 column-input tasks, N pivot tasks,
+//!   `N(N+1)/2` update tasks, 1 back-substitution task) —
+//!   20 / 54 / 170 / 594 for N = 4 / 8 / 16 / 32.
+//! * Laplace solver, grid dimension `N`: `N² + 2` tasks (one wavefront
+//!   task per grid point plus scatter and gather) —
+//!   18 / 66 / 258 / 1026 for N = 4 / 8 / 16 / 32.
+//! * FFT on `n` points: the points are blocked into
+//!   `R = 2^ceil(log2(n)/2)` rows; one bit-reverse/input task per row,
+//!   `log2(R)` butterfly layers of `R` tasks, plus scatter and gather:
+//!   `R·(log2(R)+1) + 2` tasks — 14 / 34 / 82 / 194 for
+//!   n = 16 / 64 / 128 / 512.
+//!
+//! Task and message weights come from a [`timing::TimingDatabase`]
+//! standing in for CASCH's benchmarked timing database (see DESIGN.md
+//! for the substitution rationale).
+
+#![warn(missing_docs)]
+
+pub mod fft;
+pub mod gaussian;
+pub mod laplace;
+pub mod linalg;
+pub mod random;
+pub mod timing;
+pub mod trees;
+
+pub use fft::fft_dag;
+pub use gaussian::gaussian_elimination_dag;
+pub use laplace::laplace_dag;
+pub use linalg::{cholesky_dag, systolic_matmul_dag};
+pub use random::{random_layered_dag, RandomDagConfig};
+pub use timing::TimingDatabase;

@@ -1,0 +1,197 @@
+//! Additional dense linear-algebra task graphs beyond the paper's
+//! three applications: tiled Cholesky factorization and a systolic
+//! matrix-multiply wave. Both are standard benchmark families in the
+//! DAG-scheduling literature and stress different schedule shapes than
+//! Gaussian elimination (Cholesky's task types have very different
+//! weights; the systolic wave is maximally regular).
+
+use crate::timing::TimingDatabase;
+use fastsched_dag::{Dag, DagBuilder, NodeId};
+
+/// Tiled (right-looking) Cholesky factorization of a `t × t` tile
+/// matrix: the classic POTRF/TRSM/SYRK/GEMM task graph.
+///
+/// Task counts: `t` POTRF + `t(t-1)/2` TRSM + `t(t-1)/2` SYRK +
+/// `t(t-1)(t-2)/6` GEMM.
+pub fn cholesky_dag(tiles: usize, db: &TimingDatabase) -> Dag {
+    assert!(tiles >= 1, "need at least one tile");
+    let t = tiles;
+    let mut b = DagBuilder::new();
+
+    // Block operations on bs × bs tiles: weight ∝ flop count of the
+    // kernel (bs fixed at 8 elements for cost purposes).
+    let bs: u64 = 8;
+    let w_potrf = db.compute_cost(bs * bs * bs / 3 + 1);
+    let w_trsm = db.compute_cost(bs * bs * bs / 2 + 1);
+    let w_syrk = db.compute_cost(bs * bs * bs / 2 + 1);
+    let w_gemm = db.compute_cost(bs * bs * bs + 1);
+    let tile_msg = db.message_cost(bs * bs);
+
+    // a[i][j] = last producer of tile (i, j), lower triangle.
+    let mut producer: Vec<Vec<Option<NodeId>>> = vec![vec![None; t]; t];
+
+    for k in 0..t {
+        let potrf = b.add_node(format!("potrf_{k}"), w_potrf);
+        if let Some(p) = producer[k][k] {
+            b.add_edge(p, potrf, tile_msg).unwrap();
+        }
+        producer[k][k] = Some(potrf);
+
+        #[allow(clippy::needless_range_loop)] // indexing two rows of `producer`
+        for i in (k + 1)..t {
+            let trsm = b.add_node(format!("trsm_{i}_{k}"), w_trsm);
+            b.add_edge(potrf, trsm, tile_msg).unwrap();
+            if let Some(p) = producer[i][k] {
+                b.add_edge(p, trsm, tile_msg).unwrap();
+            }
+            producer[i][k] = Some(trsm);
+        }
+
+        for i in (k + 1)..t {
+            for j in (k + 1)..=i {
+                let (node, name) = if i == j {
+                    (b.add_node(format!("syrk_{i}_{k}"), w_syrk), "syrk")
+                } else {
+                    (b.add_node(format!("gemm_{i}_{j}_{k}"), w_gemm), "gemm")
+                };
+                let _ = name;
+                // Consumes the TRSM outputs of row i (and row j for GEMM).
+                let trsm_i = producer[i][k].expect("trsm exists");
+                b.add_edge(trsm_i, node, tile_msg).unwrap();
+                if i != j {
+                    let trsm_j = producer[j][k].expect("trsm exists");
+                    b.add_edge(trsm_j, node, tile_msg).unwrap();
+                }
+                if let Some(p) = producer[i][j] {
+                    if p != trsm_i {
+                        b.add_edge(p, node, tile_msg).unwrap();
+                    }
+                }
+                producer[i][j] = Some(node);
+            }
+        }
+    }
+    b.build().expect("cholesky DAG is acyclic by construction")
+}
+
+/// Expected task count of [`cholesky_dag`] for `t` tiles.
+pub fn cholesky_task_count(t: usize) -> usize {
+    let gemm = t * t.saturating_sub(1) * t.saturating_sub(2) / 6;
+    t + t * t.saturating_sub(1) / 2 + t * t.saturating_sub(1) / 2 + gemm
+}
+
+/// Systolic matrix-multiply wave on an `n × n` grid of inner-product
+/// tasks: task `(i, j)` consumes streamed operands from `(i, j-1)` and
+/// `(i-1, j)` — a maximally regular two-dimensional pipeline with one
+/// source and one sink.
+pub fn systolic_matmul_dag(n: usize, db: &TimingDatabase) -> Dag {
+    assert!(n >= 1);
+    let mut b = DagBuilder::with_capacity(n * n + 2, 2 * n * n + 2 * n);
+    let src = b.add_node("stream_in", db.io_cost((2 * n) as u64));
+    let w = db.compute_cost(2 * 8); // one 8-length inner product step
+    let msg = db.message_cost(8);
+
+    let mut grid: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row = Vec::with_capacity(n);
+        for j in 0..n {
+            let cell = b.add_node(format!("pe_{i}_{j}"), w);
+            if i == 0 && j == 0 {
+                b.add_edge(src, cell, msg).unwrap();
+            }
+            if i > 0 {
+                b.add_edge(grid[i - 1][j], cell, msg).unwrap();
+            }
+            if j > 0 {
+                b.add_edge(row[j - 1], cell, msg).unwrap();
+            }
+            if i == 0 && j > 0 {
+                b.add_edge(src, cell, msg).unwrap();
+            }
+            if j == 0 && i > 0 {
+                b.add_edge(src, cell, msg).unwrap();
+            }
+            row.push(cell);
+        }
+        grid.push(row);
+    }
+    let sink = b.add_node("stream_out", db.io_cost((2 * n) as u64));
+    for (i, row) in grid.iter().enumerate() {
+        for (j, &cell) in row.iter().enumerate() {
+            if i == n - 1 || j == n - 1 {
+                b.add_edge(cell, sink, msg).unwrap();
+            }
+        }
+    }
+    b.build().expect("systolic DAG is acyclic by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsched_dag::GraphAttributes;
+
+    fn db() -> TimingDatabase {
+        TimingDatabase::paragon()
+    }
+
+    #[test]
+    fn cholesky_task_counts() {
+        for t in [1usize, 2, 3, 4, 6] {
+            let g = cholesky_dag(t, &db());
+            assert_eq!(g.node_count(), cholesky_task_count(t), "t = {t}");
+        }
+        // t=4: 4 potrf + 6 trsm + 6 syrk + 4 gemm = 20.
+        assert_eq!(cholesky_task_count(4), 20);
+    }
+
+    #[test]
+    fn cholesky_potrf_chain_orders_steps() {
+        let g = cholesky_dag(4, &db());
+        let find = |name: &str| g.nodes().find(|&n| g.name(n) == name).unwrap();
+        let at = GraphAttributes::compute(&g);
+        // potrf_k strictly increases in t-level with k.
+        let mut last = None;
+        for k in 0..4 {
+            let t = at.t_level[find(&format!("potrf_{k}")).index()];
+            if let Some(prev) = last {
+                assert!(t > prev, "potrf_{k} must start after potrf_{}", k - 1);
+            }
+            last = Some(t);
+        }
+    }
+
+    #[test]
+    fn cholesky_gemm_is_heaviest_kernel() {
+        let g = cholesky_dag(4, &db());
+        let weight_of = |prefix: &str| {
+            g.nodes()
+                .find(|&n| g.name(n).starts_with(prefix))
+                .map(|n| g.weight(n))
+                .unwrap()
+        };
+        assert!(weight_of("gemm") > weight_of("trsm"));
+        assert!(weight_of("gemm") > weight_of("potrf"));
+    }
+
+    #[test]
+    fn systolic_shape() {
+        let g = systolic_matmul_dag(4, &db());
+        assert_eq!(g.node_count(), 18);
+        assert_eq!(g.entry_nodes().len(), 1);
+        assert_eq!(g.exit_nodes().len(), 1);
+        // Diagonal wavefront: CP passes ~2n-1 cells.
+        let at = GraphAttributes::compute(&g);
+        assert!(at.cp_length > 0);
+    }
+
+    #[test]
+    fn systolic_cell_dependencies() {
+        let g = systolic_matmul_dag(3, &db());
+        let find = |name: &str| g.nodes().find(|&n| g.name(n) == name).unwrap();
+        let cell = find("pe_1_1");
+        let parents: Vec<&str> = g.preds(cell).iter().map(|e| g.name(e.node)).collect();
+        assert!(parents.contains(&"pe_0_1"));
+        assert!(parents.contains(&"pe_1_0"));
+    }
+}

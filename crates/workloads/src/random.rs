@@ -1,0 +1,282 @@
+//! The §5.2 random layered DAG generator.
+//!
+//! "Given the size of the DAG (i.e., v), we first randomly generated
+//! the height of the DAG from a uniform distribution with mean roughly
+//! equal to √v. For each level, we generated a random number of nodes
+//! which was also selected from a uniform distribution with mean
+//! roughly equal to √v. Then, we connected the nodes from the higher
+//! level to lower level randomly. The edge weights were also randomly
+//! generated. [...] the random DAGs generated were deliberately made
+//! denser."
+//!
+//! The paper's graphs average ≈ 35 edges per node (e.g. 81,049 edges
+//! for 2,000 nodes), which [`RandomDagConfig::paper`] reproduces.
+
+use crate::timing::TimingDatabase;
+use fastsched_dag::{Cost, Dag, DagBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the layered random generator.
+#[derive(Debug, Clone)]
+pub struct RandomDagConfig {
+    /// Target number of nodes `v`.
+    pub nodes: usize,
+    /// Range of out-edges drawn per node (before deduplication);
+    /// `20..=50` reproduces the paper's edge density of ~35 e/v.
+    pub out_degree: (usize, usize),
+    /// Node weight range (uniform, inclusive).
+    pub node_weight: (Cost, Cost),
+    /// Edge weight range (uniform, inclusive).
+    pub edge_weight: (Cost, Cost),
+}
+
+impl RandomDagConfig {
+    /// The configuration matching §5.2 of the paper for a given `v`,
+    /// weighted against `db` so node and edge costs are commensurate
+    /// with the real workloads (CCR near one).
+    pub fn paper(nodes: usize, db: &TimingDatabase) -> Self {
+        let w = db.compute_cost(16);
+        let c = db.message_cost(16);
+        Self {
+            nodes,
+            out_degree: (20, 50),
+            node_weight: (w / 2, w * 2),
+            edge_weight: (c / 2, c * 2),
+        }
+    }
+
+    /// A sparse variant (2–4 successors per node) for tests and
+    /// ablations; CCR controlled by `db` as in [`RandomDagConfig::paper`].
+    pub fn sparse(nodes: usize, db: &TimingDatabase) -> Self {
+        let w = db.compute_cost(16);
+        let c = db.message_cost(16);
+        Self {
+            nodes,
+            out_degree: (2, 4),
+            node_weight: (w / 2, w * 2),
+            edge_weight: (c / 2, c * 2),
+        }
+    }
+}
+
+/// Generate a layered random DAG per §5.2, deterministically from
+/// `seed`.
+///
+/// The generator guarantees:
+/// * exactly `config.nodes` nodes;
+/// * every non-first-layer node has at least one parent in an earlier
+///   layer and every non-last-layer node at least one child in a later
+///   layer (the graph is a single weakly-connected "application");
+/// * all weights inside the configured ranges.
+pub fn random_layered_dag(config: &RandomDagConfig, seed: u64) -> Dag {
+    let v = config.nodes;
+    assert!(v >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Height ~ U(mean √v): uniform over [√v/2, 3√v/2].
+    let sq = (v as f64).sqrt().round().max(1.0) as usize;
+    let height = rng.gen_range((sq / 2).max(1)..=sq + sq / 2).min(v);
+
+    // Split v nodes over `height` layers: draw layer sizes ~ U(mean
+    // √v) then rescale to sum exactly to v.
+    let mut sizes: Vec<usize> = (0..height)
+        .map(|_| rng.gen_range((sq / 2).max(1)..=sq + sq / 2))
+        .collect();
+    rebalance_to_total(&mut sizes, v);
+
+    let mut b =
+        DagBuilder::with_capacity(v, v * (config.out_degree.0 + config.out_degree.1) / 2 + v);
+    let mut layers: Vec<Vec<NodeId>> = Vec::with_capacity(height);
+    for &size in &sizes {
+        let layer: Vec<NodeId> = (0..size)
+            .map(|_| b.add_task(rng.gen_range(config.node_weight.0..=config.node_weight.1)))
+            .collect();
+        layers.push(layer);
+    }
+
+    // Prefix sums of layer sizes to draw "any node in a later layer".
+    let suffix_start: Vec<usize> = {
+        let mut acc = Vec::with_capacity(height + 1);
+        let mut s = 0;
+        for layer in &layers {
+            acc.push(s);
+            s += layer.len();
+        }
+        acc.push(s);
+        acc
+    };
+    let node_at = |global: usize| NodeId(global as u32);
+
+    let mut has_parent = vec![false; v];
+    let mut edge_seen = std::collections::HashSet::new();
+    for (li, layer) in layers.iter().enumerate() {
+        if li + 1 == height {
+            break;
+        }
+        let later_lo = suffix_start[li + 1];
+        let later_hi = suffix_start[height];
+        for &src in layer {
+            let degree = rng.gen_range(config.out_degree.0..=config.out_degree.1);
+            let mut added = 0;
+            // Draw with rejection on duplicates; bounded attempts keep
+            // the generator O(degree) per node in expectation.
+            for _ in 0..degree * 2 {
+                if added >= degree {
+                    break;
+                }
+                let dst = node_at(rng.gen_range(later_lo..later_hi));
+                if edge_seen.insert((src, dst)) {
+                    let w = rng.gen_range(config.edge_weight.0..=config.edge_weight.1);
+                    b.add_edge(src, dst, w).unwrap();
+                    has_parent[dst.index()] = true;
+                    added += 1;
+                }
+            }
+            if added == 0 {
+                // Degenerate tail (later layers smaller than the degree
+                // draw): force one edge to keep the node non-terminal.
+                let dst = node_at(rng.gen_range(later_lo..later_hi));
+                if edge_seen.insert((src, dst)) {
+                    let w = rng.gen_range(config.edge_weight.0..=config.edge_weight.1);
+                    b.add_edge(src, dst, w).unwrap();
+                    has_parent[dst.index()] = true;
+                }
+            }
+        }
+    }
+
+    // Orphan repair: every node beyond the first layer gets a parent
+    // from the immediately preceding layer.
+    for li in 1..height {
+        for &n in &layers[li] {
+            if !has_parent[n.index()] {
+                let p = layers[li - 1][rng.gen_range(0..layers[li - 1].len())];
+                if edge_seen.insert((p, n)) {
+                    let w = rng.gen_range(config.edge_weight.0..=config.edge_weight.1);
+                    b.add_edge(p, n, w).unwrap();
+                }
+            }
+        }
+    }
+
+    b.build()
+        .expect("layered construction cannot create cycles")
+}
+
+/// Adjust `sizes` (all kept >= 1) so they sum to exactly `total`.
+fn rebalance_to_total(sizes: &mut Vec<usize>, total: usize) {
+    // Never more layers than nodes.
+    while sizes.len() > total {
+        sizes.pop();
+    }
+    let mut sum: usize = sizes.iter().sum();
+    // Scale roughly, then fix up one by one.
+    while sum > total {
+        for s in sizes.iter_mut() {
+            if sum == total {
+                break;
+            }
+            if *s > 1 {
+                *s -= 1;
+                sum -= 1;
+            }
+        }
+        // All layers at 1 but still too many nodes: drop layers.
+        if sizes.iter().all(|&s| s == 1) && sum > total {
+            sizes.truncate(total);
+            return;
+        }
+    }
+    let len = sizes.len();
+    let mut i = 0;
+    while sum < total {
+        sizes[i % len] += 1;
+        sum += 1;
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsched_dag::topo::height as dag_height;
+
+    fn db() -> TimingDatabase {
+        TimingDatabase::paragon()
+    }
+
+    #[test]
+    fn exact_node_count() {
+        for v in [10, 100, 1000] {
+            let g = random_layered_dag(&RandomDagConfig::sparse(v, &db()), 42);
+            assert_eq!(g.node_count(), v);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomDagConfig::sparse(200, &db());
+        let a = random_layered_dag(&cfg, 7);
+        let b = random_layered_dag(&cfg, 7);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert!(a.edges().eq(b.edges()));
+        let c = random_layered_dag(&cfg, 8);
+        // Different seed should (overwhelmingly) differ.
+        assert!(a.edge_count() != c.edge_count() || !a.edges().eq(c.edges()));
+    }
+
+    #[test]
+    fn paper_density_near_35_edges_per_node() {
+        let g = random_layered_dag(&RandomDagConfig::paper(2000, &db()), 1);
+        let density = g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            (25.0..=45.0).contains(&density),
+            "edges per node = {density}"
+        );
+    }
+
+    #[test]
+    fn height_near_sqrt_v() {
+        let g = random_layered_dag(&RandomDagConfig::sparse(900, &db()), 3);
+        let h = dag_height(&g) as f64;
+        // mean √900 = 30; uniform on [15, 45]; layered construction can
+        // only shorten paths, never lengthen beyond the layer count.
+        assert!(h <= 46.0, "height = {h}");
+        assert!(h >= 5.0, "height = {h}");
+    }
+
+    #[test]
+    fn no_orphans_after_first_layer() {
+        let g = random_layered_dag(&RandomDagConfig::sparse(500, &db()), 11);
+        // Entry nodes should all sit in the first layer; with layer
+        // sizes ~√500 ≈ 22 there must be far fewer entries than nodes.
+        assert!(g.entry_nodes().len() < 60);
+    }
+
+    #[test]
+    fn weights_within_configured_ranges() {
+        let cfg = RandomDagConfig {
+            nodes: 100,
+            out_degree: (1, 3),
+            node_weight: (5, 9),
+            edge_weight: (2, 4),
+        };
+        let g = random_layered_dag(&cfg, 9);
+        assert!(g.nodes().all(|n| (5..=9).contains(&g.weight(n))));
+        assert!(g.edges().all(|(_, _, c)| (2..=4).contains(&c)));
+    }
+
+    #[test]
+    fn rebalance_handles_extremes() {
+        let mut sizes = vec![10, 10, 10];
+        rebalance_to_total(&mut sizes, 6);
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+        let mut sizes = vec![1, 1];
+        rebalance_to_total(&mut sizes, 10);
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        let mut sizes = vec![1, 1, 1, 1];
+        rebalance_to_total(&mut sizes, 2);
+        assert_eq!(sizes.iter().sum::<usize>(), 2);
+    }
+}

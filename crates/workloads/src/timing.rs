@@ -1,0 +1,127 @@
+//! The timing database: per-operation cost constants used to weight
+//! generated task graphs.
+//!
+//! CASCH assigned node and edge weights "through a timing database
+//! that was obtained through benchmarking" the Intel Paragon (§5).
+//! We cannot benchmark a Paragon, so this module substitutes a
+//! constants table calibrated to Paragon-era magnitudes:
+//!
+//! * a 50 MHz i860 sustained a few Mflop/s on compiled loops — a
+//!   floating-point operation including loop overhead lands in the
+//!   low-microsecond range;
+//! * an OSF/1 message had tens of microseconds of software startup
+//!   latency, with per-word network cost well under that.
+//!
+//! The defaults put generated applications at a
+//! communication-to-computation ratio near one, the regime the
+//! paper's real workloads occupy ("mainly sparse DAGs" with real
+//! speedups on the machine). All constants are public so experiments
+//! can explore other regimes.
+
+use fastsched_dag::Cost;
+
+/// Per-operation costs, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingDatabase {
+    /// One floating-point operation including loop overhead.
+    pub flop_us: Cost,
+    /// Software startup cost of one message.
+    pub msg_startup_us: Cost,
+    /// Per-word (8-byte) network transfer cost.
+    pub word_transfer_us: Cost,
+    /// Per-word cost of I/O-ish scatter/gather tasks.
+    pub io_word_us: Cost,
+}
+
+impl TimingDatabase {
+    /// Paragon-calibrated defaults (see module docs).
+    pub const fn paragon() -> Self {
+        Self {
+            flop_us: 3,
+            msg_startup_us: 40,
+            word_transfer_us: 1,
+            io_word_us: 2,
+        }
+    }
+
+    /// A communication-free variant (messages cost one time unit):
+    /// useful to isolate computation-side behaviour in tests and
+    /// ablations.
+    pub const fn compute_bound() -> Self {
+        Self {
+            flop_us: 3,
+            msg_startup_us: 0,
+            word_transfer_us: 1,
+            io_word_us: 2,
+        }
+    }
+
+    /// A communication-heavy variant (10× message startup): the
+    /// fine-grain regime where clustering algorithms shine.
+    pub const fn comm_heavy() -> Self {
+        Self {
+            flop_us: 3,
+            msg_startup_us: 400,
+            word_transfer_us: 4,
+            io_word_us: 2,
+        }
+    }
+
+    /// Cost of a computation task performing `flops` operations.
+    /// Clamped to at least 1 (zero-weight tasks are invalid).
+    #[inline]
+    pub fn compute_cost(&self, flops: u64) -> Cost {
+        (self.flop_us * flops).max(1)
+    }
+
+    /// Cost of transferring `words` 8-byte words in one message.
+    /// Clamped to at least 1 so edges always order events in time.
+    #[inline]
+    pub fn message_cost(&self, words: u64) -> Cost {
+        (self.msg_startup_us + self.word_transfer_us * words).max(1)
+    }
+
+    /// Cost of an I/O task moving `words` words.
+    #[inline]
+    pub fn io_cost(&self, words: u64) -> Cost {
+        (self.io_word_us * words).max(1)
+    }
+}
+
+impl Default for TimingDatabase {
+    fn default() -> Self {
+        Self::paragon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paragon_costs_are_positive() {
+        let db = TimingDatabase::paragon();
+        assert!(db.compute_cost(10) > 0);
+        assert!(db.message_cost(0) > 0);
+        assert!(db.io_cost(0) > 0);
+    }
+
+    #[test]
+    fn message_cost_includes_startup() {
+        let db = TimingDatabase::paragon();
+        assert_eq!(db.message_cost(10), 40 + 10);
+        assert_eq!(db.message_cost(0), 40);
+    }
+
+    #[test]
+    fn compute_bound_still_gives_positive_edge_costs() {
+        let db = TimingDatabase::compute_bound();
+        assert_eq!(db.message_cost(0), 1);
+        assert_eq!(db.message_cost(5), 5);
+    }
+
+    #[test]
+    fn default_is_paragon() {
+        assert_eq!(TimingDatabase::default(), TimingDatabase::paragon());
+    }
+}

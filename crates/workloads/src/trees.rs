@@ -1,0 +1,135 @@
+//! Additional classic task-graph families used for tests, property
+//! checks and ablations: in-trees, out-trees, and divide-and-conquer
+//! (binary fork/join) graphs. These are the shapes for which optimal
+//! schedules are known in special cases (§1 of the paper cites the
+//! tree-structured optimality result of Coffman).
+
+use crate::timing::TimingDatabase;
+use fastsched_dag::{Dag, DagBuilder, NodeId};
+
+/// Complete binary *out-tree* of the given `depth` (root at the top,
+/// `2^depth - 1` nodes): data flows root → leaves.
+pub fn binary_out_tree(depth: u32, db: &TimingDatabase) -> Dag {
+    assert!(depth >= 1);
+    let v = (1usize << depth) - 1;
+    let mut b = DagBuilder::with_capacity(v, v - 1);
+    let nodes: Vec<NodeId> = (0..v)
+        .map(|i| b.add_node(format!("t{i}"), db.compute_cost(8)))
+        .collect();
+    for i in 0..v {
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < v {
+                b.add_edge(nodes[i], nodes[child], db.message_cost(4))
+                    .unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Complete binary *in-tree* of the given `depth` (`2^depth - 1`
+/// nodes): data flows leaves → root, the classic reduction shape.
+pub fn binary_in_tree(depth: u32, db: &TimingDatabase) -> Dag {
+    assert!(depth >= 1);
+    let v = (1usize << depth) - 1;
+    let mut b = DagBuilder::with_capacity(v, v - 1);
+    let nodes: Vec<NodeId> = (0..v)
+        .map(|i| b.add_node(format!("t{i}"), db.compute_cost(8)))
+        .collect();
+    for i in 0..v {
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < v {
+                b.add_edge(nodes[child], nodes[i], db.message_cost(4))
+                    .unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Divide-and-conquer graph: a binary out-tree of split tasks, a layer
+/// of `2^depth` parallel leaf work tasks, and a mirrored in-tree of
+/// merge tasks — `3·2^depth - 2` nodes total, with one entry and one
+/// exit.
+pub fn divide_and_conquer(depth: u32, db: &TimingDatabase) -> Dag {
+    assert!(depth >= 1);
+    let leaves = 1usize << depth;
+    // split internal nodes: leaves - 1; merge internal nodes: leaves - 1.
+    let v = (leaves - 1) + leaves + (leaves - 1);
+    let mut b = DagBuilder::with_capacity(v, 4 * leaves);
+
+    // Split tree (heap order), leaves - 1 internal nodes.
+    let split: Vec<NodeId> = (0..leaves - 1)
+        .map(|i| b.add_node(format!("split{i}"), db.compute_cost(4)))
+        .collect();
+    let work: Vec<NodeId> = (0..leaves)
+        .map(|i| b.add_node(format!("work{i}"), db.compute_cost(32)))
+        .collect();
+    let merge: Vec<NodeId> = (0..leaves - 1)
+        .map(|i| b.add_node(format!("merge{i}"), db.compute_cost(8)))
+        .collect();
+
+    let split_child = |i: usize, k: usize| 2 * i + 1 + k; // k in {0,1}
+    for i in 0..leaves - 1 {
+        for k in 0..2 {
+            let c = split_child(i, k);
+            if c < leaves - 1 {
+                b.add_edge(split[i], split[c], db.message_cost(8)).unwrap();
+            } else {
+                // Leaf position c maps to work index c - (leaves - 1).
+                b.add_edge(split[i], work[c - (leaves - 1)], db.message_cost(8))
+                    .unwrap();
+            }
+        }
+    }
+    for i in (0..leaves - 1).rev() {
+        for k in 0..2 {
+            let c = split_child(i, k);
+            if c < leaves - 1 {
+                b.add_edge(merge[c], merge[i], db.message_cost(8)).unwrap();
+            } else {
+                b.add_edge(work[c - (leaves - 1)], merge[i], db.message_cost(8))
+                    .unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TimingDatabase {
+        TimingDatabase::paragon()
+    }
+
+    #[test]
+    fn out_tree_shape() {
+        let g = binary_out_tree(4, &db());
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert_eq!(g.entry_nodes().len(), 1);
+        assert_eq!(g.exit_nodes().len(), 8);
+    }
+
+    #[test]
+    fn in_tree_shape() {
+        let g = binary_in_tree(4, &db());
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.entry_nodes().len(), 8);
+        assert_eq!(g.exit_nodes().len(), 1);
+    }
+
+    #[test]
+    fn divide_and_conquer_shape() {
+        let g = divide_and_conquer(3, &db());
+        // 7 splits + 8 work + 7 merges.
+        assert_eq!(g.node_count(), 22);
+        assert_eq!(g.entry_nodes().len(), 1);
+        assert_eq!(g.exit_nodes().len(), 1);
+        // 8 parallel leaves.
+        let leaves = g.nodes().filter(|&n| g.name(n).starts_with("work")).count();
+        assert_eq!(leaves, 8);
+    }
+}

@@ -1,0 +1,41 @@
+//! Explore how the communication-to-computation ratio (CCR) shifts
+//! the relative quality of the schedulers on §5.2-style random DAGs:
+//! compute-bound graphs reward aggressive spreading, comm-heavy graphs
+//! reward clustering. Averages normalized schedule lengths over three
+//! seeds per regime.
+//!
+//! ```text
+//! cargo run --release --example ccr_regimes
+//! ```
+
+use fastsched::prelude::*;
+
+fn main() {
+    for (label, db) in [
+        ("compute-bound", TimingDatabase::compute_bound()),
+        ("paragon", TimingDatabase::paragon()),
+        ("comm-heavy", TimingDatabase::comm_heavy()),
+    ] {
+        let mut sums = [0.0f64; 4];
+        let names = ["FAST", "DSC", "ETF", "DLS"];
+        for seed in 0..3u64 {
+            let dag = random_layered_dag(&RandomDagConfig::paper(1000, &db), seed);
+            let scheds: Vec<Box<dyn Scheduler>> = vec![
+                Box::new(Fast::new()),
+                Box::new(Dsc::new()),
+                Box::new(Etf::new()),
+                Box::new(Dls::new()),
+            ];
+            let base = scheds[0].schedule(&dag, 512).makespan() as f64;
+            for (i, s) in scheds.iter().enumerate() {
+                sums[i] += s.schedule(&dag, 512).makespan() as f64 / base;
+            }
+        }
+        let ccr = random_layered_dag(&RandomDagConfig::paper(1000, &db), 0).ccr();
+        print!("{label:>14} (ccr {ccr:.2}): ");
+        for (i, n) in names.iter().enumerate() {
+            print!("{n}={:.3} ", sums[i] / 3.0);
+        }
+        println!();
+    }
+}

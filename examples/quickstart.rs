@@ -1,0 +1,70 @@
+//! Quickstart: build a small task graph by hand, schedule it with
+//! FAST, inspect the schedule, and run it on the simulated machine.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use fastsched::prelude::*;
+use fastsched::schedule::gantt;
+
+fn main() {
+    // A small pipeline-with-a-side-branch task graph. Weights are in
+    // microseconds: `add_node(name, computation_cost)`,
+    // `add_edge(src, dst, communication_cost)`.
+    let mut b = DagBuilder::new();
+    let load = b.add_node("load", 20);
+    let parse = b.add_node("parse", 40);
+    let index = b.add_node("index", 35);
+    let stats = b.add_node("stats", 25);
+    let merge = b.add_node("merge", 30);
+    let report = b.add_node("report", 10);
+    b.add_edge(load, parse, 15).unwrap();
+    b.add_edge(parse, index, 10).unwrap();
+    b.add_edge(parse, stats, 10).unwrap();
+    b.add_edge(index, merge, 8).unwrap();
+    b.add_edge(stats, merge, 8).unwrap();
+    b.add_edge(load, report, 5).unwrap();
+    b.add_edge(merge, report, 12).unwrap();
+    let dag = b.build().expect("acyclic, positive weights");
+
+    println!(
+        "task graph: {} tasks, {} messages, CCR {:.2}",
+        dag.node_count(),
+        dag.edge_count(),
+        dag.ccr()
+    );
+
+    // The §2 attributes FAST builds its priority list from.
+    let attrs = GraphAttributes::compute(&dag);
+    println!("critical-path length (lower bound): {}", attrs.cp_length);
+    for n in dag.nodes() {
+        println!(
+            "  {:<7} w={:<3} t-level={:<4} b-level={:<4} {}",
+            dag.name(n),
+            dag.weight(n),
+            attrs.t_level[n.index()],
+            attrs.b_level[n.index()],
+            if attrs.is_cpn(n) { "CPN" } else { "" }
+        );
+    }
+
+    // Schedule on 3 processors with FAST and validate.
+    let schedule = Fast::new().schedule(&dag, 3);
+    validate(&dag, &schedule).expect("FAST schedules are always legal");
+    let metrics = ScheduleMetrics::compute(&dag, &schedule);
+    println!(
+        "\nFAST schedule: makespan {}, {} processors, speedup {:.2}",
+        metrics.makespan, metrics.processors_used, metrics.speedup
+    );
+    println!("{}", gantt::render_listing(&dag, &schedule));
+
+    // Execute on the simulated message-passing machine.
+    let report = simulate(&dag, &schedule, &SimConfig::default());
+    println!(
+        "simulated execution: {} us ({}x the static prediction), {} remote messages",
+        report.execution_time,
+        report.slowdown_vs_prediction(),
+        report.messages
+    );
+}

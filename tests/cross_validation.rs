@@ -1,0 +1,133 @@
+//! Cross-validation: every scheduler in the workspace must produce a
+//! legal schedule on every workload family, and the schedules must
+//! respect universal bounds (critical-path work below, serial time
+//! above). This is the safety net behind every benchmark number.
+
+use fastsched::prelude::*;
+use fastsched::workloads::trees::{binary_in_tree, binary_out_tree, divide_and_conquer};
+
+fn workloads() -> Vec<(String, Dag)> {
+    let db = TimingDatabase::paragon();
+    vec![
+        ("gauss4".into(), gaussian_elimination_dag(4, &db)),
+        ("gauss8".into(), gaussian_elimination_dag(8, &db)),
+        ("laplace4".into(), laplace_dag(4, &db)),
+        ("laplace8".into(), laplace_dag(8, &db)),
+        ("fft16".into(), fft_dag(16, &db)),
+        ("fft64".into(), fft_dag(64, &db)),
+        ("in_tree".into(), binary_in_tree(4, &db)),
+        ("out_tree".into(), binary_out_tree(4, &db)),
+        ("divconq".into(), divide_and_conquer(3, &db)),
+        (
+            "random_dense".into(),
+            random_layered_dag(&RandomDagConfig::paper(120, &db), 5),
+        ),
+        (
+            "random_sparse".into(),
+            random_layered_dag(&RandomDagConfig::sparse(200, &db), 6),
+        ),
+    ]
+}
+
+/// Computation along a critical path: a lower bound every schedule of
+/// every algorithm must respect.
+fn cp_work(dag: &Dag) -> u64 {
+    let attrs = GraphAttributes::compute(dag);
+    attrs
+        .critical_path(dag)
+        .iter()
+        .map(|&n| dag.weight(n))
+        .sum()
+}
+
+#[test]
+fn every_scheduler_is_legal_on_every_workload() {
+    for (wname, dag) in workloads() {
+        let lower = cp_work(&dag);
+        let upper = dag.total_computation();
+        for s in all_schedulers(11) {
+            let schedule = s.schedule(&dag, dag.node_count() as u32);
+            validate(&dag, &schedule).unwrap_or_else(|e| panic!("{} on {wname}: {e}", s.name()));
+            let m = schedule.makespan();
+            assert!(
+                m >= lower && m <= upper,
+                "{} on {wname}: makespan {m} outside [{lower}, {upper}]",
+                s.name()
+            );
+            assert!(schedule.processors_used() >= 1);
+        }
+    }
+}
+
+#[test]
+fn schedulers_are_legal_under_processor_scarcity() {
+    // Two processors only — forces heavy sharing and exercises the
+    // ready-time/insertion logic under pressure.
+    for (wname, dag) in workloads() {
+        for s in all_schedulers(13) {
+            // Clustering algorithms ignore the bound by design.
+            if s.is_unbounded() {
+                continue;
+            }
+            let schedule = s.schedule(&dag, 2);
+            validate(&dag, &schedule)
+                .unwrap_or_else(|e| panic!("{} on {wname} (p=2): {e}", s.name()));
+            assert!(schedule.processors_used() <= 2);
+        }
+    }
+}
+
+#[test]
+fn simulation_is_consistent_for_every_scheduler() {
+    let db = TimingDatabase::paragon();
+    let dag = gaussian_elimination_dag(8, &db);
+    for s in all_schedulers(17) {
+        let schedule = s.schedule(&dag, dag.node_count() as u32);
+        let ideal = simulate(&dag, &schedule, &SimConfig::ideal());
+        assert_eq!(
+            ideal.execution_time,
+            schedule.makespan(),
+            "{}: ideal network must reproduce the static prediction",
+            s.name()
+        );
+        let mesh = simulate(&dag, &schedule, &SimConfig::default());
+        assert!(
+            mesh.execution_time >= schedule.makespan(),
+            "{}: the mesh cannot beat the abstract model",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn single_processor_forces_serial_time() {
+    let db = TimingDatabase::paragon();
+    let dag = fft_dag(16, &db);
+    for s in all_schedulers(19) {
+        if s.is_unbounded() {
+            continue; // unbounded clustering model
+        }
+        let schedule = s.schedule(&dag, 1);
+        validate(&dag, &schedule).unwrap();
+        assert_eq!(
+            schedule.makespan(),
+            dag.total_computation(),
+            "{}: one processor means serial execution",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn metrics_agree_with_schedule_for_every_scheduler() {
+    let db = TimingDatabase::paragon();
+    let dag = laplace_dag(4, &db);
+    for s in all_schedulers(23) {
+        let schedule = s.schedule(&dag, dag.node_count() as u32);
+        let m = ScheduleMetrics::compute(&dag, &schedule);
+        assert_eq!(m.makespan, schedule.makespan());
+        assert_eq!(m.processors_used, schedule.processors_used());
+        assert!(m.speedup > 0.0 && m.efficiency > 0.0);
+        assert!(m.utilization <= 1.0 + 1e-9);
+    }
+}

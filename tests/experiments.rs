@@ -1,0 +1,142 @@
+//! Shape regression tests: scaled-down versions of the paper's
+//! experiments asserting the qualitative claims EXPERIMENTS.md reports,
+//! so the reproduction cannot silently drift. Margins are generous —
+//! these pin *shapes* (who wins, by what order), not exact numbers.
+
+use fastsched::prelude::*;
+use std::time::Instant;
+
+fn exec_time(dag: &Dag, s: &dyn Scheduler, procs: u32) -> u64 {
+    let schedule = s.schedule(dag, procs);
+    validate(dag, &schedule).unwrap();
+    simulate(dag, &schedule, &SimConfig::default()).execution_time
+}
+
+#[test]
+fn figure5_shape_gauss_fast_leads_md_trails() {
+    let db = TimingDatabase::paragon();
+    let dag = gaussian_elimination_dag(8, &db);
+    let procs = 20;
+    let fast = exec_time(&dag, &Fast::new(), procs);
+    let md = exec_time(&dag, &Md::new(), procs);
+    let dsc = exec_time(&dag, &Dsc::new(), procs);
+    // MD is the clear loser on Gauss (paper Fig. 5(a) direction).
+    assert!(md as f64 >= fast as f64 * 1.05, "MD {md} vs FAST {fast}");
+    // DSC does not beat FAST on the simulated machine.
+    assert!(dsc >= fast, "DSC {dsc} vs FAST {fast}");
+}
+
+#[test]
+fn figure5b_shape_dsc_uses_far_more_processors() {
+    let db = TimingDatabase::paragon();
+    let dag = gaussian_elimination_dag(16, &db);
+    let fast = Fast::new().schedule(&dag, dag.node_count() as u32);
+    let dsc = Dsc::new().schedule(&dag, dag.node_count() as u32);
+    let md = Md::new().schedule(&dag, dag.node_count() as u32);
+    assert!(
+        dsc.processors_used() >= 3 * fast.processors_used(),
+        "DSC {} vs FAST {}",
+        dsc.processors_used(),
+        fast.processors_used()
+    );
+    // MD packs tightly (paper Fig. 5(b): 2–7 where others use N).
+    assert!(md.processors_used() < fast.processors_used());
+}
+
+#[test]
+fn figure6_shape_laplace_fast_beats_md_and_dls() {
+    let db = TimingDatabase::paragon();
+    let dag = laplace_dag(16, &db);
+    let procs = 34;
+    let fast = exec_time(&dag, &Fast::new(), procs);
+    let md = exec_time(&dag, &Md::new(), procs);
+    let dls = exec_time(&dag, &Dls::new(), procs);
+    assert!(md as f64 >= fast as f64 * 1.02, "MD {md} vs FAST {fast}");
+    assert!(dls as f64 >= fast as f64 * 0.98, "DLS {dls} vs FAST {fast}");
+}
+
+#[test]
+fn figure7_shape_fft_dsc_pays_for_processors() {
+    let db = TimingDatabase::paragon();
+    let dag = fft_dag(128, &db);
+    let procs = dag.node_count() as u32;
+    let fast = Fast::new().schedule(&dag, procs);
+    let dsc = Dsc::new().schedule(&dag, procs);
+    assert!(dsc.processors_used() >= 2 * fast.processors_used());
+    let fast_exec = simulate(&dag, &fast, &SimConfig::default()).execution_time;
+    let dsc_exec = simulate(&dag, &dsc, &SimConfig::default()).execution_time;
+    assert!(dsc_exec >= fast_exec, "DSC {dsc_exec} vs FAST {fast_exec}");
+}
+
+#[test]
+fn figure8_shape_pair_scanners_cost_an_order_of_magnitude_more() {
+    let db = TimingDatabase::paragon();
+    let dag = random_layered_dag(&RandomDagConfig::paper(800, &db), 2);
+    let procs = 256;
+
+    let time_of = |s: &dyn Scheduler| {
+        // Fastest of two runs to suppress scheduling jitter.
+        let mut best = std::time::Duration::MAX;
+        for _ in 0..2 {
+            let t0 = Instant::now();
+            let schedule = s.schedule(&dag, procs);
+            best = best.min(t0.elapsed());
+            validate(&dag, &schedule).unwrap();
+        }
+        best
+    };
+    let fast = time_of(&Fast::new());
+    let etf = time_of(&Etf::new());
+    let dls = time_of(&Dls::new());
+    assert!(
+        etf > fast * 5,
+        "ETF {etf:?} should dwarf FAST {fast:?} (paper Fig. 8(c))"
+    );
+    assert!(dls > fast * 5, "DLS {dls:?} vs FAST {fast:?}");
+}
+
+#[test]
+fn figure8_shape_quality_band_and_processor_blowup() {
+    let db = TimingDatabase::paragon();
+    let dag = random_layered_dag(&RandomDagConfig::paper(800, &db), 2);
+    let procs = 256;
+    let fast = Fast::new().schedule(&dag, procs);
+    let dsc = Dsc::new().schedule(&dag, procs);
+    let etf = Etf::new().schedule(&dag, procs);
+    // Schedule lengths live within a ±12% band of each other (paper:
+    // ±12% spread across the four algorithms).
+    let (f, d, e) = (
+        fast.makespan() as f64,
+        dsc.makespan() as f64,
+        etf.makespan() as f64,
+    );
+    assert!((d / f - 1.0).abs() < 0.12, "DSC/FAST = {:.3}", d / f);
+    assert!((e / f - 1.0).abs() < 0.12, "ETF/FAST = {:.3}", e / f);
+    // DSC's processor usage explodes (paper: ~8× FAST's).
+    assert!(dsc.processors_used() >= 3 * fast.processors_used());
+}
+
+#[test]
+fn fast_scheduling_time_grows_near_linearly() {
+    let db = TimingDatabase::paragon();
+    let small = random_layered_dag(&RandomDagConfig::paper(400, &db), 3);
+    let large = random_layered_dag(&RandomDagConfig::paper(1600, &db), 3);
+    let time_of = |dag: &Dag| {
+        let fast = Fast::new();
+        let mut best = std::time::Duration::MAX;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let _ = fast.schedule(dag, 256);
+            best = best.min(t0.elapsed());
+        }
+        best
+    };
+    let ts = time_of(&small);
+    let tl = time_of(&large);
+    // Edges grow ~4.2×; a linear algorithm stays well under 12× (the
+    // slack absorbs cache effects and allocator noise).
+    assert!(
+        tl < ts * 12,
+        "FAST at 1600 nodes took {tl:?} vs {ts:?} at 400 — superlinear?"
+    );
+}

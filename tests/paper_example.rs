@@ -1,0 +1,102 @@
+//! End-to-end integration test of the paper's worked example
+//! (Figures 1–4 behaviours) across the whole stack.
+
+use fastsched::dag::examples::{paper_figure1, paper_node};
+use fastsched::dag::{classify_nodes, cpn_dominate_list, CpnListConfig};
+use fastsched::prelude::*;
+
+#[test]
+fn figure1_attribute_table_matches_reconstruction() {
+    let dag = paper_figure1();
+    let attrs = GraphAttributes::compute(&dag);
+    assert_eq!(attrs.cp_length, 23);
+    // CPNs are exactly n1, n7, n9 — the critical path of the paper.
+    let cpns: Vec<usize> = (1..=9).filter(|&k| attrs.is_cpn(paper_node(k))).collect();
+    assert_eq!(cpns, vec![1, 7, 9]);
+    // The critical path is the node sequence n1 → n7 → n9.
+    let cp = attrs.critical_path(&dag);
+    assert_eq!(cp, vec![paper_node(1), paper_node(7), paper_node(9)]);
+}
+
+#[test]
+fn figure1_cpn_dominate_list_is_the_papers() {
+    let dag = paper_figure1();
+    let attrs = GraphAttributes::compute(&dag);
+    let classes = classify_nodes(&dag, &attrs);
+    let list = cpn_dominate_list(&dag, &attrs, &classes, CpnListConfig::default());
+    let got: Vec<u32> = list.iter().map(|n| n.0 + 1).collect();
+    assert_eq!(got, vec![1, 3, 2, 7, 6, 5, 4, 8, 9]);
+}
+
+#[test]
+fn figure1_tie_breaks_behave_as_described() {
+    // "n8 is considered after n6 because n6 has a smaller t-level":
+    // their b-levels tie and the t-level tie-break decides.
+    let dag = paper_figure1();
+    let attrs = GraphAttributes::compute(&dag);
+    let (n6, n8) = (paper_node(6), paper_node(8));
+    assert_eq!(attrs.b_level[n6.index()], attrs.b_level[n8.index()]);
+    assert!(attrs.t_level[n6.index()] < attrs.t_level[n8.index()]);
+    // Same story for n3 before n2.
+    let (n2, n3) = (paper_node(2), paper_node(3));
+    assert_eq!(attrs.b_level[n2.index()], attrs.b_level[n3.index()]);
+    assert!(attrs.t_level[n3.index()] < attrs.t_level[n2.index()]);
+}
+
+#[test]
+fn figure4_fast_refines_its_initial_schedule_by_one_transfer() {
+    // The paper's Figure 4(b) behaviour on the reconstruction: the
+    // initial schedule (19) is strictly improved by the local search
+    // (18) through a single blocking-node transfer — the analogue of
+    // the paper's 24 → 23 with n6 moved to PE 3.
+    let dag = paper_figure1();
+    let fast = Fast::new();
+    let (initial, _, _) = fast.initial_schedule(&dag, 9);
+    assert_eq!(initial.makespan(), 19);
+    let refined = fast.schedule(&dag, 9);
+    validate(&dag, &refined).unwrap();
+    assert_eq!(refined.makespan(), 18);
+}
+
+#[test]
+fn figures2_3_all_baselines_schedule_the_example_legally() {
+    let dag = paper_figure1();
+    for s in paper_schedulers(3) {
+        let schedule = s.schedule(&dag, 9);
+        validate(&dag, &schedule).unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+        // No schedule can beat the computation along the CP.
+        let cp_work: u64 = [1, 7, 9].iter().map(|&k| dag.weight(paper_node(k))).sum();
+        assert!(schedule.makespan() >= cp_work);
+        // Nor can any be worse than fully serial.
+        assert!(schedule.makespan() <= dag.total_computation());
+    }
+}
+
+#[test]
+fn figure4_initial_schedule_packs_the_critical_path() {
+    // The qualitative Figure 4(a) behaviour: the CP prefix n1, n3, n2,
+    // n7 lands on one processor, giving n7 a start of 8.
+    let dag = paper_figure1();
+    let (s, _, _) = Fast::new().initial_schedule(&dag, 9);
+    assert_eq!(s.makespan(), 19);
+    let p = s.proc_of(paper_node(1)).unwrap();
+    for k in [3, 2, 7] {
+        assert_eq!(
+            s.proc_of(paper_node(k)).unwrap(),
+            p,
+            "n{k} co-located with n1"
+        );
+    }
+}
+
+#[test]
+fn example_pipeline_end_to_end() {
+    // The full stack on the example graph: schedule → validate →
+    // simulate, ideal network matches the prediction exactly.
+    let dag = paper_figure1();
+    let schedule = Fast::new().schedule(&dag, 9);
+    let report = simulate(&dag, &schedule, &SimConfig::ideal());
+    assert_eq!(report.execution_time, schedule.makespan());
+    let mesh = simulate(&dag, &schedule, &SimConfig::default());
+    assert!(mesh.execution_time >= schedule.makespan());
+}

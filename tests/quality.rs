@@ -1,0 +1,92 @@
+//! Schedule-quality assurance against the exhaustive branch-and-bound
+//! reference on small graphs: no heuristic may beat the best non-delay
+//! schedule (that would mean a broken evaluator), and FAST must stay
+//! within a modest factor of it — the paper's "high quality at low
+//! complexity" claim in miniature.
+
+use fastsched::algorithms::BranchAndBound;
+use fastsched::prelude::*;
+
+fn small_dags() -> Vec<(String, Dag)> {
+    let db = TimingDatabase::paragon();
+    let mut out = vec![
+        (
+            "figure1".to_string(),
+            fastsched::dag::examples::paper_figure1(),
+        ),
+        (
+            "fork_join".to_string(),
+            fastsched::dag::examples::fork_join(4, 30, 10),
+        ),
+        (
+            "chain".to_string(),
+            fastsched::dag::examples::chain(7, 10, 25),
+        ),
+    ];
+    for seed in 0..4u64 {
+        let cfg = RandomDagConfig {
+            nodes: 9,
+            out_degree: (1, 3),
+            node_weight: (10, 80),
+            edge_weight: (5, 120),
+        };
+        out.push((format!("random{seed}"), random_layered_dag(&cfg, seed)));
+        let _ = &db;
+    }
+    out
+}
+
+#[test]
+fn no_heuristic_beats_the_exhaustive_reference() {
+    let reference = BranchAndBound::new();
+    for (name, dag) in small_dags() {
+        let opt = reference.schedule(&dag, 3).makespan();
+        for s in all_schedulers(29) {
+            if s.is_unbounded() {
+                continue; // they may use more than 3 processors
+            }
+            let h = s.schedule(&dag, 3).makespan();
+            assert!(
+                h >= opt,
+                "{} found {h} < reference optimum {opt} on {name}",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_stays_close_to_optimal_on_small_graphs() {
+    let reference = BranchAndBound::new();
+    let fast = Fast::new();
+    let mut total_ratio = 0.0;
+    let mut count = 0;
+    for (name, dag) in small_dags() {
+        let opt = reference.schedule(&dag, 3).makespan();
+        let got = fast.schedule(&dag, 3).makespan();
+        let ratio = got as f64 / opt as f64;
+        assert!(
+            ratio <= 1.5,
+            "FAST {got} vs optimum {opt} on {name} (ratio {ratio:.2})"
+        );
+        total_ratio += ratio;
+        count += 1;
+    }
+    // On average FAST should be within 20% of the non-delay optimum.
+    assert!(total_ratio / count as f64 <= 1.2);
+}
+
+#[test]
+fn unbounded_clusterers_beat_or_match_their_serial_bound() {
+    // DSC / EZ / LC with free processors must never exceed serial time
+    // *plus* communication they willingly pay; on chains they must hit
+    // exactly serial (full collapse).
+    let g = fastsched::dag::examples::chain(6, 10, 50);
+    for s in all_schedulers(31) {
+        if !s.is_unbounded() {
+            continue;
+        }
+        let m = s.schedule(&g, 6).makespan();
+        assert_eq!(m, 60, "{} must collapse a chain", s.name());
+    }
+}
