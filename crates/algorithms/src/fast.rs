@@ -9,17 +9,19 @@
 //! Phase 2: local neighbourhood search (§4.3–4.4). The neighbourhood
 //! is defined by the static *blocking-node list* (all IBNs and OBNs);
 //! `MAXSTEP` times, a random blocking node is transferred to a random
-//! processor, the schedule length is re-evaluated in O(v + e) with the
-//! fixed-order evaluator, and the move is reverted unless it strictly
-//! improves.
+//! processor and the move is reverted unless it strictly improves.
+//! Probes run through the incremental
+//! [`DeltaEvaluator`](fastsched_schedule::DeltaEvaluator), which
+//! re-evaluates only the order suffix the transfer dirties while
+//! producing makespans bit-identical to a full O(v + e) replay — the
+//! search trajectory is unchanged, only cheaper.
 
 use crate::scheduler::Scheduler;
 use fastsched_dag::{
     classify_nodes, cpn_dominate_list, CpnListConfig, Dag, GraphAttributes, NodeClass, NodeId,
     ObnOrder,
 };
-use fastsched_schedule::evaluate::{evaluate_fixed_order, evaluate_makespan_into};
-use fastsched_schedule::{ProcId, Schedule};
+use fastsched_schedule::{DeltaEvaluator, ProcId, Schedule};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -169,40 +171,39 @@ impl Scheduler for Fast {
     }
 
     fn schedule(&self, dag: &Dag, num_procs: u32) -> Schedule {
-        let (initial, order, mut assignment) = self.initial_schedule(dag, num_procs);
+        let (initial, order, assignment) = self.initial_schedule(dag, num_procs);
         let blocking = Self::blocking_nodes(dag);
         if blocking.is_empty() || num_procs < 2 {
             return initial.compact();
         }
 
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut best = initial.makespan();
-        // Scratch buffers: each probe is one allocation-free O(v + e)
-        // fixed-order re-evaluation.
-        let (mut ready_buf, mut finish_buf) = (Vec::new(), Vec::new());
         // Random processor pool: the processors in use plus one spare.
         let mut max_used = assignment.iter().map(|p| p.0).max().unwrap_or(0);
+        let mut eval = DeltaEvaluator::new(dag, order, assignment, num_procs);
+        let mut best = eval.makespan();
 
         for _ in 0..self.config.max_steps {
             let node = blocking[rng.gen_range(0..blocking.len())];
             let pool = (max_used + 2).min(num_procs);
             let target = ProcId(rng.gen_range(0..pool));
-            let original = assignment[node.index()];
-            if target == original {
+            if target == eval.assignment()[node.index()] {
                 continue;
             }
-            assignment[node.index()] = target;
-            let makespan =
-                evaluate_makespan_into(dag, &order, &assignment, &mut ready_buf, &mut finish_buf);
-            if makespan < best {
-                best = makespan;
-                max_used = max_used.max(target.0);
-            } else {
-                assignment[node.index()] = original; // revert (§4.4 step 8)
+            // A move is accepted only when it strictly improves, so
+            // `best` doubles as the bounded probe's cutoff: the walk
+            // bails out as soon as the makespan provably reaches it.
+            match eval.probe_transfer_bounded(dag, node, target, best) {
+                Some(makespan) => {
+                    best = makespan;
+                    max_used = max_used.max(target.0);
+                    eval.commit();
+                }
+                None => eval.revert(), // §4.4 step 8
             }
         }
 
-        evaluate_fixed_order(dag, &order, &assignment, num_procs).compact()
+        eval.to_schedule().compact()
     }
 }
 

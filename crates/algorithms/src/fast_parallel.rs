@@ -13,8 +13,8 @@
 use crate::fast::{Fast, FastConfig};
 use crate::scheduler::Scheduler;
 use fastsched_dag::{Dag, NodeId};
-use fastsched_schedule::evaluate::{evaluate_fixed_order, evaluate_makespan_into};
-use fastsched_schedule::{ProcId, Schedule};
+use fastsched_schedule::evaluate::evaluate_fixed_order;
+use fastsched_schedule::{DeltaEvaluator, ProcId, Schedule};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -57,40 +57,44 @@ impl FastParallel {
     }
 }
 
-/// One sequential search chain over a private assignment copy;
-/// returns the best (makespan, assignment) it reached.
+/// One sequential search chain over a private assignment copy (each
+/// thread owns its own [`DeltaEvaluator`] — the committed state is the
+/// only per-chain mutable data); returns the best
+/// (makespan, assignment) it reached.
 fn run_chain(
     dag: &Dag,
     order: &[NodeId],
     blocking: &[NodeId],
-    mut assignment: Vec<ProcId>,
+    assignment: Vec<ProcId>,
     num_procs: u32,
     max_steps: u32,
     seed: u64,
 ) -> (u64, Vec<ProcId>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let (mut ready_buf, mut finish_buf) = (Vec::new(), Vec::new());
-    let mut best = evaluate_makespan_into(dag, order, &assignment, &mut ready_buf, &mut finish_buf);
     let mut max_used = assignment.iter().map(|p| p.0).max().unwrap_or(0);
+    let mut eval = DeltaEvaluator::new(dag, order.to_vec(), assignment, num_procs);
+    let mut best = eval.makespan();
 
     for _ in 0..max_steps {
         let node = blocking[rng.gen_range(0..blocking.len())];
         let pool = (max_used + 2).min(num_procs);
         let target = ProcId(rng.gen_range(0..pool));
-        let original = assignment[node.index()];
-        if target == original {
+        if target == eval.assignment()[node.index()] {
             continue;
         }
-        assignment[node.index()] = target;
-        let m = evaluate_makespan_into(dag, order, &assignment, &mut ready_buf, &mut finish_buf);
-        if m < best {
-            best = m;
-            max_used = max_used.max(target.0);
-        } else {
-            assignment[node.index()] = original;
+        // Strict-improvement acceptance: `best` is the cutoff, doomed
+        // probes abort as soon as the walk proves the makespan reaches
+        // it.
+        match eval.probe_transfer_bounded(dag, node, target, best) {
+            Some(m) => {
+                best = m;
+                max_used = max_used.max(target.0);
+                eval.commit();
+            }
+            None => eval.revert(),
         }
     }
-    (best, assignment)
+    (best, eval.into_assignment())
 }
 
 impl Scheduler for FastParallel {

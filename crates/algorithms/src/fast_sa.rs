@@ -13,8 +13,8 @@
 use crate::fast::{Fast, FastConfig};
 use crate::scheduler::Scheduler;
 use fastsched_dag::Dag;
-use fastsched_schedule::evaluate::{evaluate_fixed_order, evaluate_makespan_into};
-use fastsched_schedule::{ProcId, Schedule};
+use fastsched_schedule::evaluate::evaluate_fixed_order;
+use fastsched_schedule::{DeltaEvaluator, ProcId, Schedule};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -71,32 +71,31 @@ impl Scheduler for FastSa {
             max_steps: 0,
             ..Default::default()
         });
-        let (initial, order, mut assignment) = fast.initial_schedule(dag, num_procs);
+        let (initial, order, assignment) = fast.initial_schedule(dag, num_procs);
         let blocking = Fast::blocking_nodes(dag);
         if blocking.is_empty() || num_procs < 2 || self.config.steps == 0 {
             return initial.compact();
         }
 
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let (mut ready_buf, mut finish_buf) = (Vec::new(), Vec::new());
-        let mut current = initial.makespan();
-        let mut best = current;
-        let mut best_assignment = assignment.clone();
-        let mut temp = (current as f64 * self.config.initial_temp_fraction).max(1.0);
         let mut max_used = assignment.iter().map(|p| p.0).max().unwrap_or(0);
+        let mut best_assignment = assignment.clone();
+        // SA commits every accepted move (including uphill ones), so
+        // the evaluator's committed state tracks `current`, not `best`.
+        let mut eval = DeltaEvaluator::new(dag, order, assignment, num_procs);
+        let mut current = eval.makespan();
+        let mut best = current;
+        let mut temp = (current as f64 * self.config.initial_temp_fraction).max(1.0);
 
         for _ in 0..self.config.steps {
             let node = blocking[rng.gen_range(0..blocking.len())];
             let pool = (max_used + 2).min(num_procs);
             let target = ProcId(rng.gen_range(0..pool));
-            let original = assignment[node.index()];
             temp *= self.config.cooling;
-            if target == original {
+            if target == eval.assignment()[node.index()] {
                 continue;
             }
-            assignment[node.index()] = target;
-            let m =
-                evaluate_makespan_into(dag, &order, &assignment, &mut ready_buf, &mut finish_buf);
+            let m = eval.probe_transfer(dag, node, target);
             let accept = if m <= current {
                 true
             } else {
@@ -104,18 +103,19 @@ impl Scheduler for FastSa {
                 rng.gen::<f64>() < (-delta / temp).exp()
             };
             if accept {
+                eval.commit();
                 current = m;
                 max_used = max_used.max(target.0);
                 if m < best {
                     best = m;
-                    best_assignment.copy_from_slice(&assignment);
+                    best_assignment.copy_from_slice(eval.assignment());
                 }
             } else {
-                assignment[node.index()] = original;
+                eval.revert();
             }
         }
 
-        evaluate_fixed_order(dag, &order, &best_assignment, num_procs).compact()
+        evaluate_fixed_order(dag, eval.order(), &best_assignment, num_procs).compact()
     }
 }
 

@@ -12,56 +12,14 @@
 //! `ceil(w(n) * 100 / speed_percent[p])` (at least 1): speed 100 is
 //! nominal, 200 runs twice as fast, 50 half as fast.
 
+use crate::list_common::Machine;
 use fastsched_dag::{Cost, Dag, NodeId};
-use fastsched_schedule::{ProcId, Schedule, ScheduleError};
+use fastsched_schedule::{data_arrival_time_with, CostModel, ProcId, Schedule, ScheduleError};
 
-/// Relative processor speeds, in percent of nominal.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ProcessorSpeeds {
-    /// `speed_percent[p]` — 100 = nominal speed.
-    pub speed_percent: Vec<u32>,
-}
-
-impl ProcessorSpeeds {
-    /// `count` identical nominal-speed processors (the homogeneous
-    /// special case).
-    pub fn uniform(count: u32) -> Self {
-        Self {
-            speed_percent: vec![100; count as usize],
-        }
-    }
-
-    /// Explicit speeds.
-    pub fn new(speed_percent: Vec<u32>) -> Self {
-        assert!(!speed_percent.is_empty());
-        assert!(
-            speed_percent.iter().all(|&s| s > 0),
-            "speeds must be positive"
-        );
-        Self { speed_percent }
-    }
-
-    /// Processor count.
-    pub fn count(&self) -> u32 {
-        self.speed_percent.len() as u32
-    }
-
-    /// Execution time of a nominal-cost `w` task on processor `p`.
-    #[inline]
-    pub fn exec_time(&self, w: Cost, p: ProcId) -> Cost {
-        let s = self.speed_percent[p.index()] as Cost;
-        (w * 100).div_ceil(s).max(1)
-    }
-
-    /// Mean execution time of a nominal-cost `w` task across all
-    /// processors (HEFT's ranking cost).
-    pub fn mean_exec_time(&self, w: Cost) -> Cost {
-        let total: Cost = (0..self.count())
-            .map(|p| self.exec_time(w, ProcId(p)))
-            .sum();
-        (total / self.count() as Cost).max(1)
-    }
-}
+// The speed table lives with the other cost models in
+// `fastsched-schedule`; re-exported here so existing users keep their
+// import path.
+pub use fastsched_schedule::ProcessorSpeeds;
 
 /// Validate a schedule against the heterogeneous execution-time model:
 /// completeness, `finish - start == exec_time(w, proc)`,
@@ -150,39 +108,19 @@ impl HeftHetero {
         let ranks = self.upward_ranks(dag);
         order.sort_by_key(|&n| (std::cmp::Reverse(ranks[n.index()]), n.0));
 
-        // Per-processor sorted busy slots (start, finish, node).
-        let mut lanes: Vec<Vec<(Cost, Cost, NodeId)>> = vec![Vec::new(); p_count as usize];
-        let mut finish = vec![0 as Cost; dag.node_count()];
-        let mut proc = vec![ProcId(0); dag.node_count()];
-        let mut schedule = Schedule::new(dag.node_count(), p_count);
+        // The shared list-scheduling machine drives placement; only
+        // the per-processor duration (the [`CostModel`]) and the
+        // EFT-minimizing choice are heterogeneous-specific.
+        let mut m = Machine::new(dag.node_count(), p_count);
 
         for &n in &order {
             let mut best: Option<(Cost, Cost, ProcId)> = None; // (eft, est, proc)
             for pi in 0..p_count {
                 let p = ProcId(pi);
-                let w = self.speeds.exec_time(dag.weight(n), p);
-                // DAT on p.
-                let mut dat = 0;
-                for e in dag.preds(n) {
-                    let f = finish[e.node.index()];
-                    dat = dat.max(if proc[e.node.index()] == p {
-                        f
-                    } else {
-                        f + e.cost
-                    });
-                }
+                let w = self.speeds.compute_cost(dag, n, p);
+                let dat = data_arrival_time_with(&self.speeds, dag, n, p, &m.finish, &m.proc);
                 // Insertion: first gap of length w at or after dat.
-                let mut cursor = dat;
-                for &(s, f, _) in &lanes[p.index()] {
-                    if f <= cursor {
-                        continue;
-                    }
-                    if s >= cursor && s - cursor >= w {
-                        break;
-                    }
-                    cursor = cursor.max(f);
-                }
-                let est = cursor;
+                let est = m.earliest_gap_at_or_after(p, dat, w);
                 let eft = est + w;
                 if best.is_none_or(|(beft, best_est, bp)| (eft, est, p.0) < (beft, best_est, bp.0))
                 {
@@ -190,14 +128,9 @@ impl HeftHetero {
                 }
             }
             let (eft, est, p) = best.expect("at least one processor");
-            let lane = &mut lanes[p.index()];
-            let pos = lane.partition_point(|&(s, _, _)| s < est);
-            lane.insert(pos, (est, eft, n));
-            finish[n.index()] = eft;
-            proc[n.index()] = p;
-            schedule.place(n, p, est, eft);
+            m.place_with_duration(n, p, est, eft - est);
         }
-        schedule
+        m.into_schedule(dag)
     }
 }
 

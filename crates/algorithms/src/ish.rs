@@ -8,10 +8,22 @@
 //! ready nodes, highest static level first; a hole node is accepted if
 //! it fits without delaying the hole owner's start.
 
-use crate::list_common::{Machine, ReadySet};
+use crate::list_common::{DatCache, Machine, ReadySet};
 use crate::scheduler::Scheduler;
-use fastsched_dag::{attributes::static_levels, Cost, Dag};
+use fastsched_dag::{attributes::static_levels, Cost, Dag, NodeId};
 use fastsched_schedule::{ProcId, Schedule};
+
+/// DAT cache of a ready node, built on first probe. A ready node's
+/// parents are all placed, so its cache never goes stale; entries of
+/// placed nodes are simply never queried again.
+fn cached<'a>(
+    cache: &'a mut [Option<DatCache>],
+    dag: &Dag,
+    machine: &Machine,
+    n: NodeId,
+) -> &'a DatCache {
+    cache[n.index()].get_or_insert_with(|| DatCache::compute(dag, machine, n))
+}
 
 /// The ISH scheduler.
 #[derive(Debug, Clone, Copy, Default)]
@@ -34,6 +46,7 @@ impl Scheduler for Ish {
         let sl = static_levels(dag);
         let mut machine = Machine::new(dag.node_count(), num_procs);
         let mut ready = ReadySet::new(dag);
+        let mut dat_cache: Vec<Option<DatCache>> = vec![None; dag.node_count()];
 
         while !ready.is_empty() {
             // Highest static level among ready nodes.
@@ -43,12 +56,14 @@ impl Scheduler for Ish {
                 .max_by_key(|&&n| (sl[n.index()], std::cmp::Reverse(n.0)))
                 .expect("ready set non-empty");
 
-            // Best processor under the append policy.
+            // Best processor under the append policy; the cache makes
+            // each probe O(1) amortized instead of O(in-degree).
+            let cache = cached(&mut dat_cache, dag, &machine, n);
             let mut best_p = ProcId(0);
             let mut best_s = Cost::MAX;
             for pi in 0..num_procs {
                 let p = ProcId(pi);
-                let s = machine.earliest_start_append(dag, n, p);
+                let s = cache.dat(p).max(machine.ready_time(p));
                 if s < best_s {
                     best_s = s;
                     best_p = p;
@@ -63,21 +78,22 @@ impl Scheduler for Ish {
             while hole_lo < best_s {
                 // Candidate: the highest-SL ready node that fits in the
                 // hole without delaying (its DAT on best_p must allow
-                // finishing by best_s).
+                // finishing by best_s). Each candidate's DAT is read
+                // once from its cache and its start carried along, so
+                // the accept arm does not recompute it.
                 let fit = ready
                     .ready()
                     .iter()
                     .copied()
-                    .filter(|&m| {
-                        let dat = machine.data_arrival_time(dag, m, best_p);
-                        dat.max(hole_lo) + dag.weight(m) <= best_s
+                    .filter_map(|m| {
+                        let dat = cached(&mut dat_cache, dag, &machine, m).dat(best_p);
+                        let s = dat.max(hole_lo);
+                        (s + dag.weight(m) <= best_s).then_some((m, s))
                     })
-                    .max_by_key(|&m| (sl[m.index()], std::cmp::Reverse(m.0)));
+                    .max_by_key(|&(m, _)| (sl[m.index()], std::cmp::Reverse(m.0)));
                 match fit {
                     None => break,
-                    Some(m) => {
-                        let dat = machine.data_arrival_time(dag, m, best_p);
-                        let s = dat.max(hole_lo);
+                    Some((m, s)) => {
                         machine.place(dag, m, best_p, s);
                         ready.complete(dag, m);
                         hole_lo = s + dag.weight(m);

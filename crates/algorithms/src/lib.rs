@@ -20,7 +20,8 @@
 //!   scheduling with insertion);
 //! * [`heft::Heft`] — the later insertion-based standard, for context;
 //! * [`fast_parallel::FastParallel`] — multi-start parallel FAST (the
-//!   authors' follow-up FASTEST), built on crossbeam scoped threads.
+//!   authors' follow-up FASTEST), built on crossbeam scoped threads;
+//!   gated behind the `parallel` cargo feature (off by default).
 //!
 //! Every scheduler returns a [`fastsched_schedule::Schedule`] that
 //! passes [`fastsched_schedule::validate()`](fn@fastsched_schedule::validate); the workspace test-suite
@@ -37,6 +38,7 @@ pub mod duplication;
 pub mod etf;
 pub mod ez;
 pub mod fast;
+#[cfg(feature = "parallel")]
 pub mod fast_parallel;
 pub mod fast_sa;
 pub mod heft;
@@ -59,6 +61,7 @@ pub use duplication::{validate_dup, Dsh, DupSchedule};
 pub use etf::Etf;
 pub use ez::Ez;
 pub use fast::{Fast, FastConfig};
+#[cfg(feature = "parallel")]
 pub use fast_parallel::{FastParallel, FastParallelConfig};
 pub use fast_sa::{FastSa, FastSaConfig};
 pub use heft::Heft;

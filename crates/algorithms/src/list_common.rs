@@ -4,7 +4,7 @@
 //! MCP/HEFT), and static-list execution.
 
 use fastsched_dag::{Cost, Dag, NodeId};
-use fastsched_schedule::{ProcId, Schedule};
+use fastsched_schedule::{data_arrival_time_with, HomogeneousModel, ProcId, Schedule};
 
 /// Mutable list-scheduling state: per-processor timelines plus
 /// per-node placement, cheaper to probe than re-deriving from
@@ -43,21 +43,15 @@ impl Machine {
         self.lanes[p.index()].last().map_or(0, |&(_, f, _)| f)
     }
 
-    /// Data arrival time of `n` on `p` given current placements. All
-    /// parents must already be placed.
+    /// Data arrival time of `n` on `p` given current placements,
+    /// delegating to the workspace-wide DAT primitive under the
+    /// homogeneous model. All parents must already be placed.
     pub fn data_arrival_time(&self, dag: &Dag, n: NodeId, p: ProcId) -> Cost {
-        let mut dat = 0;
-        for e in dag.preds(n) {
-            debug_assert!(self.placed[e.node.index()], "parent must be placed");
-            let f = self.finish[e.node.index()];
-            let arrival = if self.proc[e.node.index()] == p {
-                f
-            } else {
-                f + e.cost
-            };
-            dat = dat.max(arrival);
-        }
-        dat
+        debug_assert!(
+            dag.preds(n).iter().all(|e| self.placed[e.node.index()]),
+            "parent must be placed"
+        );
+        data_arrival_time_with(&HomogeneousModel, dag, n, p, &self.finish, &self.proc)
     }
 
     /// Earliest start of `n` on `p` under the *no-insertion* policy of
@@ -94,7 +88,14 @@ impl Machine {
     /// Place `n` on `p` at `start` (keeping the lane sorted). The
     /// caller guarantees the slot is idle.
     pub fn place(&mut self, dag: &Dag, n: NodeId, p: ProcId, start: Cost) {
-        let fin = start + dag.weight(n);
+        self.place_with_duration(n, p, start, dag.weight(n));
+    }
+
+    /// [`Self::place`] with an explicit duration, for cost models
+    /// where execution time depends on the processor (heterogeneous
+    /// speeds).
+    pub fn place_with_duration(&mut self, n: NodeId, p: ProcId, start: Cost, duration: Cost) {
+        let fin = start + duration;
         let lane = &mut self.lanes[p.index()];
         let pos = lane.partition_point(|&(s, _, _)| s < start);
         lane.insert(pos, (start, fin, n));

@@ -78,6 +78,7 @@ pub fn all_schedulers(seed: u64) -> Vec<Box<dyn Scheduler>> {
     v.push(Box::new(crate::lc::Lc::new()));
     v.push(Box::new(crate::cpop::Cpop::new()));
     v.push(Box::new(crate::bounded_dsc::BoundedDsc::new()));
+    #[cfg(feature = "parallel")]
     v.push(Box::new(crate::fast_parallel::FastParallel::with_config(
         crate::fast_parallel::FastParallelConfig {
             seed,
@@ -110,6 +111,7 @@ mod tests {
         assert!(names.contains(&"HLFET"));
         assert!(names.contains(&"MCP"));
         assert!(names.contains(&"HEFT"));
+        #[cfg(feature = "parallel")]
         assert!(names.contains(&"FAST-MS"));
     }
 }

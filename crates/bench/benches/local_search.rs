@@ -2,11 +2,21 @@
 //! claim that a node transfer is re-evaluated in O(e): the fixed-order
 //! makespan evaluation should scale linearly with the edge count and
 //! stay allocation-free.
+//!
+//! Also compares full-replay probes against the incremental
+//! [`DeltaEvaluator`] on the 2000-node random layered DAG, running the
+//! exact same hill-climbing trajectory through both, and dumps the
+//! probe-throughput numbers to `BENCH_eval.json` at the workspace
+//! root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fastsched::algorithms::{Fast, FastConfig};
 use fastsched::prelude::*;
 use fastsched::schedule::evaluate::evaluate_makespan_into;
+use fastsched::schedule::DeltaEvaluator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 fn bench_probe(c: &mut Criterion) {
     let db = TimingDatabase::paragon();
@@ -39,5 +49,174 @@ fn bench_full_fast(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_probe, bench_full_fast);
+/// Hill-climbing search over `steps` random transfers, one full
+/// O(v + e) replay per probe (the pre-incremental driver loop).
+fn climb_full_replay(
+    dag: &Dag,
+    order: &[NodeId],
+    mut assignment: Vec<ProcId>,
+    blocking: &[NodeId],
+    num_procs: u32,
+    steps: u32,
+    seed: u64,
+) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut ready, mut finish) = (Vec::new(), Vec::new());
+    let mut best = evaluate_makespan_into(dag, order, &assignment, &mut ready, &mut finish);
+    let mut max_used = assignment.iter().map(|p| p.0).max().unwrap_or(0);
+    for _ in 0..steps {
+        let node = blocking[rng.gen_range(0..blocking.len())];
+        let pool = (max_used + 2).min(num_procs);
+        let target = ProcId(rng.gen_range(0..pool));
+        let original = assignment[node.index()];
+        if target == original {
+            continue;
+        }
+        assignment[node.index()] = target;
+        let m = evaluate_makespan_into(dag, order, &assignment, &mut ready, &mut finish);
+        if m < best {
+            best = m;
+            max_used = max_used.max(target.0);
+        } else {
+            assignment[node.index()] = original;
+        }
+    }
+    best
+}
+
+/// The same trajectory through the incremental evaluator: identical
+/// RNG stream and (because probe makespans are bit-identical)
+/// identical accept/reject decisions.
+fn climb_incremental(
+    dag: &Dag,
+    order: &[NodeId],
+    assignment: Vec<ProcId>,
+    blocking: &[NodeId],
+    num_procs: u32,
+    steps: u32,
+    seed: u64,
+) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut max_used = assignment.iter().map(|p| p.0).max().unwrap_or(0);
+    let mut eval = DeltaEvaluator::new(dag, order.to_vec(), assignment, num_procs);
+    let mut best = eval.makespan();
+    for _ in 0..steps {
+        let node = blocking[rng.gen_range(0..blocking.len())];
+        let pool = (max_used + 2).min(num_procs);
+        let target = ProcId(rng.gen_range(0..pool));
+        if target == eval.assignment()[node.index()] {
+            continue;
+        }
+        match eval.probe_transfer_bounded(dag, node, target, best) {
+            Some(m) => {
+                best = m;
+                max_used = max_used.max(target.0);
+                eval.commit();
+            }
+            None => eval.revert(),
+        }
+    }
+    best
+}
+
+fn bench_incremental_vs_full(c: &mut Criterion) {
+    let db = TimingDatabase::paragon();
+    let dag = random_layered_dag(&RandomDagConfig::paper(2000, &db), 5);
+    let num_procs = 512u32;
+    let steps = 8192u32;
+    let seed = 0xFA57u64;
+    let fast = Fast::new();
+    let (_, order, assignment) = fast.initial_schedule(&dag, num_procs);
+    let blocking = Fast::blocking_nodes(&dag);
+
+    // Criterion entries for the usual report.
+    let mut group = c.benchmark_group("probe_engines_2000");
+    group.bench_function("full_replay_64_probes", |b| {
+        b.iter(|| {
+            climb_full_replay(
+                &dag,
+                &order,
+                assignment.clone(),
+                &blocking,
+                num_procs,
+                64,
+                seed,
+            )
+        })
+    });
+    group.bench_function("incremental_64_probes", |b| {
+        b.iter(|| {
+            climb_incremental(
+                &dag,
+                &order,
+                assignment.clone(),
+                &blocking,
+                num_procs,
+                64,
+                seed,
+            )
+        })
+    });
+    group.finish();
+
+    // One long measured run of each engine over the identical
+    // trajectory, dumped as machine-readable throughput numbers.
+    let t0 = Instant::now();
+    let full_best = climb_full_replay(
+        &dag,
+        &order,
+        assignment.clone(),
+        &blocking,
+        num_procs,
+        steps,
+        seed,
+    );
+    let full_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let incr_best = climb_incremental(
+        &dag,
+        &order,
+        assignment.clone(),
+        &blocking,
+        num_procs,
+        steps,
+        seed,
+    );
+    let incr_secs = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        full_best, incr_best,
+        "engines must walk the same trajectory"
+    );
+
+    let full_tp = steps as f64 / full_secs;
+    let incr_tp = steps as f64 / incr_secs;
+    let json = format!(
+        "{{\n  \"dag_nodes\": {},\n  \"dag_edges\": {},\n  \"num_procs\": {},\n  \"probes\": {},\n  \"final_makespan\": {},\n  \"full_replay\": {{ \"seconds\": {:.6}, \"probes_per_sec\": {:.1} }},\n  \"incremental\": {{ \"seconds\": {:.6}, \"probes_per_sec\": {:.1} }},\n  \"speedup\": {:.2}\n}}\n",
+        dag.node_count(),
+        dag.edge_count(),
+        num_procs,
+        steps,
+        full_best,
+        full_secs,
+        full_tp,
+        incr_secs,
+        incr_tp,
+        incr_tp / full_tp,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
+    std::fs::write(path, &json).expect("write BENCH_eval.json");
+    println!(
+        "probe throughput: full {full_tp:.0}/s, incremental {incr_tp:.0}/s ({:.2}x) -> {path}",
+        incr_tp / full_tp
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_probe,
+    bench_full_fast,
+    bench_incremental_vs_full
+);
 criterion_main!(benches);

@@ -56,6 +56,23 @@ pub fn is_topological_order(dag: &Dag, order: &[NodeId]) -> bool {
     dag.edges().all(|(s, d, _)| pos[s.index()] < pos[d.index()])
 }
 
+/// Inverse of a node order: `positions[n.index()]` is the index of `n`
+/// in `order`. Panics if `order` is not a permutation of the
+/// `num_nodes` node ids (duplicates, gaps, or out-of-range entries).
+///
+/// The incremental evaluator keeps this inverse alongside the order so
+/// a node transfer can seek to its position in O(1).
+pub fn order_positions(order: &[NodeId], num_nodes: usize) -> Vec<usize> {
+    assert_eq!(order.len(), num_nodes, "order must cover every node");
+    let mut pos = vec![usize::MAX; num_nodes];
+    for (i, &n) in order.iter().enumerate() {
+        assert!(n.index() < num_nodes, "node {} out of range", n.0);
+        assert_eq!(pos[n.index()], usize::MAX, "node {} repeated", n.0);
+        pos[n.index()] = i;
+    }
+    pos
+}
+
 /// Set of nodes from which at least one node in `targets` is reachable
 /// (including the targets themselves). Runs one reverse BFS seeded with
 /// all targets: O(v + e).
@@ -148,6 +165,18 @@ mod tests {
         assert_eq!(r, vec![true, true, true, true]);
         let r = reaches_any(&g, &[NodeId(1)]);
         assert_eq!(r, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn order_positions_invert_the_order() {
+        let order = vec![NodeId(0), NodeId(2), NodeId(1), NodeId(3)];
+        assert_eq!(order_positions(&order, 4), vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn order_positions_reject_duplicates() {
+        order_positions(&[NodeId(0), NodeId(0)], 2);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! The unified cost model behind every evaluator in the workspace.
+//!
+//! Three places used to hard-code what a placement costs — the
+//! fixed-order evaluator, the list-scheduling machinery in
+//! `fastsched-algorithms`, and the heterogeneous HEFT variant — each
+//! with its own copy of the DAT arithmetic. [`CostModel`] is the seam
+//! between "what does running node `n` on processor `p` cost" and the
+//! search loops that probe placements: the evaluators are generic over
+//! it, so homogeneous processors (the paper's model), per-processor
+//! speed factors, and topology-aware message pricing (the simulator's
+//! per-hop latency) all share one evaluation path.
+
+use crate::schedule::ProcId;
+use fastsched_dag::{Cost, Dag, NodeId};
+
+/// What a placement costs: execution time of a node on a processor and
+/// delivery time of a message between processors.
+///
+/// Implementations must be *consistent for co-located endpoints*:
+/// `message_cost(c, p, p)` must be 0 for every `p` (data produced on a
+/// processor is immediately visible there — the premise behind every
+/// DAT computation in the paper).
+pub trait CostModel {
+    /// Execution time of `node` when run on `proc`.
+    fn compute_cost(&self, dag: &Dag, node: NodeId, proc: ProcId) -> Cost;
+
+    /// Extra delay a message of nominal cost `nominal` pays travelling
+    /// from `src` to `dst`. Must be 0 when `src == dst`.
+    fn message_cost(&self, nominal: Cost, src: ProcId, dst: ProcId) -> Cost;
+}
+
+/// The paper's machine model: identical processors, messages cost
+/// exactly their edge weight, co-located communication is free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HomogeneousModel;
+
+impl CostModel for HomogeneousModel {
+    #[inline]
+    fn compute_cost(&self, dag: &Dag, node: NodeId, _proc: ProcId) -> Cost {
+        dag.weight(node)
+    }
+
+    #[inline]
+    fn message_cost(&self, nominal: Cost, src: ProcId, dst: ProcId) -> Cost {
+        if src == dst {
+            0
+        } else {
+            nominal
+        }
+    }
+}
+
+/// Relative processor speeds, in percent of nominal — the
+/// heterogeneous [`CostModel`]: execution time of node `n` on
+/// processor `p` is `ceil(w(n) * 100 / speed_percent[p])` (at least
+/// 1); speed 100 is nominal, 200 runs twice as fast, 50 half as fast.
+/// Message cost stays the homogeneous edge weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessorSpeeds {
+    /// `speed_percent[p]` — 100 = nominal speed.
+    pub speed_percent: Vec<u32>,
+}
+
+impl ProcessorSpeeds {
+    /// `count` identical nominal-speed processors (the homogeneous
+    /// special case).
+    pub fn uniform(count: u32) -> Self {
+        Self {
+            speed_percent: vec![100; count as usize],
+        }
+    }
+
+    /// Explicit speeds.
+    pub fn new(speed_percent: Vec<u32>) -> Self {
+        assert!(!speed_percent.is_empty());
+        assert!(
+            speed_percent.iter().all(|&s| s > 0),
+            "speeds must be positive"
+        );
+        Self { speed_percent }
+    }
+
+    /// Processor count.
+    pub fn count(&self) -> u32 {
+        self.speed_percent.len() as u32
+    }
+
+    /// Execution time of a nominal-cost `w` task on processor `p`.
+    #[inline]
+    pub fn exec_time(&self, w: Cost, p: ProcId) -> Cost {
+        let s = self.speed_percent[p.index()] as Cost;
+        (w * 100).div_ceil(s).max(1)
+    }
+
+    /// Mean execution time of a nominal-cost `w` task across all
+    /// processors (HEFT's ranking cost).
+    pub fn mean_exec_time(&self, w: Cost) -> Cost {
+        let total: Cost = (0..self.count())
+            .map(|p| self.exec_time(w, ProcId(p)))
+            .sum();
+        (total / self.count() as Cost).max(1)
+    }
+}
+
+impl CostModel for ProcessorSpeeds {
+    #[inline]
+    fn compute_cost(&self, dag: &Dag, node: NodeId, proc: ProcId) -> Cost {
+        self.exec_time(dag.weight(node), proc)
+    }
+
+    #[inline]
+    fn message_cost(&self, nominal: Cost, src: ProcId, dst: ProcId) -> Cost {
+        if src == dst {
+            0
+        } else {
+            nominal
+        }
+    }
+}
+
+/// Data arrival time of `node` on processor `proc` under `model`: the
+/// maximum over all parents of `finish(parent) + message_cost(edge)`.
+/// Entry nodes have DAT 0. `finish` and `assignment` are indexed by
+/// node; every parent of `node` must already have final values there.
+///
+/// This is *the* shared DAT primitive — the fixed-order evaluator, the
+/// incremental [`crate::incremental::DeltaEvaluator`], and the
+/// list-scheduling machinery in `fastsched-algorithms` all call it.
+#[inline]
+pub fn data_arrival_time_with<M: CostModel + ?Sized>(
+    model: &M,
+    dag: &Dag,
+    node: NodeId,
+    proc: ProcId,
+    finish: &[Cost],
+    assignment: &[ProcId],
+) -> Cost {
+    let mut dat = 0;
+    for e in dag.preds(node) {
+        let p = e.node.index();
+        let arrival = finish[p] + model.message_cost(e.cost, assignment[p], proc);
+        if arrival > dat {
+            dat = arrival;
+        }
+    }
+    dat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsched_dag::DagBuilder;
+
+    fn sample() -> Dag {
+        // a(2) →4→ b(3); a →1→ c(5); b,c → d(1) with costs 2, 1.
+        let mut b = DagBuilder::new();
+        let a = b.add_task(2);
+        let nb = b.add_task(3);
+        let nc = b.add_task(5);
+        let nd = b.add_task(1);
+        b.add_edge(a, nb, 4).unwrap();
+        b.add_edge(a, nc, 1).unwrap();
+        b.add_edge(nb, nd, 2).unwrap();
+        b.add_edge(nc, nd, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn homogeneous_model_matches_paper_semantics() {
+        let g = sample();
+        let m = HomogeneousModel;
+        assert_eq!(m.compute_cost(&g, NodeId(2), ProcId(3)), 5);
+        assert_eq!(m.message_cost(7, ProcId(1), ProcId(1)), 0);
+        assert_eq!(m.message_cost(7, ProcId(1), ProcId(2)), 7);
+    }
+
+    #[test]
+    fn speeds_scale_compute_but_not_messages() {
+        let g = sample();
+        let s = ProcessorSpeeds::new(vec![100, 200, 50]);
+        assert_eq!(s.compute_cost(&g, NodeId(2), ProcId(0)), 5);
+        assert_eq!(s.compute_cost(&g, NodeId(2), ProcId(1)), 3); // ceil(5/2)
+        assert_eq!(s.compute_cost(&g, NodeId(2), ProcId(2)), 10);
+        assert_eq!(s.message_cost(7, ProcId(0), ProcId(2)), 7);
+        assert_eq!(s.message_cost(7, ProcId(2), ProcId(2)), 0);
+    }
+
+    #[test]
+    fn exec_time_scaling() {
+        let s = ProcessorSpeeds::new(vec![100, 200, 50]);
+        assert_eq!(s.exec_time(10, ProcId(0)), 10);
+        assert_eq!(s.exec_time(10, ProcId(1)), 5);
+        assert_eq!(s.exec_time(10, ProcId(2)), 20);
+        assert_eq!(s.mean_exec_time(10), (10 + 5 + 20) / 3);
+    }
+
+    #[test]
+    fn generic_dat_matches_hand_computation() {
+        let g = sample();
+        let finish = vec![2, 5, 8, 0];
+        let assignment = vec![ProcId(0), ProcId(0), ProcId(1), ProcId(0)];
+        // d on P0: b local → 5; c remote → 8 + 1 = 9.
+        let dat = data_arrival_time_with(
+            &HomogeneousModel,
+            &g,
+            NodeId(3),
+            ProcId(0),
+            &finish,
+            &assignment,
+        );
+        assert_eq!(dat, 9);
+        // Entry node: no parents.
+        let dat = data_arrival_time_with(
+            &HomogeneousModel,
+            &g,
+            NodeId(0),
+            ProcId(0),
+            &finish,
+            &assignment,
+        );
+        assert_eq!(dat, 0);
+    }
+}

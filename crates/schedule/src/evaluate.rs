@@ -7,10 +7,16 @@
 //! processor's ready time.
 //!
 //! This is exactly the O(e) "node transferring step" cost model of the
-//! FAST local search (§4.4): after moving one node to another
-//! processor, the new schedule length is obtained by re-running this
-//! evaluator.
+//! FAST local search (§4.4). The search drivers themselves now use the
+//! incremental [`crate::incremental::DeltaEvaluator`], which produces
+//! bit-identical times while re-evaluating only the affected suffix;
+//! the full replay here remains the reference semantics (and the
+//! oracle the property tests compare against).
+//!
+//! All evaluators are generic over a [`CostModel`]; the plain
+//! (non-`_with`) functions fix the paper's [`HomogeneousModel`].
 
+use crate::cost::{data_arrival_time_with, CostModel, HomogeneousModel};
 use crate::schedule::{ProcId, Schedule};
 use fastsched_dag::{Cost, Dag, NodeId};
 
@@ -25,19 +31,7 @@ pub fn data_arrival_time(
     finish: &[Cost],
     assignment: &[ProcId],
 ) -> Cost {
-    let mut dat = 0;
-    for e in dag.preds(node) {
-        let p = e.node.index();
-        let arrival = if assignment[p] == proc {
-            finish[p]
-        } else {
-            finish[p] + e.cost
-        };
-        if arrival > dat {
-            dat = arrival;
-        }
-    }
-    dat
+    data_arrival_time_with(&HomogeneousModel, dag, node, proc, finish, assignment)
 }
 
 /// Replay list scheduling with a fixed priority `order` (must be a
@@ -67,6 +61,19 @@ pub fn evaluate_fixed_order(
     assignment: &[ProcId],
     num_procs: u32,
 ) -> Schedule {
+    evaluate_fixed_order_with(&HomogeneousModel, dag, order, assignment, num_procs)
+}
+
+/// [`evaluate_fixed_order`] generalized over a [`CostModel`]: node
+/// durations come from `model.compute_cost`, message delays from
+/// `model.message_cost`.
+pub fn evaluate_fixed_order_with<M: CostModel + ?Sized>(
+    model: &M,
+    dag: &Dag,
+    order: &[NodeId],
+    assignment: &[ProcId],
+    num_procs: u32,
+) -> Schedule {
     debug_assert_eq!(order.len(), dag.node_count());
     debug_assert_eq!(assignment.len(), dag.node_count());
 
@@ -76,9 +83,9 @@ pub fn evaluate_fixed_order(
 
     for &n in order {
         let proc = assignment[n.index()];
-        let dat = data_arrival_time(dag, n, proc, &finish, assignment);
+        let dat = data_arrival_time_with(model, dag, n, proc, &finish, assignment);
         let start = dat.max(ready[proc.index()]);
-        let end = start + dag.weight(n);
+        let end = start + model.compute_cost(dag, n, proc);
         finish[n.index()] = end;
         ready[proc.index()] = end;
         schedule.place(n, proc, start, end);
@@ -87,10 +94,24 @@ pub fn evaluate_fixed_order(
 }
 
 /// Like [`evaluate_fixed_order`] but only returns the makespan,
-/// avoiding the `Schedule` allocation. This is the inner loop of the
-/// FAST local search; `ready` and `finish` are caller-provided scratch
-/// buffers (cleared here) so repeated evaluations do not allocate.
+/// avoiding the `Schedule` allocation; `ready` and `finish` are
+/// caller-provided scratch buffers (cleared here) so repeated
+/// evaluations do not allocate. This was the inner loop of the FAST
+/// local search before the incremental evaluator replaced it; it
+/// remains the full-replay baseline for the probe benchmarks.
 pub fn evaluate_makespan_into(
+    dag: &Dag,
+    order: &[NodeId],
+    assignment: &[ProcId],
+    ready: &mut Vec<Cost>,
+    finish: &mut Vec<Cost>,
+) -> Cost {
+    evaluate_makespan_into_with(&HomogeneousModel, dag, order, assignment, ready, finish)
+}
+
+/// [`evaluate_makespan_into`] generalized over a [`CostModel`].
+pub fn evaluate_makespan_into_with<M: CostModel + ?Sized>(
+    model: &M,
     dag: &Dag,
     order: &[NodeId],
     assignment: &[ProcId],
@@ -106,9 +127,9 @@ pub fn evaluate_makespan_into(
     let mut makespan = 0;
     for &n in order {
         let proc = assignment[n.index()];
-        let dat = data_arrival_time(dag, n, proc, finish, assignment);
+        let dat = data_arrival_time_with(model, dag, n, proc, finish, assignment);
         let start = dat.max(ready[proc.index()]);
-        let end = start + dag.weight(n);
+        let end = start + model.compute_cost(dag, n, proc);
         finish[n.index()] = end;
         ready[proc.index()] = end;
         if end > makespan {
@@ -121,6 +142,7 @@ pub fn evaluate_makespan_into(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::ProcessorSpeeds;
     use crate::validate::validate;
     use fastsched_dag::DagBuilder;
 
@@ -212,5 +234,22 @@ mod tests {
             data_arrival_time(&g, NodeId(3), ProcId(1), &finish, &assignment),
             8
         );
+    }
+
+    #[test]
+    fn heterogeneous_model_stretches_durations() {
+        let g = sample();
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        let assignment = vec![ProcId(1); 4];
+        // P1 runs at half speed: every duration doubles, serial chain.
+        let speeds = ProcessorSpeeds::new(vec![100, 50]);
+        let s = evaluate_fixed_order_with(&speeds, &g, &order, &assignment, 2);
+        assert_eq!(s.makespan(), 2 * (2 + 3 + 5 + 1));
+        // Uniform speeds reproduce the homogeneous result exactly.
+        let assignment = vec![ProcId(0), ProcId(0), ProcId(1), ProcId(0)];
+        let uni =
+            evaluate_fixed_order_with(&ProcessorSpeeds::uniform(2), &g, &order, &assignment, 2);
+        let homo = evaluate_fixed_order(&g, &order, &assignment, 2);
+        assert_eq!(uni.makespan(), homo.makespan());
     }
 }

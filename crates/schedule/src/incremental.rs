@@ -1,0 +1,936 @@
+//! Incremental fixed-order evaluation for local search.
+//!
+//! FAST's §4.4 prices a node-transfer probe at one full O(v + e)
+//! fixed-order replay. Almost all of that replay is wasted: moving one
+//! node leaves every position before it untouched, and the change
+//! usually dies out a few positions later when start times re-converge
+//! with the committed schedule. [`DeltaEvaluator`] exploits this:
+//!
+//! * it keeps the *committed* schedule (start/finish per node, the
+//!   order's position index, per-processor position lists, prefix- and
+//!   suffix-maxima of finish times);
+//! * [`DeltaEvaluator::probe_transfer`] walks the order from the moved
+//!   node's position forward, recomputing a node only when a parent's
+//!   finish time changed or its processor's timeline diverged
+//!   (dirty-suffix tracking with epoch-stamped marks — no O(v) clears);
+//! * the walk stops as soon as no dirty parent marks and no diverged
+//!   processors remain ahead; the tail's contribution to the makespan
+//!   is read from the committed suffix-maximum in O(1);
+//! * [`DeltaEvaluator::revert`] undoes the probe from an undo log
+//!   (cost proportional to the nodes the probe actually touched, never
+//!   more than the probe itself); [`DeltaEvaluator::commit`] accepts
+//!   it and rebuilds the O(v) position/maximum caches.
+//!
+//! The probe's start/finish times are **bit-identical** to
+//! [`crate::evaluate::evaluate_fixed_order`] on the same order and
+//! assignment (the property tests enforce this), so search drivers
+//! swap it in without changing a single accept/reject decision.
+
+use crate::cost::{data_arrival_time_with, CostModel, HomogeneousModel};
+use crate::schedule::{ProcId, Schedule};
+use fastsched_dag::topo::{is_topological_order, order_positions};
+use fastsched_dag::{Cost, Dag, NodeId};
+
+/// State of an unresolved probe (between `probe_transfer` and
+/// `commit`/`revert`).
+#[derive(Debug, Clone, Copy)]
+struct Tentative {
+    node: NodeId,
+    from: ProcId,
+    makespan: Cost,
+    /// A bounded probe bailed out early: the walk is incomplete, so
+    /// the tentative state may only be reverted, never committed.
+    aborted: bool,
+}
+
+/// Incremental evaluator over a fixed topological order and a mutable
+/// node→processor assignment, generic over the [`CostModel`].
+///
+/// The driver pattern is probe → (commit | revert):
+///
+/// ```
+/// use fastsched_dag::examples::chain;
+/// use fastsched_schedule::{DeltaEvaluator, ProcId};
+///
+/// let dag = chain(3, 5, 2);
+/// let order: Vec<_> = dag.topo_order().to_vec();
+/// let mut eval = DeltaEvaluator::new(&dag, order, vec![ProcId(0); 3], 2);
+/// assert_eq!(eval.makespan(), 15);
+/// // Moving the middle node off-processor pays both messages.
+/// let probed = eval.probe_transfer(&dag, fastsched_dag::NodeId(1), ProcId(1));
+/// assert_eq!(probed, 19);
+/// eval.revert(); // not an improvement
+/// assert_eq!(eval.makespan(), 15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeltaEvaluator<M: CostModel = HomogeneousModel> {
+    model: M,
+    num_procs: u32,
+    order: Vec<NodeId>,
+    pos_of: Vec<usize>,
+    assignment: Vec<ProcId>,
+    start: Vec<Cost>,
+    finish: Vec<Cost>,
+    makespan: Cost,
+    /// Sorted positions (indices into `order`) per processor, for the
+    /// committed assignment.
+    proc_positions: Vec<Vec<usize>>,
+    /// CSR-style offsets into [`Self::succ_sorted`]: node `u`'s
+    /// successor slack entries live at
+    /// `succ_sorted[succ_offset[u]..succ_offset[u + 1]]`.
+    succ_offset: Vec<usize>,
+    /// Per-node successor edges as `(slack, index into dag.succs(u))`,
+    /// sorted by ascending committed slack
+    /// `start[s] - message_cost(u, s)`. An edge can only need a mark
+    /// when its slack is `<= max(old finish, new finish)`, so the walk
+    /// visits each changed node's tight edges and breaks — the slack
+    /// tail is never iterated.
+    succ_sorted: Vec<(Cost, u32)>,
+    /// Per-node sort generation for [`Self::succ_sorted`] segments: a
+    /// segment is sorted iff its entry equals [`Self::seg_gen`]. A
+    /// slack rebuild bumps the generation (invalidating every sort in
+    /// O(1)); a segment is re-sorted the first time a probe actually
+    /// iterates it, so nodes no probe changes never pay the sort.
+    seg_epoch: Vec<u64>,
+    seg_gen: u64,
+    /// Slacks reference committed starts, so a commit invalidates
+    /// them; rebuilt lazily at the next probe (which has the `Dag`).
+    slacks_stale: bool,
+    /// `prefix_max[i]` = max committed finish over positions `< i`.
+    prefix_max: Vec<Cost>,
+    /// `suffix_max[i]` = max committed finish over positions `>= i`.
+    suffix_max: Vec<Cost>,
+    /// Probe-local marks, valid when stamped with the current epoch —
+    /// bumping the epoch clears them all in O(1).
+    epoch: u64,
+    node_dirty: Vec<u64>,
+    /// For a node stamped dirty this epoch: `true` when a binding
+    /// arrival was relaxed and only a full DAT recompute recovers the
+    /// start; `false` when every marking arrival *exceeded* the
+    /// committed start, so their running max ([`Self::dirty_acc`]) IS
+    /// the new arrival max and no predecessor walk is needed.
+    dirty_full: Vec<bool>,
+    /// Max marking arrival for increase-only dirty nodes (valid when
+    /// `node_dirty` carries the current epoch and `dirty_full` is
+    /// `false`).
+    dirty_acc: Vec<Cost>,
+    proc_epoch: Vec<u64>,
+    proc_diverged: Vec<bool>,
+    proc_ready: Vec<Cost>,
+    /// `(node, committed start, committed finish)` per touched node.
+    undo: Vec<(NodeId, Cost, Cost)>,
+    tentative: Option<Tentative>,
+}
+
+impl DeltaEvaluator<HomogeneousModel> {
+    /// Evaluator over the paper's homogeneous machine model.
+    ///
+    /// `order` must be a topological order of `dag` covering every
+    /// node; `assignment` maps each node to a processor `< num_procs`.
+    /// Runs one full O(v + e) evaluation to seed the committed state.
+    pub fn new(dag: &Dag, order: Vec<NodeId>, assignment: Vec<ProcId>, num_procs: u32) -> Self {
+        Self::with_model(HomogeneousModel, dag, order, assignment, num_procs)
+    }
+}
+
+impl<M: CostModel> DeltaEvaluator<M> {
+    /// Evaluator over an explicit [`CostModel`] (heterogeneous speeds,
+    /// topology-aware message pricing, ...).
+    pub fn with_model(
+        model: M,
+        dag: &Dag,
+        order: Vec<NodeId>,
+        assignment: Vec<ProcId>,
+        num_procs: u32,
+    ) -> Self {
+        let v = dag.node_count();
+        assert!(num_procs >= 1, "need at least one processor");
+        assert_eq!(assignment.len(), v, "assignment must cover every node");
+        assert!(
+            assignment.iter().all(|p| p.index() < num_procs as usize),
+            "assignment references a processor >= num_procs"
+        );
+        debug_assert!(is_topological_order(dag, &order));
+        let pos_of = order_positions(&order, v);
+        let mut succ_offset = vec![0usize; v + 1];
+        for n in dag.nodes() {
+            succ_offset[n.index() + 1] = dag.succs(n).len();
+        }
+        for i in 0..v {
+            succ_offset[i + 1] += succ_offset[i];
+        }
+        let edge_total = succ_offset[v];
+
+        let mut this = Self {
+            model,
+            num_procs,
+            order,
+            pos_of,
+            assignment,
+            start: vec![0; v],
+            finish: vec![0; v],
+            makespan: 0,
+            proc_positions: vec![Vec::new(); num_procs as usize],
+            succ_offset,
+            succ_sorted: vec![(0, 0); edge_total],
+            seg_epoch: vec![0; v],
+            seg_gen: 0,
+            slacks_stale: false,
+            prefix_max: vec![0; v + 1],
+            suffix_max: vec![0; v + 1],
+            epoch: 0,
+            node_dirty: vec![0; v],
+            dirty_full: vec![false; v],
+            dirty_acc: vec![0; v],
+            proc_epoch: vec![0; num_procs as usize],
+            proc_diverged: vec![false; num_procs as usize],
+            proc_ready: vec![0; num_procs as usize],
+            undo: Vec::new(),
+            tentative: None,
+        };
+        this.full_evaluate(dag);
+        this.rebuild_proc_positions();
+        this.rebuild_max_caches();
+        this.rebuild_slacks(dag);
+        this
+    }
+
+    /// Makespan of the committed schedule.
+    #[inline]
+    pub fn makespan(&self) -> Cost {
+        self.makespan
+    }
+
+    /// The committed node→processor assignment.
+    #[inline]
+    pub fn assignment(&self) -> &[ProcId] {
+        &self.assignment
+    }
+
+    /// The fixed priority order.
+    #[inline]
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Committed start time per node.
+    #[inline]
+    pub fn start_times(&self) -> &[Cost] {
+        &self.start
+    }
+
+    /// Committed finish time per node.
+    #[inline]
+    pub fn finish_times(&self) -> &[Cost] {
+        &self.finish
+    }
+
+    /// Consume the evaluator, returning the committed assignment.
+    ///
+    /// Panics if a probe is unresolved.
+    pub fn into_assignment(self) -> Vec<ProcId> {
+        assert!(self.tentative.is_none(), "unresolved probe");
+        self.assignment
+    }
+
+    /// Materialize the committed schedule.
+    ///
+    /// Panics if a probe is unresolved.
+    pub fn to_schedule(&self) -> Schedule {
+        assert!(self.tentative.is_none(), "unresolved probe");
+        let mut s = Schedule::new(self.order.len(), self.num_procs);
+        for &n in &self.order {
+            s.place(
+                n,
+                self.assignment[n.index()],
+                self.start[n.index()],
+                self.finish[n.index()],
+            );
+        }
+        s
+    }
+
+    /// Tentatively transfer `node` to processor `to` and return the
+    /// resulting makespan — bit-identical to a full
+    /// [`crate::evaluate::evaluate_fixed_order`] replay of the modified
+    /// assignment, but costing only the dirty suffix. The probe must be
+    /// resolved with [`Self::commit`] or [`Self::revert`] before the
+    /// next one.
+    ///
+    /// Panics if a probe is already unresolved or `to >= num_procs`.
+    pub fn probe_transfer(&mut self, dag: &Dag, node: NodeId, to: ProcId) -> Cost {
+        self.probe_walk(dag, node, to, Cost::MAX)
+            .expect("an unbounded probe never aborts")
+    }
+
+    /// [`Self::probe_transfer`] with a rejection cutoff: returns
+    /// `Some(makespan)` — exact, bit-identical to the full replay —
+    /// when the probed makespan is `< cutoff`, and `None` as soon as
+    /// the walk proves it would be `>= cutoff`. The makespan of the
+    /// evolving suffix only grows as the walk advances, so the bail-out
+    /// is sound; greedy drivers that reject any non-improving move pass
+    /// their current best as `cutoff` and skip the (often dominant)
+    /// tail of doomed probes without changing a single decision.
+    ///
+    /// An aborted (`None`) probe left the walk incomplete: it must be
+    /// resolved with [`Self::revert`] — [`Self::commit`] panics.
+    ///
+    /// Panics if a probe is already unresolved or `to >= num_procs`.
+    pub fn probe_transfer_bounded(
+        &mut self,
+        dag: &Dag,
+        node: NodeId,
+        to: ProcId,
+        cutoff: Cost,
+    ) -> Option<Cost> {
+        self.probe_walk(dag, node, to, cutoff)
+    }
+
+    fn probe_walk(&mut self, dag: &Dag, node: NodeId, to: ProcId, cutoff: Cost) -> Option<Cost> {
+        assert!(
+            self.tentative.is_none(),
+            "unresolved probe: call commit() or revert() first"
+        );
+        assert!(
+            to.index() < self.num_procs as usize,
+            "processor out of range"
+        );
+        if self.slacks_stale {
+            self.rebuild_slacks(dag);
+        }
+        let from = self.assignment[node.index()];
+        if from == to {
+            // Trivial probe; commit/revert stay uniform for the driver.
+            self.undo.clear();
+            let aborted = self.makespan >= cutoff;
+            self.tentative = Some(Tentative {
+                node,
+                from,
+                makespan: self.makespan,
+                aborted,
+            });
+            return if aborted { None } else { Some(self.makespan) };
+        }
+
+        self.epoch += 1;
+        self.undo.clear();
+        let k = self.pos_of[node.index()];
+        self.assignment[node.index()] = to;
+
+        let v = self.order.len();
+        // Outstanding dirty-parent marks ahead of the walk cursor.
+        let mut pending = 0usize;
+        // Diverged processors that still have committed positions ahead.
+        let mut live_procs = 0usize;
+
+        self.node_dirty[node.index()] = self.epoch;
+        self.dirty_full[node.index()] = true;
+        pending += 1;
+        // The old processor's timeline diverges at `k` (the moved node
+        // left it); its tentative ready time is the finish of its last
+        // node before `k`. The new processor needs no pre-mark: the
+        // moved node itself is recomputed at `k` and marks it then, and
+        // until then its committed fallback ready time is still valid.
+        let from_ready = self.committed_ready_before(from, k, node);
+        self.mark_proc(from, true, from_ready, k, &mut live_procs);
+
+        let mut running_max = self.prefix_max[k];
+        let mut exited_at = None;
+        for i in k..v {
+            let m = self.order[i];
+            let mi = m.index();
+            let q = self.assignment[mi];
+            let qi = q.index();
+            let q_diverged = self.proc_epoch[qi] == self.epoch && self.proc_diverged[qi];
+            let m_dirty = self.node_dirty[mi] == self.epoch;
+            if !q_diverged && !m_dirty {
+                // Clean node: committed times stand.
+                if self.finish[mi] > running_max {
+                    running_max = self.finish[mi];
+                }
+            } else {
+                if m_dirty {
+                    pending -= 1;
+                }
+                let ready = if q_diverged {
+                    self.proc_ready[qi]
+                } else {
+                    self.committed_ready_before(q, i, node)
+                };
+                // `start[mi]` is still the committed start: the walk
+                // visits each position once, in order.
+                let s_c = self.start[mi];
+                let s = if m_dirty && !self.dirty_full[mi] {
+                    // Increase-only marks: every marking arrival
+                    // exceeds `s_c`, every other arrival is <= `s_c`,
+                    // so the arrival max is exactly the accumulated
+                    // marking max.
+                    self.dirty_acc[mi].max(ready)
+                } else if !m_dirty && ready >= s_c {
+                    // Unmarked node on a diverged timeline: all its
+                    // arrivals are <= `s_c` (else the edge tests would
+                    // have marked it), so a ready time at or above
+                    // `s_c` dominates outright.
+                    ready
+                } else {
+                    let dat = data_arrival_time_with(
+                        &self.model,
+                        dag,
+                        m,
+                        q,
+                        &self.finish,
+                        &self.assignment,
+                    );
+                    dat.max(ready)
+                };
+                let f = s + self.model.compute_cost(dag, m, q);
+                let old_f = self.finish[mi];
+                let changed = f != old_f;
+                if changed || s != self.start[mi] {
+                    self.undo.push((m, self.start[mi], old_f));
+                    self.start[mi] = s;
+                    self.finish[mi] = f;
+                }
+                // Successors see a different input when the finish time
+                // moved — or, for the transferred node itself, when the
+                // message origin moved even at an unchanged finish. A
+                // successor `s` (still untouched: it sits after `i` in
+                // the order) only needs a recompute when this edge's
+                // arrival time actually disturbs its committed start
+                // `s_c = max(ready, arrivals)`: either the new arrival
+                // exceeds `s_c` (the start must grow), or the old
+                // arrival equaled `s_c` (the binding constraint was
+                // relaxed and the start may shrink). Any other arrival
+                // change is absorbed by the max — skipping the mark
+                // there is what keeps the dirty set near the real
+                // dependency cone instead of the full fan-out.
+                if m == node {
+                    // The transferred node always re-tests every out
+                    // edge: its cached slacks were computed against
+                    // the old processor, and the message origin moved
+                    // even at an unchanged finish.
+                    for e in dag.succs(m) {
+                        let si = e.node.index();
+                        let sq = self.assignment[si];
+                        let a_old = old_f + self.model.message_cost(e.cost, from, sq);
+                        let a_new = f + self.model.message_cost(e.cost, q, sq);
+                        self.apply_mark(si, a_old, a_new, &mut pending);
+                    }
+                } else if changed {
+                    // An unmoved node's committed per-edge slacks are
+                    // valid (its processor and its successors' are
+                    // unchanged). An edge needs attention only when the
+                    // new finish exceeds its slack (arrival increase)
+                    // or the old finish equals it (binding relaxed);
+                    // both imply `slack <= max(old_f, f)`, and the
+                    // entries are sorted by slack, so the walk stops at
+                    // the first slack past that bound — the relaxed
+                    // tail of the fan-out is never touched.
+                    let lim = f.max(old_f);
+                    let succs = dag.succs(m);
+                    if self.seg_epoch[mi] != self.seg_gen {
+                        self.succ_sorted[self.succ_offset[mi]..self.succ_offset[mi + 1]]
+                            .sort_unstable();
+                        self.seg_epoch[mi] = self.seg_gen;
+                    }
+                    for idx in self.succ_offset[mi]..self.succ_offset[mi + 1] {
+                        let (slack, j) = self.succ_sorted[idx];
+                        if slack > lim {
+                            break;
+                        }
+                        if f <= slack && old_f < slack {
+                            continue;
+                        }
+                        let e = &succs[j as usize];
+                        let si = e.node.index();
+                        let sq = self.assignment[si];
+                        // A co-located successor needs no mark: its
+                        // local arrival (message cost zero) is always
+                        // covered by this processor's ready chain,
+                        // which the divergence tracking re-evaluates
+                        // exactly.
+                        if sq == q {
+                            continue;
+                        }
+                        let msg = self.model.message_cost(e.cost, q, sq);
+                        self.apply_mark(si, old_f + msg, f + msg, &mut pending);
+                    }
+                }
+                // The processor timeline re-converges with the
+                // committed one exactly when this (non-transferred)
+                // node's finish is unchanged.
+                let diverged = changed || m == node;
+                self.mark_proc(q, diverged, f, i, &mut live_procs);
+                if f > running_max {
+                    running_max = f;
+                }
+            }
+            if running_max >= cutoff {
+                // The final makespan can only be >= the running max:
+                // the probe is already doomed, stop evaluating.
+                self.tentative = Some(Tentative {
+                    node,
+                    from,
+                    makespan: running_max,
+                    aborted: true,
+                });
+                return None;
+            }
+            if pending == 0 && live_procs == 0 {
+                exited_at = Some(i);
+                break;
+            }
+        }
+        let makespan = match exited_at {
+            Some(i) => running_max.max(self.suffix_max[i + 1]),
+            None => running_max,
+        };
+        let aborted = makespan >= cutoff;
+        self.tentative = Some(Tentative {
+            node,
+            from,
+            makespan,
+            aborted,
+        });
+        if aborted {
+            None
+        } else {
+            Some(makespan)
+        }
+    }
+
+    /// Accept the pending probe: its times become the committed state.
+    /// O(v) — the position lists and prefix/suffix maxima are rebuilt.
+    ///
+    /// Panics if no probe is pending, or if the pending probe was a
+    /// bounded one that aborted (its walk is incomplete).
+    pub fn commit(&mut self) {
+        let t = self
+            .tentative
+            .take()
+            .expect("commit without a pending probe");
+        assert!(
+            !t.aborted,
+            "cannot commit an aborted bounded probe: call revert()"
+        );
+        let to = self.assignment[t.node.index()];
+        if t.from != to {
+            let k = self.pos_of[t.node.index()];
+            let from_list = &mut self.proc_positions[t.from.index()];
+            let idx = from_list
+                .binary_search(&k)
+                .expect("moved node tracked on its old processor");
+            from_list.remove(idx);
+            let to_list = &mut self.proc_positions[to.index()];
+            let idx = to_list
+                .binary_search(&k)
+                .expect_err("moved node cannot already be on the target");
+            to_list.insert(idx, k);
+            self.makespan = t.makespan;
+            self.rebuild_max_caches();
+            self.slacks_stale = true;
+        }
+        self.undo.clear();
+    }
+
+    /// Reject the pending probe: restore every touched start/finish
+    /// time from the undo log. Cost proportional to the nodes the
+    /// probe recomputed.
+    ///
+    /// Panics if no probe is pending.
+    pub fn revert(&mut self) {
+        let t = self
+            .tentative
+            .take()
+            .expect("revert without a pending probe");
+        self.assignment[t.node.index()] = t.from;
+        for i in (0..self.undo.len()).rev() {
+            let (n, s, f) = self.undo[i];
+            self.start[n.index()] = s;
+            self.finish[n.index()] = f;
+        }
+        self.undo.clear();
+    }
+
+    /// Seed start/finish/makespan with one full evaluation.
+    fn full_evaluate(&mut self, dag: &Dag) {
+        let mut ready = vec![0 as Cost; self.num_procs as usize];
+        let mut makespan = 0;
+        for &n in &self.order {
+            let q = self.assignment[n.index()];
+            let dat =
+                data_arrival_time_with(&self.model, dag, n, q, &self.finish, &self.assignment);
+            let s = dat.max(ready[q.index()]);
+            let f = s + self.model.compute_cost(dag, n, q);
+            self.start[n.index()] = s;
+            self.finish[n.index()] = f;
+            ready[q.index()] = f;
+            if f > makespan {
+                makespan = f;
+            }
+        }
+        self.makespan = makespan;
+    }
+
+    fn rebuild_proc_positions(&mut self) {
+        for list in &mut self.proc_positions {
+            list.clear();
+        }
+        for (i, &n) in self.order.iter().enumerate() {
+            self.proc_positions[self.assignment[n.index()].index()].push(i);
+        }
+    }
+
+    fn rebuild_max_caches(&mut self) {
+        let v = self.order.len();
+        for i in 0..v {
+            let f = self.finish[self.order[i].index()];
+            self.prefix_max[i + 1] = self.prefix_max[i].max(f);
+        }
+        for i in (0..v).rev() {
+            let f = self.finish[self.order[i].index()];
+            self.suffix_max[i] = self.suffix_max[i + 1].max(f);
+        }
+    }
+
+    /// Committed ready time of `q` just before position `i`: the
+    /// committed finish of the last node on `q` at a position `< i`,
+    /// skipping the transferred node (it is no longer on its committed
+    /// processor during a probe).
+    ///
+    /// Sound during a probe even though `finish` holds tentative
+    /// values: a recomputed node either re-converged (finish unchanged)
+    /// or left its processor diverged, in which case the walk reads
+    /// `proc_ready` instead of this fallback.
+    /// Test one changed arrival against the successor's committed
+    /// start and mark it dirty if the change can disturb it. The
+    /// successor is untouched (it sits after the walk cursor), so
+    /// `start[si]` is its committed value and `a_old <= start[si]`
+    /// holds by feasibility.
+    #[inline]
+    fn apply_mark(&mut self, si: usize, a_old: Cost, a_new: Cost, pending: &mut usize) {
+        let succ_start = self.start[si];
+        if a_new > succ_start {
+            // Increase mark: this arrival alone forces the successor's
+            // start above its committed value; accumulate the max. An
+            // increase mark dominates any relaxed binding (every other
+            // arrival is <= the committed start, below the accumulated
+            // max), so it downgrades an earlier full mark.
+            if self.node_dirty[si] != self.epoch {
+                self.node_dirty[si] = self.epoch;
+                self.dirty_full[si] = false;
+                self.dirty_acc[si] = a_new;
+                *pending += 1;
+            } else if self.dirty_full[si] {
+                self.dirty_full[si] = false;
+                self.dirty_acc[si] = a_new;
+            } else if a_new > self.dirty_acc[si] {
+                self.dirty_acc[si] = a_new;
+            }
+        } else if a_old == succ_start && self.node_dirty[si] != self.epoch {
+            // The binding arrival was relaxed: the start may shrink,
+            // and only a full DAT recompute can tell by how much. (On
+            // an already-marked node this is moot: a full mark subsumes
+            // it, an increase mark dominates it.)
+            self.node_dirty[si] = self.epoch;
+            self.dirty_full[si] = true;
+            *pending += 1;
+        }
+    }
+
+    /// Recompute the per-edge slack cache from the committed starts —
+    /// O(e); per-node segments are re-sorted lazily on first use. A
+    /// committed arrival is always feasible
+    /// (`finish[u] + msg <= start[s]`), so the subtraction cannot
+    /// underflow and every slack is `>= finish[u]`.
+    fn rebuild_slacks(&mut self, dag: &Dag) {
+        for n in dag.nodes() {
+            let ni = n.index();
+            let q = self.assignment[ni];
+            let base = self.succ_offset[ni];
+            for (j, e) in dag.succs(n).iter().enumerate() {
+                let sq = self.assignment[e.node.index()];
+                let slack = self.start[e.node.index()] - self.model.message_cost(e.cost, q, sq);
+                self.succ_sorted[base + j] = (slack, j as u32);
+            }
+        }
+        self.seg_gen += 1;
+        self.slacks_stale = false;
+    }
+
+    fn committed_ready_before(&self, q: ProcId, i: usize, moved: NodeId) -> Cost {
+        let list = &self.proc_positions[q.index()];
+        let mut idx = list.partition_point(|&p| p < i);
+        while idx > 0 {
+            let n = self.order[list[idx - 1]];
+            if n == moved {
+                idx -= 1;
+                continue;
+            }
+            return self.finish[n.index()];
+        }
+        0
+    }
+
+    /// Record the tentative state of processor `q` after the walk
+    /// processed position `after`. A diverged processor counts toward
+    /// the early-exit condition only while it still has committed
+    /// positions ahead — a divergence nothing downstream can observe
+    /// is dropped immediately.
+    fn mark_proc(
+        &mut self,
+        q: ProcId,
+        diverged: bool,
+        ready: Cost,
+        after: usize,
+        live: &mut usize,
+    ) {
+        let qi = q.index();
+        let was = self.proc_epoch[qi] == self.epoch && self.proc_diverged[qi];
+        let now = diverged && self.proc_positions[qi].last().is_some_and(|&p| p > after);
+        self.proc_epoch[qi] = self.epoch;
+        self.proc_diverged[qi] = now;
+        self.proc_ready[qi] = ready;
+        match (was, now) {
+            (false, true) => *live += 1,
+            (true, false) => *live -= 1,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ProcessorSpeeds;
+    use crate::evaluate::{evaluate_fixed_order, evaluate_fixed_order_with};
+    use fastsched_dag::examples::{fork_join, paper_figure1};
+    use fastsched_dag::DagBuilder;
+
+    /// a(2) →4→ b(3); a →1→ c(5); b,c → d(1) with costs 2, 1.
+    fn sample() -> Dag {
+        let mut b = DagBuilder::new();
+        let a = b.add_task(2);
+        let nb = b.add_task(3);
+        let nc = b.add_task(5);
+        let nd = b.add_task(1);
+        b.add_edge(a, nb, 4).unwrap();
+        b.add_edge(a, nc, 1).unwrap();
+        b.add_edge(nb, nd, 2).unwrap();
+        b.add_edge(nc, nd, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    fn assert_matches_full(dag: &Dag, eval: &DeltaEvaluator, num_procs: u32) {
+        let full = evaluate_fixed_order(dag, eval.order(), eval.assignment(), num_procs);
+        assert_eq!(eval.makespan(), full.makespan(), "makespan");
+        for n in dag.nodes() {
+            assert_eq!(
+                eval.start_times()[n.index()],
+                full.start_of(n).unwrap(),
+                "start of {n:?}"
+            );
+            assert_eq!(
+                eval.finish_times()[n.index()],
+                full.task(n).unwrap().finish,
+                "finish of {n:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeding_matches_full_evaluation() {
+        let g = sample();
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        let assignment = vec![ProcId(0), ProcId(0), ProcId(1), ProcId(0)];
+        let eval = DeltaEvaluator::new(&g, order, assignment, 2);
+        assert_eq!(eval.makespan(), 10);
+        assert_matches_full(&g, &eval, 2);
+    }
+
+    #[test]
+    fn probe_commit_matches_full_replay() {
+        let g = sample();
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        let mut eval = DeltaEvaluator::new(&g, order.clone(), vec![ProcId(0); 4], 3);
+        // Move c to P1 (as in the evaluate.rs tests).
+        let m = eval.probe_transfer(&g, NodeId(2), ProcId(1));
+        let mut assignment = vec![ProcId(0); 4];
+        assignment[2] = ProcId(1);
+        let full = evaluate_fixed_order(&g, &order, &assignment, 3);
+        assert_eq!(m, full.makespan());
+        eval.commit();
+        assert_matches_full(&g, &eval, 3);
+    }
+
+    #[test]
+    fn revert_restores_committed_state() {
+        let g = sample();
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        let assignment = vec![ProcId(0), ProcId(1), ProcId(0), ProcId(1)];
+        let mut eval = DeltaEvaluator::new(&g, order, assignment.clone(), 2);
+        let before_start = eval.start_times().to_vec();
+        let before_finish = eval.finish_times().to_vec();
+        let before_makespan = eval.makespan();
+        eval.probe_transfer(&g, NodeId(1), ProcId(0));
+        eval.revert();
+        assert_eq!(eval.assignment(), &assignment[..]);
+        assert_eq!(eval.start_times(), &before_start[..]);
+        assert_eq!(eval.finish_times(), &before_finish[..]);
+        assert_eq!(eval.makespan(), before_makespan);
+        assert_matches_full(&g, &eval, 2);
+    }
+
+    #[test]
+    fn same_processor_probe_is_a_no_op() {
+        let g = sample();
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        let mut eval = DeltaEvaluator::new(&g, order, vec![ProcId(0); 4], 2);
+        let m = eval.probe_transfer(&g, NodeId(1), ProcId(0));
+        assert_eq!(m, eval.makespan());
+        eval.commit();
+        assert_matches_full(&g, &eval, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unresolved probe")]
+    fn unresolved_probe_rejects_a_second_probe() {
+        let g = sample();
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        let mut eval = DeltaEvaluator::new(&g, order, vec![ProcId(0); 4], 2);
+        eval.probe_transfer(&g, NodeId(1), ProcId(1));
+        eval.probe_transfer(&g, NodeId(2), ProcId(1));
+    }
+
+    #[test]
+    fn random_walk_on_figure1_stays_bit_identical() {
+        // Deterministic pseudo-random probe sequence (splitmix-style)
+        // over the paper's example; every probe and resolution is
+        // cross-checked against the full evaluator.
+        let g = paper_figure1();
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        let procs = 4u32;
+        let assignment: Vec<ProcId> = g.nodes().map(|n| ProcId(n.0 % procs)).collect();
+        let mut eval = DeltaEvaluator::new(&g, order.clone(), assignment.clone(), procs);
+        let mut shadow = assignment;
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for step in 0..200 {
+            let n = NodeId((next() % g.node_count()) as u32);
+            let p = ProcId((next() % procs as usize) as u32);
+            let old = shadow[n.index()];
+            shadow[n.index()] = p;
+            let expect = evaluate_fixed_order(&g, &order, &shadow, procs).makespan();
+            let got = eval.probe_transfer(&g, n, p);
+            assert_eq!(got, expect, "probe {step}: {n:?} -> {p:?}");
+            if next() % 2 == 0 {
+                eval.commit();
+            } else {
+                eval.revert();
+                shadow[n.index()] = old;
+            }
+            assert_eq!(eval.assignment(), &shadow[..], "state after step {step}");
+            assert_matches_full(&g, &eval, procs);
+        }
+    }
+
+    #[test]
+    fn to_schedule_round_trips() {
+        let g = fork_join(5, 3, 7);
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        let assignment: Vec<ProcId> = g.nodes().map(|n| ProcId(n.0 % 3)).collect();
+        let eval = DeltaEvaluator::new(&g, order.clone(), assignment.clone(), 3);
+        let s = eval.to_schedule();
+        let full = evaluate_fixed_order(&g, &order, &assignment, 3);
+        assert_eq!(s.makespan(), full.makespan());
+        for n in g.nodes() {
+            assert_eq!(s.task(n), full.task(n));
+        }
+    }
+
+    #[test]
+    fn bounded_probe_matches_exact_and_reverts_cleanly() {
+        let g = fork_join(6, 4, 5);
+        let procs = 4u32;
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        let assignment: Vec<ProcId> = g.nodes().map(|n| ProcId(n.0 % procs)).collect();
+        let mut eval = DeltaEvaluator::new(&g, order.clone(), assignment.clone(), procs);
+        let mut shadow = assignment;
+        let mut state = 0xD1CE5EEDu64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for step in 0..150 {
+            let n = NodeId((next() % g.node_count()) as u32);
+            let p = ProcId((next() % procs as usize) as u32);
+            let old = shadow[n.index()];
+            shadow[n.index()] = p;
+            let exact = evaluate_fixed_order(&g, &order, &shadow, procs).makespan();
+            // Cutoff above, at and below the exact makespan: the probe
+            // must return Some(exact) iff exact < cutoff, never a
+            // different value.
+            let cutoff = match step % 3 {
+                0 => exact + 1,
+                1 => exact,
+                _ => exact.saturating_sub(1),
+            };
+            match eval.probe_transfer_bounded(&g, n, p, cutoff) {
+                Some(m) => {
+                    assert_eq!(m, exact, "step {step}");
+                    assert!(m < cutoff, "step {step}");
+                    eval.revert();
+                }
+                None => {
+                    assert!(exact >= cutoff, "step {step}: spurious abort");
+                    eval.revert();
+                }
+            }
+            shadow[n.index()] = old;
+            // Revert must restore the committed state exactly, whether
+            // the probe completed or aborted mid-walk.
+            assert_eq!(eval.assignment(), &shadow[..], "state after step {step}");
+            assert_matches_full(&g, &eval, procs);
+            // An aborted probe must refuse commit; an accepted one is
+            // exercised occasionally to keep the walk state honest.
+            if step % 7 == 0 {
+                shadow[n.index()] = p;
+                let exact = evaluate_fixed_order(&g, &order, &shadow, procs).makespan();
+                let m = eval
+                    .probe_transfer_bounded(&g, n, p, Cost::MAX)
+                    .expect("unbounded cutoff never aborts");
+                assert_eq!(m, exact);
+                eval.commit();
+                assert_matches_full(&g, &eval, procs);
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_model_probes_match_generic_replay() {
+        let g = sample();
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        let speeds = ProcessorSpeeds::new(vec![100, 200, 50]);
+        let mut eval =
+            DeltaEvaluator::with_model(speeds.clone(), &g, order.clone(), vec![ProcId(0); 4], 3);
+        for (n, p) in [
+            (NodeId(2), ProcId(1)),
+            (NodeId(1), ProcId(2)),
+            (NodeId(3), ProcId(1)),
+        ] {
+            let mut shadow = eval.assignment().to_vec();
+            shadow[n.index()] = p;
+            let expect = evaluate_fixed_order_with(&speeds, &g, &order, &shadow, 3).makespan();
+            let got = eval.probe_transfer(&g, n, p);
+            assert_eq!(got, expect);
+            eval.commit();
+        }
+    }
+}

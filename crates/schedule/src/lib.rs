@@ -8,10 +8,15 @@
 //!   (every schedule any algorithm produces must pass);
 //! * [`metrics`] — schedule length, processors used, speedup,
 //!   efficiency, load balance, communication volume;
+//! * [`cost`] — the [`CostModel`] trait every evaluator is generic
+//!   over (homogeneous, per-processor speeds, topology-aware), plus
+//!   the shared data-arrival-time primitive;
 //! * [`evaluate`] — the O(v + e) fixed-order list-scheduling evaluator
 //!   (given a priority order and a node→processor assignment, compute
-//!   all start times). FAST's local search re-runs this after every
-//!   candidate node transfer;
+//!   all start times) — the reference semantics;
+//! * [`incremental`] — the [`DeltaEvaluator`]: bit-identical to
+//!   [`evaluate`] but re-evaluates only the suffix a node transfer
+//!   actually dirties. FAST's local search probes run through it;
 //! * [`gantt`] / [`svg`] — ASCII and SVG Gantt-chart rendering;
 //! * [`io`] — JSON (de)serialization of schedules for the CLI;
 //! * [`analysis`] — bottleneck-chain extraction and idle profiling.
@@ -19,15 +24,22 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cost;
 pub mod evaluate;
 pub mod gantt;
+pub mod incremental;
 pub mod io;
 pub mod metrics;
 pub mod schedule;
 pub mod svg;
 pub mod validate;
 
-pub use evaluate::{data_arrival_time, evaluate_fixed_order};
+pub use cost::{data_arrival_time_with, CostModel, HomogeneousModel, ProcessorSpeeds};
+pub use evaluate::{
+    data_arrival_time, evaluate_fixed_order, evaluate_fixed_order_with, evaluate_makespan_into,
+    evaluate_makespan_into_with,
+};
+pub use incremental::DeltaEvaluator;
 pub use metrics::ScheduleMetrics;
 pub use schedule::{ProcId, Schedule, ScheduledTask};
 pub use validate::{validate, ScheduleError};

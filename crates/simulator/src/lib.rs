@@ -13,6 +13,9 @@
 //!
 //! * [`topology`] — processor interconnects: the Paragon's 2D mesh
 //!   with XY routing, plus a fully-connected ideal network;
+//! * [`cost`] — the [`TopologyCostModel`]: the simulator's distance
+//!   pricing expressed as the workspace-wide `CostModel` trait, so
+//!   the schedule evaluators can optimize against it directly;
 //! * [`network`] — per-message timing (nominal cost + per-hop latency)
 //!   and link contention (a message occupies every link on its route
 //!   for its transfer duration);
@@ -28,11 +31,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod engine;
 pub mod network;
 pub mod report;
 pub mod topology;
 
+pub use cost::TopologyCostModel;
 pub use engine::{simulate, SimConfig};
 pub use report::ExecutionReport;
 pub use topology::Topology;

@@ -13,9 +13,10 @@
 //!   link occupancy is only a small fraction of the software-dominated
 //!   nominal message cost `c`.
 
+use crate::cost::TopologyCostModel;
 use crate::topology::{LinkId, Topology};
 use fastsched_dag::Cost;
-use fastsched_schedule::ProcId;
+use fastsched_schedule::{CostModel, ProcId};
 use std::collections::HashMap;
 
 /// How link conflicts are modelled.
@@ -45,8 +46,7 @@ impl Default for ContentionModel {
 /// Mutable network state: per-link busy-until times.
 #[derive(Debug)]
 pub struct Network {
-    topology: Topology,
-    hop_latency_us: Cost,
+    cost: TopologyCostModel,
     model: ContentionModel,
     busy_until: HashMap<LinkId, Cost>,
     /// Total time messages spent waiting for busy links.
@@ -60,8 +60,7 @@ impl Network {
     /// latency.
     pub fn new(topology: Topology, hop_latency_us: Cost, model: ContentionModel) -> Self {
         Self {
-            topology,
-            hop_latency_us,
+            cost: TopologyCostModel::new(topology, hop_latency_us),
             model,
             busy_until: HashMap::new(),
             contention_delay: 0,
@@ -71,7 +70,13 @@ impl Network {
 
     /// The interconnect.
     pub fn topology(&self) -> Topology {
-        self.topology
+        self.cost.topology()
+    }
+
+    /// The distance-aware message pricing this network charges — the
+    /// same [`TopologyCostModel`] can drive the schedule evaluators.
+    pub fn cost_model(&self) -> TopologyCostModel {
+        self.cost
     }
 
     /// Deliver a message of nominal cost `c` from `src` to `dst`,
@@ -82,13 +87,14 @@ impl Network {
             return send_time;
         }
         self.messages += 1;
-        let hops = self.topology.hops(src, dst) as Cost;
-        let latency = c + hops * self.hop_latency_us;
+        // Distance pricing (nominal + hops × hop latency) comes from
+        // the shared cost model; contention is layered on top.
+        let latency = self.cost.message_cost(c, src, dst);
 
         match self.model {
             ContentionModel::None => send_time + latency,
             ContentionModel::Links { pipelining } => {
-                let route = self.topology.route(src, dst);
+                let route = self.cost.topology().route(src, dst);
                 let hold = (c / pipelining.max(1)).max(1);
                 // Wait until the whole path is free.
                 let mut start = send_time;

@@ -1,0 +1,153 @@
+//! Property-based equivalence of the incremental [`DeltaEvaluator`]
+//! against the full fixed-order replay: over random layered DAGs and
+//! random transfer/commit/revert sequences, every probe's makespan and
+//! every committed start/finish time must be **bit-identical** to
+//! [`evaluate_fixed_order`] on the same order and assignment. This is
+//! the contract that lets the FAST search drivers swap the evaluator
+//! without changing a single accept/reject decision.
+
+use fastsched::prelude::*;
+use fastsched::schedule::{evaluate_fixed_order, DeltaEvaluator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random layered DAG through the public generator (acyclic by
+/// construction). Small communication ranges keep co-located parents
+/// frequent; wide ranges exercise the remote-message paths.
+fn arb_dag() -> impl Strategy<Value = Dag> {
+    (2usize..50, 0u64..1_000_000, 1u64..30, 1u64..100).prop_map(|(nodes, seed, w_hi, c_hi)| {
+        let config = RandomDagConfig {
+            nodes,
+            out_degree: (1, 4),
+            node_weight: (1, w_hi.max(2)),
+            edge_weight: (1, c_hi.max(2)),
+        };
+        random_layered_dag(&config, seed)
+    })
+}
+
+/// Assert the evaluator's committed state matches a fresh full replay
+/// of its (order, assignment) — identical makespan and identical
+/// start/finish time for every node.
+fn assert_bit_identical(dag: &Dag, eval: &DeltaEvaluator, procs: u32) -> Result<(), TestCaseError> {
+    let full = evaluate_fixed_order(dag, eval.order(), eval.assignment(), procs);
+    prop_assert_eq!(eval.makespan(), full.makespan());
+    for n in dag.nodes() {
+        let t = full.task(n).unwrap();
+        prop_assert_eq!(eval.start_times()[n.index()], t.start, "start of {:?}", n);
+        prop_assert_eq!(
+            eval.finish_times()[n.index()],
+            t.finish,
+            "finish of {:?}",
+            n
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random transfer/commit/revert walks: every probe's makespan
+    /// matches a full replay of the probed assignment, and after every
+    /// resolution the committed state matches a full replay.
+    #[test]
+    fn random_transfer_walks_are_bit_identical(
+        dag in arb_dag(),
+        procs in 2u32..7,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let order: Vec<NodeId> = dag.topo_order().to_vec();
+        let mut shadow: Vec<ProcId> =
+            dag.nodes().map(|_| ProcId(rng.gen_range(0..procs))).collect();
+        let mut eval = DeltaEvaluator::new(&dag, order.clone(), shadow.clone(), procs);
+        assert_bit_identical(&dag, &eval, procs)?;
+
+        for step in 0..60 {
+            let n = NodeId(rng.gen_range(0..dag.node_count() as u32));
+            let p = ProcId(rng.gen_range(0..procs));
+            let old = shadow[n.index()];
+            shadow[n.index()] = p;
+            let expect = evaluate_fixed_order(&dag, &order, &shadow, procs).makespan();
+            let got = eval.probe_transfer(&dag, n, p);
+            prop_assert_eq!(got, expect, "probe {}: {:?} -> {:?}", step, n, p);
+            if rng.gen::<f64>() < 0.5 {
+                eval.commit();
+            } else {
+                eval.revert();
+                shadow[n.index()] = old;
+            }
+            prop_assert_eq!(eval.assignment(), &shadow[..]);
+            assert_bit_identical(&dag, &eval, procs)?;
+        }
+    }
+
+    /// Entry nodes have no parents (DAT 0 on every processor) and
+    /// exercise the ready-time-only path; force many entry transfers.
+    #[test]
+    fn entry_node_transfers_are_bit_identical(
+        dag in arb_dag(),
+        procs in 2u32..6,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let order: Vec<NodeId> = dag.topo_order().to_vec();
+        let entries: Vec<NodeId> = dag.entry_nodes();
+        let mut shadow = vec![ProcId(0); dag.node_count()];
+        let mut eval = DeltaEvaluator::new(&dag, order.clone(), shadow.clone(), procs);
+
+        for _ in 0..30 {
+            let n = entries[rng.gen_range(0..entries.len())];
+            let p = ProcId(rng.gen_range(0..procs));
+            let old = shadow[n.index()];
+            shadow[n.index()] = p;
+            let expect = evaluate_fixed_order(&dag, &order, &shadow, procs).makespan();
+            prop_assert_eq!(eval.probe_transfer(&dag, n, p), expect);
+            if rng.gen::<f64>() < 0.7 {
+                eval.commit();
+            } else {
+                eval.revert();
+                shadow[n.index()] = old;
+            }
+            assert_bit_identical(&dag, &eval, procs)?;
+        }
+    }
+
+    /// All nodes start co-located on one processor, so every parent
+    /// edge begins as a free local message; transfers must start
+    /// charging (and un-charging, on revert) exactly the right edges.
+    #[test]
+    fn colocated_start_transfers_are_bit_identical(
+        dag in arb_dag(),
+        procs in 2u32..6,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let order: Vec<NodeId> = dag.topo_order().to_vec();
+        let mut shadow = vec![ProcId(0); dag.node_count()];
+        let mut eval = DeltaEvaluator::new(&dag, order.clone(), shadow.clone(), procs);
+
+        for _ in 0..40 {
+            let n = NodeId(rng.gen_range(0..dag.node_count() as u32));
+            // Bias towards moving back to P0, re-co-locating families.
+            let p = if rng.gen::<f64>() < 0.4 {
+                ProcId(0)
+            } else {
+                ProcId(rng.gen_range(0..procs))
+            };
+            let old = shadow[n.index()];
+            shadow[n.index()] = p;
+            let expect = evaluate_fixed_order(&dag, &order, &shadow, procs).makespan();
+            prop_assert_eq!(eval.probe_transfer(&dag, n, p), expect);
+            if rng.gen::<f64>() < 0.5 {
+                eval.commit();
+            } else {
+                eval.revert();
+                shadow[n.index()] = old;
+            }
+            assert_bit_identical(&dag, &eval, procs)?;
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Offline shim for `criterion`: benchmark groups, `Throughput`,
+//! `BenchmarkId` and the `criterion_group!`/`criterion_main!` macros,
+//! backed by a simple wall-clock timing loop.
+//!
+//! Statistics are deliberately minimal — each benchmark warms up
+//! briefly, then runs for a fixed measurement budget and reports the
+//! mean time per iteration (plus throughput when configured).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(100),
+            measure: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            warm_up: self.warm_up,
+            measure: self.measure,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's name, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new<S: Display, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput config.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Set the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benchmark `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) {
+        let full_name = if self.name.is_empty() {
+            id.label
+        } else {
+            format!("{}/{}", self.name, id.label)
+        };
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp,
+            budget: self.warm_up,
+            total_time: Duration::ZERO,
+            total_iters: 0,
+        };
+        f(&mut bencher);
+        bencher.mode = Mode::Measure;
+        bencher.budget = self.measure;
+        bencher.total_time = Duration::ZERO;
+        bencher.total_iters = 0;
+        f(&mut bencher);
+        report(&full_name, self.throughput, &bencher);
+    }
+
+    /// Finish the group (reporting happens per-benchmark).
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    WarmUp,
+    Measure,
+}
+
+/// Runs the benchmarked closure in a timing loop.
+pub struct Bencher {
+    mode: Mode,
+    budget: Duration,
+    total_time: Duration,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate a batch size that keeps clock overhead negligible.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed > Duration::from_micros(200) || batch >= 1 << 20 {
+                if matches!(self.mode, Mode::Measure) {
+                    self.total_time += elapsed;
+                    self.total_iters += batch;
+                }
+                break;
+            }
+            batch *= 2;
+        }
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            if matches!(self.mode, Mode::Measure) {
+                self.total_time += start.elapsed();
+                self.total_iters += batch;
+            }
+        }
+    }
+
+    /// Mean nanoseconds per iteration over the measurement phase.
+    pub fn ns_per_iter(&self) -> f64 {
+        if self.total_iters == 0 {
+            return 0.0;
+        }
+        self.total_time.as_nanos() as f64 / self.total_iters as f64
+    }
+}
+
+fn report(name: &str, throughput: Option<Throughput>, bencher: &Bencher) {
+    let ns = bencher.ns_per_iter();
+    let time = if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) if ns > 0.0 => {
+            let rate = n as f64 / (ns / 1e9);
+            println!("{name:<50} time: {time:>12}  thrpt: {rate:.3e} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if ns > 0.0 => {
+            let rate = n as f64 / (ns / 1e9);
+            println!("{name:<50} time: {time:>12}  thrpt: {rate:.3e} B/s");
+        }
+        _ => println!("{name:<50} time: {time:>12}"),
+    }
+}
+
+/// Bundle benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_measures_something() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("label", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

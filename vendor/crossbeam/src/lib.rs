@@ -1,0 +1,69 @@
+//! Offline shim for `crossbeam`: the `thread::scope` API, implemented
+//! on `std::thread::scope` (available since Rust 1.63, which makes the
+//! crossbeam dependency unnecessary for scoped spawning).
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    pub use std::thread::ScopedJoinHandle;
+
+    /// A scope handle passed to [`scope`]'s closure and to spawned
+    /// threads; wraps the std scope.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the
+        /// scope again (crossbeam's signature) so it can spawn more.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Create a scope: all threads spawned inside are joined before
+    /// `scope` returns. Always `Ok` — with std scoped threads, a
+    /// panicking child propagates its panic at join/exit instead of
+    /// being collected into the `Err` case the crossbeam API exposes.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let r = thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+    }
+}

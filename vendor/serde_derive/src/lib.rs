@@ -1,0 +1,339 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! shim, written against raw `proc_macro` tokens (no syn/quote).
+//!
+//! Supported shapes — exactly what the workspace derives on:
+//! * structs with named fields,
+//! * newtype (single-field tuple) structs, serialized transparently,
+//! * enums whose variants are unit or named-field (externally tagged:
+//!   `"Variant"` / `{"Variant": {..fields..}}`).
+//!
+//! Generics, tuple variants, and `#[serde(...)]` attributes are not
+//! supported and panic at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// Derive `serde::Serialize` for a supported type shape.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derive `serde::Deserialize` for a supported type shape.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// One enum variant: name plus `None` for unit or field names.
+struct Variant {
+    name: String,
+    fields: Option<Vec<String>>,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    Newtype,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types ({name})");
+    }
+
+    let shape = match (keyword.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = count_top_level_fields(g.stream());
+            assert!(
+                n == 1,
+                "serde shim derive supports only single-field tuple structs ({name} has {n})"
+            );
+            Shape::Newtype
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(g.stream(), &name))
+        }
+        _ => panic!("unsupported item shape for {name}"),
+    };
+    Item { name, shape }
+}
+
+/// Advance past leading `#[...]` attributes and a `pub`/`pub(...)`
+/// visibility marker.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' then the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field body (`{ a: T, b: U }`).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advance past one type, stopping at a top-level `,` (tracks `<...>`
+/// nesting so commas inside generic arguments don't terminate early).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Number of comma-separated fields in a tuple-struct body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        n += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let vname = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive does not support tuple variants ({enum_name}::{vname})");
+            }
+            _ => None,
+        };
+        variants.push(Variant {
+            name: vname,
+            fields,
+        });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ "
+    );
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            out.push_str("::serde::Value::Object(::std::vec![");
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            out.push_str("])");
+        }
+        Shape::Newtype => out.push_str("::serde::Serialize::to_value(&self.0)"),
+        Shape::Enum(variants) => {
+            out.push_str("match self {");
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vname} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    Some(fields) => {
+                        let binds = fields.join(", ");
+                        let _ = write!(
+                            out,
+                            "{name}::{vname} {{ {binds} }} => \
+                             ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Object(::std::vec!["
+                        );
+                        for f in fields {
+                            let _ = write!(
+                                out,
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f})),"
+                            );
+                        }
+                        out.push_str("]))]),");
+                    }
+                }
+            }
+            out.push('}');
+        }
+    }
+    out.push_str("} }");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ "
+    );
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            out.push_str("::std::result::Result::Ok(Self {");
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "{f}: ::serde::Deserialize::from_value(::serde::__field(__v, \"{f}\")?)?,"
+                );
+            }
+            out.push_str("})");
+        }
+        Shape::Newtype => {
+            out.push_str("::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))");
+        }
+        Shape::Enum(variants) => {
+            out.push_str("match __v {");
+            // Unit variants arrive as a bare string tag.
+            out.push_str("::serde::Value::String(__s) => match __s.as_str() {");
+            for v in variants.iter().filter(|v| v.fields.is_none()) {
+                let vname = &v.name;
+                let _ = write!(
+                    out,
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                );
+            }
+            let _ = write!(
+                out,
+                "__other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown {name} variant `{{__other}}`\"))),"
+            );
+            out.push_str("},");
+            // Field variants arrive as a single-entry object.
+            out.push_str(
+                "::serde::Value::Object(__pairs) if __pairs.len() == 1 => {\
+                 let (__tag, __inner) = &__pairs[0]; match __tag.as_str() {",
+            );
+            for v in variants.iter().filter(|v| v.fields.is_some()) {
+                let vname = &v.name;
+                let _ = write!(
+                    out,
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{"
+                );
+                for f in v.fields.as_ref().unwrap() {
+                    let _ = write!(
+                        out,
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::__field(__inner, \"{f}\")?)?,"
+                    );
+                }
+                out.push_str("}),");
+            }
+            let _ = write!(
+                out,
+                "__other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown {name} variant `{{__other}}`\"))),"
+            );
+            out.push_str("}},");
+            let _ = write!(
+                out,
+                "_ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"expected {name} as string or single-entry object\")),"
+            );
+            out.push('}');
+        }
+    }
+    out.push_str("} }");
+    out
+}

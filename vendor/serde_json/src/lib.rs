@@ -1,0 +1,446 @@
+//! Offline shim for `serde_json`: JSON text ⇄ [`serde::Value`] with
+//! the `to_string` / `to_string_pretty` / `from_str` entry points the
+//! workspace uses.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serialize `value` as compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Parse JSON text into a `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+// ---------------------------------------------------------------- writer
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(x) => {
+            let _ = fmt::write(out, format_args!("{x}"));
+        }
+        Value::Int(x) => {
+            let _ = fmt::write(out, format_args!("{x}"));
+        }
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Keep a decimal point so the value re-parses as a float.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    let _ = fmt::write(out, format_args!("{x:.1}"));
+                } else {
+                    let _ = fmt::write(out, format_args!("{x}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            write_seq(items.iter(), indent, depth, out, '[', ']', |item, d, o| {
+                write_value(item, indent, d, o);
+            })
+        }
+        Value::Object(pairs) => {
+            write_seq(
+                pairs.iter(),
+                indent,
+                depth,
+                out,
+                '{',
+                '}',
+                |(k, val), d, o| {
+                    write_string(k, o);
+                    o.push(':');
+                    if indent.is_some() {
+                        o.push(' ');
+                    }
+                    write_value(val, indent, d, o);
+                },
+            );
+        }
+    }
+}
+
+fn write_seq<I, T, F>(
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    open: char,
+    close: char,
+    mut write_item: F,
+) where
+    I: ExactSizeIterator<Item = T>,
+    F: FnMut(T, usize, &mut String),
+{
+    out.push(open);
+    let n = items.len();
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if let Some(w) = indent {
+            out.push('\n');
+            for _ in 0..w * (depth + 1) {
+                out.push(' ');
+            }
+        }
+        write_item(item, depth + 1, out);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::write(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.parse_codepoint()?;
+                            out.push(cp);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is valid UTF-8
+                    // because it came from a &str).
+                    let rest = &self.bytes[self.pos..];
+                    let c = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8"))?
+                        .chars()
+                        .next()
+                        .unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parse the 4 hex digits after `\u` (cursor already past `u`),
+    /// combining surrogate pairs.
+    fn parse_codepoint(&mut self) -> Result<char, Error> {
+        let hi = self.parse_hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            if !self.eat_literal("\\u") {
+                return Err(self.err("unpaired surrogate"));
+            }
+            let lo = self.parse_hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))
+        } else {
+            char::from_u32(hi).ok_or_else(|| self.err("invalid code point"))
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("invalid number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| self.err("invalid number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("a \"b\"\nc".into())),
+            ("n".into(), Value::UInt(u64::MAX)),
+            ("neg".into(), Value::Int(-7)),
+            (
+                "arr".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true), Value::Float(1.5)]),
+            ),
+            ("empty".into(), Value::Array(vec![])),
+        ]);
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for bad in ["{oops", "[1,", "\"abc", "12x", "", "{\"a\":}", "nul"] {
+            assert!(from_str::<Value>(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>(" 42 ").is_ok());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let s: Value = from_str("\"\\u0041\\ud83d\\ude00\"").unwrap();
+        assert_eq!(s, Value::String("A😀".into()));
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let v = Value::Object(vec![("a".into(), Value::Array(vec![Value::UInt(1)]))]);
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": [\n    1\n  ]\n}"
+        );
+        assert_eq!(to_string(&v).unwrap(), "{\"a\":[1]}");
+    }
+}
