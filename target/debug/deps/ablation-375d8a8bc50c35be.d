@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-375d8a8bc50c35be.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-375d8a8bc50c35be: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-7587ce84443d4547.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-7587ce84443d4547: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

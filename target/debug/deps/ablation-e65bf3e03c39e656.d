@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-e65bf3e03c39e656.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/libablation-e65bf3e03c39e656.rmeta: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

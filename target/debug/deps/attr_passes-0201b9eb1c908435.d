@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attr_passes-0201b9eb1c908435.d: crates/bench/benches/attr_passes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattr_passes-0201b9eb1c908435.rmeta: crates/bench/benches/attr_passes.rs Cargo.toml
+
+crates/bench/benches/attr_passes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/casch-602162ed62bb08f4.d: crates/casch/src/bin/casch.rs
+
+/root/repo/target/debug/deps/casch-602162ed62bb08f4: crates/casch/src/bin/casch.rs
+
+crates/casch/src/bin/casch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/casch-822b4bc1c5155b02.d: crates/casch/src/bin/casch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcasch-822b4bc1c5155b02.rmeta: crates/casch/src/bin/casch.rs Cargo.toml
+
+crates/casch/src/bin/casch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

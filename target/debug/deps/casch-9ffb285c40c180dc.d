@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/casch-9ffb285c40c180dc.d: crates/casch/src/bin/casch.rs
+
+/root/repo/target/debug/deps/casch-9ffb285c40c180dc: crates/casch/src/bin/casch.rs
+
+crates/casch/src/bin/casch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/casch-c2c3de096a3dc87b.d: crates/casch/src/bin/casch.rs
+
+/root/repo/target/debug/deps/casch-c2c3de096a3dc87b: crates/casch/src/bin/casch.rs
+
+crates/casch/src/bin/casch.rs:

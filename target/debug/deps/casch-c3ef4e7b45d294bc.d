@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/casch-c3ef4e7b45d294bc.d: crates/casch/src/bin/casch.rs
+
+/root/repo/target/debug/deps/casch-c3ef4e7b45d294bc: crates/casch/src/bin/casch.rs
+
+crates/casch/src/bin/casch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/casch-ce4a91c739389c7b.d: crates/casch/src/bin/casch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcasch-ce4a91c739389c7b.rmeta: crates/casch/src/bin/casch.rs Cargo.toml
+
+crates/casch/src/bin/casch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/casch-d52031b1e43d3dfd.d: crates/casch/src/bin/casch.rs
+
+/root/repo/target/debug/deps/libcasch-d52031b1e43d3dfd.rmeta: crates/casch/src/bin/casch.rs
+
+crates/casch/src/bin/casch.rs:

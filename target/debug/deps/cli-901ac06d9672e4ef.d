@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-901ac06d9672e4ef.d: crates/casch/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-901ac06d9672e4ef.rmeta: crates/casch/tests/cli.rs Cargo.toml
+
+crates/casch/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_casch=placeholder:casch
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

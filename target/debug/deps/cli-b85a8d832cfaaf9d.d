@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-b85a8d832cfaaf9d.d: crates/casch/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-b85a8d832cfaaf9d: crates/casch/tests/cli.rs
+
+crates/casch/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_casch=/root/repo/target/debug/casch

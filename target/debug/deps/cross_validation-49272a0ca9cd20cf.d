@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-49272a0ca9cd20cf.d: crates/core/../../tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-49272a0ca9cd20cf: crates/core/../../tests/cross_validation.rs
+
+crates/core/../../tests/cross_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-bcc2c2d5d765119c.d: crates/core/../../tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-bcc2c2d5d765119c: crates/core/../../tests/cross_validation.rs
+
+crates/core/../../tests/cross_validation.rs:

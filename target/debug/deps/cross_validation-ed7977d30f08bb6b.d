@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_validation-ed7977d30f08bb6b.d: crates/core/../../tests/cross_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_validation-ed7977d30f08bb6b.rmeta: crates/core/../../tests/cross_validation.rs Cargo.toml
+
+crates/core/../../tests/cross_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-0d013b28aaf72f56.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-0d013b28aaf72f56: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

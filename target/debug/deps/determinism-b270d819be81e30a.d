@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-b270d819be81e30a.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-b270d819be81e30a: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-09f5919d39fc6968.d: crates/core/../../tests/experiments.rs
+
+/root/repo/target/debug/deps/experiments-09f5919d39fc6968: crates/core/../../tests/experiments.rs
+
+crates/core/../../tests/experiments.rs:

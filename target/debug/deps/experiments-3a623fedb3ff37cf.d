@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-3a623fedb3ff37cf.d: crates/core/../../tests/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-3a623fedb3ff37cf.rmeta: crates/core/../../tests/experiments.rs Cargo.toml
+
+crates/core/../../tests/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-949a9379588b8e1a.d: crates/core/../../tests/experiments.rs
+
+/root/repo/target/debug/deps/experiments-949a9379588b8e1a: crates/core/../../tests/experiments.rs
+
+crates/core/../../tests/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastsched-0f5d830a14413dd9.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastsched-0f5d830a14413dd9.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fastsched-85884a983f67cfcb.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libfastsched-85884a983f67cfcb.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libfastsched-85884a983f67cfcb.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fastsched-8c4ce5986950cc10.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libfastsched-8c4ce5986950cc10.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libfastsched-8c4ce5986950cc10.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastsched-bb0440220bcc2d25.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastsched-bb0440220bcc2d25.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastsched-c8cd42624b51ddf7.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libfastsched-c8cd42624b51ddf7.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

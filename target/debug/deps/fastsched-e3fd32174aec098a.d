@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastsched-e3fd32174aec098a.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/fastsched-e3fd32174aec098a: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

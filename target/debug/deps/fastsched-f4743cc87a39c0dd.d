@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastsched-f4743cc87a39c0dd.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/fastsched-f4743cc87a39c0dd: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

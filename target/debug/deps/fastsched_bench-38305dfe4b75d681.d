@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fastsched_bench-38305dfe4b75d681.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfastsched_bench-38305dfe4b75d681.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfastsched_bench-38305dfe4b75d681.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

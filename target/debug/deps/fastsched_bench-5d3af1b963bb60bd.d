@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastsched_bench-5d3af1b963bb60bd.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastsched_bench-5d3af1b963bb60bd.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastsched_bench-6f2517e76f02c163.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fastsched_bench-6f2517e76f02c163: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

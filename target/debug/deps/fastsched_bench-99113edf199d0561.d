@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastsched_bench-99113edf199d0561.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fastsched_bench-99113edf199d0561: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

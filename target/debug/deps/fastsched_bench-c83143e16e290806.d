@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastsched_bench-c83143e16e290806.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfastsched_bench-c83143e16e290806.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fastsched_bench-d211c0909fbed167.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfastsched_bench-d211c0909fbed167.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfastsched_bench-d211c0909fbed167.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fastsched_casch-1f77b0084ac78fc3.d: crates/casch/src/lib.rs crates/casch/src/application.rs crates/casch/src/compare.rs crates/casch/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastsched_casch-1f77b0084ac78fc3.rmeta: crates/casch/src/lib.rs crates/casch/src/application.rs crates/casch/src/compare.rs crates/casch/src/pipeline.rs Cargo.toml
+
+crates/casch/src/lib.rs:
+crates/casch/src/application.rs:
+crates/casch/src/compare.rs:
+crates/casch/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

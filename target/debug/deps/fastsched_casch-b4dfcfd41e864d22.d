@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fastsched_casch-b4dfcfd41e864d22.d: crates/casch/src/lib.rs crates/casch/src/application.rs crates/casch/src/compare.rs crates/casch/src/pipeline.rs
+
+/root/repo/target/debug/deps/fastsched_casch-b4dfcfd41e864d22: crates/casch/src/lib.rs crates/casch/src/application.rs crates/casch/src/compare.rs crates/casch/src/pipeline.rs
+
+crates/casch/src/lib.rs:
+crates/casch/src/application.rs:
+crates/casch/src/compare.rs:
+crates/casch/src/pipeline.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fastsched_casch-d5b492b26f06d0d4.d: crates/casch/src/lib.rs crates/casch/src/application.rs crates/casch/src/compare.rs crates/casch/src/pipeline.rs
+
+/root/repo/target/debug/deps/libfastsched_casch-d5b492b26f06d0d4.rmeta: crates/casch/src/lib.rs crates/casch/src/application.rs crates/casch/src/compare.rs crates/casch/src/pipeline.rs
+
+crates/casch/src/lib.rs:
+crates/casch/src/application.rs:
+crates/casch/src/compare.rs:
+crates/casch/src/pipeline.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fastsched_casch-db340157a76dac67.d: crates/casch/src/lib.rs crates/casch/src/application.rs crates/casch/src/compare.rs crates/casch/src/pipeline.rs
+
+/root/repo/target/debug/deps/libfastsched_casch-db340157a76dac67.rlib: crates/casch/src/lib.rs crates/casch/src/application.rs crates/casch/src/compare.rs crates/casch/src/pipeline.rs
+
+/root/repo/target/debug/deps/libfastsched_casch-db340157a76dac67.rmeta: crates/casch/src/lib.rs crates/casch/src/application.rs crates/casch/src/compare.rs crates/casch/src/pipeline.rs
+
+crates/casch/src/lib.rs:
+crates/casch/src/application.rs:
+crates/casch/src/compare.rs:
+crates/casch/src/pipeline.rs:

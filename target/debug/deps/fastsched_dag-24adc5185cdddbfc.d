@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fastsched_dag-24adc5185cdddbfc.d: crates/dag/src/lib.rs crates/dag/src/attributes.rs crates/dag/src/classify.rs crates/dag/src/cpn_list.rs crates/dag/src/error.rs crates/dag/src/examples.rs crates/dag/src/graph.rs crates/dag/src/io.rs crates/dag/src/io_text.rs crates/dag/src/stats.rs crates/dag/src/topo.rs crates/dag/src/transform.rs
+
+/root/repo/target/debug/deps/fastsched_dag-24adc5185cdddbfc: crates/dag/src/lib.rs crates/dag/src/attributes.rs crates/dag/src/classify.rs crates/dag/src/cpn_list.rs crates/dag/src/error.rs crates/dag/src/examples.rs crates/dag/src/graph.rs crates/dag/src/io.rs crates/dag/src/io_text.rs crates/dag/src/stats.rs crates/dag/src/topo.rs crates/dag/src/transform.rs
+
+crates/dag/src/lib.rs:
+crates/dag/src/attributes.rs:
+crates/dag/src/classify.rs:
+crates/dag/src/cpn_list.rs:
+crates/dag/src/error.rs:
+crates/dag/src/examples.rs:
+crates/dag/src/graph.rs:
+crates/dag/src/io.rs:
+crates/dag/src/io_text.rs:
+crates/dag/src/stats.rs:
+crates/dag/src/topo.rs:
+crates/dag/src/transform.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fastsched_dag-64f67777fd32713d.d: crates/dag/src/lib.rs crates/dag/src/attributes.rs crates/dag/src/classify.rs crates/dag/src/cpn_list.rs crates/dag/src/error.rs crates/dag/src/examples.rs crates/dag/src/graph.rs crates/dag/src/io.rs crates/dag/src/io_text.rs crates/dag/src/stats.rs crates/dag/src/topo.rs crates/dag/src/transform.rs
+
+/root/repo/target/debug/deps/libfastsched_dag-64f67777fd32713d.rlib: crates/dag/src/lib.rs crates/dag/src/attributes.rs crates/dag/src/classify.rs crates/dag/src/cpn_list.rs crates/dag/src/error.rs crates/dag/src/examples.rs crates/dag/src/graph.rs crates/dag/src/io.rs crates/dag/src/io_text.rs crates/dag/src/stats.rs crates/dag/src/topo.rs crates/dag/src/transform.rs
+
+/root/repo/target/debug/deps/libfastsched_dag-64f67777fd32713d.rmeta: crates/dag/src/lib.rs crates/dag/src/attributes.rs crates/dag/src/classify.rs crates/dag/src/cpn_list.rs crates/dag/src/error.rs crates/dag/src/examples.rs crates/dag/src/graph.rs crates/dag/src/io.rs crates/dag/src/io_text.rs crates/dag/src/stats.rs crates/dag/src/topo.rs crates/dag/src/transform.rs
+
+crates/dag/src/lib.rs:
+crates/dag/src/attributes.rs:
+crates/dag/src/classify.rs:
+crates/dag/src/cpn_list.rs:
+crates/dag/src/error.rs:
+crates/dag/src/examples.rs:
+crates/dag/src/graph.rs:
+crates/dag/src/io.rs:
+crates/dag/src/io_text.rs:
+crates/dag/src/stats.rs:
+crates/dag/src/topo.rs:
+crates/dag/src/transform.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/fastsched_dag-e93d301b619c6996.d: crates/dag/src/lib.rs crates/dag/src/attributes.rs crates/dag/src/classify.rs crates/dag/src/cpn_list.rs crates/dag/src/error.rs crates/dag/src/examples.rs crates/dag/src/graph.rs crates/dag/src/io.rs crates/dag/src/io_text.rs crates/dag/src/stats.rs crates/dag/src/topo.rs crates/dag/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastsched_dag-e93d301b619c6996.rmeta: crates/dag/src/lib.rs crates/dag/src/attributes.rs crates/dag/src/classify.rs crates/dag/src/cpn_list.rs crates/dag/src/error.rs crates/dag/src/examples.rs crates/dag/src/graph.rs crates/dag/src/io.rs crates/dag/src/io_text.rs crates/dag/src/stats.rs crates/dag/src/topo.rs crates/dag/src/transform.rs Cargo.toml
+
+crates/dag/src/lib.rs:
+crates/dag/src/attributes.rs:
+crates/dag/src/classify.rs:
+crates/dag/src/cpn_list.rs:
+crates/dag/src/error.rs:
+crates/dag/src/examples.rs:
+crates/dag/src/graph.rs:
+crates/dag/src/io.rs:
+crates/dag/src/io_text.rs:
+crates/dag/src/stats.rs:
+crates/dag/src/topo.rs:
+crates/dag/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/fastsched_schedule-438c0def6fef157f.d: crates/schedule/src/lib.rs crates/schedule/src/analysis.rs crates/schedule/src/cost.rs crates/schedule/src/evaluate.rs crates/schedule/src/gantt.rs crates/schedule/src/incremental.rs crates/schedule/src/io.rs crates/schedule/src/metrics.rs crates/schedule/src/schedule.rs crates/schedule/src/svg.rs crates/schedule/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastsched_schedule-438c0def6fef157f.rmeta: crates/schedule/src/lib.rs crates/schedule/src/analysis.rs crates/schedule/src/cost.rs crates/schedule/src/evaluate.rs crates/schedule/src/gantt.rs crates/schedule/src/incremental.rs crates/schedule/src/io.rs crates/schedule/src/metrics.rs crates/schedule/src/schedule.rs crates/schedule/src/svg.rs crates/schedule/src/validate.rs Cargo.toml
+
+crates/schedule/src/lib.rs:
+crates/schedule/src/analysis.rs:
+crates/schedule/src/cost.rs:
+crates/schedule/src/evaluate.rs:
+crates/schedule/src/gantt.rs:
+crates/schedule/src/incremental.rs:
+crates/schedule/src/io.rs:
+crates/schedule/src/metrics.rs:
+crates/schedule/src/schedule.rs:
+crates/schedule/src/svg.rs:
+crates/schedule/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

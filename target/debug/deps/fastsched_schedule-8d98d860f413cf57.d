@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fastsched_schedule-8d98d860f413cf57.d: crates/schedule/src/lib.rs crates/schedule/src/analysis.rs crates/schedule/src/cost.rs crates/schedule/src/evaluate.rs crates/schedule/src/gantt.rs crates/schedule/src/incremental.rs crates/schedule/src/io.rs crates/schedule/src/metrics.rs crates/schedule/src/schedule.rs crates/schedule/src/svg.rs crates/schedule/src/validate.rs
+
+/root/repo/target/debug/deps/libfastsched_schedule-8d98d860f413cf57.rmeta: crates/schedule/src/lib.rs crates/schedule/src/analysis.rs crates/schedule/src/cost.rs crates/schedule/src/evaluate.rs crates/schedule/src/gantt.rs crates/schedule/src/incremental.rs crates/schedule/src/io.rs crates/schedule/src/metrics.rs crates/schedule/src/schedule.rs crates/schedule/src/svg.rs crates/schedule/src/validate.rs
+
+crates/schedule/src/lib.rs:
+crates/schedule/src/analysis.rs:
+crates/schedule/src/cost.rs:
+crates/schedule/src/evaluate.rs:
+crates/schedule/src/gantt.rs:
+crates/schedule/src/incremental.rs:
+crates/schedule/src/io.rs:
+crates/schedule/src/metrics.rs:
+crates/schedule/src/schedule.rs:
+crates/schedule/src/svg.rs:
+crates/schedule/src/validate.rs:

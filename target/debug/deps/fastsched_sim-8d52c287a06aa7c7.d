@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fastsched_sim-8d52c287a06aa7c7.d: crates/simulator/src/lib.rs crates/simulator/src/cost.rs crates/simulator/src/engine.rs crates/simulator/src/network.rs crates/simulator/src/report.rs crates/simulator/src/topology.rs
+
+/root/repo/target/debug/deps/libfastsched_sim-8d52c287a06aa7c7.rlib: crates/simulator/src/lib.rs crates/simulator/src/cost.rs crates/simulator/src/engine.rs crates/simulator/src/network.rs crates/simulator/src/report.rs crates/simulator/src/topology.rs
+
+/root/repo/target/debug/deps/libfastsched_sim-8d52c287a06aa7c7.rmeta: crates/simulator/src/lib.rs crates/simulator/src/cost.rs crates/simulator/src/engine.rs crates/simulator/src/network.rs crates/simulator/src/report.rs crates/simulator/src/topology.rs
+
+crates/simulator/src/lib.rs:
+crates/simulator/src/cost.rs:
+crates/simulator/src/engine.rs:
+crates/simulator/src/network.rs:
+crates/simulator/src/report.rs:
+crates/simulator/src/topology.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fastsched_sim-91449afafff00b73.d: crates/simulator/src/lib.rs crates/simulator/src/cost.rs crates/simulator/src/engine.rs crates/simulator/src/network.rs crates/simulator/src/report.rs crates/simulator/src/topology.rs
+
+/root/repo/target/debug/deps/fastsched_sim-91449afafff00b73: crates/simulator/src/lib.rs crates/simulator/src/cost.rs crates/simulator/src/engine.rs crates/simulator/src/network.rs crates/simulator/src/report.rs crates/simulator/src/topology.rs
+
+crates/simulator/src/lib.rs:
+crates/simulator/src/cost.rs:
+crates/simulator/src/engine.rs:
+crates/simulator/src/network.rs:
+crates/simulator/src/report.rs:
+crates/simulator/src/topology.rs:

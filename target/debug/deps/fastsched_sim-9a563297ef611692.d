@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fastsched_sim-9a563297ef611692.d: crates/simulator/src/lib.rs crates/simulator/src/cost.rs crates/simulator/src/engine.rs crates/simulator/src/network.rs crates/simulator/src/report.rs crates/simulator/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastsched_sim-9a563297ef611692.rmeta: crates/simulator/src/lib.rs crates/simulator/src/cost.rs crates/simulator/src/engine.rs crates/simulator/src/network.rs crates/simulator/src/report.rs crates/simulator/src/topology.rs Cargo.toml
+
+crates/simulator/src/lib.rs:
+crates/simulator/src/cost.rs:
+crates/simulator/src/engine.rs:
+crates/simulator/src/network.rs:
+crates/simulator/src/report.rs:
+crates/simulator/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fastsched_workloads-06b264c002e0d10f.d: crates/workloads/src/lib.rs crates/workloads/src/fft.rs crates/workloads/src/gaussian.rs crates/workloads/src/laplace.rs crates/workloads/src/linalg.rs crates/workloads/src/random.rs crates/workloads/src/timing.rs crates/workloads/src/trees.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastsched_workloads-06b264c002e0d10f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/fft.rs crates/workloads/src/gaussian.rs crates/workloads/src/laplace.rs crates/workloads/src/linalg.rs crates/workloads/src/random.rs crates/workloads/src/timing.rs crates/workloads/src/trees.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/fft.rs:
+crates/workloads/src/gaussian.rs:
+crates/workloads/src/laplace.rs:
+crates/workloads/src/linalg.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/timing.rs:
+crates/workloads/src/trees.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fastsched_workloads-66da4e099146ed91.d: crates/workloads/src/lib.rs crates/workloads/src/fft.rs crates/workloads/src/gaussian.rs crates/workloads/src/laplace.rs crates/workloads/src/linalg.rs crates/workloads/src/random.rs crates/workloads/src/timing.rs crates/workloads/src/trees.rs
+
+/root/repo/target/debug/deps/fastsched_workloads-66da4e099146ed91: crates/workloads/src/lib.rs crates/workloads/src/fft.rs crates/workloads/src/gaussian.rs crates/workloads/src/laplace.rs crates/workloads/src/linalg.rs crates/workloads/src/random.rs crates/workloads/src/timing.rs crates/workloads/src/trees.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/fft.rs:
+crates/workloads/src/gaussian.rs:
+crates/workloads/src/laplace.rs:
+crates/workloads/src/linalg.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/timing.rs:
+crates/workloads/src/trees.rs:

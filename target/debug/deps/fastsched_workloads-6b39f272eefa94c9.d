@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fastsched_workloads-6b39f272eefa94c9.d: crates/workloads/src/lib.rs crates/workloads/src/fft.rs crates/workloads/src/gaussian.rs crates/workloads/src/laplace.rs crates/workloads/src/linalg.rs crates/workloads/src/random.rs crates/workloads/src/timing.rs crates/workloads/src/trees.rs
+
+/root/repo/target/debug/deps/libfastsched_workloads-6b39f272eefa94c9.rlib: crates/workloads/src/lib.rs crates/workloads/src/fft.rs crates/workloads/src/gaussian.rs crates/workloads/src/laplace.rs crates/workloads/src/linalg.rs crates/workloads/src/random.rs crates/workloads/src/timing.rs crates/workloads/src/trees.rs
+
+/root/repo/target/debug/deps/libfastsched_workloads-6b39f272eefa94c9.rmeta: crates/workloads/src/lib.rs crates/workloads/src/fft.rs crates/workloads/src/gaussian.rs crates/workloads/src/laplace.rs crates/workloads/src/linalg.rs crates/workloads/src/random.rs crates/workloads/src/timing.rs crates/workloads/src/trees.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/fft.rs:
+crates/workloads/src/gaussian.rs:
+crates/workloads/src/laplace.rs:
+crates/workloads/src/linalg.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/timing.rs:
+crates/workloads/src/trees.rs:

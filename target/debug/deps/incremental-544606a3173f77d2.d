@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental-544606a3173f77d2.d: crates/core/../../tests/incremental.rs
+
+/root/repo/target/debug/deps/incremental-544606a3173f77d2: crates/core/../../tests/incremental.rs
+
+crates/core/../../tests/incremental.rs:

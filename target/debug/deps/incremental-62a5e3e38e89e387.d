@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/incremental-62a5e3e38e89e387.d: crates/core/../../tests/incremental.rs Cargo.toml
+
+/root/repo/target/debug/deps/libincremental-62a5e3e38e89e387.rmeta: crates/core/../../tests/incremental.rs Cargo.toml
+
+crates/core/../../tests/incremental.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/local_search-c2bb328bb0782a2c.d: crates/bench/benches/local_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblocal_search-c2bb328bb0782a2c.rmeta: crates/bench/benches/local_search.rs Cargo.toml
+
+crates/bench/benches/local_search.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

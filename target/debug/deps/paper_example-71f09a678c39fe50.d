@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_example-71f09a678c39fe50.d: crates/core/../../tests/paper_example.rs
+
+/root/repo/target/debug/deps/paper_example-71f09a678c39fe50: crates/core/../../tests/paper_example.rs
+
+crates/core/../../tests/paper_example.rs:

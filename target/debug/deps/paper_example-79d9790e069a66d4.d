@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_example-79d9790e069a66d4.d: crates/core/../../tests/paper_example.rs
+
+/root/repo/target/debug/deps/paper_example-79d9790e069a66d4: crates/core/../../tests/paper_example.rs
+
+crates/core/../../tests/paper_example.rs:

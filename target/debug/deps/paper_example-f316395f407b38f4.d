@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_example-f316395f407b38f4.d: crates/core/../../tests/paper_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_example-f316395f407b38f4.rmeta: crates/core/../../tests/paper_example.rs Cargo.toml
+
+crates/core/../../tests/paper_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3708dfe6ac887b9f.d: crates/core/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3708dfe6ac887b9f: crates/core/../../tests/properties.rs
+
+crates/core/../../tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-85089f78486ea4af.d: crates/core/../../tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-85089f78486ea4af.rmeta: crates/core/../../tests/properties.rs Cargo.toml
+
+crates/core/../../tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ab85c19bd7e4731c.d: crates/core/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ab85c19bd7e4731c: crates/core/../../tests/properties.rs
+
+crates/core/../../tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quality-05fc4bf86d52d590.d: crates/core/../../tests/quality.rs
+
+/root/repo/target/debug/deps/quality-05fc4bf86d52d590: crates/core/../../tests/quality.rs
+
+crates/core/../../tests/quality.rs:

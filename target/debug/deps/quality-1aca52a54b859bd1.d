@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quality-1aca52a54b859bd1.d: crates/core/../../tests/quality.rs
+
+/root/repo/target/debug/deps/quality-1aca52a54b859bd1: crates/core/../../tests/quality.rs
+
+crates/core/../../tests/quality.rs:

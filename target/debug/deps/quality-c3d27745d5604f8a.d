@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quality-c3d27745d5604f8a.d: crates/core/../../tests/quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquality-c3d27745d5604f8a.rmeta: crates/core/../../tests/quality.rs Cargo.toml
+
+crates/core/../../tests/quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

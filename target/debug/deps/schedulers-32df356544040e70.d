@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedulers-32df356544040e70.d: crates/bench/benches/schedulers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedulers-32df356544040e70.rmeta: crates/bench/benches/schedulers.rs Cargo.toml
+
+crates/bench/benches/schedulers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-7418ca7a6b740d2b.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7418ca7a6b740d2b.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator-ec02761daf8bb542.d: crates/bench/benches/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator-ec02761daf8bb542.rmeta: crates/bench/benches/simulator.rs Cargo.toml
+
+crates/bench/benches/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

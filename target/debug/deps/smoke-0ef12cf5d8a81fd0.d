@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-0ef12cf5d8a81fd0.d: crates/algorithms/tests/smoke.rs
+
+/root/repo/target/debug/deps/smoke-0ef12cf5d8a81fd0: crates/algorithms/tests/smoke.rs
+
+crates/algorithms/tests/smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-850846df8754be37.d: crates/algorithms/tests/smoke.rs
+
+/root/repo/target/debug/deps/smoke-850846df8754be37: crates/algorithms/tests/smoke.rs
+
+crates/algorithms/tests/smoke.rs:

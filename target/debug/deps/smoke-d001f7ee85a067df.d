@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smoke-d001f7ee85a067df.d: crates/algorithms/tests/smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmoke-d001f7ee85a067df.rmeta: crates/algorithms/tests/smoke.rs Cargo.toml
+
+crates/algorithms/tests/smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smoke-f94c6ba48c365343.d: crates/algorithms/tests/smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmoke-f94c6ba48c365343.rmeta: crates/algorithms/tests/smoke.rs Cargo.toml
+
+crates/algorithms/tests/smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-fc1de637d4331260.d: crates/algorithms/tests/smoke.rs
+
+/root/repo/target/debug/deps/smoke-fc1de637d4331260: crates/algorithms/tests/smoke.rs
+
+crates/algorithms/tests/smoke.rs:

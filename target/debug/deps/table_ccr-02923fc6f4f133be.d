@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_ccr-02923fc6f4f133be.d: crates/bench/src/bin/table-ccr.rs
+
+/root/repo/target/debug/deps/libtable_ccr-02923fc6f4f133be.rmeta: crates/bench/src/bin/table-ccr.rs
+
+crates/bench/src/bin/table-ccr.rs:

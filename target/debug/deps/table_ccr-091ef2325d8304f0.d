@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_ccr-091ef2325d8304f0.d: crates/bench/src/bin/table-ccr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_ccr-091ef2325d8304f0.rmeta: crates/bench/src/bin/table-ccr.rs Cargo.toml
+
+crates/bench/src/bin/table-ccr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

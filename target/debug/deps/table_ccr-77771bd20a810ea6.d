@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_ccr-77771bd20a810ea6.d: crates/bench/src/bin/table-ccr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_ccr-77771bd20a810ea6.rmeta: crates/bench/src/bin/table-ccr.rs Cargo.toml
+
+crates/bench/src/bin/table-ccr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

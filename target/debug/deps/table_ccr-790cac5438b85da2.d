@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_ccr-790cac5438b85da2.d: crates/bench/src/bin/table-ccr.rs
+
+/root/repo/target/debug/deps/table_ccr-790cac5438b85da2: crates/bench/src/bin/table-ccr.rs
+
+crates/bench/src/bin/table-ccr.rs:

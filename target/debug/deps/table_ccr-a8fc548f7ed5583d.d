@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_ccr-a8fc548f7ed5583d.d: crates/bench/src/bin/table-ccr.rs
+
+/root/repo/target/debug/deps/table_ccr-a8fc548f7ed5583d: crates/bench/src/bin/table-ccr.rs
+
+crates/bench/src/bin/table-ccr.rs:

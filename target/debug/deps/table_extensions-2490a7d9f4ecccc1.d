@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_extensions-2490a7d9f4ecccc1.d: crates/bench/src/bin/table-extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_extensions-2490a7d9f4ecccc1.rmeta: crates/bench/src/bin/table-extensions.rs Cargo.toml
+
+crates/bench/src/bin/table-extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_extensions-98d5970a01dbc02f.d: crates/bench/src/bin/table-extensions.rs
+
+/root/repo/target/debug/deps/table_extensions-98d5970a01dbc02f: crates/bench/src/bin/table-extensions.rs
+
+crates/bench/src/bin/table-extensions.rs:

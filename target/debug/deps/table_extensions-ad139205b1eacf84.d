@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_extensions-ad139205b1eacf84.d: crates/bench/src/bin/table-extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_extensions-ad139205b1eacf84.rmeta: crates/bench/src/bin/table-extensions.rs Cargo.toml
+
+crates/bench/src/bin/table-extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

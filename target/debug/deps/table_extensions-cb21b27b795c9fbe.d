@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_extensions-cb21b27b795c9fbe.d: crates/bench/src/bin/table-extensions.rs
+
+/root/repo/target/debug/deps/libtable_extensions-cb21b27b795c9fbe.rmeta: crates/bench/src/bin/table-extensions.rs
+
+crates/bench/src/bin/table-extensions.rs:

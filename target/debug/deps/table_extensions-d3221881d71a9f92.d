@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_extensions-d3221881d71a9f92.d: crates/bench/src/bin/table-extensions.rs
+
+/root/repo/target/debug/deps/table_extensions-d3221881d71a9f92: crates/bench/src/bin/table-extensions.rs
+
+crates/bench/src/bin/table-extensions.rs:

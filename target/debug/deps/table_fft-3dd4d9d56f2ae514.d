@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_fft-3dd4d9d56f2ae514.d: crates/bench/src/bin/table-fft.rs
+
+/root/repo/target/debug/deps/table_fft-3dd4d9d56f2ae514: crates/bench/src/bin/table-fft.rs
+
+crates/bench/src/bin/table-fft.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_fft-44eda8f5cd16f897.d: crates/bench/src/bin/table-fft.rs
+
+/root/repo/target/debug/deps/table_fft-44eda8f5cd16f897: crates/bench/src/bin/table-fft.rs
+
+crates/bench/src/bin/table-fft.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_fft-71da9c279a5f37f8.d: crates/bench/src/bin/table-fft.rs
+
+/root/repo/target/debug/deps/libtable_fft-71da9c279a5f37f8.rmeta: crates/bench/src/bin/table-fft.rs
+
+crates/bench/src/bin/table-fft.rs:

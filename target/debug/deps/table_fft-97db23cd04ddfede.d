@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_fft-97db23cd04ddfede.d: crates/bench/src/bin/table-fft.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_fft-97db23cd04ddfede.rmeta: crates/bench/src/bin/table-fft.rs Cargo.toml
+
+crates/bench/src/bin/table-fft.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_fig2_4-4181378b4c274709.d: crates/bench/src/bin/table-fig2-4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_fig2_4-4181378b4c274709.rmeta: crates/bench/src/bin/table-fig2-4.rs Cargo.toml
+
+crates/bench/src/bin/table-fig2-4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_fig2_4-4eb28ea78e509d06.d: crates/bench/src/bin/table-fig2-4.rs
+
+/root/repo/target/debug/deps/table_fig2_4-4eb28ea78e509d06: crates/bench/src/bin/table-fig2-4.rs
+
+crates/bench/src/bin/table-fig2-4.rs:

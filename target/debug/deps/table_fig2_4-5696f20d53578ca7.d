@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_fig2_4-5696f20d53578ca7.d: crates/bench/src/bin/table-fig2-4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_fig2_4-5696f20d53578ca7.rmeta: crates/bench/src/bin/table-fig2-4.rs Cargo.toml
+
+crates/bench/src/bin/table-fig2-4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

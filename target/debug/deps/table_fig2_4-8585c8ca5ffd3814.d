@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_fig2_4-8585c8ca5ffd3814.d: crates/bench/src/bin/table-fig2-4.rs
+
+/root/repo/target/debug/deps/libtable_fig2_4-8585c8ca5ffd3814.rmeta: crates/bench/src/bin/table-fig2-4.rs
+
+crates/bench/src/bin/table-fig2-4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_gauss-c37a49aaa07b9fbf.d: crates/bench/src/bin/table-gauss.rs
+
+/root/repo/target/debug/deps/table_gauss-c37a49aaa07b9fbf: crates/bench/src/bin/table-gauss.rs
+
+crates/bench/src/bin/table-gauss.rs:

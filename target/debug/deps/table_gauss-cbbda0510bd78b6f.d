@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_gauss-cbbda0510bd78b6f.d: crates/bench/src/bin/table-gauss.rs
+
+/root/repo/target/debug/deps/libtable_gauss-cbbda0510bd78b6f.rmeta: crates/bench/src/bin/table-gauss.rs
+
+crates/bench/src/bin/table-gauss.rs:

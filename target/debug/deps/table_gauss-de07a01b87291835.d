@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_gauss-de07a01b87291835.d: crates/bench/src/bin/table-gauss.rs
+
+/root/repo/target/debug/deps/table_gauss-de07a01b87291835: crates/bench/src/bin/table-gauss.rs
+
+crates/bench/src/bin/table-gauss.rs:

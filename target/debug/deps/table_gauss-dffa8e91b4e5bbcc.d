@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_gauss-dffa8e91b4e5bbcc.d: crates/bench/src/bin/table-gauss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_gauss-dffa8e91b4e5bbcc.rmeta: crates/bench/src/bin/table-gauss.rs Cargo.toml
+
+crates/bench/src/bin/table-gauss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

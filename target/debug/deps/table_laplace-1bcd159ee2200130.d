@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_laplace-1bcd159ee2200130.d: crates/bench/src/bin/table-laplace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_laplace-1bcd159ee2200130.rmeta: crates/bench/src/bin/table-laplace.rs Cargo.toml
+
+crates/bench/src/bin/table-laplace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_laplace-417dcc3cb46a33dd.d: crates/bench/src/bin/table-laplace.rs
+
+/root/repo/target/debug/deps/libtable_laplace-417dcc3cb46a33dd.rmeta: crates/bench/src/bin/table-laplace.rs
+
+crates/bench/src/bin/table-laplace.rs:

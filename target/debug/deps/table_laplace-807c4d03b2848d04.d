@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_laplace-807c4d03b2848d04.d: crates/bench/src/bin/table-laplace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_laplace-807c4d03b2848d04.rmeta: crates/bench/src/bin/table-laplace.rs Cargo.toml
+
+crates/bench/src/bin/table-laplace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

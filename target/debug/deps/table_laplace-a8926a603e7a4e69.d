@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_laplace-a8926a603e7a4e69.d: crates/bench/src/bin/table-laplace.rs
+
+/root/repo/target/debug/deps/table_laplace-a8926a603e7a4e69: crates/bench/src/bin/table-laplace.rs
+
+crates/bench/src/bin/table-laplace.rs:

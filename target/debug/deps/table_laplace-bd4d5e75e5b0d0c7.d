@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_laplace-bd4d5e75e5b0d0c7.d: crates/bench/src/bin/table-laplace.rs
+
+/root/repo/target/debug/deps/table_laplace-bd4d5e75e5b0d0c7: crates/bench/src/bin/table-laplace.rs
+
+crates/bench/src/bin/table-laplace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_procs-05238b5a4da5993d.d: crates/bench/src/bin/table-procs.rs
+
+/root/repo/target/debug/deps/libtable_procs-05238b5a4da5993d.rmeta: crates/bench/src/bin/table-procs.rs
+
+crates/bench/src/bin/table-procs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_procs-086dbe8d24708f56.d: crates/bench/src/bin/table-procs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_procs-086dbe8d24708f56.rmeta: crates/bench/src/bin/table-procs.rs Cargo.toml
+
+crates/bench/src/bin/table-procs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

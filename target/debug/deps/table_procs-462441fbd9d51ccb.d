@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_procs-462441fbd9d51ccb.d: crates/bench/src/bin/table-procs.rs
+
+/root/repo/target/debug/deps/table_procs-462441fbd9d51ccb: crates/bench/src/bin/table-procs.rs
+
+crates/bench/src/bin/table-procs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_procs-6c5b37e45ab6fc8b.d: crates/bench/src/bin/table-procs.rs
+
+/root/repo/target/debug/deps/table_procs-6c5b37e45ab6fc8b: crates/bench/src/bin/table-procs.rs
+
+crates/bench/src/bin/table-procs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_random-2eedd028bca54451.d: crates/bench/src/bin/table-random.rs
+
+/root/repo/target/debug/deps/libtable_random-2eedd028bca54451.rmeta: crates/bench/src/bin/table-random.rs
+
+crates/bench/src/bin/table-random.rs:

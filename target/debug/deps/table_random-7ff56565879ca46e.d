@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_random-7ff56565879ca46e.d: crates/bench/src/bin/table-random.rs
+
+/root/repo/target/debug/deps/table_random-7ff56565879ca46e: crates/bench/src/bin/table-random.rs
+
+crates/bench/src/bin/table-random.rs:

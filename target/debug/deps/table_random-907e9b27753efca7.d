@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_random-907e9b27753efca7.d: crates/bench/src/bin/table-random.rs
+
+/root/repo/target/debug/deps/table_random-907e9b27753efca7: crates/bench/src/bin/table-random.rs
+
+crates/bench/src/bin/table-random.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_random-b7d60ab5e5c0e889.d: crates/bench/src/bin/table-random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_random-b7d60ab5e5c0e889.rmeta: crates/bench/src/bin/table-random.rs Cargo.toml
+
+crates/bench/src/bin/table-random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_random-be4cf32c13cf81ea.d: crates/bench/src/bin/table-random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_random-be4cf32c13cf81ea.rmeta: crates/bench/src/bin/table-random.rs Cargo.toml
+
+crates/bench/src/bin/table-random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ccr_regimes-436b2a622dcb98fe.d: crates/core/../../examples/ccr_regimes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libccr_regimes-436b2a622dcb98fe.rmeta: crates/core/../../examples/ccr_regimes.rs Cargo.toml
+
+crates/core/../../examples/ccr_regimes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ccr_regimes-650b64dda86934f6.d: crates/core/../../examples/ccr_regimes.rs
+
+/root/repo/target/debug/examples/ccr_regimes-650b64dda86934f6: crates/core/../../examples/ccr_regimes.rs
+
+crates/core/../../examples/ccr_regimes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ccr_regimes-c2c883e3dfeeea56.d: crates/core/../../examples/ccr_regimes.rs
+
+/root/repo/target/debug/examples/ccr_regimes-c2c883e3dfeeea56: crates/core/../../examples/ccr_regimes.rs
+
+crates/core/../../examples/ccr_regimes.rs:

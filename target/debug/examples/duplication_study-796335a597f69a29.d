@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/duplication_study-796335a597f69a29.d: crates/core/../../examples/duplication_study.rs
+
+/root/repo/target/debug/examples/duplication_study-796335a597f69a29: crates/core/../../examples/duplication_study.rs
+
+crates/core/../../examples/duplication_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/duplication_study-e7b432fe71cf8dd0.d: crates/core/../../examples/duplication_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libduplication_study-e7b432fe71cf8dd0.rmeta: crates/core/../../examples/duplication_study.rs Cargo.toml
+
+crates/core/../../examples/duplication_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/duplication_study-f41731b720b8d81f.d: crates/core/../../examples/duplication_study.rs
+
+/root/repo/target/debug/examples/duplication_study-f41731b720b8d81f: crates/core/../../examples/duplication_study.rs
+
+crates/core/../../examples/duplication_study.rs:

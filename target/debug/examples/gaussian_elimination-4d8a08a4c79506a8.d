@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gaussian_elimination-4d8a08a4c79506a8.d: crates/core/../../examples/gaussian_elimination.rs
+
+/root/repo/target/debug/examples/gaussian_elimination-4d8a08a4c79506a8: crates/core/../../examples/gaussian_elimination.rs
+
+crates/core/../../examples/gaussian_elimination.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gaussian_elimination-5d23494e3552a188.d: crates/core/../../examples/gaussian_elimination.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgaussian_elimination-5d23494e3552a188.rmeta: crates/core/../../examples/gaussian_elimination.rs Cargo.toml
+
+crates/core/../../examples/gaussian_elimination.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gaussian_elimination-835f11bf72ae85d7.d: crates/core/../../examples/gaussian_elimination.rs
+
+/root/repo/target/debug/examples/gaussian_elimination-835f11bf72ae85d7: crates/core/../../examples/gaussian_elimination.rs
+
+crates/core/../../examples/gaussian_elimination.rs:

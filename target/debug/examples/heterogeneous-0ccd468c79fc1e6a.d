@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heterogeneous-0ccd468c79fc1e6a.d: crates/core/../../examples/heterogeneous.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheterogeneous-0ccd468c79fc1e6a.rmeta: crates/core/../../examples/heterogeneous.rs Cargo.toml
+
+crates/core/../../examples/heterogeneous.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneous-117700e3d7e759bb.d: crates/core/../../examples/heterogeneous.rs
+
+/root/repo/target/debug/examples/heterogeneous-117700e3d7e759bb: crates/core/../../examples/heterogeneous.rs
+
+crates/core/../../examples/heterogeneous.rs:

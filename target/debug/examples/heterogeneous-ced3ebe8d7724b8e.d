@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneous-ced3ebe8d7724b8e.d: crates/core/../../examples/heterogeneous.rs
+
+/root/repo/target/debug/examples/heterogeneous-ced3ebe8d7724b8e: crates/core/../../examples/heterogeneous.rs
+
+crates/core/../../examples/heterogeneous.rs:

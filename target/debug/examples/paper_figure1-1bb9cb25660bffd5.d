@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_figure1-1bb9cb25660bffd5.d: crates/core/../../examples/paper_figure1.rs
+
+/root/repo/target/debug/examples/paper_figure1-1bb9cb25660bffd5: crates/core/../../examples/paper_figure1.rs
+
+crates/core/../../examples/paper_figure1.rs:

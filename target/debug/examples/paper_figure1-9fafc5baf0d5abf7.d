@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_figure1-9fafc5baf0d5abf7.d: crates/core/../../examples/paper_figure1.rs
+
+/root/repo/target/debug/examples/paper_figure1-9fafc5baf0d5abf7: crates/core/../../examples/paper_figure1.rs
+
+crates/core/../../examples/paper_figure1.rs:

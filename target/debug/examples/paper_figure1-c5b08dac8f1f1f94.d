@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_figure1-c5b08dac8f1f1f94.d: crates/core/../../examples/paper_figure1.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_figure1-c5b08dac8f1f1f94.rmeta: crates/core/../../examples/paper_figure1.rs Cargo.toml
+
+crates/core/../../examples/paper_figure1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3f38b251b884746b.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3f38b251b884746b: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c448d543e77a7ac4.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c448d543e77a7ac4: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/random_dag_comparison-2b828b248ec3f626.d: crates/core/../../examples/random_dag_comparison.rs
+
+/root/repo/target/debug/examples/random_dag_comparison-2b828b248ec3f626: crates/core/../../examples/random_dag_comparison.rs
+
+crates/core/../../examples/random_dag_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/random_dag_comparison-3fc70c5a3dd4a117.d: crates/core/../../examples/random_dag_comparison.rs
+
+/root/repo/target/debug/examples/random_dag_comparison-3fc70c5a3dd4a117: crates/core/../../examples/random_dag_comparison.rs
+
+crates/core/../../examples/random_dag_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/random_dag_comparison-96970bbff63dd38d.d: crates/core/../../examples/random_dag_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/librandom_dag_comparison-96970bbff63dd38d.rmeta: crates/core/../../examples/random_dag_comparison.rs Cargo.toml
+
+crates/core/../../examples/random_dag_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_analysis-063e06cc932ee108.d: crates/core/../../examples/schedule_analysis.rs
+
+/root/repo/target/debug/examples/schedule_analysis-063e06cc932ee108: crates/core/../../examples/schedule_analysis.rs
+
+crates/core/../../examples/schedule_analysis.rs:

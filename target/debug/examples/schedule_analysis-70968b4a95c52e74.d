@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_analysis-70968b4a95c52e74.d: crates/core/../../examples/schedule_analysis.rs
+
+/root/repo/target/debug/examples/schedule_analysis-70968b4a95c52e74: crates/core/../../examples/schedule_analysis.rs
+
+crates/core/../../examples/schedule_analysis.rs:

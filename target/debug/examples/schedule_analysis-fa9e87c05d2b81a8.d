@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/schedule_analysis-fa9e87c05d2b81a8.d: crates/core/../../examples/schedule_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libschedule_analysis-fa9e87c05d2b81a8.rmeta: crates/core/../../examples/schedule_analysis.rs Cargo.toml
+
+crates/core/../../examples/schedule_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/search_probe-5b9e9f0192b6e389.d: crates/core/../../examples/search_probe.rs
+
+/root/repo/target/debug/examples/search_probe-5b9e9f0192b6e389: crates/core/../../examples/search_probe.rs
+
+crates/core/../../examples/search_probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/search_probe-635460d1fab9d707.d: crates/core/../../examples/search_probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsearch_probe-635460d1fab9d707.rmeta: crates/core/../../examples/search_probe.rs Cargo.toml
+
+crates/core/../../examples/search_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

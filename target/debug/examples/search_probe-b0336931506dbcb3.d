@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/search_probe-b0336931506dbcb3.d: crates/core/../../examples/search_probe.rs
+
+/root/repo/target/debug/examples/search_probe-b0336931506dbcb3: crates/core/../../examples/search_probe.rs
+
+crates/core/../../examples/search_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/topology_study-0f6cafdf41656df4.d: crates/core/../../examples/topology_study.rs
+
+/root/repo/target/debug/examples/topology_study-0f6cafdf41656df4: crates/core/../../examples/topology_study.rs
+
+crates/core/../../examples/topology_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/topology_study-784d1cdb42ebe0ee.d: crates/core/../../examples/topology_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtopology_study-784d1cdb42ebe0ee.rmeta: crates/core/../../examples/topology_study.rs Cargo.toml
+
+crates/core/../../examples/topology_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

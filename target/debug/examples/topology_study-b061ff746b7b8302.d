@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/topology_study-b061ff746b7b8302.d: crates/core/../../examples/topology_study.rs
+
+/root/repo/target/debug/examples/topology_study-b061ff746b7b8302: crates/core/../../examples/topology_study.rs
+
+crates/core/../../examples/topology_study.rs:

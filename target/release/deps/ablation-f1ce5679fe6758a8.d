@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-f1ce5679fe6758a8.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-f1ce5679fe6758a8: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-f6c757304bcc7463.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-f6c757304bcc7463: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/casch-597eb76474c4b9e4.d: crates/casch/src/bin/casch.rs
+
+/root/repo/target/release/deps/casch-597eb76474c4b9e4: crates/casch/src/bin/casch.rs
+
+crates/casch/src/bin/casch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/casch-caef4689d42c0477.d: crates/casch/src/bin/casch.rs
+
+/root/repo/target/release/deps/casch-caef4689d42c0477: crates/casch/src/bin/casch.rs
+
+crates/casch/src/bin/casch.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fastsched-93fa150429e159ee.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libfastsched-93fa150429e159ee.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libfastsched-93fa150429e159ee.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fastsched-de578a420024e4b2.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libfastsched-de578a420024e4b2.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libfastsched-de578a420024e4b2.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

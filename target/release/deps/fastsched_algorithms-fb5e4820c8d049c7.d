@@ -1,0 +1,28 @@
+/root/repo/target/release/deps/fastsched_algorithms-fb5e4820c8d049c7.d: crates/algorithms/src/lib.rs crates/algorithms/src/bounded_dsc.rs crates/algorithms/src/cpop.rs crates/algorithms/src/dcp.rs crates/algorithms/src/dls.rs crates/algorithms/src/dsc.rs crates/algorithms/src/duplication.rs crates/algorithms/src/etf.rs crates/algorithms/src/ez.rs crates/algorithms/src/fast.rs crates/algorithms/src/fast_parallel.rs crates/algorithms/src/fast_sa.rs crates/algorithms/src/heft.rs crates/algorithms/src/hetero.rs crates/algorithms/src/hlfet.rs crates/algorithms/src/ish.rs crates/algorithms/src/lc.rs crates/algorithms/src/list_common.rs crates/algorithms/src/mcp.rs crates/algorithms/src/md.rs crates/algorithms/src/optimal.rs crates/algorithms/src/scheduler.rs
+
+/root/repo/target/release/deps/libfastsched_algorithms-fb5e4820c8d049c7.rlib: crates/algorithms/src/lib.rs crates/algorithms/src/bounded_dsc.rs crates/algorithms/src/cpop.rs crates/algorithms/src/dcp.rs crates/algorithms/src/dls.rs crates/algorithms/src/dsc.rs crates/algorithms/src/duplication.rs crates/algorithms/src/etf.rs crates/algorithms/src/ez.rs crates/algorithms/src/fast.rs crates/algorithms/src/fast_parallel.rs crates/algorithms/src/fast_sa.rs crates/algorithms/src/heft.rs crates/algorithms/src/hetero.rs crates/algorithms/src/hlfet.rs crates/algorithms/src/ish.rs crates/algorithms/src/lc.rs crates/algorithms/src/list_common.rs crates/algorithms/src/mcp.rs crates/algorithms/src/md.rs crates/algorithms/src/optimal.rs crates/algorithms/src/scheduler.rs
+
+/root/repo/target/release/deps/libfastsched_algorithms-fb5e4820c8d049c7.rmeta: crates/algorithms/src/lib.rs crates/algorithms/src/bounded_dsc.rs crates/algorithms/src/cpop.rs crates/algorithms/src/dcp.rs crates/algorithms/src/dls.rs crates/algorithms/src/dsc.rs crates/algorithms/src/duplication.rs crates/algorithms/src/etf.rs crates/algorithms/src/ez.rs crates/algorithms/src/fast.rs crates/algorithms/src/fast_parallel.rs crates/algorithms/src/fast_sa.rs crates/algorithms/src/heft.rs crates/algorithms/src/hetero.rs crates/algorithms/src/hlfet.rs crates/algorithms/src/ish.rs crates/algorithms/src/lc.rs crates/algorithms/src/list_common.rs crates/algorithms/src/mcp.rs crates/algorithms/src/md.rs crates/algorithms/src/optimal.rs crates/algorithms/src/scheduler.rs
+
+crates/algorithms/src/lib.rs:
+crates/algorithms/src/bounded_dsc.rs:
+crates/algorithms/src/cpop.rs:
+crates/algorithms/src/dcp.rs:
+crates/algorithms/src/dls.rs:
+crates/algorithms/src/dsc.rs:
+crates/algorithms/src/duplication.rs:
+crates/algorithms/src/etf.rs:
+crates/algorithms/src/ez.rs:
+crates/algorithms/src/fast.rs:
+crates/algorithms/src/fast_parallel.rs:
+crates/algorithms/src/fast_sa.rs:
+crates/algorithms/src/heft.rs:
+crates/algorithms/src/hetero.rs:
+crates/algorithms/src/hlfet.rs:
+crates/algorithms/src/ish.rs:
+crates/algorithms/src/lc.rs:
+crates/algorithms/src/list_common.rs:
+crates/algorithms/src/mcp.rs:
+crates/algorithms/src/md.rs:
+crates/algorithms/src/optimal.rs:
+crates/algorithms/src/scheduler.rs:

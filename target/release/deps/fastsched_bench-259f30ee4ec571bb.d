@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fastsched_bench-259f30ee4ec571bb.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfastsched_bench-259f30ee4ec571bb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfastsched_bench-259f30ee4ec571bb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fastsched_bench-921e31a16228245d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfastsched_bench-921e31a16228245d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfastsched_bench-921e31a16228245d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

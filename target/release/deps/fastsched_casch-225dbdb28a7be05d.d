@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fastsched_casch-225dbdb28a7be05d.d: crates/casch/src/lib.rs crates/casch/src/application.rs crates/casch/src/compare.rs crates/casch/src/pipeline.rs
+
+/root/repo/target/release/deps/libfastsched_casch-225dbdb28a7be05d.rlib: crates/casch/src/lib.rs crates/casch/src/application.rs crates/casch/src/compare.rs crates/casch/src/pipeline.rs
+
+/root/repo/target/release/deps/libfastsched_casch-225dbdb28a7be05d.rmeta: crates/casch/src/lib.rs crates/casch/src/application.rs crates/casch/src/compare.rs crates/casch/src/pipeline.rs
+
+crates/casch/src/lib.rs:
+crates/casch/src/application.rs:
+crates/casch/src/compare.rs:
+crates/casch/src/pipeline.rs:

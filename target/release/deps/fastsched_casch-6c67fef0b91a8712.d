@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fastsched_casch-6c67fef0b91a8712.d: crates/casch/src/lib.rs crates/casch/src/application.rs crates/casch/src/compare.rs crates/casch/src/pipeline.rs
+
+/root/repo/target/release/deps/libfastsched_casch-6c67fef0b91a8712.rlib: crates/casch/src/lib.rs crates/casch/src/application.rs crates/casch/src/compare.rs crates/casch/src/pipeline.rs
+
+/root/repo/target/release/deps/libfastsched_casch-6c67fef0b91a8712.rmeta: crates/casch/src/lib.rs crates/casch/src/application.rs crates/casch/src/compare.rs crates/casch/src/pipeline.rs
+
+crates/casch/src/lib.rs:
+crates/casch/src/application.rs:
+crates/casch/src/compare.rs:
+crates/casch/src/pipeline.rs:

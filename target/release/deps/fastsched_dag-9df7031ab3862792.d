@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/fastsched_dag-9df7031ab3862792.d: crates/dag/src/lib.rs crates/dag/src/attributes.rs crates/dag/src/classify.rs crates/dag/src/cpn_list.rs crates/dag/src/error.rs crates/dag/src/examples.rs crates/dag/src/graph.rs crates/dag/src/io.rs crates/dag/src/io_text.rs crates/dag/src/stats.rs crates/dag/src/topo.rs crates/dag/src/transform.rs
+
+/root/repo/target/release/deps/libfastsched_dag-9df7031ab3862792.rlib: crates/dag/src/lib.rs crates/dag/src/attributes.rs crates/dag/src/classify.rs crates/dag/src/cpn_list.rs crates/dag/src/error.rs crates/dag/src/examples.rs crates/dag/src/graph.rs crates/dag/src/io.rs crates/dag/src/io_text.rs crates/dag/src/stats.rs crates/dag/src/topo.rs crates/dag/src/transform.rs
+
+/root/repo/target/release/deps/libfastsched_dag-9df7031ab3862792.rmeta: crates/dag/src/lib.rs crates/dag/src/attributes.rs crates/dag/src/classify.rs crates/dag/src/cpn_list.rs crates/dag/src/error.rs crates/dag/src/examples.rs crates/dag/src/graph.rs crates/dag/src/io.rs crates/dag/src/io_text.rs crates/dag/src/stats.rs crates/dag/src/topo.rs crates/dag/src/transform.rs
+
+crates/dag/src/lib.rs:
+crates/dag/src/attributes.rs:
+crates/dag/src/classify.rs:
+crates/dag/src/cpn_list.rs:
+crates/dag/src/error.rs:
+crates/dag/src/examples.rs:
+crates/dag/src/graph.rs:
+crates/dag/src/io.rs:
+crates/dag/src/io_text.rs:
+crates/dag/src/stats.rs:
+crates/dag/src/topo.rs:
+crates/dag/src/transform.rs:

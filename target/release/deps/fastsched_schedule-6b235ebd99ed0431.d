@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/fastsched_schedule-6b235ebd99ed0431.d: crates/schedule/src/lib.rs crates/schedule/src/analysis.rs crates/schedule/src/cost.rs crates/schedule/src/evaluate.rs crates/schedule/src/gantt.rs crates/schedule/src/incremental.rs crates/schedule/src/io.rs crates/schedule/src/metrics.rs crates/schedule/src/schedule.rs crates/schedule/src/svg.rs crates/schedule/src/validate.rs
+
+/root/repo/target/release/deps/libfastsched_schedule-6b235ebd99ed0431.rlib: crates/schedule/src/lib.rs crates/schedule/src/analysis.rs crates/schedule/src/cost.rs crates/schedule/src/evaluate.rs crates/schedule/src/gantt.rs crates/schedule/src/incremental.rs crates/schedule/src/io.rs crates/schedule/src/metrics.rs crates/schedule/src/schedule.rs crates/schedule/src/svg.rs crates/schedule/src/validate.rs
+
+/root/repo/target/release/deps/libfastsched_schedule-6b235ebd99ed0431.rmeta: crates/schedule/src/lib.rs crates/schedule/src/analysis.rs crates/schedule/src/cost.rs crates/schedule/src/evaluate.rs crates/schedule/src/gantt.rs crates/schedule/src/incremental.rs crates/schedule/src/io.rs crates/schedule/src/metrics.rs crates/schedule/src/schedule.rs crates/schedule/src/svg.rs crates/schedule/src/validate.rs
+
+crates/schedule/src/lib.rs:
+crates/schedule/src/analysis.rs:
+crates/schedule/src/cost.rs:
+crates/schedule/src/evaluate.rs:
+crates/schedule/src/gantt.rs:
+crates/schedule/src/incremental.rs:
+crates/schedule/src/io.rs:
+crates/schedule/src/metrics.rs:
+crates/schedule/src/schedule.rs:
+crates/schedule/src/svg.rs:
+crates/schedule/src/validate.rs:

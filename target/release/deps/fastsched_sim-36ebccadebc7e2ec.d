@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fastsched_sim-36ebccadebc7e2ec.d: crates/simulator/src/lib.rs crates/simulator/src/cost.rs crates/simulator/src/engine.rs crates/simulator/src/network.rs crates/simulator/src/report.rs crates/simulator/src/topology.rs
+
+/root/repo/target/release/deps/libfastsched_sim-36ebccadebc7e2ec.rlib: crates/simulator/src/lib.rs crates/simulator/src/cost.rs crates/simulator/src/engine.rs crates/simulator/src/network.rs crates/simulator/src/report.rs crates/simulator/src/topology.rs
+
+/root/repo/target/release/deps/libfastsched_sim-36ebccadebc7e2ec.rmeta: crates/simulator/src/lib.rs crates/simulator/src/cost.rs crates/simulator/src/engine.rs crates/simulator/src/network.rs crates/simulator/src/report.rs crates/simulator/src/topology.rs
+
+crates/simulator/src/lib.rs:
+crates/simulator/src/cost.rs:
+crates/simulator/src/engine.rs:
+crates/simulator/src/network.rs:
+crates/simulator/src/report.rs:
+crates/simulator/src/topology.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fastsched_workloads-eab769acb2f300e9.d: crates/workloads/src/lib.rs crates/workloads/src/fft.rs crates/workloads/src/gaussian.rs crates/workloads/src/laplace.rs crates/workloads/src/linalg.rs crates/workloads/src/random.rs crates/workloads/src/timing.rs crates/workloads/src/trees.rs
+
+/root/repo/target/release/deps/libfastsched_workloads-eab769acb2f300e9.rlib: crates/workloads/src/lib.rs crates/workloads/src/fft.rs crates/workloads/src/gaussian.rs crates/workloads/src/laplace.rs crates/workloads/src/linalg.rs crates/workloads/src/random.rs crates/workloads/src/timing.rs crates/workloads/src/trees.rs
+
+/root/repo/target/release/deps/libfastsched_workloads-eab769acb2f300e9.rmeta: crates/workloads/src/lib.rs crates/workloads/src/fft.rs crates/workloads/src/gaussian.rs crates/workloads/src/laplace.rs crates/workloads/src/linalg.rs crates/workloads/src/random.rs crates/workloads/src/timing.rs crates/workloads/src/trees.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/fft.rs:
+crates/workloads/src/gaussian.rs:
+crates/workloads/src/laplace.rs:
+crates/workloads/src/linalg.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/timing.rs:
+crates/workloads/src/trees.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/local_search-cafcfdc8d9f5f2b7.d: crates/bench/benches/local_search.rs
+
+/root/repo/target/release/deps/local_search-cafcfdc8d9f5f2b7: crates/bench/benches/local_search.rs
+
+crates/bench/benches/local_search.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

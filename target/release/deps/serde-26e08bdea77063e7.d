@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-26e08bdea77063e7.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-26e08bdea77063e7.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-26e08bdea77063e7.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-facc6aa346cde346.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-facc6aa346cde346.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-facc6aa346cde346.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_ccr-2e4822c0931c85d2.d: crates/bench/src/bin/table-ccr.rs
+
+/root/repo/target/release/deps/table_ccr-2e4822c0931c85d2: crates/bench/src/bin/table-ccr.rs
+
+crates/bench/src/bin/table-ccr.rs:

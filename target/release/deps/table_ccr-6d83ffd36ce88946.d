@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_ccr-6d83ffd36ce88946.d: crates/bench/src/bin/table-ccr.rs
+
+/root/repo/target/release/deps/table_ccr-6d83ffd36ce88946: crates/bench/src/bin/table-ccr.rs
+
+crates/bench/src/bin/table-ccr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_extensions-111e8dba98cf9c94.d: crates/bench/src/bin/table-extensions.rs
+
+/root/repo/target/release/deps/table_extensions-111e8dba98cf9c94: crates/bench/src/bin/table-extensions.rs
+
+crates/bench/src/bin/table-extensions.rs:

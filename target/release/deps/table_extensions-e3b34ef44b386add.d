@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_extensions-e3b34ef44b386add.d: crates/bench/src/bin/table-extensions.rs
+
+/root/repo/target/release/deps/table_extensions-e3b34ef44b386add: crates/bench/src/bin/table-extensions.rs
+
+crates/bench/src/bin/table-extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_fft-41e284f201fb3a90.d: crates/bench/src/bin/table-fft.rs
+
+/root/repo/target/release/deps/table_fft-41e284f201fb3a90: crates/bench/src/bin/table-fft.rs
+
+crates/bench/src/bin/table-fft.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_fft-8fbefd9381055fcf.d: crates/bench/src/bin/table-fft.rs
+
+/root/repo/target/release/deps/table_fft-8fbefd9381055fcf: crates/bench/src/bin/table-fft.rs
+
+crates/bench/src/bin/table-fft.rs:

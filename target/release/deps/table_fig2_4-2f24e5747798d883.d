@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_fig2_4-2f24e5747798d883.d: crates/bench/src/bin/table-fig2-4.rs
+
+/root/repo/target/release/deps/table_fig2_4-2f24e5747798d883: crates/bench/src/bin/table-fig2-4.rs
+
+crates/bench/src/bin/table-fig2-4.rs:

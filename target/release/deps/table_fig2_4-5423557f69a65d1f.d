@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_fig2_4-5423557f69a65d1f.d: crates/bench/src/bin/table-fig2-4.rs
+
+/root/repo/target/release/deps/table_fig2_4-5423557f69a65d1f: crates/bench/src/bin/table-fig2-4.rs
+
+crates/bench/src/bin/table-fig2-4.rs:

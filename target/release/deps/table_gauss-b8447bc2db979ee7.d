@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_gauss-b8447bc2db979ee7.d: crates/bench/src/bin/table-gauss.rs
+
+/root/repo/target/release/deps/table_gauss-b8447bc2db979ee7: crates/bench/src/bin/table-gauss.rs
+
+crates/bench/src/bin/table-gauss.rs:

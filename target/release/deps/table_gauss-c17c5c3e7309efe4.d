@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_gauss-c17c5c3e7309efe4.d: crates/bench/src/bin/table-gauss.rs
+
+/root/repo/target/release/deps/table_gauss-c17c5c3e7309efe4: crates/bench/src/bin/table-gauss.rs
+
+crates/bench/src/bin/table-gauss.rs:

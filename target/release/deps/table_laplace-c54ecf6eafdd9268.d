@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_laplace-c54ecf6eafdd9268.d: crates/bench/src/bin/table-laplace.rs
+
+/root/repo/target/release/deps/table_laplace-c54ecf6eafdd9268: crates/bench/src/bin/table-laplace.rs
+
+crates/bench/src/bin/table-laplace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_laplace-e34f723fd50cf323.d: crates/bench/src/bin/table-laplace.rs
+
+/root/repo/target/release/deps/table_laplace-e34f723fd50cf323: crates/bench/src/bin/table-laplace.rs
+
+crates/bench/src/bin/table-laplace.rs:

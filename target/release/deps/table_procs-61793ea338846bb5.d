@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_procs-61793ea338846bb5.d: crates/bench/src/bin/table-procs.rs
+
+/root/repo/target/release/deps/table_procs-61793ea338846bb5: crates/bench/src/bin/table-procs.rs
+
+crates/bench/src/bin/table-procs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_procs-f73da6e196ab7a19.d: crates/bench/src/bin/table-procs.rs
+
+/root/repo/target/release/deps/table_procs-f73da6e196ab7a19: crates/bench/src/bin/table-procs.rs
+
+crates/bench/src/bin/table-procs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_random-45f39af89b354d3f.d: crates/bench/src/bin/table-random.rs
+
+/root/repo/target/release/deps/table_random-45f39af89b354d3f: crates/bench/src/bin/table-random.rs
+
+crates/bench/src/bin/table-random.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_random-ffeef370d5298a5f.d: crates/bench/src/bin/table-random.rs
+
+/root/repo/target/release/deps/table_random-ffeef370d5298a5f: crates/bench/src/bin/table-random.rs
+
+crates/bench/src/bin/table-random.rs:

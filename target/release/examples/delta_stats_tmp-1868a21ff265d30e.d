@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/delta_stats_tmp-1868a21ff265d30e.d: crates/core/../../examples/delta_stats_tmp.rs
+
+/root/repo/target/release/examples/delta_stats_tmp-1868a21ff265d30e: crates/core/../../examples/delta_stats_tmp.rs
+
+crates/core/../../examples/delta_stats_tmp.rs:

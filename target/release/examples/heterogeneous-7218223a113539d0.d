@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/heterogeneous-7218223a113539d0.d: crates/core/../../examples/heterogeneous.rs
+
+/root/repo/target/release/examples/heterogeneous-7218223a113539d0: crates/core/../../examples/heterogeneous.rs
+
+crates/core/../../examples/heterogeneous.rs:

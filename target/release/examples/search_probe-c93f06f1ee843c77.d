@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/search_probe-c93f06f1ee843c77.d: crates/core/../../examples/search_probe.rs
+
+/root/repo/target/release/examples/search_probe-c93f06f1ee843c77: crates/core/../../examples/search_probe.rs
+
+crates/core/../../examples/search_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/topology_study-1d9c1c750bc2dc42.d: crates/core/../../examples/topology_study.rs
+
+/root/repo/target/release/examples/topology_study-1d9c1c750bc2dc42: crates/core/../../examples/topology_study.rs
+
+crates/core/../../examples/topology_study.rs:
