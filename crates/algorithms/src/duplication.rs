@@ -1,6 +1,6 @@
 //! Task-duplication scheduling (DSH family — Kruatrachue & Lewis's
 //! Duplication Scheduling Heuristic), an extension from the paper's
-//! comparison family [1].
+//! comparison family \[1\].
 //!
 //! Duplication attacks communication head-on: when a child must wait
 //! for a remote parent's message, *re-executing the parent locally*

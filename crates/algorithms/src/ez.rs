@@ -1,5 +1,5 @@
 //! EZ — Sarkar's Edge-Zeroing clustering, an extension from the
-//! paper's comparison family [1].
+//! paper's comparison family \[1\].
 //!
 //! Edges are examined in descending communication-cost order; each
 //! edge's two clusters are merged iff the merge does not increase the

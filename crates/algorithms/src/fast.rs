@@ -11,7 +11,7 @@
 //! `MAXSTEP` times, a random blocking node is transferred to a random
 //! processor and the move is reverted unless it strictly improves.
 //! Probes run through the incremental
-//! [`DeltaEvaluator`](fastsched_schedule::DeltaEvaluator), which
+//! [`DeltaEvaluator`], which
 //! re-evaluates only the order suffix the transfer dirties while
 //! producing makespans bit-identical to a full O(v + e) replay — the
 //! search trajectory is unchanged, only cheaper.
@@ -22,6 +22,7 @@ use fastsched_dag::{
     ObnOrder,
 };
 use fastsched_schedule::{DeltaEvaluator, ProcId, Schedule};
+use fastsched_trace::SearchTrace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -76,7 +77,20 @@ impl Fast {
         dag: &Dag,
         num_procs: u32,
     ) -> (Schedule, Vec<NodeId>, Vec<ProcId>) {
+        self.initial_schedule_traced(dag, num_procs, &mut SearchTrace::default())
+    }
+
+    /// [`Self::initial_schedule`] with phase timing: the attribute
+    /// passes and CPN-Dominate list land under `list_construction`,
+    /// the placement loop under `initial_schedule`.
+    pub fn initial_schedule_traced(
+        &self,
+        dag: &Dag,
+        num_procs: u32,
+        trace: &mut SearchTrace,
+    ) -> (Schedule, Vec<NodeId>, Vec<ProcId>) {
         assert!(num_procs >= 1, "need at least one processor");
+        trace.phase_start("list_construction");
         let attrs = GraphAttributes::compute(dag);
         let classes = classify_nodes(dag, &attrs);
         let list = cpn_dominate_list(
@@ -87,7 +101,9 @@ impl Fast {
                 obn_order: self.config.obn_order,
             },
         );
+        trace.phase_end("list_construction");
 
+        trace.phase_start("initial_schedule");
         let v = dag.node_count();
         let mut ready = vec![0u64; num_procs as usize];
         let mut finish = vec![0u64; v];
@@ -151,6 +167,7 @@ impl Fast {
             placed[n.index()] = true;
             schedule.place(n, best_p, best_start, end);
         }
+        trace.phase_end("initial_schedule");
 
         (schedule, list, assignment)
     }
@@ -171,9 +188,15 @@ impl Scheduler for Fast {
     }
 
     fn schedule(&self, dag: &Dag, num_procs: u32) -> Schedule {
-        let (initial, order, assignment) = self.initial_schedule(dag, num_procs);
+        self.schedule_traced(dag, num_procs, &mut SearchTrace::default())
+    }
+
+    fn schedule_traced(&self, dag: &Dag, num_procs: u32, trace: &mut SearchTrace) -> Schedule {
+        let (initial, order, assignment) = self.initial_schedule_traced(dag, num_procs, trace);
+        trace.phase_start("local_search");
         let blocking = Self::blocking_nodes(dag);
         if blocking.is_empty() || num_procs < 2 {
+            trace.phase_end("local_search");
             return initial.compact();
         }
 
@@ -183,13 +206,15 @@ impl Scheduler for Fast {
         let mut eval = DeltaEvaluator::new(dag, order, assignment, num_procs);
         let mut best = eval.makespan();
 
-        for _ in 0..self.config.max_steps {
+        for step in 0..self.config.max_steps {
             let node = blocking[rng.gen_range(0..blocking.len())];
             let pool = (max_used + 2).min(num_procs);
             let target = ProcId(rng.gen_range(0..pool));
             if target == eval.assignment()[node.index()] {
+                trace.step_skipped();
                 continue;
             }
+            trace.probe_attempted();
             // A move is accepted only when it strictly improves, so
             // `best` doubles as the bounded probe's cutoff: the walk
             // bails out as soon as the makespan provably reaches it.
@@ -198,11 +223,17 @@ impl Scheduler for Fast {
                     best = makespan;
                     max_used = max_used.max(target.0);
                     eval.commit();
+                    trace.probe_accepted(step as u64, best);
                 }
-                None => eval.revert(), // §4.4 step 8
+                None => {
+                    eval.revert(); // §4.4 step 8
+                    trace.probe_reverted(step as u64, best);
+                }
             }
         }
 
+        trace.absorb_eval(eval.stats());
+        trace.phase_end("local_search");
         eval.to_schedule().compact()
     }
 }

@@ -15,6 +15,7 @@ use crate::scheduler::Scheduler;
 use fastsched_dag::{Dag, NodeId};
 use fastsched_schedule::evaluate::evaluate_fixed_order;
 use fastsched_schedule::{DeltaEvaluator, ProcId, Schedule};
+use fastsched_trace::SearchTrace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -60,7 +61,13 @@ impl FastParallel {
 /// One sequential search chain over a private assignment copy (each
 /// thread owns its own [`DeltaEvaluator`] — the committed state is the
 /// only per-chain mutable data); returns the best
-/// (makespan, assignment) it reached.
+/// (makespan, assignment) it reached plus the chain's private trace.
+///
+/// Each chain records into its own thread-local [`SearchTrace`]: no
+/// shared atomics anywhere near the probe loop. The driver merges the
+/// chain traces after joining, in chain-index order, so the
+/// aggregated counters are identical from run to run for a fixed
+/// `(seed, chains)` pair regardless of thread interleaving.
 fn run_chain(
     dag: &Dag,
     order: &[NodeId],
@@ -69,19 +76,22 @@ fn run_chain(
     num_procs: u32,
     max_steps: u32,
     seed: u64,
-) -> (u64, Vec<ProcId>) {
+) -> (u64, Vec<ProcId>, SearchTrace) {
+    let mut trace = SearchTrace::default();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut max_used = assignment.iter().map(|p| p.0).max().unwrap_or(0);
     let mut eval = DeltaEvaluator::new(dag, order.to_vec(), assignment, num_procs);
     let mut best = eval.makespan();
 
-    for _ in 0..max_steps {
+    for step in 0..max_steps {
         let node = blocking[rng.gen_range(0..blocking.len())];
         let pool = (max_used + 2).min(num_procs);
         let target = ProcId(rng.gen_range(0..pool));
         if target == eval.assignment()[node.index()] {
+            trace.step_skipped();
             continue;
         }
+        trace.probe_attempted();
         // Strict-improvement acceptance: `best` is the cutoff, doomed
         // probes abort as soon as the walk proves the makespan reaches
         // it.
@@ -90,11 +100,16 @@ fn run_chain(
                 best = m;
                 max_used = max_used.max(target.0);
                 eval.commit();
+                trace.probe_accepted(step as u64, best);
             }
-            None => eval.revert(),
+            None => {
+                eval.revert();
+                trace.probe_reverted(step as u64, best);
+            }
         }
     }
-    (best, eval.into_assignment())
+    trace.absorb_eval(eval.stats());
+    (best, eval.into_assignment(), trace)
 }
 
 impl Scheduler for FastParallel {
@@ -103,18 +118,24 @@ impl Scheduler for FastParallel {
     }
 
     fn schedule(&self, dag: &Dag, num_procs: u32) -> Schedule {
+        self.schedule_traced(dag, num_procs, &mut SearchTrace::default())
+    }
+
+    fn schedule_traced(&self, dag: &Dag, num_procs: u32, trace: &mut SearchTrace) -> Schedule {
         let fast = Fast::with_config(FastConfig {
             max_steps: 0,
             seed: self.config.seed,
             ..Default::default()
         });
-        let (initial, order, assignment) = fast.initial_schedule(dag, num_procs);
+        let (initial, order, assignment) = fast.initial_schedule_traced(dag, num_procs, trace);
+        trace.phase_start("local_search");
         let blocking = Fast::blocking_nodes(dag);
         if blocking.is_empty() || num_procs < 2 || self.config.chains == 0 {
+            trace.phase_end("local_search");
             return initial.compact();
         }
 
-        let results: Vec<(u64, Vec<ProcId>)> = crossbeam::thread::scope(|scope| {
+        let results: Vec<(u64, Vec<ProcId>, SearchTrace)> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.config.chains)
                 .map(|i| {
                     let assignment = assignment.clone();
@@ -137,11 +158,19 @@ impl Scheduler for FastParallel {
         })
         .expect("search chains do not panic");
 
+        // Fold the per-chain collectors in chain-index order — the
+        // join above is already in spawn order — so the merged totals
+        // and trajectory are deterministic however the threads ran.
+        for (_, _, chain_trace) in &results {
+            trace.merge(chain_trace);
+        }
+        trace.phase_end("local_search");
+
         let (_, best_assignment) = results
             .into_iter()
             .enumerate()
-            .min_by_key(|(i, (m, _))| (*m, *i))
-            .map(|(_, r)| r)
+            .min_by_key(|(i, (m, _, _))| (*m, *i))
+            .map(|(_, (m, a, _))| (m, a))
             .expect("at least one chain");
         evaluate_fixed_order(dag, &order, &best_assignment, num_procs).compact()
     }

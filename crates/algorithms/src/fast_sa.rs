@@ -15,6 +15,7 @@ use crate::scheduler::Scheduler;
 use fastsched_dag::Dag;
 use fastsched_schedule::evaluate::evaluate_fixed_order;
 use fastsched_schedule::{DeltaEvaluator, ProcId, Schedule};
+use fastsched_trace::SearchTrace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -67,13 +68,19 @@ impl Scheduler for FastSa {
     }
 
     fn schedule(&self, dag: &Dag, num_procs: u32) -> Schedule {
+        self.schedule_traced(dag, num_procs, &mut SearchTrace::default())
+    }
+
+    fn schedule_traced(&self, dag: &Dag, num_procs: u32, trace: &mut SearchTrace) -> Schedule {
         let fast = Fast::with_config(FastConfig {
             max_steps: 0,
             ..Default::default()
         });
-        let (initial, order, assignment) = fast.initial_schedule(dag, num_procs);
+        let (initial, order, assignment) = fast.initial_schedule_traced(dag, num_procs, trace);
+        trace.phase_start("local_search");
         let blocking = Fast::blocking_nodes(dag);
         if blocking.is_empty() || num_procs < 2 || self.config.steps == 0 {
+            trace.phase_end("local_search");
             return initial.compact();
         }
 
@@ -87,14 +94,16 @@ impl Scheduler for FastSa {
         let mut best = current;
         let mut temp = (current as f64 * self.config.initial_temp_fraction).max(1.0);
 
-        for _ in 0..self.config.steps {
+        for step in 0..self.config.steps {
             let node = blocking[rng.gen_range(0..blocking.len())];
             let pool = (max_used + 2).min(num_procs);
             let target = ProcId(rng.gen_range(0..pool));
             temp *= self.config.cooling;
             if target == eval.assignment()[node.index()] {
+                trace.step_skipped();
                 continue;
             }
+            trace.probe_attempted();
             let m = eval.probe_transfer(dag, node, target);
             let accept = if m <= current {
                 true
@@ -110,11 +119,17 @@ impl Scheduler for FastSa {
                     best = m;
                     best_assignment.copy_from_slice(eval.assignment());
                 }
+                // The SA trajectory records the *current* walk, uphill
+                // moves included — that is the interesting signal.
+                trace.probe_accepted(step as u64, current);
             } else {
                 eval.revert();
+                trace.probe_reverted(step as u64, current);
             }
         }
 
+        trace.absorb_eval(eval.stats());
+        trace.phase_end("local_search");
         evaluate_fixed_order(dag, eval.order(), &best_assignment, num_procs).compact()
     }
 }

@@ -1,7 +1,7 @@
 //! ISH — Insertion Scheduling Heuristic (Kruatrachue & Lewis):
 //! static-level list scheduling that fills the *communication holes*
 //! it creates. Included as an extension from the paper's comparison
-//! family [1].
+//! family \[1\].
 //!
 //! When the next list node starts later than its processor's ready
 //! time (waiting for a message), the idle hole is offered to other

@@ -1,5 +1,5 @@
 //! LC — Linear Clustering (Kim & Browne), an extension from the
-//! paper's comparison family [1].
+//! paper's comparison family \[1\].
 //!
 //! Repeatedly extract the critical path of the *remaining* graph, make
 //! those nodes one linear cluster (zeroing the edges along it), remove

@@ -3,6 +3,7 @@
 
 use fastsched_dag::Dag;
 use fastsched_schedule::Schedule;
+use fastsched_trace::SearchTrace;
 
 /// A static DAG-scheduling algorithm.
 ///
@@ -44,6 +45,21 @@ pub trait Scheduler: Send + Sync {
     /// from 0 (use [`Schedule::compact`] before returning when the
     /// construction leaves gaps).
     fn schedule(&self, dag: &Dag, num_procs: u32) -> Schedule;
+
+    /// [`Self::schedule`] with an observability collector: phase
+    /// timers, search-event counters and the schedule-length
+    /// trajectory land in `trace`. The produced schedule is identical
+    /// to [`Self::schedule`]'s — instrumentation never changes a
+    /// search decision.
+    ///
+    /// The default implementation ignores the collector (one-shot
+    /// algorithms have no search to trace); the FAST family overrides
+    /// it. Without the `trace` cargo feature the collector is a
+    /// zero-sized no-op and this is exactly [`Self::schedule`].
+    fn schedule_traced(&self, dag: &Dag, num_procs: u32, trace: &mut SearchTrace) -> Schedule {
+        let _ = trace;
+        self.schedule(dag, num_procs)
+    }
 }
 
 /// The four baselines compared in the paper plus FAST itself, in the

@@ -1,0 +1,180 @@
+//! Invariants of the observability layer (requires `--features trace`):
+//! counter arithmetic, trajectory shape, and determinism of the
+//! aggregated parallel counters.
+
+#![cfg(feature = "trace")]
+
+use fastsched_algorithms::{Fast, FastConfig, FastSa, FastSaConfig, Scheduler};
+use fastsched_dag::examples::paper_figure1;
+use fastsched_trace::{SearchTrace, TraceEvent};
+use fastsched_workloads::{random_layered_dag, RandomDagConfig, TimingDatabase};
+
+/// Every probe is either accepted or reverted — across many seeds.
+#[test]
+fn probes_attempted_equals_accepted_plus_reverted() {
+    let db = TimingDatabase::paragon();
+    let g = random_layered_dag(&RandomDagConfig::paper(120, &db), 3);
+    for seed in 0..16u64 {
+        let fast = Fast::with_config(FastConfig {
+            seed,
+            max_steps: 256,
+            ..Default::default()
+        });
+        let mut trace = SearchTrace::default();
+        fast.schedule_traced(&g, 16, &mut trace);
+        assert_eq!(
+            trace.probes_attempted,
+            trace.probes_accepted + trace.probes_reverted,
+            "seed {seed}: attempted != accepted + reverted"
+        );
+        // The search loop runs max_steps iterations; each is a probe
+        // or a same-processor skip.
+        assert_eq!(trace.probes_attempted + trace.steps_skipped, 256);
+    }
+}
+
+/// Greedy FAST only accepts strict improvements, so the recorded
+/// schedule-length trajectory must be non-increasing.
+#[test]
+fn greedy_trajectory_is_non_increasing() {
+    let db = TimingDatabase::paragon();
+    let g = random_layered_dag(&RandomDagConfig::paper(150, &db), 7);
+    let fast = Fast::with_config(FastConfig {
+        max_steps: 512,
+        ..Default::default()
+    });
+    let mut trace = SearchTrace::default();
+    fast.schedule_traced(&g, 24, &mut trace);
+    let report = trace.to_report();
+    let traj = report.trajectory();
+    assert!(!traj.is_empty(), "search on a random DAG must probe");
+    for w in traj.windows(2) {
+        assert!(
+            w[1] <= w[0],
+            "greedy trajectory rose: makespan {} -> {}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+/// The traced run must produce the same schedule as the untraced one —
+/// instrumentation never changes a search decision.
+#[test]
+fn traced_schedule_is_identical_to_untraced() {
+    let db = TimingDatabase::paragon();
+    let g = random_layered_dag(&RandomDagConfig::paper(100, &db), 11);
+    for seed in [0u64, 1, 0xFA57] {
+        let fast = Fast::with_config(FastConfig {
+            seed,
+            ..Default::default()
+        });
+        let plain = fast.schedule(&g, 12);
+        let mut trace = SearchTrace::default();
+        let traced = fast.schedule_traced(&g, 12, &mut trace);
+        assert_eq!(plain.makespan(), traced.makespan());
+    }
+}
+
+/// All three phases of the FAST pipeline show up with measured time.
+#[test]
+fn phase_timers_cover_the_pipeline() {
+    let g = paper_figure1();
+    let mut trace = SearchTrace::default();
+    Fast::new().schedule_traced(&g, 9, &mut trace);
+    let report = trace.to_report();
+    let phases = report.phase_totals();
+    for name in ["list_construction", "initial_schedule", "local_search"] {
+        assert!(
+            phases.iter().any(|(n, _)| n == name),
+            "missing phase {name}"
+        );
+    }
+}
+
+/// The events round-trip through the NDJSON emitter and parser.
+#[test]
+fn ndjson_round_trip_preserves_events() {
+    let db = TimingDatabase::paragon();
+    let g = random_layered_dag(&RandomDagConfig::paper(80, &db), 5);
+    let mut trace = SearchTrace::default();
+    trace.set_meta("workload", "round-trip-test");
+    Fast::new().schedule_traced(&g, 8, &mut trace);
+    let report = trace.to_report();
+    let text = report.to_ndjson();
+    let parsed = fastsched_trace::Report::from_ndjson(&text).expect("own output must parse");
+    assert_eq!(report.events(), parsed.events());
+    assert!(parsed
+        .events()
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Meta { key, value } if key == "workload" && value == "round-trip-test")));
+}
+
+/// SA records every step too; its counters obey the same arithmetic.
+#[test]
+fn sa_counters_balance() {
+    let db = TimingDatabase::paragon();
+    let g = random_layered_dag(&RandomDagConfig::paper(100, &db), 2);
+    let sa = FastSa::with_config(FastSaConfig {
+        steps: 512,
+        ..Default::default()
+    });
+    let mut trace = SearchTrace::default();
+    sa.schedule_traced(&g, 16, &mut trace);
+    assert_eq!(
+        trace.probes_attempted,
+        trace.probes_accepted + trace.probes_reverted
+    );
+    assert_eq!(trace.probes_attempted + trace.steps_skipped, 512);
+    // SA probes always run the unbounded evaluator; its eval stats
+    // must show activity.
+    assert!(trace.eval.incremental_probes > 0);
+}
+
+/// Incremental-evaluator stats reach the trace: probes walked dirty
+/// nodes and the commit/revert protocol was exercised.
+#[test]
+fn eval_stats_are_absorbed() {
+    let db = TimingDatabase::paragon();
+    let g = random_layered_dag(&RandomDagConfig::paper(150, &db), 9);
+    let mut trace = SearchTrace::default();
+    Fast::with_config(FastConfig {
+        max_steps: 256,
+        ..Default::default()
+    })
+    .schedule_traced(&g, 16, &mut trace);
+    assert!(trace.eval.incremental_probes > 0);
+    assert!(trace.eval.dirty_nodes_visited > 0);
+    assert_eq!(trace.eval.commits, trace.probes_accepted);
+    assert_eq!(trace.eval.reverts, trace.probes_reverted);
+}
+
+/// Parallel FAST merges per-chain counters deterministically: two runs
+/// with the same seed produce bit-identical aggregated counters.
+#[cfg(feature = "parallel")]
+#[test]
+fn parallel_counters_are_deterministic() {
+    use fastsched_algorithms::{FastParallel, FastParallelConfig};
+    let db = TimingDatabase::paragon();
+    let g = random_layered_dag(&RandomDagConfig::paper(120, &db), 4);
+    let sched = FastParallel::with_config(FastParallelConfig {
+        chains: 4,
+        max_steps_per_chain: 128,
+        seed: 0xFA57,
+    });
+    let run = || {
+        let mut trace = SearchTrace::default();
+        sched.schedule_traced(&g, 16, &mut trace);
+        trace
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.probes_attempted, b.probes_attempted);
+    assert_eq!(a.probes_accepted, b.probes_accepted);
+    assert_eq!(a.probes_reverted, b.probes_reverted);
+    assert_eq!(a.eval.dirty_nodes_visited, b.eval.dirty_nodes_visited);
+    assert_eq!(a.probes_attempted, a.probes_accepted + a.probes_reverted);
+    // 4 chains x 128 steps, every step probes or skips.
+    assert_eq!(a.probes_attempted + a.steps_skipped, 4 * 128);
+    // Trajectories merge in chain order: same sequence both runs.
+    assert_eq!(a.to_report().trajectory(), b.to_report().trajectory());
+}

@@ -8,12 +8,21 @@
 //! exact same hill-climbing trajectory through both, and dumps the
 //! probe-throughput numbers to `BENCH_eval.json` at the workspace
 //! root.
+//!
+//! The file's `trace_ab` section is the observability-overhead A/B:
+//! the instrumented driver loop is timed in whichever mode this
+//! binary was compiled in (`cargo bench` → `trace_off`,
+//! `cargo bench --features trace` → `trace_on`); the other mode's
+//! numbers are carried over from the previous run, and when both are
+//! present `capture_overhead_percent` compares them (the budget is
+//! ≤ 2% — in practice the delta sits inside run-to-run noise).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fastsched::algorithms::{Fast, FastConfig};
 use fastsched::prelude::*;
 use fastsched::schedule::evaluate::evaluate_makespan_into;
 use fastsched::schedule::DeltaEvaluator;
+use fastsched::trace::SearchTrace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -119,6 +128,66 @@ fn climb_incremental(
     best
 }
 
+/// [`climb_incremental`] with the observability hooks of
+/// `Fast::schedule_traced` attached — the instrumented driver loop
+/// whose cost the trace-overhead A/B measures. Built without
+/// `--features trace` every hook is a zero-sized no-op and this must
+/// time the same as [`climb_incremental`].
+#[allow(clippy::too_many_arguments)]
+fn climb_traced(
+    dag: &Dag,
+    order: &[NodeId],
+    assignment: Vec<ProcId>,
+    blocking: &[NodeId],
+    num_procs: u32,
+    steps: u32,
+    seed: u64,
+    trace: &mut SearchTrace,
+) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut max_used = assignment.iter().map(|p| p.0).max().unwrap_or(0);
+    let mut eval = DeltaEvaluator::new(dag, order.to_vec(), assignment, num_procs);
+    let mut best = eval.makespan();
+    trace.phase_start("local_search");
+    for step in 0..steps {
+        let node = blocking[rng.gen_range(0..blocking.len())];
+        let pool = (max_used + 2).min(num_procs);
+        let target = ProcId(rng.gen_range(0..pool));
+        if target == eval.assignment()[node.index()] {
+            trace.step_skipped();
+            continue;
+        }
+        trace.probe_attempted();
+        match eval.probe_transfer_bounded(dag, node, target, best) {
+            Some(m) => {
+                best = m;
+                max_used = max_used.max(target.0);
+                eval.commit();
+                trace.probe_accepted(step as u64, best);
+            }
+            None => {
+                eval.revert();
+                trace.probe_reverted(step as u64, best);
+            }
+        }
+    }
+    trace.absorb_eval(eval.stats());
+    trace.phase_end("local_search");
+    best
+}
+
+/// Extract the `"<key>": { ... }` object line from a previous
+/// `BENCH_eval.json` so the other build mode's measurement survives a
+/// re-run (each `cargo bench` invocation can only measure the mode it
+/// was compiled in).
+fn extract_mode(old: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": {{");
+    let start = old.find(&needle)?;
+    let rest = &old[start + needle.len()..];
+    let end = rest.find('}')?;
+    Some(rest[..end].trim().to_string())
+}
+
 fn bench_incremental_vs_full(c: &mut Criterion) {
     let db = TimingDatabase::paragon();
     let dag = random_layered_dag(&RandomDagConfig::paper(2000, &db), 5);
@@ -190,10 +259,63 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
         "engines must walk the same trajectory"
     );
 
+    // The trace-overhead A/B: the same instrumented driver loop is
+    // timed in whichever mode this binary was compiled in; the other
+    // mode's numbers are carried over from the previous run so after
+    // `cargo bench` + `cargo bench --features trace` the file holds
+    // both sides.
+    let mut mode_trace = SearchTrace::default();
+    let t0 = Instant::now();
+    let traced_best = climb_traced(
+        &dag,
+        &order,
+        assignment.clone(),
+        &blocking,
+        num_procs,
+        steps,
+        seed,
+        &mut mode_trace,
+    );
+    let traced_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(traced_best, incr_best, "instrumentation changed the search");
+
     let full_tp = steps as f64 / full_secs;
     let incr_tp = steps as f64 / incr_secs;
+    let traced_tp = steps as f64 / traced_secs;
+    let (this_mode, other_mode) = if mode_trace.is_enabled() {
+        ("trace_on", "trace_off")
+    } else {
+        ("trace_off", "trace_on")
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
+    let old = std::fs::read_to_string(path).unwrap_or_default();
+    let this_line = format!("\"seconds\": {traced_secs:.6}, \"probes_per_sec\": {traced_tp:.1}");
+    let other_line = extract_mode(&old, other_mode);
+    let mut overhead = String::new();
+    if let Some(other) = &other_line {
+        // probes_per_sec of the *off* mode is the baseline.
+        let tp_of = |line: &str| {
+            line.rsplit(':')
+                .next()
+                .and_then(|v| v.trim().parse::<f64>().ok())
+        };
+        let (off_tp, on_tp) = if this_mode == "trace_off" {
+            (Some(traced_tp), tp_of(other))
+        } else {
+            (tp_of(other), Some(traced_tp))
+        };
+        if let (Some(off), Some(on)) = (off_tp, on_tp) {
+            overhead = format!(
+                ",\n    \"capture_overhead_percent\": {:.2}",
+                100.0 * (off - on) / off
+            );
+        }
+    }
+    let other_json = other_line
+        .map(|l| format!(",\n    \"{other_mode}\": {{ {l} }}"))
+        .unwrap_or_default();
     let json = format!(
-        "{{\n  \"dag_nodes\": {},\n  \"dag_edges\": {},\n  \"num_procs\": {},\n  \"probes\": {},\n  \"final_makespan\": {},\n  \"full_replay\": {{ \"seconds\": {:.6}, \"probes_per_sec\": {:.1} }},\n  \"incremental\": {{ \"seconds\": {:.6}, \"probes_per_sec\": {:.1} }},\n  \"speedup\": {:.2}\n}}\n",
+        "{{\n  \"dag_nodes\": {},\n  \"dag_edges\": {},\n  \"num_procs\": {},\n  \"probes\": {},\n  \"final_makespan\": {},\n  \"full_replay\": {{ \"seconds\": {:.6}, \"probes_per_sec\": {:.1} }},\n  \"incremental\": {{ \"seconds\": {:.6}, \"probes_per_sec\": {:.1} }},\n  \"speedup\": {:.2},\n  \"trace_ab\": {{\n    \"{this_mode}\": {{ {this_line} }}{other_json}{overhead}\n  }}\n}}\n",
         dag.node_count(),
         dag.edge_count(),
         num_procs,
@@ -205,10 +327,10 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
         incr_tp,
         incr_tp / full_tp,
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
     std::fs::write(path, &json).expect("write BENCH_eval.json");
     println!(
-        "probe throughput: full {full_tp:.0}/s, incremental {incr_tp:.0}/s ({:.2}x) -> {path}",
+        "probe throughput: full {full_tp:.0}/s, incremental {incr_tp:.0}/s ({:.2}x), \
+         {this_mode} driver {traced_tp:.0}/s -> {path}",
         incr_tp / full_tp
     );
 }

@@ -13,13 +13,20 @@
 //!    insertion policy used by MCP/HEFT, on the CPN-Dominate list.
 //!
 //! ```text
-//! cargo run --release -p fastsched-bench --bin ablation
+//! cargo run --release -p fastsched-bench --bin ablation [--trace <out.ndjson>]
 //! ```
+//!
+//! `--trace` records, for every workload, the schedule-length
+//! trajectory of a long FAST search (MAXSTEP = 1024, the sweep's
+//! largest budget) into one NDJSON stream — each workload's events are
+//! preceded by a `workload` metadata line. Build with
+//! `--features trace` to capture.
 
 use fastsched::algorithms::list_common::run_static_list;
 use fastsched::algorithms::{Hlfet, Mcp};
 use fastsched::dag::{classify_nodes, cpn_dominate_list, CpnListConfig, ObnOrder};
 use fastsched::prelude::*;
+use fastsched_bench::trace_arg;
 
 fn workloads(db: &TimingDatabase) -> Vec<(String, Dag)> {
     vec![
@@ -144,4 +151,40 @@ fn main() {
             run_static_list(&dag, &order, procs, false).makespan()
         );
     }
+
+    if let Some(path) = trace_arg() {
+        if let Err(e) = write_trajectories(&path, &db) {
+            eprintln!("error: {e}");
+        }
+    }
+}
+
+/// One NDJSON stream of search trajectories, all workloads back to
+/// back (each introduced by its `workload` metadata line), using the
+/// sweep's largest budget so the trajectory tail is visible.
+fn write_trajectories(path: &str, db: &TimingDatabase) -> Result<(), String> {
+    let probe = fastsched::trace::SearchTrace::default();
+    if !probe.is_enabled() {
+        eprintln!(
+            "warning: built without `--features trace`; {path} will carry \
+             metadata only"
+        );
+    }
+    let mut out = String::new();
+    for (name, dag) in workloads(db) {
+        let procs = (2.0 * (dag.node_count() as f64).sqrt()) as u32 + 2;
+        let fast = Fast::with_config(FastConfig {
+            max_steps: 1024,
+            ..Default::default()
+        });
+        let mut trace = fastsched::trace::SearchTrace::default();
+        trace.set_meta("tool", "ablation");
+        trace.set_meta("workload", &name);
+        trace.set_meta("max_steps", "1024");
+        fast.schedule_traced(&dag, procs, &mut trace);
+        out.push_str(&trace.to_report().to_ndjson());
+    }
+    std::fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote search trajectories to {path}");
+    Ok(())
 }

@@ -1,5 +1,5 @@
 //! CCR sweep — the granularity axis the paper's successor studies
-//! (the authors' own benchmark-suite comparison [1]) standardized:
+//! (the authors' own benchmark-suite comparison \[1\]) standardized:
 //! normalized schedule lengths for FAST, DSC, ETF and DLS on the same
 //! random DAGs rescaled to communication-to-computation ratios from
 //! 0.1 to 10. Clustering (DSC) should pull ahead as communication
@@ -7,12 +7,15 @@
 //! cheap.
 //!
 //! ```text
-//! cargo run --release -p fastsched-bench --bin table-ccr
+//! cargo run --release -p fastsched-bench --bin table-ccr [--trace <out.ndjson>]
 //! ```
+//!
+//! `--trace` additionally records FAST's search on the highest-CCR
+//! variant as NDJSON (build with `--features trace` to capture).
 
 use fastsched::dag::transform::scale_communication;
 use fastsched::prelude::*;
-use fastsched_bench::run_figure;
+use fastsched_bench::{run_figure, trace_arg, write_search_trace};
 
 fn main() {
     let db = TimingDatabase::paragon();
@@ -55,4 +58,13 @@ fn main() {
         true, // schedule lengths, as in Figure 8
     );
     println!("{out}");
+
+    if let Some(path) = trace_arg() {
+        let dag = dags.last().expect("at least one workload");
+        let procs = (dag.node_count() as u32).min(256);
+        let label = format!("random v=600 CCR {:.2}", dag.ccr());
+        if let Err(e) = write_search_trace(&path, dag, &Fast::new(), procs, &label) {
+            eprintln!("error: {e}");
+        }
+    }
 }

@@ -5,11 +5,16 @@
 //! to FAST. The modern context the paper's §3 survey gestures at.
 //!
 //! ```text
-//! cargo run --release -p fastsched-bench --bin table-extensions
+//! cargo run --release -p fastsched-bench --bin table-extensions [--trace <out.ndjson>]
 //! ```
+//!
+//! `--trace` additionally records FAST-SA's search (the extension with
+//! the richest trajectory) on the random workload as NDJSON (build
+//! with `--features trace` to capture).
 
+use fastsched::algorithms::{FastSa, FastSaConfig};
 use fastsched::prelude::*;
-use fastsched_bench::run_figure;
+use fastsched_bench::{run_figure, trace_arg, write_search_trace};
 
 fn main() {
     let db = TimingDatabase::paragon();
@@ -36,4 +41,16 @@ fn main() {
         false,
     );
     println!("{out}");
+
+    if let Some(path) = trace_arg() {
+        let dag = dags.last().expect("at least one workload");
+        let procs = (2.0 * (dag.node_count() as f64).sqrt()) as u32 + 2;
+        let sa = FastSa::with_config(FastSaConfig {
+            steps: 512,
+            ..Default::default()
+        });
+        if let Err(e) = write_search_trace(&path, dag, &sa, procs, "rand500 (FAST-SA)") {
+            eprintln!("error: {e}");
+        }
+    }
 }

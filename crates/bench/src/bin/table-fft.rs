@@ -4,11 +4,14 @@
 //! 82, 194, matching the paper exactly).
 //!
 //! ```text
-//! cargo run --release -p fastsched-bench --bin table-fft
+//! cargo run --release -p fastsched-bench --bin table-fft [--trace <out.ndjson>]
 //! ```
+//!
+//! `--trace` additionally records FAST's search on the largest
+//! workload as NDJSON (build with `--features trace` to capture).
 
 use fastsched::prelude::*;
-use fastsched_bench::run_figure;
+use fastsched_bench::{run_figure, trace_arg, write_search_trace};
 
 fn main() {
     let db = TimingDatabase::paragon();
@@ -28,4 +31,17 @@ fn main() {
         false,
     );
     println!("{out}");
+
+    if let Some(path) = trace_arg() {
+        let dag = dags.last().expect("at least one workload");
+        if let Err(e) = write_search_trace(
+            &path,
+            dag,
+            &Fast::new(),
+            dag.node_count() as u32,
+            "fft 512 pts",
+        ) {
+            eprintln!("error: {e}");
+        }
+    }
 }

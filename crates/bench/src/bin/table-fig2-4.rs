@@ -4,12 +4,16 @@
 //! refinement.
 //!
 //! ```text
-//! cargo run --release -p fastsched-bench --bin table-fig2-4
+//! cargo run --release -p fastsched-bench --bin table-fig2-4 [--trace <out.ndjson>]
 //! ```
+//!
+//! `--trace` additionally records FAST's search on the example graph
+//! as NDJSON (build with `--features trace` to capture).
 
 use fastsched::dag::examples::paper_figure1;
 use fastsched::prelude::*;
 use fastsched::schedule::gantt;
+use fastsched_bench::{trace_arg, write_search_trace};
 
 fn main() {
     let dag = paper_figure1();
@@ -49,4 +53,10 @@ fn main() {
         refined.makespan()
     );
     print!("{}", gantt::render_listing(&dag, &refined));
+
+    if let Some(path) = trace_arg() {
+        if let Err(e) = write_search_trace(&path, &dag, &fast, 9, "paper figure 1") {
+            eprintln!("error: {e}");
+        }
+    }
 }

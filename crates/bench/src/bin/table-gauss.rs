@@ -4,11 +4,14 @@
 //! (task counts 20, 54, 170, 594, matching the paper exactly).
 //!
 //! ```text
-//! cargo run --release -p fastsched-bench --bin table-gauss
+//! cargo run --release -p fastsched-bench --bin table-gauss [--trace <out.ndjson>]
 //! ```
+//!
+//! `--trace` additionally records FAST's search on the largest
+//! workload as NDJSON (build with `--features trace` to capture).
 
 use fastsched::prelude::*;
-use fastsched_bench::run_figure;
+use fastsched_bench::{run_figure, trace_arg, write_search_trace};
 
 fn main() {
     let db = TimingDatabase::paragon();
@@ -30,4 +33,12 @@ fn main() {
         false,
     );
     println!("{out}");
+
+    if let Some(path) = trace_arg() {
+        let dag = dags.last().expect("at least one workload");
+        let procs = (2.0 * (dag.node_count() as f64).sqrt()) as u32 + 2;
+        if let Err(e) = write_search_trace(&path, dag, &Fast::new(), procs, "gauss N=32") {
+            eprintln!("error: {e}");
+        }
+    }
 }

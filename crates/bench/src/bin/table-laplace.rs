@@ -4,11 +4,14 @@
 //! 16, 32 (task counts 18, 66, 258, 1026, matching the paper exactly).
 //!
 //! ```text
-//! cargo run --release -p fastsched-bench --bin table-laplace
+//! cargo run --release -p fastsched-bench --bin table-laplace [--trace <out.ndjson>]
 //! ```
+//!
+//! `--trace` additionally records FAST's search on the largest
+//! workload as NDJSON (build with `--features trace` to capture).
 
 use fastsched::prelude::*;
-use fastsched_bench::run_figure;
+use fastsched_bench::{run_figure, trace_arg, write_search_trace};
 
 fn main() {
     let db = TimingDatabase::paragon();
@@ -26,4 +29,12 @@ fn main() {
         false,
     );
     println!("{out}");
+
+    if let Some(path) = trace_arg() {
+        let dag = dags.last().expect("at least one workload");
+        let procs = (2.0 * (dag.node_count() as f64).sqrt()) as u32 + 2;
+        if let Err(e) = write_search_trace(&path, dag, &Fast::new(), procs, "laplace N=32") {
+            eprintln!("error: {e}");
+        }
+    }
 }

@@ -5,11 +5,15 @@
 //! never plot.
 //!
 //! ```text
-//! cargo run --release -p fastsched-bench --bin table-procs
+//! cargo run --release -p fastsched-bench --bin table-procs [--trace <out.ndjson>]
 //! ```
+//!
+//! `--trace` additionally records FAST's search at the largest
+//! processor count as NDJSON (build with `--features trace` to
+//! capture).
 
 use fastsched::prelude::*;
-use fastsched_bench::measure;
+use fastsched_bench::{measure, trace_arg, write_search_trace};
 
 fn main() {
     let db = TimingDatabase::paragon();
@@ -58,5 +62,11 @@ fn main() {
             print!("{:>9}", cell.makespan);
         }
         println!();
+    }
+
+    if let Some(path) = trace_arg() {
+        if let Err(e) = write_search_trace(&path, &dag, &Fast::new(), 64, "gauss N=32 p=64") {
+            eprintln!("error: {e}");
+        }
     }
 }

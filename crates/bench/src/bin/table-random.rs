@@ -8,14 +8,18 @@
 //!
 //! ```text
 //! cargo run --release -p fastsched-bench --bin table-random [--quick] [--seeds N]
+//!                                                           [--trace <out.ndjson>]
 //! ```
 //!
 //! `--quick` runs v = 500..1250 for a fast smoke pass; `--seeds N`
 //! (default 1, as in the paper) averages the normalized schedule
-//! lengths over N generator seeds and reports the min–max spread.
+//! lengths over N generator seeds and reports the min–max spread;
+//! `--trace` additionally records FAST's search on the largest DAG as
+//! NDJSON (build with `--features trace` to capture; applies to the
+//! single-seed run).
 
 use fastsched::prelude::*;
-use fastsched_bench::run_figure;
+use fastsched_bench::{run_figure, trace_arg, write_search_trace};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -73,6 +77,15 @@ fn main() {
         true, // normalize on schedule length, as the paper does here
     );
     println!("{out}");
+
+    if let Some(path) = trace_arg() {
+        let dag = dags.last().expect("at least one workload");
+        let procs = (dag.node_count() as u32).min(512);
+        let label = format!("random v={}", dag.node_count());
+        if let Err(e) = write_search_trace(&path, dag, &Fast::new(), procs, &label) {
+            eprintln!("error: {e}");
+        }
+    }
 }
 
 /// Multi-seed statistical variant: mean and min–max of normalized

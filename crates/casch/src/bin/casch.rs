@@ -41,6 +41,7 @@ fn main() -> ExitCode {
         "schedule" => cmd_schedule(&opts),
         "simulate" => cmd_simulate(&opts),
         "compare" => cmd_compare(&opts),
+        "trace" => cmd_trace(&opts),
         _ => Err(format!("unknown command `{cmd}`")),
     };
     match result {
@@ -60,11 +61,17 @@ USAGE:
   casch info     --dag <file.json>
   casch dot      --dag <file.json>
   casch schedule --dag <file.json> --algo <name> [--procs <p>] [--gantt]
-                 [--svg <out.svg>] [--out-schedule <out.json>]
+                 [--svg <out.svg>] [--out-schedule <out.json>] [--trace <out.ndjson>]
   casch simulate --dag <file.json> --schedule <sched.json>
                  [--topology <mesh|torus|hypercube|full>] [--hop <us>]
                  [--send-overhead <us>] [--recv-overhead <us>] [--trace <out.json>]
   casch compare  (--dag <file.json> | --app <name> --size <n>) [--procs <p>] [--seed <s>] [--all]
+  casch trace    --in <trace.ndjson>
+
+`casch schedule --trace` records the search (phase timers, probe
+counters, schedule-length trajectory) as NDJSON; build with
+`--features trace` or the file only carries metadata. `casch trace`
+renders such a file as a human-readable report.
 
 ALGORITHMS: fast, dsc, md, etf, dls, hlfet, mcp, heft, dcp, ish, ez, lc,
             cpop, dsc-llb, fast-ms, fast-sa, bnb (exhaustive, tiny graphs)";
@@ -223,6 +230,31 @@ fn cmd_schedule(opts: &Flags) -> Result<(), String> {
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
+    if let Some(path) = opts.get("trace") {
+        let mut trace = fastsched_trace::SearchTrace::default();
+        if !trace.is_enabled() {
+            eprintln!(
+                "warning: built without the `trace` feature; \
+                 {path} will carry metadata only"
+            );
+        }
+        trace.set_meta("tool", "casch schedule");
+        trace.set_meta("algorithm", algo.name());
+        trace.set_meta("nodes", &dag.node_count().to_string());
+        trace.set_meta("procs", &procs.to_string());
+        algo.schedule_traced(&dag, procs, &mut trace);
+        std::fs::write(path, trace.to_report().to_ndjson())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote search trace to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_trace(opts: &Flags) -> Result<(), String> {
+    let path = opts.get("in").ok_or("missing --in")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let report = fastsched_trace::Report::from_ndjson(&text).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
     Ok(())
 }
 

@@ -14,7 +14,11 @@
 //!   solver, FFT) and the §5.2 random-DAG generator, with task counts
 //!   matching the paper's tables exactly ([`workloads`]);
 //! * a discrete-event Paragon-substitute simulator ([`sim`]);
-//! * the CASCH-substitute pipeline and CLI ([`casch`]).
+//! * the CASCH-substitute pipeline and CLI ([`casch`]);
+//! * an observability layer — phase timers, search counters and
+//!   schedule-length trajectories ([`trace`]); compile with the
+//!   `trace` cargo feature to actually record (off by default, where
+//!   every hook is a zero-sized no-op).
 //!
 //! ## Quickstart
 //!
@@ -41,6 +45,7 @@ pub use fastsched_casch as casch;
 pub use fastsched_dag as dag;
 pub use fastsched_schedule as schedule;
 pub use fastsched_sim as sim;
+pub use fastsched_trace as trace;
 pub use fastsched_workloads as workloads;
 
 /// One-stop imports for applications using the library.
@@ -56,6 +61,7 @@ pub mod prelude {
     };
     pub use fastsched_schedule::{validate, ProcId, Schedule, ScheduleMetrics};
     pub use fastsched_sim::{simulate, ExecutionReport, SimConfig};
+    pub use fastsched_trace::{Report, SearchTrace};
     pub use fastsched_workloads::{
         fft_dag, gaussian_elimination_dag, laplace_dag, random_layered_dag, RandomDagConfig,
         TimingDatabase,

@@ -30,6 +30,7 @@ use crate::cost::{data_arrival_time_with, CostModel, HomogeneousModel};
 use crate::schedule::{ProcId, Schedule};
 use fastsched_dag::topo::{is_topological_order, order_positions};
 use fastsched_dag::{Cost, Dag, NodeId};
+use fastsched_trace::EvalStats;
 
 /// State of an unresolved probe (between `probe_transfer` and
 /// `commit`/`revert`).
@@ -120,6 +121,9 @@ pub struct DeltaEvaluator<M: CostModel = HomogeneousModel> {
     /// `(node, committed start, committed finish)` per touched node.
     undo: Vec<(NodeId, Cost, Cost)>,
     tentative: Option<Tentative>,
+    /// Observability counters (zero-sized no-op unless the `trace`
+    /// feature compiles `fastsched-trace/capture` in).
+    stats: EvalStats,
 }
 
 impl DeltaEvaluator<HomogeneousModel> {
@@ -187,6 +191,7 @@ impl<M: CostModel> DeltaEvaluator<M> {
             proc_ready: vec![0; num_procs as usize],
             undo: Vec::new(),
             tentative: None,
+            stats: EvalStats::default(),
         };
         this.full_evaluate(dag);
         this.rebuild_proc_positions();
@@ -223,6 +228,40 @@ impl<M: CostModel> DeltaEvaluator<M> {
     #[inline]
     pub fn finish_times(&self) -> &[Cost] {
         &self.finish
+    }
+
+    /// Observability counters accumulated so far (probe walks, node
+    /// recomputes, slack-cache traffic). All-zero — and zero-cost —
+    /// unless the `trace` feature is enabled.
+    ///
+    /// ```
+    /// use fastsched_dag::examples::paper_figure1;
+    /// use fastsched_schedule::evaluate::evaluate_fixed_order;
+    /// use fastsched_schedule::{DeltaEvaluator, ProcId};
+    ///
+    /// let dag = paper_figure1();
+    /// let order: Vec<_> = dag.topo_order().to_vec();
+    /// let assignment = vec![ProcId(0); dag.node_count()];
+    /// let mut eval = DeltaEvaluator::new(&dag, order, assignment, 2);
+    /// eval.probe_transfer(&dag, order_node(&dag), ProcId(1));
+    /// eval.revert();
+    /// // With `--features trace` the engine counted the probe; in the
+    /// // default build the counters are a zero-sized no-op.
+    /// let probed = eval.stats().counters();
+    /// assert!(probed.is_empty() || probed.iter().any(|&(n, v)| n == "incremental_probes" && v == 1));
+    /// # fn order_node(dag: &fastsched_dag::Dag) -> fastsched_dag::NodeId {
+    /// #     *dag.topo_order().last().unwrap()
+    /// # }
+    /// ```
+    #[inline]
+    pub fn stats(&self) -> &EvalStats {
+        &self.stats
+    }
+
+    /// Return the accumulated counters and reset them to zero, so a
+    /// driver can attribute engine work to its own search run.
+    pub fn take_stats(&mut self) -> EvalStats {
+        std::mem::take(&mut self.stats)
     }
 
     /// Consume the evaluator, returning the committed assignment.
@@ -298,11 +337,15 @@ impl<M: CostModel> DeltaEvaluator<M> {
         if self.slacks_stale {
             self.rebuild_slacks(dag);
         }
+        self.stats.on_probe();
         let from = self.assignment[node.index()];
         if from == to {
             // Trivial probe; commit/revert stay uniform for the driver.
             self.undo.clear();
             let aborted = self.makespan >= cutoff;
+            if aborted {
+                self.stats.on_probe_aborted();
+            }
             self.tentative = Some(Tentative {
                 node,
                 from,
@@ -337,6 +380,7 @@ impl<M: CostModel> DeltaEvaluator<M> {
         let mut running_max = self.prefix_max[k];
         let mut exited_at = None;
         for i in k..v {
+            self.stats.on_node_walked();
             let m = self.order[i];
             let mi = m.index();
             let q = self.assignment[mi];
@@ -349,6 +393,7 @@ impl<M: CostModel> DeltaEvaluator<M> {
                     running_max = self.finish[mi];
                 }
             } else {
+                self.stats.on_node_recomputed();
                 if m_dirty {
                     pending -= 1;
                 }
@@ -432,6 +477,9 @@ impl<M: CostModel> DeltaEvaluator<M> {
                         self.succ_sorted[self.succ_offset[mi]..self.succ_offset[mi + 1]]
                             .sort_unstable();
                         self.seg_epoch[mi] = self.seg_gen;
+                        self.stats.on_slack_miss();
+                    } else {
+                        self.stats.on_slack_hit();
                     }
                     for idx in self.succ_offset[mi]..self.succ_offset[mi + 1] {
                         let (slack, j) = self.succ_sorted[idx];
@@ -468,6 +516,7 @@ impl<M: CostModel> DeltaEvaluator<M> {
             if running_max >= cutoff {
                 // The final makespan can only be >= the running max:
                 // the probe is already doomed, stop evaluating.
+                self.stats.on_probe_aborted();
                 self.tentative = Some(Tentative {
                     node,
                     from,
@@ -486,6 +535,9 @@ impl<M: CostModel> DeltaEvaluator<M> {
             None => running_max,
         };
         let aborted = makespan >= cutoff;
+        if aborted {
+            self.stats.on_probe_aborted();
+        }
         self.tentative = Some(Tentative {
             node,
             from,
@@ -530,6 +582,7 @@ impl<M: CostModel> DeltaEvaluator<M> {
             self.rebuild_max_caches();
             self.slacks_stale = true;
         }
+        self.stats.on_commit();
         self.undo.clear();
     }
 
@@ -544,6 +597,7 @@ impl<M: CostModel> DeltaEvaluator<M> {
             .take()
             .expect("revert without a pending probe");
         self.assignment[t.node.index()] = t.from;
+        self.stats.on_revert();
         for i in (0..self.undo.len()).rev() {
             let (n, s, f) = self.undo[i];
             self.start[n.index()] = s;
@@ -554,6 +608,7 @@ impl<M: CostModel> DeltaEvaluator<M> {
 
     /// Seed start/finish/makespan with one full evaluation.
     fn full_evaluate(&mut self, dag: &Dag) {
+        self.stats.on_full_eval();
         let mut ready = vec![0 as Cost; self.num_procs as usize];
         let mut makespan = 0;
         for &n in &self.order {
@@ -609,6 +664,7 @@ impl<M: CostModel> DeltaEvaluator<M> {
     /// holds by feasibility.
     #[inline]
     fn apply_mark(&mut self, si: usize, a_old: Cost, a_new: Cost, pending: &mut usize) {
+        self.stats.on_edge_mark();
         let succ_start = self.start[si];
         if a_new > succ_start {
             // Increase mark: this arrival alone forces the successor's
@@ -644,6 +700,7 @@ impl<M: CostModel> DeltaEvaluator<M> {
     /// (`finish[u] + msg <= start[s]`), so the subtraction cannot
     /// underflow and every slack is `>= finish[u]`.
     fn rebuild_slacks(&mut self, dag: &Dag) {
+        self.stats.on_slack_rebuild();
         for n in dag.nodes() {
             let ni = n.index();
             let q = self.assignment[ni];

@@ -16,7 +16,10 @@
 //!   all start times) — the reference semantics;
 //! * [`incremental`] — the [`DeltaEvaluator`]: bit-identical to
 //!   [`evaluate`] but re-evaluates only the suffix a node transfer
-//!   actually dirties. FAST's local search probes run through it;
+//!   actually dirties. FAST's local search probes run through it.
+//!   With the `trace` feature it accumulates [`EvalStats`] counters
+//!   (suffix lengths walked, slack-cache hits/misses, …) at zero
+//!   hot-path cost when the feature is off;
 //! * [`gantt`] / [`svg`] — ASCII and SVG Gantt-chart rendering;
 //! * [`io`] — JSON (de)serialization of schedules for the CLI;
 //! * [`analysis`] — bottleneck-chain extraction and idle profiling.
@@ -39,6 +42,7 @@ pub use evaluate::{
     data_arrival_time, evaluate_fixed_order, evaluate_fixed_order_with, evaluate_makespan_into,
     evaluate_makespan_into_with,
 };
+pub use fastsched_trace::EvalStats;
 pub use incremental::DeltaEvaluator;
 pub use metrics::ScheduleMetrics;
 pub use schedule::{ProcId, Schedule, ScheduledTask};

@@ -1,0 +1,132 @@
+//! The no-op side (`capture` feature off): zero-sized mirrors of the
+//! collectors with the identical API, every method an empty
+//! `#[inline]` body. Instrumented code paths compile to exactly the
+//! uninstrumented machine code — no fields, no branches, no time
+//! reads — so downstream crates never need `#[cfg]` around their
+//! hooks. Keep the signatures in lockstep with `collect.rs`.
+
+use crate::event::TraceEvent;
+use crate::report::Report;
+
+/// Default bound of the trajectory ring buffer (entries; unused in
+/// the no-op build).
+pub const DEFAULT_TRAJECTORY_CAPACITY: usize = 8192;
+
+/// No-op stand-in for the evaluation-engine counters (the `capture`
+/// feature is off).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {}
+
+impl EvalStats {
+    /// No-op.
+    #[inline(always)]
+    pub fn on_probe(&mut self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn on_probe_aborted(&mut self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn on_full_eval(&mut self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn on_node_walked(&mut self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn on_node_recomputed(&mut self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn on_edge_mark(&mut self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn on_slack_hit(&mut self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn on_slack_miss(&mut self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn on_slack_rebuild(&mut self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn on_commit(&mut self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn on_revert(&mut self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn merge(&mut self, _other: &EvalStats) {}
+    /// Always empty.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+}
+
+/// No-op stand-in for the per-search collector (the `capture` feature
+/// is off). Records nothing; [`SearchTrace::to_report`] is empty.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchTrace {}
+
+impl SearchTrace {
+    /// A disabled collector.
+    pub fn new() -> Self {
+        SearchTrace {}
+    }
+
+    /// A disabled collector (`cap` is ignored).
+    pub fn with_capacity(_cap: usize) -> Self {
+        SearchTrace {}
+    }
+
+    /// Always `false`: this build records nothing.
+    pub fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// Runs `f` untimed.
+    #[inline(always)]
+    pub fn phase<R>(&mut self, _name: &'static str, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn phase_start(&mut self, _name: &'static str) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn phase_end(&mut self, _name: &'static str) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn set_meta(&mut self, _key: &str, _value: &str) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn probe_attempted(&mut self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn probe_accepted(&mut self, _step: u64, _makespan: u64) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn probe_reverted(&mut self, _step: u64, _makespan: u64) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn step_skipped(&mut self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn absorb_eval(&mut self, _stats: &EvalStats) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn merge(&mut self, _other: &SearchTrace) {}
+
+    /// Always 0.
+    pub fn trajectory_dropped(&self) -> u64 {
+        0
+    }
+
+    /// Always empty.
+    pub fn to_events(&self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// Always empty.
+    pub fn to_report(&self) -> Report {
+        Report::default()
+    }
+}

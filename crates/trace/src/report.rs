@@ -1,0 +1,329 @@
+//! Trace reports: an ordered collection of [`TraceEvent`]s with
+//! NDJSON (de)serialization and a human-readable renderer.
+
+use crate::event::{ParseError, TraceEvent};
+use std::fmt::Write as _;
+
+/// An ordered trace — the unit the NDJSON emitters write and the
+/// `casch trace` report command reads back.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    events: Vec<TraceEvent>,
+}
+
+impl Report {
+    /// A report over an explicit event list.
+    pub fn new(events: Vec<TraceEvent>) -> Self {
+        Report { events }
+    }
+
+    /// The events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Append another report's events (used to concatenate the traces
+    /// of several workloads into one file).
+    pub fn extend(&mut self, other: Report) {
+        self.events.extend(other.events);
+    }
+
+    /// Serialize as NDJSON: one event per line, trailing newline.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_ndjson_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse an NDJSON trace. Blank lines are skipped; any malformed
+    /// line fails the whole parse with its 1-based line number.
+    ///
+    /// ```
+    /// use fastsched_trace::Report;
+    ///
+    /// let text = "\
+    /// {\"type\":\"meta\",\"key\":\"algo\",\"value\":\"FAST\"}
+    /// {\"type\":\"counter\",\"name\":\"probes_accepted\",\"value\":3}
+    /// ";
+    /// let report = Report::from_ndjson(text).unwrap();
+    /// assert_eq!(report.events().len(), 2);
+    /// assert_eq!(report.counter("probes_accepted"), Some(3));
+    /// assert!(Report::from_ndjson("{oops}").is_err());
+    /// ```
+    pub fn from_ndjson(text: &str) -> Result<Self, ParseError> {
+        let mut events = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            events.push(TraceEvent::parse_line(line).map_err(|e| e.at_line(i + 1))?);
+        }
+        Ok(Report { events })
+    }
+
+    /// Sum of all `counter` events with this name (a merged multi-
+    /// workload file may carry several), or `None` if there are none.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        let mut sum = None;
+        for e in &self.events {
+            if let TraceEvent::Counter { name: n, value } = e {
+                if n == name {
+                    *sum.get_or_insert(0) += value;
+                }
+            }
+        }
+        sum
+    }
+
+    /// All `(name, total micros)` phase timings, in first-seen order,
+    /// summing repeats.
+    pub fn phase_totals(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
+        for e in &self.events {
+            if let TraceEvent::Phase { name, micros } = e {
+                match out.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, total)) => *total += micros,
+                    None => out.push((name.clone(), *micros)),
+                }
+            }
+        }
+        out
+    }
+
+    /// All `(name, total)` counters, in first-seen order, summing
+    /// repeats.
+    pub fn counter_totals(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
+        for e in &self.events {
+            if let TraceEvent::Counter { name, value } = e {
+                match out.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, total)) => *total += value,
+                    None => out.push((name.clone(), *value)),
+                }
+            }
+        }
+        out
+    }
+
+    /// The schedule-length trajectory: best-known makespan after each
+    /// recorded step, in recording order.
+    pub fn trajectory(&self) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Step { makespan, .. } => Some(*makespan),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Render the human-readable report: metadata, phase times,
+    /// counters and (when steps were recorded) the trajectory
+    /// sparkline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let metas: Vec<_> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Meta { key, value } => Some((key, value)),
+                _ => None,
+            })
+            .collect();
+        if !metas.is_empty() {
+            writeln!(out, "== trace metadata ==").unwrap();
+            for (k, v) in metas {
+                writeln!(out, "  {k:<24} {v}").unwrap();
+            }
+        }
+        let phases = self.phase_totals();
+        if !phases.is_empty() {
+            let total: u64 = phases.iter().map(|(_, us)| us).sum();
+            writeln!(out, "== phase times ==").unwrap();
+            for (name, us) in &phases {
+                writeln!(
+                    out,
+                    "  {name:<24} {:>12.3} ms  ({:>5.1}%)",
+                    *us as f64 / 1e3,
+                    100.0 * *us as f64 / total.max(1) as f64
+                )
+                .unwrap();
+            }
+        }
+        let counters = self.counter_totals();
+        if !counters.is_empty() {
+            writeln!(out, "== search counters ==").unwrap();
+            for (name, v) in &counters {
+                writeln!(out, "  {name:<24} {v:>12}").unwrap();
+            }
+            let attempted = self.counter("probes_attempted").unwrap_or(0);
+            let accepted = self.counter("probes_accepted").unwrap_or(0);
+            if attempted > 0 {
+                writeln!(
+                    out,
+                    "  {:<24} {:>11.1}%",
+                    "acceptance rate",
+                    100.0 * accepted as f64 / attempted as f64
+                )
+                .unwrap();
+            }
+        }
+        let traj = self.trajectory();
+        if !traj.is_empty() {
+            let first = traj[0];
+            let last = *traj.last().unwrap();
+            let best = *traj.iter().min().unwrap();
+            writeln!(out, "== schedule-length trajectory ==").unwrap();
+            writeln!(
+                out,
+                "  {} steps, {first} -> {last} (best {best}, {:.2}% improvement)",
+                traj.len(),
+                100.0 * (first.saturating_sub(best)) as f64 / first.max(1) as f64
+            )
+            .unwrap();
+            writeln!(out, "  [{}]", sparkline(&traj, 64)).unwrap();
+        }
+        if out.is_empty() {
+            out.push_str("(empty trace)\n");
+        }
+        out
+    }
+}
+
+/// Render `values` as a fixed-width ASCII sparkline: each column is
+/// the mean of its bucket, scaled between the series min and max onto
+/// the glyph ramp `_.:-=+*#%@` (low to high). A constant series is
+/// all-middle; an empty series is an empty string.
+///
+/// ```
+/// use fastsched_trace::sparkline;
+///
+/// assert_eq!(sparkline(&[0, 9], 2), "_@");
+/// assert_eq!(sparkline(&[], 8), "");
+/// let line = sparkline(&[9, 9, 8, 7, 7, 5, 3, 0], 8);
+/// assert_eq!(line.len(), 8);
+/// assert!(line.starts_with('@') && line.ends_with('_'));
+/// ```
+pub fn sparkline(values: &[u64], width: usize) -> String {
+    const RAMP: &[u8] = b"_.:-=+*#%@";
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let lo = *values.iter().min().unwrap();
+    let hi = *values.iter().max().unwrap();
+    let width = width.min(values.len());
+    let mut out = String::with_capacity(width);
+    for col in 0..width {
+        // Even bucketing of the series over `width` columns.
+        let a = col * values.len() / width;
+        let b = ((col + 1) * values.len() / width).max(a + 1);
+        let bucket = &values[a..b];
+        let mean = bucket.iter().sum::<u64>() as f64 / bucket.len() as f64;
+        let level = if hi == lo {
+            RAMP.len() / 2
+        } else {
+            let t = (mean - lo as f64) / (hi - lo) as f64;
+            ((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)
+        };
+        out.push(RAMP[level] as char);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report::new(vec![
+            TraceEvent::meta("algo", "FAST"),
+            TraceEvent::meta("workload", "random v=500"),
+            TraceEvent::Phase {
+                name: "list_construction".into(),
+                micros: 100,
+            },
+            TraceEvent::Phase {
+                name: "local_search".into(),
+                micros: 900,
+            },
+            TraceEvent::Counter {
+                name: "probes_attempted".into(),
+                value: 10,
+            },
+            TraceEvent::Counter {
+                name: "probes_accepted".into(),
+                value: 4,
+            },
+            TraceEvent::Step {
+                step: 0,
+                makespan: 20,
+                accepted: true,
+            },
+            TraceEvent::Step {
+                step: 1,
+                makespan: 18,
+                accepted: true,
+            },
+            TraceEvent::Step {
+                step: 2,
+                makespan: 18,
+                accepted: false,
+            },
+        ])
+    }
+
+    #[test]
+    fn ndjson_round_trip_preserves_event_order_and_content() {
+        let r = sample();
+        let back = Report::from_ndjson(&r.to_ndjson()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn parse_reports_the_failing_line() {
+        let mut text = sample().to_ndjson();
+        text.push_str("BROKEN\n");
+        let err = Report::from_ndjson(&text).unwrap_err();
+        assert_eq!(err.line, Some(10));
+    }
+
+    #[test]
+    fn aggregations_sum_repeats() {
+        let mut r = sample();
+        r.extend(sample());
+        assert_eq!(r.counter("probes_attempted"), Some(20));
+        assert_eq!(r.counter("no_such_counter"), None);
+        assert_eq!(
+            r.phase_totals(),
+            vec![
+                ("list_construction".to_string(), 200),
+                ("local_search".to_string(), 1800)
+            ]
+        );
+        assert_eq!(r.trajectory(), vec![20, 18, 18, 20, 18, 18]);
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let text = sample().render();
+        assert!(text.contains("trace metadata"));
+        assert!(text.contains("phase times"));
+        assert!(text.contains("search counters"));
+        assert!(text.contains("acceptance rate"));
+        assert!(text.contains("trajectory"));
+        assert_eq!(Report::default().render(), "(empty trace)\n");
+    }
+
+    #[test]
+    fn sparkline_is_monotone_for_monotone_series() {
+        let falling: Vec<u64> = (0..100).rev().collect();
+        let line = sparkline(&falling, 32);
+        assert_eq!(line.len(), 32);
+        assert!(line.starts_with('@'));
+        assert!(line.ends_with('_'));
+        assert_eq!(sparkline(&[5, 5, 5], 3), "+++");
+    }
+}
