@@ -125,7 +125,8 @@ impl Fast {
             if used_procs < num_procs {
                 candidates.push(ProcId(used_procs)); // the "new" processor
             }
-            if candidates.is_empty() {
+            let fallback = candidates.is_empty();
+            if fallback {
                 // No parents and no unused processor left: fall back to
                 // the least-loaded used processor.
                 let p = (0..used_procs)
@@ -151,11 +152,20 @@ impl Fast {
                     dat = dat.max(arrival);
                 }
                 let start = dat.max(ready[p.index()]);
+                trace.candidate_probed(n.0, p.0, ready[p.index()], dat, start);
                 if start < best_start {
                     best_start = start;
                     best_p = p;
                 }
             }
+            let reason = if fallback {
+                "fallback-least-loaded"
+            } else if candidates.len() == 1 {
+                "only-candidate"
+            } else {
+                "earliest-start"
+            };
+            trace.node_placed(n.0, best_p.0, best_start, reason);
 
             let end = best_start + dag.weight(n);
             if best_p.0 == used_procs {
@@ -215,6 +225,7 @@ impl Scheduler for Fast {
                 continue;
             }
             trace.probe_attempted();
+            let from = eval.assignment()[node.index()];
             // A move is accepted only when it strictly improves, so
             // `best` doubles as the bounded probe's cutoff: the walk
             // bails out as soon as the makespan provably reaches it.
@@ -224,10 +235,12 @@ impl Scheduler for Fast {
                     max_used = max_used.max(target.0);
                     eval.commit();
                     trace.probe_accepted(step as u64, best);
+                    trace.node_transferred(step as u64, node.0, from.0, target.0, best, true);
                 }
                 None => {
                     eval.revert(); // §4.4 step 8
                     trace.probe_reverted(step as u64, best);
+                    trace.node_transferred(step as u64, node.0, from.0, target.0, best, false);
                 }
             }
         }

@@ -92,6 +92,7 @@ fn run_chain(
             continue;
         }
         trace.probe_attempted();
+        let from = eval.assignment()[node.index()];
         // Strict-improvement acceptance: `best` is the cutoff, doomed
         // probes abort as soon as the walk proves the makespan reaches
         // it.
@@ -101,10 +102,12 @@ fn run_chain(
                 max_used = max_used.max(target.0);
                 eval.commit();
                 trace.probe_accepted(step as u64, best);
+                trace.node_transferred(step as u64, node.0, from.0, target.0, best, true);
             }
             None => {
                 eval.revert();
                 trace.probe_reverted(step as u64, best);
+                trace.node_transferred(step as u64, node.0, from.0, target.0, best, false);
             }
         }
     }

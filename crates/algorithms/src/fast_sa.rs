@@ -104,6 +104,7 @@ impl Scheduler for FastSa {
                 continue;
             }
             trace.probe_attempted();
+            let from = eval.assignment()[node.index()];
             let m = eval.probe_transfer(dag, node, target);
             let accept = if m <= current {
                 true
@@ -122,9 +123,11 @@ impl Scheduler for FastSa {
                 // The SA trajectory records the *current* walk, uphill
                 // moves included — that is the interesting signal.
                 trace.probe_accepted(step as u64, current);
+                trace.node_transferred(step as u64, node.0, from.0, target.0, current, true);
             } else {
                 eval.revert();
                 trace.probe_reverted(step as u64, current);
+                trace.node_transferred(step as u64, node.0, from.0, target.0, m, false);
             }
         }
 

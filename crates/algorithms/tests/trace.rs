@@ -149,6 +149,66 @@ fn eval_stats_are_absorbed() {
     assert_eq!(trace.eval.reverts, trace.probes_reverted);
 }
 
+/// Phase 1 provenance: every node gets exactly one `Placed` event, the
+/// winning processor was among the candidates probed, and each
+/// parent's processor was probed (§4.2's candidate set).
+#[test]
+fn placement_provenance_covers_every_node_and_candidate() {
+    let db = TimingDatabase::paragon();
+    let g = random_layered_dag(&RandomDagConfig::paper(100, &db), 13);
+    let mut trace = SearchTrace::default();
+    Fast::new().schedule_traced(&g, 12, &mut trace);
+    let report = trace.to_report();
+    let placed = report.placed_nodes();
+    assert_eq!(placed.len(), g.node_count());
+    for n in g.nodes() {
+        let placements = report.placements_of(u64::from(n.0));
+        assert_eq!(placements.len(), 1, "node {n:?} placed once");
+        let p = &placements[0];
+        assert!(!p.candidates.is_empty(), "node {n:?} probed no candidates");
+        assert!(
+            p.candidates.iter().any(|c| c.proc == p.proc),
+            "winner not among probed candidates"
+        );
+        // Each candidate reports start = max(ready, dat).
+        for c in &p.candidates {
+            assert_eq!(c.start, c.ready.max(c.dat));
+        }
+        assert!(
+            ["earliest-start", "only-candidate", "fallback-least-loaded"]
+                .contains(&p.reason.as_str()),
+            "unknown reason {}",
+            p.reason
+        );
+    }
+}
+
+/// Phase 2 provenance: one transfer record per probe, and the accepted
+/// flags agree with the probe counters.
+#[test]
+fn transfer_records_match_probe_counters() {
+    let db = TimingDatabase::paragon();
+    let g = random_layered_dag(&RandomDagConfig::paper(120, &db), 17);
+    let mut trace = SearchTrace::default();
+    Fast::with_config(FastConfig {
+        max_steps: 256,
+        ..Default::default()
+    })
+    .schedule_traced(&g, 16, &mut trace);
+    let report = trace.to_report();
+    let transfers: Vec<_> = report
+        .placed_nodes()
+        .iter()
+        .flat_map(|&n| report.transfers_of(n))
+        .collect();
+    assert_eq!(transfers.len() as u64, trace.probes_attempted);
+    let accepted = transfers.iter().filter(|t| t.accepted).count() as u64;
+    assert_eq!(accepted, trace.probes_accepted);
+    for t in &transfers {
+        assert_ne!(t.from, t.to, "same-processor moves are skipped");
+    }
+}
+
 /// Parallel FAST merges per-chain counters deterministically: two runs
 /// with the same seed produce bit-identical aggregated counters.
 #[cfg(feature = "parallel")]

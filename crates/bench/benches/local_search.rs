@@ -10,15 +10,16 @@
 //! root.
 //!
 //! The file's `trace_ab` section is the observability-overhead A/B:
-//! the instrumented driver loop is timed in whichever mode this
-//! binary was compiled in (`cargo bench` → `trace_off`,
-//! `cargo bench --features trace` → `trace_on`); the other mode's
-//! numbers are carried over from the previous run, and when both are
-//! present `capture_overhead_percent` compares them (the budget is
-//! ≤ 2% — in practice the delta sits inside run-to-run noise).
+//! the instrumented driver loop plus end-to-end FAST and FAST-SA runs
+//! are timed in whichever mode this binary was compiled in
+//! (`cargo bench` → `trace_off`, `cargo bench --features trace` →
+//! `trace_on`); the other mode's numbers are carried over from the
+//! previous run, and when both sides are present each section gains a
+//! `capture_overhead_percent` comparing them (the budget is ≤ 2% — in
+//! practice the delta sits inside run-to-run noise).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fastsched::algorithms::{Fast, FastConfig};
+use fastsched::algorithms::{Fast, FastConfig, FastSa, FastSaConfig};
 use fastsched::prelude::*;
 use fastsched::schedule::evaluate::evaluate_makespan_into;
 use fastsched::schedule::DeltaEvaluator;
@@ -176,16 +177,89 @@ fn climb_traced(
     best
 }
 
-/// Extract the `"<key>": { ... }` object line from a previous
-/// `BENCH_eval.json` so the other build mode's measurement survives a
-/// re-run (each `cargo bench` invocation can only measure the mode it
-/// was compiled in).
-fn extract_mode(old: &str, key: &str) -> Option<String> {
+/// The brace-matched body of a named `"<name>": { ... }` object inside
+/// a previous `BENCH_eval.json`, so [`extract_mode`] can be scoped to
+/// one A/B section (`driver` / `fast` / `fast_sa`) without picking up
+/// a sibling's `trace_on` line.
+fn section_body<'a>(old: &'a str, name: &str) -> Option<&'a str> {
+    let needle = format!("\"{name}\": {{");
+    let start = old.find(&needle)? + needle.len();
+    let mut depth = 1usize;
+    for (i, b) in old[start..].bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&old[start..start + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extract the `"<key>": { ... }` flat object line from a section body
+/// so the other build mode's measurement survives a re-run (each
+/// `cargo bench` invocation can only measure the mode it was compiled
+/// in).
+fn extract_mode(body: &str, key: &str) -> Option<String> {
     let needle = format!("\"{key}\": {{");
-    let start = old.find(&needle)?;
-    let rest = &old[start + needle.len()..];
+    let start = body.find(&needle)?;
+    let rest = &body[start + needle.len()..];
     let end = rest.find('}')?;
     Some(rest[..end].trim().to_string())
+}
+
+/// Render one `trace_ab` sub-section: this build mode's measurement,
+/// the other mode's line carried over from `old` (if a previous run
+/// recorded it), and — once both sides exist — the relative overhead
+/// of capture (`(off − on) / off`, in percent of the off-throughput).
+fn ab_section(old: &str, name: &str, this_mode: &str, secs: f64, per_sec: f64) -> String {
+    let other_mode = if this_mode == "trace_off" {
+        "trace_on"
+    } else {
+        "trace_off"
+    };
+    let this_line = format!("\"seconds\": {secs:.6}, \"per_sec\": {per_sec:.3}");
+    let other_line = section_body(old, name).and_then(|b| extract_mode(b, other_mode));
+    let per_sec_of = |line: &str| {
+        line.rsplit(':')
+            .next()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+    };
+    let mut overhead = String::new();
+    if let Some(other_tp) = other_line.as_deref().and_then(per_sec_of) {
+        let (off, on) = if this_mode == "trace_off" {
+            (per_sec, other_tp)
+        } else {
+            (other_tp, per_sec)
+        };
+        overhead = format!(
+            ",\n      \"capture_overhead_percent\": {:.2}",
+            100.0 * (off - on) / off
+        );
+    }
+    let other_json = other_line
+        .map(|l| format!(",\n      \"{other_mode}\": {{ {l} }}"))
+        .unwrap_or_default();
+    format!(
+        "\"{name}\": {{\n      \"{this_mode}\": {{ {this_line} }}{other_json}{overhead}\n    }}"
+    )
+}
+
+/// Wall-clock minimum over `runs` invocations — machine-load noise
+/// only ever inflates a timing, so the minimum is the noise-robust
+/// estimate for an A/B whose two sides run minutes apart.
+fn min_of<F: FnMut()>(runs: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
 }
 
 fn bench_incremental_vs_full(c: &mut Criterion) {
@@ -259,13 +333,14 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
         "engines must walk the same trajectory"
     );
 
-    // The trace-overhead A/B: the same instrumented driver loop is
-    // timed in whichever mode this binary was compiled in; the other
-    // mode's numbers are carried over from the previous run so after
-    // `cargo bench` + `cargo bench --features trace` the file holds
-    // both sides.
+    // The trace-overhead A/B: the instrumented driver loop plus the
+    // end-to-end schedulers are timed in whichever mode this binary
+    // was compiled in; the other mode's numbers are carried over from
+    // the previous run so after `cargo bench` + `cargo bench
+    // --features trace` the file holds both sides. Each measurement
+    // is the minimum over several runs — machine-load noise only ever
+    // inflates a timing, so the minimum is the noise-robust estimate.
     let mut mode_trace = SearchTrace::default();
-    let t0 = Instant::now();
     let traced_best = climb_traced(
         &dag,
         &order,
@@ -276,46 +351,64 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
         seed,
         &mut mode_trace,
     );
-    let traced_secs = t0.elapsed().as_secs_f64();
     assert_eq!(traced_best, incr_best, "instrumentation changed the search");
+    let traced_secs = min_of(5, || {
+        let mut t = SearchTrace::default();
+        criterion::black_box(climb_traced(
+            &dag,
+            &order,
+            assignment.clone(),
+            &blocking,
+            num_procs,
+            steps,
+            seed,
+            &mut t,
+        ));
+    });
+
+    // End-to-end schedulers with the forensics hooks attached —
+    // phase 1's candidate/placement provenance and phase 2's transfer
+    // records. The search budget is raised to 8192 steps so the hook
+    // sites dominate the measured time instead of the one-off list
+    // construction.
+    let fast_sched = Fast::with_config(FastConfig {
+        max_steps: steps,
+        ..Default::default()
+    });
+    let fast_secs = min_of(5, || {
+        let mut t = SearchTrace::default();
+        criterion::black_box(fast_sched.schedule_traced(&dag, num_procs, &mut t));
+    });
+
+    let sa_sched = FastSa::with_config(FastSaConfig {
+        steps,
+        ..Default::default()
+    });
+    let sa_secs = min_of(3, || {
+        let mut t = SearchTrace::default();
+        criterion::black_box(sa_sched.schedule_traced(&dag, num_procs, &mut t));
+    });
 
     let full_tp = steps as f64 / full_secs;
     let incr_tp = steps as f64 / incr_secs;
     let traced_tp = steps as f64 / traced_secs;
-    let (this_mode, other_mode) = if mode_trace.is_enabled() {
-        ("trace_on", "trace_off")
+    let this_mode = if mode_trace.is_enabled() {
+        "trace_on"
     } else {
-        ("trace_off", "trace_on")
+        "trace_off"
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
     let old = std::fs::read_to_string(path).unwrap_or_default();
-    let this_line = format!("\"seconds\": {traced_secs:.6}, \"probes_per_sec\": {traced_tp:.1}");
-    let other_line = extract_mode(&old, other_mode);
-    let mut overhead = String::new();
-    if let Some(other) = &other_line {
-        // probes_per_sec of the *off* mode is the baseline.
-        let tp_of = |line: &str| {
-            line.rsplit(':')
-                .next()
-                .and_then(|v| v.trim().parse::<f64>().ok())
-        };
-        let (off_tp, on_tp) = if this_mode == "trace_off" {
-            (Some(traced_tp), tp_of(other))
-        } else {
-            (tp_of(other), Some(traced_tp))
-        };
-        if let (Some(off), Some(on)) = (off_tp, on_tp) {
-            overhead = format!(
-                ",\n    \"capture_overhead_percent\": {:.2}",
-                100.0 * (off - on) / off
-            );
-        }
-    }
-    let other_json = other_line
-        .map(|l| format!(",\n    \"{other_mode}\": {{ {l} }}"))
-        .unwrap_or_default();
+    // `per_sec` is probes/s for the driver loop and full schedule
+    // runs/s for the end-to-end entries.
+    let sections = [
+        ab_section(&old, "driver", this_mode, traced_secs, traced_tp),
+        ab_section(&old, "fast", this_mode, fast_secs, 1.0 / fast_secs),
+        ab_section(&old, "fast_sa", this_mode, sa_secs, 1.0 / sa_secs),
+    ]
+    .join(",\n    ");
     let json = format!(
-        "{{\n  \"dag_nodes\": {},\n  \"dag_edges\": {},\n  \"num_procs\": {},\n  \"probes\": {},\n  \"final_makespan\": {},\n  \"full_replay\": {{ \"seconds\": {:.6}, \"probes_per_sec\": {:.1} }},\n  \"incremental\": {{ \"seconds\": {:.6}, \"probes_per_sec\": {:.1} }},\n  \"speedup\": {:.2},\n  \"trace_ab\": {{\n    \"{this_mode}\": {{ {this_line} }}{other_json}{overhead}\n  }}\n}}\n",
+        "{{\n  \"dag_nodes\": {},\n  \"dag_edges\": {},\n  \"num_procs\": {},\n  \"probes\": {},\n  \"final_makespan\": {},\n  \"full_replay\": {{ \"seconds\": {:.6}, \"probes_per_sec\": {:.1} }},\n  \"incremental\": {{ \"seconds\": {:.6}, \"probes_per_sec\": {:.1} }},\n  \"speedup\": {:.2},\n  \"trace_ab\": {{\n    {sections}\n  }}\n}}\n",
         dag.node_count(),
         dag.edge_count(),
         num_procs,
@@ -330,7 +423,8 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
     std::fs::write(path, &json).expect("write BENCH_eval.json");
     println!(
         "probe throughput: full {full_tp:.0}/s, incremental {incr_tp:.0}/s ({:.2}x), \
-         {this_mode} driver {traced_tp:.0}/s -> {path}",
+         {this_mode} driver {traced_tp:.0}/s, fast {fast_secs:.3}s, \
+         fast_sa {sa_secs:.3}s -> {path}",
         incr_tp / full_tp
     );
 }

@@ -42,6 +42,8 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&opts),
         "compare" => cmd_compare(&opts),
         "trace" => cmd_trace(&opts),
+        "explain" => cmd_explain(&opts),
+        "diff" => cmd_diff(&opts),
         _ => Err(format!("unknown command `{cmd}`")),
     };
     match result {
@@ -60,18 +62,36 @@ USAGE:
   casch generate --app <gauss|laplace|fft|random|random-sparse|cholesky|systolic> --size <n> [--seed <s>] [--out <file>]
   casch info     --dag <file.json>
   casch dot      --dag <file.json>
-  casch schedule --dag <file.json> --algo <name> [--procs <p>] [--gantt]
-                 [--svg <out.svg>] [--out-schedule <out.json>] [--trace <out.ndjson>]
+  casch schedule --dag <file.json> --algo <name> [--procs <p>]
+                 [--gantt] [--gantt-width <cols>] [--svg <out.svg>]
+                 [--out-schedule <out.json>] [--trace <out.ndjson>]
+                 [--perfetto <out.json>]
   casch simulate --dag <file.json> --schedule <sched.json>
                  [--topology <mesh|torus|hypercube|full>] [--hop <us>]
-                 [--send-overhead <us>] [--recv-overhead <us>] [--trace <out.json>]
+                 [--send-overhead <us>] [--recv-overhead <us>]
+                 [--trace <out.json>] [--out-report <out.json>]
+                 [--perfetto <out.json>]
   casch compare  (--dag <file.json> | --app <name> --size <n>) [--procs <p>] [--seed <s>] [--all]
   casch trace    --in <trace.ndjson>
+  casch explain  (--in <trace.ndjson> | --dag <file.json> --algo <name> [--procs <p>])
+                 [--node <id>]
+  casch diff     --a <file> --b <file> [--dag <file.json>]
 
 `casch schedule --trace` records the search (phase timers, probe
-counters, schedule-length trajectory) as NDJSON; build with
-`--features trace` or the file only carries metadata. `casch trace`
-renders such a file as a human-readable report.
+counters, placement provenance, schedule-length trajectory) as NDJSON;
+build with `--features trace` or the file only carries metadata.
+`casch trace` renders such a file as a human-readable report and
+`casch explain --node <id>` answers \"why is this node where it is?\"
+from the same provenance (candidate processors probed, their
+ready/data-arrival/start times, the winning reason, and every
+local-search transfer that touched the node).
+
+`--perfetto` writes a Chrome-trace-event JSON timeline — per-processor
+tracks, message flow arrows, and (from `casch simulate`, which records
+an event log for it) per-link occupancy counters — loadable at
+https://ui.perfetto.dev. `casch diff` compares two schedule JSON files
+(needs --dag for node names) or two simulator reports saved with
+`--out-report`, and localizes where they diverge.
 
 ALGORITHMS: fast, dsc, md, etf, dls, hlfet, mcp, heft, dcp, ish, ez, lc,
             cpop, dsc-llb, fast-ms, fast-sa, bnb (exhaustive, tiny graphs)";
@@ -214,7 +234,17 @@ fn cmd_schedule(opts: &Flags) -> Result<(), String> {
     println!("contention delay: {}", report.execution.contention_delay);
     println!("scheduling time:  {:?}", report.scheduling_time);
     if opts.contains_key("gantt") {
-        println!("\n{}", gantt::render_bars(&dag, &report.schedule, 72));
+        // Clamp to keep the time axis legible: below ~20 columns every
+        // bar rounds to nothing, above 512 lines wrap everywhere.
+        let width = get_u64_or(opts, "gantt-width", 72)?.clamp(20, 512) as usize;
+        println!("\n{}", gantt::render_bars(&dag, &report.schedule, width));
+    } else if opts.contains_key("gantt-width") {
+        return Err("--gantt-width only makes sense together with --gantt".to_string());
+    }
+    if let Some(path) = opts.get("perfetto") {
+        let json = fastsched_schedule::export::chrome_trace(&dag, &report.schedule);
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote Perfetto timeline to {path} (open at https://ui.perfetto.dev)");
     }
     if let Some(path) = opts.get("svg") {
         let svg = fastsched_schedule::svg::render_svg(
@@ -258,6 +288,110 @@ fn cmd_trace(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_explain(opts: &Flags) -> Result<(), String> {
+    let report = if let Some(path) = opts.get("in") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        fastsched_trace::Report::from_ndjson(&text).map_err(|e| e.to_string())?
+    } else {
+        let dag = load_dag(opts)?;
+        let algo = scheduler_by_name(opts.get("algo").ok_or("missing --in or --dag/--algo")?)?;
+        let procs = get_u64_or(opts, "procs", dag.node_count() as u64)? as u32;
+        let mut trace = fastsched_trace::SearchTrace::default();
+        if !trace.is_enabled() {
+            eprintln!(
+                "warning: built without the `trace` feature; no placement \
+                 provenance is recorded (rebuild with --features trace)"
+            );
+        }
+        algo.schedule_traced(&dag, procs, &mut trace);
+        trace.to_report()
+    };
+
+    let Some(node) = opts.get("node") else {
+        let placed = report.placed_nodes();
+        println!(
+            "trace holds placement provenance for {} node(s)",
+            placed.len()
+        );
+        if !placed.is_empty() {
+            println!("query one with: casch explain ... --node <id>");
+        }
+        return Ok(());
+    };
+    let node: u64 = node.parse().map_err(|_| "--node must be a number")?;
+
+    let placements = report.placements_of(node);
+    let transfers = report.transfers_of(node);
+    if placements.is_empty() && transfers.is_empty() {
+        return Err(format!(
+            "no provenance for node {node} in this trace (wrong id, \
+             or the trace was recorded without --features trace)"
+        ));
+    }
+    for p in &placements {
+        println!(
+            "node {node} placed on P{} at t={} ({})",
+            p.proc, p.start, p.reason
+        );
+        println!("  candidates probed:");
+        for c in &p.candidates {
+            println!(
+                "    P{:<4} ready={:<8} dat={:<8} start={}{}",
+                c.proc,
+                c.ready,
+                c.dat,
+                c.start,
+                if c.proc == p.proc { "  <- chosen" } else { "" }
+            );
+        }
+    }
+    if transfers.is_empty() {
+        println!("no local-search transfers probed this node");
+    } else {
+        println!("local-search transfers:");
+        for t in &transfers {
+            println!(
+                "  step {:<6} P{} -> P{}  makespan {}  {}",
+                t.step,
+                t.from,
+                t.to,
+                t.makespan,
+                if t.accepted { "accepted" } else { "rejected" }
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_diff(opts: &Flags) -> Result<(), String> {
+    let path_a = opts.get("a").ok_or("missing --a")?;
+    let path_b = opts.get("b").ok_or("missing --b")?;
+    let text_a = std::fs::read_to_string(path_a).map_err(|e| format!("reading {path_a}: {e}"))?;
+    let text_b = std::fs::read_to_string(path_b).map_err(|e| format!("reading {path_b}: {e}"))?;
+    // Sniff the payload kind: execution reports carry a measured
+    // `execution_time`, schedule files a `tasks` table.
+    let is_report = |t: &str| t.contains("\"execution_time\"");
+    if is_report(&text_a) != is_report(&text_b) {
+        return Err("cannot diff a schedule against an execution report".to_string());
+    }
+    if is_report(&text_a) {
+        let a: fastsched_sim::ExecutionReport =
+            serde_json::from_str(&text_a).map_err(|e| format!("{path_a}: {e}"))?;
+        let b: fastsched_sim::ExecutionReport =
+            serde_json::from_str(&text_b).map_err(|e| format!("{path_b}: {e}"))?;
+        print!("{}", a.diff(&b)?.render());
+    } else {
+        let dag = load_dag(opts).map_err(|e| format!("{e} (schedule diffs need --dag)"))?;
+        let a = fastsched_schedule::io::from_json(&text_a, dag.node_count())
+            .map_err(|e| format!("{path_a}: {e}"))?;
+        let b = fastsched_schedule::io::from_json(&text_b, dag.node_count())
+            .map_err(|e| format!("{path_b}: {e}"))?;
+        let d = fastsched_schedule::diff_schedules(&a, &b)?;
+        print!("{}", d.render(&dag));
+    }
+    Ok(())
+}
+
 fn cmd_simulate(opts: &Flags) -> Result<(), String> {
     use fastsched_sim::topology::Topology;
     let dag = load_dag(opts)?;
@@ -290,7 +424,9 @@ fn cmd_simulate(opts: &Flags) -> Result<(), String> {
         hop_latency_us: get_u64_or(opts, "hop", 2)?,
         send_overhead_us: get_u64_or(opts, "send-overhead", 0)?,
         recv_overhead_us: get_u64_or(opts, "recv-overhead", 0)?,
-        trace: opts.contains_key("trace"),
+        // The Perfetto exporter renders the event log, so --perfetto
+        // implies recording one.
+        trace: opts.contains_key("trace") || opts.contains_key("perfetto"),
         ..SimConfig::default()
     };
     let report = fastsched_sim::simulate(&dag, &schedule, &config);
@@ -298,6 +434,16 @@ fn cmd_simulate(opts: &Flags) -> Result<(), String> {
         let json = serde_json::to_string_pretty(&report.trace).map_err(|e| e.to_string())?;
         std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {} events to {path}", report.trace.len());
+    }
+    if let Some(path) = opts.get("perfetto") {
+        let json = fastsched_sim::export::chrome_trace(&dag, &report);
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote Perfetto timeline to {path} (open at https://ui.perfetto.dev)");
+    }
+    if let Some(path) = opts.get("out-report") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote execution report to {path}");
     }
     println!("predicted makespan: {}", report.predicted_makespan);
     println!("measured execution: {}", report.execution_time);

@@ -201,3 +201,474 @@ fn generate_rejects_unknown_app() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown app"));
 }
+
+#[test]
+fn gantt_width_flag_is_clamped_and_requires_gantt() {
+    let dir = std::env::temp_dir().join(format!("casch-gw-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dag_path = dir.join("g.json");
+    casch()
+        .args(["generate", "--app", "gauss", "--size", "4", "--out"])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+
+    let chart = |width: &str| {
+        let out = casch()
+            .args([
+                "schedule",
+                "--algo",
+                "fast",
+                "--procs",
+                "8",
+                "--gantt",
+                "--gantt-width",
+                width,
+                "--dag",
+            ])
+            .arg(&dag_path)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "width {width}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let narrow = chart("30");
+    let wide = chart("120");
+    assert!(narrow.contains("PE0") && wide.contains("PE0"));
+    // Only the chart's bar lines (PE-prefixed): the header includes a
+    // wall-clock scheduling-time line whose printed length varies.
+    let widest_line = |s: &str| {
+        s.lines()
+            .filter(|l| l.starts_with("PE"))
+            .map(str::len)
+            .max()
+            .unwrap_or(0)
+    };
+    assert!(
+        widest_line(&wide) > widest_line(&narrow),
+        "wider chart must produce longer lines"
+    );
+    // Out-of-range widths are clamped, not rejected.
+    let tiny = chart("1");
+    assert_eq!(widest_line(&tiny), widest_line(&chart("20")));
+
+    // --gantt-width alone is a user error.
+    let out = casch()
+        .args([
+            "schedule",
+            "--algo",
+            "fast",
+            "--gantt-width",
+            "100",
+            "--dag",
+        ])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--gantt"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance bar for the Perfetto exporter: a simulator run on a
+/// 16-processor random DAG must produce a JSON document that parses,
+/// whose slices are monotone and non-overlapping per track, and whose
+/// flow arrows pair up start/finish with consistent timestamps.
+#[test]
+fn perfetto_export_from_simulator_round_trips() {
+    use serde::Value;
+
+    let dir = std::env::temp_dir().join(format!("casch-pf-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dag_path = dir.join("rand.json");
+    let sched_path = dir.join("sched.json");
+    let trace_path = dir.join("sim.perfetto.json");
+
+    casch()
+        .args([
+            "generate", "--app", "random", "--size", "80", "--seed", "7", "--out",
+        ])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+    let out = casch()
+        .args(["schedule", "--algo", "fast", "--procs", "16", "--dag"])
+        .arg(&dag_path)
+        .args(["--out-schedule"])
+        .arg(&sched_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = casch()
+        .args(["simulate", "--dag"])
+        .arg(&dag_path)
+        .args(["--schedule"])
+        .arg(&sched_path)
+        .args(["--perfetto"])
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Round-trip: the document must parse as JSON.
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let doc: Value = serde_json::from_str(&text).expect("perfetto output must be valid JSON");
+    let Value::Object(fields) = &doc else {
+        panic!("top level must be an object")
+    };
+    let events = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .expect("traceEvents array");
+    let Value::Array(events) = events else {
+        panic!("traceEvents must be an array")
+    };
+    assert!(!events.is_empty());
+
+    let str_of = |e: &Value, key: &str| -> Option<String> {
+        let Value::Object(pairs) = e else { return None };
+        pairs.iter().find(|(k, _)| k == key).and_then(|(_, v)| {
+            if let Value::String(s) = v {
+                Some(s.clone())
+            } else {
+                None
+            }
+        })
+    };
+    let num_of = |e: &Value, key: &str| -> Option<u64> {
+        let Value::Object(pairs) = e else { return None };
+        pairs.iter().find(|(k, _)| k == key).and_then(|(_, v)| {
+            if let Value::UInt(x) = v {
+                Some(*x)
+            } else {
+                None
+            }
+        })
+    };
+
+    // Per-track slices must be monotone and non-overlapping.
+    let mut tracks: std::collections::HashMap<(u64, u64), Vec<(u64, u64)>> =
+        std::collections::HashMap::new();
+    let mut slices = 0usize;
+    for e in events {
+        if str_of(e, "ph").as_deref() == Some("X") {
+            slices += 1;
+            let key = (num_of(e, "pid").unwrap(), num_of(e, "tid").unwrap());
+            tracks
+                .entry(key)
+                .or_default()
+                .push((num_of(e, "ts").unwrap(), num_of(e, "dur").unwrap()));
+        }
+    }
+    assert!(slices >= 80, "one slice per task, {slices} found");
+    for ((pid, tid), mut spans) in tracks {
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            assert!(
+                w[0].0 + w[0].1 <= w[1].0,
+                "overlapping slices on track ({pid},{tid}): {w:?}"
+            );
+        }
+    }
+
+    // Flow events must pair up: each id has exactly one start and one
+    // finish, and the finish never precedes the start.
+    let mut flows: std::collections::HashMap<u64, (Vec<u64>, Vec<u64>)> =
+        std::collections::HashMap::new();
+    for e in events {
+        match str_of(e, "ph").as_deref() {
+            Some("s") => flows
+                .entry(num_of(e, "id").unwrap())
+                .or_default()
+                .0
+                .push(num_of(e, "ts").unwrap()),
+            Some("f") => flows
+                .entry(num_of(e, "id").unwrap())
+                .or_default()
+                .1
+                .push(num_of(e, "ts").unwrap()),
+            _ => {}
+        }
+    }
+    assert!(!flows.is_empty(), "a 16-processor run must send messages");
+    for (id, (starts, finishes)) in flows {
+        assert_eq!(starts.len(), 1, "flow {id} must start exactly once");
+        assert_eq!(finishes.len(), 1, "flow {id} must finish exactly once");
+        assert!(
+            starts[0] <= finishes[0],
+            "flow {id} finishes before it starts"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn schedule_perfetto_export_is_valid_json() {
+    use serde::Value;
+    let dir = std::env::temp_dir().join(format!("casch-spf-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dag_path = dir.join("g.json");
+    let trace_path = dir.join("sched.perfetto.json");
+    casch()
+        .args(["generate", "--app", "fft", "--size", "16", "--out"])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+    let out = casch()
+        .args(["schedule", "--algo", "fast", "--procs", "8", "--dag"])
+        .arg(&dag_path)
+        .args(["--perfetto"])
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let doc: Value = serde_json::from_str(&text).expect("valid JSON");
+    assert!(matches!(doc, Value::Object(_)));
+    assert!(text.contains("\"ph\":\"X\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn diff_localizes_schedule_and_report_divergence() {
+    let dir = std::env::temp_dir().join(format!("casch-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dag_path = dir.join("g.json");
+    casch()
+        .args(["generate", "--app", "gauss", "--size", "5", "--out"])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+    let sched = |algo: &str, out_path: &std::path::Path| {
+        let out = casch()
+            .args(["schedule", "--algo", algo, "--procs", "8", "--dag"])
+            .arg(&dag_path)
+            .args(["--out-schedule"])
+            .arg(out_path)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    let a = dir.join("fast.json");
+    let b = dir.join("heft.json");
+    sched("fast", &a);
+    sched("heft", &b);
+
+    // Two different algorithms: the diff localizes the divergence.
+    let out = casch()
+        .args(["diff", "--a"])
+        .arg(&a)
+        .args(["--b"])
+        .arg(&b)
+        .args(["--dag"])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("makespan:"), "{text}");
+
+    // A schedule against itself is identical.
+    let out = casch()
+        .args(["diff", "--a"])
+        .arg(&a)
+        .args(["--b"])
+        .arg(&a)
+        .args(["--dag"])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("identical"));
+
+    // Execution reports diff too, without needing --dag.
+    let report = |hop: &str, out_path: &std::path::Path| {
+        let out = casch()
+            .args(["simulate", "--dag"])
+            .arg(&dag_path)
+            .args(["--schedule"])
+            .arg(&a)
+            .args(["--hop", hop, "--out-report"])
+            .arg(out_path)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    let ra = dir.join("ra.json");
+    let rb = dir.join("rb.json");
+    report("0", &ra);
+    report("40", &rb);
+    let out = casch()
+        .args(["diff", "--a"])
+        .arg(&ra)
+        .args(["--b"])
+        .arg(&rb)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("execution time:"));
+
+    // Mixing payload kinds is rejected.
+    let out = casch()
+        .args(["diff", "--a"])
+        .arg(&a)
+        .args(["--b"])
+        .arg(&ra)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// With capture compiled in, `casch explain` must answer from the
+/// recorded provenance: every candidate processor probed, the chosen
+/// one, and the local-search transfers.
+#[cfg(feature = "trace")]
+#[test]
+fn explain_reports_candidates_and_transfers() {
+    let dir = std::env::temp_dir().join(format!("casch-ex-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dag_path = dir.join("g.json");
+    casch()
+        .args(["generate", "--app", "gauss", "--size", "5", "--out"])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+
+    // Re-run mode: schedule inline and explain one node.
+    let out = casch()
+        .args([
+            "explain", "--algo", "fast", "--procs", "8", "--node", "0", "--dag",
+        ])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("placed on"), "{text}");
+    assert!(text.contains("candidates probed:"), "{text}");
+    assert!(text.contains("<- chosen"), "{text}");
+
+    // File mode: explain from a saved NDJSON trace.
+    let trace_path = dir.join("trace.ndjson");
+    let out = casch()
+        .args(["schedule", "--algo", "fast", "--procs", "8", "--dag"])
+        .arg(&dag_path)
+        .args(["--trace"])
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = casch()
+        .args(["explain", "--node", "3", "--in"])
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("node 3 placed on"));
+
+    // Without --node, summarize what the trace can explain.
+    let out = casch()
+        .args(["explain", "--in"])
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("placement provenance for"), "{text}");
+    assert!(!text.contains("for 0 node(s)"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Without capture, `casch explain` degrades gracefully: a warning on
+/// re-run, a clear error when a node is queried.
+#[cfg(not(feature = "trace"))]
+#[test]
+fn explain_degrades_gracefully_without_capture() {
+    let dir = std::env::temp_dir().join(format!("casch-exoff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dag_path = dir.join("g.json");
+    casch()
+        .args(["generate", "--app", "gauss", "--size", "4", "--out"])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+    let out = casch()
+        .args(["explain", "--algo", "fast", "--dag"])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    if !String::from_utf8_lossy(&out.stdout).contains("for 0 node(s)") {
+        // A workspace-wide build can unify `fastsched-trace/capture`
+        // into the binary (the trace crate's own tests default it on)
+        // even though this test crate's `trace` feature is off; the
+        // capture-off premise is then void, so there is nothing to
+        // check here — the capture-on path is covered by the
+        // `trace`-gated tests above.
+        eprintln!("capture unified on by the workspace build; skipping");
+        std::fs::remove_dir_all(&dir).ok();
+        return;
+    }
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("without the `trace` feature"),
+        "bin={} stdout={:?} stderr={:?}",
+        env!("CARGO_BIN_EXE_casch"),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = casch()
+        .args(["explain", "--node", "0", "--algo", "fast", "--dag"])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no provenance"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -8,6 +8,19 @@
 //! FAST's blocking-node transfers) must break to improve the schedule.
 //! [`idle_profile`] reports how each processor's time splits between
 //! busy and idle.
+//!
+//! The forensics layer builds on the chain:
+//!
+//! * [`critical_path`] turns it into a gap-free sequence of
+//!   compute/message/idle *segments* covering `[0, makespan]`, so the
+//!   makespan is exactly attributed to work, wire time and waiting;
+//! * [`slack_profile`] runs the backward (ALAP-style) pass over the
+//!   schedule's own constraint graph — DAG edges plus same-processor
+//!   ordering — giving each node the amount its finish could slip
+//!   without stretching the makespan ([`slack_histogram`] bucketizes
+//!   it; critical nodes are exactly the zero-slack ones);
+//! * [`comm_breakdown`] splits each processor's idle time into
+//!   waiting-for-messages and plain idle.
 
 use crate::schedule::{ProcId, Schedule};
 use fastsched_dag::{Cost, Dag, NodeId};
@@ -96,6 +109,289 @@ pub fn bottleneck_chain(dag: &Dag, schedule: &Schedule) -> Vec<ChainLink> {
     }
     chain.reverse();
     chain
+}
+
+/// One segment of the attributed critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathSegment {
+    /// A task executing on its processor.
+    Compute {
+        /// The task.
+        node: NodeId,
+        /// Where it ran.
+        proc: ProcId,
+        /// Start time.
+        start: Cost,
+        /// Finish time.
+        finish: Cost,
+    },
+    /// A message in flight between two tasks on different processors.
+    Message {
+        /// Producing task.
+        from: NodeId,
+        /// Consuming task.
+        to: NodeId,
+        /// Sender processor.
+        from_proc: ProcId,
+        /// Receiver processor.
+        to_proc: ProcId,
+        /// When the message left (the producer's finish time).
+        depart: Cost,
+        /// When it arrived (the consumer's start time — on the chain
+        /// the arrival is binding).
+        arrive: Cost,
+    },
+    /// Time on the chain covered by neither compute nor a message
+    /// (e.g. a chain head that starts after time zero).
+    Idle {
+        /// The processor that sat waiting.
+        proc: ProcId,
+        /// Wait start.
+        start: Cost,
+        /// Wait end.
+        finish: Cost,
+    },
+}
+
+impl PathSegment {
+    /// The segment's extent in time.
+    pub fn duration(&self) -> Cost {
+        match *self {
+            PathSegment::Compute { start, finish, .. }
+            | PathSegment::Idle { start, finish, .. } => finish - start,
+            PathSegment::Message { depart, arrive, .. } => arrive - depart,
+        }
+    }
+}
+
+/// The makespan-bounding chain of a schedule, attributed segment by
+/// segment (see [`critical_path`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Contiguous segments from time 0 to the makespan.
+    pub segments: Vec<PathSegment>,
+    /// Total time the chain spent computing.
+    pub compute: Cost,
+    /// Total time the chain spent on the wire.
+    pub comm: Cost,
+    /// Total unattributed wait time on the chain.
+    pub idle: Cost,
+    /// The schedule's makespan (`compute + comm + idle`).
+    pub makespan: Cost,
+}
+
+impl CriticalPath {
+    /// The chain's tasks, in execution order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.segments
+            .iter()
+            .filter_map(|s| match s {
+                PathSegment::Compute { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Attribute the makespan of a complete, valid schedule: expand the
+/// [`bottleneck_chain`] into a gap-free segment sequence covering
+/// `[0, makespan]`, so `compute + comm + idle == makespan` exactly.
+pub fn critical_path(dag: &Dag, schedule: &Schedule) -> CriticalPath {
+    let chain = bottleneck_chain(dag, schedule);
+    let mut segments = Vec::with_capacity(chain.len() * 2);
+    let mut compute = 0;
+    let mut comm = 0;
+    let mut idle = 0;
+    for link in &chain {
+        let task = schedule.task(link.node).expect("complete schedule");
+        match link.reason {
+            WaitReason::ChainHead => {
+                if task.start > 0 {
+                    idle += task.start;
+                    segments.push(PathSegment::Idle {
+                        proc: task.proc,
+                        start: 0,
+                        finish: task.start,
+                    });
+                }
+            }
+            WaitReason::Processor(_) => {} // contiguous on the same lane
+            WaitReason::Data(parent) => {
+                let pt = schedule.task(parent).expect("complete schedule");
+                if pt.proc != task.proc {
+                    comm += task.start - pt.finish;
+                    segments.push(PathSegment::Message {
+                        from: parent,
+                        to: link.node,
+                        from_proc: pt.proc,
+                        to_proc: task.proc,
+                        depart: pt.finish,
+                        arrive: task.start,
+                    });
+                }
+            }
+        }
+        compute += task.finish - task.start;
+        segments.push(PathSegment::Compute {
+            node: link.node,
+            proc: task.proc,
+            start: task.start,
+            finish: task.finish,
+        });
+    }
+    CriticalPath {
+        segments,
+        compute,
+        comm,
+        idle,
+        makespan: schedule.makespan(),
+    }
+}
+
+/// Per-node slack: how far each node's finish could slip without
+/// stretching the makespan, under the schedule's own constraint graph
+/// (DAG data edges, priced local/remote as placed, plus the
+/// same-processor task order). Indexed by node id; chain nodes of
+/// [`critical_path`] have slack 0.
+pub fn slack_profile(dag: &Dag, schedule: &Schedule) -> Vec<Cost> {
+    debug_assert!(schedule.is_complete());
+    let makespan = schedule.makespan();
+    let v = dag.node_count();
+    let mut latest_finish = vec![makespan; v];
+
+    // Next task on the same processor, by lane order.
+    let mut next_on_proc: Vec<Option<NodeId>> = vec![None; v];
+    for lane in schedule.timelines() {
+        for w in lane.windows(2) {
+            next_on_proc[w[0].node.index()] = Some(w[1].node);
+        }
+    }
+
+    // Process in reverse (start, topo) order: every constraint points
+    // from an earlier-starting task to a later-starting one (ties
+    // broken by topological position), so each node's bounds are final
+    // when visited.
+    let mut topo_pos = vec![0usize; v];
+    for (i, &n) in dag.topo_order().iter().enumerate() {
+        topo_pos[n.index()] = i;
+    }
+    let mut order: Vec<NodeId> = dag.nodes().collect();
+    order.sort_by_key(|n| {
+        (
+            schedule.start_of(*n).expect("complete schedule"),
+            topo_pos[n.index()],
+        )
+    });
+
+    for &n in order.iter().rev() {
+        let t = schedule.task(n).expect("complete schedule");
+        let mut lf = makespan;
+        if let Some(m) = next_on_proc[n.index()] {
+            let mt = schedule.task(m).expect("complete schedule");
+            let m_latest_start = latest_finish[m.index()] - (mt.finish - mt.start);
+            lf = lf.min(m_latest_start);
+        }
+        for e in dag.succs(n) {
+            let ct = schedule.task(e.node).expect("complete schedule");
+            let c_latest_start = latest_finish[e.node.index()] - (ct.finish - ct.start);
+            let msg = if ct.proc == t.proc { 0 } else { e.cost };
+            lf = lf.min(c_latest_start.saturating_sub(msg));
+        }
+        latest_finish[n.index()] = lf;
+    }
+
+    dag.nodes()
+        .map(|n| latest_finish[n.index()].saturating_sub(schedule.finish_of(n).expect("complete")))
+        .collect()
+}
+
+/// A bucketized view of a slack profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlackHistogram {
+    /// Width of each bucket (time units); bucket `i` covers
+    /// `[i·width, (i+1)·width)`.
+    pub bucket_width: Cost,
+    /// Node count per bucket.
+    pub counts: Vec<usize>,
+    /// The largest slack observed.
+    pub max_slack: Cost,
+    /// Nodes with zero slack (the schedule-critical set).
+    pub critical_nodes: usize,
+}
+
+/// Bucketize `slacks` into at most `buckets` equal-width bins.
+pub fn slack_histogram(slacks: &[Cost], buckets: usize) -> SlackHistogram {
+    let buckets = buckets.max(1);
+    let max_slack = slacks.iter().copied().max().unwrap_or(0);
+    let bucket_width = (max_slack / buckets as Cost + 1).max(1);
+    let mut counts = vec![0usize; ((max_slack / bucket_width) + 1) as usize];
+    for &s in slacks {
+        counts[(s / bucket_width) as usize] += 1;
+    }
+    SlackHistogram {
+        bucket_width,
+        counts,
+        max_slack,
+        critical_nodes: slacks.iter().filter(|&&s| s == 0).count(),
+    }
+}
+
+/// Per-processor busy/comm-wait/idle split over `[0, makespan]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcBreakdown {
+    /// Processor id.
+    pub proc: ProcId,
+    /// Total busy (computing) time.
+    pub busy: Cost,
+    /// Idle time attributable to waiting for remote messages: for
+    /// each gap before a task, the stretch between the processor (and
+    /// local data) being ready and the last remote message arriving.
+    pub comm_wait: Cost,
+    /// Remaining idle time (lead/gap remainder/tail).
+    pub idle: Cost,
+}
+
+/// Split every used processor's timeline into busy, comm-wait and
+/// plain idle (`busy + comm_wait + idle == makespan` per processor).
+pub fn comm_breakdown(dag: &Dag, schedule: &Schedule) -> Vec<ProcBreakdown> {
+    debug_assert!(schedule.is_complete());
+    let makespan = schedule.makespan();
+    schedule
+        .timelines()
+        .into_iter()
+        .enumerate()
+        .filter(|(_, lane)| !lane.is_empty())
+        .map(|(p, lane)| {
+            let busy: Cost = lane.iter().map(|t| t.finish - t.start).sum();
+            let mut comm_wait = 0;
+            let mut gap_start = 0;
+            for t in &lane {
+                // The processor sat idle over [gap_start, t.start).
+                // Attribute to communication the part between the
+                // latest local constraint and the latest remote
+                // arrival.
+                let mut local_dat = 0;
+                let mut remote_dat = 0;
+                for e in dag.preds(t.node) {
+                    let pt = schedule.task(e.node).expect("complete schedule");
+                    if pt.proc == t.proc {
+                        local_dat = local_dat.max(pt.finish);
+                    } else {
+                        remote_dat = remote_dat.max(pt.finish + e.cost);
+                    }
+                }
+                let base = gap_start.max(local_dat);
+                comm_wait += remote_dat.min(t.start).saturating_sub(base);
+                gap_start = t.finish;
+            }
+            ProcBreakdown {
+                proc: ProcId(p as u32),
+                busy,
+                comm_wait,
+                idle: makespan - busy - comm_wait,
+            }
+        })
+        .collect()
 }
 
 /// Per-processor busy/idle breakdown over `[0, makespan]`.
@@ -225,5 +521,129 @@ mod tests {
     fn idle_profile_skips_unused_processors() {
         let (_, s) = two_proc_schedule();
         assert_eq!(idle_profile(&s).len(), 2);
+    }
+
+    #[test]
+    fn critical_path_attributes_the_whole_makespan() {
+        let (g, s) = two_proc_schedule();
+        // a: P0 0–3; message a→b arrives 8; b: P1 8–10; c: P1 10–14.
+        let cp = critical_path(&g, &s);
+        assert_eq!(cp.makespan, s.makespan());
+        assert_eq!(cp.compute + cp.comm + cp.idle, cp.makespan);
+        assert_eq!(cp.compute, 3 + 2 + 4);
+        assert_eq!(cp.comm, 5);
+        assert_eq!(cp.idle, 0);
+        assert_eq!(cp.nodes(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(matches!(
+            cp.segments[1],
+            PathSegment::Message {
+                from: NodeId(0),
+                to: NodeId(1),
+                depart: 3,
+                arrive: 8,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn critical_path_segments_are_contiguous() {
+        let g = paper_figure1();
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        let s = evaluate_fixed_order(&g, &order, &[ProcId(0); 9], 1);
+        let cp = critical_path(&g, &s);
+        let mut clock = 0;
+        for seg in &cp.segments {
+            let (lo, hi) = match *seg {
+                PathSegment::Compute { start, finish, .. }
+                | PathSegment::Idle { start, finish, .. } => (start, finish),
+                PathSegment::Message { depart, arrive, .. } => (depart, arrive),
+            };
+            assert_eq!(lo, clock, "segment must start where the last ended");
+            clock = hi;
+        }
+        assert_eq!(clock, cp.makespan);
+    }
+
+    #[test]
+    fn slack_is_zero_exactly_on_the_critical_path() {
+        let (g, s) = two_proc_schedule();
+        let slacks = slack_profile(&g, &s);
+        // All three tasks lie on the chain here.
+        assert_eq!(slacks, vec![0, 0, 0]);
+
+        // Give c room: stretch the makespan with a long independent
+        // task on a third processor.
+        let mut bld = fastsched_dag::DagBuilder::new();
+        let a = bld.add_task(3);
+        let b = bld.add_task(2);
+        let _c = bld.add_task(4);
+        let _d = bld.add_task(40);
+        bld.add_edge(a, b, 5).unwrap();
+        let g = bld.build().unwrap();
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        let assignment = vec![ProcId(0), ProcId(1), ProcId(1), ProcId(2)];
+        let s = evaluate_fixed_order(&g, &order, &assignment, 3);
+        let slacks = slack_profile(&g, &s);
+        // d (0–40) bounds the makespan; the a→b→c chain finishes at 14
+        // and can slip 26.
+        assert_eq!(slacks[3], 0);
+        assert_eq!(slacks[2], 26);
+        assert_eq!(slacks[1], 26);
+        assert_eq!(slacks[0], 26);
+        let hist = slack_histogram(&slacks, 4);
+        assert_eq!(hist.critical_nodes, 1);
+        assert_eq!(hist.max_slack, 26);
+        assert_eq!(hist.counts.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn slack_respects_processor_ordering_not_just_data_edges() {
+        // Two independent tasks serialized on one processor: the first
+        // can only slip as much as the second's own slack allows.
+        let mut bld = fastsched_dag::DagBuilder::new();
+        bld.add_task(5);
+        bld.add_task(7);
+        let g = bld.build().unwrap();
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        let s = evaluate_fixed_order(&g, &order, &[ProcId(0); 2], 1);
+        assert_eq!(slack_profile(&g, &s), vec![0, 0]);
+    }
+
+    #[test]
+    fn comm_breakdown_attributes_message_waits() {
+        let (g, s) = two_proc_schedule();
+        let bd = comm_breakdown(&g, &s);
+        // P0: a (0–3), then idle to 14.
+        assert_eq!(
+            bd[0],
+            ProcBreakdown {
+                proc: ProcId(0),
+                busy: 3,
+                comm_wait: 0,
+                idle: 11
+            }
+        );
+        // P1: waits 0–8 for a's message, then b+c back to back.
+        assert_eq!(
+            bd[1],
+            ProcBreakdown {
+                proc: ProcId(1),
+                busy: 6,
+                comm_wait: 8,
+                idle: 0
+            }
+        );
+        for p in &bd {
+            assert_eq!(p.busy + p.comm_wait + p.idle, s.makespan());
+        }
+    }
+
+    #[test]
+    fn slack_histogram_of_empty_profile() {
+        let h = slack_histogram(&[], 8);
+        assert_eq!(h.max_slack, 0);
+        assert_eq!(h.critical_nodes, 0);
+        assert_eq!(h.counts.iter().sum::<usize>(), 0);
     }
 }

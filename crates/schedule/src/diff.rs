@@ -1,0 +1,242 @@
+//! Structural comparison of two schedules of the same DAG: where do
+//! they diverge, and what did the divergence cost?
+//!
+//! [`diff_schedules`] pairs the two placements node by node and
+//! classifies every difference as *moved* (different processor) or
+//! *retimed* (same processor, different times), localizing the
+//! earliest divergence in time — the first decision after which the
+//! two schedules stop agreeing. `casch diff` renders the result.
+
+use crate::schedule::{ProcId, Schedule};
+use fastsched_dag::{Cost, Dag, NodeId};
+use std::fmt::Write as _;
+
+/// How one node's placement differs between schedule A and B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementDelta {
+    /// The node.
+    pub node: NodeId,
+    /// Processor in A / in B.
+    pub proc: (ProcId, ProcId),
+    /// Start time in A / in B.
+    pub start: (Cost, Cost),
+    /// Finish time in A / in B.
+    pub finish: (Cost, Cost),
+}
+
+impl PlacementDelta {
+    /// The earlier of the two start times — when this divergence
+    /// first becomes visible on a timeline.
+    pub fn earliest_start(&self) -> Cost {
+        self.start.0.min(self.start.1)
+    }
+}
+
+/// The full comparison of two schedules (see [`diff_schedules`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleDiff {
+    /// Makespan of A / of B.
+    pub makespan: (Cost, Cost),
+    /// Processors used by A / by B.
+    pub procs_used: (u32, u32),
+    /// Nodes assigned to different processors, by earliest start.
+    pub moved: Vec<PlacementDelta>,
+    /// Nodes on the same processor at different times, by earliest
+    /// start.
+    pub retimed: Vec<PlacementDelta>,
+}
+
+impl ScheduleDiff {
+    /// `true` when the two schedules place every node identically.
+    pub fn is_identical(&self) -> bool {
+        self.moved.is_empty() && self.retimed.is_empty()
+    }
+
+    /// The earliest difference on any timeline — the point where the
+    /// two schedules start disagreeing.
+    pub fn first_divergence(&self) -> Option<PlacementDelta> {
+        self.moved
+            .iter()
+            .chain(self.retimed.iter())
+            .copied()
+            .min_by_key(|d| (d.earliest_start(), d.node.0))
+    }
+
+    /// Human-readable rendering (node names come from `dag`).
+    pub fn render(&self, dag: &Dag) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "makespan:        A={} B={} ({:+})",
+            self.makespan.0,
+            self.makespan.1,
+            self.makespan.1 as i64 - self.makespan.0 as i64
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "processors used: A={} B={}",
+            self.procs_used.0, self.procs_used.1
+        )
+        .unwrap();
+        if self.is_identical() {
+            writeln!(out, "schedules are identical").unwrap();
+            return out;
+        }
+        writeln!(
+            out,
+            "divergence:      {} node(s) moved, {} retimed",
+            self.moved.len(),
+            self.retimed.len()
+        )
+        .unwrap();
+        if let Some(d) = self.first_divergence() {
+            writeln!(
+                out,
+                "first at t={}: {} ({})",
+                d.earliest_start(),
+                dag.name(d.node),
+                if d.proc.0 != d.proc.1 {
+                    "moved"
+                } else {
+                    "retimed"
+                }
+            )
+            .unwrap();
+        }
+        for d in &self.moved {
+            writeln!(
+                out,
+                "  moved   {:<12} {}@{}-{}  ->  {}@{}-{}",
+                dag.name(d.node),
+                d.proc.0,
+                d.start.0,
+                d.finish.0,
+                d.proc.1,
+                d.start.1,
+                d.finish.1
+            )
+            .unwrap();
+        }
+        for d in &self.retimed {
+            writeln!(
+                out,
+                "  retimed {:<12} {}: {}-{}  ->  {}-{}",
+                dag.name(d.node),
+                d.proc.0,
+                d.start.0,
+                d.finish.0,
+                d.start.1,
+                d.finish.1
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+/// Compare two complete schedules of the same DAG. Fails when the
+/// node counts differ (the schedules cannot be of the same DAG).
+pub fn diff_schedules(a: &Schedule, b: &Schedule) -> Result<ScheduleDiff, String> {
+    if a.num_nodes() != b.num_nodes() {
+        return Err(format!(
+            "schedules cover different node counts ({} vs {})",
+            a.num_nodes(),
+            b.num_nodes()
+        ));
+    }
+    let mut moved = Vec::new();
+    let mut retimed = Vec::new();
+    for i in 0..a.num_nodes() {
+        let n = NodeId(i as u32);
+        let (ta, tb) = match (a.task(n), b.task(n)) {
+            (Some(ta), Some(tb)) => (ta, tb),
+            (None, None) => continue,
+            _ => return Err(format!("node {i} is placed in only one schedule")),
+        };
+        if ta.proc == tb.proc && ta.start == tb.start && ta.finish == tb.finish {
+            continue;
+        }
+        let delta = PlacementDelta {
+            node: n,
+            proc: (ta.proc, tb.proc),
+            start: (ta.start, tb.start),
+            finish: (ta.finish, tb.finish),
+        };
+        if ta.proc != tb.proc {
+            moved.push(delta);
+        } else {
+            retimed.push(delta);
+        }
+    }
+    moved.sort_by_key(|d| (d.earliest_start(), d.node.0));
+    retimed.sort_by_key(|d| (d.earliest_start(), d.node.0));
+    Ok(ScheduleDiff {
+        makespan: (a.makespan(), b.makespan()),
+        procs_used: (a.processors_used(), b.processors_used()),
+        moved,
+        retimed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Schedule {
+        let mut s = Schedule::new(3, 2);
+        s.place(NodeId(0), ProcId(0), 0, 3);
+        s.place(NodeId(1), ProcId(1), 8, 10);
+        s.place(NodeId(2), ProcId(1), 10, 14);
+        s
+    }
+
+    fn named_dag() -> Dag {
+        let mut b = fastsched_dag::DagBuilder::new();
+        let a = b.add_node("a", 3);
+        let c = b.add_node("b", 2);
+        b.add_node("c", 4);
+        b.add_edge(a, c, 5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_schedules_diff_empty() {
+        let d = diff_schedules(&base(), &base()).unwrap();
+        assert!(d.is_identical());
+        assert_eq!(d.first_divergence(), None);
+        assert!(d.render(&named_dag()).contains("identical"));
+    }
+
+    #[test]
+    fn moved_and_retimed_are_classified_and_localized() {
+        let mut b = base();
+        b.place(NodeId(1), ProcId(0), 3, 5); // moved
+        b.place(NodeId(2), ProcId(1), 5, 9); // retimed
+        let d = diff_schedules(&base(), &b).unwrap();
+        assert_eq!(d.moved.len(), 1);
+        assert_eq!(d.retimed.len(), 1);
+        // Node 1's divergence is visible from t=3; node 2's from t=5.
+        assert_eq!(d.first_divergence().unwrap().node, NodeId(1));
+        assert_eq!(d.makespan, (14, 9));
+        let text = d.render(&named_dag());
+        assert!(text.contains("moved"), "{text}");
+        assert!(text.contains("retimed"), "{text}");
+        assert!(text.contains("first at t=3"), "{text}");
+    }
+
+    #[test]
+    fn mismatched_node_counts_are_rejected() {
+        let a = Schedule::new(3, 1);
+        let b = Schedule::new(4, 1);
+        assert!(diff_schedules(&a, &b).is_err());
+    }
+
+    #[test]
+    fn half_placed_node_is_rejected() {
+        let mut a = Schedule::new(1, 1);
+        a.place(NodeId(0), ProcId(0), 0, 1);
+        let b = Schedule::new(1, 1);
+        assert!(diff_schedules(&a, &b).is_err());
+    }
+}

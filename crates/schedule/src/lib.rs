@@ -22,13 +22,20 @@
 //!   hot-path cost when the feature is off;
 //! * [`gantt`] / [`svg`] — ASCII and SVG Gantt-chart rendering;
 //! * [`io`] — JSON (de)serialization of schedules for the CLI;
-//! * [`analysis`] — bottleneck-chain extraction and idle profiling.
+//! * [`analysis`] — bottleneck-chain extraction, critical-path
+//!   attribution, slack profiling and per-processor busy/comm/idle
+//!   breakdowns;
+//! * [`diff`] — structural comparison of two schedules of one DAG;
+//! * [`export`] — Chrome-trace-event (Perfetto) rendering of a
+//!   schedule.
 
 #![warn(missing_docs)]
 
 pub mod analysis;
 pub mod cost;
+pub mod diff;
 pub mod evaluate;
+pub mod export;
 pub mod gantt;
 pub mod incremental;
 pub mod io;
@@ -38,6 +45,7 @@ pub mod svg;
 pub mod validate;
 
 pub use cost::{data_arrival_time_with, CostModel, HomogeneousModel, ProcessorSpeeds};
+pub use diff::{diff_schedules, PlacementDelta, ScheduleDiff};
 pub use evaluate::{
     data_arrival_time, evaluate_fixed_order, evaluate_fixed_order_with, evaluate_makespan_into,
     evaluate_makespan_into_with,

@@ -93,6 +93,7 @@ pub fn simulate(dag: &Dag, schedule: &Schedule, config: &SimConfig) -> Execution
         "topology too small for the schedule"
     );
     let mut network = Network::new(topology, config.hop_latency_us, config.contention);
+    network.record_holds(config.trace);
 
     // Per-lane progress and per-node readiness.
     let mut lane_pos = vec![0usize; lanes.len()];
@@ -237,6 +238,7 @@ pub fn simulate(dag: &Dag, schedule: &Schedule, config: &SimConfig) -> Execution
         busy_time: dag.total_computation(),
         finish_times,
         trace,
+        link_holds: network.holds,
     }
 }
 

@@ -23,7 +23,10 @@
 //!   assigned processor in schedule order, started as soon as their
 //!   processor is free and all messages have arrived (the static
 //!   schedule's *order* is kept, its absolute times are re-derived);
-//! * [`report`] — the measured [`report::ExecutionReport`].
+//! * [`report`] — the measured [`report::ExecutionReport`], plus
+//!   run-vs-run comparison ([`report::ExecutionReport::diff`]);
+//! * [`export`] — Chrome-trace-event (Perfetto) rendering of a traced
+//!   execution, link-occupancy counters included.
 //!
 //! A schedule that hoards processors (DSC's O(v) clusters) sends more
 //! and longer-range messages and loses execution time to contention —
@@ -33,11 +36,12 @@
 
 pub mod cost;
 pub mod engine;
+pub mod export;
 pub mod network;
 pub mod report;
 pub mod topology;
 
 pub use cost::TopologyCostModel;
 pub use engine::{simulate, SimConfig};
-pub use report::ExecutionReport;
+pub use report::{ExecutionReport, LinkHold, ReportDiff};
 pub use topology::Topology;

@@ -14,6 +14,7 @@
 //!   nominal message cost `c`.
 
 use crate::cost::TopologyCostModel;
+use crate::report::LinkHold;
 use crate::topology::{LinkId, Topology};
 use fastsched_dag::Cost;
 use fastsched_schedule::{CostModel, ProcId};
@@ -49,10 +50,15 @@ pub struct Network {
     cost: TopologyCostModel,
     model: ContentionModel,
     busy_until: HashMap<LinkId, Cost>,
+    record_holds: bool,
     /// Total time messages spent waiting for busy links.
     pub contention_delay: Cost,
     /// Remote messages delivered.
     pub messages: u64,
+    /// Per-link occupancy intervals; only populated after
+    /// [`Network::record_holds`] and only under
+    /// [`ContentionModel::Links`].
+    pub holds: Vec<LinkHold>,
 }
 
 impl Network {
@@ -63,9 +69,17 @@ impl Network {
             cost: TopologyCostModel::new(topology, hop_latency_us),
             model,
             busy_until: HashMap::new(),
+            record_holds: false,
             contention_delay: 0,
             messages: 0,
+            holds: Vec::new(),
         }
+    }
+
+    /// Keep a [`LinkHold`] record of every link occupancy interval
+    /// (costs O(hops) memory per message — off by default).
+    pub fn record_holds(&mut self, on: bool) {
+        self.record_holds = on;
     }
 
     /// The interconnect.
@@ -107,6 +121,15 @@ impl Network {
                 let release = start + hold;
                 for link in route {
                     self.busy_until.insert(link, release);
+                    if self.record_holds {
+                        self.holds.push(LinkHold {
+                            from: link.from,
+                            to: link.to,
+                            start,
+                            release,
+                            wait: start - send_time,
+                        });
+                    }
                 }
                 start + latency
             }
@@ -169,6 +192,26 @@ mod tests {
         let b = n.deliver(ProcId(0), ProcId(1), 50, 0);
         assert_eq!(a, b);
         assert_eq!(n.contention_delay, 0);
+    }
+
+    #[test]
+    fn holds_record_each_link_on_the_route() {
+        let mut n = Network::new(mesh3(), 0, ContentionModel::Links { pipelining: 1 });
+        n.record_holds(true);
+        // 0 → 2 crosses links 0→1 and 1→2.
+        n.deliver(ProcId(0), ProcId(2), 50, 0);
+        assert_eq!(n.holds.len(), 2);
+        assert!(n.holds.iter().all(|h| h.start == 0 && h.release == 50));
+        // A second message over 0→1 waits and records the wait.
+        n.deliver(ProcId(0), ProcId(1), 50, 10);
+        assert_eq!(n.holds.len(), 3);
+        let h = n.holds.last().unwrap();
+        assert_eq!((h.from, h.to), (0, 1));
+        assert_eq!((h.start, h.release, h.wait), (50, 100, 40));
+        // Off by default.
+        let mut quiet = Network::new(mesh3(), 0, ContentionModel::Links { pipelining: 1 });
+        quiet.deliver(ProcId(0), ProcId(2), 50, 0);
+        assert!(quiet.holds.is_empty());
     }
 
     #[test]

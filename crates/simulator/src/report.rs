@@ -42,6 +42,23 @@ pub enum TraceEvent {
     },
 }
 
+/// One occupancy interval of one directed mesh link, recorded when
+/// [`crate::SimConfig::trace`] is enabled under link contention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkHold {
+    /// Source router of the link (flat processor index).
+    pub from: u32,
+    /// Destination router of the link (flat processor index).
+    pub to: u32,
+    /// Time the message began occupying the link.
+    pub start: Cost,
+    /// Time the link became free again.
+    pub release: Cost,
+    /// How long the message waited for this route to clear before
+    /// `start` (0 when the path was already free).
+    pub wait: Cost,
+}
+
 /// What running a scheduled program on the simulated machine measured
 /// — the analogue of timing the CASCH-generated code on the Paragon.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -63,6 +80,10 @@ pub struct ExecutionReport {
     pub finish_times: Vec<Cost>,
     /// Event log (empty unless [`crate::SimConfig::trace`] is set).
     pub trace: Vec<TraceEvent>,
+    /// Per-link occupancy intervals (empty unless
+    /// [`crate::SimConfig::trace`] is set and the contention model
+    /// tracks links).
+    pub link_holds: Vec<LinkHold>,
 }
 
 impl ExecutionReport {
@@ -83,6 +104,102 @@ impl ExecutionReport {
         }
         self.busy_time as f64 / (self.execution_time as f64 * self.processors_used as f64)
     }
+
+    /// Compare this run against another of the same program. Fails
+    /// when the task counts differ.
+    pub fn diff(&self, other: &ExecutionReport) -> Result<ReportDiff, String> {
+        if self.finish_times.len() != other.finish_times.len() {
+            return Err(format!(
+                "reports cover different task counts ({} vs {})",
+                self.finish_times.len(),
+                other.finish_times.len()
+            ));
+        }
+        let mut changed: Vec<(u32, Cost, Cost)> = self
+            .finish_times
+            .iter()
+            .zip(&other.finish_times)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(n, (&a, &b))| (n as u32, a, b))
+            .collect();
+        changed.sort_by_key(|&(n, a, b)| (a.min(b), n));
+        Ok(ReportDiff {
+            execution_time: (self.execution_time, other.execution_time),
+            contention_delay: (self.contention_delay, other.contention_delay),
+            messages: (self.messages, other.messages),
+            changed,
+        })
+    }
+}
+
+/// The divergence between two [`ExecutionReport`]s of the same
+/// program (see [`ExecutionReport::diff`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportDiff {
+    /// Measured execution time of A / of B.
+    pub execution_time: (Cost, Cost),
+    /// Link-wait totals of A / of B.
+    pub contention_delay: (Cost, Cost),
+    /// Remote message counts of A / of B.
+    pub messages: (u64, u64),
+    /// Tasks whose finish times differ: `(node, finish_a, finish_b)`,
+    /// ordered by the earlier of the two finishes — the head of this
+    /// list is where the executions first drifted apart.
+    pub changed: Vec<(u32, Cost, Cost)>,
+}
+
+impl ReportDiff {
+    /// `true` when both runs measured identical per-task timing.
+    pub fn is_identical(&self) -> bool {
+        self.changed.is_empty() && self.execution_time.0 == self.execution_time.1
+    }
+
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "execution time:   A={} B={} ({:+})",
+            self.execution_time.0,
+            self.execution_time.1,
+            self.execution_time.1 as i64 - self.execution_time.0 as i64
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "contention delay: A={} B={}",
+            self.contention_delay.0, self.contention_delay.1
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "remote messages:  A={} B={}",
+            self.messages.0, self.messages.1
+        )
+        .unwrap();
+        if self.is_identical() {
+            writeln!(out, "executions are identical").unwrap();
+            return out;
+        }
+        writeln!(
+            out,
+            "divergence:       {} task(s) retimed",
+            self.changed.len()
+        )
+        .unwrap();
+        if let Some(&(n, a, b)) = self.changed.first() {
+            writeln!(out, "first at t={}: node {n} finishes {a} vs {b}", a.min(b)).unwrap();
+        }
+        for &(n, a, b) in self.changed.iter().take(20) {
+            writeln!(out, "  node {n:<6} finish {a}  ->  {b}").unwrap();
+        }
+        if self.changed.len() > 20 {
+            writeln!(out, "  ... and {} more", self.changed.len() - 20).unwrap();
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +216,7 @@ mod tests {
             busy_time: 240,
             finish_times: vec![120],
             trace: Vec::new(),
+            link_holds: Vec::new(),
         }
     }
 
@@ -110,6 +228,29 @@ mod tests {
     #[test]
     fn utilization_ratio() {
         assert!((report().utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_localizes_the_first_divergent_task() {
+        let a = report();
+        let mut b = report();
+        b.finish_times = vec![110];
+        b.execution_time = 110;
+        let d = a.diff(&b).unwrap();
+        assert!(!d.is_identical());
+        assert_eq!(d.changed, vec![(0, 120, 110)]);
+        assert_eq!(d.execution_time, (120, 110));
+        let text = d.render();
+        assert!(text.contains("first at t=110"), "{text}");
+        assert!(a.diff(&a).unwrap().is_identical());
+    }
+
+    #[test]
+    fn diff_rejects_mismatched_task_counts() {
+        let a = report();
+        let mut b = report();
+        b.finish_times = vec![120, 60];
+        assert!(a.diff(&b).is_err());
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Property-based tests relating measured execution to the abstract
+//! schedule: the simulator models strictly more cost than the
+//! schedule evaluator (distance, contention, software overheads), so
+//! a measured run can never beat the predicted makespan — and on the
+//! ideal network it reproduces it exactly.
+
+use fastsched_algorithms::{Fast, Scheduler};
+use fastsched_sim::engine::{simulate, SimConfig};
+use fastsched_sim::network::ContentionModel;
+use fastsched_sim::Topology;
+use fastsched_workloads::{random_layered_dag, RandomDagConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ideal_network_reproduces_the_predicted_makespan(
+        params in (2usize..48, 0u64..1_000_000, 2u32..16)
+    ) {
+        let (nodes, seed, procs) = params;
+        let config = RandomDagConfig {
+            nodes,
+            out_degree: (1, 4),
+            node_weight: (1, 30),
+            edge_weight: (1, 60),
+        };
+        let dag = random_layered_dag(&config, seed);
+        let schedule = Fast::new().schedule(&dag, procs);
+        let report = simulate(&dag, &schedule, &SimConfig::ideal());
+        // Fully connected, zero hop latency, no contention, no
+        // overheads: measured == predicted, never better.
+        prop_assert_eq!(report.execution_time, schedule.makespan());
+        prop_assert_eq!(report.contention_delay, 0);
+    }
+
+    #[test]
+    fn measured_execution_never_beats_the_schedule_length(
+        params in (2usize..48, 0u64..1_000_000, 2u32..16, 0u64..20, 1u64..8)
+    ) {
+        let (nodes, seed, procs, hop, pipelining) = params;
+        let config = RandomDagConfig {
+            nodes,
+            out_degree: (1, 4),
+            node_weight: (1, 30),
+            edge_weight: (1, 60),
+        };
+        let dag = random_layered_dag(&config, seed);
+        let schedule = Fast::new().schedule(&dag, procs);
+        let report = simulate(
+            &dag,
+            &schedule,
+            &SimConfig {
+                topology: Some(Topology::mesh_for(procs)),
+                hop_latency_us: hop,
+                contention: ContentionModel::Links { pipelining },
+                ..SimConfig::default()
+            },
+        );
+        // Every network effect only adds cost on top of the abstract
+        // model the schedule was evaluated under.
+        prop_assert!(report.execution_time >= schedule.makespan());
+    }
+}

@@ -186,6 +186,11 @@ pub struct SearchTrace {
     phases: Vec<(&'static str, Duration)>,
     active_phases: Vec<(&'static str, Instant)>,
     trajectory: Ring,
+    /// Placement-provenance stream: `Candidate`/`Placed` events from
+    /// the initial-schedule loop and `Transfer` events from the local
+    /// search, in recording order. Bounded by the driver (O(v + e)
+    /// candidates plus one transfer per probe), capture builds only.
+    provenance: Vec<TraceEvent>,
 }
 
 impl SearchTrace {
@@ -209,6 +214,7 @@ impl SearchTrace {
             phases: Vec::new(),
             active_phases: Vec::new(),
             trajectory: Ring::with_capacity(cap),
+            provenance: Vec::new(),
         }
     }
 
@@ -292,6 +298,55 @@ impl SearchTrace {
         self.steps_skipped += 1;
     }
 
+    /// Record one candidate processor probed while placing `node`:
+    /// the processor's ready time, the node's data-arrival time there
+    /// and the start time the candidate offers.
+    #[inline]
+    pub fn candidate_probed(&mut self, node: u32, proc: u32, ready: u64, dat: u64, start: u64) {
+        self.provenance.push(TraceEvent::Candidate {
+            node: node as u64,
+            proc: proc as u64,
+            ready,
+            dat,
+            start,
+        });
+    }
+
+    /// Record the decision that closed `node`'s candidate probes:
+    /// which processor won, the start time it got, and why it won.
+    #[inline]
+    pub fn node_placed(&mut self, node: u32, proc: u32, start: u64, reason: &'static str) {
+        self.provenance.push(TraceEvent::Placed {
+            node: node as u64,
+            proc: proc as u64,
+            start,
+            reason: reason.to_string(),
+        });
+    }
+
+    /// Record one local-search transfer probe with its end points
+    /// (companion to [`Self::probe_accepted`]/[`Self::probe_reverted`],
+    /// which carry only the makespan).
+    #[inline]
+    pub fn node_transferred(
+        &mut self,
+        step: u64,
+        node: u32,
+        from: u32,
+        to: u32,
+        makespan: u64,
+        accepted: bool,
+    ) {
+        self.provenance.push(TraceEvent::Transfer {
+            step,
+            node: node as u64,
+            from: from as u64,
+            to: to as u64,
+            makespan,
+            accepted,
+        });
+    }
+
     /// Fold an evaluation engine's counters into this trace (drivers
     /// call this once, after the search loop).
     pub fn absorb_eval(&mut self, stats: &EvalStats) {
@@ -321,6 +376,7 @@ impl SearchTrace {
             self.trajectory.push(entry);
         }
         self.trajectory.dropped += other.trajectory.dropped;
+        self.provenance.extend(other.provenance.iter().cloned());
     }
 
     /// Steps dropped from the bounded trajectory ring so far.
@@ -364,6 +420,7 @@ impl SearchTrace {
                 value: self.trajectory.dropped,
             });
         }
+        events.extend(self.provenance.iter().cloned());
         for &(step, makespan, accepted) in self.trajectory.iter() {
             events.push(TraceEvent::Step {
                 step,
@@ -440,6 +497,40 @@ mod tests {
         assert_eq!(a.probes_reverted, 1);
         assert_eq!(a.to_report().trajectory(), vec![10, 12]);
         assert_eq!(a.to_report().phase_totals().len(), 1);
+    }
+
+    #[test]
+    fn provenance_flows_into_the_report_in_order() {
+        let mut t = SearchTrace::new();
+        t.candidate_probed(3, 0, 5, 9, 9);
+        t.candidate_probed(3, 1, 0, 12, 12);
+        t.node_placed(3, 0, 9, "earliest-start");
+        t.node_transferred(0, 3, 0, 2, 17, true);
+        let r = t.to_report();
+        let placements = r.placements_of(3);
+        assert_eq!(placements.len(), 1);
+        assert_eq!(placements[0].proc, 0);
+        assert_eq!(placements[0].reason, "earliest-start");
+        assert_eq!(placements[0].candidates.len(), 2);
+        assert_eq!(placements[0].candidates[1].dat, 12);
+        let transfers = r.transfers_of(3);
+        assert_eq!(transfers.len(), 1);
+        assert!(transfers[0].accepted);
+        // Round-trips through NDJSON like every other event.
+        let back = crate::Report::from_ndjson(&r.to_ndjson()).unwrap();
+        assert_eq!(back.placements_of(3).len(), 1);
+    }
+
+    #[test]
+    fn merge_appends_provenance() {
+        let mut a = SearchTrace::new();
+        a.node_placed(0, 0, 0, "only-candidate");
+        let mut b = SearchTrace::new();
+        b.node_placed(1, 1, 4, "earliest-start");
+        a.merge(&b);
+        let r = a.to_report();
+        assert_eq!(r.placements_of(0).len(), 1);
+        assert_eq!(r.placements_of(1).len(), 1);
     }
 
     #[test]

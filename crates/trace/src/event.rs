@@ -46,6 +46,51 @@ pub enum TraceEvent {
         /// Whether the probed move was committed.
         accepted: bool,
     },
+    /// One candidate processor probed while placing a node during the
+    /// initial-schedule loop
+    /// (`{"type":"candidate","node":…,"proc":…,"ready":…,"dat":…,"start":…}`).
+    Candidate {
+        /// The node being placed.
+        node: u64,
+        /// The probed processor.
+        proc: u64,
+        /// When the processor's last task finishes (ready time).
+        ready: u64,
+        /// The node's data-arrival time on this processor.
+        dat: u64,
+        /// The start time this candidate offers: `max(ready, dat)`.
+        start: u64,
+    },
+    /// The placement decision that closed a node's candidate probes
+    /// (`{"type":"placed","node":…,"proc":…,"start":…,"reason":…}`).
+    Placed {
+        /// The node that was placed.
+        node: u64,
+        /// The winning processor.
+        proc: u64,
+        /// The start time it got.
+        start: u64,
+        /// Why this processor won (`"earliest-start"`,
+        /// `"only-candidate"`, `"fallback-least-loaded"`).
+        reason: String,
+    },
+    /// One local-search transfer probe with its end points
+    /// (`{"type":"transfer","step":…,"node":…,"from":…,"to":…,"makespan":…,"accepted":…}`).
+    Transfer {
+        /// Zero-based probe index within the search.
+        step: u64,
+        /// The blocking node that was (tentatively) moved.
+        node: u64,
+        /// Processor it was on before the probe.
+        from: u64,
+        /// Processor the probe moved it to.
+        to: u64,
+        /// Best-known (hill climbing) or current (SA) schedule length
+        /// after the step.
+        makespan: u64,
+        /// Whether the move was committed.
+        accepted: bool,
+    },
 }
 
 impl TraceEvent {
@@ -79,6 +124,34 @@ impl TraceEvent {
                 accepted,
             } => format!(
                 "{{\"type\":\"step\",\"step\":{step},\"makespan\":{makespan},\"accepted\":{accepted}}}"
+            ),
+            TraceEvent::Candidate {
+                node,
+                proc,
+                ready,
+                dat,
+                start,
+            } => format!(
+                "{{\"type\":\"candidate\",\"node\":{node},\"proc\":{proc},\"ready\":{ready},\"dat\":{dat},\"start\":{start}}}"
+            ),
+            TraceEvent::Placed {
+                node,
+                proc,
+                start,
+                reason,
+            } => format!(
+                "{{\"type\":\"placed\",\"node\":{node},\"proc\":{proc},\"start\":{start},\"reason\":{}}}",
+                json_string(reason)
+            ),
+            TraceEvent::Transfer {
+                step,
+                node,
+                from,
+                to,
+                makespan,
+                accepted,
+            } => format!(
+                "{{\"type\":\"transfer\",\"step\":{step},\"node\":{node},\"from\":{from},\"to\":{to},\"makespan\":{makespan},\"accepted\":{accepted}}}"
             ),
         }
     }
@@ -139,6 +212,27 @@ impl TraceEvent {
                 makespan: get_num("makespan")?,
                 accepted: get_bool("accepted")?,
             }),
+            "candidate" => Ok(TraceEvent::Candidate {
+                node: get_num("node")?,
+                proc: get_num("proc")?,
+                ready: get_num("ready")?,
+                dat: get_num("dat")?,
+                start: get_num("start")?,
+            }),
+            "placed" => Ok(TraceEvent::Placed {
+                node: get_num("node")?,
+                proc: get_num("proc")?,
+                start: get_num("start")?,
+                reason: get_str("reason")?,
+            }),
+            "transfer" => Ok(TraceEvent::Transfer {
+                step: get_num("step")?,
+                node: get_num("node")?,
+                from: get_num("from")?,
+                to: get_num("to")?,
+                makespan: get_num("makespan")?,
+                accepted: get_bool("accepted")?,
+            }),
             other => Err(ParseError::new(format!("unknown event type `{other}`"))),
         }
     }
@@ -179,7 +273,7 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 /// Escape and quote a string for JSON output.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -349,6 +443,27 @@ mod tests {
                 step: 63,
                 makespan: 6097,
                 accepted: false,
+            },
+            TraceEvent::Candidate {
+                node: 7,
+                proc: 2,
+                ready: 14,
+                dat: 16,
+                start: 16,
+            },
+            TraceEvent::Placed {
+                node: 7,
+                proc: 0,
+                start: 8,
+                reason: "earliest-start".into(),
+            },
+            TraceEvent::Transfer {
+                step: 12,
+                node: 5,
+                from: 0,
+                to: 3,
+                makespan: 18,
+                accepted: true,
             },
         ];
         for e in events {

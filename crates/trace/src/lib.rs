@@ -66,10 +66,11 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod perfetto;
 mod report;
 
 pub use event::{ParseError, TraceEvent};
-pub use report::{sparkline, Report};
+pub use report::{sparkline, CandidateProbe, Placement, Report, TransferRecord};
 
 #[cfg(feature = "capture")]
 mod collect;
@@ -101,6 +102,9 @@ mod zst {
         t.probe_attempted();
         t.probe_accepted(0, 10);
         t.probe_reverted(1, 10);
+        t.candidate_probed(0, 0, 0, 0, 0);
+        t.node_placed(0, 0, 0, "earliest-start");
+        t.node_transferred(0, 0, 0, 1, 10, false);
         let mut stats = EvalStats::default();
         stats.on_node_walked();
         t.absorb_eval(&stats);

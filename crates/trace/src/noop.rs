@@ -110,6 +110,32 @@ impl SearchTrace {
     pub fn step_skipped(&mut self) {}
     /// No-op.
     #[inline(always)]
+    pub fn candidate_probed(
+        &mut self,
+        _node: u32,
+        _proc: u32,
+        _ready: u64,
+        _dat: u64,
+        _start: u64,
+    ) {
+    }
+    /// No-op.
+    #[inline(always)]
+    pub fn node_placed(&mut self, _node: u32, _proc: u32, _start: u64, _reason: &'static str) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn node_transferred(
+        &mut self,
+        _step: u64,
+        _node: u32,
+        _from: u32,
+        _to: u32,
+        _makespan: u64,
+        _accepted: bool,
+    ) {
+    }
+    /// No-op.
+    #[inline(always)]
     pub fn absorb_eval(&mut self, _stats: &EvalStats) {}
     /// No-op.
     #[inline(always)]

@@ -1,0 +1,184 @@
+//! Chrome-trace-event JSON emission (the format Perfetto and
+//! `chrome://tracing` load).
+//!
+//! [`ChromeTrace`] is a small append-only builder over the legacy
+//! JSON trace-event format: complete slices (`ph:"X"`) for tasks,
+//! flow events (`ph:"s"`/`ph:"f"`) for messages, counter events
+//! (`ph:"C"`) for time series like link occupancy, and metadata
+//! events (`ph:"M"`) to name processes and threads. Timestamps are
+//! microseconds, matching the `Cost` unit used across the workspace.
+//!
+//! The exporters in `fastsched-schedule` (abstract schedules) and
+//! `fastsched-sim` (simulated executions) build on this; the crate
+//! itself stays dependency-free by emitting JSON by hand, exactly as
+//! the NDJSON side does.
+//!
+//! ```
+//! use fastsched_trace::perfetto::ChromeTrace;
+//!
+//! let mut t = ChromeTrace::new();
+//! t.process_name(0, "schedule");
+//! t.thread_name(0, 1, "PE1");
+//! t.complete_slice(0, 1, "n4", 8, 4, &[("node", 3)]);
+//! t.flow_start(0, 1, 7, "msg", 12);
+//! t.flow_finish(0, 2, 7, "msg", 15);
+//! t.counter(0, "link 0->1", 12, &[("busy", 1)]);
+//! let json = t.to_json();
+//! assert!(json.starts_with("{\"traceEvents\":["));
+//! ```
+
+use crate::event::json_string;
+
+/// Append-only builder of one Chrome trace-event JSON document.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    /// Each element is one fully rendered JSON event object.
+    events: Vec<String>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Name the process `pid` (one track group in the Perfetto UI).
+    pub fn process_name(&mut self, pid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":{}}}}}",
+            json_string(name)
+        ));
+    }
+
+    /// Name the thread `tid` of process `pid` (one track).
+    pub fn thread_name(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":{}}}}}",
+            json_string(name)
+        ));
+    }
+
+    /// One complete slice (`ph:"X"`): `name` spanning `[ts, ts+dur]`
+    /// microseconds on track `(pid, tid)`, with numeric `args`
+    /// attached for the selection panel.
+    pub fn complete_slice(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        ts: u64,
+        dur: u64,
+        args: &[(&str, u64)],
+    ) {
+        self.events.push(format!(
+            "{{\"name\":{},\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{ts},\"dur\":{dur},\"args\":{}}}",
+            json_string(name),
+            render_args(args)
+        ));
+    }
+
+    /// Open flow `id` at `ts` on track `(pid, tid)` — the arrow tail,
+    /// bound to the slice enclosing `ts`.
+    pub fn flow_start(&mut self, pid: u32, tid: u32, id: u64, name: &str, ts: u64) {
+        self.events.push(format!(
+            "{{\"name\":{},\"ph\":\"s\",\"id\":{id},\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}}}",
+            json_string(name)
+        ));
+    }
+
+    /// Close flow `id` at `ts` on track `(pid, tid)` — the arrow head
+    /// (`bp:"e"` binds it to the enclosing slice).
+    pub fn flow_finish(&mut self, pid: u32, tid: u32, id: u64, name: &str, ts: u64) {
+        self.events.push(format!(
+            "{{\"name\":{},\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\"pid\":{pid},\
+             \"tid\":{tid},\"ts\":{ts}}}",
+            json_string(name)
+        ));
+    }
+
+    /// One counter sample (`ph:"C"`): the named counter track of
+    /// process `pid` takes the values in `series` from `ts` onward.
+    pub fn counter(&mut self, pid: u32, name: &str, ts: u64, series: &[(&str, u64)]) {
+        self.events.push(format!(
+            "{{\"name\":{},\"ph\":\"C\",\"pid\":{pid},\"ts\":{ts},\"args\":{}}}",
+            json_string(name),
+            render_args(series)
+        ));
+    }
+
+    /// Render the whole document:
+    /// `{"traceEvents":[…],"displayTimeUnit":"ms"}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            out.push_str(e);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+fn render_args(args: &[(&str, u64)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(k));
+        out.push(':');
+        out.push_str(&v.to_string());
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_in_order_with_escaping() {
+        let mut t = ChromeTrace::new();
+        assert!(t.is_empty());
+        t.process_name(0, "sim \"quoted\"");
+        t.thread_name(0, 3, "PE3");
+        t.complete_slice(0, 3, "n1", 0, 5, &[("node", 0), ("slack", 2)]);
+        t.flow_start(0, 3, 42, "m", 5);
+        t.flow_finish(0, 1, 42, "m", 9);
+        t.counter(1, "link 0->1", 5, &[("busy", 1)]);
+        assert_eq!(t.len(), 6);
+        let json = t.to_json();
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":5"));
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"bp\":\"e\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"slack\":2"));
+        // The slice precedes the flow events that reference it.
+        assert!(json.find("\"ph\":\"X\"").unwrap() < json.find("\"ph\":\"s\"").unwrap());
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_valid_document() {
+        let json = ChromeTrace::new().to_json();
+        assert_eq!(json, "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n");
+    }
+}

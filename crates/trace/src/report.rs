@@ -11,6 +11,53 @@ pub struct Report {
     events: Vec<TraceEvent>,
 }
 
+/// One candidate processor probed while placing a node, as read back
+/// from a trace (see [`Report::placements_of`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateProbe {
+    /// The probed processor.
+    pub proc: u64,
+    /// The processor's ready time at probe time.
+    pub ready: u64,
+    /// The node's data-arrival time on this processor.
+    pub dat: u64,
+    /// The start time this candidate offered: `max(ready, dat)`.
+    pub start: u64,
+}
+
+/// The full provenance of one placement decision: every candidate
+/// probed plus the winner and the reason it won.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// The placed node.
+    pub node: u64,
+    /// The winning processor.
+    pub proc: u64,
+    /// The start time the node got.
+    pub start: u64,
+    /// Why the winner won.
+    pub reason: String,
+    /// Every candidate probed for this node, in probe order.
+    pub candidates: Vec<CandidateProbe>,
+}
+
+/// One local-search transfer probe read back from a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRecord {
+    /// Zero-based probe index.
+    pub step: u64,
+    /// The moved node.
+    pub node: u64,
+    /// Processor before the probe.
+    pub from: u64,
+    /// Processor the probe moved it to.
+    pub to: u64,
+    /// Schedule length after the step.
+    pub makespan: u64,
+    /// Whether the move was committed.
+    pub accepted: bool,
+}
+
 impl Report {
     /// A report over an explicit event list.
     pub fn new(events: Vec<TraceEvent>) -> Self {
@@ -120,6 +167,85 @@ impl Report {
             .collect()
     }
 
+    /// All placement decisions recorded for `node`, each with the
+    /// candidate probes that preceded it (a merged multi-chain trace
+    /// may carry several decisions for the same node — they appear in
+    /// chain-merge order).
+    pub fn placements_of(&self, node: u64) -> Vec<Placement> {
+        let mut out = Vec::new();
+        let mut pending: Vec<CandidateProbe> = Vec::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::Candidate {
+                    node: n,
+                    proc,
+                    ready,
+                    dat,
+                    start,
+                } if *n == node => pending.push(CandidateProbe {
+                    proc: *proc,
+                    ready: *ready,
+                    dat: *dat,
+                    start: *start,
+                }),
+                TraceEvent::Placed {
+                    node: n,
+                    proc,
+                    start,
+                    reason,
+                } if *n == node => out.push(Placement {
+                    node,
+                    proc: *proc,
+                    start: *start,
+                    reason: reason.clone(),
+                    candidates: std::mem::take(&mut pending),
+                }),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Distinct nodes that have at least one `placed` event, in
+    /// first-seen order.
+    pub fn placed_nodes(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for e in &self.events {
+            if let TraceEvent::Placed { node, .. } = e {
+                if !out.contains(node) {
+                    out.push(*node);
+                }
+            }
+        }
+        out
+    }
+
+    /// All local-search transfer probes that touched `node`, in
+    /// recording order.
+    pub fn transfers_of(&self, node: u64) -> Vec<TransferRecord> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Transfer {
+                    step,
+                    node: n,
+                    from,
+                    to,
+                    makespan,
+                    accepted,
+                } if *n == node => Some(TransferRecord {
+                    step: *step,
+                    node: *n,
+                    from: *from,
+                    to: *to,
+                    makespan: *makespan,
+                    accepted: *accepted,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Render the human-readable report: metadata, phase times,
     /// counters and (when steps were recorded) the trajectory
     /// sparkline.
@@ -170,6 +296,21 @@ impl Report {
                 )
                 .unwrap();
             }
+        }
+        let placements = self.placed_nodes().len();
+        let transfers = self
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Transfer { .. }))
+            .count();
+        if placements > 0 || transfers > 0 {
+            writeln!(out, "== placement provenance ==").unwrap();
+            writeln!(
+                out,
+                "  {placements} placement decisions, {transfers} transfer probes \
+                 (query with `casch explain --node <id>`)"
+            )
+            .unwrap();
         }
         let traj = self.trajectory();
         if !traj.is_empty() {
