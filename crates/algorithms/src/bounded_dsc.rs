@@ -11,7 +11,7 @@
 //! evaluator.
 
 use crate::dsc::Dsc;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{gate_schedule, Scheduler};
 use fastsched_dag::{Cost, Dag, NodeId};
 use fastsched_schedule::evaluate::evaluate_fixed_order;
 use fastsched_schedule::{ProcId, Schedule};
@@ -38,6 +38,7 @@ impl Scheduler for BoundedDsc {
         let clustered = Dsc::new().schedule(dag, num_procs);
         let clusters_used = clustered.processors_used();
         if clusters_used <= num_procs {
+            gate_schedule(self.name(), dag, &clustered);
             return clustered;
         }
 
@@ -67,7 +68,9 @@ impl Scheduler for BoundedDsc {
             .nodes()
             .map(|n| cluster_to_proc[clustered.proc_of(n).unwrap().index()])
             .collect();
-        evaluate_fixed_order(dag, &order, &assignment, num_procs).compact()
+        let s = evaluate_fixed_order(dag, &order, &assignment, num_procs).compact();
+        gate_schedule(self.name(), dag, &s);
+        s
     }
 }
 

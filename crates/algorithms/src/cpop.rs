@@ -9,7 +9,7 @@
 //! insertion-based earliest finish time.
 
 use crate::list_common::Machine;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{gate_schedule, Scheduler};
 use fastsched_dag::{Cost, Dag, GraphAttributes, NodeId};
 use fastsched_schedule::{ProcId, Schedule};
 use std::cmp::Reverse;
@@ -73,7 +73,9 @@ impl Scheduler for Cpop {
                 }
             }
         }
-        machine.into_schedule(dag).compact()
+        let s = machine.into_schedule(dag).compact();
+        gate_schedule(self.name(), dag, &s);
+        s
     }
 }
 

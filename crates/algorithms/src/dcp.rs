@@ -13,7 +13,7 @@
 //! what distinguishes DCP from MD and MCP, at O(v³) cost.
 
 use crate::list_common::{Machine, ReadySet};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{gate_schedule, Scheduler};
 use fastsched_dag::{Cost, Dag, NodeId};
 use fastsched_schedule::{ProcId, Schedule};
 
@@ -163,7 +163,9 @@ impl Scheduler for Dcp {
             machine.place(dag, n, p, s);
             ready.complete(dag, n);
         }
-        machine.into_schedule(dag).compact()
+        let s = machine.into_schedule(dag).compact();
+        gate_schedule(self.name(), dag, &s);
+        s
     }
 }
 

@@ -7,7 +7,7 @@
 //! overall.
 
 use crate::list_common::{DatCache, Machine, ReadySet};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{gate_schedule, Scheduler};
 use fastsched_dag::{attributes::static_levels, Dag, NodeId};
 use fastsched_schedule::{ProcId, Schedule};
 
@@ -64,7 +64,9 @@ impl Scheduler for Dls {
             machine.place(dag, NodeId(id), proc, est);
             ready.complete(dag, NodeId(id));
         }
-        machine.into_schedule(dag).compact()
+        let s = machine.into_schedule(dag).compact();
+        gate_schedule(self.name(), dag, &s);
+        s
     }
 }
 

@@ -28,7 +28,7 @@
 //! produces its characteristic O(v) processor usage (Figures 5(b),
 //! 6(b), 8(b)).
 
-use crate::scheduler::Scheduler;
+use crate::scheduler::{gate_schedule, Scheduler};
 use fastsched_dag::{attributes::b_levels, Cost, Dag, NodeId};
 use fastsched_schedule::{ProcId, Schedule};
 use std::cmp::Reverse;
@@ -235,7 +235,9 @@ impl Scheduler for Dsc {
                 finish[n.index()],
             );
         }
-        schedule.compact()
+        let s = schedule.compact();
+        gate_schedule(self.name(), dag, &s);
+        s
     }
 }
 

@@ -7,7 +7,7 @@
 //! node with the higher static level. O(p v²).
 
 use crate::list_common::{DatCache, Machine, ReadySet};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{gate_schedule, Scheduler};
 use fastsched_dag::{attributes::static_levels, Cost, Dag};
 use fastsched_schedule::{ProcId, Schedule};
 
@@ -60,7 +60,9 @@ impl Scheduler for Etf {
             machine.place(dag, n, proc, est);
             ready.complete(dag, n);
         }
-        machine.into_schedule(dag).compact()
+        let s = machine.into_schedule(dag).compact();
+        gate_schedule(self.name(), dag, &s);
+        s
     }
 }
 
@@ -97,6 +99,47 @@ mod tests {
         let st5 = s.start_of(paper_node(5)).unwrap();
         let st2 = s.start_of(paper_node(2)).unwrap();
         assert!(st5 <= st2, "ETF should start n5 ({st5}) before n2 ({st2})");
+    }
+
+    #[test]
+    fn cross_processor_tie_breaks_by_static_level_hand_computed() {
+        // §5 audit case: after n0 (w=5) runs on P0, both n1 (w=9,
+        // SL=9) and n2 (w=4, SL=14) become ready with EST 5 on *both*
+        // processors (zero-cost edges from n0) — a four-way
+        // (node × processor) tie on start time. The paper's rule picks
+        // the higher static level, so n2 must take P0 at t=5 and n1
+        // moves to the other processor; an id-order tie-break would
+        // seat n1 next to n0 instead. The heavy n2→n3 message (100)
+        // then pins n3 (w=9) and n4 (w=1) behind n2's processor.
+        //
+        // Hand-computed ETF timeline, 2 processors:
+        //   P0: n0 0–5, n2 5–9, n3 9–18, n4 18–19
+        //   P1: n1 5–14                          makespan 19
+        let mut b = fastsched_dag::DagBuilder::new();
+        let n0 = b.add_task(5);
+        let n1 = b.add_task(9);
+        let n2 = b.add_task(4);
+        let n3 = b.add_task(9);
+        let n4 = b.add_task(1);
+        b.add_edge(n0, n1, 0).unwrap();
+        b.add_edge(n0, n2, 0).unwrap();
+        b.add_edge(n2, n3, 100).unwrap();
+        b.add_edge(n3, n4, 0).unwrap();
+        let g = b.build().unwrap();
+
+        let s = Etf::new().schedule(&g, 2);
+        assert_eq!(validate(&g, &s), Ok(()));
+        assert_eq!(s.start_of(n2), Some(5), "n2 must win the t=5 tie");
+        assert_eq!(
+            s.proc_of(n2),
+            s.proc_of(n0),
+            "higher-SL n2 takes n0's processor"
+        );
+        assert_eq!(s.start_of(n1), Some(5));
+        assert_ne!(s.proc_of(n1), s.proc_of(n0), "n1 is displaced to P1");
+        assert_eq!(s.start_of(n3), Some(9));
+        assert_eq!(s.proc_of(n3), s.proc_of(n2));
+        assert_eq!(s.makespan(), 19);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! priority order) with the tentative cluster→processor assignment.
 //! O(e · (v + e)) overall.
 
-use crate::scheduler::Scheduler;
+use crate::scheduler::{gate_schedule, Scheduler};
 use fastsched_dag::{attributes::b_levels, Dag, NodeId};
 use fastsched_schedule::evaluate::{evaluate_fixed_order, evaluate_makespan_into};
 use fastsched_schedule::{ProcId, Schedule};
@@ -103,7 +103,9 @@ impl Scheduler for Ez {
         // Processor ids are cluster representatives (sparse); the pool
         // must cover the largest id — compact() densifies afterwards.
         let pool = (v as u32).max(num_procs);
-        evaluate_fixed_order(dag, &order, &assignment, pool).compact()
+        let s = evaluate_fixed_order(dag, &order, &assignment, pool).compact();
+        gate_schedule(self.name(), dag, &s);
+        s
     }
 }
 

@@ -16,7 +16,7 @@
 //! producing makespans bit-identical to a full O(v + e) replay — the
 //! search trajectory is unchanged, only cheaper.
 
-use crate::scheduler::Scheduler;
+use crate::scheduler::{gate_schedule, Scheduler};
 use fastsched_dag::{
     classify_nodes, cpn_dominate_list, CpnListConfig, Dag, GraphAttributes, NodeClass, NodeId,
     ObnOrder,
@@ -207,7 +207,9 @@ impl Scheduler for Fast {
         let blocking = Self::blocking_nodes(dag);
         if blocking.is_empty() || num_procs < 2 {
             trace.phase_end("local_search");
-            return initial.compact();
+            let s = initial.compact();
+            gate_schedule(self.name(), dag, &s);
+            return s;
         }
 
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -247,7 +249,9 @@ impl Scheduler for Fast {
 
         trace.absorb_eval(eval.stats());
         trace.phase_end("local_search");
-        eval.to_schedule().compact()
+        let s = eval.to_schedule().compact();
+        gate_schedule(self.name(), dag, &s);
+        s
     }
 }
 

@@ -11,7 +11,7 @@
 //! winner is the lowest `(makespan, chain index)`.
 
 use crate::fast::{Fast, FastConfig};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{gate_schedule, Scheduler};
 use fastsched_dag::{Dag, NodeId};
 use fastsched_schedule::evaluate::evaluate_fixed_order;
 use fastsched_schedule::{DeltaEvaluator, ProcId, Schedule};
@@ -22,12 +22,19 @@ use rand::{Rng, SeedableRng};
 /// Tunables of the multi-start search.
 #[derive(Debug, Clone, Copy)]
 pub struct FastParallelConfig {
-    /// Independent search chains (threads).
+    /// Independent search chains. The chain count — not the thread
+    /// count — is what the result depends on.
     pub chains: u32,
     /// Probes per chain (each chain gets the full MAXSTEP budget).
     pub max_steps_per_chain: u32,
     /// Base RNG seed; chain `i` uses `seed + i`.
     pub seed: u64,
+    /// Worker threads the chains are partitioned over; `0` means one
+    /// thread per chain. Chains are statically assigned round-robin
+    /// (`chain i → worker i % threads`) and results are re-keyed by
+    /// chain index, so the schedule and the merged trace are
+    /// byte-identical for any thread count.
+    pub threads: u32,
 }
 
 impl Default for FastParallelConfig {
@@ -36,6 +43,7 @@ impl Default for FastParallelConfig {
             chains: 4,
             max_steps_per_chain: 64,
             seed: 0xFA57,
+            threads: 0,
         }
     }
 }
@@ -135,47 +143,74 @@ impl Scheduler for FastParallel {
         let blocking = Fast::blocking_nodes(dag);
         if blocking.is_empty() || num_procs < 2 || self.config.chains == 0 {
             trace.phase_end("local_search");
-            return initial.compact();
+            let s = initial.compact();
+            gate_schedule(self.name(), dag, &s);
+            return s;
         }
 
-        let results: Vec<(u64, Vec<ProcId>, SearchTrace)> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.config.chains)
-                .map(|i| {
-                    let assignment = assignment.clone();
+        // Partition the chains over `threads` workers (0 = one thread
+        // per chain). Worker `t` runs chains `t, t + threads, ...`
+        // sequentially; every result is keyed by chain index and
+        // re-sorted after the join, so the winner and the merged trace
+        // depend only on `(seed, chains)`, never on the thread count.
+        let chains = self.config.chains;
+        let workers = match self.config.threads {
+            0 => chains,
+            t => t.min(chains),
+        };
+        // (chain index, (makespan, assignment, collector)).
+        type ChainResult = (u32, (u64, Vec<ProcId>, SearchTrace));
+        let mut results: Vec<ChainResult> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let assignment = &assignment;
                     let order = &order;
                     let blocking = &blocking;
                     scope.spawn(move |_| {
-                        run_chain(
-                            dag,
-                            order,
-                            blocking,
-                            assignment,
-                            num_procs,
-                            self.config.max_steps_per_chain,
-                            self.config.seed + i as u64,
-                        )
+                        (w..chains)
+                            .step_by(workers as usize)
+                            .map(|i| {
+                                (
+                                    i,
+                                    run_chain(
+                                        dag,
+                                        order,
+                                        blocking,
+                                        assignment.clone(),
+                                        num_procs,
+                                        self.config.max_steps_per_chain,
+                                        self.config.seed + i as u64,
+                                    ),
+                                )
+                            })
+                            .collect::<Vec<_>>()
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         })
         .expect("search chains do not panic");
+        results.sort_by_key(|&(i, _)| i);
 
-        // Fold the per-chain collectors in chain-index order — the
-        // join above is already in spawn order — so the merged totals
-        // and trajectory are deterministic however the threads ran.
-        for (_, _, chain_trace) in &results {
+        // Fold the per-chain collectors in chain-index order so the
+        // merged totals and trajectory are deterministic however the
+        // threads ran.
+        for (_, (_, _, chain_trace)) in &results {
             trace.merge(chain_trace);
         }
         trace.phase_end("local_search");
 
         let (_, best_assignment) = results
             .into_iter()
-            .enumerate()
             .min_by_key(|(i, (m, _, _))| (*m, *i))
             .map(|(_, (m, a, _))| (m, a))
             .expect("at least one chain");
-        evaluate_fixed_order(dag, &order, &best_assignment, num_procs).compact()
+        let s = evaluate_fixed_order(dag, &order, &best_assignment, num_procs).compact();
+        gate_schedule(self.name(), dag, &s);
+        s
     }
 }
 
@@ -208,9 +243,34 @@ mod tests {
             chains: 4,
             max_steps_per_chain: 64,
             seed: 0xFA57,
+            threads: 0,
         })
         .schedule(&g, 9);
         assert!(multi.makespan() <= single.makespan());
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_schedule() {
+        let g = paper_figure1();
+        let reference = FastParallel::with_config(FastParallelConfig {
+            chains: 5,
+            threads: 0,
+            ..Default::default()
+        })
+        .schedule(&g, 9);
+        for threads in [1, 2, 3, 8] {
+            let s = FastParallel::with_config(FastParallelConfig {
+                chains: 5,
+                threads,
+                ..Default::default()
+            })
+            .schedule(&g, 9);
+            assert_eq!(
+                fastsched_schedule::io::to_json(&s),
+                fastsched_schedule::io::to_json(&reference),
+                "threads = {threads} diverged"
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! FAST-SA never returns worse than its initial schedule).
 
 use crate::fast::{Fast, FastConfig};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{gate_schedule, Scheduler};
 use fastsched_dag::Dag;
 use fastsched_schedule::evaluate::evaluate_fixed_order;
 use fastsched_schedule::{DeltaEvaluator, ProcId, Schedule};
@@ -81,7 +81,9 @@ impl Scheduler for FastSa {
         let blocking = Fast::blocking_nodes(dag);
         if blocking.is_empty() || num_procs < 2 || self.config.steps == 0 {
             trace.phase_end("local_search");
-            return initial.compact();
+            let s = initial.compact();
+            gate_schedule(self.name(), dag, &s);
+            return s;
         }
 
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -133,7 +135,9 @@ impl Scheduler for FastSa {
 
         trace.absorb_eval(eval.stats());
         trace.phase_end("local_search");
-        evaluate_fixed_order(dag, eval.order(), &best_assignment, num_procs).compact()
+        let s = evaluate_fixed_order(dag, eval.order(), &best_assignment, num_procs).compact();
+        gate_schedule(self.name(), dag, &s);
+        s
     }
 }
 

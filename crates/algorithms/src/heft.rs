@@ -9,7 +9,7 @@
 //! insertion-based earliest finish time.
 
 use crate::list_common::{run_static_list, Machine};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{gate_schedule, Scheduler};
 use fastsched_dag::{attributes::b_levels, Dag, NodeId};
 use fastsched_schedule::Schedule;
 
@@ -44,7 +44,9 @@ impl Scheduler for Heft {
         let order = Self::priority_list(dag);
         // On identical processors minimizing EFT == minimizing EST, so
         // the shared insertion engine applies directly.
-        run_static_list(dag, &order, num_procs, true).compact()
+        let s = run_static_list(dag, &order, num_procs, true).compact();
+        gate_schedule(self.name(), dag, &s);
+        s
     }
 }
 

@@ -14,7 +14,9 @@
 
 use crate::list_common::Machine;
 use fastsched_dag::{Cost, Dag, NodeId};
-use fastsched_schedule::{data_arrival_time_with, CostModel, ProcId, Schedule, ScheduleError};
+use fastsched_schedule::{
+    data_arrival_time_with, validate_with, CostModel, ProcId, Schedule, ScheduleError,
+};
 
 // The speed table lives with the other cost models in
 // `fastsched-schedule`; re-exported here so existing users keep their
@@ -24,49 +26,17 @@ pub use fastsched_schedule::ProcessorSpeeds;
 /// Validate a schedule against the heterogeneous execution-time model:
 /// completeness, `finish - start == exec_time(w, proc)`,
 /// communication-aware precedence, and per-processor non-overlap.
+///
+/// Thin wrapper over the cost-model-generic
+/// [`validate_with`] — the speed
+/// table *is* a [`CostModel`], so the generic validator already checks
+/// exactly this machine.
 pub fn validate_hetero(
     dag: &Dag,
     schedule: &Schedule,
     speeds: &ProcessorSpeeds,
 ) -> Result<(), ScheduleError> {
-    if schedule.num_nodes() != dag.node_count() {
-        return Err(ScheduleError::WrongSize {
-            expected: dag.node_count(),
-            actual: schedule.num_nodes(),
-        });
-    }
-    for n in dag.nodes() {
-        match schedule.task(n) {
-            None => return Err(ScheduleError::Unscheduled(n.0)),
-            Some(t) => {
-                if t.finish != t.start + speeds.exec_time(dag.weight(n), t.proc) {
-                    return Err(ScheduleError::BadDuration(n.0));
-                }
-            }
-        }
-    }
-    for (p, c, cost) in dag.edges() {
-        let tp = schedule.task(p).unwrap();
-        let tc = schedule.task(c).unwrap();
-        let legal = if tp.proc == tc.proc {
-            tp.finish
-        } else {
-            tp.finish + cost
-        };
-        if tc.start < legal {
-            return Err(ScheduleError::PrecedenceViolation(
-                p.0, c.0, legal, tc.start,
-            ));
-        }
-    }
-    for lane in schedule.timelines() {
-        for w in lane.windows(2) {
-            if w[1].start < w[0].finish {
-                return Err(ScheduleError::Overlap(w[0].node.0, w[1].node.0));
-            }
-        }
-    }
-    Ok(())
+    validate_with(speeds, dag, schedule)
 }
 
 /// HEFT for heterogeneous processors: descending upward rank (mean
@@ -130,7 +100,9 @@ impl HeftHetero {
             let (eft, est, p) = best.expect("at least one processor");
             m.place_with_duration(n, p, est, eft - est);
         }
-        m.into_schedule(dag)
+        let s = m.into_schedule(dag);
+        crate::scheduler::gate_schedule_with("HEFT-hetero", &self.speeds, dag, &s);
+        s
     }
 }
 
@@ -195,7 +167,32 @@ mod tests {
         s.place(NodeId(1), ProcId(1), 10, 15);
         assert_eq!(
             validate_hetero(&g, &s, &speeds),
-            Err(ScheduleError::BadDuration(0))
+            Err(ScheduleError::BadDuration {
+                node: 0,
+                expected: 5,
+                actual: 10
+            })
+        );
+    }
+
+    #[test]
+    fn heft_schedule_on_two_speed_machine_passes_hetero_but_not_homogeneous() {
+        // Regression for the homogeneous-only validate(): a real HEFT
+        // schedule on a 2-speed machine uses sped-up durations, so the
+        // hetero validator must accept it while the homogeneous one
+        // rejects it with BadDuration — previously there was no way to
+        // legally validate it at all.
+        let g = paper_figure1();
+        let speeds = ProcessorSpeeds::new(vec![100, 200]);
+        let s = HeftHetero::new(speeds.clone()).schedule(&g);
+        assert_eq!(validate_hetero(&g, &s, &speeds), Ok(()));
+        assert!(
+            s.tasks().any(|t| t.finish - t.start != g.weight(t.node)),
+            "schedule must actually exercise a non-nominal speed"
+        );
+        assert_eq!(
+            fastsched_schedule::validate(&g, &s).map_err(|e| e.kind()),
+            Err(fastsched_schedule::ScheduleErrorKind::BadDuration)
         );
     }
 }

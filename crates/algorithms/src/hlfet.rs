@@ -8,7 +8,7 @@
 //! bench measures the value of FAST's CPN-Dominate ordering.
 
 use crate::list_common::run_static_list;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{gate_schedule, Scheduler};
 use fastsched_dag::{attributes::static_levels, Dag, NodeId};
 use fastsched_schedule::Schedule;
 
@@ -46,7 +46,9 @@ impl Scheduler for Hlfet {
     fn schedule(&self, dag: &Dag, num_procs: u32) -> Schedule {
         assert!(num_procs >= 1);
         let order = Self::priority_list(dag);
-        run_static_list(dag, &order, num_procs, false).compact()
+        let s = run_static_list(dag, &order, num_procs, false).compact();
+        gate_schedule(self.name(), dag, &s);
+        s
     }
 }
 

@@ -9,7 +9,7 @@
 //! it fits without delaying the hole owner's start.
 
 use crate::list_common::{DatCache, Machine, ReadySet};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{gate_schedule, Scheduler};
 use fastsched_dag::{attributes::static_levels, Cost, Dag, NodeId};
 use fastsched_schedule::{ProcId, Schedule};
 
@@ -101,7 +101,9 @@ impl Scheduler for Ish {
                 }
             }
         }
-        machine.into_schedule(dag).compact()
+        let s = machine.into_schedule(dag).compact();
+        gate_schedule(self.name(), dag, &s);
+        s
     }
 }
 

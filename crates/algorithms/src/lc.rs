@@ -7,7 +7,7 @@
 //! final schedule executes each cluster on its own processor in path
 //! order.
 
-use crate::scheduler::Scheduler;
+use crate::scheduler::{gate_schedule, Scheduler};
 use fastsched_dag::{Cost, Dag, NodeId};
 use fastsched_schedule::evaluate::evaluate_fixed_order;
 use fastsched_schedule::{ProcId, Schedule};
@@ -94,7 +94,9 @@ impl Scheduler for Lc {
         let order: Vec<NodeId> = dag.topo_order().to_vec();
         let assignment: Vec<ProcId> = cluster.iter().map(|&c| ProcId(c)).collect();
         let pool = next_cluster.max(num_procs).max(1);
-        evaluate_fixed_order(dag, &order, &assignment, pool).compact()
+        let s = evaluate_fixed_order(dag, &order, &assignment, pool).compact();
+        gate_schedule(self.name(), dag, &s);
+        s
     }
 }
 

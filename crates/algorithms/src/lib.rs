@@ -71,5 +71,7 @@ pub use ish::Ish;
 pub use lc::Lc;
 pub use mcp::Mcp;
 pub use md::Md;
-pub use optimal::BranchAndBound;
-pub use scheduler::{all_schedulers, paper_schedulers, Scheduler};
+pub use optimal::{BranchAndBound, OracleOutcome};
+pub use scheduler::{
+    all_schedulers, gate_schedule, gate_schedule_with, paper_schedulers, Scheduler,
+};

@@ -10,7 +10,7 @@
 //! ALAP machinery but schedules greedily like a list scheduler.
 
 use crate::list_common::run_static_list;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{gate_schedule, Scheduler};
 use fastsched_dag::{Dag, GraphAttributes, NodeId};
 use fastsched_schedule::Schedule;
 
@@ -41,7 +41,9 @@ impl Scheduler for Mcp {
     fn schedule(&self, dag: &Dag, num_procs: u32) -> Schedule {
         assert!(num_procs >= 1);
         let order = Self::priority_list(dag);
-        run_static_list(dag, &order, num_procs, true).compact()
+        let s = run_static_list(dag, &order, num_procs, true).compact();
+        gate_schedule(self.name(), dag, &s);
+        s
     }
 }
 

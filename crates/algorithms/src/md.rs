@@ -25,7 +25,7 @@
 //! while guaranteeing the result is always a legal schedule.
 
 use crate::list_common::{Machine, ReadySet};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{gate_schedule, Scheduler};
 use fastsched_dag::{Cost, Dag, NodeId};
 use fastsched_schedule::{ProcId, Schedule};
 
@@ -139,7 +139,9 @@ impl Scheduler for Md {
             machine.place(dag, n, p, s);
             ready.complete(dag, n);
         }
-        machine.into_schedule(dag).compact()
+        let s = machine.into_schedule(dag).compact();
+        gate_schedule(self.name(), dag, &s);
+        s
     }
 }
 

@@ -9,8 +9,14 @@
 //! in this crate inhabits. Complexity is exponential: intended for
 //! `v ≤ ~12`, `p ≤ ~3`, as the quality-reference in tests and
 //! ablations.
+//!
+//! The search carries a state cap (`max_states`) as a runaway guard;
+//! when the cap truncates the enumeration the returned incumbent is
+//! *not* an optimum and heuristics may legitimately beat it. Callers
+//! that use the result as a bound must go through
+//! [`BranchAndBound::solve`] and check [`OracleOutcome::complete`].
 
-use crate::scheduler::Scheduler;
+use crate::scheduler::{gate_schedule, Scheduler};
 use fastsched_dag::{Cost, Dag, NodeId};
 use fastsched_schedule::{ProcId, Schedule};
 
@@ -35,6 +41,98 @@ impl BranchAndBound {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Run the exhaustive search and report whether it completed.
+    ///
+    /// [`Scheduler::schedule`] silently returns the incumbent when the
+    /// state cap truncates the search; tests that use the result as an
+    /// optimality bound must check [`OracleOutcome::complete`] first —
+    /// a truncated incumbent is an upper bound on nothing.
+    pub fn solve(&self, dag: &Dag, num_procs: u32) -> OracleOutcome {
+        assert!(num_procs >= 1);
+        let v = dag.node_count();
+        assert!(v <= 16, "exhaustive search is for tiny graphs (v <= 16)");
+
+        // Computation-only b-level (ignores communication): admissible.
+        let mut comp = vec![0 as Cost; v];
+        for &n in dag.topo_order().iter().rev() {
+            let best = dag
+                .succs(n)
+                .iter()
+                .map(|e| comp[e.node.index()])
+                .max()
+                .unwrap_or(0);
+            comp[n.index()] = dag.weight(n) + best;
+        }
+
+        let mut search = Search {
+            dag,
+            num_procs,
+            comp_blevel: comp,
+            best: Cost::MAX,
+            best_plan: Vec::new(),
+            plan: Vec::new(),
+            states: 0,
+            max_states: self.max_states,
+        };
+        let mut indeg: Vec<u32> = dag.nodes().map(|n| dag.in_degree(n) as u32).collect();
+        let mut ready = dag.entry_nodes();
+        let mut finish = vec![0 as Cost; v];
+        let mut proc = vec![ProcId(0); v];
+        let mut proc_ready = vec![0 as Cost; num_procs as usize];
+        search.dfs(
+            &mut indeg,
+            &mut ready,
+            &mut finish,
+            &mut proc,
+            &mut proc_ready,
+            0,
+            0,
+        );
+
+        // Replay the best plan into a Schedule.
+        let mut schedule = Schedule::new(v, num_procs);
+        let mut fin = vec![0 as Cost; v];
+        let mut pr = vec![0 as Cost; num_procs as usize];
+        let mut pa = vec![ProcId(0); v];
+        for &(n, p) in &search.best_plan {
+            let mut dat = 0;
+            for e in dag.preds(n) {
+                let f = fin[e.node.index()];
+                dat = dat.max(if pa[e.node.index()] == p {
+                    f
+                } else {
+                    f + e.cost
+                });
+            }
+            let start = dat.max(pr[p.index()]);
+            let end = start + dag.weight(n);
+            fin[n.index()] = end;
+            pa[n.index()] = p;
+            pr[p.index()] = end;
+            schedule.place(n, p, start, end);
+        }
+        let s = schedule.compact();
+        gate_schedule("B&B", dag, &s);
+        OracleOutcome {
+            schedule: s,
+            complete: search.states <= search.max_states,
+            states: search.states.min(search.max_states),
+        }
+    }
+}
+
+/// Result of an exhaustive [`BranchAndBound::solve`] run.
+#[derive(Debug, Clone)]
+pub struct OracleOutcome {
+    /// The best schedule found (the exact optimum iff `complete`).
+    pub schedule: Schedule,
+    /// True when the pruned tree was enumerated in full; false when
+    /// `max_states` truncated the search, in which case `schedule` is
+    /// only the best incumbent and proves no bound.
+    pub complete: bool,
+    /// States explored (capped at `max_states`).
+    pub states: u64,
 }
 
 struct Search<'a> {
@@ -163,70 +261,7 @@ impl Scheduler for BranchAndBound {
     }
 
     fn schedule(&self, dag: &Dag, num_procs: u32) -> Schedule {
-        assert!(num_procs >= 1);
-        let v = dag.node_count();
-        assert!(v <= 16, "exhaustive search is for tiny graphs (v <= 16)");
-
-        // Computation-only b-level (ignores communication): admissible.
-        let mut comp = vec![0 as Cost; v];
-        for &n in dag.topo_order().iter().rev() {
-            let best = dag
-                .succs(n)
-                .iter()
-                .map(|e| comp[e.node.index()])
-                .max()
-                .unwrap_or(0);
-            comp[n.index()] = dag.weight(n) + best;
-        }
-
-        let mut search = Search {
-            dag,
-            num_procs,
-            comp_blevel: comp,
-            best: Cost::MAX,
-            best_plan: Vec::new(),
-            plan: Vec::new(),
-            states: 0,
-            max_states: self.max_states,
-        };
-        let mut indeg: Vec<u32> = dag.nodes().map(|n| dag.in_degree(n) as u32).collect();
-        let mut ready = dag.entry_nodes();
-        let mut finish = vec![0 as Cost; v];
-        let mut proc = vec![ProcId(0); v];
-        let mut proc_ready = vec![0 as Cost; num_procs as usize];
-        search.dfs(
-            &mut indeg,
-            &mut ready,
-            &mut finish,
-            &mut proc,
-            &mut proc_ready,
-            0,
-            0,
-        );
-
-        // Replay the best plan into a Schedule.
-        let mut schedule = Schedule::new(v, num_procs);
-        let mut fin = vec![0 as Cost; v];
-        let mut pr = vec![0 as Cost; num_procs as usize];
-        let mut pa = vec![ProcId(0); v];
-        for &(n, p) in &search.best_plan {
-            let mut dat = 0;
-            for e in dag.preds(n) {
-                let f = fin[e.node.index()];
-                dat = dat.max(if pa[e.node.index()] == p {
-                    f
-                } else {
-                    f + e.cost
-                });
-            }
-            let start = dat.max(pr[p.index()]);
-            let end = start + dag.weight(n);
-            fin[n.index()] = end;
-            pa[n.index()] = p;
-            pr[p.index()] = end;
-            schedule.place(n, p, start, end);
-        }
-        schedule.compact()
+        self.solve(dag, num_procs).schedule
     }
 }
 
@@ -268,6 +303,18 @@ mod tests {
         // arrangement does better: serializing two workers locally
         // pushes the join to 12, and everything-local to 16.
         assert_eq!(s.makespan(), 14);
+    }
+
+    #[test]
+    fn solve_reports_truncation_honestly() {
+        let g = paper_figure1();
+        let full = BranchAndBound::new().solve(&g, 3);
+        assert!(full.complete, "9 nodes x 3 procs should enumerate fully");
+        assert!(full.states > 0);
+        // Starve the same search: the incumbent comes back flagged.
+        let starved = BranchAndBound { max_states: 50 }.solve(&g, 3);
+        assert!(!starved.complete);
+        assert!(starved.schedule.makespan() >= full.schedule.makespan());
     }
 
     #[test]

@@ -2,8 +2,37 @@
 //! by the CLI and the benchmark harness.
 
 use fastsched_dag::Dag;
-use fastsched_schedule::Schedule;
+use fastsched_schedule::{validate_with, CostModel, HomogeneousModel, Schedule};
 use fastsched_trace::SearchTrace;
+
+/// The correctness gate: validate `schedule` under `model` and panic
+/// with the algorithm's name and the structured violation if it is
+/// illegal.
+///
+/// Compiled to a real check in debug builds and whenever the
+/// `validate` cargo feature is on; a no-op otherwise, so release-mode
+/// benchmarks never pay the O(v log v + e) validation. Every
+/// [`Scheduler`] implementation in this crate runs its returned
+/// schedule through here — an algorithm bug surfaces at the algorithm,
+/// not three layers later in a simulator or metric.
+pub fn gate_schedule_with<M: CostModel + ?Sized>(
+    name: &str,
+    model: &M,
+    dag: &Dag,
+    schedule: &Schedule,
+) {
+    if cfg!(any(debug_assertions, feature = "validate")) {
+        if let Err(e) = validate_with(model, dag, schedule) {
+            panic!("{name} returned an illegal schedule: {e}");
+        }
+    }
+}
+
+/// [`gate_schedule_with`] under the paper's homogeneous machine model
+/// — the gate used by every homogeneous scheduler in this crate.
+pub fn gate_schedule(name: &str, dag: &Dag, schedule: &Schedule) {
+    gate_schedule_with(name, &HomogeneousModel, dag, schedule);
+}
 
 /// A static DAG-scheduling algorithm.
 ///

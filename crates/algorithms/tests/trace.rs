@@ -221,6 +221,7 @@ fn parallel_counters_are_deterministic() {
         chains: 4,
         max_steps_per_chain: 128,
         seed: 0xFA57,
+        threads: 0,
     });
     let run = || {
         let mut trace = SearchTrace::default();

@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         "dot" => cmd_dot(&opts),
         "schedule" => cmd_schedule(&opts),
         "simulate" => cmd_simulate(&opts),
+        "verify" => cmd_verify(&opts),
         "compare" => cmd_compare(&opts),
         "trace" => cmd_trace(&opts),
         "explain" => cmd_explain(&opts),
@@ -71,6 +72,8 @@ USAGE:
                  [--send-overhead <us>] [--recv-overhead <us>]
                  [--trace <out.json>] [--out-report <out.json>]
                  [--perfetto <out.json>]
+  casch verify   --dag <file.json> --schedule <sched.json>
+                 [--speeds <pct,pct,...>] [--report <report.json>]
   casch compare  (--dag <file.json> | --app <name> --size <n>) [--procs <p>] [--seed <s>] [--all]
   casch trace    --in <trace.ndjson>
   casch explain  (--in <trace.ndjson> | --dag <file.json> --algo <name> [--procs <p>])
@@ -85,6 +88,14 @@ build with `--features trace` or the file only carries metadata.
 from the same provenance (candidate processors probed, their
 ready/data-arrival/start times, the winning reason, and every
 local-search transfer that touched the node).
+
+`casch verify` runs the structural validator over a saved schedule:
+task count, processor bounds, durations under the cost model
+(`--speeds` switches to the heterogeneous model, percent of nominal),
+communication-delayed precedence, and per-processor overlap. It prints
+`OK` with the makespan or `INVALID:` with the first violation and a
+nonzero exit; `--report` additionally cross-checks a simulator report
+saved with `--out-report` against the schedule.
 
 `--perfetto` writes a Chrome-trace-event JSON timeline — per-processor
 tracks, message flow arrows, and (from `casch simulate`, which records
@@ -452,6 +463,102 @@ fn cmd_simulate(opts: &Flags) -> Result<(), String> {
     println!("remote messages:    {}", report.messages);
     println!("contention delay:   {}", report.contention_delay);
     println!("utilization:        {:.3}", report.utilization());
+    Ok(())
+}
+
+fn cmd_verify(opts: &Flags) -> Result<(), String> {
+    use fastsched_schedule::{validate, validate_with, ProcessorSpeeds};
+    let dag = load_dag(opts)?;
+    let sched_path = opts.get("schedule").ok_or("missing --schedule")?;
+    let text =
+        std::fs::read_to_string(sched_path).map_err(|e| format!("reading {sched_path}: {e}"))?;
+    let schedule = fastsched_schedule::io::from_json(&text, dag.node_count())
+        .map_err(|e| format!("{sched_path}: {e}"))?;
+
+    let verdict = match opts.get("speeds") {
+        Some(spec) => {
+            let pcts: Vec<u32> = spec
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<u32>()
+                        .ok()
+                        .filter(|&p| p > 0)
+                        .ok_or_else(|| {
+                            format!("--speeds must be positive percentages, got `{spec}`")
+                        })
+                })
+                .collect::<Result<_, _>>()?;
+            let speeds = ProcessorSpeeds::new(pcts);
+            if speeds.count() < schedule.num_procs() {
+                return Err(format!(
+                    "--speeds lists {} processor(s) but the schedule file declares {}",
+                    speeds.count(),
+                    schedule.num_procs()
+                ));
+            }
+            println!("model: heterogeneous ({spec} % of nominal)");
+            validate_with(&speeds, &dag, &schedule)
+        }
+        None => {
+            println!("model: homogeneous");
+            validate(&dag, &schedule)
+        }
+    };
+    if let Err(e) = verdict {
+        println!("INVALID: {e}");
+        // A failed verification is a verdict, not a usage error: exit
+        // nonzero without the usage banner.
+        std::process::exit(1);
+    }
+    println!(
+        "OK: {} task(s) on {} processor(s), makespan {}",
+        dag.node_count(),
+        schedule.processors_used(),
+        schedule.makespan()
+    );
+
+    if let Some(path) = opts.get("report") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let report: fastsched_sim::ExecutionReport =
+            serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+        let mut faults = Vec::new();
+        if report.predicted_makespan != schedule.makespan() {
+            faults.push(format!(
+                "report predicts makespan {} but the schedule says {}",
+                report.predicted_makespan,
+                schedule.makespan()
+            ));
+        }
+        if report.execution_time < report.predicted_makespan {
+            faults.push(format!(
+                "measured execution {} beats the abstract prediction {} — \
+                 the network can only add time",
+                report.execution_time, report.predicted_makespan
+            ));
+        }
+        if report.processors_used != schedule.processors_used() {
+            faults.push(format!(
+                "report used {} processor(s), schedule uses {}",
+                report.processors_used,
+                schedule.processors_used()
+            ));
+        }
+        if report.finish_times.len() != dag.node_count() {
+            faults.push(format!(
+                "report carries {} finish time(s) for {} task(s)",
+                report.finish_times.len(),
+                dag.node_count()
+            ));
+        }
+        if !faults.is_empty() {
+            for f in &faults {
+                println!("INVALID: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("OK: report is consistent with the schedule");
+    }
     Ok(())
 }
 

@@ -161,6 +161,159 @@ fn extension_algorithms_are_reachable_from_cli() {
 }
 
 #[test]
+fn verify_accepts_legal_schedules_and_rejects_corrupted_ones() {
+    let dir = std::env::temp_dir().join(format!("casch-verify-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dag_path = dir.join("g.json");
+    let sched_path = dir.join("sched.json");
+    let report_path = dir.join("report.json");
+
+    casch()
+        .args(["generate", "--app", "gauss", "--size", "4", "--out"])
+        .arg(&dag_path)
+        .output()
+        .unwrap();
+    let out = casch()
+        .args(["schedule", "--algo", "fast", "--procs", "4", "--dag"])
+        .arg(&dag_path)
+        .args(["--out-schedule"])
+        .arg(&sched_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // A legal schedule verifies under the homogeneous model.
+    let out = casch()
+        .args(["verify", "--dag"])
+        .arg(&dag_path)
+        .args(["--schedule"])
+        .arg(&sched_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("OK:"), "{text}");
+    assert!(text.contains("makespan"), "{text}");
+
+    // Corrupt the JSON by swapping the first task's start and finish
+    // keys (a reversed-duration task): verify must reject with a
+    // structured violation and a nonzero exit.
+    let json = std::fs::read_to_string(&sched_path).unwrap();
+    let corrupted = json
+        .replacen("\"start\"", "\"__tmp__\"", 1)
+        .replacen("\"finish\"", "\"start\"", 1)
+        .replacen("\"__tmp__\"", "\"finish\"", 1);
+    assert_ne!(json, corrupted, "corruption must land");
+    let bad_path = dir.join("bad.json");
+    std::fs::write(&bad_path, corrupted).unwrap();
+    let out = casch()
+        .args(["verify", "--dag"])
+        .arg(&dag_path)
+        .args(["--schedule"])
+        .arg(&bad_path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("INVALID:"), "{text}");
+
+    // A homogeneous schedule fails under a 2x-speed hetero model
+    // (durations are nominal, the model expects them halved)…
+    let out = casch()
+        .args(["verify", "--dag"])
+        .arg(&dag_path)
+        .args(["--schedule"])
+        .arg(&sched_path)
+        .args(["--speeds", "200,200,200,200"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("INVALID:"));
+
+    // …and passes when every speed is nominal.
+    let out = casch()
+        .args(["verify", "--dag"])
+        .arg(&dag_path)
+        .args(["--schedule"])
+        .arg(&sched_path)
+        .args(["--speeds", "100,100,100,100"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Too few --speeds entries for the schedule is a usage error.
+    let out = casch()
+        .args(["verify", "--dag"])
+        .arg(&dag_path)
+        .args(["--schedule"])
+        .arg(&sched_path)
+        .args(["--speeds", "100"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--speeds"));
+
+    // Report cross-check: a matching simulator report is consistent…
+    let out = casch()
+        .args(["simulate", "--dag"])
+        .arg(&dag_path)
+        .args(["--schedule"])
+        .arg(&sched_path)
+        .args(["--out-report"])
+        .arg(&report_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = casch()
+        .args(["verify", "--dag"])
+        .arg(&dag_path)
+        .args(["--schedule"])
+        .arg(&sched_path)
+        .args(["--report"])
+        .arg(&report_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("report is consistent"));
+
+    // …and a report for a different schedule is caught.
+    let other_sched = dir.join("other.json");
+    let out = casch()
+        .args(["schedule", "--algo", "hlfet", "--procs", "2", "--dag"])
+        .arg(&dag_path)
+        .args(["--out-schedule"])
+        .arg(&other_sched)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = casch()
+        .args(["verify", "--dag"])
+        .arg(&dag_path)
+        .args(["--schedule"])
+        .arg(&other_sched)
+        .args(["--report"])
+        .arg(&report_path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("INVALID:"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn compare_runs_all_paper_algorithms() {
     let out = casch()
         .args(["compare", "--app", "fft", "--size", "16"])

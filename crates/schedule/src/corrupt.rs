@@ -1,0 +1,364 @@
+//! Seeded schedule-corruption operators for mutation-testing the
+//! validator.
+//!
+//! Each [`Corruption`] takes a *legal* schedule and injects exactly one
+//! violation whose [`ScheduleErrorKind`] is known in advance
+//! ([`Corruption::expected_kind`]). The differential fuzz harness
+//! applies every operator to every corpus schedule and requires
+//! [`validate_with`](crate::validate::validate_with) to reject each
+//! mutant with exactly that kind — proving the validator has teeth,
+//! not just that it accepts good schedules.
+//!
+//! Operators are deterministic given `(schedule, kind, seed)`; an
+//! operator returns `None` when the schedule offers no site for its
+//! violation (e.g. [`Corruption::DropCommDelay`] on a fully co-located
+//! schedule).
+
+use crate::cost::CostModel;
+use crate::schedule::Schedule;
+use crate::validate::ScheduleErrorKind;
+use fastsched_dag::{Cost, Dag, NodeId};
+
+/// One class of schedule corruption, named by the rule it breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corruption {
+    /// Remove one node's placement entirely.
+    Unschedule,
+    /// Lengthen one task's occupancy past its model-priced duration.
+    StretchDuration,
+    /// Shorten one task's occupancy below its model-priced duration.
+    TruncateDuration,
+    /// Start one non-entry task one tick before its messages arrive.
+    EarlyStart,
+    /// Start a remote child at its parent's finish, ignoring the
+    /// message delay the cost model charges for the crossing edge.
+    DropCommDelay,
+    /// Slide a task back into its lane predecessor's interval (while
+    /// keeping all its messages arrived, so *only* the overlap rule
+    /// breaks).
+    OverlapPair,
+    /// Price one task at its nominal DAG weight on a processor where
+    /// the cost model demands a different execution time (applicable
+    /// only under heterogeneous models).
+    NominalDuration,
+    /// Push one task's start so late that `start + duration` exceeds
+    /// the `u64` range.
+    OverflowStart,
+    /// Resize the schedule container to the wrong node count.
+    WrongSize,
+}
+
+impl Corruption {
+    /// Every operator, in a fixed order (the mutation test iterates
+    /// this).
+    pub const ALL: [Corruption; 9] = [
+        Corruption::Unschedule,
+        Corruption::StretchDuration,
+        Corruption::TruncateDuration,
+        Corruption::EarlyStart,
+        Corruption::DropCommDelay,
+        Corruption::OverlapPair,
+        Corruption::NominalDuration,
+        Corruption::OverflowStart,
+        Corruption::WrongSize,
+    ];
+
+    /// The error kind the validator must report for this corruption.
+    pub fn expected_kind(self) -> ScheduleErrorKind {
+        match self {
+            Corruption::Unschedule => ScheduleErrorKind::Unscheduled,
+            Corruption::StretchDuration
+            | Corruption::TruncateDuration
+            | Corruption::NominalDuration => ScheduleErrorKind::BadDuration,
+            Corruption::EarlyStart | Corruption::DropCommDelay => {
+                ScheduleErrorKind::PrecedenceViolation
+            }
+            Corruption::OverlapPair => ScheduleErrorKind::Overlap,
+            Corruption::OverflowStart => ScheduleErrorKind::TimeOverflow,
+            Corruption::WrongSize => ScheduleErrorKind::WrongSize,
+        }
+    }
+}
+
+/// SplitMix64: tiny, seedable, dependency-free. Mutation sites only
+/// need a few well-distributed picks, not cryptographic quality.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform pick in `0..n` (`n > 0`).
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Earliest start the cost model permits for `node` on its assigned
+/// processor: the max message-arrival time over its in-edges.
+fn legal_start<M: CostModel + ?Sized>(
+    model: &M,
+    dag: &Dag,
+    schedule: &Schedule,
+    node: NodeId,
+) -> Cost {
+    let proc = schedule.task(node).expect("node placed").proc;
+    dag.preds(node)
+        .iter()
+        .map(|e| {
+            let tp = schedule.task(e.node).expect("parent placed");
+            tp.finish
+                .saturating_add(model.message_cost(e.cost, tp.proc, proc))
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Apply `kind` to a copy of `schedule` (assumed legal under `model`),
+/// choosing the mutation site with `seed`.
+///
+/// Returns `None` when the schedule has no site where this corruption
+/// both applies and is guaranteed to produce
+/// [`Corruption::expected_kind`] — callers skip, they don't fail.
+pub fn corrupt_with<M: CostModel + ?Sized>(
+    model: &M,
+    dag: &Dag,
+    schedule: &Schedule,
+    kind: Corruption,
+    seed: u64,
+) -> Option<Schedule> {
+    let mut rng = SplitMix64(seed ^ 0xC0_22_FF_7E_D5_C8_ED);
+    let n = dag.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut s = schedule.clone();
+    match kind {
+        Corruption::Unschedule => {
+            s.unplace(NodeId(rng.pick(n) as u32));
+            Some(s)
+        }
+        Corruption::StretchDuration => {
+            // Rotate from a random start so different seeds hit
+            // different nodes; first node whose finish can grow.
+            let off = rng.pick(n);
+            for i in 0..n {
+                let node = NodeId(((off + i) % n) as u32);
+                let t = s.task(node)?;
+                if let Some(f) = t.finish.checked_add(1) {
+                    s.place(node, t.proc, t.start, f);
+                    return Some(s);
+                }
+            }
+            None
+        }
+        Corruption::TruncateDuration => {
+            let off = rng.pick(n);
+            for i in 0..n {
+                let node = NodeId(((off + i) % n) as u32);
+                let t = s.task(node)?;
+                if let Some(f) = t.finish.checked_sub(1) {
+                    s.place(node, t.proc, t.start, f);
+                    return Some(s);
+                }
+            }
+            None
+        }
+        Corruption::EarlyStart => {
+            // A node whose legal start is > 0 can be moved one tick
+            // early; duration is preserved so only precedence (checked
+            // before overlap) can fire.
+            let off = rng.pick(n);
+            for i in 0..n {
+                let node = NodeId(((off + i) % n) as u32);
+                let t = s.task(node)?;
+                let legal = legal_start(model, dag, &s, node);
+                if legal > 0 && t.start >= legal {
+                    let start = legal - 1;
+                    let dur = model.compute_cost(dag, node, t.proc);
+                    s.place(node, t.proc, start, start.checked_add(dur)?);
+                    return Some(s);
+                }
+            }
+            None
+        }
+        Corruption::DropCommDelay => {
+            // A remote edge with a positive priced delay: start the
+            // child exactly at the parent's finish.
+            let mut sites: Vec<(NodeId, NodeId)> = Vec::new();
+            for (p, c, cost) in dag.edges() {
+                let (tp, tc) = (s.task(p)?, s.task(c)?);
+                if tp.proc != tc.proc && model.message_cost(cost, tp.proc, tc.proc) > 0 {
+                    sites.push((p, c));
+                }
+            }
+            if sites.is_empty() {
+                return None;
+            }
+            let (p, c) = sites[rng.pick(sites.len())];
+            let (tp, tc) = (s.task(p)?, s.task(c)?);
+            let dur = model.compute_cost(dag, c, tc.proc);
+            s.place(c, tc.proc, tp.finish, tp.finish.checked_add(dur)?);
+            Some(s)
+        }
+        Corruption::OverlapPair => {
+            // Adjacent lane pair (a, b): slide b to a.finish - 1,
+            // provided that start still honours b's message arrivals
+            // (so precedence holds) and lands strictly inside a's
+            // interval after a's start (so the sorted lane keeps a
+            // first and the overlap rule is the one that fires).
+            let mut sites: Vec<(NodeId, Cost)> = Vec::new();
+            for lane in s.timelines() {
+                for w in lane.windows(2) {
+                    let target = w[0].finish.checked_sub(1);
+                    if let Some(target) = target {
+                        if target > w[0].start
+                            && target < w[1].start
+                            && target >= legal_start(model, dag, &s, w[1].node)
+                        {
+                            sites.push((w[1].node, target));
+                        }
+                    }
+                }
+            }
+            if sites.is_empty() {
+                return None;
+            }
+            let (b, start) = sites[rng.pick(sites.len())];
+            let tb = s.task(b)?;
+            let dur = model.compute_cost(dag, b, tb.proc);
+            s.place(b, tb.proc, start, start.checked_add(dur)?);
+            Some(s)
+        }
+        Corruption::NominalDuration => {
+            // Only meaningful when the model disagrees with the nominal
+            // weight somewhere (heterogeneous speeds).
+            let off = rng.pick(n);
+            for i in 0..n {
+                let node = NodeId(((off + i) % n) as u32);
+                let t = s.task(node)?;
+                let w = dag.weight(node);
+                if model.compute_cost(dag, node, t.proc) != w {
+                    s.place(node, t.proc, t.start, t.start.checked_add(w)?);
+                    return Some(s);
+                }
+            }
+            None
+        }
+        Corruption::OverflowStart => {
+            // Needs a positive duration so MAX + dur actually overflows.
+            let off = rng.pick(n);
+            for i in 0..n {
+                let node = NodeId(((off + i) % n) as u32);
+                let t = s.task(node)?;
+                if model.compute_cost(dag, node, t.proc) > 0 {
+                    s.place(node, t.proc, Cost::MAX, Cost::MAX);
+                    return Some(s);
+                }
+            }
+            None
+        }
+        Corruption::WrongSize => {
+            let mut bigger = Schedule::new(n + 1, s.num_procs());
+            for t in s.tasks() {
+                bigger.place(t.node, t.proc, t.start, t.finish);
+            }
+            Some(bigger)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{HomogeneousModel, ProcessorSpeeds};
+    use crate::schedule::ProcId;
+    use crate::validate::validate_with;
+    use fastsched_dag::DagBuilder;
+
+    /// Fork-join with one remote edge, lane neighbours, and an
+    /// independent task with slack (an OverlapPair site) — every
+    /// operator except NominalDuration has a site under the
+    /// homogeneous model.
+    fn rig() -> (Dag, Schedule) {
+        let mut b = DagBuilder::new();
+        let a = b.add_task(3);
+        let x = b.add_task(4);
+        let y = b.add_task(5);
+        let z = b.add_task(2);
+        b.add_task(2); // independent
+        b.add_edge(a, x, 2).unwrap();
+        b.add_edge(a, y, 6).unwrap();
+        b.add_edge(x, z, 1).unwrap();
+        b.add_edge(y, z, 1).unwrap();
+        let g = b.build().unwrap();
+        let mut s = Schedule::new(5, 2);
+        s.place(NodeId(0), ProcId(0), 0, 3);
+        s.place(NodeId(1), ProcId(0), 3, 7); // co-located after a
+        s.place(NodeId(2), ProcId(1), 9, 14); // remote: 3 + 6
+        s.place(NodeId(3), ProcId(1), 15, 17); // max(7+1, 14) -> 15
+        s.place(NodeId(4), ProcId(0), 8, 10); // free to slide into x
+        (g, s)
+    }
+
+    #[test]
+    fn every_applicable_operator_yields_its_expected_kind() {
+        let (g, s) = rig();
+        assert_eq!(validate_with(&HomogeneousModel, &g, &s), Ok(()));
+        let mut applied = 0;
+        for kind in Corruption::ALL {
+            for seed in 0..4u64 {
+                if let Some(bad) = corrupt_with(&HomogeneousModel, &g, &s, kind, seed) {
+                    let err = validate_with(&HomogeneousModel, &g, &bad)
+                        .expect_err("corrupted schedule must be rejected");
+                    assert_eq!(err.kind(), kind.expected_kind(), "{kind:?} seed {seed}");
+                    applied += 1;
+                }
+            }
+        }
+        assert!(applied >= 8, "only {applied} mutants applied");
+    }
+
+    #[test]
+    fn nominal_duration_applies_only_under_hetero_model() {
+        let (g, s) = rig();
+        assert!(corrupt_with(&HomogeneousModel, &g, &s, Corruption::NominalDuration, 0).is_none());
+
+        // Same DAG rescheduled under a 2x processor 1.
+        let speeds = ProcessorSpeeds::new(vec![100, 200]);
+        let mut s = Schedule::new(5, 2);
+        s.place(NodeId(0), ProcId(0), 0, 3);
+        s.place(NodeId(1), ProcId(0), 3, 7);
+        s.place(NodeId(2), ProcId(1), 9, 12); // ceil(5/2) = 3
+        s.place(NodeId(3), ProcId(1), 12, 13); // ceil(2/2) = 1
+        s.place(NodeId(4), ProcId(0), 8, 10); // speed 100: nominal
+        assert_eq!(validate_with(&speeds, &g, &s), Ok(()));
+        let bad = corrupt_with(&speeds, &g, &s, Corruption::NominalDuration, 0)
+            .expect("fast processor disagrees with nominal weights");
+        assert_eq!(
+            validate_with(&speeds, &g, &bad).map_err(|e| e.kind()),
+            Err(ScheduleErrorKind::BadDuration)
+        );
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let (g, s) = rig();
+        for kind in Corruption::ALL {
+            let a = corrupt_with(&HomogeneousModel, &g, &s, kind, 42);
+            let b = corrupt_with(&HomogeneousModel, &g, &s, kind, 42);
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(crate::io::to_json(&x), crate::io::to_json(&y));
+                }
+                (None, None) => {}
+                _ => panic!("{kind:?} not deterministic"),
+            }
+        }
+    }
+}

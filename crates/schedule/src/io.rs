@@ -58,6 +58,13 @@ impl ScheduleSpec {
                     actual: t.node as usize + 1,
                 });
             }
+            if t.proc >= self.num_procs {
+                return Err(ScheduleError::ProcOutOfRange {
+                    node: t.node,
+                    proc: t.proc,
+                    num_procs: self.num_procs,
+                });
+            }
             s.place(NodeId(t.node), ProcId(t.proc), t.start, t.finish);
         }
         Ok(s)
@@ -111,5 +118,21 @@ mod tests {
     #[test]
     fn rejects_malformed_json() {
         assert!(from_json("{nope", 2).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_processor_instead_of_panicking() {
+        // Hand-written JSON claiming PE7 on a 2-processor machine: the
+        // builder must return a structured error, not hit the
+        // `Schedule::place` assert.
+        let json = r#"{"num_procs":2,"tasks":[{"node":0,"proc":7,"start":0,"finish":5}]}"#;
+        assert_eq!(
+            from_json(json, 1),
+            Err(ScheduleError::ProcOutOfRange {
+                node: 0,
+                proc: 7,
+                num_procs: 2
+            })
+        );
     }
 }

@@ -4,8 +4,12 @@
 //!
 //! * [`Schedule`] — per-node processor assignment plus start/finish
 //!   times, with per-processor timelines;
-//! * [`validate()`](fn@validate) — precedence- and overlap-checking against the DAG
-//!   (every schedule any algorithm produces must pass);
+//! * [`validate()`](fn@validate) / [`validate_with()`](fn@validate_with)
+//!   — completeness-, duration-, precedence- and overlap-checking
+//!   against the DAG under any [`CostModel`] (every schedule any
+//!   algorithm produces must pass);
+//! * [`corrupt`] — seeded schedule-corruption operators that
+//!   mutation-test the validator itself;
 //! * [`metrics`] — schedule length, processors used, speedup,
 //!   efficiency, load balance, communication volume;
 //! * [`cost`] — the [`CostModel`] trait every evaluator is generic
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod corrupt;
 pub mod cost;
 pub mod diff;
 pub mod evaluate;
@@ -44,6 +49,7 @@ pub mod schedule;
 pub mod svg;
 pub mod validate;
 
+pub use corrupt::{corrupt_with, Corruption};
 pub use cost::{data_arrival_time_with, CostModel, HomogeneousModel, ProcessorSpeeds};
 pub use diff::{diff_schedules, PlacementDelta, ScheduleDiff};
 pub use evaluate::{
@@ -54,4 +60,4 @@ pub use fastsched_trace::EvalStats;
 pub use incremental::DeltaEvaluator;
 pub use metrics::ScheduleMetrics;
 pub use schedule::{ProcId, Schedule, ScheduledTask};
-pub use validate::{validate, ScheduleError};
+pub use validate::{validate, validate_with, ScheduleError, ScheduleErrorKind};

@@ -31,18 +31,24 @@ pub struct ScheduleMetrics {
 impl ScheduleMetrics {
     /// Compute every metric for a complete `schedule` of `dag`.
     ///
+    /// Time sums saturate at `Cost::MAX` so adversarial weights (from
+    /// the fuzz corpus) clamp instead of wrapping silently in release
+    /// builds.
+    ///
     /// Panics (debug) if the schedule is incomplete — validate first.
     pub fn compute(dag: &Dag, schedule: &Schedule) -> Self {
         debug_assert!(schedule.is_complete());
         let makespan = schedule.makespan();
-        let sequential_time = dag.total_computation();
+        let sequential_time = dag
+            .nodes()
+            .fold(0u64, |acc, n| acc.saturating_add(dag.weight(n)));
         let processors_used = schedule.processors_used();
 
-        let mut remote_communication = 0;
+        let mut remote_communication: Cost = 0;
         let mut remote_edges = 0usize;
         for (p, c, cost) in dag.edges() {
             if schedule.proc_of(p) != schedule.proc_of(c) {
-                remote_communication += cost;
+                remote_communication = remote_communication.saturating_add(cost);
                 remote_edges += 1;
             }
         }
@@ -137,5 +143,23 @@ mod tests {
         let m = ScheduleMetrics::compute(&g, &s);
         // busy = 12, capacity = 10 * 2 = 20.
         assert!((m.utilization - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adversarial_weights_saturate_instead_of_wrapping() {
+        // Two near-MAX weights and a near-MAX remote edge: the sums
+        // must clamp at Cost::MAX, never wrap to a small number.
+        let mut b = DagBuilder::new();
+        let a = b.add_task(Cost::MAX / 2 + 1);
+        let c = b.add_task(Cost::MAX / 2 + 1);
+        b.add_edge(a, c, Cost::MAX - 1).unwrap();
+        let g = b.build().unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(NodeId(0), ProcId(0), 0, Cost::MAX / 2 + 1);
+        s.place(NodeId(1), ProcId(1), Cost::MAX / 2 + 1, Cost::MAX);
+        let m = ScheduleMetrics::compute(&g, &s);
+        assert_eq!(m.sequential_time, Cost::MAX);
+        assert_eq!(m.remote_communication, Cost::MAX - 1);
+        assert!(m.speedup >= 1.0);
     }
 }

@@ -43,7 +43,7 @@ pub struct ScheduledTask {
 /// * a node is placed at most once (re-placing replaces its slot);
 /// * `finish == start + w` is the *caller's* responsibility and is
 ///   checked by [`crate::validate::validate`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Schedule {
     num_procs: u32,
     tasks: Vec<Option<ScheduledTask>>, // indexed by NodeId

@@ -1,22 +1,56 @@
 //! Schedule validation: the ground truth every algorithm's output must
-//! satisfy.
+//! satisfy — generalized over the [`CostModel`] the scheduler used.
+//!
+//! [`validate`] checks the paper's homogeneous machine;
+//! [`validate_with`] takes any [`CostModel`], so heterogeneous-speed
+//! and topology-priced schedules are checked under the *same* rules
+//! the scheduler priced placements with. All time arithmetic is
+//! checked: adversarial `u64` weights (e.g. from the fuzz corpus)
+//! produce a structured [`ScheduleError::TimeOverflow`] instead of
+//! silently wrapping.
 
+use crate::cost::{CostModel, HomogeneousModel};
 use crate::schedule::Schedule;
-use fastsched_dag::Dag;
+use fastsched_dag::{Cost, Dag};
 use std::fmt;
 
-/// Violations detected by [`validate`].
+/// Violations detected by [`validate_with`], with enough structure to
+/// say *which* rule broke and by how much.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScheduleError {
     /// A node was never placed.
     Unscheduled(u32),
-    /// `finish != start + w(n)` for a node.
-    BadDuration(u32),
-    /// A child starts before its parent's message can arrive:
-    /// `(parent, child, earliest_legal_start, actual_start)`.
-    PrecedenceViolation(u32, u32, u64, u64),
+    /// A node's occupancy does not match its execution time under the
+    /// cost model: `finish != start + compute_cost(node, proc)`.
+    BadDuration {
+        /// The offending node.
+        node: u32,
+        /// Execution time the cost model demands on the node's processor.
+        expected: Cost,
+        /// Observed `finish - start` (saturating at 0 if `finish < start`).
+        actual: Cost,
+    },
+    /// A child starts before its parent's message can arrive under the
+    /// cost model's message pricing.
+    PrecedenceViolation {
+        /// Message producer.
+        parent: u32,
+        /// Message consumer.
+        child: u32,
+        /// `finish(parent) + message_cost(edge)`.
+        earliest_legal: Cost,
+        /// The child's actual start time.
+        actual: Cost,
+    },
     /// Two tasks overlap in time on the same processor.
-    Overlap(u32, u32),
+    Overlap {
+        /// Processor both tasks occupy.
+        proc: u32,
+        /// The earlier-starting task.
+        first: u32,
+        /// The task that starts before `first` finishes.
+        second: u32,
+    },
     /// The schedule was built for a different node count than the DAG.
     WrongSize {
         /// Node count of the DAG being validated against.
@@ -24,24 +58,99 @@ pub enum ScheduleError {
         /// Node count the schedule was built for.
         actual: usize,
     },
+    /// A task claims a processor outside the schedule's machine.
+    ProcOutOfRange {
+        /// The offending node.
+        node: u32,
+        /// The claimed processor.
+        proc: u32,
+        /// Processors the schedule was built for.
+        num_procs: u32,
+    },
+    /// A time sum (`start + duration` or `finish + message delay`)
+    /// exceeded the `u64` range — the schedule's times are garbage, not
+    /// merely illegal.
+    TimeOverflow {
+        /// The node whose timing arithmetic overflowed.
+        node: u32,
+    },
+}
+
+/// The class of a [`ScheduleError`], with the witness data stripped —
+/// what schedule-mutation tests match on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduleErrorKind {
+    /// [`ScheduleError::Unscheduled`].
+    Unscheduled,
+    /// [`ScheduleError::BadDuration`].
+    BadDuration,
+    /// [`ScheduleError::PrecedenceViolation`].
+    PrecedenceViolation,
+    /// [`ScheduleError::Overlap`].
+    Overlap,
+    /// [`ScheduleError::WrongSize`].
+    WrongSize,
+    /// [`ScheduleError::ProcOutOfRange`].
+    ProcOutOfRange,
+    /// [`ScheduleError::TimeOverflow`].
+    TimeOverflow,
+}
+
+impl ScheduleError {
+    /// The violation class, without the witness payload.
+    pub fn kind(&self) -> ScheduleErrorKind {
+        match self {
+            ScheduleError::Unscheduled(_) => ScheduleErrorKind::Unscheduled,
+            ScheduleError::BadDuration { .. } => ScheduleErrorKind::BadDuration,
+            ScheduleError::PrecedenceViolation { .. } => ScheduleErrorKind::PrecedenceViolation,
+            ScheduleError::Overlap { .. } => ScheduleErrorKind::Overlap,
+            ScheduleError::WrongSize { .. } => ScheduleErrorKind::WrongSize,
+            ScheduleError::ProcOutOfRange { .. } => ScheduleErrorKind::ProcOutOfRange,
+            ScheduleError::TimeOverflow { .. } => ScheduleErrorKind::TimeOverflow,
+        }
+    }
 }
 
 impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScheduleError::Unscheduled(n) => write!(f, "node n{n} was never scheduled"),
-            ScheduleError::BadDuration(n) => {
-                write!(f, "node n{n}: finish time != start + weight")
-            }
-            ScheduleError::PrecedenceViolation(p, c, legal, actual) => write!(
+            ScheduleError::BadDuration {
+                node,
+                expected,
+                actual,
+            } => write!(
                 f,
-                "edge n{p} -> n{c}: child starts at {actual}, earliest legal start is {legal}"
+                "node n{node}: occupies {actual} time units, cost model demands {expected}"
             ),
-            ScheduleError::Overlap(a, b) => {
-                write!(f, "nodes n{a} and n{b} overlap on the same processor")
-            }
+            ScheduleError::PrecedenceViolation {
+                parent,
+                child,
+                earliest_legal,
+                actual,
+            } => write!(
+                f,
+                "edge n{parent} -> n{child}: child starts at {actual}, \
+                 earliest legal start is {earliest_legal}"
+            ),
+            ScheduleError::Overlap {
+                proc,
+                first,
+                second,
+            } => write!(f, "nodes n{first} and n{second} overlap on PE{proc}"),
             ScheduleError::WrongSize { expected, actual } => {
                 write!(f, "schedule sized for {actual} nodes, DAG has {expected}")
+            }
+            ScheduleError::ProcOutOfRange {
+                node,
+                proc,
+                num_procs,
+            } => write!(
+                f,
+                "node n{node} claims PE{proc}, schedule has {num_procs} processors"
+            ),
+            ScheduleError::TimeOverflow { node } => {
+                write!(f, "node n{node}: time arithmetic overflows u64")
             }
         }
     }
@@ -49,16 +158,37 @@ impl fmt::Display for ScheduleError {
 
 impl std::error::Error for ScheduleError {}
 
-/// Check that `schedule` is a complete, legal schedule of `dag`:
+/// Check that `schedule` is a complete, legal schedule of `dag` under
+/// the paper's homogeneous machine model (identical processors,
+/// messages cost their edge weight, co-located communication free).
 ///
-/// 1. every node is placed, with `finish == start + w(n)`;
-/// 2. for every edge `(p, c)`: `ST(c) >= FT(p)` when co-located, and
-///    `ST(c) >= FT(p) + c(p, c)` when on different processors (the
-///    zero-intra-processor-communication model of §2);
+/// Equivalent to [`validate_with`] over [`HomogeneousModel`]. Runs in
+/// O(v log v + e).
+pub fn validate(dag: &Dag, schedule: &Schedule) -> Result<(), ScheduleError> {
+    validate_with(&HomogeneousModel, dag, schedule)
+}
+
+/// Check that `schedule` is a complete, legal schedule of `dag` under
+/// `model`:
+///
+/// 1. every node is placed on a processor inside the machine, with
+///    `finish == start + model.compute_cost(n, proc)` — on a
+///    heterogeneous machine the demanded duration depends on the
+///    processor's speed;
+/// 2. for every edge `(p, c)`:
+///    `ST(c) >= FT(p) + model.message_cost(c(p,c), proc(p), proc(c))`
+///    (co-located messages are free by the [`CostModel`] contract);
 /// 3. no two tasks overlap on any processor.
 ///
-/// Runs in O(v log v + e).
-pub fn validate(dag: &Dag, schedule: &Schedule) -> Result<(), ScheduleError> {
+/// Every time sum is checked: if `start + duration` or
+/// `finish + message delay` exceeds `u64`, the verdict is
+/// [`ScheduleError::TimeOverflow`] rather than a silently wrapped
+/// comparison. Runs in O(v log v + e).
+pub fn validate_with<M: CostModel + ?Sized>(
+    model: &M,
+    dag: &Dag,
+    schedule: &Schedule,
+) -> Result<(), ScheduleError> {
     if schedule.num_nodes() != dag.node_count() {
         return Err(ScheduleError::WrongSize {
             expected: dag.node_count(),
@@ -66,39 +196,62 @@ pub fn validate(dag: &Dag, schedule: &Schedule) -> Result<(), ScheduleError> {
         });
     }
 
-    // 1. Completeness and durations.
+    // 1. Completeness, machine bounds and model-priced durations.
     for n in dag.nodes() {
         match schedule.task(n) {
             None => return Err(ScheduleError::Unscheduled(n.0)),
             Some(t) => {
-                if t.finish != t.start + dag.weight(n) {
-                    return Err(ScheduleError::BadDuration(n.0));
+                if t.proc.0 >= schedule.num_procs() {
+                    return Err(ScheduleError::ProcOutOfRange {
+                        node: n.0,
+                        proc: t.proc.0,
+                        num_procs: schedule.num_procs(),
+                    });
+                }
+                let expected = model.compute_cost(dag, n, t.proc);
+                let legal_finish = t
+                    .start
+                    .checked_add(expected)
+                    .ok_or(ScheduleError::TimeOverflow { node: n.0 })?;
+                if t.finish != legal_finish {
+                    return Err(ScheduleError::BadDuration {
+                        node: n.0,
+                        expected,
+                        actual: t.finish.saturating_sub(t.start),
+                    });
                 }
             }
         }
     }
 
-    // 2. Precedence with communication.
+    // 2. Precedence with model-priced communication.
     for (p, c, cost) in dag.edges() {
         let tp = schedule.task(p).unwrap();
         let tc = schedule.task(c).unwrap();
-        let legal = if tp.proc == tc.proc {
-            tp.finish
-        } else {
-            tp.finish + cost
-        };
+        let delay = model.message_cost(cost, tp.proc, tc.proc);
+        let legal = tp
+            .finish
+            .checked_add(delay)
+            .ok_or(ScheduleError::TimeOverflow { node: c.0 })?;
         if tc.start < legal {
-            return Err(ScheduleError::PrecedenceViolation(
-                p.0, c.0, legal, tc.start,
-            ));
+            return Err(ScheduleError::PrecedenceViolation {
+                parent: p.0,
+                child: c.0,
+                earliest_legal: legal,
+                actual: tc.start,
+            });
         }
     }
 
     // 3. No overlap per processor.
-    for lane in schedule.timelines() {
+    for (pi, lane) in schedule.timelines().iter().enumerate() {
         for w in lane.windows(2) {
             if w[1].start < w[0].finish {
-                return Err(ScheduleError::Overlap(w[0].node.0, w[1].node.0));
+                return Err(ScheduleError::Overlap {
+                    proc: pi as u32,
+                    first: w[0].node.0,
+                    second: w[1].node.0,
+                });
             }
         }
     }
@@ -108,6 +261,7 @@ pub fn validate(dag: &Dag, schedule: &Schedule) -> Result<(), ScheduleError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::ProcessorSpeeds;
     use crate::schedule::ProcId;
     use fastsched_dag::{DagBuilder, NodeId};
 
@@ -151,7 +305,26 @@ mod tests {
         let mut s = Schedule::new(2, 1);
         s.place(NodeId(0), ProcId(0), 0, 3); // w = 2, duration 3
         s.place(NodeId(1), ProcId(0), 3, 6);
-        assert_eq!(validate(&g, &s), Err(ScheduleError::BadDuration(0)));
+        assert_eq!(
+            validate(&g, &s),
+            Err(ScheduleError::BadDuration {
+                node: 0,
+                expected: 2,
+                actual: 3
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_finish_before_start() {
+        let g = pair();
+        let mut s = Schedule::new(2, 1);
+        s.place(NodeId(0), ProcId(0), 5, 2); // finish < start
+        s.place(NodeId(1), ProcId(0), 5, 8);
+        assert_eq!(
+            validate(&g, &s).map_err(|e| e.kind()),
+            Err(ScheduleErrorKind::BadDuration)
+        );
     }
 
     #[test]
@@ -162,7 +335,12 @@ mod tests {
         s.place(NodeId(1), ProcId(1), 5, 8); // needs >= 6
         assert_eq!(
             validate(&g, &s),
-            Err(ScheduleError::PrecedenceViolation(0, 1, 6, 5))
+            Err(ScheduleError::PrecedenceViolation {
+                parent: 0,
+                child: 1,
+                earliest_legal: 6,
+                actual: 5
+            })
         );
     }
 
@@ -175,7 +353,14 @@ mod tests {
         let mut s = Schedule::new(2, 1);
         s.place(NodeId(0), ProcId(0), 0, 5);
         s.place(NodeId(1), ProcId(0), 3, 8);
-        assert_eq!(validate(&g, &s), Err(ScheduleError::Overlap(0, 1)));
+        assert_eq!(
+            validate(&g, &s),
+            Err(ScheduleError::Overlap {
+                proc: 0,
+                first: 0,
+                second: 1
+            })
+        );
     }
 
     #[test]
@@ -201,5 +386,65 @@ mod tests {
         s.place(NodeId(0), ProcId(0), 0, 5);
         s.place(NodeId(1), ProcId(0), 5, 10);
         assert_eq!(validate(&g, &s), Ok(()));
+    }
+
+    #[test]
+    fn heterogeneous_durations_validate_under_their_model_only() {
+        // w = 2 on a 200% processor takes 1; the homogeneous validator
+        // must reject exactly the schedule the speeds model accepts.
+        let g = pair();
+        let speeds = ProcessorSpeeds::new(vec![100, 200]);
+        let mut s = Schedule::new(2, 2);
+        s.place(NodeId(0), ProcId(1), 0, 1); // ceil(2 / 2) = 1
+        s.place(NodeId(1), ProcId(1), 1, 3); // ceil(3 / 2) = 2, co-located
+        assert_eq!(validate_with(&speeds, &g, &s), Ok(()));
+        assert_eq!(
+            validate(&g, &s).map_err(|e| e.kind()),
+            Err(ScheduleErrorKind::BadDuration)
+        );
+    }
+
+    #[test]
+    fn overflowing_start_is_reported_not_wrapped() {
+        let g = pair();
+        let mut s = Schedule::new(2, 1);
+        // start + weight wraps past u64::MAX.
+        s.place(NodeId(0), ProcId(0), Cost::MAX - 1, 0);
+        s.place(NodeId(1), ProcId(0), 0, 3);
+        assert_eq!(
+            validate(&g, &s),
+            Err(ScheduleError::TimeOverflow { node: 0 })
+        );
+    }
+
+    #[test]
+    fn overflowing_message_delay_is_reported_not_wrapped() {
+        // Edge cost near u64::MAX: parent finish + delay overflows.
+        let mut b = DagBuilder::new();
+        let a = b.add_task(2);
+        let c = b.add_task(3);
+        b.add_edge(a, c, Cost::MAX - 1).unwrap();
+        let g = b.build().unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(NodeId(0), ProcId(0), 0, 2);
+        s.place(NodeId(1), ProcId(1), 6, 9);
+        assert_eq!(
+            validate(&g, &s),
+            Err(ScheduleError::TimeOverflow { node: 1 })
+        );
+    }
+
+    #[test]
+    fn error_kinds_strip_witnesses() {
+        let e = ScheduleError::Overlap {
+            proc: 3,
+            first: 1,
+            second: 2,
+        };
+        assert_eq!(e.kind(), ScheduleErrorKind::Overlap);
+        assert_eq!(
+            ScheduleError::Unscheduled(7).kind(),
+            ScheduleErrorKind::Unscheduled
+        );
     }
 }

@@ -1,0 +1,265 @@
+//! Seeded random-DAG corpus for the differential fuzz harness
+//! (`tests/differential.rs`).
+//!
+//! A corpus case is a `(name, dag, procs)` triple. The generator
+//! cycles through structurally different shapes — chains, fork-joins,
+//! trees, independent task bags, dense and sparse layered random DAGs
+//! — because cross-implementation divergences (full evaluator vs.
+//! delta evaluator, abstract schedule vs. simulator) hide in shape
+//! corners, not in one distribution. Everything is deterministic from
+//! the seed so CI failures replay locally.
+
+use crate::random::{random_layered_dag, RandomDagConfig};
+use fastsched_dag::{Cost, Dag, DagBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One differential-testing input: a DAG plus the machine size to
+/// schedule it on.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Shape tag + seed, for failure messages.
+    pub name: String,
+    /// The task graph.
+    pub dag: Dag,
+    /// Processor count to hand every scheduler.
+    pub procs: u32,
+}
+
+/// Small layered config (no timing database — plain unit-scale
+/// weights) so corpus cases stay quick under `cargo test` in debug.
+fn layered(nodes: usize, dense: bool) -> RandomDagConfig {
+    RandomDagConfig {
+        nodes,
+        out_degree: if dense { (3, 8) } else { (1, 3) },
+        node_weight: (1, 40),
+        edge_weight: (1, 60),
+    }
+}
+
+/// A bag of independent tasks (no edges) — the degenerate shape where
+/// list order alone decides everything.
+fn independent(rng: &mut StdRng, nodes: usize) -> Dag {
+    let mut b = DagBuilder::with_capacity(nodes, 0);
+    for _ in 0..nodes {
+        b.add_task(rng.gen_range(1..=30));
+    }
+    b.build().expect("edge-free graph is acyclic")
+}
+
+/// A random out-tree: node `i > 0` hangs off a uniformly chosen
+/// earlier node.
+fn random_tree(rng: &mut StdRng, nodes: usize) -> Dag {
+    let mut b = DagBuilder::with_capacity(nodes, nodes);
+    let mut ids = Vec::with_capacity(nodes);
+    for i in 0..nodes {
+        let n = b.add_task(rng.gen_range(1..=30));
+        if i > 0 {
+            let parent = ids[rng.gen_range(0..i)];
+            b.add_edge(parent, n, rng.gen_range(1..=50)).unwrap();
+        }
+        ids.push(n);
+    }
+    b.build().expect("tree construction is acyclic")
+}
+
+/// Generate `count` corpus cases from `seed`, cycling shapes.
+///
+/// Cases stay ≤ ~60 nodes so the full differential harness (every
+/// scheduler × every case × mutation operators) runs in seconds even
+/// unoptimized.
+pub fn fuzz_corpus(seed: u64, count: usize) -> Vec<FuzzCase> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cases = Vec::with_capacity(count);
+    for i in 0..count {
+        let case_seed = rng.gen::<u64>();
+        let procs = rng.gen_range(2..=6u32);
+        let (name, dag) = match i % 6 {
+            0 => {
+                let len = rng.gen_range(4..=20);
+                let w = rng.gen_range(1..=20);
+                let c = rng.gen_range(0..=30);
+                (
+                    format!("chain-{len}x{w}c{c}"),
+                    fastsched_dag::examples::chain(len, w, c),
+                )
+            }
+            1 => {
+                let width = rng.gen_range(3..=12);
+                let w = rng.gen_range(1..=20);
+                let c = rng.gen_range(0..=30);
+                (
+                    format!("fork-join-{width}x{w}c{c}"),
+                    fastsched_dag::examples::fork_join(width, w, c),
+                )
+            }
+            2 => {
+                let nodes = rng.gen_range(10..=60);
+                (
+                    format!("layered-dense-{nodes}-s{case_seed:x}"),
+                    random_layered_dag(&layered(nodes, true), case_seed),
+                )
+            }
+            3 => {
+                let nodes = rng.gen_range(10..=60);
+                (
+                    format!("layered-sparse-{nodes}-s{case_seed:x}"),
+                    random_layered_dag(&layered(nodes, false), case_seed),
+                )
+            }
+            4 => {
+                let nodes = rng.gen_range(8..=40);
+                (
+                    format!("tree-{nodes}-s{case_seed:x}"),
+                    random_tree(&mut rng, nodes),
+                )
+            }
+            _ => {
+                let nodes = rng.gen_range(4..=24);
+                (
+                    format!("independent-{nodes}-s{case_seed:x}"),
+                    independent(&mut rng, nodes),
+                )
+            }
+        };
+        cases.push(FuzzCase {
+            name: format!("{name}#{i}"),
+            dag,
+            procs,
+        });
+    }
+    cases
+}
+
+/// Tiny cases (≤ `max_nodes`, intended ≤ 12) the branch-and-bound
+/// oracle can solve exhaustively — the ground-truth tier of the
+/// differential harness.
+pub fn tiny_corpus(seed: u64, count: usize, max_nodes: usize) -> Vec<FuzzCase> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7119);
+    let mut cases = Vec::with_capacity(count);
+    for i in 0..count {
+        let case_seed = rng.gen::<u64>();
+        let nodes = rng.gen_range(4..=max_nodes.max(4));
+        let (name, dag) = match i % 3 {
+            0 => (
+                format!("tiny-layered-{nodes}"),
+                random_layered_dag(&layered(nodes, false), case_seed),
+            ),
+            1 => (format!("tiny-tree-{nodes}"), random_tree(&mut rng, nodes)),
+            _ => {
+                let width = rng.gen_range(2..=(max_nodes.max(4) - 2));
+                (
+                    format!("tiny-fork-join-{width}"),
+                    fastsched_dag::examples::fork_join(
+                        width,
+                        rng.gen_range(1..=15),
+                        rng.gen_range(0..=20),
+                    ),
+                )
+            }
+        };
+        cases.push(FuzzCase {
+            name: format!("{name}#{i}"),
+            dag,
+            procs: 3,
+        });
+    }
+    cases
+}
+
+/// Seeded weight mutation: rebuild `dag` with every node and edge
+/// weight independently jittered (×0.5..×2, floor 1 for node weights).
+/// Structure is preserved; only the cost surface moves. Use to check
+/// that invariants hold across the weight space, not just at the
+/// generated point.
+pub fn mutate_weights(dag: &Dag, seed: u64) -> Dag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut jitter = |w: Cost, floor: Cost| -> Cost {
+        let scaled = (w / 2).max(1) + rng.gen_range(0..=w.max(1));
+        scaled.max(floor)
+    };
+    let mut b = DagBuilder::with_capacity(dag.node_count(), dag.edge_count());
+    for n in dag.nodes() {
+        b.add_task(jitter(dag.weight(n), 1));
+    }
+    for (p, c, cost) in dag.edges() {
+        b.add_edge(p, c, jitter(cost, 0)).unwrap();
+    }
+    b.build().expect("same structure stays acyclic")
+}
+
+/// Rebuild `dag` with adversarially large weights (near `u64::MAX/4`
+/// .. `u64::MAX/2`): feeds the validator/metrics overflow paths. Do
+/// **not** hand these to schedulers — priority sums overflow in debug
+/// by design; that loudness is the point.
+pub fn adversarial_weights(dag: &Dag, seed: u64) -> Dag {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lo = Cost::MAX / 4;
+    let hi = Cost::MAX / 2;
+    let mut b = DagBuilder::with_capacity(dag.node_count(), dag.edge_count());
+    for _ in dag.nodes() {
+        b.add_task(rng.gen_range(lo..=hi));
+    }
+    for (p, c, _) in dag.edges() {
+        b.add_edge(p, c, rng.gen_range(lo..=hi)).unwrap();
+    }
+    b.build().expect("same structure stays acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_shaped() {
+        let a = fuzz_corpus(99, 12);
+        let b = fuzz_corpus(99, 12);
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.procs, y.procs);
+            assert!(x.dag.edges().eq(y.dag.edges()));
+        }
+        // All six shapes appear.
+        for tag in [
+            "chain-",
+            "fork-join-",
+            "layered-dense-",
+            "layered-sparse-",
+            "tree-",
+            "independent-",
+        ] {
+            assert!(a.iter().any(|c| c.name.starts_with(tag)), "missing {tag}");
+        }
+    }
+
+    #[test]
+    fn tiny_corpus_is_oracle_sized() {
+        for c in tiny_corpus(5, 9, 12) {
+            assert!(c.dag.node_count() <= 12, "{} too big", c.name);
+            assert!(c.procs <= 3);
+        }
+    }
+
+    #[test]
+    fn mutate_weights_preserves_structure() {
+        let g = fuzz_corpus(3, 3).pop().unwrap().dag;
+        let m = mutate_weights(&g, 17);
+        assert_eq!(g.node_count(), m.node_count());
+        assert_eq!(g.edge_count(), m.edge_count());
+        assert!(g
+            .edges()
+            .map(|(p, c, _)| (p, c))
+            .eq(m.edges().map(|(p, c, _)| (p, c))));
+        // And is itself deterministic.
+        assert!(m.edges().eq(mutate_weights(&g, 17).edges()));
+    }
+
+    #[test]
+    fn adversarial_weights_are_huge() {
+        let g = fastsched_dag::examples::fork_join(4, 10, 5);
+        let a = adversarial_weights(&g, 1);
+        assert!(a.nodes().all(|n| a.weight(n) >= Cost::MAX / 4));
+        assert!(a.edges().all(|(_, _, c)| c >= Cost::MAX / 4));
+    }
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod fft;
+pub mod fuzz;
 pub mod gaussian;
 pub mod laplace;
 pub mod linalg;
@@ -36,6 +37,7 @@ pub mod timing;
 pub mod trees;
 
 pub use fft::fft_dag;
+pub use fuzz::{adversarial_weights, fuzz_corpus, mutate_weights, tiny_corpus, FuzzCase};
 pub use gaussian::gaussian_elimination_dag;
 pub use laplace::laplace_dag;
 pub use linalg::{cholesky_dag, systolic_matmul_dag};

@@ -1,0 +1,39 @@
+//! Oracle scaling probe: how far does the branch-and-bound reference
+//! scheduler get on the differential-fuzz tiny corpus before its state
+//! cap truncates the search?
+//!
+//! Prints one line per case with the node count, whether the pruned
+//! tree was enumerated in full, and the states/time spent. Use this to
+//! pick `max_states` and corpus sizes for oracle-backed tests: a
+//! truncated incumbent proves no optimality bound, so tests skip those
+//! cases and this probe shows how many survive.
+//!
+//! Run with: `cargo run --release --example oracle_probe`
+
+use fastsched::algorithms::optimal::BranchAndBound;
+use fastsched::workloads::fuzz::tiny_corpus;
+
+fn main() {
+    for cap in [5_000_000u64, 40_000_000] {
+        let oracle = BranchAndBound { max_states: cap };
+        for max_nodes in [10usize, 12] {
+            let mut done = 0;
+            for case in tiny_corpus(0xD1FF ^ 2, 9, max_nodes) {
+                let t = std::time::Instant::now();
+                let o = oracle.solve(&case.dag, case.procs);
+                println!(
+                    "cap={cap} max_nodes={max_nodes} {}: v={} complete={} states={} ({:?})",
+                    case.name,
+                    case.dag.node_count(),
+                    o.complete,
+                    o.states,
+                    t.elapsed()
+                );
+                if o.complete {
+                    done += 1;
+                }
+            }
+            println!("cap={cap} max_nodes={max_nodes}: {done}/9 complete");
+        }
+    }
+}

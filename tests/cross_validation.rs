@@ -119,6 +119,47 @@ fn single_processor_forces_serial_time() {
 }
 
 #[test]
+fn heuristics_never_beat_the_exhaustive_oracle_on_small_workloads() {
+    // The quality side of cross-validation: on instances small enough
+    // to solve exactly, the branch-and-bound optimum is a hard floor
+    // under every processor-bounded heuristic. `solve` (not
+    // `schedule`) so a state-cap truncation — whose incumbent proves
+    // no bound — is detected instead of silently asserted against.
+    use fastsched::algorithms::optimal::BranchAndBound;
+    let db = TimingDatabase::paragon();
+    let small: Vec<(String, Dag, u32)> = vec![
+        ("gauss3".into(), gaussian_elimination_dag(3, &db), 3),
+        ("fft4".into(), fft_dag(4, &db), 3),
+        ("divconq2".into(), divide_and_conquer(2, &db), 3),
+        ("in_tree3".into(), binary_in_tree(3, &db), 2),
+        ("out_tree3".into(), binary_out_tree(3, &db), 2),
+    ];
+    // gauss3 x 3 procs needs ~5.9M states — just past the default cap.
+    let oracle = BranchAndBound {
+        max_states: 10_000_000,
+    };
+    for (wname, dag, procs) in small {
+        let outcome = oracle.solve(&dag, procs);
+        assert!(
+            outcome.complete,
+            "{wname}: oracle search truncated — shrink the workload or raise the cap"
+        );
+        let optimum = outcome.schedule.makespan();
+        for s in all_schedulers(29) {
+            if s.is_unbounded() {
+                continue; // clustering may exceed the oracle's pool
+            }
+            let m = s.schedule(&dag, procs).makespan();
+            assert!(
+                m >= optimum,
+                "{wname}: {} produced {m} below the exact optimum {optimum}",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn metrics_agree_with_schedule_for_every_scheduler() {
     let db = TimingDatabase::paragon();
     let dag = laplace_dag(4, &db);

@@ -70,6 +70,7 @@ fn multi_start_parallel_is_deterministic_despite_threads() {
         chains: 8,
         max_steps_per_chain: 128,
         seed: 99,
+        threads: 0,
     });
     let a = sched.schedule(&dag, 24);
     let b = sched.schedule(&dag, 24);

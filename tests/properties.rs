@@ -227,6 +227,32 @@ proptest! {
     }
 
     #[test]
+    fn fast_parallel_is_byte_identical_across_worker_thread_counts(
+        dag in arb_dag(),
+        seed in 0u64..10_000,
+    ) {
+        // Determinism contract of the `parallel` feature: the chain
+        // count and seed fix the result; the thread partitioning must
+        // be unobservable. Serialize and compare bytes so processor
+        // numbering and every start/finish time are covered.
+        use fastsched::algorithms::fast_parallel::{FastParallel, FastParallelConfig};
+        let procs = (dag.node_count() as u32).clamp(2, 8);
+        let run = |threads: u32| {
+            let s = FastParallel::with_config(FastParallelConfig {
+                chains: 4,
+                max_steps_per_chain: 32,
+                seed,
+                threads,
+            })
+            .schedule(&dag, procs);
+            fastsched::schedule::io::to_json(&s)
+        };
+        let one = run(1);
+        prop_assert_eq!(&run(2), &one, "2 workers diverged from 1");
+        prop_assert_eq!(&run(8), &one, "8 workers diverged from 1");
+    }
+
+    #[test]
     fn hetero_heft_is_legal_and_uniform_reduces_to_homogeneous(dag in arb_dag()) {
         use fastsched::algorithms::hetero::{validate_hetero, HeftHetero, ProcessorSpeeds};
         let speeds = ProcessorSpeeds::new(vec![100, 250, 50, 100]);
