@@ -8,7 +8,8 @@
 
 use crate::list_common::{DatCache, Machine, ReadySet};
 use crate::scheduler::{gate_schedule, Scheduler};
-use fastsched_dag::{attributes::static_levels, Dag, NodeId};
+use crate::workspace::Workspace;
+use fastsched_dag::{attributes::static_levels, attributes::static_levels_into, Cost, Dag, NodeId};
 use fastsched_schedule::{ProcId, Schedule};
 
 /// The DLS scheduler.
@@ -22,6 +23,61 @@ impl Dls {
     }
 }
 
+/// The DLS matching loop against caller-owned state (re-initialized
+/// here), shared by the allocating [`Scheduler::schedule`] path and
+/// the workspace path.
+pub(crate) fn dls_run(
+    dag: &Dag,
+    num_procs: u32,
+    sl: &[Cost],
+    machine: &mut Machine,
+    ready: &mut ReadySet,
+    dat: &mut Vec<DatCache>,
+    dat_valid: &mut Vec<bool>,
+) {
+    machine.reset(dag.node_count(), num_procs);
+    ready.reset(dag);
+    dat_valid.clear();
+    dat_valid.resize(dag.node_count(), false);
+    if dat.len() < dag.node_count() {
+        dat.resize_with(dag.node_count(), DatCache::empty);
+    }
+
+    while !ready.is_empty() {
+        // Maximize DL = SL - EST over the full node × processor
+        // pair scan (the published O(p e v) matching — kept
+        // unpruned on purpose; its cost is what the paper's
+        // scheduling-time comparison measures). Ties: smaller
+        // EST, then smaller id.
+        let mut best: Option<(i64, u64, u32, ProcId)> = None;
+        for &n in ready.ready() {
+            if !dat_valid[n.index()] {
+                dat[n.index()].compute_into(dag, machine, n);
+                dat_valid[n.index()] = true;
+            }
+            let cache = &dat[n.index()];
+            for pi in 0..num_procs {
+                let p = ProcId(pi);
+                let est = machine.ready_time(p).max(cache.dat(p));
+                let dl = sl[n.index()] as i64 - est as i64;
+                let better = match best {
+                    None => true,
+                    Some((bdl, best_est, bid, _)) => {
+                        (dl, u64::MAX - est, u32::MAX - n.0)
+                            > (bdl, u64::MAX - best_est, u32::MAX - bid)
+                    }
+                };
+                if better {
+                    best = Some((dl, est, n.0, p));
+                }
+            }
+        }
+        let (_, est, id, proc) = best.expect("ready set non-empty");
+        machine.place(dag, NodeId(id), proc, est);
+        ready.complete(dag, NodeId(id));
+    }
+}
+
 impl Scheduler for Dls {
     fn name(&self) -> &'static str {
         "DLS"
@@ -32,41 +88,39 @@ impl Scheduler for Dls {
         let sl = static_levels(dag);
         let mut machine = Machine::new(dag.node_count(), num_procs);
         let mut ready = ReadySet::new(dag);
-        let mut dat: Vec<Option<DatCache>> = vec![None; dag.node_count()];
-
-        while !ready.is_empty() {
-            // Maximize DL = SL - EST over the full node × processor
-            // pair scan (the published O(p e v) matching — kept
-            // unpruned on purpose; its cost is what the paper's
-            // scheduling-time comparison measures). Ties: smaller
-            // EST, then smaller id.
-            let mut best: Option<(i64, u64, u32, ProcId)> = None;
-            for &n in ready.ready() {
-                let cache =
-                    dat[n.index()].get_or_insert_with(|| DatCache::compute(dag, &machine, n));
-                for pi in 0..num_procs {
-                    let p = ProcId(pi);
-                    let est = machine.ready_time(p).max(cache.dat(p));
-                    let dl = sl[n.index()] as i64 - est as i64;
-                    let better = match best {
-                        None => true,
-                        Some((bdl, best_est, bid, _)) => {
-                            (dl, u64::MAX - est, u32::MAX - n.0)
-                                > (bdl, u64::MAX - best_est, u32::MAX - bid)
-                        }
-                    };
-                    if better {
-                        best = Some((dl, est, n.0, p));
-                    }
-                }
-            }
-            let (_, est, id, proc) = best.expect("ready set non-empty");
-            machine.place(dag, NodeId(id), proc, est);
-            ready.complete(dag, NodeId(id));
-        }
+        let mut dat = Vec::new();
+        let mut dat_valid = Vec::new();
+        dls_run(
+            dag,
+            num_procs,
+            &sl,
+            &mut machine,
+            &mut ready,
+            &mut dat,
+            &mut dat_valid,
+        );
         let s = machine.into_schedule(dag).compact();
         gate_schedule(self.name(), dag, &s);
         s
+    }
+
+    fn schedule_into(&self, dag: &Dag, num_procs: u32, ws: &mut Workspace) -> Schedule {
+        assert!(num_procs >= 1);
+        static_levels_into(dag, &mut ws.static_level);
+        dls_run(
+            dag,
+            num_procs,
+            &ws.static_level,
+            &mut ws.machine,
+            &mut ws.ready_set,
+            &mut ws.dat,
+            &mut ws.dat_valid,
+        );
+        let mut out = ws.take_schedule();
+        ws.machine.write_schedule(dag, &mut ws.staging);
+        ws.staging.compact_into(&mut ws.compact, &mut out);
+        gate_schedule(self.name(), dag, &out);
+        out
     }
 }
 

@@ -8,7 +8,8 @@
 
 use crate::list_common::{DatCache, Machine, ReadySet};
 use crate::scheduler::{gate_schedule, Scheduler};
-use fastsched_dag::{attributes::static_levels, Cost, Dag};
+use crate::workspace::Workspace;
+use fastsched_dag::{attributes::static_levels, attributes::static_levels_into, Cost, Dag};
 use fastsched_schedule::{ProcId, Schedule};
 
 /// The ETF scheduler.
@@ -22,6 +23,59 @@ impl Etf {
     }
 }
 
+/// The ETF selection loop against caller-owned state: `machine`,
+/// `ready` and the per-node [`DatCache`] slots are re-initialized here
+/// and filled by running the algorithm to completion. Shared by the
+/// allocating [`Scheduler::schedule`] path and the workspace path.
+pub(crate) fn etf_run(
+    dag: &Dag,
+    num_procs: u32,
+    sl: &[Cost],
+    machine: &mut Machine,
+    ready: &mut ReadySet,
+    dat: &mut Vec<DatCache>,
+    dat_valid: &mut Vec<bool>,
+) {
+    machine.reset(dag.node_count(), num_procs);
+    ready.reset(dag);
+    // A node's cache is final once it is ready (parents all placed);
+    // entries are refilled in place, never dropped.
+    dat_valid.clear();
+    dat_valid.resize(dag.node_count(), false);
+    if dat.len() < dag.node_count() {
+        dat.resize_with(dag.node_count(), DatCache::empty);
+    }
+
+    while !ready.is_empty() {
+        // Global minimum over ready-node × processor pairs — the
+        // published O(p v²) pair scan. The DatCache keeps each
+        // probe O(1); the scan itself is deliberately not pruned,
+        // because the pair-scan cost *is* the algorithm the
+        // paper's scheduling-time comparison measures.
+        let mut best: Option<(Cost, Cost, u32, ProcId)> = None; // (est, -sl, id, proc)
+        for &n in ready.ready() {
+            if !dat_valid[n.index()] {
+                dat[n.index()].compute_into(dag, machine, n);
+                dat_valid[n.index()] = true;
+            }
+            let cache = &dat[n.index()];
+            for pi in 0..num_procs {
+                let p = ProcId(pi);
+                let est = machine.ready_time(p).max(cache.dat(p));
+                let key = (est, Cost::MAX - sl[n.index()], n.0);
+                match best {
+                    Some((e, s, i, _)) if (e, s, i) <= key => {}
+                    _ => best = Some((key.0, key.1, key.2, p)),
+                }
+            }
+        }
+        let (est, _, id, proc) = best.expect("ready set non-empty");
+        let n = fastsched_dag::NodeId(id);
+        machine.place(dag, n, proc, est);
+        ready.complete(dag, n);
+    }
+}
+
 impl Scheduler for Etf {
     fn name(&self) -> &'static str {
         "ETF"
@@ -32,37 +86,39 @@ impl Scheduler for Etf {
         let sl = static_levels(dag);
         let mut machine = Machine::new(dag.node_count(), num_procs);
         let mut ready = ReadySet::new(dag);
-        // Final once a node is ready (its parents are all placed).
-        let mut dat: Vec<Option<DatCache>> = vec![None; dag.node_count()];
-
-        while !ready.is_empty() {
-            // Global minimum over ready-node × processor pairs — the
-            // published O(p v²) pair scan. The DatCache keeps each
-            // probe O(1); the scan itself is deliberately not pruned,
-            // because the pair-scan cost *is* the algorithm the
-            // paper's scheduling-time comparison measures.
-            let mut best: Option<(Cost, Cost, u32, ProcId)> = None; // (est, -sl, id, proc)
-            for &n in ready.ready() {
-                let cache =
-                    dat[n.index()].get_or_insert_with(|| DatCache::compute(dag, &machine, n));
-                for pi in 0..num_procs {
-                    let p = ProcId(pi);
-                    let est = machine.ready_time(p).max(cache.dat(p));
-                    let key = (est, Cost::MAX - sl[n.index()], n.0);
-                    match best {
-                        Some((e, s, i, _)) if (e, s, i) <= key => {}
-                        _ => best = Some((key.0, key.1, key.2, p)),
-                    }
-                }
-            }
-            let (est, _, id, proc) = best.expect("ready set non-empty");
-            let n = fastsched_dag::NodeId(id);
-            machine.place(dag, n, proc, est);
-            ready.complete(dag, n);
-        }
+        let mut dat = Vec::new();
+        let mut dat_valid = Vec::new();
+        etf_run(
+            dag,
+            num_procs,
+            &sl,
+            &mut machine,
+            &mut ready,
+            &mut dat,
+            &mut dat_valid,
+        );
         let s = machine.into_schedule(dag).compact();
         gate_schedule(self.name(), dag, &s);
         s
+    }
+
+    fn schedule_into(&self, dag: &Dag, num_procs: u32, ws: &mut Workspace) -> Schedule {
+        assert!(num_procs >= 1);
+        static_levels_into(dag, &mut ws.static_level);
+        etf_run(
+            dag,
+            num_procs,
+            &ws.static_level,
+            &mut ws.machine,
+            &mut ws.ready_set,
+            &mut ws.dat,
+            &mut ws.dat_valid,
+        );
+        let mut out = ws.take_schedule();
+        ws.machine.write_schedule(dag, &mut ws.staging);
+        ws.staging.compact_into(&mut ws.compact, &mut out);
+        gate_schedule(self.name(), dag, &out);
+        out
     }
 }
 

@@ -17,14 +17,209 @@
 //! search trajectory is unchanged, only cheaper.
 
 use crate::scheduler::{gate_schedule, Scheduler};
+use crate::workspace::Workspace;
 use fastsched_dag::{
-    classify_nodes, cpn_dominate_list, CpnListConfig, Dag, GraphAttributes, NodeClass, NodeId,
-    ObnOrder,
+    classify_nodes, classify_nodes_into, cpn_dominate_list, cpn_dominate_list_into, CpnListConfig,
+    Dag, GraphAttributes, NodeClass, NodeId, ObnOrder,
 };
 use fastsched_schedule::{DeltaEvaluator, ProcId, Schedule};
 use fastsched_trace::SearchTrace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// The `InitialSchedule()` placement loop of §4.2, writing through
+/// caller-owned buffers (all cleared + resized here) so both the
+/// allocating [`Fast::initial_schedule`] wrapper and the
+/// zero-allocation workspace path share one implementation. The
+/// schedule is reset in place and every node of `list` placed.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn place_by_list(
+    dag: &Dag,
+    list: &[NodeId],
+    num_procs: u32,
+    ready: &mut Vec<u64>,
+    finish: &mut Vec<u64>,
+    assignment: &mut Vec<ProcId>,
+    placed: &mut Vec<bool>,
+    candidates: &mut Vec<ProcId>,
+    schedule: &mut Schedule,
+    trace: &mut SearchTrace,
+) {
+    let v = dag.node_count();
+    ready.clear();
+    ready.resize(num_procs as usize, 0);
+    finish.clear();
+    finish.resize(v, 0);
+    assignment.clear();
+    assignment.resize(v, ProcId(0));
+    placed.clear();
+    placed.resize(v, false);
+    schedule.reset(v, num_procs);
+    let mut used_procs = 0u32;
+
+    for &n in list {
+        candidates.clear();
+        for e in dag.preds(n) {
+            let p = assignment[e.node.index()];
+            if !candidates.contains(&p) {
+                candidates.push(p);
+            }
+        }
+        if used_procs < num_procs {
+            candidates.push(ProcId(used_procs)); // the "new" processor
+        }
+        let fallback = candidates.is_empty();
+        if fallback {
+            // No parents and no unused processor left: fall back to
+            // the least-loaded used processor.
+            let p = (0..used_procs)
+                .min_by_key(|&i| ready[i as usize])
+                .map(ProcId)
+                .expect("some processor must exist");
+            candidates.push(p);
+        }
+
+        let mut best_p = candidates[0];
+        let mut best_start = u64::MAX;
+        for &p in candidates.iter() {
+            // DAT: max message arrival over parents (§4.2).
+            let mut dat = 0u64;
+            for e in dag.preds(n) {
+                debug_assert!(placed[e.node.index()]);
+                let f = finish[e.node.index()];
+                let arrival = if assignment[e.node.index()] == p {
+                    f
+                } else {
+                    f + e.cost
+                };
+                dat = dat.max(arrival);
+            }
+            let start = dat.max(ready[p.index()]);
+            trace.candidate_probed(n.0, p.0, ready[p.index()], dat, start);
+            if start < best_start {
+                best_start = start;
+                best_p = p;
+            }
+        }
+        let reason = if fallback {
+            "fallback-least-loaded"
+        } else if candidates.len() == 1 {
+            "only-candidate"
+        } else {
+            "earliest-start"
+        };
+        trace.node_placed(n.0, best_p.0, best_start, reason);
+
+        let end = best_start + dag.weight(n);
+        if best_p.0 == used_procs {
+            used_procs += 1;
+        }
+        ready[best_p.index()] = end;
+        finish[n.index()] = end;
+        assignment[n.index()] = best_p;
+        placed[n.index()] = true;
+        schedule.place(n, best_p, best_start, end);
+    }
+}
+
+/// The §4.3–4.4 random-transfer hill climb over `blocking`, shared by
+/// FAST (one chain) and FAST-MS (one call per chain). The evaluator
+/// must hold the initial assignment; on return it holds the refined
+/// one. Returns the best makespan reached.
+pub(crate) fn hill_climb(
+    dag: &Dag,
+    blocking: &[NodeId],
+    eval: &mut DeltaEvaluator,
+    num_procs: u32,
+    max_steps: u32,
+    seed: u64,
+    trace: &mut SearchTrace,
+) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random processor pool: the processors in use plus one spare.
+    let mut max_used = eval.assignment().iter().map(|p| p.0).max().unwrap_or(0);
+    let mut best = eval.makespan();
+
+    for step in 0..max_steps {
+        let node = blocking[rng.gen_range(0..blocking.len())];
+        let pool = (max_used + 2).min(num_procs);
+        let target = ProcId(rng.gen_range(0..pool));
+        if target == eval.assignment()[node.index()] {
+            trace.step_skipped();
+            continue;
+        }
+        trace.probe_attempted();
+        let from = eval.assignment()[node.index()];
+        // A move is accepted only when it strictly improves, so
+        // `best` doubles as the bounded probe's cutoff: the walk
+        // bails out as soon as the makespan provably reaches it.
+        match eval.probe_transfer_bounded(dag, node, target, best) {
+            Some(makespan) => {
+                best = makespan;
+                max_used = max_used.max(target.0);
+                eval.commit();
+                trace.probe_accepted(step as u64, best);
+                trace.node_transferred(step as u64, node.0, from.0, target.0, best, true);
+            }
+            None => {
+                eval.revert(); // §4.4 step 8
+                trace.probe_reverted(step as u64, best);
+                trace.node_transferred(step as u64, node.0, from.0, target.0, best, false);
+            }
+        }
+    }
+
+    trace.absorb_eval(eval.stats());
+    best
+}
+
+/// Run the `list_construction` phase (attribute passes, CPN/IBN/OBN
+/// classification, CPN-Dominate list) into workspace buffers:
+/// `ws.attrs`, `ws.classes` and `ws.list` are (re)filled in place.
+pub(crate) fn list_construction_into(dag: &Dag, obn_order: ObnOrder, ws: &mut Workspace) {
+    GraphAttributes::compute_into(dag, &mut ws.attrs);
+    classify_nodes_into(
+        dag,
+        &ws.attrs,
+        &mut ws.classes,
+        &mut ws.seen,
+        &mut ws.node_stack,
+    );
+    cpn_dominate_list_into(
+        dag,
+        &ws.attrs,
+        &ws.classes,
+        CpnListConfig { obn_order },
+        &mut ws.cpn_scratch,
+        &mut ws.list,
+    );
+}
+
+/// Phase 1 against workspace buffers: list construction plus the
+/// placement loop. Fills `ws.list`, `ws.classes`, `ws.assignment` and
+/// builds the initial schedule in `ws.staging`.
+pub(crate) fn initial_schedule_ws(
+    dag: &Dag,
+    num_procs: u32,
+    obn_order: ObnOrder,
+    ws: &mut Workspace,
+    trace: &mut SearchTrace,
+) {
+    assert!(num_procs >= 1, "need at least one processor");
+    list_construction_into(dag, obn_order, ws);
+    place_by_list(
+        dag,
+        &ws.list,
+        num_procs,
+        &mut ws.proc_ready,
+        &mut ws.node_finish,
+        &mut ws.assignment,
+        &mut ws.placed,
+        &mut ws.candidates,
+        &mut ws.staging,
+        trace,
+    );
+}
 
 /// Tunables of the FAST algorithm.
 #[derive(Debug, Clone, Copy)]
@@ -104,79 +299,25 @@ impl Fast {
         trace.phase_end("list_construction");
 
         trace.phase_start("initial_schedule");
-        let v = dag.node_count();
-        let mut ready = vec![0u64; num_procs as usize];
-        let mut finish = vec![0u64; v];
-        let mut assignment = vec![ProcId(0); v];
-        let mut placed = vec![false; v];
-        let mut schedule = Schedule::new(v, num_procs);
-        let mut used_procs = 0u32;
+        let mut ready = Vec::new();
+        let mut finish = Vec::new();
+        let mut assignment = Vec::new();
+        let mut placed = Vec::new();
         // Reused candidate buffer: parents' processors + one unused.
         let mut candidates: Vec<ProcId> = Vec::with_capacity(8);
-
-        for &n in &list {
-            candidates.clear();
-            for e in dag.preds(n) {
-                let p = assignment[e.node.index()];
-                if !candidates.contains(&p) {
-                    candidates.push(p);
-                }
-            }
-            if used_procs < num_procs {
-                candidates.push(ProcId(used_procs)); // the "new" processor
-            }
-            let fallback = candidates.is_empty();
-            if fallback {
-                // No parents and no unused processor left: fall back to
-                // the least-loaded used processor.
-                let p = (0..used_procs)
-                    .min_by_key(|&i| ready[i as usize])
-                    .map(ProcId)
-                    .expect("some processor must exist");
-                candidates.push(p);
-            }
-
-            let mut best_p = candidates[0];
-            let mut best_start = u64::MAX;
-            for &p in &candidates {
-                // DAT: max message arrival over parents (§4.2).
-                let mut dat = 0u64;
-                for e in dag.preds(n) {
-                    debug_assert!(placed[e.node.index()]);
-                    let f = finish[e.node.index()];
-                    let arrival = if assignment[e.node.index()] == p {
-                        f
-                    } else {
-                        f + e.cost
-                    };
-                    dat = dat.max(arrival);
-                }
-                let start = dat.max(ready[p.index()]);
-                trace.candidate_probed(n.0, p.0, ready[p.index()], dat, start);
-                if start < best_start {
-                    best_start = start;
-                    best_p = p;
-                }
-            }
-            let reason = if fallback {
-                "fallback-least-loaded"
-            } else if candidates.len() == 1 {
-                "only-candidate"
-            } else {
-                "earliest-start"
-            };
-            trace.node_placed(n.0, best_p.0, best_start, reason);
-
-            let end = best_start + dag.weight(n);
-            if best_p.0 == used_procs {
-                used_procs += 1;
-            }
-            ready[best_p.index()] = end;
-            finish[n.index()] = end;
-            assignment[n.index()] = best_p;
-            placed[n.index()] = true;
-            schedule.place(n, best_p, best_start, end);
-        }
+        let mut schedule = Schedule::new(dag.node_count(), num_procs);
+        place_by_list(
+            dag,
+            &list,
+            num_procs,
+            &mut ready,
+            &mut finish,
+            &mut assignment,
+            &mut placed,
+            &mut candidates,
+            &mut schedule,
+            trace,
+        );
         trace.phase_end("initial_schedule");
 
         (schedule, list, assignment)
@@ -212,46 +353,48 @@ impl Scheduler for Fast {
             return s;
         }
 
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        // Random processor pool: the processors in use plus one spare.
-        let mut max_used = assignment.iter().map(|p| p.0).max().unwrap_or(0);
         let mut eval = DeltaEvaluator::new(dag, order, assignment, num_procs);
-        let mut best = eval.makespan();
-
-        for step in 0..self.config.max_steps {
-            let node = blocking[rng.gen_range(0..blocking.len())];
-            let pool = (max_used + 2).min(num_procs);
-            let target = ProcId(rng.gen_range(0..pool));
-            if target == eval.assignment()[node.index()] {
-                trace.step_skipped();
-                continue;
-            }
-            trace.probe_attempted();
-            let from = eval.assignment()[node.index()];
-            // A move is accepted only when it strictly improves, so
-            // `best` doubles as the bounded probe's cutoff: the walk
-            // bails out as soon as the makespan provably reaches it.
-            match eval.probe_transfer_bounded(dag, node, target, best) {
-                Some(makespan) => {
-                    best = makespan;
-                    max_used = max_used.max(target.0);
-                    eval.commit();
-                    trace.probe_accepted(step as u64, best);
-                    trace.node_transferred(step as u64, node.0, from.0, target.0, best, true);
-                }
-                None => {
-                    eval.revert(); // §4.4 step 8
-                    trace.probe_reverted(step as u64, best);
-                    trace.node_transferred(step as u64, node.0, from.0, target.0, best, false);
-                }
-            }
-        }
-
-        trace.absorb_eval(eval.stats());
+        hill_climb(
+            dag,
+            &blocking,
+            &mut eval,
+            num_procs,
+            self.config.max_steps,
+            self.config.seed,
+            trace,
+        );
         trace.phase_end("local_search");
         let s = eval.to_schedule().compact();
         gate_schedule(self.name(), dag, &s);
         s
+    }
+
+    fn schedule_into(&self, dag: &Dag, num_procs: u32, ws: &mut Workspace) -> Schedule {
+        let mut trace = SearchTrace::default();
+        initial_schedule_ws(dag, num_procs, self.config.obn_order, ws, &mut trace);
+        ws.blocking_from_classes(dag);
+
+        let mut out = ws.take_schedule();
+        if ws.blocking.is_empty() || num_procs < 2 {
+            ws.staging.compact_into(&mut ws.compact, &mut out);
+            gate_schedule(self.name(), dag, &out);
+            return out;
+        }
+
+        ws.eval.reset(dag, &ws.list, &ws.assignment, num_procs);
+        hill_climb(
+            dag,
+            &ws.blocking,
+            &mut ws.eval,
+            num_procs,
+            self.config.max_steps,
+            self.config.seed,
+            &mut trace,
+        );
+        ws.eval.write_schedule(&mut ws.staging);
+        ws.staging.compact_into(&mut ws.compact, &mut out);
+        gate_schedule(self.name(), dag, &out);
+        out
     }
 }
 

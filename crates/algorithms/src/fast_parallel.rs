@@ -10,14 +10,13 @@
 //! fixed `(seed, chains)` pair: chain `i` uses seed `seed + i` and the
 //! winner is the lowest `(makespan, chain index)`.
 
-use crate::fast::{Fast, FastConfig};
+use crate::fast::{hill_climb, initial_schedule_ws, Fast, FastConfig};
 use crate::scheduler::{gate_schedule, Scheduler};
-use fastsched_dag::{Dag, NodeId};
-use fastsched_schedule::evaluate::evaluate_fixed_order;
+use crate::workspace::Workspace;
+use fastsched_dag::{Dag, NodeId, ObnOrder};
+use fastsched_schedule::evaluate::{evaluate_fixed_order, evaluate_fixed_order_into};
 use fastsched_schedule::{DeltaEvaluator, ProcId, Schedule};
 use fastsched_trace::SearchTrace;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Tunables of the multi-start search.
 #[derive(Debug, Clone, Copy)]
@@ -86,40 +85,10 @@ fn run_chain(
     seed: u64,
 ) -> (u64, Vec<ProcId>, SearchTrace) {
     let mut trace = SearchTrace::default();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut max_used = assignment.iter().map(|p| p.0).max().unwrap_or(0);
     let mut eval = DeltaEvaluator::new(dag, order.to_vec(), assignment, num_procs);
-    let mut best = eval.makespan();
-
-    for step in 0..max_steps {
-        let node = blocking[rng.gen_range(0..blocking.len())];
-        let pool = (max_used + 2).min(num_procs);
-        let target = ProcId(rng.gen_range(0..pool));
-        if target == eval.assignment()[node.index()] {
-            trace.step_skipped();
-            continue;
-        }
-        trace.probe_attempted();
-        let from = eval.assignment()[node.index()];
-        // Strict-improvement acceptance: `best` is the cutoff, doomed
-        // probes abort as soon as the walk proves the makespan reaches
-        // it.
-        match eval.probe_transfer_bounded(dag, node, target, best) {
-            Some(m) => {
-                best = m;
-                max_used = max_used.max(target.0);
-                eval.commit();
-                trace.probe_accepted(step as u64, best);
-                trace.node_transferred(step as u64, node.0, from.0, target.0, best, true);
-            }
-            None => {
-                eval.revert();
-                trace.probe_reverted(step as u64, best);
-                trace.node_transferred(step as u64, node.0, from.0, target.0, best, false);
-            }
-        }
-    }
-    trace.absorb_eval(eval.stats());
+    let best = hill_climb(
+        dag, blocking, &mut eval, num_procs, max_steps, seed, &mut trace,
+    );
     (best, eval.into_assignment(), trace)
 }
 
@@ -211,6 +180,77 @@ impl Scheduler for FastParallel {
         let s = evaluate_fixed_order(dag, &order, &best_assignment, num_procs).compact();
         gate_schedule(self.name(), dag, &s);
         s
+    }
+
+    fn schedule_into(&self, dag: &Dag, num_procs: u32, ws: &mut Workspace) -> Schedule {
+        let mut trace = SearchTrace::default();
+        // Phase 1 matches the legacy path: a default-config FAST with
+        // `max_steps: 0` (the seed never reaches phase 1).
+        initial_schedule_ws(dag, num_procs, ObnOrder::default(), ws, &mut trace);
+        ws.blocking_from_classes(dag);
+
+        let mut out = ws.take_schedule();
+        if ws.blocking.is_empty() || num_procs < 2 || self.config.chains == 0 {
+            ws.staging.compact_into(&mut ws.compact, &mut out);
+            gate_schedule(self.name(), dag, &out);
+            return out;
+        }
+
+        // One ChainSlot (evaluator + trace) per chain lives in the
+        // workspace; each worker thread gets a disjoint contiguous
+        // chunk of slots. A chain's outcome depends only on its seed
+        // `base + i`, so the partition shape cannot change results —
+        // the winner is still the lowest `(makespan, chain index)`.
+        let chains = self.config.chains as usize;
+        ws.ensure_chains(chains);
+        let workers = match self.config.threads {
+            0 => chains,
+            t => (t as usize).min(chains),
+        };
+        let max_steps = self.config.max_steps_per_chain;
+        let base_seed = self.config.seed;
+        let order = &ws.list;
+        let init = &ws.assignment;
+        let blocking = &ws.blocking;
+        let slots = &mut ws.chains[..chains];
+        let chunk = chains.div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for (w, slice) in slots.chunks_mut(chunk).enumerate() {
+                scope.spawn(move |_| {
+                    for (j, slot) in slice.iter_mut().enumerate() {
+                        let i = w * chunk + j;
+                        slot.trace = SearchTrace::default();
+                        slot.eval.reset(dag, order, init, num_procs);
+                        slot.makespan = hill_climb(
+                            dag,
+                            blocking,
+                            &mut slot.eval,
+                            num_procs,
+                            max_steps,
+                            base_seed + i as u64,
+                            &mut slot.trace,
+                        );
+                    }
+                });
+            }
+        })
+        .expect("search chains do not panic");
+
+        let best = (0..chains)
+            .min_by_key(|&i| (ws.chains[i].makespan, i))
+            .expect("at least one chain");
+        evaluate_fixed_order_into(
+            dag,
+            &ws.list,
+            ws.chains[best].eval.assignment(),
+            num_procs,
+            &mut ws.proc_ready,
+            &mut ws.node_finish,
+            &mut ws.staging,
+        );
+        ws.staging.compact_into(&mut ws.compact, &mut out);
+        gate_schedule(self.name(), dag, &out);
+        out
     }
 }
 

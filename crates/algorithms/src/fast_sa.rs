@@ -10,10 +10,11 @@
 //! seed; the final answer is the best assignment ever visited (so
 //! FAST-SA never returns worse than its initial schedule).
 
-use crate::fast::{Fast, FastConfig};
+use crate::fast::{initial_schedule_ws, Fast, FastConfig};
 use crate::scheduler::{gate_schedule, Scheduler};
-use fastsched_dag::Dag;
-use fastsched_schedule::evaluate::evaluate_fixed_order;
+use crate::workspace::Workspace;
+use fastsched_dag::{Dag, NodeId, ObnOrder};
+use fastsched_schedule::evaluate::{evaluate_fixed_order, evaluate_fixed_order_into};
 use fastsched_schedule::{DeltaEvaluator, ProcId, Schedule};
 use fastsched_trace::SearchTrace;
 use rand::rngs::StdRng;
@@ -62,6 +63,71 @@ impl FastSa {
     }
 }
 
+/// The simulated-annealing walk over `blocking`: same moves as FAST's
+/// hill climb, uphill acceptance with probability `exp(-Δ/T)`. The
+/// evaluator must hold the initial assignment; on return
+/// `best_assignment` (cleared + refilled here) holds the best
+/// assignment ever visited. Shared by the allocating
+/// [`Scheduler::schedule`] path and the workspace path.
+fn anneal(
+    config: &FastSaConfig,
+    dag: &Dag,
+    blocking: &[NodeId],
+    eval: &mut DeltaEvaluator,
+    num_procs: u32,
+    best_assignment: &mut Vec<ProcId>,
+    trace: &mut SearchTrace,
+) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut max_used = eval.assignment().iter().map(|p| p.0).max().unwrap_or(0);
+    best_assignment.clear();
+    best_assignment.extend_from_slice(eval.assignment());
+    // SA commits every accepted move (including uphill ones), so
+    // the evaluator's committed state tracks `current`, not `best`.
+    let mut current = eval.makespan();
+    let mut best = current;
+    let mut temp = (current as f64 * config.initial_temp_fraction).max(1.0);
+
+    for step in 0..config.steps {
+        let node = blocking[rng.gen_range(0..blocking.len())];
+        let pool = (max_used + 2).min(num_procs);
+        let target = ProcId(rng.gen_range(0..pool));
+        temp *= config.cooling;
+        if target == eval.assignment()[node.index()] {
+            trace.step_skipped();
+            continue;
+        }
+        trace.probe_attempted();
+        let from = eval.assignment()[node.index()];
+        let m = eval.probe_transfer(dag, node, target);
+        let accept = if m <= current {
+            true
+        } else {
+            let delta = (m - current) as f64;
+            rng.gen::<f64>() < (-delta / temp).exp()
+        };
+        if accept {
+            eval.commit();
+            current = m;
+            max_used = max_used.max(target.0);
+            if m < best {
+                best = m;
+                best_assignment.copy_from_slice(eval.assignment());
+            }
+            // The SA trajectory records the *current* walk, uphill
+            // moves included — that is the interesting signal.
+            trace.probe_accepted(step as u64, current);
+            trace.node_transferred(step as u64, node.0, from.0, target.0, current, true);
+        } else {
+            eval.revert();
+            trace.probe_reverted(step as u64, current);
+            trace.node_transferred(step as u64, node.0, from.0, target.0, m, false);
+        }
+    }
+
+    trace.absorb_eval(eval.stats());
+}
+
 impl Scheduler for FastSa {
     fn name(&self) -> &'static str {
         "FAST-SA"
@@ -86,58 +152,59 @@ impl Scheduler for FastSa {
             return s;
         }
 
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut max_used = assignment.iter().map(|p| p.0).max().unwrap_or(0);
-        let mut best_assignment = assignment.clone();
-        // SA commits every accepted move (including uphill ones), so
-        // the evaluator's committed state tracks `current`, not `best`.
+        let mut best_assignment = Vec::new();
         let mut eval = DeltaEvaluator::new(dag, order, assignment, num_procs);
-        let mut current = eval.makespan();
-        let mut best = current;
-        let mut temp = (current as f64 * self.config.initial_temp_fraction).max(1.0);
-
-        for step in 0..self.config.steps {
-            let node = blocking[rng.gen_range(0..blocking.len())];
-            let pool = (max_used + 2).min(num_procs);
-            let target = ProcId(rng.gen_range(0..pool));
-            temp *= self.config.cooling;
-            if target == eval.assignment()[node.index()] {
-                trace.step_skipped();
-                continue;
-            }
-            trace.probe_attempted();
-            let from = eval.assignment()[node.index()];
-            let m = eval.probe_transfer(dag, node, target);
-            let accept = if m <= current {
-                true
-            } else {
-                let delta = (m - current) as f64;
-                rng.gen::<f64>() < (-delta / temp).exp()
-            };
-            if accept {
-                eval.commit();
-                current = m;
-                max_used = max_used.max(target.0);
-                if m < best {
-                    best = m;
-                    best_assignment.copy_from_slice(eval.assignment());
-                }
-                // The SA trajectory records the *current* walk, uphill
-                // moves included — that is the interesting signal.
-                trace.probe_accepted(step as u64, current);
-                trace.node_transferred(step as u64, node.0, from.0, target.0, current, true);
-            } else {
-                eval.revert();
-                trace.probe_reverted(step as u64, current);
-                trace.node_transferred(step as u64, node.0, from.0, target.0, m, false);
-            }
-        }
-
-        trace.absorb_eval(eval.stats());
+        anneal(
+            &self.config,
+            dag,
+            &blocking,
+            &mut eval,
+            num_procs,
+            &mut best_assignment,
+            trace,
+        );
         trace.phase_end("local_search");
         let s = evaluate_fixed_order(dag, eval.order(), &best_assignment, num_procs).compact();
         gate_schedule(self.name(), dag, &s);
         s
+    }
+
+    fn schedule_into(&self, dag: &Dag, num_procs: u32, ws: &mut Workspace) -> Schedule {
+        let mut trace = SearchTrace::default();
+        // Phase 1 uses FAST's defaults (the legacy path constructs a
+        // default-config `Fast` with `max_steps: 0`).
+        initial_schedule_ws(dag, num_procs, ObnOrder::default(), ws, &mut trace);
+        ws.blocking_from_classes(dag);
+
+        let mut out = ws.take_schedule();
+        if ws.blocking.is_empty() || num_procs < 2 || self.config.steps == 0 {
+            ws.staging.compact_into(&mut ws.compact, &mut out);
+            gate_schedule(self.name(), dag, &out);
+            return out;
+        }
+
+        ws.eval.reset(dag, &ws.list, &ws.assignment, num_procs);
+        anneal(
+            &self.config,
+            dag,
+            &ws.blocking,
+            &mut ws.eval,
+            num_procs,
+            &mut ws.best_assignment,
+            &mut trace,
+        );
+        evaluate_fixed_order_into(
+            dag,
+            ws.eval.order(),
+            &ws.best_assignment,
+            num_procs,
+            &mut ws.proc_ready,
+            &mut ws.node_finish,
+            &mut ws.staging,
+        );
+        ws.staging.compact_into(&mut ws.compact, &mut out);
+        gate_schedule(self.name(), dag, &out);
+        out
     }
 }
 

@@ -51,6 +51,7 @@ pub mod mcp;
 pub mod md;
 pub mod optimal;
 pub mod scheduler;
+pub mod workspace;
 
 pub use bounded_dsc::BoundedDsc;
 pub use cpop::Cpop;
@@ -75,3 +76,4 @@ pub use optimal::{BranchAndBound, OracleOutcome};
 pub use scheduler::{
     all_schedulers, gate_schedule, gate_schedule_with, paper_schedulers, Scheduler,
 };
+pub use workspace::{schedule_many, schedule_many_into, Workspace};

@@ -23,12 +23,35 @@ pub struct Machine {
 impl Machine {
     /// Empty machine with `num_procs` processors for `num_nodes` tasks.
     pub fn new(num_nodes: usize, num_procs: u32) -> Self {
-        Self {
-            lanes: vec![Vec::new(); num_procs as usize],
-            finish: vec![0; num_nodes],
-            proc: vec![ProcId(0); num_nodes],
-            placed: vec![false; num_nodes],
+        let mut m = Self {
+            lanes: Vec::new(),
+            finish: Vec::new(),
+            proc: Vec::new(),
+            placed: Vec::new(),
+        };
+        m.reset(num_nodes, num_procs);
+        m
+    }
+
+    /// Re-initialize the machine in place for a (possibly different)
+    /// problem shape. Lanes and per-node arrays are cleared, never
+    /// dropped, so a reused machine allocates nothing once every
+    /// buffer has reached its peak size.
+    pub fn reset(&mut self, num_nodes: usize, num_procs: u32) {
+        let np = num_procs as usize;
+        self.lanes.truncate(np);
+        for lane in &mut self.lanes {
+            lane.clear();
         }
+        while self.lanes.len() < np {
+            self.lanes.push(Vec::new());
+        }
+        self.finish.clear();
+        self.finish.resize(num_nodes, 0);
+        self.proc.clear();
+        self.proc.resize(num_nodes, ProcId(0));
+        self.placed.clear();
+        self.placed.resize(num_nodes, false);
     }
 
     /// Number of processors.
@@ -106,14 +129,21 @@ impl Machine {
 
     /// Convert the machine state into a [`Schedule`].
     pub fn into_schedule(self, dag: &Dag) -> Schedule {
-        let mut s = Schedule::new(dag.node_count(), self.num_procs());
+        let mut s = Schedule::new(0, 1);
+        self.write_schedule(dag, &mut s);
+        s
+    }
+
+    /// [`Self::into_schedule`] writing into a caller-owned schedule
+    /// (reset in place) without consuming the machine.
+    pub fn write_schedule(&self, dag: &Dag, out: &mut Schedule) {
+        out.reset(dag.node_count(), self.num_procs());
         for (pi, lane) in self.lanes.iter().enumerate() {
             for &(start, fin, n) in lane {
-                s.place(n, ProcId(pi as u32), start, fin);
+                out.place(n, ProcId(pi as u32), start, fin);
             }
         }
-        debug_assert!(s.is_complete() || dag.node_count() > s.tasks().count());
-        s
+        debug_assert!(out.is_complete() || dag.node_count() > out.tasks().count());
     }
 }
 
@@ -136,21 +166,44 @@ pub struct DatCache {
 }
 
 impl DatCache {
+    /// An empty cache holding no buffer; fill it with
+    /// [`DatCache::compute_into`].
+    pub fn empty() -> Self {
+        Self {
+            remote: 0,
+            parent_procs: Vec::new(),
+        }
+    }
+
     /// Build the cache for ready node `n` against current placements.
+    /// The parent-processor list is sized to the in-degree up front, so
+    /// it never grows incrementally.
     pub fn compute(dag: &Dag, machine: &Machine, n: NodeId) -> Self {
-        let mut remote: Cost = 0;
-        let mut parent_procs: Vec<(ProcId, Cost)> = Vec::new();
+        let mut cache = Self {
+            remote: 0,
+            parent_procs: Vec::with_capacity(dag.in_degree(n)),
+        };
+        cache.compute_into(dag, machine, n);
+        cache
+    }
+
+    /// [`DatCache::compute`] refilling this cache in place (the
+    /// parent-processor list is cleared, its capacity kept), so a
+    /// reused cache stops allocating once it has seen its widest node.
+    pub fn compute_into(&mut self, dag: &Dag, machine: &Machine, n: NodeId) {
+        self.remote = 0;
+        self.parent_procs.clear();
         for e in dag.preds(n) {
             debug_assert!(machine.placed[e.node.index()]);
-            remote = remote.max(machine.finish[e.node.index()] + e.cost);
+            self.remote = self.remote.max(machine.finish[e.node.index()] + e.cost);
             let p = machine.proc[e.node.index()];
-            if !parent_procs.iter().any(|&(q, _)| q == p) {
-                parent_procs.push((p, 0));
+            if !self.parent_procs.iter().any(|&(q, _)| q == p) {
+                self.parent_procs.push((p, 0));
             }
         }
         // DAT on parent processor q: messages from parents on q are
         // free, others pay their edge cost.
-        for slot in &mut parent_procs {
+        for slot in &mut self.parent_procs {
             let q = slot.0;
             let mut dat = 0;
             for e in dag.preds(n) {
@@ -162,10 +215,6 @@ impl DatCache {
                 dat = dat.max(arrival);
             }
             slot.1 = dat;
-        }
-        Self {
-            remote,
-            parent_procs,
         }
     }
 
@@ -238,12 +287,29 @@ pub struct ReadySet {
 impl ReadySet {
     /// Initialize from the DAG: entry nodes are immediately ready.
     pub fn new(dag: &Dag) -> Self {
-        let remaining_parents: Vec<u32> = dag.nodes().map(|n| dag.in_degree(n) as u32).collect();
-        let ready = dag.entry_nodes();
+        let mut rs = Self::empty();
+        rs.reset(dag);
+        rs
+    }
+
+    /// An empty tracker holding no buffers; [`ReadySet::reset`] it
+    /// before use.
+    pub fn empty() -> Self {
         Self {
-            remaining_parents,
-            ready,
+            remaining_parents: Vec::new(),
+            ready: Vec::new(),
         }
+    }
+
+    /// Re-initialize for `dag` in place (buffers cleared, capacities
+    /// kept). Entry nodes are seeded in id order, exactly as
+    /// [`ReadySet::new`] does.
+    pub fn reset(&mut self, dag: &Dag) {
+        self.remaining_parents.clear();
+        self.remaining_parents
+            .extend(dag.nodes().map(|n| dag.in_degree(n) as u32));
+        self.ready.clear();
+        self.ready.extend(dag.nodes().filter(|&n| dag.is_entry(n)));
     }
 
     /// Current ready nodes (unordered).
@@ -283,6 +349,23 @@ impl ReadySet {
 /// plus one unused processor.
 pub fn run_static_list(dag: &Dag, order: &[NodeId], num_procs: u32, insertion: bool) -> Schedule {
     let mut m = Machine::new(dag.node_count(), num_procs);
+    let mut out = Schedule::new(0, 1);
+    run_static_list_reusing(dag, order, num_procs, insertion, &mut m, &mut out);
+    out
+}
+
+/// [`run_static_list`] against a caller-owned (reusable) [`Machine`]
+/// and output [`Schedule`]; both are reset in place. Byte-identical
+/// result, zero allocations at steady state.
+pub fn run_static_list_reusing(
+    dag: &Dag,
+    order: &[NodeId],
+    num_procs: u32,
+    insertion: bool,
+    m: &mut Machine,
+    out: &mut Schedule,
+) {
+    m.reset(dag.node_count(), num_procs);
     for &n in order {
         let mut best_p = ProcId(0);
         let mut best_s = Cost::MAX;
@@ -300,7 +383,7 @@ pub fn run_static_list(dag: &Dag, order: &[NodeId], num_procs: u32, insertion: b
         }
         m.place(dag, n, best_p, best_s);
     }
-    m.into_schedule(dag)
+    m.write_schedule(dag, out);
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! The common [`Scheduler`] interface and the algorithm registry used
 //! by the CLI and the benchmark harness.
 
+use crate::workspace::Workspace;
 use fastsched_dag::Dag;
 use fastsched_schedule::{validate_with, CostModel, HomogeneousModel, Schedule};
 use fastsched_trace::SearchTrace;
@@ -87,6 +88,23 @@ pub trait Scheduler: Send + Sync {
     /// zero-sized no-op and this is exactly [`Self::schedule`].
     fn schedule_traced(&self, dag: &Dag, num_procs: u32, trace: &mut SearchTrace) -> Schedule {
         let _ = trace;
+        self.schedule(dag, num_procs)
+    }
+
+    /// [`Self::schedule`] against a reusable [`Workspace`]: scratch
+    /// buffers come from (and return to) `workspace`, so a warm
+    /// workspace makes repeated calls allocation-free for the natively
+    /// ported algorithms (FAST, FAST-SA, FAST-MS, ETF, DLS). The
+    /// result is byte-identical to [`Self::schedule`]'s — the
+    /// workspace only changes *where* scratch lives, never a
+    /// scheduling decision.
+    ///
+    /// The default implementation ignores the workspace and delegates
+    /// to [`Self::schedule`], so every scheduler supports the batched
+    /// entry points ([`crate::workspace::schedule_many`]) even before
+    /// it is ported.
+    fn schedule_into(&self, dag: &Dag, num_procs: u32, workspace: &mut Workspace) -> Schedule {
+        let _ = workspace;
         self.schedule(dag, num_procs)
     }
 }

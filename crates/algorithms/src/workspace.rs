@@ -1,0 +1,213 @@
+//! Reusable scratch arena for the scheduling stack.
+//!
+//! A [`Workspace`] owns every per-schedule buffer the natively ported
+//! algorithms (FAST, FAST-SA, FAST-MS, ETF, DLS) need: the attribute
+//! arrays of the `list_construction` phase, the CPN-Dominate list
+//! scratch, the placement buffers of `InitialSchedule()`, the
+//! list-scheduling [`Machine`], the incremental [`DeltaEvaluator`] and
+//! the compaction scratch. Buffers are *cleared, never dropped*
+//! between runs, so once every buffer has reached its peak size a
+//! reused workspace performs **zero heap allocations** per schedule
+//! (release builds without the `validate`/`trace` features; debug
+//! assertions and the validation gate allocate by design).
+//!
+//! ## Ownership rules
+//!
+//! * The workspace owns scratch; the caller owns results. A
+//!   [`Scheduler::schedule_into`] call returns a fresh [`Schedule`] —
+//!   hand it back via [`Workspace::recycle`] to keep the steady state
+//!   allocation-free across calls.
+//! * A workspace may be reused across different DAGs, processor
+//!   counts and algorithms in any order: every port re-initializes
+//!   exactly the buffers it reads (clear + resize), so stale state
+//!   from a previous run can never leak into the next (the
+//!   `workspace_reuse` property suite pins this).
+//! * A workspace is `!Sync` by convention — use one workspace per
+//!   thread. FAST-MS keeps one `ChainSlot` (evaluator + trace) per
+//!   search chain inside the workspace and hands each worker thread a
+//!   disjoint `&mut` chunk.
+//!
+//! ## Porting an algorithm
+//!
+//! Override [`Scheduler::schedule_into`]; re-derive every input from
+//! `(dag, num_procs)` into workspace buffers via the `_into`/`reset`
+//! variants (`GraphAttributes::compute_into`, `classify_nodes_into`,
+//! `cpn_dominate_list_into`, `Machine::reset`, `ReadySet::reset`,
+//! `DeltaEvaluator::reset`, ...); build the result in
+//! `Workspace::staging`; finish with `Schedule::compact_into` into a
+//! schedule obtained from [`Workspace::take_schedule`]. The result
+//! must be byte-identical to `schedule()` — the property suite
+//! compares serialized schedules across dirty reuse.
+
+use crate::list_common::{DatCache, Machine, ReadySet};
+use crate::scheduler::Scheduler;
+use fastsched_dag::{Cost, CpnListScratch, Dag, GraphAttributes, NodeClass, NodeId};
+use fastsched_schedule::{CompactScratch, DeltaEvaluator, ProcId, Schedule};
+#[cfg(feature = "parallel")]
+use fastsched_trace::SearchTrace;
+
+/// Per-chain state of the multi-start search (FAST-MS): each chain
+/// owns its evaluator and trace so worker threads share nothing.
+#[cfg(feature = "parallel")]
+pub(crate) struct ChainSlot {
+    /// The chain's private incremental evaluator (committed state is
+    /// the chain's current assignment).
+    pub(crate) eval: DeltaEvaluator,
+    /// The chain's private observability collector.
+    pub(crate) trace: SearchTrace,
+    /// Best makespan the chain reached.
+    pub(crate) makespan: u64,
+}
+
+#[cfg(feature = "parallel")]
+impl ChainSlot {
+    fn new() -> Self {
+        Self {
+            eval: DeltaEvaluator::empty(),
+            trace: SearchTrace::default(),
+            makespan: 0,
+        }
+    }
+}
+
+/// Reusable scratch arena: every buffer the natively ported
+/// schedulers need, cleared (capacity kept) between runs. See the
+/// [module docs](self) for the ownership rules.
+pub struct Workspace {
+    // --- list_construction phase ---
+    pub(crate) attrs: GraphAttributes,
+    pub(crate) classes: Vec<NodeClass>,
+    pub(crate) seen: Vec<bool>,
+    pub(crate) node_stack: Vec<NodeId>,
+    pub(crate) cpn_scratch: CpnListScratch,
+    pub(crate) list: Vec<NodeId>,
+    pub(crate) blocking: Vec<NodeId>,
+    // --- InitialSchedule() placement buffers ---
+    pub(crate) proc_ready: Vec<Cost>,
+    pub(crate) node_finish: Vec<Cost>,
+    pub(crate) assignment: Vec<ProcId>,
+    pub(crate) placed: Vec<bool>,
+    pub(crate) candidates: Vec<ProcId>,
+    // --- list-scheduling family (ETF, DLS) ---
+    pub(crate) machine: Machine,
+    pub(crate) ready_set: ReadySet,
+    pub(crate) static_level: Vec<Cost>,
+    pub(crate) dat: Vec<DatCache>,
+    pub(crate) dat_valid: Vec<bool>,
+    // --- local search ---
+    pub(crate) eval: DeltaEvaluator,
+    pub(crate) best_assignment: Vec<ProcId>,
+    #[cfg(feature = "parallel")]
+    pub(crate) chains: Vec<ChainSlot>,
+    // --- output assembly ---
+    pub(crate) staging: Schedule,
+    pub(crate) compact: CompactScratch,
+    spare: Vec<Schedule>,
+}
+
+impl Workspace {
+    /// An empty workspace. Buffers grow on first use and are kept
+    /// (cleared, not dropped) afterwards.
+    pub fn new() -> Self {
+        Self {
+            attrs: GraphAttributes::empty(),
+            classes: Vec::new(),
+            seen: Vec::new(),
+            node_stack: Vec::new(),
+            cpn_scratch: CpnListScratch::new(),
+            list: Vec::new(),
+            blocking: Vec::new(),
+            proc_ready: Vec::new(),
+            node_finish: Vec::new(),
+            assignment: Vec::new(),
+            placed: Vec::new(),
+            candidates: Vec::new(),
+            machine: Machine::new(0, 0),
+            ready_set: ReadySet::empty(),
+            static_level: Vec::new(),
+            dat: Vec::new(),
+            dat_valid: Vec::new(),
+            eval: DeltaEvaluator::empty(),
+            best_assignment: Vec::new(),
+            #[cfg(feature = "parallel")]
+            chains: Vec::new(),
+            staging: Schedule::new(0, 1),
+            compact: CompactScratch::new(),
+            spare: Vec::new(),
+        }
+    }
+
+    /// A schedule to build a result into: a recycled one if available
+    /// (capacity warm), a fresh empty one otherwise.
+    pub fn take_schedule(&mut self) -> Schedule {
+        self.spare.pop().unwrap_or_else(|| Schedule::new(0, 1))
+    }
+
+    /// Return a schedule to the workspace's spare pool so its buffers
+    /// are reused by a later [`Workspace::take_schedule`]. Recycling
+    /// the previous result between `schedule_into` calls is what makes
+    /// the steady state fully allocation-free.
+    pub fn recycle(&mut self, schedule: Schedule) {
+        self.spare.push(schedule);
+    }
+
+    /// Ensure the multi-start chain slots exist for `chains` chains.
+    #[cfg(feature = "parallel")]
+    pub(crate) fn ensure_chains(&mut self, chains: usize) {
+        while self.chains.len() < chains {
+            self.chains.push(ChainSlot::new());
+        }
+    }
+
+    /// Derive the blocking-node list (non-CPN nodes, id order) from
+    /// the already-computed `classes` buffer into `blocking`.
+    pub(crate) fn blocking_from_classes(&mut self, dag: &Dag) {
+        self.blocking.clear();
+        let classes = &self.classes;
+        self.blocking.extend(
+            dag.nodes()
+                .filter(|&n| classes[n.index()] != NodeClass::Cpn),
+        );
+    }
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Schedule every DAG in `dags` on `num_procs` processors with
+/// `scheduler`, reusing one [`Workspace`] across the whole batch.
+/// Results are byte-identical to calling
+/// [`Scheduler::schedule`] per DAG; the batched entry point simply
+/// stops re-allocating the scratch for every item.
+///
+/// ```
+/// use fastsched_algorithms::{schedule_many, Fast, Scheduler};
+/// use fastsched_dag::examples::{fork_join, paper_figure1};
+///
+/// let dags = vec![paper_figure1(), fork_join(4, 10, 1)];
+/// let fast = Fast::new();
+/// let batch = schedule_many(&fast, &dags, 4);
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(batch[0].makespan(), fast.schedule(&dags[0], 4).makespan());
+/// ```
+pub fn schedule_many(scheduler: &dyn Scheduler, dags: &[Dag], num_procs: u32) -> Vec<Schedule> {
+    let mut ws = Workspace::new();
+    schedule_many_into(scheduler, dags, num_procs, &mut ws)
+}
+
+/// [`schedule_many`] against a caller-owned workspace, for callers
+/// that batch repeatedly (e.g. `casch batch`) and want the scratch to
+/// stay warm across batches.
+pub fn schedule_many_into(
+    scheduler: &dyn Scheduler,
+    dags: &[Dag],
+    num_procs: u32,
+    ws: &mut Workspace,
+) -> Vec<Schedule> {
+    dags.iter()
+        .map(|dag| scheduler.schedule_into(dag, num_procs, ws))
+        .collect()
+}

@@ -39,6 +39,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&opts),
         "dot" => cmd_dot(&opts),
         "schedule" => cmd_schedule(&opts),
+        "batch" => cmd_batch(&opts),
         "simulate" => cmd_simulate(&opts),
         "verify" => cmd_verify(&opts),
         "compare" => cmd_compare(&opts),
@@ -67,6 +68,8 @@ USAGE:
                  [--gantt] [--gantt-width <cols>] [--svg <out.svg>]
                  [--out-schedule <out.json>] [--trace <out.ndjson>]
                  [--perfetto <out.json>]
+  casch batch    (--dir <dir> | --manifest <list.txt>) --algo <name>
+                 [--procs <p>] [--out <out.ndjson>]
   casch simulate --dag <file.json> --schedule <sched.json>
                  [--topology <mesh|torus|hypercube|full>] [--hop <us>]
                  [--send-overhead <us>] [--recv-overhead <us>]
@@ -88,6 +91,14 @@ build with `--features trace` or the file only carries metadata.
 from the same provenance (candidate processors probed, their
 ready/data-arrival/start times, the winning reason, and every
 local-search transfer that touched the node).
+
+`casch batch` schedules every DAG file in a directory (`*.json` and
+`*.tg`, sorted by name) or listed in a manifest (one path per line,
+`#` comments allowed) with one algorithm, reusing a single scheduling
+workspace across the whole batch so per-DAG overhead is amortized. It
+emits one NDJSON object per DAG — `{\"dag\",\"nodes\",\"edges\",\"algo\",
+\"procs\",\"makespan\",\"seconds\"}` — to stdout or `--out`. Without
+`--procs` each DAG gets as many processors as it has nodes.
 
 `casch verify` runs the structural validator over a saved schedule:
 task count, processor bounds, durations under the cost model
@@ -289,6 +300,84 @@ fn cmd_schedule(opts: &Flags) -> Result<(), String> {
         eprintln!("wrote search trace to {path}");
     }
     Ok(())
+}
+
+/// One scheduling workspace, many DAGs: the batch loop is the CLI
+/// surface of `schedule_many` — scratch buffers stay warm from one
+/// graph to the next and each result line carries its own wall-clock
+/// cost, so the NDJSON doubles as a throughput record.
+fn cmd_batch(opts: &Flags) -> Result<(), String> {
+    use fastsched_algorithms::Workspace;
+    use std::path::PathBuf;
+
+    let algo = scheduler_by_name(opts.get("algo").ok_or("missing --algo")?)?;
+    let mut paths: Vec<PathBuf> = match (opts.get("dir"), opts.get("manifest")) {
+        (Some(dir), None) => std::fs::read_dir(dir)
+            .map_err(|e| format!("reading {dir}: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                matches!(
+                    p.extension().and_then(|x| x.to_str()),
+                    Some("json") | Some("tg")
+                )
+            })
+            .collect(),
+        (None, Some(manifest)) => {
+            let text = std::fs::read_to_string(manifest)
+                .map_err(|e| format!("reading {manifest}: {e}"))?;
+            text.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(PathBuf::from)
+                .collect()
+        }
+        _ => return Err("batch needs exactly one of --dir or --manifest".to_string()),
+    };
+    paths.sort();
+    if paths.is_empty() {
+        return Err("no DAG files to schedule (batch wants *.json or *.tg)".to_string());
+    }
+
+    let mut ws = Workspace::new();
+    let mut lines = String::new();
+    for path in &paths {
+        let display = path.display().to_string();
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {display}: {e}"))?;
+        let dag = if display.ends_with(".tg") {
+            fastsched_dag::io_text::from_text(&text).map_err(|e| format!("{display}: {e}"))?
+        } else {
+            io::from_json(&text).map_err(|e| format!("{display}: {e}"))?
+        };
+        let procs = get_u64_or(opts, "procs", dag.node_count() as u64)? as u32;
+        let started = std::time::Instant::now();
+        let schedule = algo.schedule_into(&dag, procs, &mut ws);
+        let seconds = started.elapsed().as_secs_f64();
+        lines.push_str(&format!(
+            "{{\"dag\":\"{}\",\"nodes\":{},\"edges\":{},\"algo\":\"{}\",\
+             \"procs\":{},\"makespan\":{},\"seconds\":{:.6}}}\n",
+            json_escape(&display),
+            dag.node_count(),
+            dag.edge_count(),
+            algo.name(),
+            procs,
+            schedule.makespan(),
+            seconds
+        ));
+        ws.recycle(schedule);
+    }
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &lines).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {} result line(s) to {path}", paths.len());
+        }
+        None => print!("{lines}"),
+    }
+    Ok(())
+}
+
+/// Minimal JSON string escaping for file paths embedded in NDJSON.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn cmd_trace(opts: &Flags) -> Result<(), String> {

@@ -313,6 +313,139 @@ fn verify_accepts_legal_schedules_and_rejects_corrupted_ones() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `casch batch` over a directory and a manifest: one NDJSON object
+/// per DAG, schema-complete, with makespans identical to per-call
+/// `casch schedule` (the shared workspace must not change results).
+#[test]
+fn batch_emits_schema_complete_ndjson_matching_per_call_runs() {
+    use serde::Value;
+
+    let dir = std::env::temp_dir().join(format!("casch-batch-{}", std::process::id()));
+    let dag_dir = dir.join("dags");
+    std::fs::create_dir_all(&dag_dir).unwrap();
+
+    for (app, size, name) in [
+        ("gauss", "4", "a-gauss.json"),
+        ("fft", "8", "b-fft.json"),
+        ("random", "30", "c-rand.json"),
+    ] {
+        let out = casch()
+            .args(["generate", "--app", app, "--size", size, "--out"])
+            .arg(dag_dir.join(name))
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+    }
+    // A non-DAG file in the directory must be ignored.
+    std::fs::write(dag_dir.join("notes.txt"), "not a dag").unwrap();
+
+    let out = casch()
+        .args(["batch", "--algo", "fast", "--procs", "8", "--dir"])
+        .arg(&dag_dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let ndjson = String::from_utf8_lossy(&out.stdout).to_string();
+    let lines: Vec<&str> = ndjson.lines().collect();
+    assert_eq!(lines.len(), 3, "{ndjson}");
+
+    let field = |line: &str, key: &str| -> Value {
+        let doc: Value = serde_json::from_str(line).expect("each line must be JSON");
+        let Value::Object(pairs) = doc else {
+            panic!("line must be an object")
+        };
+        pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("missing {key} in {line}"))
+    };
+    for line in &lines {
+        for key in [
+            "dag", "nodes", "edges", "algo", "procs", "makespan", "seconds",
+        ] {
+            field(line, key);
+        }
+        assert_eq!(field(line, "algo"), Value::String("FAST".to_string()));
+        assert_eq!(field(line, "procs"), Value::UInt(8));
+    }
+    // --dir output is sorted by file name.
+    assert!(matches!(field(lines[0], "dag"), Value::String(s) if s.ends_with("a-gauss.json")));
+    assert!(matches!(field(lines[2], "dag"), Value::String(s) if s.ends_with("c-rand.json")));
+
+    // Batch makespans equal the per-call command's.
+    for line in &lines {
+        let Value::String(dag_path) = field(line, "dag") else {
+            panic!("dag must be a string")
+        };
+        let out = casch()
+            .args(["schedule", "--algo", "fast", "--procs", "8", "--dag"])
+            .arg(&dag_path)
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        let per_call = text
+            .lines()
+            .find_map(|l| l.strip_prefix("schedule length:"))
+            .unwrap()
+            .trim()
+            .parse::<u64>()
+            .unwrap();
+        assert_eq!(field(line, "makespan"), Value::UInt(per_call), "{dag_path}");
+    }
+
+    // Manifest mode (with blanks and comments) + --out to a file.
+    let manifest = dir.join("manifest.txt");
+    std::fs::write(
+        &manifest,
+        format!(
+            "# batch manifest\n\n{}\n{}\n",
+            dag_dir.join("c-rand.json").display(),
+            dag_dir.join("a-gauss.json").display()
+        ),
+    )
+    .unwrap();
+    let out_path = dir.join("batch.ndjson");
+    let out = casch()
+        .args(["batch", "--algo", "dls", "--procs", "4", "--manifest"])
+        .arg(&manifest)
+        .args(["--out"])
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let written = std::fs::read_to_string(&out_path).unwrap();
+    assert_eq!(written.lines().count(), 2);
+    for line in written.lines() {
+        assert_eq!(field(line, "algo"), Value::String("DLS".to_string()));
+    }
+
+    // Usage errors: neither or both sources, and an empty directory.
+    let out = casch().args(["batch", "--algo", "fast"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--dir or --manifest"));
+    let empty = dir.join("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = casch()
+        .args(["batch", "--algo", "fast", "--dir"])
+        .arg(&empty)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no DAG files"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn compare_runs_all_paper_algorithms() {
     let out = casch()

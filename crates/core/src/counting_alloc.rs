@@ -1,0 +1,78 @@
+//! A dependency-free counting allocator for zero-allocation tests.
+//!
+//! [`CountingAlloc`] wraps [`std::alloc::System`] and counts every
+//! `alloc` / `alloc_zeroed` / `realloc` call with a relaxed atomic.
+//! Install it as the `#[global_allocator]` *inside a test binary* (the
+//! library never installs it) and assert that a code region performs
+//! zero allocations:
+//!
+//! ```ignore
+//! use fastsched::counting_alloc::CountingAlloc;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc::new();
+//!
+//! let before = ALLOC.allocations();
+//! hot_path();
+//! assert_eq!(ALLOC.allocations() - before, 0);
+//! ```
+//!
+//! The counter is monotonic (never reset by deallocation), so the
+//! difference of two snapshots is exactly the number of heap
+//! acquisitions in between. `dealloc` is deliberately not counted:
+//! releasing warm capacity is impossible in a correctly written
+//! steady state anyway, and counting it would double-charge
+//! `realloc`-based growth.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counting wrapper around the system allocator. See the
+/// [module docs](self).
+pub struct CountingAlloc {
+    allocations: AtomicU64,
+}
+
+impl CountingAlloc {
+    /// A new counter at zero (usable in `static` position).
+    pub const fn new() -> Self {
+        Self {
+            allocations: AtomicU64::new(0),
+        }
+    }
+
+    /// Total heap acquisitions (`alloc` + `alloc_zeroed` + `realloc`)
+    /// since process start.
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates directly to `System`; the counter side effect
+// never touches the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}

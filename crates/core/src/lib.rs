@@ -40,6 +40,8 @@
 
 #![warn(missing_docs)]
 
+pub mod counting_alloc;
+
 pub use fastsched_algorithms as algorithms;
 pub use fastsched_casch as casch;
 pub use fastsched_dag as dag;
@@ -51,8 +53,8 @@ pub use fastsched_workloads as workloads;
 /// One-stop imports for applications using the library.
 pub mod prelude {
     pub use fastsched_algorithms::{
-        all_schedulers, paper_schedulers, Dls, Dsc, Etf, Fast, FastConfig, FastParallel, Heft,
-        Hlfet, Mcp, Md, Scheduler,
+        all_schedulers, paper_schedulers, schedule_many, schedule_many_into, Dls, Dsc, Etf, Fast,
+        FastConfig, FastParallel, Heft, Hlfet, Mcp, Md, Scheduler, Workspace,
     };
     pub use fastsched_casch::{compare_algorithms, run_on_dag, run_pipeline, Application};
     pub use fastsched_dag::{

@@ -10,51 +10,76 @@ use crate::graph::{Cost, Dag, NodeId};
 /// The *t-level* (ASAP start time) of every node: the length of the
 /// longest path from an entry node to `n`, excluding `w(n)`.
 pub fn t_levels(dag: &Dag) -> Vec<Cost> {
-    let mut tl = vec![0; dag.node_count()];
+    let mut tl = Vec::new();
+    t_levels_into(dag, &mut tl);
+    tl
+}
+
+/// [`t_levels`] writing into a caller-owned buffer. `out` is cleared
+/// and resized (capacity is kept), so reusing the same buffer across
+/// calls allocates nothing once it has reached its peak size.
+pub fn t_levels_into(dag: &Dag, out: &mut Vec<Cost>) {
+    out.clear();
+    out.resize(dag.node_count(), 0);
     for &n in dag.topo_order() {
-        let reach = tl[n.index()] + dag.weight(n);
+        let reach = out[n.index()] + dag.weight(n);
         for e in dag.succs(n) {
             let cand = reach + e.cost;
-            if cand > tl[e.node.index()] {
-                tl[e.node.index()] = cand;
+            if cand > out[e.node.index()] {
+                out[e.node.index()] = cand;
             }
         }
     }
-    tl
 }
 
 /// The *b-level* of every node: the length of the longest path from `n`
 /// to an exit node, including `w(n)` and the communication costs along
 /// the path.
 pub fn b_levels(dag: &Dag) -> Vec<Cost> {
-    let mut bl = vec![0; dag.node_count()];
+    let mut bl = Vec::new();
+    b_levels_into(dag, &mut bl);
+    bl
+}
+
+/// [`b_levels`] writing into a caller-owned buffer (cleared, not
+/// dropped — see [`t_levels_into`]).
+pub fn b_levels_into(dag: &Dag, out: &mut Vec<Cost>) {
+    out.clear();
+    out.resize(dag.node_count(), 0);
     for &n in dag.topo_order().iter().rev() {
         let mut best = 0;
         for e in dag.succs(n) {
-            let cand = e.cost + bl[e.node.index()];
+            let cand = e.cost + out[e.node.index()];
             if cand > best {
                 best = cand;
             }
         }
-        bl[n.index()] = dag.weight(n) + best;
+        out[n.index()] = dag.weight(n) + best;
     }
-    bl
 }
 
 /// The *static level* (SL, also called static b-level): like
 /// [`b_levels`] but ignoring communication costs.
 pub fn static_levels(dag: &Dag) -> Vec<Cost> {
-    let mut sl = vec![0; dag.node_count()];
+    let mut sl = Vec::new();
+    static_levels_into(dag, &mut sl);
+    sl
+}
+
+/// [`static_levels`] writing into a caller-owned buffer (cleared, not
+/// dropped — see [`t_levels_into`]).
+pub fn static_levels_into(dag: &Dag, out: &mut Vec<Cost>) {
+    out.clear();
+    out.resize(dag.node_count(), 0);
     for &n in dag.topo_order().iter().rev() {
         let best = dag
             .succs(n)
             .iter()
-            .map(|e| sl[e.node.index()])
+            .map(|e| out[e.node.index()])
             .max()
             .unwrap_or(0);
-        sl[n.index()] = dag.weight(n) + best;
+        out[n.index()] = dag.weight(n) + best;
     }
-    sl
 }
 
 /// All §2 attributes of a DAG, computed in three O(v + e) passes.
@@ -75,31 +100,52 @@ pub struct GraphAttributes {
 }
 
 impl GraphAttributes {
+    /// An empty attribute set holding no buffers; fill it with
+    /// [`GraphAttributes::compute_into`]. This is the workspace seed
+    /// value: create once, recompute in place per DAG.
+    pub fn empty() -> Self {
+        Self {
+            t_level: Vec::new(),
+            b_level: Vec::new(),
+            static_level: Vec::new(),
+            alap: Vec::new(),
+            cp_length: 0,
+            cpn: Vec::new(),
+        }
+    }
+
     /// Compute every attribute for `dag`.
     pub fn compute(dag: &Dag) -> Self {
-        let t_level = t_levels(dag);
-        let b_level = b_levels(dag);
-        let static_level = static_levels(dag);
-        let cp_length = t_level
+        let mut out = Self::empty();
+        Self::compute_into(dag, &mut out);
+        out
+    }
+
+    /// [`GraphAttributes::compute`] writing into an existing attribute
+    /// set. All buffers are cleared and refilled, never dropped, so a
+    /// reused `out` allocates nothing once its capacities have reached
+    /// the largest DAG seen so far.
+    pub fn compute_into(dag: &Dag, out: &mut GraphAttributes) {
+        t_levels_into(dag, &mut out.t_level);
+        b_levels_into(dag, &mut out.b_level);
+        static_levels_into(dag, &mut out.static_level);
+        let cp_length = out
+            .t_level
             .iter()
-            .zip(&b_level)
+            .zip(&out.b_level)
             .map(|(&t, &b)| t + b)
             .max()
             .expect("non-empty graph");
-        let cpn: Vec<bool> = t_level
-            .iter()
-            .zip(&b_level)
-            .map(|(&t, &b)| t + b == cp_length)
-            .collect();
-        let alap = b_level.iter().map(|&b| cp_length - b).collect();
-        Self {
-            t_level,
-            b_level,
-            static_level,
-            alap,
-            cp_length,
-            cpn,
-        }
+        out.cp_length = cp_length;
+        out.cpn.clear();
+        out.cpn.extend(
+            out.t_level
+                .iter()
+                .zip(&out.b_level)
+                .map(|(&t, &b)| t + b == cp_length),
+        );
+        out.alap.clear();
+        out.alap.extend(out.b_level.iter().map(|&b| cp_length - b));
     }
 
     /// `true` if `n` lies on a critical path.
@@ -111,12 +157,23 @@ impl GraphAttributes {
     /// All CPNs in ascending t-level order (the order the CPN-Dominate
     /// list walks the critical path), ties broken by node id.
     pub fn cpns_by_t_level(&self) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = (0..self.cpn.len() as u32)
-            .map(NodeId)
-            .filter(|&n| self.cpn[n.index()])
-            .collect();
-        out.sort_by_key(|&n| (self.t_level[n.index()], n.0));
+        let mut out = Vec::new();
+        self.cpns_by_t_level_into(&mut out);
         out
+    }
+
+    /// [`GraphAttributes::cpns_by_t_level`] writing into a caller-owned
+    /// buffer (cleared, capacity kept). The sort is unstable, which is
+    /// observationally identical here because the `(t_level, id)` keys
+    /// are unique, and it avoids the stable sort's scratch allocation.
+    pub fn cpns_by_t_level_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(
+            (0..self.cpn.len() as u32)
+                .map(NodeId)
+                .filter(|&n| self.cpn[n.index()]),
+        );
+        out.sort_unstable_by_key(|&n| (self.t_level[n.index()], n.0));
     }
 
     /// One concrete critical path, as a node sequence from an entry CPN

@@ -7,7 +7,6 @@
 
 use crate::attributes::GraphAttributes;
 use crate::graph::{Dag, NodeId};
-use crate::topo::reaches_any;
 
 /// Class of a node in the CPN / IBN / OBN partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -24,19 +23,50 @@ pub enum NodeClass {
 ///
 /// Runs one reverse BFS from the CPN set, so the whole pass is O(v + e).
 pub fn classify_nodes(dag: &Dag, attrs: &GraphAttributes) -> Vec<NodeClass> {
-    let cpns: Vec<NodeId> = dag.nodes().filter(|&n| attrs.is_cpn(n)).collect();
-    let reaches_cpn = reaches_any(dag, &cpns);
-    dag.nodes()
-        .map(|n| {
-            if attrs.is_cpn(n) {
-                NodeClass::Cpn
-            } else if reaches_cpn[n.index()] {
-                NodeClass::Ibn
-            } else {
-                NodeClass::Obn
+    let mut classes = Vec::new();
+    classify_nodes_into(dag, attrs, &mut classes, &mut Vec::new(), &mut Vec::new());
+    classes
+}
+
+/// [`classify_nodes`] writing into caller-owned buffers. `seen` and
+/// `stack` are BFS scratch (contents irrelevant on entry); all three
+/// buffers are cleared, not dropped, so a reused set of buffers
+/// allocates nothing at steady state. The reverse BFS is seeded
+/// directly from `attrs.cpn`, so no intermediate CPN list is built.
+pub fn classify_nodes_into(
+    dag: &Dag,
+    attrs: &GraphAttributes,
+    classes: &mut Vec<NodeClass>,
+    seen: &mut Vec<bool>,
+    stack: &mut Vec<NodeId>,
+) {
+    seen.clear();
+    seen.resize(dag.node_count(), false);
+    stack.clear();
+    for n in dag.nodes() {
+        if attrs.is_cpn(n) {
+            seen[n.index()] = true;
+            stack.push(n);
+        }
+    }
+    while let Some(n) = stack.pop() {
+        for e in dag.preds(n) {
+            if !seen[e.node.index()] {
+                seen[e.node.index()] = true;
+                stack.push(e.node);
             }
-        })
-        .collect()
+        }
+    }
+    classes.clear();
+    classes.extend(dag.nodes().map(|n| {
+        if attrs.is_cpn(n) {
+            NodeClass::Cpn
+        } else if seen[n.index()] {
+            NodeClass::Ibn
+        } else {
+            NodeClass::Obn
+        }
+    }));
 }
 
 /// Nodes of a given class, in id order.

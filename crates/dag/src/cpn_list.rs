@@ -44,6 +44,27 @@ pub struct CpnListConfig {
     pub obn_order: ObnOrder,
 }
 
+/// Reusable scratch for [`cpn_dominate_list_into`]: the listed flags,
+/// ancestor-walk stack, CPN ordering buffer and OBN Kahn state. All
+/// members are cleared between runs, never dropped, so one scratch
+/// reused across many DAGs stops allocating once every buffer has
+/// reached its peak size.
+#[derive(Debug, Default)]
+pub struct CpnListScratch {
+    listed: Vec<bool>,
+    stack: Vec<NodeId>,
+    cpns: Vec<NodeId>,
+    indeg: Vec<u32>,
+    heap: BinaryHeap<((u64, Reverse<u32>), NodeId)>,
+}
+
+impl CpnListScratch {
+    /// Empty scratch holding no buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Build the CPN-Dominate list: a topological priority order of all
 /// nodes with CPNs placed as early as their ancestors allow.
 ///
@@ -56,27 +77,53 @@ pub fn cpn_dominate_list(
     classes: &[NodeClass],
     config: CpnListConfig,
 ) -> Vec<NodeId> {
-    let v = dag.node_count();
-    let mut listed = vec![false; v];
-    let mut order = Vec::with_capacity(v);
-
-    // Walk the CPNs in ascending t-level order (entry CPN first).
-    for cpn in attrs.cpns_by_t_level() {
-        include_with_ancestors(dag, attrs, cpn, &mut listed, &mut order);
-    }
-
-    // Step (9): append the OBNs.
-    append_obns(
+    let mut order = Vec::new();
+    cpn_dominate_list_into(
         dag,
         attrs,
         classes,
-        config.obn_order,
-        &mut listed,
+        config,
+        &mut CpnListScratch::default(),
         &mut order,
     );
+    order
+}
+
+/// [`cpn_dominate_list`] writing into a caller-owned `order` buffer
+/// using caller-owned scratch. Byte-identical output; zero allocations
+/// once the reused buffers have reached their peak capacities.
+pub fn cpn_dominate_list_into(
+    dag: &Dag,
+    attrs: &GraphAttributes,
+    classes: &[NodeClass],
+    config: CpnListConfig,
+    scratch: &mut CpnListScratch,
+    order: &mut Vec<NodeId>,
+) {
+    let v = dag.node_count();
+    scratch.listed.clear();
+    scratch.listed.resize(v, false);
+    order.clear();
+    order.reserve(v);
+
+    // Walk the CPNs in ascending t-level order (entry CPN first).
+    attrs.cpns_by_t_level_into(&mut scratch.cpns);
+    for i in 0..scratch.cpns.len() {
+        let cpn = scratch.cpns[i];
+        include_with_ancestors(
+            dag,
+            attrs,
+            cpn,
+            &mut scratch.listed,
+            &mut scratch.stack,
+            order,
+        );
+    }
+
+    // Step (9): append the OBNs.
+    append_obns(dag, attrs, classes, config.obn_order, scratch, order);
 
     debug_assert_eq!(order.len(), v);
-    order
 }
 
 /// Place `node` in the list after recursively placing all of its
@@ -91,12 +138,14 @@ fn include_with_ancestors(
     attrs: &GraphAttributes,
     node: NodeId,
     listed: &mut [bool],
+    stack: &mut Vec<NodeId>,
     order: &mut Vec<NodeId>,
 ) {
     if listed[node.index()] {
         return;
     }
-    let mut stack = vec![node];
+    stack.clear();
+    stack.push(node);
     while let Some(&top) = stack.last() {
         if listed[top.index()] {
             stack.pop();
@@ -134,11 +183,13 @@ fn append_obns(
     attrs: &GraphAttributes,
     classes: &[NodeClass],
     obn_order: ObnOrder,
-    listed: &mut [bool],
+    scratch: &mut CpnListScratch,
     order: &mut Vec<NodeId>,
 ) {
     // In-degree restricted to OBN parents.
-    let mut indeg = vec![0u32; dag.node_count()];
+    let indeg = &mut scratch.indeg;
+    indeg.clear();
+    indeg.resize(dag.node_count(), 0);
     let mut obn_count = 0usize;
     for n in dag.nodes() {
         if classes[n.index()] != NodeClass::Obn {
@@ -153,7 +204,9 @@ fn append_obns(
     }
 
     // Priority key: b-level (desc or asc), tie-broken by smaller id.
-    // BinaryHeap is a max-heap; encode accordingly.
+    // BinaryHeap is a max-heap; encode accordingly. Pop order is fully
+    // determined by the key (ids make it total), so refilling a reused
+    // heap push-by-push gives the same sequence as a fresh collect.
     let key = |n: NodeId| -> (u64, Reverse<u32>) {
         let b = attrs.b_level[n.index()];
         let primary = match obn_order {
@@ -163,16 +216,18 @@ fn append_obns(
         (primary, Reverse(n.0))
     };
 
-    let mut heap: BinaryHeap<((u64, Reverse<u32>), NodeId)> = dag
-        .nodes()
-        .filter(|&n| classes[n.index()] == NodeClass::Obn && indeg[n.index()] == 0)
-        .map(|n| (key(n), n))
-        .collect();
+    let heap = &mut scratch.heap;
+    heap.clear();
+    for n in dag.nodes() {
+        if classes[n.index()] == NodeClass::Obn && indeg[n.index()] == 0 {
+            heap.push((key(n), n));
+        }
+    }
 
     let mut placed = 0usize;
     while let Some((_, n)) = heap.pop() {
-        debug_assert!(!listed[n.index()]);
-        listed[n.index()] = true;
+        debug_assert!(!scratch.listed[n.index()]);
+        scratch.listed[n.index()] = true;
         order.push(n);
         placed += 1;
         for e in dag.succs(n) {

@@ -52,8 +52,10 @@ pub mod topo;
 pub mod transform;
 
 pub use attributes::GraphAttributes;
-pub use classify::{classify_nodes, NodeClass};
-pub use cpn_list::{cpn_dominate_list, CpnListConfig, ObnOrder};
+pub use classify::{classify_nodes, classify_nodes_into, NodeClass};
+pub use cpn_list::{
+    cpn_dominate_list, cpn_dominate_list_into, CpnListConfig, CpnListScratch, ObnOrder,
+};
 pub use error::DagError;
 pub use graph::{Cost, Dag, DagBuilder, EdgeRef, NodeId};
 pub use stats::DagStats;

@@ -63,22 +63,45 @@ pub fn is_topological_order(dag: &Dag, order: &[NodeId]) -> bool {
 /// The incremental evaluator keeps this inverse alongside the order so
 /// a node transfer can seek to its position in O(1).
 pub fn order_positions(order: &[NodeId], num_nodes: usize) -> Vec<usize> {
+    let mut pos = Vec::new();
+    order_positions_into(order, num_nodes, &mut pos);
+    pos
+}
+
+/// [`order_positions`] writing into a caller-owned buffer (cleared and
+/// resized, capacity kept). Same panics on non-permutation input.
+pub fn order_positions_into(order: &[NodeId], num_nodes: usize, pos: &mut Vec<usize>) {
     assert_eq!(order.len(), num_nodes, "order must cover every node");
-    let mut pos = vec![usize::MAX; num_nodes];
+    pos.clear();
+    pos.resize(num_nodes, usize::MAX);
     for (i, &n) in order.iter().enumerate() {
         assert!(n.index() < num_nodes, "node {} out of range", n.0);
         assert_eq!(pos[n.index()], usize::MAX, "node {} repeated", n.0);
         pos[n.index()] = i;
     }
-    pos
 }
 
 /// Set of nodes from which at least one node in `targets` is reachable
 /// (including the targets themselves). Runs one reverse BFS seeded with
 /// all targets: O(v + e).
 pub fn reaches_any(dag: &Dag, targets: &[NodeId]) -> Vec<bool> {
-    let mut seen = vec![false; dag.node_count()];
-    let mut stack: Vec<NodeId> = Vec::with_capacity(targets.len());
+    let mut seen = Vec::new();
+    let mut stack = Vec::with_capacity(targets.len());
+    reaches_any_into(dag, targets, &mut seen, &mut stack);
+    seen
+}
+
+/// [`reaches_any`] writing the seen-set into a caller-owned buffer and
+/// using a caller-owned BFS stack (both cleared, capacities kept).
+pub fn reaches_any_into(
+    dag: &Dag,
+    targets: &[NodeId],
+    seen: &mut Vec<bool>,
+    stack: &mut Vec<NodeId>,
+) {
+    seen.clear();
+    seen.resize(dag.node_count(), false);
+    stack.clear();
     for &t in targets {
         if !seen[t.index()] {
             seen[t.index()] = true;
@@ -93,7 +116,6 @@ pub fn reaches_any(dag: &Dag, targets: &[NodeId]) -> Vec<bool> {
             }
         }
     }
-    seen
 }
 
 /// Depth of each node: the number of edges on the longest edge-count

@@ -74,23 +74,75 @@ pub fn evaluate_fixed_order_with<M: CostModel + ?Sized>(
     assignment: &[ProcId],
     num_procs: u32,
 ) -> Schedule {
+    let mut schedule = Schedule::new(0, 1);
+    evaluate_fixed_order_into_with(
+        model,
+        dag,
+        order,
+        assignment,
+        num_procs,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut schedule,
+    );
+    schedule
+}
+
+/// [`evaluate_fixed_order`] writing into a caller-owned schedule;
+/// `ready` and `finish` are caller-provided scratch (cleared here).
+/// Byte-identical result, zero allocations at steady state.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_fixed_order_into(
+    dag: &Dag,
+    order: &[NodeId],
+    assignment: &[ProcId],
+    num_procs: u32,
+    ready: &mut Vec<Cost>,
+    finish: &mut Vec<Cost>,
+    out: &mut Schedule,
+) {
+    evaluate_fixed_order_into_with(
+        &HomogeneousModel,
+        dag,
+        order,
+        assignment,
+        num_procs,
+        ready,
+        finish,
+        out,
+    );
+}
+
+/// [`evaluate_fixed_order_into`] generalized over a [`CostModel`].
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_fixed_order_into_with<M: CostModel + ?Sized>(
+    model: &M,
+    dag: &Dag,
+    order: &[NodeId],
+    assignment: &[ProcId],
+    num_procs: u32,
+    ready: &mut Vec<Cost>,
+    finish: &mut Vec<Cost>,
+    out: &mut Schedule,
+) {
     debug_assert_eq!(order.len(), dag.node_count());
     debug_assert_eq!(assignment.len(), dag.node_count());
 
-    let mut ready = vec![0 as Cost; num_procs as usize];
-    let mut finish = vec![0 as Cost; dag.node_count()];
-    let mut schedule = Schedule::new(dag.node_count(), num_procs);
+    ready.clear();
+    ready.resize(num_procs as usize, 0);
+    finish.clear();
+    finish.resize(dag.node_count(), 0);
+    out.reset(dag.node_count(), num_procs);
 
     for &n in order {
         let proc = assignment[n.index()];
-        let dat = data_arrival_time_with(model, dag, n, proc, &finish, assignment);
+        let dat = data_arrival_time_with(model, dag, n, proc, finish, assignment);
         let start = dat.max(ready[proc.index()]);
         let end = start + model.compute_cost(dag, n, proc);
         finish[n.index()] = end;
         ready[proc.index()] = end;
-        schedule.place(n, proc, start, end);
+        out.place(n, proc, start, end);
     }
-    schedule
 }
 
 /// Like [`evaluate_fixed_order`] but only returns the makespan,

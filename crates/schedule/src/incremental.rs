@@ -28,7 +28,7 @@
 
 use crate::cost::{data_arrival_time_with, CostModel, HomogeneousModel};
 use crate::schedule::{ProcId, Schedule};
-use fastsched_dag::topo::{is_topological_order, order_positions};
+use fastsched_dag::topo::{is_topological_order, order_positions_into};
 use fastsched_dag::{Cost, Dag, NodeId};
 use fastsched_trace::EvalStats;
 
@@ -135,6 +135,13 @@ impl DeltaEvaluator<HomogeneousModel> {
     pub fn new(dag: &Dag, order: Vec<NodeId>, assignment: Vec<ProcId>, num_procs: u32) -> Self {
         Self::with_model(HomogeneousModel, dag, order, assignment, num_procs)
     }
+
+    /// An unseeded evaluator over the homogeneous model, holding no
+    /// buffers. It must be [`DeltaEvaluator::reset`] before use; this
+    /// is the workspace seed value.
+    pub fn empty() -> Self {
+        Self::empty_with_model(HomogeneousModel)
+    }
 }
 
 impl<M: CostModel> DeltaEvaluator<M> {
@@ -147,57 +154,131 @@ impl<M: CostModel> DeltaEvaluator<M> {
         assignment: Vec<ProcId>,
         num_procs: u32,
     ) -> Self {
-        let v = dag.node_count();
-        assert!(num_procs >= 1, "need at least one processor");
-        assert_eq!(assignment.len(), v, "assignment must cover every node");
-        assert!(
-            assignment.iter().all(|p| p.index() < num_procs as usize),
-            "assignment references a processor >= num_procs"
-        );
-        debug_assert!(is_topological_order(dag, &order));
-        let pos_of = order_positions(&order, v);
-        let mut succ_offset = vec![0usize; v + 1];
-        for n in dag.nodes() {
-            succ_offset[n.index() + 1] = dag.succs(n).len();
-        }
-        for i in 0..v {
-            succ_offset[i + 1] += succ_offset[i];
-        }
-        let edge_total = succ_offset[v];
+        let mut this = Self::empty_with_model(model);
+        this.order = order;
+        this.assignment = assignment;
+        this.init(dag, num_procs);
+        this
+    }
 
-        let mut this = Self {
+    /// An unseeded evaluator over an explicit model, holding no
+    /// buffers; it must be [`DeltaEvaluator::reset`] before use.
+    pub fn empty_with_model(model: M) -> Self {
+        Self {
             model,
-            num_procs,
-            order,
-            pos_of,
-            assignment,
-            start: vec![0; v],
-            finish: vec![0; v],
+            num_procs: 0,
+            order: Vec::new(),
+            pos_of: Vec::new(),
+            assignment: Vec::new(),
+            start: Vec::new(),
+            finish: Vec::new(),
             makespan: 0,
-            proc_positions: vec![Vec::new(); num_procs as usize],
-            succ_offset,
-            succ_sorted: vec![(0, 0); edge_total],
-            seg_epoch: vec![0; v],
+            proc_positions: Vec::new(),
+            succ_offset: Vec::new(),
+            succ_sorted: Vec::new(),
+            seg_epoch: Vec::new(),
             seg_gen: 0,
             slacks_stale: false,
-            prefix_max: vec![0; v + 1],
-            suffix_max: vec![0; v + 1],
+            prefix_max: Vec::new(),
+            suffix_max: Vec::new(),
             epoch: 0,
-            node_dirty: vec![0; v],
-            dirty_full: vec![false; v],
-            dirty_acc: vec![0; v],
-            proc_epoch: vec![0; num_procs as usize],
-            proc_diverged: vec![false; num_procs as usize],
-            proc_ready: vec![0; num_procs as usize],
+            node_dirty: Vec::new(),
+            dirty_full: Vec::new(),
+            dirty_acc: Vec::new(),
+            proc_epoch: Vec::new(),
+            proc_diverged: Vec::new(),
+            proc_ready: Vec::new(),
             undo: Vec::new(),
             tentative: None,
             stats: EvalStats::default(),
-        };
-        this.full_evaluate(dag);
-        this.rebuild_proc_positions();
-        this.rebuild_max_caches();
-        this.rebuild_slacks(dag);
-        this
+        }
+    }
+
+    /// Re-seed the evaluator in place for a (possibly different) DAG,
+    /// order and assignment. Every buffer is cleared and refilled,
+    /// never dropped, so repeated resets at a fixed problem shape
+    /// allocate nothing; the result is indistinguishable from a fresh
+    /// [`DeltaEvaluator::with_model`] construction.
+    ///
+    /// The epoch counters deliberately survive the reset (they only
+    /// ever grow): stale stamps from a previous run can never equal a
+    /// future epoch, so the zeroed stamp arrays stay sound.
+    pub fn reset(&mut self, dag: &Dag, order: &[NodeId], assignment: &[ProcId], num_procs: u32) {
+        self.order.clear();
+        self.order.extend_from_slice(order);
+        self.assignment.clear();
+        self.assignment.extend_from_slice(assignment);
+        self.init(dag, num_procs);
+    }
+
+    /// Shared seeding path of [`Self::with_model`] and [`Self::reset`]:
+    /// `self.order` / `self.assignment` are already in place; size
+    /// every derived buffer (clear + resize, keeping capacity) and run
+    /// the full evaluation plus cache rebuilds.
+    fn init(&mut self, dag: &Dag, num_procs: u32) {
+        let v = dag.node_count();
+        assert!(num_procs >= 1, "need at least one processor");
+        assert_eq!(self.assignment.len(), v, "assignment must cover every node");
+        assert!(
+            self.assignment
+                .iter()
+                .all(|p| p.index() < num_procs as usize),
+            "assignment references a processor >= num_procs"
+        );
+        debug_assert!(is_topological_order(dag, &self.order));
+        self.num_procs = num_procs;
+        let np = num_procs as usize;
+        order_positions_into(&self.order, v, &mut self.pos_of);
+        self.succ_offset.clear();
+        self.succ_offset.resize(v + 1, 0);
+        for n in dag.nodes() {
+            self.succ_offset[n.index() + 1] = dag.succs(n).len();
+        }
+        for i in 0..v {
+            self.succ_offset[i + 1] += self.succ_offset[i];
+        }
+        let edge_total = self.succ_offset[v];
+        self.succ_sorted.clear();
+        self.succ_sorted.resize(edge_total, (0, 0));
+        self.seg_epoch.clear();
+        self.seg_epoch.resize(v, 0);
+        self.slacks_stale = false;
+        self.start.clear();
+        self.start.resize(v, 0);
+        self.finish.clear();
+        self.finish.resize(v, 0);
+        self.makespan = 0;
+        self.prefix_max.clear();
+        self.prefix_max.resize(v + 1, 0);
+        self.suffix_max.clear();
+        self.suffix_max.resize(v + 1, 0);
+        self.node_dirty.clear();
+        self.node_dirty.resize(v, 0);
+        self.dirty_full.clear();
+        self.dirty_full.resize(v, false);
+        self.dirty_acc.clear();
+        self.dirty_acc.resize(v, 0);
+        self.proc_epoch.clear();
+        self.proc_epoch.resize(np, 0);
+        self.proc_diverged.clear();
+        self.proc_diverged.resize(np, false);
+        self.proc_ready.clear();
+        self.proc_ready.resize(np, 0);
+        self.undo.clear();
+        self.tentative = None;
+        self.stats = EvalStats::default();
+        self.proc_positions.truncate(np);
+        for list in &mut self.proc_positions {
+            list.clear();
+        }
+        while self.proc_positions.len() < np {
+            self.proc_positions.push(Vec::new());
+        }
+
+        self.full_evaluate(dag);
+        self.rebuild_proc_positions();
+        self.rebuild_max_caches();
+        self.rebuild_slacks(dag);
     }
 
     /// Makespan of the committed schedule.
@@ -276,17 +357,26 @@ impl<M: CostModel> DeltaEvaluator<M> {
     ///
     /// Panics if a probe is unresolved.
     pub fn to_schedule(&self) -> Schedule {
+        let mut s = Schedule::new(0, 1);
+        self.write_schedule(&mut s);
+        s
+    }
+
+    /// [`Self::to_schedule`] writing into a caller-owned schedule
+    /// (reset in place, zero allocations at steady state).
+    ///
+    /// Panics if a probe is unresolved.
+    pub fn write_schedule(&self, out: &mut Schedule) {
         assert!(self.tentative.is_none(), "unresolved probe");
-        let mut s = Schedule::new(self.order.len(), self.num_procs);
+        out.reset(self.order.len(), self.num_procs);
         for &n in &self.order {
-            s.place(
+            out.place(
                 n,
                 self.assignment[n.index()],
                 self.start[n.index()],
                 self.finish[n.index()],
             );
         }
-        s
     }
 
     /// Tentatively transfer `node` to processor `to` and return the
@@ -606,20 +696,24 @@ impl<M: CostModel> DeltaEvaluator<M> {
         self.undo.clear();
     }
 
-    /// Seed start/finish/makespan with one full evaluation.
+    /// Seed start/finish/makespan with one full evaluation. Uses
+    /// `self.proc_ready` as the per-processor ready buffer (it is probe
+    /// scratch, dead outside a probe walk) so seeding allocates
+    /// nothing.
     fn full_evaluate(&mut self, dag: &Dag) {
         self.stats.on_full_eval();
-        let mut ready = vec![0 as Cost; self.num_procs as usize];
+        self.proc_ready.iter_mut().for_each(|r| *r = 0);
         let mut makespan = 0;
-        for &n in &self.order {
+        for i in 0..self.order.len() {
+            let n = self.order[i];
             let q = self.assignment[n.index()];
             let dat =
                 data_arrival_time_with(&self.model, dag, n, q, &self.finish, &self.assignment);
-            let s = dat.max(ready[q.index()]);
+            let s = dat.max(self.proc_ready[q.index()]);
             let f = s + self.model.compute_cost(dag, n, q);
             self.start[n.index()] = s;
             self.finish[n.index()] = f;
-            ready[q.index()] = f;
+            self.proc_ready[q.index()] = f;
             if f > makespan {
                 makespan = f;
             }
@@ -908,6 +1002,43 @@ mod tests {
         for n in g.nodes() {
             assert_eq!(s.task(n), full.task(n));
         }
+    }
+
+    #[test]
+    fn reset_matches_fresh_construction_across_shapes() {
+        // One evaluator reused (dirty) across two different DAGs and
+        // processor counts must behave exactly like fresh builds.
+        let g1 = paper_figure1();
+        let g2 = fork_join(5, 3, 7);
+        let mut eval = DeltaEvaluator::empty();
+        for (g, procs) in [(&g1, 4u32), (&g2, 3u32), (&g1, 2u32)] {
+            let order: Vec<NodeId> = g.topo_order().to_vec();
+            let assignment: Vec<ProcId> = g.nodes().map(|n| ProcId(n.0 % procs)).collect();
+            eval.reset(g, &order, &assignment, procs);
+            let fresh = DeltaEvaluator::new(g, order.clone(), assignment.clone(), procs);
+            assert_eq!(eval.makespan(), fresh.makespan());
+            assert_matches_full(g, &eval, procs);
+            // Dirty the probe state before the next reset.
+            let n = *order.last().unwrap();
+            let p = ProcId((assignment[n.index()].0 + 1) % procs);
+            let mut shadow = assignment.clone();
+            shadow[n.index()] = p;
+            let expect = evaluate_fixed_order(g, &order, &shadow, procs).makespan();
+            assert_eq!(eval.probe_transfer(g, n, p), expect);
+            eval.commit();
+            assert_matches_full(g, &eval, procs);
+        }
+    }
+
+    #[test]
+    fn write_schedule_matches_to_schedule() {
+        let g = fork_join(4, 2, 3);
+        let order: Vec<NodeId> = g.topo_order().to_vec();
+        let assignment: Vec<ProcId> = g.nodes().map(|n| ProcId(n.0 % 2)).collect();
+        let eval = DeltaEvaluator::new(&g, order, assignment, 2);
+        let mut out = Schedule::new(0, 1);
+        eval.write_schedule(&mut out);
+        assert_eq!(out, eval.to_schedule());
     }
 
     #[test]

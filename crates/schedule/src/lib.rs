@@ -53,11 +53,12 @@ pub use corrupt::{corrupt_with, Corruption};
 pub use cost::{data_arrival_time_with, CostModel, HomogeneousModel, ProcessorSpeeds};
 pub use diff::{diff_schedules, PlacementDelta, ScheduleDiff};
 pub use evaluate::{
-    data_arrival_time, evaluate_fixed_order, evaluate_fixed_order_with, evaluate_makespan_into,
+    data_arrival_time, evaluate_fixed_order, evaluate_fixed_order_into,
+    evaluate_fixed_order_into_with, evaluate_fixed_order_with, evaluate_makespan_into,
     evaluate_makespan_into_with,
 };
 pub use fastsched_trace::EvalStats;
 pub use incremental::DeltaEvaluator;
 pub use metrics::ScheduleMetrics;
-pub use schedule::{ProcId, Schedule, ScheduledTask};
+pub use schedule::{CompactScratch, ProcId, Schedule, ScheduledTask};
 pub use validate::{validate, validate_with, ScheduleError, ScheduleErrorKind};

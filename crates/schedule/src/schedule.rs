@@ -59,6 +59,16 @@ impl Schedule {
         }
     }
 
+    /// Re-initialize this schedule in place to an empty schedule of
+    /// `num_nodes` tasks over `num_procs` processors. The task buffer
+    /// is cleared and resized, never dropped, so a recycled `Schedule`
+    /// allocates nothing once its capacity covers the largest DAG seen.
+    pub fn reset(&mut self, num_nodes: usize, num_procs: u32) {
+        self.num_procs = num_procs;
+        self.tasks.clear();
+        self.tasks.resize(num_nodes, None);
+    }
+
     /// Number of processors made available to the scheduler (not all
     /// need be used; see [`crate::metrics`]).
     #[inline]
@@ -157,23 +167,72 @@ impl Schedule {
     /// processor" per step can leave gaps; compaction normalizes the
     /// result for comparison and simulation.
     pub fn compact(&self) -> Schedule {
-        let lanes = self.timelines();
-        let mut order: Vec<(Cost, usize)> = lanes
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| !l.is_empty())
-            .map(|(i, l)| (l[0].start, i))
-            .collect();
-        order.sort_unstable();
-        let mut remap = vec![u32::MAX; lanes.len()];
-        for (new, &(_, old)) in order.iter().enumerate() {
-            remap[old] = new as u32;
-        }
-        let mut out = Schedule::new(self.num_nodes(), order.len().max(1) as u32);
-        for t in self.tasks() {
-            out.place(t.node, ProcId(remap[t.proc.index()]), t.start, t.finish);
-        }
+        let mut out = Schedule::new(0, 1);
+        self.compact_into(&mut CompactScratch::default(), &mut out);
         out
+    }
+
+    /// [`Schedule::compact`] writing into a caller-owned schedule using
+    /// caller-owned scratch. `out` is [`Schedule::reset`] first, so the
+    /// result is byte-identical to `compact()` while allocating nothing
+    /// at steady state.
+    ///
+    /// Equivalence: `compact()` orders lanes by `(first task start, old
+    /// processor index)`; the first task of a lane sorted by `(start,
+    /// node id)` carries the lane's minimum start, which is what this
+    /// method computes directly — and the old index makes the sort key
+    /// unique, so `sort_unstable` cannot reorder ties differently.
+    pub fn compact_into(&self, scratch: &mut CompactScratch, out: &mut Schedule) {
+        let np = self.num_procs as usize;
+        scratch.min_start.clear();
+        scratch.min_start.resize(np, Cost::MAX);
+        for t in self.tasks() {
+            let slot = &mut scratch.min_start[t.proc.index()];
+            if t.start < *slot {
+                *slot = t.start;
+            }
+        }
+        scratch.order.clear();
+        scratch.order.extend(
+            scratch
+                .min_start
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s != Cost::MAX)
+                .map(|(i, &s)| (s, i)),
+        );
+        scratch.order.sort_unstable();
+        scratch.remap.clear();
+        scratch.remap.resize(np, u32::MAX);
+        for (new, &(_, old)) in scratch.order.iter().enumerate() {
+            scratch.remap[old] = new as u32;
+        }
+        out.reset(self.num_nodes(), scratch.order.len().max(1) as u32);
+        for t in self.tasks() {
+            out.place(
+                t.node,
+                ProcId(scratch.remap[t.proc.index()]),
+                t.start,
+                t.finish,
+            );
+        }
+    }
+}
+
+/// Reusable scratch for [`Schedule::compact_into`]: per-processor
+/// minimum start times, the lane ordering, and the processor remap.
+/// Cleared between runs, never dropped.
+#[derive(Debug, Default)]
+pub struct CompactScratch {
+    min_start: Vec<Cost>,
+    order: Vec<(Cost, usize)>,
+    remap: Vec<u32>,
+}
+
+impl CompactScratch {
+    /// Empty scratch holding no buffers.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -248,6 +307,42 @@ mod tests {
     fn placing_on_unknown_processor_panics() {
         let mut s = Schedule::new(1, 1);
         s.place(NodeId(0), ProcId(1), 0, 1);
+    }
+
+    #[test]
+    fn compact_into_matches_compact_with_dirty_scratch() {
+        let mut scratch = CompactScratch::new();
+        let mut out = Schedule::new(0, 1);
+
+        let mut s1 = Schedule::new(3, 8);
+        s1.place(NodeId(0), ProcId(5), 0, 1);
+        s1.place(NodeId(1), ProcId(2), 3, 4);
+        s1.place(NodeId(2), ProcId(5), 1, 2);
+        s1.compact_into(&mut scratch, &mut out);
+        assert_eq!(out, s1.compact());
+
+        // Reuse the dirty scratch and output on a different shape.
+        let mut s2 = Schedule::new(5, 3);
+        s2.place(NodeId(0), ProcId(1), 2, 3);
+        s2.place(NodeId(3), ProcId(0), 0, 2);
+        s2.place(NodeId(4), ProcId(2), 0, 1);
+        s2.compact_into(&mut scratch, &mut out);
+        assert_eq!(out, s2.compact());
+
+        // And on an empty schedule (no used processors).
+        let s3 = Schedule::new(2, 4);
+        s3.compact_into(&mut scratch, &mut out);
+        assert_eq!(out, s3.compact());
+    }
+
+    #[test]
+    fn reset_reinitializes_in_place() {
+        let mut s = Schedule::new(3, 2);
+        s.place(NodeId(0), ProcId(1), 0, 1);
+        s.reset(5, 4);
+        assert_eq!(s.num_nodes(), 5);
+        assert_eq!(s.num_procs(), 4);
+        assert!(s.tasks().next().is_none());
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Workspace-reuse equivalence suite: `schedule_into` against a
+//! *dirty* shared [`Workspace`] must be byte-identical to a fresh
+//! `schedule()` for every ported algorithm, across the PR-4 fuzz
+//! corpus, in any interleaving of DAGs, processor counts and
+//! algorithms. The workspace only changes where scratch lives — never
+//! a scheduling decision.
+
+use fastsched::algorithms::{Dls, Etf, Fast, FastSa, FastSaConfig, Scheduler, Workspace};
+use fastsched::algorithms::{FastParallel, FastParallelConfig, Mcp};
+use fastsched::dag::Dag;
+use fastsched::schedule::{evaluate_fixed_order_with, io, DeltaEvaluator, ProcId, ProcessorSpeeds};
+use fastsched::workloads::fuzz::fuzz_corpus;
+use fastsched::{algorithms::schedule_many, prelude::validate};
+use proptest::prelude::*;
+
+const CORPUS_SEED: u64 = 0xBA7C;
+
+/// The natively ported schedulers (each overrides `schedule_into`)
+/// plus one default-method algorithm (MCP) to pin the fallback path.
+fn ported() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Fast::new()),
+        Box::new(FastSa::with_config(FastSaConfig {
+            steps: 96,
+            ..Default::default()
+        })),
+        Box::new(FastParallel::with_config(FastParallelConfig {
+            chains: 3,
+            max_steps_per_chain: 24,
+            ..Default::default()
+        })),
+        Box::new(Etf::new()),
+        Box::new(Dls::new()),
+        Box::new(Mcp::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One shared workspace, never cleared, driven across a random
+    /// interleaving of (case, algorithm) pairs: every `schedule_into`
+    /// result must serialize identically to a fresh `schedule()`.
+    #[test]
+    fn dirty_workspace_is_byte_identical_to_fresh(
+        seed in 0u64..1_000_000,
+        walk in 0u64..u64::MAX,
+        steps in 8usize..20,
+    ) {
+        let corpus = fuzz_corpus(CORPUS_SEED ^ seed, 6);
+        let schedulers = ported();
+        let mut ws = Workspace::new();
+        let mut state = walk | 1;
+        for k in 0..steps {
+            // Cheap LCG walk over (case, scheduler) pairs.
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pick = (state >> 33) as usize;
+            let case = &corpus[pick % corpus.len()];
+            let sched = &schedulers[(pick / 7 + k) % schedulers.len()];
+            let fresh = sched.schedule(&case.dag, case.procs);
+            let reused = sched.schedule_into(&case.dag, case.procs, &mut ws);
+            prop_assert_eq!(validate(&case.dag, &reused), Ok(()));
+            prop_assert_eq!(
+                io::to_json(&reused),
+                io::to_json(&fresh),
+                "{} diverged on {} (procs {})",
+                sched.name(),
+                case.name,
+                case.procs
+            );
+            // Recycling the result is optional for correctness; do it
+            // on every other iteration to cover both paths.
+            if k % 2 == 0 {
+                ws.recycle(reused);
+            }
+        }
+    }
+
+    /// `schedule_many` (one workspace across the batch) must agree
+    /// with the per-call API element-wise.
+    #[test]
+    fn schedule_many_matches_per_call(seed in 0u64..1_000_000) {
+        let corpus = fuzz_corpus(CORPUS_SEED.wrapping_add(seed), 5);
+        let dags: Vec<Dag> = corpus.iter().map(|c| c.dag.clone()).collect();
+        let procs = corpus.iter().map(|c| c.procs).max().unwrap();
+        for sched in ported() {
+            let batch = schedule_many(sched.as_ref(), &dags, procs);
+            prop_assert_eq!(batch.len(), dags.len());
+            for (i, dag) in dags.iter().enumerate() {
+                prop_assert_eq!(
+                    io::to_json(&batch[i]),
+                    io::to_json(&sched.schedule(dag, procs)),
+                    "{} diverged on batch item {}",
+                    sched.name(),
+                    i
+                );
+            }
+        }
+    }
+
+    /// The evaluator reset path under a heterogeneous cost model: a
+    /// reused `DeltaEvaluator<ProcessorSpeeds>` re-initialized via
+    /// `reset` must match both a freshly constructed evaluator and the
+    /// full-replay reference on every corpus case.
+    #[test]
+    fn hetero_evaluator_reset_matches_fresh(seed in 0u64..1_000_000) {
+        let corpus = fuzz_corpus(!CORPUS_SEED ^ seed, 5);
+        // The model outlives every reset (reset changes the problem,
+        // not the machine); corpus cases use at most 6 processors.
+        let model = ProcessorSpeeds::new(vec![100, 75, 50, 100, 75, 50, 100, 75]);
+        let mut reused: Option<DeltaEvaluator<ProcessorSpeeds>> = None;
+        for case in &corpus {
+            let order: Vec<_> = case.dag.topo_order().to_vec();
+            let assignment: Vec<ProcId> = (0..case.dag.node_count())
+                .map(|i| ProcId((i as u32 * 7 + 3) % case.procs))
+                .collect();
+            let fresh = DeltaEvaluator::with_model(
+                model.clone(), &case.dag, order.clone(), assignment.clone(), case.procs,
+            );
+            let eval = match reused.as_mut() {
+                Some(e) => {
+                    e.reset(&case.dag, &order, &assignment, case.procs);
+                    e
+                }
+                None => {
+                    reused = Some(DeltaEvaluator::with_model(
+                        model.clone(), &case.dag, order.clone(), assignment.clone(), case.procs,
+                    ));
+                    reused.as_mut().unwrap()
+                }
+            };
+            let reference =
+                evaluate_fixed_order_with(&model, &case.dag, &order, &assignment, case.procs);
+            prop_assert_eq!(eval.makespan(), fresh.makespan(), "reset vs fresh on {}", case.name);
+            prop_assert_eq!(eval.makespan(), reference.makespan(), "reset vs replay on {}", case.name);
+        }
+    }
+}
