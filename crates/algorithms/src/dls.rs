@@ -6,10 +6,12 @@
 //! scheduled. The pair-wise matching makes the algorithm O(p e v)
 //! overall.
 
-use crate::list_common::{DatCache, Machine, ReadySet};
+use crate::list_common::{DatLanes, Machine, ReadySet};
 use crate::scheduler::{gate_schedule, Scheduler};
 use crate::workspace::Workspace;
-use fastsched_dag::{attributes::static_levels, attributes::static_levels_into, Cost, Dag, NodeId};
+use fastsched_dag::{
+    attributes::static_levels, attributes::static_levels_soa_into, Cost, Dag, NodeId,
+};
 use fastsched_schedule::{ProcId, Schedule};
 
 /// The DLS scheduler.
@@ -32,16 +34,11 @@ pub(crate) fn dls_run(
     sl: &[Cost],
     machine: &mut Machine,
     ready: &mut ReadySet,
-    dat: &mut Vec<DatCache>,
-    dat_valid: &mut Vec<bool>,
+    dat: &mut DatLanes,
 ) {
     machine.reset(dag.node_count(), num_procs);
     ready.reset(dag);
-    dat_valid.clear();
-    dat_valid.resize(dag.node_count(), false);
-    if dat.len() < dag.node_count() {
-        dat.resize_with(dag.node_count(), DatCache::empty);
-    }
+    dat.reset(dag);
 
     while !ready.is_empty() {
         // Maximize DL = SL - EST over the full node × processor
@@ -51,14 +48,12 @@ pub(crate) fn dls_run(
         // EST, then smaller id.
         let mut best: Option<(i64, u64, u32, ProcId)> = None;
         for &n in ready.ready() {
-            if !dat_valid[n.index()] {
-                dat[n.index()].compute_into(dag, machine, n);
-                dat_valid[n.index()] = true;
+            if !dat.is_valid(n) {
+                dat.fill(dag, machine, n);
             }
-            let cache = &dat[n.index()];
             for pi in 0..num_procs {
                 let p = ProcId(pi);
-                let est = machine.ready_time(p).max(cache.dat(p));
+                let est = machine.ready_time(p).max(dat.dat(dag, n, p));
                 let dl = sl[n.index()] as i64 - est as i64;
                 let better = match best {
                     None => true,
@@ -88,17 +83,8 @@ impl Scheduler for Dls {
         let sl = static_levels(dag);
         let mut machine = Machine::new(dag.node_count(), num_procs);
         let mut ready = ReadySet::new(dag);
-        let mut dat = Vec::new();
-        let mut dat_valid = Vec::new();
-        dls_run(
-            dag,
-            num_procs,
-            &sl,
-            &mut machine,
-            &mut ready,
-            &mut dat,
-            &mut dat_valid,
-        );
+        let mut dat = DatLanes::new();
+        dls_run(dag, num_procs, &sl, &mut machine, &mut ready, &mut dat);
         let s = machine.into_schedule(dag).compact();
         gate_schedule(self.name(), dag, &s);
         s
@@ -106,7 +92,7 @@ impl Scheduler for Dls {
 
     fn schedule_into(&self, dag: &Dag, num_procs: u32, ws: &mut Workspace) -> Schedule {
         assert!(num_procs >= 1);
-        static_levels_into(dag, &mut ws.static_level);
+        static_levels_soa_into(dag, &mut ws.attr_lanes, &mut ws.static_level);
         dls_run(
             dag,
             num_procs,
@@ -114,7 +100,6 @@ impl Scheduler for Dls {
             &mut ws.machine,
             &mut ws.ready_set,
             &mut ws.dat,
-            &mut ws.dat_valid,
         );
         let mut out = ws.take_schedule();
         ws.machine.write_schedule(dag, &mut ws.staging);

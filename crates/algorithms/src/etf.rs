@@ -6,10 +6,10 @@
 //! smallest start time is scheduled; ties are broken in favour of the
 //! node with the higher static level. O(p v²).
 
-use crate::list_common::{DatCache, Machine, ReadySet};
+use crate::list_common::{DatLanes, Machine, ReadySet};
 use crate::scheduler::{gate_schedule, Scheduler};
 use crate::workspace::Workspace;
-use fastsched_dag::{attributes::static_levels, attributes::static_levels_into, Cost, Dag};
+use fastsched_dag::{attributes::static_levels, attributes::static_levels_soa_into, Cost, Dag};
 use fastsched_schedule::{ProcId, Schedule};
 
 /// The ETF scheduler.
@@ -24,7 +24,7 @@ impl Etf {
 }
 
 /// The ETF selection loop against caller-owned state: `machine`,
-/// `ready` and the per-node [`DatCache`] slots are re-initialized here
+/// `ready` and the flat per-node [`DatLanes`] are re-initialized here
 /// and filled by running the algorithm to completion. Shared by the
 /// allocating [`Scheduler::schedule`] path and the workspace path.
 pub(crate) fn etf_run(
@@ -33,35 +33,28 @@ pub(crate) fn etf_run(
     sl: &[Cost],
     machine: &mut Machine,
     ready: &mut ReadySet,
-    dat: &mut Vec<DatCache>,
-    dat_valid: &mut Vec<bool>,
+    dat: &mut DatLanes,
 ) {
     machine.reset(dag.node_count(), num_procs);
     ready.reset(dag);
-    // A node's cache is final once it is ready (parents all placed);
-    // entries are refilled in place, never dropped.
-    dat_valid.clear();
-    dat_valid.resize(dag.node_count(), false);
-    if dat.len() < dag.node_count() {
-        dat.resize_with(dag.node_count(), DatCache::empty);
-    }
+    // A node's lane entry is final once it is ready (parents all
+    // placed); the flat arrays are refilled in place, never dropped.
+    dat.reset(dag);
 
     while !ready.is_empty() {
         // Global minimum over ready-node × processor pairs — the
-        // published O(p v²) pair scan. The DatCache keeps each
+        // published O(p v²) pair scan. The DAT lanes keep each
         // probe O(1); the scan itself is deliberately not pruned,
         // because the pair-scan cost *is* the algorithm the
         // paper's scheduling-time comparison measures.
         let mut best: Option<(Cost, Cost, u32, ProcId)> = None; // (est, -sl, id, proc)
         for &n in ready.ready() {
-            if !dat_valid[n.index()] {
-                dat[n.index()].compute_into(dag, machine, n);
-                dat_valid[n.index()] = true;
+            if !dat.is_valid(n) {
+                dat.fill(dag, machine, n);
             }
-            let cache = &dat[n.index()];
             for pi in 0..num_procs {
                 let p = ProcId(pi);
-                let est = machine.ready_time(p).max(cache.dat(p));
+                let est = machine.ready_time(p).max(dat.dat(dag, n, p));
                 let key = (est, Cost::MAX - sl[n.index()], n.0);
                 match best {
                     Some((e, s, i, _)) if (e, s, i) <= key => {}
@@ -86,17 +79,8 @@ impl Scheduler for Etf {
         let sl = static_levels(dag);
         let mut machine = Machine::new(dag.node_count(), num_procs);
         let mut ready = ReadySet::new(dag);
-        let mut dat = Vec::new();
-        let mut dat_valid = Vec::new();
-        etf_run(
-            dag,
-            num_procs,
-            &sl,
-            &mut machine,
-            &mut ready,
-            &mut dat,
-            &mut dat_valid,
-        );
+        let mut dat = DatLanes::new();
+        etf_run(dag, num_procs, &sl, &mut machine, &mut ready, &mut dat);
         let s = machine.into_schedule(dag).compact();
         gate_schedule(self.name(), dag, &s);
         s
@@ -104,7 +88,7 @@ impl Scheduler for Etf {
 
     fn schedule_into(&self, dag: &Dag, num_procs: u32, ws: &mut Workspace) -> Schedule {
         assert!(num_procs >= 1);
-        static_levels_into(dag, &mut ws.static_level);
+        static_levels_soa_into(dag, &mut ws.attr_lanes, &mut ws.static_level);
         etf_run(
             dag,
             num_procs,
@@ -112,7 +96,6 @@ impl Scheduler for Etf {
             &mut ws.machine,
             &mut ws.ready_set,
             &mut ws.dat,
-            &mut ws.dat_valid,
         );
         let mut out = ws.take_schedule();
         ws.machine.write_schedule(dag, &mut ws.staging);

@@ -58,9 +58,13 @@ pub(crate) fn place_by_list(
     let mut used_procs = 0u32;
 
     for &n in list {
+        // Split SoA predecessor lanes: the candidate collection reads
+        // only the id lane, the DAT probe streams both lanes with no
+        // EdgeRef padding between elements.
+        let (psrc, pcost) = dag.pred_lanes(n);
         candidates.clear();
-        for e in dag.preds(n) {
-            let p = assignment[e.node.index()];
+        for &t in psrc {
+            let p = assignment[t as usize];
             if !candidates.contains(&p) {
                 candidates.push(p);
             }
@@ -82,16 +86,13 @@ pub(crate) fn place_by_list(
         let mut best_p = candidates[0];
         let mut best_start = u64::MAX;
         for &p in candidates.iter() {
-            // DAT: max message arrival over parents (§4.2).
+            // DAT: max message arrival over parents (§4.2). The
+            // same-processor exemption is a branchless select, so the
+            // fold is a straight-line max chain over the two lanes.
             let mut dat = 0u64;
-            for e in dag.preds(n) {
-                debug_assert!(placed[e.node.index()]);
-                let f = finish[e.node.index()];
-                let arrival = if assignment[e.node.index()] == p {
-                    f
-                } else {
-                    f + e.cost
-                };
+            for (&t, &c) in psrc.iter().zip(pcost) {
+                debug_assert!(placed[t as usize]);
+                let arrival = finish[t as usize] + c * u64::from(assignment[t as usize] != p);
                 dat = dat.max(arrival);
             }
             let start = dat.max(ready[p.index()]);
@@ -177,7 +178,7 @@ pub(crate) fn hill_climb(
 /// classification, CPN-Dominate list) into workspace buffers:
 /// `ws.attrs`, `ws.classes` and `ws.list` are (re)filled in place.
 pub(crate) fn list_construction_into(dag: &Dag, obn_order: ObnOrder, ws: &mut Workspace) {
-    GraphAttributes::compute_into(dag, &mut ws.attrs);
+    GraphAttributes::compute_soa_into(dag, &mut ws.attr_lanes, &mut ws.attrs);
     classify_nodes_into(
         dag,
         &ws.attrs,

@@ -77,3 +77,5 @@ pub use scheduler::{
     all_schedulers, gate_schedule, gate_schedule_with, paper_schedulers, Scheduler,
 };
 pub use workspace::{schedule_many, schedule_many_into, Workspace};
+#[cfg(feature = "parallel")]
+pub use workspace::{schedule_many_par, schedule_many_par_timed};

@@ -228,6 +228,115 @@ impl DatCache {
     }
 }
 
+/// Flat structure-of-arrays [`DatCache`] plane for every node at once:
+/// the per-node `(proc, DAT)` exception pairs live in the node's
+/// predecessor-CSR span (distinct parent processors never outnumber
+/// parents), with the all-remote bound, entry count and validity in
+/// per-node lanes. Same semantics, same probe complexity — but one
+/// `reset` touches four flat arrays instead of `v` heap-owned vectors,
+/// and the fill/probe loops walk the split [`Dag::pred_lanes`] with no
+/// struct padding.
+#[derive(Debug, Default)]
+pub struct DatLanes {
+    /// `max over parents (finish + c)` per node — DAT on any processor
+    /// hosting no parent.
+    remote: Vec<Cost>,
+    /// Number of distinct parent processors recorded per node.
+    len: Vec<u32>,
+    /// Whether each node's entry has been filled this run.
+    valid: Vec<bool>,
+    /// Distinct parent processors, stored in the node's pred-CSR span.
+    procs: Vec<u32>,
+    /// `DAT(n, procs[k])`, aligned with `procs`.
+    dats: Vec<Cost>,
+}
+
+impl DatLanes {
+    /// Empty lane set holding no buffers; [`DatLanes::reset`] before
+    /// use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-initialize for `dag` in place: all entries invalid, buffers
+    /// sized to the node/edge counts (capacity kept — a reused lane
+    /// set stops allocating once it has seen its largest DAG).
+    pub fn reset(&mut self, dag: &Dag) {
+        let v = dag.node_count();
+        let e = dag.edge_count();
+        self.remote.clear();
+        self.remote.resize(v, 0);
+        self.len.clear();
+        self.len.resize(v, 0);
+        self.valid.clear();
+        self.valid.resize(v, false);
+        self.procs.clear();
+        self.procs.resize(e, 0);
+        self.dats.clear();
+        self.dats.resize(e, 0);
+    }
+
+    /// Whether `n`'s entry has been filled since the last reset.
+    #[inline]
+    pub fn is_valid(&self, n: NodeId) -> bool {
+        self.valid[n.index()]
+    }
+
+    /// Fill `n`'s entry against current placements (all parents must
+    /// be placed — the values are final once `n` is ready). Mirrors
+    /// [`DatCache::compute_into`] exactly: distinct parent processors
+    /// are discovered in pred (id-sorted) order and the per-processor
+    /// DAT folds the same max over the same arrivals, so every probe
+    /// answer is identical.
+    pub fn fill(&mut self, dag: &Dag, machine: &Machine, n: NodeId) {
+        let i = n.index();
+        let lo = dag.pred_offsets()[i] as usize;
+        let (src, cost) = dag.pred_lanes(n);
+        let mut remote = 0;
+        let mut k = 0usize;
+        for (&t, &c) in src.iter().zip(cost) {
+            debug_assert!(machine.placed[t as usize]);
+            remote = remote.max(machine.finish[t as usize] + c);
+            let p = machine.proc[t as usize].0;
+            if !self.procs[lo..lo + k].contains(&p) {
+                self.procs[lo + k] = p;
+                k += 1;
+            }
+        }
+        // DAT on parent processor q: messages from parents on q are
+        // free, others pay their edge cost (branchless select).
+        for slot in lo..lo + k {
+            let q = self.procs[slot];
+            let mut dat = 0;
+            for (&t, &c) in src.iter().zip(cost) {
+                let arrival =
+                    machine.finish[t as usize] + c * Cost::from(machine.proc[t as usize].0 != q);
+                dat = dat.max(arrival);
+            }
+            self.dats[slot] = dat;
+        }
+        self.remote[i] = remote;
+        self.len[i] = k as u32;
+        self.valid[i] = true;
+    }
+
+    /// `DAT(n, p)` in O(distinct parent processors); `n`'s entry must
+    /// be valid.
+    #[inline]
+    pub fn dat(&self, dag: &Dag, n: NodeId, p: ProcId) -> Cost {
+        let i = n.index();
+        debug_assert!(self.valid[i]);
+        let lo = dag.pred_offsets()[i] as usize;
+        let hi = lo + self.len[i] as usize;
+        for slot in lo..hi {
+            if self.procs[slot] == p.0 {
+                return self.dats[slot];
+            }
+        }
+        self.remote[i]
+    }
+}
+
 /// Lazy min-heap over processor ready times, letting pair-scanning
 /// schedulers find the least-busy processor in O(log p) amortized.
 pub struct ProcPool {
@@ -479,6 +588,42 @@ mod tests {
         // On proc 0 the heavy message is free: max(2, 8 + 4) = 12; on
         // proc 2: max(2 + 10, 8) = 12 — and on proc 1/3 also 12.
         assert_eq!(cache.dat(ProcId(0)), 12);
+    }
+
+    #[test]
+    fn dat_lanes_match_dat_cache() {
+        // Same mixed-parent scenario as above, probed through the flat
+        // lanes: every (node, processor) answer must equal DatCache's.
+        let mut b = DagBuilder::new();
+        let p1 = b.add_task(2);
+        let p2 = b.add_task(3);
+        let p3 = b.add_task(4);
+        let child = b.add_task(1);
+        let other = b.add_task(2);
+        b.add_edge(p1, child, 10).unwrap();
+        b.add_edge(p2, child, 4).unwrap();
+        b.add_edge(p3, child, 1).unwrap();
+        b.add_edge(p1, other, 2).unwrap();
+        let g = b.build().unwrap();
+        let mut m = Machine::new(g.node_count(), 4);
+        m.place(&g, p1, ProcId(0), 0);
+        m.place(&g, p2, ProcId(2), 5);
+        m.place(&g, p3, ProcId(2), 8);
+        let mut lanes = DatLanes::new();
+        lanes.reset(&g);
+        assert!(!lanes.is_valid(child));
+        lanes.fill(&g, &m, child);
+        lanes.fill(&g, &m, other);
+        for &n in &[child, other] {
+            let cache = DatCache::compute(&g, &m, n);
+            for pi in 0..4 {
+                let p = ProcId(pi);
+                assert_eq!(lanes.dat(&g, n, p), cache.dat(p), "node {n} proc {pi}");
+            }
+        }
+        // Reset invalidates without shrinking.
+        lanes.reset(&g);
+        assert!(!lanes.is_valid(child));
     }
 
     #[test]

@@ -101,8 +101,10 @@ pub trait Scheduler: Send + Sync {
     ///
     /// The default implementation ignores the workspace and delegates
     /// to [`Self::schedule`], so every scheduler supports the batched
-    /// entry points ([`crate::workspace::schedule_many`]) even before
-    /// it is ported.
+    /// entry points ([`crate::workspace::schedule_many`], and with the
+    /// `parallel` feature the sharded
+    /// `crate::workspace::schedule_many_par`) even before it is
+    /// ported.
     fn schedule_into(&self, dag: &Dag, num_procs: u32, workspace: &mut Workspace) -> Schedule {
         let _ = workspace;
         self.schedule(dag, num_procs)

@@ -39,9 +39,9 @@
 //! must be byte-identical to `schedule()` — the property suite
 //! compares serialized schedules across dirty reuse.
 
-use crate::list_common::{DatCache, Machine, ReadySet};
+use crate::list_common::{DatLanes, Machine, ReadySet};
 use crate::scheduler::Scheduler;
-use fastsched_dag::{Cost, CpnListScratch, Dag, GraphAttributes, NodeClass, NodeId};
+use fastsched_dag::{AttrLanes, Cost, CpnListScratch, Dag, GraphAttributes, NodeClass, NodeId};
 use fastsched_schedule::{CompactScratch, DeltaEvaluator, ProcId, Schedule};
 #[cfg(feature = "parallel")]
 use fastsched_trace::SearchTrace;
@@ -75,6 +75,7 @@ impl ChainSlot {
 /// [module docs](self) for the ownership rules.
 pub struct Workspace {
     // --- list_construction phase ---
+    pub(crate) attr_lanes: AttrLanes,
     pub(crate) attrs: GraphAttributes,
     pub(crate) classes: Vec<NodeClass>,
     pub(crate) seen: Vec<bool>,
@@ -92,8 +93,7 @@ pub struct Workspace {
     pub(crate) machine: Machine,
     pub(crate) ready_set: ReadySet,
     pub(crate) static_level: Vec<Cost>,
-    pub(crate) dat: Vec<DatCache>,
-    pub(crate) dat_valid: Vec<bool>,
+    pub(crate) dat: DatLanes,
     // --- local search ---
     pub(crate) eval: DeltaEvaluator,
     pub(crate) best_assignment: Vec<ProcId>,
@@ -110,6 +110,7 @@ impl Workspace {
     /// (cleared, not dropped) afterwards.
     pub fn new() -> Self {
         Self {
+            attr_lanes: AttrLanes::new(),
             attrs: GraphAttributes::empty(),
             classes: Vec::new(),
             seen: Vec::new(),
@@ -125,8 +126,7 @@ impl Workspace {
             machine: Machine::new(0, 0),
             ready_set: ReadySet::empty(),
             static_level: Vec::new(),
-            dat: Vec::new(),
-            dat_valid: Vec::new(),
+            dat: DatLanes::new(),
             eval: DeltaEvaluator::empty(),
             best_assignment: Vec::new(),
             #[cfg(feature = "parallel")]
@@ -209,5 +209,108 @@ pub fn schedule_many_into(
 ) -> Vec<Schedule> {
     dags.iter()
         .map(|dag| scheduler.schedule_into(dag, num_procs, ws))
+        .collect()
+}
+
+/// Resolve a requested worker count: `0` means "all available cores",
+/// and the count is never larger than the number of items (an idle
+/// worker is pure spawn overhead).
+#[cfg(feature = "parallel")]
+fn effective_threads(threads: usize, items: usize) -> usize {
+    let t = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    t.min(items).max(1)
+}
+
+/// [`schedule_many`] sharded across `threads` scoped worker threads,
+/// each owning a private [`Workspace`] and a contiguous chunk of the
+/// batch. `threads == 0` uses every available core; `threads <= 1`
+/// falls back to the single-threaded path.
+///
+/// Element-wise **byte-identical** to [`schedule_many`] at every
+/// thread count: each item is scheduled by exactly one worker through
+/// the same `schedule_into` path, workers share nothing mutable, and
+/// chunking preserves input order — so a schedule's bytes depend only
+/// on its `(dag, num_procs)` pair, never on which worker produced it
+/// (the `workspace_reuse` property suite and the `batch-ab` bench both
+/// pin this).
+#[cfg(feature = "parallel")]
+pub fn schedule_many_par(
+    scheduler: &dyn Scheduler,
+    dags: &[Dag],
+    num_procs: u32,
+    threads: usize,
+) -> Vec<Schedule> {
+    let threads = effective_threads(threads, dags.len());
+    if threads <= 1 {
+        return schedule_many(scheduler, dags, num_procs);
+    }
+    let mut out: Vec<Option<Schedule>> = Vec::with_capacity(dags.len());
+    out.resize_with(dags.len(), || None);
+    let chunk = dags.len().div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (dag_chunk, out_chunk) in dags.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(move |_| {
+                let mut ws = Workspace::new();
+                for (dag, slot) in dag_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(scheduler.schedule_into(dag, num_procs, &mut ws));
+                }
+            });
+        }
+    })
+    .expect("batch worker panicked");
+    out.into_iter()
+        .map(|s| s.expect("every batch slot filled"))
+        .collect()
+}
+
+/// [`schedule_many_par`] with a per-DAG processor count and per-item
+/// wall-clock timing, for batch drivers (`casch batch`) whose items
+/// carry their own `procs` and report per-item seconds. Returns
+/// `(schedule, seconds)` per input, in input order; schedules are
+/// byte-identical to the serial per-call path at every thread count.
+///
+/// # Panics
+/// If `procs.len() != dags.len()`.
+#[cfg(feature = "parallel")]
+pub fn schedule_many_par_timed(
+    scheduler: &dyn Scheduler,
+    dags: &[Dag],
+    procs: &[u32],
+    threads: usize,
+) -> Vec<(Schedule, f64)> {
+    assert_eq!(procs.len(), dags.len(), "one procs entry per DAG");
+    let threads = effective_threads(threads, dags.len());
+    let mut out: Vec<Option<(Schedule, f64)>> = Vec::with_capacity(dags.len());
+    out.resize_with(dags.len(), || None);
+    let run_chunk =
+        |dag_chunk: &[Dag], proc_chunk: &[u32], out_chunk: &mut [Option<(Schedule, f64)>]| {
+            let mut ws = Workspace::new();
+            for ((dag, &np), slot) in dag_chunk.iter().zip(proc_chunk).zip(out_chunk.iter_mut()) {
+                let t0 = std::time::Instant::now();
+                let s = scheduler.schedule_into(dag, np, &mut ws);
+                *slot = Some((s, t0.elapsed().as_secs_f64()));
+            }
+        };
+    if threads <= 1 {
+        run_chunk(dags, procs, &mut out);
+    } else {
+        let chunk = dags.len().div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for ((dag_chunk, proc_chunk), out_chunk) in dags
+                .chunks(chunk)
+                .zip(procs.chunks(chunk))
+                .zip(out.chunks_mut(chunk))
+            {
+                s.spawn(move |_| run_chunk(dag_chunk, proc_chunk, out_chunk));
+            }
+        })
+        .expect("batch worker panicked");
+    }
+    out.into_iter()
+        .map(|s| s.expect("every batch slot filled"))
         .collect()
 }

@@ -20,9 +20,26 @@ fn bench_attr_passes(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("b_levels", v), &dag, |b, dag| {
             b.iter(|| attributes::b_levels(dag))
         });
+        group.bench_with_input(BenchmarkId::new("t_levels_topo", v), &dag, |b, dag| {
+            let mut lane = Vec::new();
+            b.iter(|| attributes::t_levels_topo_into(dag, &mut lane))
+        });
+        group.bench_with_input(BenchmarkId::new("b_levels_topo", v), &dag, |b, dag| {
+            let mut lane = Vec::new();
+            b.iter(|| attributes::b_levels_topo_into(dag, &mut lane))
+        });
         group.bench_with_input(BenchmarkId::new("full_attributes", v), &dag, |b, dag| {
             b.iter(|| GraphAttributes::compute(dag))
         });
+        group.bench_with_input(
+            BenchmarkId::new("full_attributes_soa", v),
+            &dag,
+            |b, dag| {
+                let mut lanes = attributes::AttrLanes::new();
+                let mut out = GraphAttributes::empty();
+                b.iter(|| GraphAttributes::compute_soa_into(dag, &mut lanes, &mut out))
+            },
+        );
         let attrs = GraphAttributes::compute(&dag);
         let classes = classify_nodes(&dag, &attrs);
         group.bench_with_input(BenchmarkId::new("cpn_dominate_list", v), &dag, |b, dag| {

@@ -407,11 +407,13 @@ fn bench_incremental_vs_full(c: &mut Criterion) {
         ab_section(&old, "fast_sa", this_mode, sa_secs, 1.0 / sa_secs),
     ]
     .join(",\n    ");
-    // The `batch` section belongs to the `batch-ab` bin; carry a
-    // previous run's numbers over so this rewrite doesn't drop them.
-    let batch_carry = section_body(&old, "batch")
-        .map(|b| format!(",\n  \"batch\": {{{b}}}"))
-        .unwrap_or_default();
+    // The `batch` and `batch_par` sections belong to the `batch-ab`
+    // bin; carry a previous run's numbers over so this rewrite
+    // doesn't drop them.
+    let batch_carry: String = ["batch", "batch_par"]
+        .iter()
+        .filter_map(|name| section_body(&old, name).map(|b| format!(",\n  \"{name}\": {{{b}}}")))
+        .collect();
     let json = format!(
         "{{\n  \"dag_nodes\": {},\n  \"dag_edges\": {},\n  \"num_procs\": {},\n  \"probes\": {},\n  \"final_makespan\": {},\n  \"full_replay\": {{ \"seconds\": {:.6}, \"probes_per_sec\": {:.1} }},\n  \"incremental\": {{ \"seconds\": {:.6}, \"probes_per_sec\": {:.1} }},\n  \"speedup\": {:.2},\n  \"trace_ab\": {{\n    {sections}\n  }}{batch_carry}\n}}\n",
         dag.node_count(),

@@ -14,10 +14,17 @@
 //!   the O(v + e) search dwarfs the fixed costs and the workspace can
 //!   only save the comparatively small allocation slice.
 //!
+//! A third measurement, `batch_par`, sweeps the sharded
+//! `schedule_many_par` over the small corpus at 1/2/4/8 workers:
+//! byte-identity against the serial batch is asserted at every worker
+//! count, and the host's core count is recorded alongside the timings
+//! so a 1-core CI box produces an honest ~1.0x row rather than a
+//! fabricated speedup.
+//!
 //! Timings are the minimum over `RUNS` invocations (machine-load
 //! noise only ever inflates a timing). Results land in the `batch`
-//! section of `BENCH_eval.json` at the workspace root; every other
-//! section of the file is preserved.
+//! and `batch_par` sections of `BENCH_eval.json` at the workspace
+//! root; every other section of the file is preserved.
 
 use fastsched::algorithms::FastConfig;
 use fastsched::prelude::*;
@@ -75,11 +82,40 @@ fn row(name: &str, dags: &[Dag], procs: u32, per_call: f64, many: f64) -> String
     )
 }
 
-/// Remove a previously written top-level `"batch": { ... }` section
+/// Sweep `schedule_many_par` over `threads_list` on the same corpus,
+/// asserting element-wise byte-identity against the serial
+/// `schedule_many` reference at every worker count. Returns one
+/// `(threads, min_seconds)` pair per entry.
+fn par_sweep(sched: &Fast, dags: &[Dag], procs: u32, threads_list: &[usize]) -> Vec<(usize, f64)> {
+    let reference: Vec<String> = schedule_many(sched, dags, procs)
+        .iter()
+        .map(to_json)
+        .collect();
+    threads_list
+        .iter()
+        .map(|&threads| {
+            let sharded = schedule_many_par(sched, dags, procs, threads);
+            for (i, s) in sharded.iter().enumerate() {
+                assert_eq!(
+                    to_json(s),
+                    reference[i],
+                    "schedule_many_par({threads}) diverged from schedule_many on DAG {i}"
+                );
+            }
+            let secs = min_of(RUNS, || {
+                black_box(schedule_many_par(sched, dags, procs, threads));
+            });
+            (threads, secs)
+        })
+        .collect()
+}
+
+/// Remove a previously written top-level `"<name>": { ... }` section
 /// (including its leading comma) so re-runs replace rather than
 /// duplicate it.
-fn strip_batch(old: &str) -> String {
-    let Some(key) = old.find("\"batch\": {") else {
+fn strip_section(old: &str, name: &str) -> String {
+    let needle = format!("\"{name}\": {{");
+    let Some(key) = old.find(&needle) else {
         return old.to_string();
     };
     // Back over whitespace and the separating comma.
@@ -133,16 +169,53 @@ fn main() {
         .collect();
     let (large_per_call, large_many) = ab(&fast, &large, 64);
 
+    // Thread-scaling sweep: the sharded batch over the 500-kernel
+    // corpus at 1/2/4/8 workers. Byte-identity against the serial
+    // batch is asserted unconditionally; the speedup claim is only
+    // checked when the host actually has the cores to show it (a
+    // 1-core container runs the sweep honestly at ~1.0x).
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sweep = par_sweep(&small_fast, &small, 4, &[1, 2, 4, 8]);
+    let par_serial = sweep[0].1;
+    let par_rows: Vec<String> = sweep
+        .iter()
+        .map(|&(threads, secs)| {
+            format!(
+                "{{ \"threads\": {threads}, \"seconds\": {secs:.6}, \"dags_per_sec\": {:.1}, \"speedup\": {:.2} }}",
+                small.len() as f64 / secs,
+                par_serial / secs,
+            )
+        })
+        .collect();
+    if host_cores >= 4 {
+        let best = sweep
+            .iter()
+            .map(|&(_, s)| par_serial / s)
+            .fold(0.0f64, f64::max);
+        assert!(
+            best >= 3.0,
+            "expected >= 3x batch speedup on a {host_cores}-core host, got {best:.2}x"
+        );
+    }
+
     let section = format!(
         "\"batch\": {{\n    \"algo\": \"{}\", \"runs\": {RUNS}, \"small_corpus_max_steps\": 16,\n    {},\n    {}\n  }}",
         fast.name(),
         row("small_corpus", &small, 4, small_per_call, small_many),
         row("large_dag", &large, 64, large_per_call, large_many),
     );
+    let par_section = format!(
+        "\"batch_par\": {{\n    \"algo\": \"{}\", \"runs\": {RUNS}, \"host_cores\": {host_cores},\n    \
+         \"dags\": {}, \"total_nodes\": {}, \"procs\": 4,\n    \"sweep\": [\n      {}\n    ]\n  }}",
+        fast.name(),
+        small.len(),
+        small.iter().map(Dag::node_count).sum::<usize>(),
+        par_rows.join(",\n      "),
+    );
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eval.json");
     let old = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
-    let base = strip_batch(&old);
+    let base = strip_section(&strip_section(&old, "batch"), "batch_par");
     let insert = base
         .rfind('}')
         .expect("BENCH_eval.json must be a JSON object");
@@ -154,7 +227,7 @@ fn main() {
     } else {
         ",\n  "
     };
-    let json = format!("{before}{sep}{section}\n}}\n");
+    let json = format!("{before}{sep}{section},\n  {par_section}\n}}\n");
     std::fs::write(path, &json).expect("write BENCH_eval.json");
 
     println!(
@@ -171,5 +244,12 @@ fn main() {
         large.iter().map(Dag::node_count).sum::<usize>(),
         large_per_call / large_many
     );
-    println!("wrote batch section -> {path}");
+    for &(threads, secs) in &sweep {
+        println!(
+            "batch_par  t={threads}: {secs:.4}s ({:.1} dags/s, {:.2}x vs t=1, {host_cores} host cores)",
+            small.len() as f64 / secs,
+            par_serial / secs
+        );
+    }
+    println!("wrote batch + batch_par sections -> {path}");
 }

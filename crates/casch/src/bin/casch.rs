@@ -69,7 +69,7 @@ USAGE:
                  [--out-schedule <out.json>] [--trace <out.ndjson>]
                  [--perfetto <out.json>]
   casch batch    (--dir <dir> | --manifest <list.txt>) --algo <name>
-                 [--procs <p>] [--out <out.ndjson>]
+                 [--procs <p>] [--threads <t>] [--out <out.ndjson>]
   casch simulate --dag <file.json> --schedule <sched.json>
                  [--topology <mesh|torus|hypercube|full>] [--hop <us>]
                  [--send-overhead <us>] [--recv-overhead <us>]
@@ -94,11 +94,15 @@ local-search transfer that touched the node).
 
 `casch batch` schedules every DAG file in a directory (`*.json` and
 `*.tg`, sorted by name) or listed in a manifest (one path per line,
-`#` comments allowed) with one algorithm, reusing a single scheduling
-workspace across the whole batch so per-DAG overhead is amortized. It
-emits one NDJSON object per DAG — `{\"dag\",\"nodes\",\"edges\",\"algo\",
-\"procs\",\"makespan\",\"seconds\"}` — to stdout or `--out`. Without
-`--procs` each DAG gets as many processors as it has nodes.
+`#` comments allowed) with one algorithm. `--threads <t>` shards the
+batch across t worker threads (0 = all cores; default 1), each with
+its own warm scheduling workspace — schedules are byte-identical at
+every thread count. It emits one NDJSON object per DAG —
+`{\"dag\",\"nodes\",\"edges\",\"algo\",\"procs\",\"threads\",\"makespan\",
+\"seconds\"}` — followed by one aggregate summary line
+`{\"summary\":true,\"dags\",\"algo\",\"threads\",\"seconds\",
+\"dags_per_sec\"}`, to stdout or `--out`. Without `--procs` each DAG
+gets as many processors as it has nodes.
 
 `casch verify` runs the structural validator over a saved schedule:
 task count, processor bounds, durations under the cost model
@@ -302,15 +306,18 @@ fn cmd_schedule(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// One scheduling workspace, many DAGs: the batch loop is the CLI
-/// surface of `schedule_many` — scratch buffers stay warm from one
-/// graph to the next and each result line carries its own wall-clock
-/// cost, so the NDJSON doubles as a throughput record.
+/// The batch pipeline: the CLI surface of `schedule_many_par_timed`.
+/// All DAGs are loaded up front, then the batch is sharded across
+/// `--threads` workers (one warm scheduling workspace each; the
+/// default 1 runs the classic serial loop). Each result line carries
+/// its own wall-clock cost and the closing summary line the aggregate
+/// throughput, so the NDJSON doubles as a throughput record.
 fn cmd_batch(opts: &Flags) -> Result<(), String> {
-    use fastsched_algorithms::Workspace;
+    use fastsched_algorithms::schedule_many_par_timed;
     use std::path::PathBuf;
 
     let algo = scheduler_by_name(opts.get("algo").ok_or("missing --algo")?)?;
+    let threads = get_u64_or(opts, "threads", 1)? as usize;
     let mut paths: Vec<PathBuf> = match (opts.get("dir"), opts.get("manifest")) {
         (Some(dir), None) => std::fs::read_dir(dir)
             .map_err(|e| format!("reading {dir}: {e}"))?
@@ -338,8 +345,11 @@ fn cmd_batch(opts: &Flags) -> Result<(), String> {
         return Err("no DAG files to schedule (batch wants *.json or *.tg)".to_string());
     }
 
-    let mut ws = Workspace::new();
-    let mut lines = String::new();
+    // Parse every DAG before scheduling starts: workers only compute,
+    // and a malformed input fails the batch before any output.
+    let mut dags: Vec<Dag> = Vec::with_capacity(paths.len());
+    let mut procs: Vec<u32> = Vec::with_capacity(paths.len());
+    let mut displays: Vec<String> = Vec::with_capacity(paths.len());
     for path in &paths {
         let display = path.display().to_string();
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {display}: {e}"))?;
@@ -348,23 +358,39 @@ fn cmd_batch(opts: &Flags) -> Result<(), String> {
         } else {
             io::from_json(&text).map_err(|e| format!("{display}: {e}"))?
         };
-        let procs = get_u64_or(opts, "procs", dag.node_count() as u64)? as u32;
-        let started = std::time::Instant::now();
-        let schedule = algo.schedule_into(&dag, procs, &mut ws);
-        let seconds = started.elapsed().as_secs_f64();
+        procs.push(get_u64_or(opts, "procs", dag.node_count() as u64)? as u32);
+        dags.push(dag);
+        displays.push(display);
+    }
+
+    let wall = std::time::Instant::now();
+    let results = schedule_many_par_timed(algo.as_ref(), &dags, &procs, threads);
+    let wall = wall.elapsed().as_secs_f64();
+
+    let mut lines = String::new();
+    for (i, (schedule, seconds)) in results.iter().enumerate() {
         lines.push_str(&format!(
             "{{\"dag\":\"{}\",\"nodes\":{},\"edges\":{},\"algo\":\"{}\",\
-             \"procs\":{},\"makespan\":{},\"seconds\":{:.6}}}\n",
-            json_escape(&display),
-            dag.node_count(),
-            dag.edge_count(),
+             \"procs\":{},\"threads\":{},\"makespan\":{},\"seconds\":{:.6}}}\n",
+            json_escape(&displays[i]),
+            dags[i].node_count(),
+            dags[i].edge_count(),
             algo.name(),
-            procs,
+            procs[i],
+            threads,
             schedule.makespan(),
             seconds
         ));
-        ws.recycle(schedule);
     }
+    lines.push_str(&format!(
+        "{{\"summary\":true,\"dags\":{},\"algo\":\"{}\",\"threads\":{},\
+         \"seconds\":{:.6},\"dags_per_sec\":{:.1}}}\n",
+        dags.len(),
+        algo.name(),
+        threads,
+        wall,
+        dags.len() as f64 / wall.max(1e-9)
+    ));
     match opts.get("out") {
         Some(path) => {
             std::fs::write(path, &lines).map_err(|e| format!("writing {path}: {e}"))?;

@@ -350,8 +350,10 @@ fn batch_emits_schema_complete_ndjson_matching_per_call_runs() {
         String::from_utf8_lossy(&out.stderr)
     );
     let ndjson = String::from_utf8_lossy(&out.stdout).to_string();
-    let lines: Vec<&str> = ndjson.lines().collect();
-    assert_eq!(lines.len(), 3, "{ndjson}");
+    let all_lines: Vec<&str> = ndjson.lines().collect();
+    // 3 per-DAG lines plus the aggregate summary line.
+    assert_eq!(all_lines.len(), 4, "{ndjson}");
+    let (summary, lines) = all_lines.split_last().unwrap();
 
     let field = |line: &str, key: &str| -> Value {
         let doc: Value = serde_json::from_str(line).expect("each line must be JSON");
@@ -364,21 +366,28 @@ fn batch_emits_schema_complete_ndjson_matching_per_call_runs() {
             .map(|(_, v)| v.clone())
             .unwrap_or_else(|| panic!("missing {key} in {line}"))
     };
-    for line in &lines {
+    for line in lines {
         for key in [
-            "dag", "nodes", "edges", "algo", "procs", "makespan", "seconds",
+            "dag", "nodes", "edges", "algo", "procs", "threads", "makespan", "seconds",
         ] {
             field(line, key);
         }
         assert_eq!(field(line, "algo"), Value::String("FAST".to_string()));
         assert_eq!(field(line, "procs"), Value::UInt(8));
+        assert_eq!(field(line, "threads"), Value::UInt(1));
     }
+    // The summary line aggregates the whole batch.
+    assert_eq!(field(summary, "summary"), Value::Bool(true));
+    assert_eq!(field(summary, "dags"), Value::UInt(3));
+    assert_eq!(field(summary, "algo"), Value::String("FAST".to_string()));
+    field(summary, "seconds");
+    field(summary, "dags_per_sec");
     // --dir output is sorted by file name.
     assert!(matches!(field(lines[0], "dag"), Value::String(s) if s.ends_with("a-gauss.json")));
     assert!(matches!(field(lines[2], "dag"), Value::String(s) if s.ends_with("c-rand.json")));
 
     // Batch makespans equal the per-call command's.
-    for line in &lines {
+    for line in lines {
         let Value::String(dag_path) = field(line, "dag") else {
             panic!("dag must be a string")
         };
@@ -424,7 +433,8 @@ fn batch_emits_schema_complete_ndjson_matching_per_call_runs() {
         String::from_utf8_lossy(&out.stderr)
     );
     let written = std::fs::read_to_string(&out_path).unwrap();
-    assert_eq!(written.lines().count(), 2);
+    // 2 per-DAG lines plus the summary.
+    assert_eq!(written.lines().count(), 3);
     for line in written.lines() {
         assert_eq!(field(line, "algo"), Value::String("DLS".to_string()));
     }
@@ -442,6 +452,88 @@ fn batch_emits_schema_complete_ndjson_matching_per_call_runs() {
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("no DAG files"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `casch batch --threads` shards the batch without changing any
+/// result: per-DAG makespans at 2 and 4 workers are identical to the
+/// serial run, lines stay in sorted input order, and each line carries
+/// the requested thread count.
+#[test]
+fn batch_threads_shard_without_changing_results() {
+    use serde::Value;
+
+    let dir = std::env::temp_dir().join(format!("casch-batch-par-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (seed, name) in [
+        ("1", "a.json"),
+        ("2", "b.json"),
+        ("3", "c.json"),
+        ("4", "d.json"),
+        ("5", "e.json"),
+    ] {
+        let out = casch()
+            .args([
+                "generate", "--app", "random", "--size", "40", "--seed", seed, "--out",
+            ])
+            .arg(dir.join(name))
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+    }
+
+    let field = |line: &str, key: &str| -> Value {
+        let doc: Value = serde_json::from_str(line).expect("each line must be JSON");
+        let Value::Object(pairs) = doc else {
+            panic!("line must be an object")
+        };
+        pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("missing {key} in {line}"))
+    };
+    // Per-DAG (dag, makespan) pairs, summary line stripped.
+    let run = |threads: &str| -> Vec<(Value, Value)> {
+        let out = casch()
+            .args([
+                "batch",
+                "--algo",
+                "fast",
+                "--procs",
+                "8",
+                "--threads",
+                threads,
+                "--dir",
+            ])
+            .arg(&dir)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        let all: Vec<&str> = text.lines().collect();
+        assert_eq!(all.len(), 6, "5 DAG lines + summary: {text}");
+        let (summary, lines) = all.split_last().unwrap();
+        let want_threads = Value::UInt(threads.parse().unwrap());
+        assert_eq!(field(summary, "threads"), want_threads.clone());
+        lines
+            .iter()
+            .map(|l| {
+                assert_eq!(field(l, "threads"), want_threads.clone());
+                (field(l, "dag"), field(l, "makespan"))
+            })
+            .collect()
+    };
+
+    let serial = run("1");
+    for threads in ["2", "4"] {
+        assert_eq!(run(threads), serial, "--threads {threads} diverged");
+    }
 
     std::fs::remove_dir_all(&dir).ok();
 }

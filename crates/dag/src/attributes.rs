@@ -82,6 +82,97 @@ pub fn static_levels_into(dag: &Dag, out: &mut Vec<Cost>) {
     }
 }
 
+/// Reusable topo-position-keyed attribute lanes: the scratch plane the
+/// SoA sweep kernels write before results are scattered back to
+/// id-keyed buffers. One instance per [`crate::graph::Dag`]-consumer
+/// (e.g. a scheduling workspace); cleared and refilled per call, never
+/// dropped, so steady-state use allocates nothing.
+#[derive(Debug, Default, Clone)]
+pub struct AttrLanes {
+    /// t-level keyed by topo position.
+    pub t: Vec<Cost>,
+    /// b-level keyed by topo position.
+    pub b: Vec<Cost>,
+    /// Static level keyed by topo position.
+    pub s: Vec<Cost>,
+}
+
+impl AttrLanes {
+    /// Empty lane set (no buffers held yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`t_levels`] over the topo-keyed SoA plane: `out[p]` is the t-level
+/// of the node at topo position `p`. A single forward scan of the
+/// [`crate::graph::TopoCsr`] lanes — the inner relax is a branchless
+/// `max`, and every read in the fold is a contiguous lane access.
+///
+/// Identical integer math to [`t_levels_into`] over the same edge
+/// sets, so the scattered result is byte-identical to the scalar
+/// reference.
+pub fn t_levels_topo_into(dag: &Dag, out: &mut Vec<Cost>) {
+    let csr = dag.topo_csr();
+    let v = csr.weights.len();
+    out.clear();
+    out.resize(v, 0);
+    for p in 0..v {
+        let reach = out[p] + csr.weights[p];
+        let (lo, hi) = (csr.offsets[p] as usize, csr.offsets[p + 1] as usize);
+        for (&t, &c) in csr.targets[lo..hi].iter().zip(&csr.costs[lo..hi]) {
+            let slot = &mut out[t as usize];
+            *slot = (*slot).max(reach + c);
+        }
+    }
+}
+
+/// [`b_levels`] over the topo-keyed SoA plane (see
+/// [`t_levels_topo_into`]); a single backward scan whose inner loop is
+/// a pure gather-max over the target/cost lanes.
+pub fn b_levels_topo_into(dag: &Dag, out: &mut Vec<Cost>) {
+    let csr = dag.topo_csr();
+    let v = csr.weights.len();
+    out.clear();
+    out.resize(v, 0);
+    for p in (0..v).rev() {
+        let (lo, hi) = (csr.offsets[p] as usize, csr.offsets[p + 1] as usize);
+        let best = csr.targets[lo..hi]
+            .iter()
+            .zip(&csr.costs[lo..hi])
+            .fold(0, |acc: Cost, (&t, &c)| acc.max(c + out[t as usize]));
+        out[p] = csr.weights[p] + best;
+    }
+}
+
+/// [`static_levels`] over the topo-keyed SoA plane (see
+/// [`t_levels_topo_into`]); the gather ignores the cost lane entirely.
+pub fn static_levels_topo_into(dag: &Dag, out: &mut Vec<Cost>) {
+    let csr = dag.topo_csr();
+    let v = csr.weights.len();
+    out.clear();
+    out.resize(v, 0);
+    for p in (0..v).rev() {
+        let (lo, hi) = (csr.offsets[p] as usize, csr.offsets[p + 1] as usize);
+        let best = csr.targets[lo..hi]
+            .iter()
+            .fold(0, |acc: Cost, &t| acc.max(out[t as usize]));
+        out[p] = csr.weights[p] + best;
+    }
+}
+
+/// [`static_levels_into`] via the SoA sweep: computes the lane in topo
+/// space, then scatters to the id-keyed `out`. Byte-identical to the
+/// scalar reference.
+pub fn static_levels_soa_into(dag: &Dag, lanes: &mut AttrLanes, out: &mut Vec<Cost>) {
+    static_levels_topo_into(dag, &mut lanes.s);
+    out.clear();
+    out.resize(dag.node_count(), 0);
+    for (p, &n) in dag.topo_order().iter().enumerate() {
+        out[n.index()] = lanes.s[p];
+    }
+}
+
 /// All §2 attributes of a DAG, computed in three O(v + e) passes.
 #[derive(Debug, Clone)]
 pub struct GraphAttributes {
@@ -146,6 +237,47 @@ impl GraphAttributes {
         );
         out.alap.clear();
         out.alap.extend(out.b_level.iter().map(|&b| cp_length - b));
+    }
+
+    /// [`GraphAttributes::compute_into`] via the SoA sweep kernels:
+    /// the three passes run in topo-position space over contiguous
+    /// lanes, then one fused scatter writes every id-keyed buffer
+    /// (t/b/static level, ALAP, CPN flags) in a single walk of the
+    /// topo order. Byte-identical to `compute_into` — the kernels fold
+    /// the same `max` over the same edge sets — just laid out for the
+    /// cache.
+    pub fn compute_soa_into(dag: &Dag, lanes: &mut AttrLanes, out: &mut GraphAttributes) {
+        t_levels_topo_into(dag, &mut lanes.t);
+        b_levels_topo_into(dag, &mut lanes.b);
+        static_levels_topo_into(dag, &mut lanes.s);
+        let cp_length = lanes
+            .t
+            .iter()
+            .zip(&lanes.b)
+            .map(|(&t, &b)| t + b)
+            .max()
+            .expect("non-empty graph");
+        out.cp_length = cp_length;
+        let v = dag.node_count();
+        out.t_level.clear();
+        out.t_level.resize(v, 0);
+        out.b_level.clear();
+        out.b_level.resize(v, 0);
+        out.static_level.clear();
+        out.static_level.resize(v, 0);
+        out.alap.clear();
+        out.alap.resize(v, 0);
+        out.cpn.clear();
+        out.cpn.resize(v, false);
+        for (p, &n) in dag.topo_order().iter().enumerate() {
+            let i = n.index();
+            let (t, b) = (lanes.t[p], lanes.b[p]);
+            out.t_level[i] = t;
+            out.b_level[i] = b;
+            out.static_level[i] = lanes.s[p];
+            out.alap[i] = cp_length - b;
+            out.cpn[i] = t + b == cp_length;
+        }
     }
 
     /// `true` if `n` lies on a critical path.
@@ -310,6 +442,63 @@ mod tests {
         }
         // c: (5 - 3) / 5 = 0.4.
         assert!((mob[2] - 0.4).abs() < 1e-12);
+    }
+
+    /// Scatter a topo-keyed lane back to id keying.
+    fn to_id_space(g: &Dag, lane: &[u64]) -> Vec<u64> {
+        let mut out = vec![0; g.node_count()];
+        for (p, &n) in g.topo_order().iter().enumerate() {
+            out[n.index()] = lane[p];
+        }
+        out
+    }
+
+    #[test]
+    fn topo_kernels_match_scalar_reference() {
+        let g = sample();
+        let mut lane = Vec::new();
+        t_levels_topo_into(&g, &mut lane);
+        assert_eq!(to_id_space(&g, &lane), t_levels(&g));
+        b_levels_topo_into(&g, &mut lane);
+        assert_eq!(to_id_space(&g, &lane), b_levels(&g));
+        static_levels_topo_into(&g, &mut lane);
+        assert_eq!(to_id_space(&g, &lane), static_levels(&g));
+    }
+
+    #[test]
+    fn static_levels_soa_scatter_matches_scalar() {
+        let g = sample();
+        let mut lanes = AttrLanes::new();
+        let mut soa = Vec::new();
+        static_levels_soa_into(&g, &mut lanes, &mut soa);
+        assert_eq!(soa, static_levels(&g));
+    }
+
+    #[test]
+    fn compute_soa_matches_compute() {
+        for g in [sample(), {
+            // Disconnected + skip edges: exercises multiple entries.
+            let mut b = DagBuilder::new();
+            let a = b.add_task(10);
+            let c = b.add_task(2);
+            let d = b.add_task(3);
+            let e = b.add_task(4);
+            b.add_edge(c, d, 1).unwrap();
+            b.add_edge(c, e, 7).unwrap();
+            b.add_edge(a, e, 2).unwrap();
+            b.build().unwrap()
+        }] {
+            let scalar = GraphAttributes::compute(&g);
+            let mut lanes = AttrLanes::new();
+            let mut soa = GraphAttributes::empty();
+            GraphAttributes::compute_soa_into(&g, &mut lanes, &mut soa);
+            assert_eq!(soa.t_level, scalar.t_level);
+            assert_eq!(soa.b_level, scalar.b_level);
+            assert_eq!(soa.static_level, scalar.static_level);
+            assert_eq!(soa.alap, scalar.alap);
+            assert_eq!(soa.cp_length, scalar.cp_length);
+            assert_eq!(soa.cpn, scalar.cpn);
+        }
     }
 
     #[test]

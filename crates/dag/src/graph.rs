@@ -64,6 +64,55 @@ pub struct Dag {
     pred_offsets: Vec<u32>,
     pred_edges: Vec<EdgeRef>,
     topo: Vec<NodeId>,
+    // --- Structure-of-arrays mirrors, frozen at build time. ---
+    // The AoS `EdgeRef` runs above stay the ergonomic API; the flat
+    // lanes below are what the hot loops (attribute sweeps, DAT
+    // probes) walk, so each loop touches only the lane it needs
+    // instead of padded 16-byte structs.
+    /// Predecessor endpoints, same order as `pred_edges`.
+    pred_src: Vec<u32>,
+    /// Predecessor edge costs, same order as `pred_edges`.
+    pred_cost: Vec<Cost>,
+    /// Topological position of each node id (inverse of `topo`).
+    topo_pos: Vec<u32>,
+    /// Successor CSR re-keyed by topo position: the run of node at
+    /// position `p` is `tsucc_offsets[p]..tsucc_offsets[p + 1]`. The
+    /// per-position run length is the out-degree lane.
+    tsucc_offsets: Vec<u32>,
+    /// Successor *topo positions* (always > the source position).
+    tsucc_targets: Vec<u32>,
+    /// Successor edge costs, aligned with `tsucc_targets`.
+    tsucc_costs: Vec<Cost>,
+    /// Node weights keyed by topo position.
+    topo_weights: Vec<Cost>,
+}
+
+/// Borrowed structure-of-arrays view of the successor adjacency keyed
+/// by *topological position*: position `p` holds the node
+/// `node_at[p]`, its weight, and its successor run
+/// `offsets[p]..offsets[p + 1]` over the `targets`/`costs` lanes
+/// (targets are topo positions too, always `> p`).
+///
+/// This is the layout the attribute sweep kernels walk: a forward
+/// (t-level) or backward (b-level, static level) pass is a single
+/// linear scan of `offsets` with contiguous lane reads — no `NodeId`
+/// indirection, no struct padding — which keeps the inner max-fold
+/// branch-lean and lets it autovectorize.
+#[derive(Debug, Clone, Copy)]
+pub struct TopoCsr<'a> {
+    /// Node id at each topo position (the frozen topo order).
+    pub node_at: &'a [NodeId],
+    /// Topo position of each node id (inverse permutation).
+    pub pos_of: &'a [u32],
+    /// Node weights keyed by topo position.
+    pub weights: &'a [Cost],
+    /// Successor run offsets keyed by topo position (`len = v + 1`);
+    /// `offsets[p + 1] - offsets[p]` is the out-degree lane.
+    pub offsets: &'a [u32],
+    /// Successor topo positions, one entry per edge.
+    pub targets: &'a [u32],
+    /// Successor edge costs, aligned with `targets`.
+    pub costs: &'a [Cost],
 }
 
 impl Dag {
@@ -74,8 +123,17 @@ impl Dag {
     }
 
     /// Number of edges `e`.
+    ///
+    /// Debug builds assert that every edge-keyed lane (AoS runs and
+    /// SoA mirrors) agrees on this count — a desynchronized mirror
+    /// would silently corrupt the sweep kernels.
     #[inline]
     pub fn edge_count(&self) -> usize {
+        debug_assert_eq!(self.succ_edges.len(), self.pred_edges.len());
+        debug_assert_eq!(self.succ_edges.len(), self.pred_src.len());
+        debug_assert_eq!(self.succ_edges.len(), self.pred_cost.len());
+        debug_assert_eq!(self.succ_edges.len(), self.tsucc_targets.len());
+        debug_assert_eq!(self.succ_edges.len(), self.tsucc_costs.len());
         self.succ_edges.len()
     }
 
@@ -169,6 +227,46 @@ impl Dag {
         &self.topo
     }
 
+    /// Topological position of `n` (inverse of [`Dag::topo_order`]).
+    #[inline]
+    pub fn topo_pos(&self, n: NodeId) -> u32 {
+        self.topo_pos[n.index()]
+    }
+
+    /// Predecessor adjacency of `n` as split SoA lanes:
+    /// `(parent ids, edge costs)`, aligned element-wise and in the
+    /// same (id-sorted) order as [`Dag::preds`]. The DAT probe loops
+    /// walk these instead of `EdgeRef` structs: a `u32` lane and a
+    /// `Cost` lane gather with no padding between elements.
+    #[inline]
+    pub fn pred_lanes(&self, n: NodeId) -> (&[u32], &[Cost]) {
+        let lo = self.pred_offsets[n.index()] as usize;
+        let hi = self.pred_offsets[n.index() + 1] as usize;
+        (&self.pred_src[lo..hi], &self.pred_cost[lo..hi])
+    }
+
+    /// Predecessor CSR offsets (`len = v + 1`): node `n`'s pred run is
+    /// `pred_offsets()[n] .. pred_offsets()[n + 1]`. Flat caches keyed
+    /// per-parent (e.g. the DAT lanes) use these runs as their slots.
+    #[inline]
+    pub fn pred_offsets(&self) -> &[u32] {
+        &self.pred_offsets
+    }
+
+    /// The topo-keyed structure-of-arrays view of the successor
+    /// adjacency — the layout the attribute sweep kernels consume.
+    #[inline]
+    pub fn topo_csr(&self) -> TopoCsr<'_> {
+        TopoCsr {
+            node_at: &self.topo,
+            pos_of: &self.topo_pos,
+            weights: &self.topo_weights,
+            offsets: &self.tsucc_offsets,
+            targets: &self.tsucc_targets,
+            costs: &self.tsucc_costs,
+        }
+    }
+
     /// Sum of all computation costs (the sequential execution time,
     /// and a trivial upper bound on any single-processor schedule).
     pub fn total_computation(&self) -> Cost {
@@ -209,6 +307,14 @@ pub struct DagBuilder {
     weights: Vec<Cost>,
     names: Vec<String>,
     edges: Vec<(NodeId, NodeId, Cost)>,
+    // CSR buffers handed to `build`: `with_capacity` preallocates
+    // these too (they used to be allocated fresh inside `build`, so a
+    // capacity hint only covered the builder-side vecs and the build
+    // step still paid four sized allocations).
+    succ_offsets: Vec<u32>,
+    pred_offsets: Vec<u32>,
+    succ_edges: Vec<EdgeRef>,
+    pred_edges: Vec<EdgeRef>,
 }
 
 impl DagBuilder {
@@ -218,12 +324,18 @@ impl DagBuilder {
     }
 
     /// Builder with preallocated capacity for `nodes` nodes and `edges`
-    /// edges.
+    /// edges, covering both the builder-side collection vecs and the
+    /// CSR adjacency arrays (offsets and both edge directions) that
+    /// [`DagBuilder::build`] assembles.
     pub fn with_capacity(nodes: usize, edges: usize) -> Self {
         Self {
             weights: Vec::with_capacity(nodes),
             names: Vec::with_capacity(nodes),
             edges: Vec::with_capacity(edges),
+            succ_offsets: Vec::with_capacity(nodes + 1),
+            pred_offsets: Vec::with_capacity(nodes + 1),
+            succ_edges: Vec::with_capacity(edges),
+            pred_edges: Vec::with_capacity(edges),
         }
     }
 
@@ -274,18 +386,31 @@ impl DagBuilder {
 
     /// Validate and freeze into an immutable [`Dag`].
     pub fn build(self) -> Result<Dag, DagError> {
-        let v = self.weights.len();
+        let Self {
+            weights,
+            names,
+            edges,
+            mut succ_offsets,
+            mut pred_offsets,
+            mut succ_edges,
+            mut pred_edges,
+        } = self;
+        let v = weights.len();
         if v == 0 {
             return Err(DagError::Empty);
         }
-        if let Some(i) = self.weights.iter().position(|&w| w == 0) {
+        if let Some(i) = weights.iter().position(|&w| w == 0) {
             return Err(DagError::ZeroWeight(i as u32));
         }
 
-        // Degree counts for CSR offsets.
-        let mut succ_offsets = vec![0u32; v + 1];
-        let mut pred_offsets = vec![0u32; v + 1];
-        for &(s, d, _) in &self.edges {
+        // Degree counts for CSR offsets. The buffers come from the
+        // builder so `with_capacity` hints cover them; clear + resize
+        // keeps whatever capacity was reserved.
+        succ_offsets.clear();
+        succ_offsets.resize(v + 1, 0);
+        pred_offsets.clear();
+        pred_offsets.resize(v + 1, 0);
+        for &(s, d, _) in &edges {
             succ_offsets[s.index() + 1] += 1;
             pred_offsets[d.index() + 1] += 1;
         }
@@ -294,18 +419,18 @@ impl DagBuilder {
             pred_offsets[i + 1] += pred_offsets[i];
         }
 
-        let e = self.edges.len();
-        let mut succ_edges = vec![
-            EdgeRef {
-                node: NodeId(0),
-                cost: 0
-            };
-            e
-        ];
-        let mut pred_edges = succ_edges.clone();
+        let e = edges.len();
+        let hole = EdgeRef {
+            node: NodeId(0),
+            cost: 0,
+        };
+        succ_edges.clear();
+        succ_edges.resize(e, hole);
+        pred_edges.clear();
+        pred_edges.resize(e, hole);
         let mut succ_fill = succ_offsets.clone();
         let mut pred_fill = pred_offsets.clone();
-        for &(s, d, c) in &self.edges {
+        for &(s, d, c) in &edges {
             let si = succ_fill[s.index()] as usize;
             succ_edges[si] = EdgeRef { node: d, cost: c };
             succ_fill[s.index()] += 1;
@@ -329,16 +454,58 @@ impl DagBuilder {
             pred_edges[lo..hi].sort_unstable_by_key(|e| e.node);
         }
 
+        // Split SoA lanes for the predecessor runs (same element
+        // order as `pred_edges`).
+        let pred_src: Vec<u32> = pred_edges.iter().map(|er| er.node.0).collect();
+        let pred_cost: Vec<Cost> = pred_edges.iter().map(|er| er.cost).collect();
+
         let mut dag = Dag {
-            weights: self.weights,
-            names: self.names,
+            weights,
+            names,
             succ_offsets,
             succ_edges,
             pred_offsets,
             pred_edges,
+            pred_src,
+            pred_cost,
             topo: Vec::new(),
+            topo_pos: Vec::new(),
+            tsucc_offsets: Vec::new(),
+            tsucc_targets: Vec::new(),
+            tsucc_costs: Vec::new(),
+            topo_weights: Vec::new(),
         };
         dag.topo = crate::topo::topological_order(&dag)?;
+
+        // Topo-keyed mirrors: the inverse permutation, weights by
+        // position, and the successor CSR re-keyed so every target
+        // position is strictly greater than its source position (what
+        // lets the sweep kernels scan positions linearly).
+        let mut topo_pos = vec![0u32; v];
+        for (p, &n) in dag.topo.iter().enumerate() {
+            topo_pos[n.index()] = p as u32;
+        }
+        let mut tsucc_offsets = Vec::with_capacity(v + 1);
+        let mut tsucc_targets = Vec::with_capacity(e);
+        let mut tsucc_costs = Vec::with_capacity(e);
+        let mut topo_weights = Vec::with_capacity(v);
+        tsucc_offsets.push(0u32);
+        for (p, &n) in dag.topo.iter().enumerate() {
+            topo_weights.push(dag.weights[n.index()]);
+            for er in dag.succs(n) {
+                let tp = topo_pos[er.node.index()];
+                debug_assert!(tp as usize > p, "topo position must increase along edges");
+                tsucc_targets.push(tp);
+                tsucc_costs.push(er.cost);
+            }
+            tsucc_offsets.push(tsucc_targets.len() as u32);
+        }
+        dag.topo_pos = topo_pos;
+        dag.tsucc_offsets = tsucc_offsets;
+        dag.tsucc_targets = tsucc_targets;
+        dag.tsucc_costs = tsucc_costs;
+        dag.topo_weights = topo_weights;
+        debug_assert_eq!(dag.edge_count(), e);
         Ok(dag)
     }
 }
@@ -463,6 +630,67 @@ mod tests {
             edges,
             vec![(NodeId(0), NodeId(1), 5), (NodeId(1), NodeId(2), 7)]
         );
+    }
+
+    /// Diamond with a skip edge, added out of id order so the CSR
+    /// sort and the topo re-keying both do real work.
+    fn diamond() -> Dag {
+        let mut b = DagBuilder::with_capacity(4, 5);
+        let a = b.add_task(2);
+        let c = b.add_task(3);
+        let d = b.add_task(5);
+        let x = b.add_task(1);
+        b.add_edge(d, x, 1).unwrap();
+        b.add_edge(a, d, 6).unwrap();
+        b.add_edge(a, c, 4).unwrap();
+        b.add_edge(c, x, 2).unwrap();
+        b.add_edge(a, x, 9).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pred_lanes_mirror_pred_edges() {
+        let g = diamond();
+        for n in g.nodes() {
+            let (src, cost) = g.pred_lanes(n);
+            let aos = g.preds(n);
+            assert_eq!(src.len(), aos.len());
+            for (i, er) in aos.iter().enumerate() {
+                assert_eq!(src[i], er.node.0, "pred src lane for {n}");
+                assert_eq!(cost[i], er.cost, "pred cost lane for {n}");
+            }
+        }
+        assert_eq!(g.pred_offsets().len(), g.node_count() + 1);
+        assert_eq!(*g.pred_offsets().last().unwrap() as usize, g.edge_count());
+    }
+
+    #[test]
+    fn topo_pos_is_inverse_of_topo_order() {
+        let g = diamond();
+        for (p, &n) in g.topo_order().iter().enumerate() {
+            assert_eq!(g.topo_pos(n) as usize, p);
+        }
+    }
+
+    #[test]
+    fn topo_csr_mirrors_succ_adjacency() {
+        let g = diamond();
+        let t = g.topo_csr();
+        assert_eq!(t.offsets.len(), g.node_count() + 1);
+        assert_eq!(t.targets.len(), g.edge_count());
+        for (p, &n) in t.node_at.iter().enumerate() {
+            assert_eq!(t.pos_of[n.index()] as usize, p);
+            assert_eq!(t.weights[p], g.weight(n));
+            let lo = t.offsets[p] as usize;
+            let hi = t.offsets[p + 1] as usize;
+            let run = &t.targets[lo..hi];
+            assert_eq!(run.len(), g.out_degree(n));
+            for (k, er) in g.succs(n).iter().enumerate() {
+                assert_eq!(run[k], g.topo_pos(er.node), "target of {n}");
+                assert_eq!(t.costs[lo + k], er.cost, "cost of {n} edge {k}");
+                assert!(run[k] as usize > p, "edges must go forward in topo order");
+            }
+        }
     }
 
     #[test]

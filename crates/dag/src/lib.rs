@@ -51,12 +51,12 @@ pub mod stats;
 pub mod topo;
 pub mod transform;
 
-pub use attributes::GraphAttributes;
+pub use attributes::{AttrLanes, GraphAttributes};
 pub use classify::{classify_nodes, classify_nodes_into, NodeClass};
 pub use cpn_list::{
     cpn_dominate_list, cpn_dominate_list_into, CpnListConfig, CpnListScratch, ObnOrder,
 };
 pub use error::DagError;
-pub use graph::{Cost, Dag, DagBuilder, EdgeRef, NodeId};
+pub use graph::{Cost, Dag, DagBuilder, EdgeRef, NodeId, TopoCsr};
 pub use stats::DagStats;
 pub use transform::{merge_linear_chains, scale_communication, ChainMerge};

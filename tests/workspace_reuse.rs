@@ -10,7 +10,10 @@ use fastsched::algorithms::{FastParallel, FastParallelConfig, Mcp};
 use fastsched::dag::Dag;
 use fastsched::schedule::{evaluate_fixed_order_with, io, DeltaEvaluator, ProcId, ProcessorSpeeds};
 use fastsched::workloads::fuzz::fuzz_corpus;
-use fastsched::{algorithms::schedule_many, prelude::validate};
+use fastsched::{
+    algorithms::{schedule_many, schedule_many_par},
+    prelude::validate,
+};
 use proptest::prelude::*;
 
 const CORPUS_SEED: u64 = 0xBA7C;
@@ -94,6 +97,37 @@ proptest! {
                     sched.name(),
                     i
                 );
+            }
+        }
+    }
+
+    /// The sharded batch entry point must be element-wise
+    /// byte-identical to the serial `schedule_many` at every worker
+    /// count: sharding only changes which thread runs a DAG, never a
+    /// scheduling decision (each worker gets its own [`Workspace`]).
+    #[test]
+    fn schedule_many_par_matches_serial(seed in 0u64..1_000_000) {
+        let corpus = fuzz_corpus(CORPUS_SEED.rotate_left(17) ^ seed, 6);
+        let dags: Vec<Dag> = corpus.iter().map(|c| c.dag.clone()).collect();
+        let procs = corpus.iter().map(|c| c.procs).max().unwrap();
+        for sched in ported() {
+            let serial: Vec<String> = schedule_many(sched.as_ref(), &dags, procs)
+                .iter()
+                .map(io::to_json)
+                .collect();
+            for threads in [1usize, 2, 4, 8] {
+                let sharded = schedule_many_par(sched.as_ref(), &dags, procs, threads);
+                prop_assert_eq!(sharded.len(), dags.len());
+                for (i, s) in sharded.iter().enumerate() {
+                    prop_assert_eq!(
+                        &io::to_json(s),
+                        &serial[i],
+                        "{} diverged on item {} at {} threads",
+                        sched.name(),
+                        i,
+                        threads
+                    );
+                }
             }
         }
     }
