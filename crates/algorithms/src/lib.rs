@@ -26,6 +26,35 @@
 //! Every scheduler returns a [`fastsched_schedule::Schedule`] that
 //! passes [`fastsched_schedule::validate()`](fn@fastsched_schedule::validate); the workspace test-suite
 //! enforces this across all workloads.
+//!
+//! ## The Workspace lifecycle
+//!
+//! Each [`Scheduler`] exposes two entry points with one contract:
+//!
+//! * [`Scheduler::schedule`] — self-contained, allocates its own
+//!   scratch, the right call for one-off scheduling;
+//! * [`Scheduler::schedule_into`] — the same search against a
+//!   caller-owned [`workspace::Workspace`] scratch arena. The result
+//!   is **byte-identical** to `schedule()`'s (the workspace only moves
+//!   scratch, it never changes a decision), and once the arena's
+//!   buffers have grown to the workload's peak, repeated calls perform
+//!   **zero heap allocations** for the natively ported algorithms
+//!   (FAST, FAST-SA, FAST-MS, ETF, DLS; proven by a counting
+//!   allocator in `tests/zero_alloc.rs`).
+//!
+//! A workspace is *cleared, never dropped* between runs and may be
+//! reused across different DAGs, processor counts and algorithms in
+//! any order; use one workspace per thread. Three layers build on
+//! that contract, in increasing lifetime:
+//!
+//! * [`workspace::schedule_many`] / [`workspace::schedule_many_into`]
+//!   — one warm workspace across a whole batch;
+//! * `workspace::schedule_many_par` (feature `parallel`) — the batch
+//!   sharded across scoped threads, one workspace per worker,
+//!   element-wise byte-identical at every thread count;
+//! * [`pool::WorkerPool`] — persistent workers, each owning a pinned
+//!   workspace for its whole life, fed through a bounded queue; the
+//!   substrate of the `casch serve` scheduling service.
 
 #![warn(missing_docs)]
 
@@ -50,6 +79,7 @@ pub mod list_common;
 pub mod mcp;
 pub mod md;
 pub mod optimal;
+pub mod pool;
 pub mod scheduler;
 pub mod workspace;
 
@@ -73,6 +103,7 @@ pub use lc::Lc;
 pub use mcp::Mcp;
 pub use md::Md;
 pub use optimal::{BranchAndBound, OracleOutcome};
+pub use pool::WorkerPool;
 pub use scheduler::{
     all_schedulers, gate_schedule, gate_schedule_with, paper_schedulers, Scheduler,
 };

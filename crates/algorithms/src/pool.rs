@@ -1,0 +1,268 @@
+//! A persistent worker pool over pinned [`Workspace`]s — the
+//! long-running sibling of [`crate::workspace::schedule_many_par`].
+//!
+//! The sharded batch entry points spawn scoped threads per batch and
+//! tear them down when the batch returns; a service front-end (e.g.
+//! `casch serve`) instead wants workers that *outlive* any one
+//! request. [`WorkerPool`] spawns a fixed set of threads at
+//! construction, hands each one a private [`Workspace`] it owns for
+//! its whole life, and feeds them jobs through a **bounded** queue:
+//!
+//! * [`WorkerPool::try_submit`] is the admission-control edge — it
+//!   never blocks, and returns the job to the caller when the queue is
+//!   full, so the caller can turn backpressure into an explicit
+//!   "overloaded" rejection instead of unbounded memory growth;
+//! * [`WorkerPool::submit`] blocks until a slot frees, for callers
+//!   (benchmarks, batch drivers) that want lossless delivery;
+//! * [`WorkerPool::shutdown`] (and `Drop`) **drains**: already-queued
+//!   jobs still run to completion before the threads exit, so a
+//!   graceful shutdown never abandons accepted work.
+//!
+//! A job receives its worker's index and a `&mut Workspace`. Once the
+//! workspace buffers have grown to the workload's peak, repeated
+//! [`crate::Scheduler::schedule_into`] calls inside jobs hit the same
+//! zero-allocation steady state as the batch path — the pool adds one
+//! queue push/pop (and the job box) per request, never a fresh arena.
+
+use crate::workspace::Workspace;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work: runs on one worker thread with that worker's index
+/// and pinned scratch workspace.
+pub type Job = Box<dyn FnOnce(usize, &mut Workspace) + Send + 'static>;
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closing: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Workers sleep here when the queue is empty.
+    job_ready: Condvar,
+    /// Blocking submitters sleep here when the queue is full.
+    slot_free: Condvar,
+    capacity: usize,
+}
+
+/// Fixed pool of worker threads, each owning a pinned [`Workspace`],
+/// fed through a bounded job queue. See the [module docs](self).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    thread_count: usize,
+}
+
+impl WorkerPool {
+    /// Spawn `threads` workers (`0` = all available cores) behind a
+    /// queue bounded at `queue_depth` pending jobs (min 1).
+    pub fn new(threads: usize, queue_depth: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closing: false,
+            }),
+            job_ready: Condvar::new(),
+            slot_free: Condvar::new(),
+            capacity: queue_depth.max(1),
+        });
+        let workers = (0..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(index, &shared))
+            })
+            .collect();
+        Self {
+            shared,
+            workers: Mutex::new(workers),
+            thread_count: threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.thread_count
+    }
+
+    /// Pending (not yet started) jobs.
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").jobs.len()
+    }
+
+    /// Non-blocking submit: enqueue `job`, or hand it back when the
+    /// queue is at capacity (or the pool is shutting down). This is
+    /// the admission-control edge — a `Err` is the caller's cue to
+    /// reject the request explicitly.
+    pub fn try_submit(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        if state.closing || state.jobs.len() >= self.shared.capacity {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.shared.job_ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking submit: wait for a queue slot. Returns the job only if
+    /// the pool is shutting down.
+    pub fn submit(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        while !state.closing && state.jobs.len() >= self.shared.capacity {
+            state = self.shared.slot_free.wait(state).expect("pool lock");
+        }
+        if state.closing {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.shared.job_ready.notify_one();
+        Ok(())
+    }
+
+    /// Graceful shutdown: refuse new submissions, run every
+    /// already-queued job to completion, and join the workers.
+    /// Idempotent (later calls return immediately) and callable
+    /// through a shared reference, so an `Arc<WorkerPool>` owner can
+    /// drain it. Called automatically on `Drop`.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            if state.closing {
+                return;
+            }
+            state.closing = true;
+        }
+        self.shared.job_ready.notify_all();
+        self.shared.slot_free.notify_all();
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("pool workers lock"));
+        for handle in handles {
+            handle.join().expect("pool worker panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(index: usize, shared: &Shared) {
+    let mut ws = Workspace::new();
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.closing {
+                    return;
+                }
+                state = shared.job_ready.wait(state).expect("pool lock");
+            }
+        };
+        shared.slot_free.notify_one();
+        job(index, &mut ws);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fast, Scheduler};
+    use fastsched_dag::examples::paper_figure1;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn jobs_run_and_produce_real_schedules() {
+        let pool = WorkerPool::new(2, 8);
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..16 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move |_, ws| {
+                let dag = paper_figure1();
+                let s = Fast::new().schedule_into(&dag, 9, ws);
+                tx.send(s.makespan()).unwrap();
+            }))
+            .unwrap_or_else(|_| panic!("blocking submit refused a job"));
+        }
+        drop(tx);
+        let makespans: Vec<u64> = rx.iter().collect();
+        assert_eq!(makespans.len(), 16);
+        assert!(makespans.iter().all(|&m| m == 18));
+    }
+
+    #[test]
+    fn try_submit_rejects_when_queue_is_full() {
+        let pool = WorkerPool::new(1, 1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        // Occupy the single worker until released.
+        pool.try_submit(Box::new(move |_, _| {
+            gate_rx.recv().ok();
+        }))
+        .unwrap_or_else(|_| panic!("first job rejected"));
+        // Wait for the worker to actually pick the blocker up, then
+        // fill the single queue slot.
+        while pool.queued() > 0 {
+            std::thread::yield_now();
+        }
+        pool.try_submit(Box::new(|_, _| {}))
+            .unwrap_or_else(|_| panic!("queue slot refused"));
+        // Worker busy + queue full: admission control must now kick in.
+        assert!(pool.try_submit(Box::new(|_, _| {})).is_err());
+        gate_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        static DONE: AtomicUsize = AtomicUsize::new(0);
+        DONE.store(0, Ordering::SeqCst);
+        let pool = WorkerPool::new(1, 64);
+        for _ in 0..32 {
+            pool.try_submit(Box::new(|_, _| {
+                DONE.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap_or_else(|_| panic!("submit failed"));
+        }
+        pool.shutdown();
+        assert_eq!(DONE.load(Ordering::SeqCst), 32);
+        // Post-shutdown submissions bounce.
+        assert!(pool.try_submit(Box::new(|_, _| {})).is_err());
+    }
+
+    #[test]
+    fn workers_report_distinct_indices() {
+        let pool = WorkerPool::new(3, 16);
+        assert_eq!(pool.threads(), 3);
+        let (tx, rx) = mpsc::channel();
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate = Arc::new(Mutex::new(gate_rx));
+        for _ in 0..3 {
+            let tx = tx.clone();
+            let gate = Arc::clone(&gate);
+            pool.try_submit(Box::new(move |index, _| {
+                tx.send(index).unwrap();
+                gate.lock().unwrap().recv().ok();
+            }))
+            .unwrap_or_else(|_| panic!("submit failed"));
+        }
+        drop(tx);
+        let mut seen: Vec<usize> = (0..3).map(|_| rx.recv().unwrap()).collect();
+        for _ in 0..3 {
+            gate_tx.send(()).unwrap();
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+}

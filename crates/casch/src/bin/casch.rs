@@ -9,10 +9,9 @@
 //! casch compare  --app laplace --size 8 --procs 16
 //! ```
 
-use fastsched_algorithms::{
-    paper_schedulers, BoundedDsc, BranchAndBound, Cpop, Dcp, Dls, Dsc, Etf, Ez, Fast, FastParallel,
-    FastSa, Heft, Hlfet, Ish, Lc, Mcp, Md, Scheduler,
-};
+use fastsched_algorithms::{paper_schedulers, Scheduler};
+use fastsched_casch::protocol::{self, json_escape, Request};
+use fastsched_casch::serve::scheduler_by_name;
 use fastsched_casch::{compare_algorithms, run_on_dag, Application};
 use fastsched_dag::{io, Dag, GraphAttributes};
 use fastsched_schedule::gantt;
@@ -40,6 +39,8 @@ fn main() -> ExitCode {
         "dot" => cmd_dot(&opts),
         "schedule" => cmd_schedule(&opts),
         "batch" => cmd_batch(&opts),
+        "serve" => cmd_serve(&opts),
+        "loadgen" => cmd_loadgen(&opts),
         "simulate" => cmd_simulate(&opts),
         "verify" => cmd_verify(&opts),
         "compare" => cmd_compare(&opts),
@@ -70,6 +71,13 @@ USAGE:
                  [--perfetto <out.json>]
   casch batch    (--dir <dir> | --manifest <list.txt>) --algo <name>
                  [--procs <p>] [--threads <t>] [--out <out.ndjson>]
+  casch serve    [--addr <host:port>] [--threads <t>] [--queue-depth <n>]
+                 [--timeout-ms <ms>] [--max-line-bytes <n>]
+  casch loadgen  (--dir <dir> | --manifest <list.txt> | --dag <file>)
+                 [--addr <host:port>] [--algo <name>] [--procs <p>]
+                 [--rate <req/s>] [--total <n>] [--duration <s>]
+                 [--warmup <s>] [--conns <c>] [--timeout-ms <ms>]
+                 [--check] [--stats] [--shutdown]
   casch simulate --dag <file.json> --schedule <sched.json>
                  [--topology <mesh|torus|hypercube|full>] [--hop <us>]
                  [--send-overhead <us>] [--recv-overhead <us>]
@@ -100,9 +108,32 @@ its own warm scheduling workspace — schedules are byte-identical at
 every thread count. It emits one NDJSON object per DAG —
 `{\"dag\",\"nodes\",\"edges\",\"algo\",\"procs\",\"threads\",\"makespan\",
 \"seconds\"}` — followed by one aggregate summary line
-`{\"summary\":true,\"dags\",\"algo\",\"threads\",\"seconds\",
-\"dags_per_sec\"}`, to stdout or `--out`. Without `--procs` each DAG
-gets as many processors as it has nodes.
+`{\"summary\":true,\"dags\",\"rejected\",\"algo\",\"threads\",\"seconds\",
+\"dags_per_sec\"}`, to stdout or `--out`. A file that fails to read or
+parse no longer aborts the batch: it gets its own
+`{\"dag\",\"rejected\":true,\"error\"}` row and is counted in the
+summary's `rejected` field. Without `--procs` each DAG gets as many
+processors as it has nodes.
+
+`casch serve` runs a persistent NDJSON-over-TCP scheduling service:
+one JSON request per line (`{\"op\":\"schedule\",\"id\",\"algo\",
+[\"procs\"],[\"speeds\"],[\"timeout_ms\"],\"dag\"}` plus `op:\"stats\"`
+and `op:\"shutdown\"`), one JSON response per line, correlated by id
+and possibly out of order. Requests shard across `--threads` workers
+(0 = all cores) each owning a pinned warm workspace; a full
+`--queue-depth` admission queue answers `overloaded` instead of
+buffering, `--timeout-ms` bounds queue wait (per-request `timeout_ms`
+overrides), and SIGINT or `op:\"shutdown\"` drains in-flight work
+before exiting.
+
+`casch loadgen` drives a running server open-loop: requests from a
+DAG corpus at `--rate` req/s (0 = unpaced, the saturation probe) over
+`--conns` connections for `--total` requests or `--duration` seconds
+after `--warmup` seconds, then prints a `{\"summary\":true,...}` line
+with achieved throughput and p50/p99 latency. `--check` verifies every
+response byte-for-byte against a local `schedule_into` run (nonzero
+exit on any mismatch); `--stats` and `--shutdown` afterwards fetch the
+server's counters / stop it gracefully.
 
 `casch verify` runs the structural validator over a saved schedule:
 task count, processor bounds, durations under the cost model
@@ -132,7 +163,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("unexpected argument `{a}`"));
         };
         // Boolean flags take no value.
-        if matches!(key, "gantt" | "all") {
+        if matches!(key, "gantt" | "all" | "check" | "stats" | "shutdown") {
             out.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -158,6 +189,13 @@ fn get_u64_or(opts: &Flags, key: &str, default: u64) -> Result<u64, String> {
     }
 }
 
+fn get_f64_or(opts: &Flags, key: &str, default: f64) -> Result<f64, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} must be a number")),
+    }
+}
+
 fn load_app(opts: &Flags) -> Result<Application, String> {
     let name = opts.get("app").ok_or("missing --app")?;
     let size = get_usize(opts, "size")?;
@@ -167,35 +205,52 @@ fn load_app(opts: &Flags) -> Result<Application, String> {
 
 fn load_dag(opts: &Flags) -> Result<Dag, String> {
     let path = opts.get("dag").ok_or("missing --dag")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    if path.ends_with(".tg") {
-        fastsched_dag::io_text::from_text(&text).map_err(|e| e.to_string())
+    load_dag_file(std::path::Path::new(path))
+}
+
+/// Load one DAG file, `.tg` text or `.json`.
+fn load_dag_file(path: &std::path::Path) -> Result<Dag, String> {
+    let display = path.display();
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {display}: {e}"))?;
+    if path.extension().and_then(|x| x.to_str()) == Some("tg") {
+        fastsched_dag::io_text::from_text(&text).map_err(|e| format!("{display}: {e}"))
     } else {
-        io::from_json(&text).map_err(|e| e.to_string())
+        io::from_json(&text).map_err(|e| format!("{display}: {e}"))
     }
 }
 
-fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
-    Ok(match name {
-        "fast" => Box::new(Fast::new()),
-        "dsc" => Box::new(Dsc::new()),
-        "md" => Box::new(Md::new()),
-        "etf" => Box::new(Etf::new()),
-        "dls" => Box::new(Dls::new()),
-        "hlfet" => Box::new(Hlfet::new()),
-        "mcp" => Box::new(Mcp::new()),
-        "heft" => Box::new(Heft::new()),
-        "fast-ms" => Box::new(FastParallel::new()),
-        "fast-sa" => Box::new(FastSa::new()),
-        "dcp" => Box::new(Dcp::new()),
-        "ish" => Box::new(Ish::new()),
-        "ez" => Box::new(Ez::new()),
-        "lc" => Box::new(Lc::new()),
-        "cpop" => Box::new(Cpop::new()),
-        "dsc-llb" => Box::new(BoundedDsc::new()),
-        "bnb" => Box::new(BranchAndBound::new()),
-        _ => return Err(format!("unknown algorithm `{name}`")),
-    })
+/// Resolve the DAG file list shared by `batch` and `loadgen`: every
+/// `*.json` / `*.tg` under `--dir` (sorted by name), or the paths
+/// listed in `--manifest` (one per line, `#` comments allowed).
+fn collect_dag_paths(opts: &Flags) -> Result<Vec<std::path::PathBuf>, String> {
+    use std::path::PathBuf;
+    let mut paths: Vec<PathBuf> = match (opts.get("dir"), opts.get("manifest")) {
+        (Some(dir), None) => std::fs::read_dir(dir)
+            .map_err(|e| format!("reading {dir}: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| {
+                matches!(
+                    p.extension().and_then(|x| x.to_str()),
+                    Some("json") | Some("tg")
+                )
+            })
+            .collect(),
+        (None, Some(manifest)) => {
+            let text = std::fs::read_to_string(manifest)
+                .map_err(|e| format!("reading {manifest}: {e}"))?;
+            text.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(PathBuf::from)
+                .collect()
+        }
+        _ => return Err("needs exactly one of --dir or --manifest".to_string()),
+    };
+    paths.sort();
+    if paths.is_empty() {
+        return Err("no DAG files found (*.json or *.tg)".to_string());
+    }
+    Ok(paths)
 }
 
 fn cmd_generate(opts: &Flags) -> Result<(), String> {
@@ -314,60 +369,48 @@ fn cmd_schedule(opts: &Flags) -> Result<(), String> {
 /// throughput, so the NDJSON doubles as a throughput record.
 fn cmd_batch(opts: &Flags) -> Result<(), String> {
     use fastsched_algorithms::schedule_many_par_timed;
-    use std::path::PathBuf;
 
     let algo = scheduler_by_name(opts.get("algo").ok_or("missing --algo")?)?;
     let threads = get_u64_or(opts, "threads", 1)? as usize;
-    let mut paths: Vec<PathBuf> = match (opts.get("dir"), opts.get("manifest")) {
-        (Some(dir), None) => std::fs::read_dir(dir)
-            .map_err(|e| format!("reading {dir}: {e}"))?
-            .filter_map(|entry| entry.ok().map(|e| e.path()))
-            .filter(|p| {
-                matches!(
-                    p.extension().and_then(|x| x.to_str()),
-                    Some("json") | Some("tg")
-                )
-            })
-            .collect(),
-        (None, Some(manifest)) => {
-            let text = std::fs::read_to_string(manifest)
-                .map_err(|e| format!("reading {manifest}: {e}"))?;
-            text.lines()
-                .map(str::trim)
-                .filter(|l| !l.is_empty() && !l.starts_with('#'))
-                .map(PathBuf::from)
-                .collect()
-        }
-        _ => return Err("batch needs exactly one of --dir or --manifest".to_string()),
-    };
-    paths.sort();
-    if paths.is_empty() {
-        return Err("no DAG files to schedule (batch wants *.json or *.tg)".to_string());
-    }
+    let paths = collect_dag_paths(opts).map_err(|e| format!("batch: {e}"))?;
 
-    // Parse every DAG before scheduling starts: workers only compute,
-    // and a malformed input fails the batch before any output.
+    // Parse every DAG before scheduling starts, so workers only
+    // compute. A file that fails to read or parse is reported as its
+    // own `rejected` row instead of aborting the whole batch.
     let mut dags: Vec<Dag> = Vec::with_capacity(paths.len());
     let mut procs: Vec<u32> = Vec::with_capacity(paths.len());
     let mut displays: Vec<String> = Vec::with_capacity(paths.len());
+    let mut lines = String::new();
+    let mut rejected: u64 = 0;
     for path in &paths {
         let display = path.display().to_string();
-        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {display}: {e}"))?;
-        let dag = if display.ends_with(".tg") {
-            fastsched_dag::io_text::from_text(&text).map_err(|e| format!("{display}: {e}"))?
-        } else {
-            io::from_json(&text).map_err(|e| format!("{display}: {e}"))?
-        };
-        procs.push(get_u64_or(opts, "procs", dag.node_count() as u64)? as u32);
-        dags.push(dag);
-        displays.push(display);
+        match load_dag_file(path) {
+            Ok(dag) => {
+                procs.push(get_u64_or(opts, "procs", dag.node_count() as u64)? as u32);
+                dags.push(dag);
+                displays.push(display);
+            }
+            Err(e) => {
+                rejected += 1;
+                lines.push_str(&format!(
+                    "{{\"dag\":\"{}\",\"rejected\":true,\"error\":\"{}\"}}\n",
+                    json_escape(&display),
+                    json_escape(&e)
+                ));
+                eprintln!("warning: rejected {display}: {e}");
+            }
+        }
+    }
+    if dags.is_empty() {
+        return Err(format!(
+            "batch: all {rejected} DAG file(s) were rejected; nothing to schedule"
+        ));
     }
 
     let wall = std::time::Instant::now();
     let results = schedule_many_par_timed(algo.as_ref(), &dags, &procs, threads);
     let wall = wall.elapsed().as_secs_f64();
 
-    let mut lines = String::new();
     for (i, (schedule, seconds)) in results.iter().enumerate() {
         lines.push_str(&format!(
             "{{\"dag\":\"{}\",\"nodes\":{},\"edges\":{},\"algo\":\"{}\",\
@@ -383,8 +426,8 @@ fn cmd_batch(opts: &Flags) -> Result<(), String> {
         ));
     }
     lines.push_str(&format!(
-        "{{\"summary\":true,\"dags\":{},\"algo\":\"{}\",\"threads\":{},\
-         \"seconds\":{:.6},\"dags_per_sec\":{:.1}}}\n",
+        "{{\"summary\":true,\"dags\":{},\"rejected\":{rejected},\"algo\":\"{}\",\
+         \"threads\":{},\"seconds\":{:.6},\"dags_per_sec\":{:.1}}}\n",
         dags.len(),
         algo.name(),
         threads,
@@ -401,9 +444,116 @@ fn cmd_batch(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// Minimal JSON string escaping for file paths embedded in NDJSON.
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+/// The service front-end: see `casch serve` in the usage text and
+/// DESIGN.md §14 for the protocol and architecture.
+fn cmd_serve(opts: &Flags) -> Result<(), String> {
+    use fastsched_casch::serve::{install_sigint_handler, ServeConfig, Server};
+    let addr = opts
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:4800");
+    let config = ServeConfig {
+        threads: get_u64_or(opts, "threads", 0)? as usize,
+        queue_depth: get_u64_or(opts, "queue-depth", 1024)?.max(1) as usize,
+        default_timeout_ms: get_u64_or(opts, "timeout-ms", 0)?,
+        max_line_bytes: get_u64_or(opts, "max-line-bytes", protocol::DEFAULT_MAX_LINE as u64)?
+            as usize,
+    };
+    install_sigint_handler();
+    let server = Server::bind(addr, config.clone()).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!(
+        "casch serve listening on {local} (threads {}, queue depth {}); \
+         SIGINT or op:\"shutdown\" drains and exits",
+        if config.threads == 0 {
+            "= cores".to_string()
+        } else {
+            config.threads.to_string()
+        },
+        config.queue_depth
+    );
+    let summary = server.run().map_err(|e| e.to_string())?;
+    eprintln!(
+        "casch serve: {} connection(s); {} completed, {} rejected, \
+         {} timeout(s), {} malformed line(s)",
+        summary.connections,
+        summary.completed,
+        summary.rejected,
+        summary.timeouts,
+        summary.malformed
+    );
+    Ok(())
+}
+
+/// Open-loop load generator against a running `casch serve`.
+fn cmd_loadgen(opts: &Flags) -> Result<(), String> {
+    use fastsched_casch::loadgen::{self, CorpusItem, LoadgenConfig};
+    let addr = opts
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:4800".to_string());
+    let corpus: Vec<CorpusItem> = if opts.contains_key("dag") {
+        let path = opts.get("dag").expect("checked");
+        vec![CorpusItem {
+            name: path.clone(),
+            dag: load_dag(opts)?,
+        }]
+    } else {
+        collect_dag_paths(opts)
+            .map_err(|e| format!("loadgen: {e}"))?
+            .iter()
+            .map(|p| {
+                Ok(CorpusItem {
+                    name: p.display().to_string(),
+                    dag: load_dag_file(p)?,
+                })
+            })
+            .collect::<Result<_, String>>()?
+    };
+    let config = LoadgenConfig {
+        addr: addr.clone(),
+        corpus,
+        algo: opts.get("algo").cloned().unwrap_or_else(|| "fast".into()),
+        procs: match opts.get("procs") {
+            None => None,
+            Some(_) => Some(get_u64_or(opts, "procs", 0)? as u32),
+        },
+        rate: get_f64_or(opts, "rate", 0.0)?,
+        total: match opts.get("total") {
+            None => None,
+            Some(_) => Some(get_u64_or(opts, "total", 0)?),
+        },
+        duration_s: get_f64_or(opts, "duration", 5.0)?,
+        warmup_s: get_f64_or(opts, "warmup", 0.0)?,
+        conns: get_u64_or(opts, "conns", 1)?.max(1) as usize,
+        timeout_ms: match opts.get("timeout-ms") {
+            None => None,
+            Some(_) => Some(get_u64_or(opts, "timeout-ms", 0)?),
+        },
+        check: opts.contains_key("check"),
+        connect_retry_s: get_f64_or(opts, "connect-retry", 5.0)?,
+    };
+    let report = loadgen::run(&config)?;
+    println!("{}", report.to_json_line());
+    if opts.contains_key("stats") {
+        println!(
+            "{}",
+            loadgen::request_once(&addr, &Request::Stats { id: 0 }, 5.0)?
+        );
+    }
+    if opts.contains_key("shutdown") {
+        println!(
+            "{}",
+            loadgen::request_once(&addr, &Request::Shutdown { id: 0 }, 5.0)?
+        );
+    }
+    if report.mismatches > 0 {
+        return Err(format!(
+            "--check found {} response(s) diverging from schedule_into",
+            report.mismatches
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_trace(opts: &Flags) -> Result<(), String> {

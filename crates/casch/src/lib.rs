@@ -17,13 +17,46 @@
 //!   normalized format (execution time relative to FAST, processors
 //!   used, scheduling time);
 //! * the `casch` CLI binary (`src/bin/casch.rs`).
+//!
+//! ## The serving stack
+//!
+//! Beyond the batch pipeline, the crate hosts a long-lived scheduling
+//! service (DESIGN.md §14):
+//!
+//! * [`protocol`] — the NDJSON wire format: one JSON request per
+//!   line, one JSON response per line, correlated by `id` so
+//!   responses may be pipelined and arrive out of order. The module
+//!   owns both sides of the contract (parse *and* render), and
+//!   [`protocol::placements_json`] is the single formatter behind the
+//!   byte-identity guarantee between server responses, the
+//!   integration tests, and `loadgen --check`;
+//! * [`serve`] — the worker-pool server. Each worker owns a pinned
+//!   `Workspace` (the zero-alloc warm path of
+//!   `fastsched_algorithms`'s `schedule_into`), admission is a
+//!   bounded queue that sheds excess load as explicit `overloaded`
+//!   errors, per-request timeouts bound *queue wait* (started work
+//!   runs to completion), and SIGINT drains in-flight requests before
+//!   exit. A `stats` request returns server-wide and per-worker
+//!   counters including p50/p99 service latency;
+//! * [`loadgen`] — the open-loop load generator (`casch loadgen`):
+//!   paced or unpaced arrivals over N connections, warmup/measure
+//!   phases, and optional `--check` verification of every response
+//!   against a local `schedule_into` run.
+//!
+//! Homogeneous requests go through the `Workspace` recycle path;
+//! requests carrying a `speeds` array run
+//! `fastsched_algorithms::HeftHetero` instead (algo must be `heft`).
 
 #![warn(missing_docs)]
 
 pub mod application;
 pub mod compare;
+pub mod loadgen;
 pub mod pipeline;
+pub mod protocol;
+pub mod serve;
 
 pub use application::Application;
 pub use compare::{compare_algorithms, ComparisonRow, ComparisonTable};
 pub use pipeline::{run_on_dag, run_pipeline, PipelineReport};
+pub use serve::{ServeConfig, ServeSummary, Server};

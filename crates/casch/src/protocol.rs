@@ -1,0 +1,819 @@
+//! The `casch serve` wire protocol: NDJSON over TCP.
+//!
+//! One JSON object per `\n`-terminated line, in both directions. A
+//! client sends [`Request`] lines; the server answers each with
+//! exactly one [`Response`] line carrying the request's `id` (an
+//! explicit `"id"` field, or the 1-based line number within the
+//! connection when omitted). Responses to pipelined requests may
+//! arrive **out of order** — the `id` is the correlation key.
+//!
+//! ## Requests
+//!
+//! ```text
+//! {"op":"schedule","id":1,"dag":{"nodes":[...],"edges":[...]},
+//!  "algo":"fast","procs":8,"speeds":[100,50],"timeout_ms":250}
+//! {"op":"stats","id":2}
+//! {"op":"shutdown","id":3}
+//! ```
+//!
+//! `op` defaults to `"schedule"`, `algo` to `"fast"`, `procs` to the
+//! DAG's node count. `speeds` (percent of nominal, one entry per
+//! processor) switches to the heterogeneous machine model — the
+//! schedule is produced by heterogeneous HEFT and `procs` is the
+//! number of speed entries. `timeout_ms` bounds the request's queue
+//! wait (see DESIGN.md §14).
+//!
+//! ## Responses
+//!
+//! ```text
+//! {"id":1,"ok":true,"algo":"FAST","procs":8,"makespan":18,
+//!  "placements":[[0,0,2],[1,0,3]],"queue_us":12,"service_us":35}
+//! {"id":4,"ok":false,"error":"overloaded"}
+//! ```
+//!
+//! `placements[n] = [proc, start, finish]` for node `n`, in node-id
+//! order — rendered by [`placements_json`], the same function the
+//! validation harness uses, so "byte-identical to `schedule_into`"
+//! is checkable on the exact response bytes.
+//!
+//! Error responses use a small set of stable first words: `parse:`
+//! (malformed JSON or a bad field), `overloaded` (admission control
+//! rejected the request), `timeout` (the request waited past its
+//! deadline), and `line exceeds` (oversized-line rejection, see
+//! [`LineReader`]).
+
+use fastsched_dag::io::DagSpec;
+use fastsched_schedule::Schedule;
+use serde::Value;
+use std::io::{self, BufRead};
+
+/// Default cap on one NDJSON line (requests and responses): 4 MiB.
+pub const DEFAULT_MAX_LINE: usize = 4 << 20;
+
+// ----------------------------------------------------------- requests
+
+/// One client request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Schedule a DAG.
+    Schedule(ScheduleRequest),
+    /// Snapshot the server's counters.
+    Stats {
+        /// Correlation id echoed in the response.
+        id: u64,
+    },
+    /// Drain in-flight work, answer, and stop the server.
+    Shutdown {
+        /// Correlation id echoed in the response.
+        id: u64,
+    },
+}
+
+/// The payload of an `op:"schedule"` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleRequest {
+    /// Correlation id echoed in the response.
+    pub id: u64,
+    /// The task graph to schedule.
+    pub dag: DagSpec,
+    /// Algorithm name, as accepted by the `casch` CLI (`fast`, `etf`,
+    /// `heft`, ...).
+    pub algo: String,
+    /// Processor count; `None` means one per node.
+    pub procs: Option<u32>,
+    /// Heterogeneous processor speeds (percent of nominal). When set,
+    /// the request is served by heterogeneous HEFT over these
+    /// processors and `procs` must be absent or equal to the entry
+    /// count.
+    pub speeds: Option<Vec<u32>>,
+    /// Per-request queue-wait deadline in milliseconds (overrides the
+    /// server default; `0` disables).
+    pub timeout_ms: Option<u64>,
+}
+
+impl ScheduleRequest {
+    /// A schedule request with defaults (`algo:"fast"`, `procs` from
+    /// the DAG, no speeds, server-default timeout).
+    pub fn new(id: u64, dag: DagSpec) -> Self {
+        Self {
+            id,
+            dag,
+            algo: "fast".to_string(),
+            procs: None,
+            speeds: None,
+            timeout_ms: None,
+        }
+    }
+
+    /// Render as one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = format!(
+            "{{\"op\":\"schedule\",\"id\":{},\"algo\":\"{}\"",
+            self.id,
+            json_escape(&self.algo)
+        );
+        if let Some(p) = self.procs {
+            out.push_str(&format!(",\"procs\":{p}"));
+        }
+        if let Some(speeds) = &self.speeds {
+            out.push_str(",\"speeds\":[");
+            for (i, s) in speeds.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&s.to_string());
+            }
+            out.push(']');
+        }
+        if let Some(t) = self.timeout_ms {
+            out.push_str(&format!(",\"timeout_ms\":{t}"));
+        }
+        let dag = serde_json::to_string(&self.dag).expect("DagSpec serializes");
+        out.push_str(",\"dag\":");
+        out.push_str(&dag);
+        out.push('}');
+        out
+    }
+}
+
+impl Request {
+    /// Render as one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Schedule(r) => r.to_line(),
+            Request::Stats { id } => format!("{{\"op\":\"stats\",\"id\":{id}}}"),
+            Request::Shutdown { id } => format!("{{\"op\":\"shutdown\",\"id\":{id}}}"),
+        }
+    }
+
+    /// Parse one request line. `default_id` (the connection's 1-based
+    /// line number) is used when the request carries no `"id"`.
+    pub fn parse(line: &str, default_id: u64) -> Result<Request, String> {
+        let v: Value = serde_json::from_str(line).map_err(|e| format!("parse: {e}"))?;
+        if !matches!(v, Value::Object(_)) {
+            return Err("parse: request must be a JSON object".to_string());
+        }
+        let id = match field(&v, "id") {
+            None | Some(Value::Null) => default_id,
+            Some(x) => as_u64(x).ok_or("parse: `id` must be a non-negative integer")?,
+        };
+        let op = match field(&v, "op") {
+            None => "schedule",
+            Some(Value::String(s)) => s.as_str(),
+            Some(_) => return Err("parse: `op` must be a string".to_string()),
+        };
+        match op {
+            "stats" => Ok(Request::Stats { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            "schedule" => {
+                let dag_v = field(&v, "dag").ok_or("parse: missing `dag`")?;
+                let dag = <DagSpec as serde::Deserialize>::from_value(dag_v)
+                    .map_err(|e| format!("parse: dag: {e}"))?;
+                let algo = match field(&v, "algo") {
+                    None | Some(Value::Null) => "fast".to_string(),
+                    Some(Value::String(s)) => s.clone(),
+                    Some(_) => return Err("parse: `algo` must be a string".to_string()),
+                };
+                let procs = match field(&v, "procs") {
+                    None | Some(Value::Null) => None,
+                    Some(x) => Some(
+                        as_u64(x)
+                            .filter(|&p| p > 0 && p <= u32::MAX as u64)
+                            .ok_or("parse: `procs` must be a positive integer")?
+                            as u32,
+                    ),
+                };
+                let speeds = match field(&v, "speeds") {
+                    None | Some(Value::Null) => None,
+                    Some(Value::Array(xs)) => {
+                        let pcts: Option<Vec<u32>> = xs
+                            .iter()
+                            .map(|x| as_u64(x).filter(|&p| p > 0).map(|p| p as u32))
+                            .collect();
+                        let pcts =
+                            pcts.ok_or("parse: `speeds` must be positive integer percentages")?;
+                        if pcts.is_empty() {
+                            return Err("parse: `speeds` must not be empty".to_string());
+                        }
+                        Some(pcts)
+                    }
+                    Some(_) => return Err("parse: `speeds` must be an array".to_string()),
+                };
+                let timeout_ms = match field(&v, "timeout_ms") {
+                    None | Some(Value::Null) => None,
+                    Some(x) => Some(
+                        as_u64(x).ok_or("parse: `timeout_ms` must be a non-negative integer")?,
+                    ),
+                };
+                Ok(Request::Schedule(ScheduleRequest {
+                    id,
+                    dag,
+                    algo,
+                    procs,
+                    speeds,
+                    timeout_ms,
+                }))
+            }
+            other => Err(format!("parse: unknown op `{other}`")),
+        }
+    }
+}
+
+// ---------------------------------------------------------- responses
+
+/// One server response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A completed schedule.
+    Schedule(ScheduleResponse),
+    /// The request failed; `error` says why (see the module docs for
+    /// the stable error vocabulary).
+    Error {
+        /// Correlation id of the failed request.
+        id: u64,
+        /// Why the request failed.
+        error: String,
+    },
+    /// Counter snapshot answering an `op:"stats"` request.
+    Stats(StatsSnapshot),
+    /// Acknowledgement of an `op:"shutdown"` request, sent after the
+    /// queue has drained.
+    Shutdown {
+        /// Correlation id of the shutdown request.
+        id: u64,
+        /// Requests completed over the server's lifetime.
+        completed: u64,
+    },
+}
+
+/// A successful scheduling response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleResponse {
+    /// Correlation id of the request.
+    pub id: u64,
+    /// Display name of the algorithm that ran (`"FAST"`, ...).
+    pub algo: String,
+    /// Processors the request was scheduled onto.
+    pub procs: u32,
+    /// Schedule length.
+    pub makespan: u64,
+    /// `placements[n] = (proc, start, finish)` in node-id order.
+    pub placements: Vec<(u32, u64, u64)>,
+    /// Microseconds the request waited in the admission queue.
+    pub queue_us: u64,
+    /// Microseconds the worker spent scheduling.
+    pub service_us: u64,
+}
+
+impl ScheduleResponse {
+    /// Capture a finished schedule as a response payload.
+    pub fn from_schedule(
+        id: u64,
+        algo: &str,
+        procs: u32,
+        schedule: &Schedule,
+        queue_us: u64,
+        service_us: u64,
+    ) -> Self {
+        Self {
+            id,
+            algo: algo.to_string(),
+            procs,
+            makespan: schedule.makespan(),
+            placements: placements_of(schedule),
+            queue_us,
+            service_us,
+        }
+    }
+
+    /// Render as one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        format!(
+            "{{\"id\":{},\"ok\":true,\"algo\":\"{}\",\"procs\":{},\"makespan\":{},\
+             \"placements\":{},\"queue_us\":{},\"service_us\":{}}}",
+            self.id,
+            json_escape(&self.algo),
+            self.procs,
+            self.makespan,
+            placements_json(&self.placements),
+            self.queue_us,
+            self.service_us
+        )
+    }
+}
+
+/// Per-worker counters inside a [`StatsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Requests this worker completed.
+    pub requests: u64,
+    /// Median service time over the worker's recent requests, µs.
+    pub p50_us: u64,
+    /// 99th-percentile service time over the worker's recent
+    /// requests, µs.
+    pub p99_us: u64,
+}
+
+/// Server counters answering an `op:"stats"` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Correlation id of the stats request.
+    pub id: u64,
+    /// Worker-thread count.
+    pub threads: usize,
+    /// Admission-queue capacity.
+    pub queue_depth: usize,
+    /// Schedule requests admitted to the queue.
+    pub accepted: u64,
+    /// Schedule requests rejected by admission control (`overloaded`).
+    pub rejected: u64,
+    /// Requests that waited past their deadline (`timeout`).
+    pub timeouts: u64,
+    /// Lines that failed to parse (including oversized lines).
+    pub malformed: u64,
+    /// Schedule requests completed successfully.
+    pub completed: u64,
+    /// Admitted requests not yet answered.
+    pub in_flight: u64,
+    /// Per-worker counters, in worker-index order.
+    pub workers: Vec<WorkerSnapshot>,
+}
+
+impl StatsSnapshot {
+    /// Render as one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let workers: Vec<String> = self
+            .workers
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"worker\":{},\"requests\":{},\"p50_us\":{},\"p99_us\":{}}}",
+                    w.worker, w.requests, w.p50_us, w.p99_us
+                )
+            })
+            .collect();
+        format!(
+            "{{\"id\":{},\"ok\":true,\"stats\":{{\"threads\":{},\"queue_depth\":{},\
+             \"accepted\":{},\"rejected\":{},\"timeouts\":{},\"malformed\":{},\
+             \"completed\":{},\"in_flight\":{},\"workers\":[{}]}}}}",
+            self.id,
+            self.threads,
+            self.queue_depth,
+            self.accepted,
+            self.rejected,
+            self.timeouts,
+            self.malformed,
+            self.completed,
+            self.in_flight,
+            workers.join(",")
+        )
+    }
+}
+
+impl Response {
+    /// Render as one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Response::Schedule(r) => r.to_line(),
+            Response::Error { id, error } => {
+                format!(
+                    "{{\"id\":{id},\"ok\":false,\"error\":\"{}\"}}",
+                    json_escape(error)
+                )
+            }
+            Response::Stats(s) => s.to_line(),
+            Response::Shutdown { id, completed } => {
+                format!("{{\"id\":{id},\"ok\":true,\"shutdown\":true,\"completed\":{completed}}}")
+            }
+        }
+    }
+
+    /// Parse one response line.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let v: Value = serde_json::from_str(line).map_err(|e| format!("parse: {e}"))?;
+        let id = field(&v, "id")
+            .and_then(as_u64)
+            .ok_or("parse: response missing `id`")?;
+        if let Some(err) = field(&v, "error") {
+            let Value::String(error) = err else {
+                return Err("parse: `error` must be a string".to_string());
+            };
+            return Ok(Response::Error {
+                id,
+                error: error.clone(),
+            });
+        }
+        if let Some(stats) = field(&v, "stats") {
+            let get = |k: &str| {
+                field(stats, k)
+                    .and_then(as_u64)
+                    .ok_or_else(|| format!("parse: stats missing `{k}`"))
+            };
+            let workers = match field(stats, "workers") {
+                Some(Value::Array(ws)) => ws
+                    .iter()
+                    .map(|w| {
+                        let get = |k: &str| {
+                            field(w, k)
+                                .and_then(as_u64)
+                                .ok_or_else(|| format!("parse: worker missing `{k}`"))
+                        };
+                        Ok(WorkerSnapshot {
+                            worker: get("worker")? as usize,
+                            requests: get("requests")?,
+                            p50_us: get("p50_us")?,
+                            p99_us: get("p99_us")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                _ => return Err("parse: stats missing `workers`".to_string()),
+            };
+            return Ok(Response::Stats(StatsSnapshot {
+                id,
+                threads: get("threads")? as usize,
+                queue_depth: get("queue_depth")? as usize,
+                accepted: get("accepted")?,
+                rejected: get("rejected")?,
+                timeouts: get("timeouts")?,
+                malformed: get("malformed")?,
+                completed: get("completed")?,
+                in_flight: get("in_flight")?,
+                workers,
+            }));
+        }
+        if field(&v, "shutdown").is_some() {
+            return Ok(Response::Shutdown {
+                id,
+                completed: field(&v, "completed")
+                    .and_then(as_u64)
+                    .ok_or("parse: shutdown missing `completed`")?,
+            });
+        }
+        let makespan = field(&v, "makespan")
+            .and_then(as_u64)
+            .ok_or("parse: response missing `makespan`")?;
+        let algo = match field(&v, "algo") {
+            Some(Value::String(s)) => s.clone(),
+            _ => return Err("parse: response missing `algo`".to_string()),
+        };
+        let procs = field(&v, "procs")
+            .and_then(as_u64)
+            .ok_or("parse: response missing `procs`")? as u32;
+        let placements = match field(&v, "placements") {
+            Some(Value::Array(rows)) => rows
+                .iter()
+                .map(|row| match row {
+                    Value::Array(xs) if xs.len() == 3 => {
+                        let n = |i: usize| as_u64(&xs[i]);
+                        match (n(0), n(1), n(2)) {
+                            (Some(p), Some(s), Some(f)) => Ok((p as u32, s, f)),
+                            _ => Err("parse: placement entries must be integers".to_string()),
+                        }
+                    }
+                    _ => Err("parse: each placement must be [proc,start,finish]".to_string()),
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            _ => return Err("parse: response missing `placements`".to_string()),
+        };
+        Ok(Response::Schedule(ScheduleResponse {
+            id,
+            algo,
+            procs,
+            makespan,
+            placements,
+            queue_us: field(&v, "queue_us").and_then(as_u64).unwrap_or(0),
+            service_us: field(&v, "service_us").and_then(as_u64).unwrap_or(0),
+        }))
+    }
+}
+
+/// `(proc, start, finish)` per node, in node-id order.
+pub fn placements_of(schedule: &Schedule) -> Vec<(u32, u64, u64)> {
+    schedule
+        .tasks()
+        .map(|t| (t.proc.0, t.start, t.finish))
+        .collect()
+}
+
+/// Render placements as the protocol's `[[proc,start,finish],...]`
+/// array. Both the server and the validation harness render through
+/// here, so equality of the returned strings is equality of the
+/// response bytes.
+pub fn placements_json(placements: &[(u32, u64, u64)]) -> String {
+    let mut out = String::with_capacity(8 + placements.len() * 12);
+    out.push('[');
+    for (i, &(p, s, f)) in placements.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{p},{s},{f}]"));
+    }
+    out.push(']');
+    out
+}
+
+/// Minimal JSON string escaping for protocol strings (quotes,
+/// backslashes, control characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, x)| x),
+        _ => None,
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(x) => Some(*x),
+        _ => None,
+    }
+}
+
+// -------------------------------------------------------- line reader
+
+/// The result of reading one line with a [`LineReader`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Line {
+    /// A complete line (without its newline).
+    Text(String),
+    /// The line exceeded the reader's byte cap; roughly this many
+    /// bytes were discarded up to (not including) the newline.
+    TooLong(usize),
+}
+
+/// Bounded, resumable NDJSON line reader.
+///
+/// Reads whole `\n`-terminated lines while never buffering more than
+/// the configured cap: a line that grows past `max` bytes is discarded
+/// as it streams in and reported as [`Line::TooLong`] once its newline
+/// arrives, so one hostile client cannot balloon server memory.
+///
+/// Timeout-friendly: a `WouldBlock`/`TimedOut` error from the
+/// underlying reader propagates out of [`LineReader::next_line`], and
+/// the partial line survives inside the reader — call `next_line`
+/// again to resume. `casch serve` relies on this to poll its shutdown
+/// flag between read timeouts without dropping bytes.
+pub struct LineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    max: usize,
+    /// Bytes discarded from an over-cap line still being skipped.
+    discarded: usize,
+    overlong: bool,
+}
+
+impl<R: BufRead> LineReader<R> {
+    /// Wrap `inner`, capping lines at `max` bytes.
+    pub fn new(inner: R, max: usize) -> Self {
+        Self {
+            inner,
+            buf: Vec::new(),
+            max: max.max(1),
+            discarded: 0,
+            overlong: false,
+        }
+    }
+
+    /// Read the next line. `Ok(None)` is end-of-stream; errors
+    /// (including read timeouts) are resumable — see the type docs.
+    pub fn next_line(&mut self) -> io::Result<Option<Line>> {
+        loop {
+            let (consumed, newline_at) = {
+                let available = match self.inner.fill_buf() {
+                    Ok(b) => b,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                };
+                if available.is_empty() {
+                    // EOF: yield any unterminated trailing line.
+                    if self.overlong {
+                        let n = self.discarded;
+                        self.overlong = false;
+                        self.discarded = 0;
+                        return Ok(Some(Line::TooLong(n)));
+                    }
+                    if self.buf.is_empty() {
+                        return Ok(None);
+                    }
+                    let line = String::from_utf8_lossy(&self.buf).into_owned();
+                    self.buf.clear();
+                    return Ok(Some(Line::Text(line)));
+                }
+                match available.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        if !self.overlong {
+                            self.buf.extend_from_slice(&available[..pos]);
+                        } else {
+                            self.discarded += pos;
+                        }
+                        (pos + 1, true)
+                    }
+                    None => {
+                        if !self.overlong {
+                            self.buf.extend_from_slice(available);
+                        } else {
+                            self.discarded += available.len();
+                        }
+                        (available.len(), false)
+                    }
+                }
+            };
+            self.inner.consume(consumed);
+            if !self.overlong && self.buf.len() > self.max {
+                self.discarded = self.buf.len();
+                self.buf.clear();
+                self.overlong = true;
+            }
+            if newline_at {
+                if self.overlong {
+                    let n = self.discarded;
+                    self.overlong = false;
+                    self.discarded = 0;
+                    return Ok(Some(Line::TooLong(n)));
+                }
+                let line = String::from_utf8_lossy(&self.buf).into_owned();
+                self.buf.clear();
+                return Ok(Some(Line::Text(line)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastsched_algorithms::Scheduler;
+    use fastsched_dag::examples::paper_figure1;
+    use std::io::Cursor;
+
+    fn figure1_spec() -> DagSpec {
+        DagSpec::from_dag(&paper_figure1())
+    }
+
+    #[test]
+    fn schedule_request_round_trips() {
+        let mut req = ScheduleRequest::new(7, figure1_spec());
+        req.algo = "etf".to_string();
+        req.procs = Some(4);
+        req.timeout_ms = Some(250);
+        let line = req.to_line();
+        let parsed = Request::parse(&line, 999).expect("parses");
+        assert_eq!(parsed, Request::Schedule(req));
+    }
+
+    #[test]
+    fn hetero_request_round_trips() {
+        let mut req = ScheduleRequest::new(1, figure1_spec());
+        req.algo = "heft".to_string();
+        req.speeds = Some(vec![100, 50, 200]);
+        let line = req.to_line();
+        assert_eq!(Request::parse(&line, 0).unwrap(), Request::Schedule(req));
+    }
+
+    #[test]
+    fn stats_and_shutdown_round_trip() {
+        for req in [Request::Stats { id: 3 }, Request::Shutdown { id: 9 }] {
+            assert_eq!(Request::parse(&req.to_line(), 0).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn missing_id_defaults_to_line_number() {
+        let req = Request::parse("{\"op\":\"stats\"}", 42).unwrap();
+        assert_eq!(req, Request::Stats { id: 42 });
+    }
+
+    #[test]
+    fn malformed_requests_are_parse_errors() {
+        for bad in [
+            "not json",
+            "[1,2,3]",
+            "{\"op\":\"schedule\"}",        // missing dag
+            "{\"op\":\"nope\",\"dag\":{}}", // unknown op
+            "{\"dag\":{\"nodes\":[]}}",     // dag missing edges
+            "{\"dag\":{\"nodes\":[],\"edges\":[]},\"procs\":0}", // zero procs
+            "{\"dag\":{\"nodes\":[],\"edges\":[]},\"speeds\":[]}", // empty speeds
+        ] {
+            let err = Request::parse(bad, 1).expect_err(bad);
+            assert!(err.starts_with("parse:"), "{bad} -> {err}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resp = Response::Schedule(ScheduleResponse {
+            id: 5,
+            algo: "FAST".to_string(),
+            procs: 9,
+            makespan: 18,
+            placements: vec![(0, 0, 2), (1, 0, 3), (0, 2, 6)],
+            queue_us: 12,
+            service_us: 35,
+        });
+        assert_eq!(Response::parse(&resp.to_line()).unwrap(), resp);
+
+        let err = Response::Error {
+            id: 8,
+            error: "overloaded".to_string(),
+        };
+        assert_eq!(Response::parse(&err.to_line()).unwrap(), err);
+
+        let stats = Response::Stats(StatsSnapshot {
+            id: 2,
+            threads: 4,
+            queue_depth: 1024,
+            accepted: 10,
+            rejected: 1,
+            timeouts: 0,
+            malformed: 2,
+            completed: 9,
+            in_flight: 1,
+            workers: vec![
+                WorkerSnapshot {
+                    worker: 0,
+                    requests: 5,
+                    p50_us: 30,
+                    p99_us: 55,
+                },
+                WorkerSnapshot {
+                    worker: 1,
+                    requests: 4,
+                    p50_us: 28,
+                    p99_us: 61,
+                },
+            ],
+        });
+        assert_eq!(Response::parse(&stats.to_line()).unwrap(), stats);
+
+        let done = Response::Shutdown {
+            id: 1,
+            completed: 123,
+        };
+        assert_eq!(Response::parse(&done.to_line()).unwrap(), done);
+    }
+
+    #[test]
+    fn placements_json_matches_schedule_bytes() {
+        let dag = paper_figure1();
+        let schedule = fastsched_algorithms::Fast::new().schedule(&dag, 9);
+        let resp = ScheduleResponse::from_schedule(1, "FAST", 9, &schedule, 0, 0);
+        // The response's placement bytes must reproduce exactly from
+        // the schedule alone — that is the byte-identity contract the
+        // serve tests and `casch loadgen --check` verify end to end.
+        assert_eq!(
+            placements_json(&resp.placements),
+            placements_json(&placements_of(&schedule)),
+        );
+        assert_eq!(resp.makespan, schedule.makespan());
+        assert_eq!(resp.placements.len(), dag.node_count());
+    }
+
+    #[test]
+    fn line_reader_yields_lines_and_final_fragment() {
+        let mut r = LineReader::new(Cursor::new(b"abc\ndef\nghi".to_vec()), 64);
+        assert_eq!(r.next_line().unwrap(), Some(Line::Text("abc".into())));
+        assert_eq!(r.next_line().unwrap(), Some(Line::Text("def".into())));
+        assert_eq!(r.next_line().unwrap(), Some(Line::Text("ghi".into())));
+        assert_eq!(r.next_line().unwrap(), None);
+    }
+
+    #[test]
+    fn line_reader_rejects_oversized_lines_without_buffering_them() {
+        let long = vec![b'x'; 1000];
+        let mut data = long.clone();
+        data.push(b'\n');
+        data.extend_from_slice(b"ok\n");
+        let mut r = LineReader::new(Cursor::new(data), 16);
+        match r.next_line().unwrap() {
+            Some(Line::TooLong(n)) => assert!((17..=1000).contains(&n), "discarded {n}"),
+            other => panic!("expected TooLong, got {other:?}"),
+        }
+        // The stream recovers at the next newline.
+        assert_eq!(r.next_line().unwrap(), Some(Line::Text("ok".into())));
+        assert_eq!(r.next_line().unwrap(), None);
+    }
+
+    #[test]
+    fn line_reader_oversized_final_fragment_reports_at_eof() {
+        let mut r = LineReader::new(Cursor::new(vec![b'y'; 100]), 10);
+        assert!(matches!(r.next_line().unwrap(), Some(Line::TooLong(_))));
+        assert_eq!(r.next_line().unwrap(), None);
+    }
+}

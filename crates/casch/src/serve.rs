@@ -1,0 +1,567 @@
+//! `casch serve` — a persistent NDJSON-over-TCP scheduling service.
+//!
+//! The front-end of the zero-alloc batch core (DESIGN.md §14): a
+//! [`Server`] accepts connections, parses one [`crate::protocol::Request`]
+//! per line, and shards admitted requests across a fixed
+//! [`fastsched_algorithms::WorkerPool`] whose workers each own a
+//! pinned [`fastsched_algorithms::Workspace`] — so the warm
+//! scheduling path inside a worker stays allocation-free while the
+//! protocol layer pays only per-request I/O.
+//!
+//! The service layer around the pool:
+//!
+//! * **Admission control** — the pool queue is bounded
+//!   ([`ServeConfig::queue_depth`]); a full queue answers
+//!   `{"ok":false,"error":"overloaded"}` immediately instead of
+//!   buffering without bound.
+//! * **Per-request timeouts** — a request that waits in the queue past
+//!   its deadline ([`ServeConfig::default_timeout_ms`] or the
+//!   request's own `timeout_ms`) is answered
+//!   `{"ok":false,"error":"timeout"}` without being scheduled; a
+//!   request that has *started* always runs to completion (the
+//!   scheduling core is not preemptible).
+//! * **Graceful shutdown** — SIGINT (via
+//!   [`install_sigint_handler`]) or an `op:"shutdown"` request stops
+//!   the accept loop, drains every admitted request to a response,
+//!   then joins the workers. Accepted work is never abandoned.
+//! * **Counters** — accepted/rejected/timeout/malformed/completed
+//!   totals plus per-worker request counts and p50/p99 service times
+//!   over a sliding window, served inline by `op:"stats"`.
+//!
+//! Responses to pipelined requests are written by the worker that
+//! finished them, so they may interleave out of order; the `id` field
+//! correlates. Every response is one `write_all` of a whole line
+//! under the connection's write lock, so lines never interleave
+//! mid-byte.
+
+use crate::protocol::{
+    self, Line, LineReader, Request, Response, ScheduleRequest, ScheduleResponse, StatsSnapshot,
+    WorkerSnapshot,
+};
+use fastsched_algorithms::{
+    BoundedDsc, BranchAndBound, Cpop, Dcp, Dls, Dsc, Etf, Ez, Fast, FastParallel, FastSa, Heft,
+    HeftHetero, Hlfet, Ish, Lc, Mcp, Md, ProcessorSpeeds, Scheduler, WorkerPool,
+};
+use fastsched_dag::Dag;
+use std::io::{self, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-worker latency window: enough samples for a stable p99 at a
+/// bounded, allocation-free-after-warmup memory cost.
+const LATENCY_WINDOW: usize = 4096;
+
+/// How often blocked loops (accept, reads, drain) re-check the
+/// shutdown flag.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Resolve an algorithm name (the CLI vocabulary) to a scheduler.
+pub fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
+    Ok(match name {
+        "fast" => Box::new(Fast::new()),
+        "dsc" => Box::new(Dsc::new()),
+        "md" => Box::new(Md::new()),
+        "etf" => Box::new(Etf::new()),
+        "dls" => Box::new(Dls::new()),
+        "hlfet" => Box::new(Hlfet::new()),
+        "mcp" => Box::new(Mcp::new()),
+        "heft" => Box::new(Heft::new()),
+        "fast-ms" => Box::new(FastParallel::new()),
+        "fast-sa" => Box::new(FastSa::new()),
+        "dcp" => Box::new(Dcp::new()),
+        "ish" => Box::new(Ish::new()),
+        "ez" => Box::new(Ez::new()),
+        "lc" => Box::new(Lc::new()),
+        "cpop" => Box::new(Cpop::new()),
+        "dsc-llb" => Box::new(BoundedDsc::new()),
+        "bnb" => Box::new(BranchAndBound::new()),
+        _ => return Err(format!("unknown algorithm `{name}`")),
+    })
+}
+
+/// Service-layer knobs for [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Admission-queue capacity (pending requests beyond the ones
+    /// workers are already running).
+    pub queue_depth: usize,
+    /// Default queue-wait deadline in milliseconds applied to
+    /// requests that carry no `timeout_ms` of their own; 0 disables.
+    pub default_timeout_ms: u64,
+    /// Byte cap on one request line.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            queue_depth: 1024,
+            default_timeout_ms: 0,
+            max_line_bytes: protocol::DEFAULT_MAX_LINE,
+        }
+    }
+}
+
+/// Lifetime totals returned by [`Server::run`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Schedule requests admitted.
+    pub accepted: u64,
+    /// Schedule requests rejected as `overloaded`.
+    pub rejected: u64,
+    /// Admitted requests answered `timeout`.
+    pub timeouts: u64,
+    /// Lines answered with a parse/oversize error.
+    pub malformed: u64,
+    /// Schedule requests answered successfully.
+    pub completed: u64,
+}
+
+struct WorkerCounters {
+    requests: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyRing {
+    fn record(&mut self, us: u64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(us);
+        } else {
+            self.samples[self.next] = us;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    /// (p50, p99) over the window, in µs.
+    fn percentiles(&self) -> (u64, u64) {
+        if self.samples.is_empty() {
+            return (0, 0);
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+        (at(0.50), at(0.99))
+    }
+}
+
+struct ServeStats {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    timeouts: AtomicU64,
+    malformed: AtomicU64,
+    completed: AtomicU64,
+    in_flight: AtomicU64,
+    connections: AtomicU64,
+    workers: Vec<WorkerCounters>,
+}
+
+impl ServeStats {
+    fn new(threads: usize) -> Self {
+        Self {
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            workers: (0..threads)
+                .map(|_| WorkerCounters {
+                    requests: AtomicU64::new(0),
+                    latencies: Mutex::new(LatencyRing {
+                        samples: Vec::new(),
+                        next: 0,
+                    }),
+                })
+                .collect(),
+        }
+    }
+
+    fn snapshot(&self, id: u64, queue_depth: usize) -> StatsSnapshot {
+        StatsSnapshot {
+            id,
+            threads: self.workers.len(),
+            queue_depth,
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            workers: self
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| {
+                    let (p50_us, p99_us) = w.latencies.lock().expect("latency lock").percentiles();
+                    WorkerSnapshot {
+                        worker: i,
+                        requests: w.requests.load(Ordering::Relaxed),
+                        p50_us,
+                        p99_us,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// SIGINT flips this; [`Server::run`] polls it alongside its own
+/// shutdown flag.
+static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+/// Install a SIGINT handler that requests a graceful drain-and-exit
+/// of every [`Server::run`] loop in the process. Safe to call more
+/// than once; a no-op on non-Unix targets.
+pub fn install_sigint_handler() {
+    #[cfg(unix)]
+    {
+        // The process already links libc; declare `signal(2)` directly
+        // rather than growing a dependency. The handler only performs
+        // an atomic store, which is async-signal-safe.
+        type Handler = extern "C" fn(i32);
+        extern "C" {
+            fn signal(signum: i32, handler: Handler) -> usize;
+        }
+        extern "C" fn on_sigint(_sig: i32) {
+            SIGINT_SEEN.store(true, Ordering::SeqCst);
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+/// What a worker needs to answer one admitted request. Built on the
+/// connection thread so workers do nothing but schedule and write.
+struct PreparedRequest {
+    id: u64,
+    dag: Dag,
+    procs: u32,
+    engine: Engine,
+    deadline: Option<Duration>,
+    enqueued: Instant,
+}
+
+enum Engine {
+    /// Homogeneous: any registered scheduler, through the
+    /// zero-alloc `schedule_into` path.
+    Homogeneous(Box<dyn Scheduler>),
+    /// Heterogeneous speeds: HEFT over unequal processors.
+    Hetero(HeftHetero),
+}
+
+/// The `casch serve` server. [`Server::bind`] then [`Server::run`];
+/// `run` blocks until SIGINT or an `op:"shutdown"` request, drains,
+/// and returns the lifetime totals.
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `127.0.0.1:4800`; port 0 picks a free
+    /// port — read it back with [`Server::local_addr`]).
+    pub fn bind(addr: &str, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag that requests a graceful shutdown when set (what the
+    /// protocol's `op:"shutdown"` flips; tests use it directly).
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serve until shutdown, then drain and report. See the
+    /// [module docs](self) for the architecture.
+    pub fn run(self) -> io::Result<ServeSummary> {
+        let Server {
+            listener,
+            config,
+            shutdown,
+        } = self;
+        listener.set_nonblocking(true)?;
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.threads
+        };
+        let pool = Arc::new(WorkerPool::new(threads, config.queue_depth));
+        let stats = Arc::new(ServeStats::new(pool.threads()));
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+
+        while !shutdown.load(Ordering::SeqCst) && !SIGINT_SEEN.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    stats.connections.fetch_add(1, Ordering::Relaxed);
+                    let ctx = ConnCtx {
+                        pool: Arc::clone(&pool),
+                        stats: Arc::clone(&stats),
+                        shutdown: Arc::clone(&shutdown),
+                        config: config.clone(),
+                    };
+                    conns.push(std::thread::spawn(move || {
+                        let _ = handle_connection(stream, ctx);
+                    }));
+                    conns.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        shutdown.store(true, Ordering::SeqCst);
+
+        // Drain: connection threads observe the flag within one read
+        // timeout; queued jobs keep their connection's writer alive
+        // through its Arc, so every admitted request still gets its
+        // response before the pool joins.
+        for h in conns {
+            let _ = h.join();
+        }
+        pool.shutdown();
+        Ok(ServeSummary {
+            connections: stats.connections.load(Ordering::Relaxed),
+            accepted: stats.accepted.load(Ordering::Relaxed),
+            rejected: stats.rejected.load(Ordering::Relaxed),
+            timeouts: stats.timeouts.load(Ordering::Relaxed),
+            malformed: stats.malformed.load(Ordering::Relaxed),
+            completed: stats.completed.load(Ordering::Relaxed),
+        })
+    }
+}
+
+struct ConnCtx {
+    pool: Arc<WorkerPool>,
+    stats: Arc<ServeStats>,
+    shutdown: Arc<AtomicBool>,
+    config: ServeConfig,
+}
+
+/// Serialize whole response lines onto the connection; shared between
+/// the reader thread (errors, stats) and workers (schedules).
+fn write_line(writer: &Mutex<TcpStream>, line: &str) {
+    let mut w = writer.lock().expect("writer lock");
+    // A vanished client is not a server error; drop the response.
+    let _ = w
+        .write_all(line.as_bytes())
+        .and_then(|_| w.write_all(b"\n"));
+}
+
+fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL))?;
+    stream.set_nodelay(true).ok();
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut reader = LineReader::new(BufReader::new(stream), ctx.config.max_line_bytes);
+    let mut line_no: u64 = 0;
+
+    loop {
+        let line = match reader.next_line() {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if ctx.shutdown.load(Ordering::SeqCst) || SIGINT_SEEN.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        };
+        let text = match line {
+            Line::TooLong(bytes) => {
+                line_no += 1;
+                ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error {
+                    id: line_no,
+                    error: format!(
+                        "line exceeds {} bytes (got {bytes})",
+                        ctx.config.max_line_bytes
+                    ),
+                };
+                write_line(&writer, &resp.to_line());
+                continue;
+            }
+            Line::Text(text) => text,
+        };
+        if text.trim().is_empty() {
+            continue;
+        }
+        line_no += 1;
+        match Request::parse(&text, line_no) {
+            Err(error) => {
+                ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                write_line(&writer, &Response::Error { id: line_no, error }.to_line());
+            }
+            Ok(Request::Stats { id }) => {
+                let snap = ctx.stats.snapshot(id, ctx.config.queue_depth);
+                write_line(&writer, &Response::Stats(snap).to_line());
+            }
+            Ok(Request::Shutdown { id }) => {
+                ctx.shutdown.store(true, Ordering::SeqCst);
+                // Drain before acknowledging: the ack promises that
+                // every previously admitted request has its response.
+                while ctx.stats.in_flight.load(Ordering::SeqCst) > 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let resp = Response::Shutdown {
+                    id,
+                    completed: ctx.stats.completed.load(Ordering::Relaxed),
+                };
+                write_line(&writer, &resp.to_line());
+                break;
+            }
+            Ok(Request::Schedule(req)) => {
+                let id = req.id;
+                match prepare(req, ctx.config.default_timeout_ms) {
+                    Err(error) => {
+                        ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                        write_line(&writer, &Response::Error { id, error }.to_line());
+                    }
+                    Ok(prepared) => {
+                        // Count as in-flight *before* submitting so the
+                        // shutdown drain can never miss it.
+                        ctx.stats.in_flight.fetch_add(1, Ordering::SeqCst);
+                        let stats = Arc::clone(&ctx.stats);
+                        let job_writer = Arc::clone(&writer);
+                        let job: fastsched_algorithms::pool::Job = Box::new(move |worker, ws| {
+                            process(prepared, worker, ws, &stats, &job_writer);
+                        });
+                        match ctx.pool.try_submit(job) {
+                            Ok(()) => {
+                                ctx.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_rejected_job) => {
+                                ctx.stats.in_flight.fetch_sub(1, Ordering::SeqCst);
+                                ctx.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                                let resp = Response::Error {
+                                    id,
+                                    error: "overloaded".to_string(),
+                                };
+                                write_line(&writer, &resp.to_line());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Validate a schedule request into a ready-to-run job payload.
+fn prepare(req: ScheduleRequest, default_timeout_ms: u64) -> Result<PreparedRequest, String> {
+    let dag = req.dag.build().map_err(|e| format!("parse: dag: {e}"))?;
+    let (engine, procs) = match req.speeds {
+        Some(speeds) => {
+            if req.algo != "heft" {
+                return Err(format!(
+                    "parse: `speeds` requires algo `heft` (heterogeneous HEFT), got `{}`",
+                    req.algo
+                ));
+            }
+            let n = speeds.len() as u32;
+            if let Some(p) = req.procs {
+                if p != n {
+                    return Err(format!(
+                        "parse: `procs` ({p}) disagrees with `speeds` length ({n})"
+                    ));
+                }
+            }
+            (
+                Engine::Hetero(HeftHetero::new(ProcessorSpeeds::new(speeds))),
+                n,
+            )
+        }
+        None => {
+            let scheduler = scheduler_by_name(&req.algo).map_err(|e| format!("parse: {e}"))?;
+            let procs = req.procs.unwrap_or_else(|| dag.node_count().max(1) as u32);
+            (Engine::Homogeneous(scheduler), procs)
+        }
+    };
+    let timeout_ms = req.timeout_ms.unwrap_or(default_timeout_ms);
+    Ok(PreparedRequest {
+        id: req.id,
+        dag,
+        procs,
+        engine,
+        deadline: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+        enqueued: Instant::now(),
+    })
+}
+
+/// Worker-side execution of one admitted request.
+fn process(
+    req: PreparedRequest,
+    worker: usize,
+    ws: &mut fastsched_algorithms::Workspace,
+    stats: &ServeStats,
+    writer: &Mutex<TcpStream>,
+) {
+    let waited = req.enqueued.elapsed();
+    let queue_us = waited.as_micros().min(u64::MAX as u128) as u64;
+    if req.deadline.is_some_and(|d| waited > d) {
+        stats.timeouts.fetch_add(1, Ordering::Relaxed);
+        let resp = Response::Error {
+            id: req.id,
+            error: "timeout".to_string(),
+        };
+        write_line(writer, &resp.to_line());
+        stats.in_flight.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
+    let t0 = Instant::now();
+    let (name, schedule) = match &req.engine {
+        Engine::Homogeneous(s) => (s.name(), s.schedule_into(&req.dag, req.procs, ws)),
+        Engine::Hetero(h) => ("HEFT-hetero", h.schedule(&req.dag)),
+    };
+    let service_us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    let resp =
+        ScheduleResponse::from_schedule(req.id, name, req.procs, &schedule, queue_us, service_us);
+    write_line(writer, &Response::Schedule(resp).to_line());
+    // Recycle the result so the worker's steady state stays
+    // allocation-free once its spare pool is warm.
+    if let Engine::Homogeneous(_) = req.engine {
+        ws.recycle(schedule);
+    }
+    let counters = &stats.workers[worker];
+    counters.requests.fetch_add(1, Ordering::Relaxed);
+    counters
+        .latencies
+        .lock()
+        .expect("latency lock")
+        .record(service_us);
+    stats.completed.fetch_add(1, Ordering::Relaxed);
+    stats.in_flight.fetch_sub(1, Ordering::SeqCst);
+}

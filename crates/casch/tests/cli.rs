@@ -1050,3 +1050,75 @@ fn explain_degrades_gracefully_without_capture() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("no provenance"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn batch_reports_rejected_inputs_without_aborting() {
+    use serde::Value;
+
+    let dir = std::env::temp_dir().join(format!("casch-batch-rej-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = casch()
+        .args(["generate", "--app", "gauss", "--size", "4", "--out"])
+        .arg(dir.join("good.json"))
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    std::fs::write(dir.join("broken.json"), "this is not json").unwrap();
+    std::fs::write(dir.join("broken.tg"), "nor a task graph {{{").unwrap();
+
+    let out = casch()
+        .args(["batch", "--algo", "fast", "--procs", "4", "--dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    // Two bad files must not abort the batch.
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let field = |line: &str, key: &str| -> Option<Value> {
+        let Value::Object(pairs) = serde_json::from_str(line).expect("line must be JSON") else {
+            panic!("line must be an object")
+        };
+        pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    };
+    let ndjson = String::from_utf8_lossy(&out.stdout).to_string();
+    let lines: Vec<&str> = ndjson.lines().collect();
+    // 2 rejected rows + 1 result row + the summary.
+    assert_eq!(lines.len(), 4, "{ndjson}");
+    let rejected: Vec<&&str> = lines
+        .iter()
+        .filter(|l| field(l, "rejected") == Some(Value::Bool(true)))
+        .collect();
+    assert_eq!(rejected.len(), 2, "{ndjson}");
+    for line in &rejected {
+        assert!(matches!(field(line, "dag"), Some(Value::String(_))));
+        assert!(
+            matches!(field(line, "error"), Some(Value::String(e)) if !e.is_empty()),
+            "rejected rows carry the reason: {line}"
+        );
+    }
+    let summary = lines.last().unwrap();
+    assert_eq!(field(summary, "summary"), Some(Value::Bool(true)));
+    assert_eq!(field(summary, "dags"), Some(Value::UInt(1)));
+    assert_eq!(field(summary, "rejected"), Some(Value::UInt(2)));
+    // The good DAG is still scheduled normally.
+    let scheduled = lines
+        .iter()
+        .find(|l| field(l, "makespan").is_some())
+        .expect("one scheduled row");
+    assert!(matches!(field(scheduled, "dag"), Some(Value::String(s)) if s.ends_with("good.json")));
+
+    // A batch with no valid inputs at all is still an error.
+    std::fs::remove_file(dir.join("good.json")).unwrap();
+    let out = casch()
+        .args(["batch", "--algo", "fast", "--dir"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("rejected"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,398 @@
+//! End-to-end tests for `casch serve`: a real server on a loopback
+//! port, real sockets, and responses checked byte-for-byte against
+//! the in-process `schedule_into` path the service wraps.
+
+use fastsched_algorithms::{HeftHetero, ProcessorSpeeds, Workspace};
+use fastsched_casch::loadgen::{self, CorpusItem, LoadgenConfig};
+use fastsched_casch::protocol::{
+    placements_json, placements_of, Request, Response, ScheduleRequest,
+};
+use fastsched_casch::serve::{scheduler_by_name, ServeConfig, Server};
+use fastsched_casch::ServeSummary;
+use fastsched_dag::examples::{chain, fork_join, paper_figure1};
+use fastsched_dag::io::DagSpec;
+use fastsched_dag::Dag;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Bind on a free loopback port and run the server on its own thread.
+fn start_server(config: ServeConfig) -> (SocketAddr, JoinHandle<ServeSummary>, Arc<AtomicBool>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, join, shutdown)
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    stream
+}
+
+/// Read exactly `n` response lines (responses may arrive out of
+/// order; callers index the result by id).
+fn read_responses(reader: &mut impl BufRead, n: usize) -> Vec<Response> {
+    let mut out = Vec::with_capacity(n);
+    let mut line = String::new();
+    while out.len() < n {
+        line.clear();
+        let read = reader.read_line(&mut line).expect("read response line");
+        assert!(
+            read > 0,
+            "server closed early: got {}/{n} responses",
+            out.len()
+        );
+        out.push(Response::parse(line.trim_end()).expect("parse response"));
+    }
+    out
+}
+
+fn small_corpus() -> Vec<Dag> {
+    vec![paper_figure1(), fork_join(8, 5, 3), chain(10, 4, 2)]
+}
+
+#[test]
+fn responses_are_byte_identical_to_schedule_into() {
+    let (addr, join, shutdown) = start_server(ServeConfig {
+        threads: 2,
+        ..ServeConfig::default()
+    });
+    let corpus = small_corpus();
+    let total = 12u64;
+
+    let mut stream = connect(addr);
+    let mut request_lines = String::new();
+    for id in 1..=total {
+        let dag = &corpus[(id - 1) as usize % corpus.len()];
+        let mut req = ScheduleRequest::new(id, DagSpec::from_dag(dag));
+        req.procs = Some(4);
+        request_lines.push_str(&req.to_line());
+        request_lines.push('\n');
+    }
+    stream
+        .write_all(request_lines.as_bytes())
+        .expect("send pipelined requests");
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let responses = read_responses(&mut reader, total as usize);
+
+    // Local reference: the exact API the server claims to expose.
+    let fast = scheduler_by_name("fast").expect("fast");
+    let mut ws = Workspace::new();
+    let mut by_id: HashMap<u64, _> = HashMap::new();
+    for resp in responses {
+        match resp {
+            Response::Schedule(r) => {
+                by_id.insert(r.id, r);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!(
+        by_id.len(),
+        total as usize,
+        "every id answered exactly once"
+    );
+    for id in 1..=total {
+        let dag = &corpus[(id - 1) as usize % corpus.len()];
+        let expected = fast.schedule_into(dag, 4, &mut ws);
+        let got = &by_id[&id];
+        assert_eq!(got.makespan, expected.makespan(), "makespan for id {id}");
+        assert_eq!(
+            placements_json(&got.placements),
+            placements_json(&placements_of(&expected)),
+            "placements for id {id}"
+        );
+        assert_eq!(got.procs, 4);
+        assert_eq!(got.algo, "FAST");
+    }
+
+    shutdown.store(true, Ordering::SeqCst);
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.completed, total);
+    assert_eq!(summary.rejected, 0);
+}
+
+#[test]
+fn malformed_lines_get_error_responses_and_the_connection_survives() {
+    let (addr, join, shutdown) = start_server(ServeConfig::default());
+    let mut stream = connect(addr);
+
+    // Three bad lines, then one good request: the errors must not
+    // poison the connection.
+    let good = ScheduleRequest::new(4, DagSpec::from_dag(&paper_figure1()));
+    let batch = format!(
+        "this is not json\n{{\"op\":\"bogus\"}}\n{{\"op\":\"schedule\",\"id\":3}}\n{}\n",
+        good.to_line()
+    );
+    stream.write_all(batch.as_bytes()).expect("send");
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let responses = read_responses(&mut reader, 4);
+    let mut errors = 0;
+    let mut ok = 0;
+    for resp in responses {
+        match resp {
+            Response::Error { id, error } => {
+                errors += 1;
+                assert!(
+                    error.starts_with("parse:"),
+                    "error vocabulary: got `{error}` for id {id}"
+                );
+                // Ids 1 and 2 fall back to the line number; id 3 is
+                // taken from the request.
+                assert!((1..=3).contains(&id), "unexpected error id {id}");
+            }
+            Response::Schedule(r) => {
+                ok += 1;
+                assert_eq!(r.id, 4);
+                assert_eq!(r.makespan, 18, "paper figure 1 FAST makespan");
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!((errors, ok), (3, 1));
+
+    shutdown.store(true, Ordering::SeqCst);
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.malformed, 3);
+    assert_eq!(summary.completed, 1);
+}
+
+#[test]
+fn oversized_lines_are_rejected_without_buffering_them() {
+    let (addr, join, shutdown) = start_server(ServeConfig {
+        max_line_bytes: 256,
+        ..ServeConfig::default()
+    });
+    let mut stream = connect(addr);
+    let huge = format!("{}\n", "x".repeat(100_000));
+    stream.write_all(huge.as_bytes()).expect("send oversized");
+    // The connection survives; a normal request still works.
+    let good = ScheduleRequest::new(7, DagSpec::from_dag(&chain(3, 2, 1)));
+    stream
+        .write_all(format!("{}\n", good.to_line()).as_bytes())
+        .expect("send follow-up");
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let responses = read_responses(&mut reader, 2);
+    let mut saw_too_long = false;
+    let mut saw_ok = false;
+    for resp in responses {
+        match resp {
+            Response::Error { error, .. } => {
+                assert!(error.contains("line exceeds 256 bytes"), "got `{error}`");
+                saw_too_long = true;
+            }
+            Response::Schedule(r) => {
+                assert_eq!(r.id, 7);
+                saw_ok = true;
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert!(saw_too_long && saw_ok);
+
+    shutdown.store(true, Ordering::SeqCst);
+    join.join().expect("server thread");
+}
+
+#[test]
+fn excess_load_is_rejected_as_overloaded_not_buffered() {
+    // One worker, one queue slot, and requests whose scheduling cost
+    // (ETF over many processors) dwarfs their parse cost: the queue
+    // must fill and admission control must answer `overloaded`.
+    let (addr, join, shutdown) = start_server(ServeConfig {
+        threads: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    });
+    let dag = fork_join(400, 50, 20);
+    let total = 24u64;
+
+    let mut stream = connect(addr);
+    let mut burst = String::new();
+    for id in 1..=total {
+        let mut req = ScheduleRequest::new(id, DagSpec::from_dag(&dag));
+        req.algo = "etf".to_string();
+        req.procs = Some(64);
+        burst.push_str(&req.to_line());
+        burst.push('\n');
+    }
+    stream.write_all(burst.as_bytes()).expect("send burst");
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let responses = read_responses(&mut reader, total as usize);
+    let mut ok = 0u64;
+    let mut overloaded = 0u64;
+    for resp in responses {
+        match resp {
+            Response::Schedule(_) => ok += 1,
+            Response::Error { error, .. } => {
+                assert_eq!(error, "overloaded", "only overload errors expected");
+                overloaded += 1;
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    assert_eq!(ok + overloaded, total);
+    assert!(ok >= 2, "worker + queue slot must still serve: ok={ok}");
+    assert!(
+        overloaded > 0,
+        "a 1-deep queue under a {total}-request burst must shed load"
+    );
+
+    shutdown.store(true, Ordering::SeqCst);
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.rejected, overloaded);
+    assert_eq!(summary.completed, ok);
+}
+
+#[test]
+fn stats_and_shutdown_requests_work_over_the_wire() {
+    let (addr, join, _shutdown) = start_server(ServeConfig {
+        threads: 2,
+        ..ServeConfig::default()
+    });
+    let total = 6u64;
+
+    let mut stream = connect(addr);
+    for id in 1..=total {
+        let req = ScheduleRequest::new(id, DagSpec::from_dag(&paper_figure1()));
+        stream
+            .write_all(format!("{}\n", req.to_line()).as_bytes())
+            .expect("send");
+    }
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    read_responses(&mut reader, total as usize);
+
+    // The response write happens just before the counter update, so
+    // poll the stats until the last completion lands.
+    let mut snap = None;
+    for _ in 0..200 {
+        stream
+            .write_all(format!("{}\n", Request::Stats { id: 99 }.to_line()).as_bytes())
+            .expect("send stats");
+        match read_responses(&mut reader, 1).remove(0) {
+            Response::Stats(s) => {
+                if s.completed == total {
+                    snap = Some(s);
+                    break;
+                }
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let snap = snap.expect("stats never reached the completed count");
+    assert_eq!(snap.id, 99);
+    assert_eq!(snap.threads, 2);
+    assert_eq!(snap.accepted, total);
+    assert_eq!(snap.rejected, 0);
+    assert_eq!(snap.in_flight, 0);
+    assert_eq!(snap.workers.len(), 2);
+    let per_worker: u64 = snap.workers.iter().map(|w| w.requests).sum();
+    assert_eq!(per_worker, total);
+
+    // Graceful shutdown over the wire: the ack carries the completed
+    // total and the server run loop exits.
+    stream
+        .write_all(format!("{}\n", Request::Shutdown { id: 100 }.to_line()).as_bytes())
+        .expect("send shutdown");
+    match read_responses(&mut reader, 1).remove(0) {
+        Response::Shutdown { id, completed } => {
+            assert_eq!(id, 100);
+            assert_eq!(completed, total);
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.completed, total);
+    assert_eq!(summary.connections, 1);
+}
+
+#[test]
+fn heterogeneous_requests_run_heft_over_speeds() {
+    let (addr, join, shutdown) = start_server(ServeConfig::default());
+    let dag = paper_figure1();
+
+    let mut req = ScheduleRequest::new(1, DagSpec::from_dag(&dag));
+    req.algo = "heft".to_string();
+    req.speeds = Some(vec![100, 50, 25]);
+    let mut stream = connect(addr);
+    stream
+        .write_all(format!("{}\n", req.to_line()).as_bytes())
+        .expect("send");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let resp = read_responses(&mut reader, 1).remove(0);
+
+    let expected = HeftHetero::new(ProcessorSpeeds::new(vec![100, 50, 25])).schedule(&dag);
+    match resp {
+        Response::Schedule(r) => {
+            assert_eq!(r.procs, 3);
+            assert_eq!(r.algo, "HEFT-hetero");
+            assert_eq!(r.makespan, expected.makespan());
+            assert_eq!(
+                placements_json(&r.placements),
+                placements_json(&placements_of(&expected))
+            );
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    shutdown.store(true, Ordering::SeqCst);
+    join.join().expect("server thread");
+}
+
+#[test]
+fn loadgen_under_load_sees_zero_mismatches() {
+    let (addr, join, _shutdown) = start_server(ServeConfig {
+        threads: 4,
+        queue_depth: 1024,
+        ..ServeConfig::default()
+    });
+
+    let report = loadgen::run(&LoadgenConfig {
+        addr: addr.to_string(),
+        corpus: small_corpus()
+            .into_iter()
+            .enumerate()
+            .map(|(i, dag)| CorpusItem {
+                name: format!("corpus-{i}"),
+                dag,
+            })
+            .collect(),
+        algo: "fast".to_string(),
+        procs: Some(8),
+        rate: 0.0, // unpaced: as fast as the sockets go
+        total: Some(300),
+        conns: 2,
+        check: true,
+        ..LoadgenConfig::default()
+    })
+    .expect("loadgen run");
+
+    assert_eq!(report.sent, 300);
+    assert_eq!(report.ok, 300, "queue depth 1024 admits the whole run");
+    assert_eq!(
+        report.mismatches, 0,
+        "service output must equal schedule_into"
+    );
+    assert_eq!(report.unanswered, 0);
+    assert_eq!(report.rejected + report.timeouts + report.errors, 0);
+    assert!(report.p50_us > 0 || report.ok == 0);
+
+    let ack = loadgen::request_once(&addr.to_string(), &Request::Shutdown { id: 1 }, 5.0)
+        .expect("shutdown");
+    assert!(ack.contains("\"shutdown\":true"), "got `{ack}`");
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.completed, 300);
+}

@@ -17,9 +17,23 @@
 //!   length, and critical-path-node identification;
 //! * [`classify`] — the CPN / IBN / OBN node partition of §4.1;
 //! * [`cpn_list`] — the CPN-Dominate list construction of §4.1;
-//! * [`io`] — DOT export and JSON (de)serialization;
+//! * [`io`] — DOT export and JSON (de)serialization. [`io::DagSpec`]
+//!   is the declarative `{nodes, edges}` form used by DAG files on
+//!   disk *and* as the `"dag"` field of `casch serve`'s wire
+//!   protocol; `DagSpec::from_dag` / `DagSpec::build` round-trip
+//!   losslessly, and `build()` re-runs full [`DagBuilder`] validation
+//!   (unknown endpoints, self-loops, duplicate edges, cycles), so
+//!   deserialized graphs are as trustworthy as constructed ones;
+//! * [`io_text`] — the compact `.tg` text format for hand-written
+//!   fixtures;
 //! * [`examples`] — the reconstructed Figure 1 example graph and other
 //!   small graphs used across the workspace tests.
+//!
+//! [`Dag::build`](DagBuilder::build) also freezes structure-of-arrays
+//! attribute lanes (split predecessor arrays, topo-position-keyed
+//! successor CSR) that the O(e) sweeps and the schedulers' hot loops
+//! run on — see `attributes` and DESIGN.md §13; layout never changes
+//! a computed value, only where its bytes live.
 //!
 //! ## Quick example
 //!
