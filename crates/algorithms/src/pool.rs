@@ -23,6 +23,14 @@
 //! [`crate::Scheduler::schedule_into`] calls inside jobs hit the same
 //! zero-allocation steady state as the batch path — the pool adds one
 //! queue push/pop (and the job box) per request, never a fresh arena.
+//!
+//! Jobs are **panic-isolated**: a job that panics (e.g. a scheduler
+//! tripping over hostile input) is caught on the worker, logged, and
+//! the worker keeps serving with a fresh workspace — pool capacity
+//! never silently shrinks, and `shutdown`/`Drop` never re-panic on
+//! join. Cleanup a job must guarantee (counters, response lines)
+//! belongs in a drop guard inside the job, which runs during the
+//! unwind.
 
 use crate::workspace::Workspace;
 use std::collections::VecDeque;
@@ -145,7 +153,13 @@ impl WorkerPool {
         let handles: Vec<JoinHandle<()>> =
             std::mem::take(&mut *self.workers.lock().expect("pool workers lock"));
         for handle in handles {
-            handle.join().expect("pool worker panicked");
+            // Jobs are panic-isolated inside worker_loop, so a worker
+            // thread itself should never die panicked; if one somehow
+            // does, losing it at shutdown is not worth panicking in
+            // Drop over.
+            if handle.join().is_err() {
+                eprintln!("fastsched worker pool: a worker thread panicked");
+            }
         }
     }
 }
@@ -172,7 +186,17 @@ fn worker_loop(index: usize, shared: &Shared) {
             }
         };
         shared.slot_free.notify_one();
-        job(index, &mut ws);
+        // Isolate job panics: one hostile request must not cost the
+        // pool a worker for the rest of the process lifetime. The
+        // workspace is replaced because an unwound scheduler may have
+        // left its scratch internally inconsistent.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            job(index, &mut ws);
+        }));
+        if result.is_err() {
+            eprintln!("fastsched worker {index}: job panicked; worker continues");
+            ws = Workspace::new();
+        }
     }
 }
 
@@ -239,6 +263,30 @@ mod tests {
         assert_eq!(DONE.load(Ordering::SeqCst), 32);
         // Post-shutdown submissions bounce.
         assert!(pool.try_submit(Box::new(|_, _| {})).is_err());
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_its_worker() {
+        let pool = WorkerPool::new(1, 8);
+        pool.submit(Box::new(|_, _| panic!("hostile input")))
+            .unwrap_or_else(|_| panic!("submit failed"));
+        // The single worker must survive the panic and keep producing
+        // correct schedules from a sane workspace.
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..4 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move |_, ws| {
+                let dag = paper_figure1();
+                let s = Fast::new().schedule_into(&dag, 9, ws);
+                tx.send(s.makespan()).unwrap();
+            }))
+            .unwrap_or_else(|_| panic!("submit after panic failed"));
+        }
+        drop(tx);
+        let makespans: Vec<u64> = rx.iter().collect();
+        assert_eq!(makespans, vec![18; 4]);
+        // Shutdown joins cleanly — no re-panic from the dead job.
+        pool.shutdown();
     }
 
     #[test]

@@ -72,7 +72,7 @@ USAGE:
   casch batch    (--dir <dir> | --manifest <list.txt>) --algo <name>
                  [--procs <p>] [--threads <t>] [--out <out.ndjson>]
   casch serve    [--addr <host:port>] [--threads <t>] [--queue-depth <n>]
-                 [--timeout-ms <ms>] [--max-line-bytes <n>]
+                 [--timeout-ms <ms>] [--max-line-bytes <n>] [--max-procs <p>]
   casch loadgen  (--dir <dir> | --manifest <list.txt> | --dag <file>)
                  [--addr <host:port>] [--algo <name>] [--procs <p>]
                  [--rate <req/s>] [--total <n>] [--duration <s>]
@@ -123,7 +123,9 @@ and possibly out of order. Requests shard across `--threads` workers
 (0 = all cores) each owning a pinned warm workspace; a full
 `--queue-depth` admission queue answers `overloaded` instead of
 buffering, `--timeout-ms` bounds queue wait (per-request `timeout_ms`
-overrides), and SIGINT or `op:\"shutdown\"` drains in-flight work
+overrides), a request's `procs` / `speeds` length is capped at
+max(node count, `--max-procs`) so one line cannot demand unbounded
+scratch, and SIGINT or `op:\"shutdown\"` drains in-flight work
 before exiting.
 
 `casch loadgen` drives a running server open-loop: requests from a
@@ -447,7 +449,7 @@ fn cmd_batch(opts: &Flags) -> Result<(), String> {
 /// The service front-end: see `casch serve` in the usage text and
 /// DESIGN.md §14 for the protocol and architecture.
 fn cmd_serve(opts: &Flags) -> Result<(), String> {
-    use fastsched_casch::serve::{install_sigint_handler, ServeConfig, Server};
+    use fastsched_casch::serve::{install_sigint_handler, ServeConfig, Server, DEFAULT_MAX_PROCS};
     let addr = opts
         .get("addr")
         .map(String::as_str)
@@ -458,6 +460,8 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
         default_timeout_ms: get_u64_or(opts, "timeout-ms", 0)?,
         max_line_bytes: get_u64_or(opts, "max-line-bytes", protocol::DEFAULT_MAX_LINE as u64)?
             as usize,
+        max_procs: get_u64_or(opts, "max-procs", DEFAULT_MAX_PROCS as u64)?
+            .clamp(1, u32::MAX as u64) as u32,
     };
     install_sigint_handler();
     let server = Server::bind(addr, config.clone()).map_err(|e| format!("bind {addr}: {e}"))?;

@@ -392,7 +392,10 @@ fn run_connection(
                 let deadline =
                     *drain_deadline.get_or_insert(Instant::now() + Duration::from_secs(10));
                 if Instant::now() > deadline {
-                    tally.unanswered += recv_in_flight.lock().expect("in-flight lock").len() as u64;
+                    // Still-unanswered entries are tallied once, in
+                    // run_connection, after the sender has also
+                    // finished — one code path for every exit
+                    // (deadline, server close, read error).
                     break;
                 }
             }
@@ -510,6 +513,16 @@ fn run_connection(
         .map_err(|_| "loadgen receiver thread panicked".to_string())?;
     tally.warmup_sent = warmup_sent;
     tally.sent = sent;
+    // Whatever is still in flight after both threads stopped —
+    // receiver drain deadline, server-closed stream, read error —
+    // never got an answer. Only measured requests count: warmup
+    // traffic is excluded from every reported field.
+    tally.unanswered = in_flight
+        .lock()
+        .expect("in-flight lock")
+        .values()
+        .filter(|&&(_, measured)| measured)
+        .count() as u64;
     Ok(tally)
 }
 

@@ -37,10 +37,12 @@
 //! is checkable on the exact response bytes.
 //!
 //! Error responses use a small set of stable first words: `parse:`
-//! (malformed JSON or a bad field), `overloaded` (admission control
-//! rejected the request), `timeout` (the request waited past its
-//! deadline), and `line exceeds` (oversized-line rejection, see
-//! [`LineReader`]).
+//! (malformed JSON or a bad field, including a `procs`/`speeds`
+//! count beyond the server's processor limit), `overloaded`
+//! (admission control rejected the request), `timeout` (the request
+//! waited past its deadline), `line exceeds` (oversized-line
+//! rejection, see [`LineReader`]), and `internal:` (the request's
+//! job panicked on the worker; the worker itself survives).
 
 use fastsched_dag::io::DagSpec;
 use fastsched_schedule::Schedule;

@@ -20,6 +20,13 @@
 //!   `{"ok":false,"error":"timeout"}` without being scheduled; a
 //!   request that has *started* always runs to completion (the
 //!   scheduling core is not preemptible).
+//! * **Resource caps** — a request line is bounded
+//!   ([`ServeConfig::max_line_bytes`]), and so is the processor count
+//!   a request may demand ([`ServeConfig::max_procs`], floored by the
+//!   DAG's own node count): schedulers allocate O(procs) scratch, so
+//!   an uncapped `procs` (or hetero `speeds` array) would let one
+//!   tiny line force a multi-GB allocation. Oversized values are
+//!   answered with a `parse:` error instead.
 //! * **Graceful shutdown** — SIGINT (via
 //!   [`install_sigint_handler`]) or an `op:"shutdown"` request stops
 //!   the accept loop, drains every admitted request to a response,
@@ -32,7 +39,11 @@
 //! finished them, so they may interleave out of order; the `id` field
 //! correlates. Every response is one `write_all` of a whole line
 //! under the connection's write lock, so lines never interleave
-//! mid-byte.
+//! mid-byte. Writes carry a timeout (`WRITE_TIMEOUT`, 10 s): a client
+//! that stops reading while the socket buffer is full can stall a
+//! worker for at most that long before its connection is declared
+//! dead and closed — it can never pin a worker (or wedge the
+//! shutdown drain) forever.
 
 use crate::protocol::{
     self, Line, LineReader, Request, Response, ScheduleRequest, ScheduleResponse, StatsSnapshot,
@@ -56,6 +67,18 @@ const LATENCY_WINDOW: usize = 4096;
 /// How often blocked loops (accept, reads, drain) re-check the
 /// shutdown flag.
 const POLL: Duration = Duration::from_millis(20);
+
+/// How long one response write may block before the client is
+/// declared vanished and the connection is torn down. Generous —
+/// responses are small, so a healthy client drains the socket buffer
+/// in well under this — but finite, so a slow consumer bounds the
+/// time it can hold a pool worker.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default [`ServeConfig::max_procs`]: far above any sensible
+/// homogeneous machine while keeping the per-request O(procs) scratch
+/// in the hundreds of KB.
+pub const DEFAULT_MAX_PROCS: u32 = 16_384;
 
 /// Resolve an algorithm name (the CLI vocabulary) to a scheduler.
 pub fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
@@ -94,6 +117,14 @@ pub struct ServeConfig {
     pub default_timeout_ms: u64,
     /// Byte cap on one request line.
     pub max_line_bytes: usize,
+    /// Cap on a request's processor count (explicit `procs`, or the
+    /// `speeds` array length for heterogeneous requests). A request
+    /// may always use up to its DAG's node count even above this cap
+    /// — processors beyond the node count can never be used anyway —
+    /// so the effective limit is `max(node_count, max_procs)`.
+    /// Schedulers allocate O(procs) scratch, so this bound is what
+    /// keeps a hostile one-line request from demanding gigabytes.
+    pub max_procs: u32,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +134,7 @@ impl Default for ServeConfig {
             queue_depth: 1024,
             default_timeout_ms: 0,
             max_line_bytes: protocol::DEFAULT_MAX_LINE,
+            max_procs: DEFAULT_MAX_PROCS,
         }
     }
 }
@@ -362,20 +394,59 @@ struct ConnCtx {
     config: ServeConfig,
 }
 
-/// Serialize whole response lines onto the connection; shared between
-/// the reader thread (errors, stats) and workers (schedules).
-fn write_line(writer: &Mutex<TcpStream>, line: &str) {
-    let mut w = writer.lock().expect("writer lock");
-    // A vanished client is not a server error; drop the response.
-    let _ = w
-        .write_all(line.as_bytes())
-        .and_then(|_| w.write_all(b"\n"));
+/// The write half of one connection: serializes whole response lines
+/// (shared between the reader thread — errors, stats — and workers —
+/// schedules), and turns a client that vanished or stopped reading
+/// into a dead connection instead of a blocked worker.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    dead: AtomicBool,
+}
+
+impl ConnWriter {
+    fn new(stream: TcpStream) -> io::Result<ConnWriter> {
+        // Bound every response write: if the client stops draining the
+        // socket, `write_all` errors out after WRITE_TIMEOUT instead
+        // of parking a pool worker forever on a full send buffer.
+        stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+        Ok(ConnWriter {
+            stream: Mutex::new(stream),
+            dead: AtomicBool::new(false),
+        })
+    }
+
+    /// Write one whole response line. A vanished client is not a
+    /// server error: on any write failure (including a timeout) the
+    /// response is dropped, the connection is marked dead so later
+    /// writes become no-ops, and the socket is shut down so the
+    /// reader side unblocks and reaps the connection.
+    fn write_line(&self, line: &str) {
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut w = self.stream.lock().expect("writer lock");
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        if w.write_all(line.as_bytes())
+            .and_then(|_| w.write_all(b"\n"))
+            .is_err()
+        {
+            self.dead.store(true, Ordering::Relaxed);
+            let _ = w.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Whether a write has failed (client gone or unresponsive).
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
 }
 
 fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> io::Result<()> {
     stream.set_read_timeout(Some(POLL))?;
     stream.set_nodelay(true).ok();
-    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let writer = Arc::new(ConnWriter::new(stream.try_clone()?)?);
     let mut reader = LineReader::new(BufReader::new(stream), ctx.config.max_line_bytes);
     let mut line_no: u64 = 0;
 
@@ -407,7 +478,7 @@ fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> io::Result<()> {
                         ctx.config.max_line_bytes
                     ),
                 };
-                write_line(&writer, &resp.to_line());
+                writer.write_line(&resp.to_line());
                 continue;
             }
             Line::Text(text) => text,
@@ -419,11 +490,11 @@ fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> io::Result<()> {
         match Request::parse(&text, line_no) {
             Err(error) => {
                 ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
-                write_line(&writer, &Response::Error { id: line_no, error }.to_line());
+                writer.write_line(&Response::Error { id: line_no, error }.to_line());
             }
             Ok(Request::Stats { id }) => {
                 let snap = ctx.stats.snapshot(id, ctx.config.queue_depth);
-                write_line(&writer, &Response::Stats(snap).to_line());
+                writer.write_line(&Response::Stats(snap).to_line());
             }
             Ok(Request::Shutdown { id }) => {
                 ctx.shutdown.store(true, Ordering::SeqCst);
@@ -436,15 +507,15 @@ fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> io::Result<()> {
                     id,
                     completed: ctx.stats.completed.load(Ordering::Relaxed),
                 };
-                write_line(&writer, &resp.to_line());
+                writer.write_line(&resp.to_line());
                 break;
             }
             Ok(Request::Schedule(req)) => {
                 let id = req.id;
-                match prepare(req, ctx.config.default_timeout_ms) {
+                match prepare(req, &ctx.config) {
                     Err(error) => {
                         ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
-                        write_line(&writer, &Response::Error { id, error }.to_line());
+                        writer.write_line(&Response::Error { id, error }.to_line());
                     }
                     Ok(prepared) => {
                         // Count as in-flight *before* submitting so the
@@ -466,14 +537,14 @@ fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> io::Result<()> {
                                     id,
                                     error: "overloaded".to_string(),
                                 };
-                                write_line(&writer, &resp.to_line());
+                                writer.write_line(&resp.to_line());
                             }
                         }
                     }
                 }
             }
         }
-        if ctx.shutdown.load(Ordering::SeqCst) {
+        if ctx.shutdown.load(Ordering::SeqCst) || writer.is_dead() {
             break;
         }
     }
@@ -481,14 +552,26 @@ fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> io::Result<()> {
 }
 
 /// Validate a schedule request into a ready-to-run job payload.
-fn prepare(req: ScheduleRequest, default_timeout_ms: u64) -> Result<PreparedRequest, String> {
+fn prepare(req: ScheduleRequest, config: &ServeConfig) -> Result<PreparedRequest, String> {
     let dag = req.dag.build().map_err(|e| format!("parse: dag: {e}"))?;
+    // Schedulers allocate O(procs) scratch, so a client-controlled
+    // processor count must be bounded before it reaches a worker: up
+    // to the DAG's own node count always (more can never be used), or
+    // the configured cap, whichever is larger.
+    let proc_limit = (dag.node_count() as u64).max(u64::from(config.max_procs.max(1)));
     let (engine, procs) = match req.speeds {
         Some(speeds) => {
             if req.algo != "heft" {
                 return Err(format!(
                     "parse: `speeds` requires algo `heft` (heterogeneous HEFT), got `{}`",
                     req.algo
+                ));
+            }
+            if speeds.len() as u64 > proc_limit {
+                return Err(format!(
+                    "parse: `speeds` length ({}) exceeds the server's processor limit \
+                     ({proc_limit}); raise --max-procs if intended",
+                    speeds.len()
                 ));
             }
             let n = speeds.len() as u32;
@@ -506,11 +589,19 @@ fn prepare(req: ScheduleRequest, default_timeout_ms: u64) -> Result<PreparedRequ
         }
         None => {
             let scheduler = scheduler_by_name(&req.algo).map_err(|e| format!("parse: {e}"))?;
+            if let Some(p) = req.procs {
+                if u64::from(p) > proc_limit {
+                    return Err(format!(
+                        "parse: `procs` ({p}) exceeds the server's processor limit \
+                         ({proc_limit}); raise --max-procs if intended"
+                    ));
+                }
+            }
             let procs = req.procs.unwrap_or_else(|| dag.node_count().max(1) as u32);
             (Engine::Homogeneous(scheduler), procs)
         }
     };
-    let timeout_ms = req.timeout_ms.unwrap_or(default_timeout_ms);
+    let timeout_ms = req.timeout_ms.unwrap_or(config.default_timeout_ms);
     Ok(PreparedRequest {
         id: req.id,
         dag,
@@ -521,14 +612,46 @@ fn prepare(req: ScheduleRequest, default_timeout_ms: u64) -> Result<PreparedRequ
     })
 }
 
+/// Settles one admitted request however its job exits: decrements
+/// `in_flight` exactly once (so the shutdown drain can never hang on
+/// a lost request), and — if the job unwound before writing its
+/// response (a scheduler panicking on hostile input; the pool catches
+/// the panic and keeps the worker) — still answers the client with a
+/// stable `internal:` error line.
+struct ResponseGuard<'a> {
+    stats: &'a ServeStats,
+    writer: &'a ConnWriter,
+    id: u64,
+    answered: bool,
+}
+
+impl Drop for ResponseGuard<'_> {
+    fn drop(&mut self) {
+        if !self.answered {
+            let resp = Response::Error {
+                id: self.id,
+                error: "internal: scheduler panicked".to_string(),
+            };
+            self.writer.write_line(&resp.to_line());
+        }
+        self.stats.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Worker-side execution of one admitted request.
 fn process(
     req: PreparedRequest,
     worker: usize,
     ws: &mut fastsched_algorithms::Workspace,
     stats: &ServeStats,
-    writer: &Mutex<TcpStream>,
+    writer: &ConnWriter,
 ) {
+    let mut guard = ResponseGuard {
+        stats,
+        writer,
+        id: req.id,
+        answered: false,
+    };
     let waited = req.enqueued.elapsed();
     let queue_us = waited.as_micros().min(u64::MAX as u128) as u64;
     if req.deadline.is_some_and(|d| waited > d) {
@@ -537,8 +660,8 @@ fn process(
             id: req.id,
             error: "timeout".to_string(),
         };
-        write_line(writer, &resp.to_line());
-        stats.in_flight.fetch_sub(1, Ordering::SeqCst);
+        writer.write_line(&resp.to_line());
+        guard.answered = true;
         return;
     }
     let t0 = Instant::now();
@@ -549,7 +672,8 @@ fn process(
     let service_us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
     let resp =
         ScheduleResponse::from_schedule(req.id, name, req.procs, &schedule, queue_us, service_us);
-    write_line(writer, &Response::Schedule(resp).to_line());
+    writer.write_line(&Response::Schedule(resp).to_line());
+    guard.answered = true;
     // Recycle the result so the worker's steady state stays
     // allocation-free once its spare pool is warm.
     if let Engine::Homogeneous(_) = req.engine {
@@ -563,5 +687,4 @@ fn process(
         .expect("latency lock")
         .record(service_us);
     stats.completed.fetch_add(1, Ordering::Relaxed);
-    stats.in_flight.fetch_sub(1, Ordering::SeqCst);
 }

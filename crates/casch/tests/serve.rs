@@ -206,6 +206,66 @@ fn oversized_lines_are_rejected_without_buffering_them() {
 }
 
 #[test]
+fn oversized_procs_and_speeds_are_rejected_not_allocated() {
+    // Schedulers allocate O(procs) scratch, so a hostile processor
+    // count must die at validation — with a tiny cap the limit falls
+    // back to the DAG's own node count (9 for paper figure 1).
+    let (addr, join, shutdown) = start_server(ServeConfig {
+        max_procs: 8,
+        ..ServeConfig::default()
+    });
+    let mut stream = connect(addr);
+
+    let mut huge = ScheduleRequest::new(1, DagSpec::from_dag(&paper_figure1()));
+    huge.procs = Some(u32::MAX);
+    let mut wide = ScheduleRequest::new(2, DagSpec::from_dag(&paper_figure1()));
+    wide.algo = "heft".to_string();
+    wide.speeds = Some(vec![100; 64]);
+    // Up to the node count always fits, whatever the cap — and the
+    // connection survives the two rejections.
+    let mut good = ScheduleRequest::new(3, DagSpec::from_dag(&paper_figure1()));
+    good.procs = Some(9);
+    let batch = format!(
+        "{}\n{}\n{}\n",
+        huge.to_line(),
+        wide.to_line(),
+        good.to_line()
+    );
+    stream.write_all(batch.as_bytes()).expect("send");
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut by_id: HashMap<u64, Response> = HashMap::new();
+    for resp in read_responses(&mut reader, 3) {
+        let id = match &resp {
+            Response::Schedule(r) => r.id,
+            Response::Error { id, .. } => *id,
+            other => panic!("unexpected response: {other:?}"),
+        };
+        by_id.insert(id, resp);
+    }
+    for id in [1u64, 2] {
+        match &by_id[&id] {
+            Response::Error { error, .. } => {
+                assert!(
+                    error.starts_with("parse:") && error.contains("exceeds"),
+                    "id {id}: got `{error}`"
+                );
+            }
+            other => panic!("id {id}: expected rejection, got {other:?}"),
+        }
+    }
+    match &by_id[&3] {
+        Response::Schedule(r) => assert_eq!(r.makespan, 18, "paper figure 1 FAST makespan"),
+        other => panic!("id 3: expected a schedule, got {other:?}"),
+    }
+
+    shutdown.store(true, Ordering::SeqCst);
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.malformed, 2);
+    assert_eq!(summary.completed, 1);
+}
+
+#[test]
 fn excess_load_is_rejected_as_overloaded_not_buffered() {
     // One worker, one queue slot, and requests whose scheduling cost
     // (ETF over many processors) dwarfs their parse cost: the queue
