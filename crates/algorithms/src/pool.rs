@@ -31,18 +31,89 @@
 //! join. Cleanup a job must guarantee (counters, response lines)
 //! belongs in a drop guard inside the job, which runs during the
 //! unwind.
+//!
+//! The pool is **self-instrumenting**: each worker owns a
+//! [`PoolShard`] of lock-free metrics ([`fastsched_metrics`]) —
+//! jobs executed, queue-wait histogram (enqueue to pop) and job-run
+//! histogram, all in microseconds. Shards are written only by their
+//! worker, so recording never contends; a scrape merges the shard
+//! snapshots via [`PoolMetrics::merged_queue_us`] /
+//! [`PoolMetrics::merged_run_us`]. Construction via
+//! [`WorkerPool::with_metrics`]`(…, false)` turns the clock reads
+//! off entirely for overhead-sensitive callers.
 
 use crate::workspace::Workspace;
+use fastsched_metrics::{Counter, Histogram, HistogramSnapshot};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A unit of work: runs on one worker thread with that worker's index
 /// and pinned scratch workspace.
 pub type Job = Box<dyn FnOnce(usize, &mut Workspace) + Send + 'static>;
 
+/// One worker's private metrics shard. Written only by the owning
+/// worker thread; read (snapshotted) by scrapers at any time.
+#[derive(Default)]
+pub struct PoolShard {
+    /// Jobs this worker has executed (including panicked ones).
+    pub jobs: Counter,
+    /// Microseconds each job spent queued (enqueue to worker pop).
+    pub queue_us: Histogram,
+    /// Microseconds each job spent running on the worker.
+    pub run_us: Histogram,
+}
+
+/// Per-worker metrics shards for one [`WorkerPool`], merged at scrape
+/// time. See the [module docs](self).
+pub struct PoolMetrics {
+    shards: Vec<PoolShard>,
+    enabled: bool,
+}
+
+impl PoolMetrics {
+    fn new(workers: usize, enabled: bool) -> Self {
+        Self {
+            shards: (0..workers).map(|_| PoolShard::default()).collect(),
+            enabled,
+        }
+    }
+
+    /// Whether timing instrumentation is active. When `false` the
+    /// pool skips every clock read and histogram write.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The per-worker shards, indexed by worker.
+    pub fn shards(&self) -> &[PoolShard] {
+        &self.shards
+    }
+
+    /// Queue-wait distribution merged across all workers.
+    pub fn merged_queue_us(&self) -> HistogramSnapshot {
+        self.merged(|s| &s.queue_us)
+    }
+
+    /// Job-run distribution merged across all workers.
+    pub fn merged_run_us(&self) -> HistogramSnapshot {
+        self.merged(|s| &s.run_us)
+    }
+
+    fn merged(&self, pick: impl Fn(&PoolShard) -> &Histogram) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::empty();
+        for shard in &self.shards {
+            out.merge(&pick(shard).snapshot());
+        }
+        out
+    }
+}
+
 struct QueueState {
-    jobs: VecDeque<Job>,
+    /// Each entry carries its enqueue instant (`None` when metrics
+    /// are disabled, so the off path never touches the clock).
+    jobs: VecDeque<(Option<Instant>, Job)>,
     closing: bool,
 }
 
@@ -61,17 +132,28 @@ pub struct WorkerPool {
     shared: Arc<Shared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     thread_count: usize,
+    metrics: Arc<PoolMetrics>,
 }
 
 impl WorkerPool {
     /// Spawn `threads` workers (`0` = all available cores) behind a
-    /// queue bounded at `queue_depth` pending jobs (min 1).
+    /// queue bounded at `queue_depth` pending jobs (min 1), with
+    /// timing instrumentation on.
     pub fn new(threads: usize, queue_depth: usize) -> Self {
+        Self::with_metrics(threads, queue_depth, true)
+    }
+
+    /// Like [`WorkerPool::new`], but with timing instrumentation
+    /// explicitly on or off. With `record_timings == false` the pool
+    /// never reads the clock or touches a histogram (the job counter
+    /// still ticks — it's one relaxed add).
+    pub fn with_metrics(threads: usize, queue_depth: usize, record_timings: bool) -> Self {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             threads
         };
+        let metrics = Arc::new(PoolMetrics::new(threads, record_timings));
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -84,19 +166,36 @@ impl WorkerPool {
         let workers = (0..threads)
             .map(|index| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(index, &shared))
+                let metrics = Arc::clone(&metrics);
+                std::thread::spawn(move || worker_loop(index, &shared, &metrics))
             })
             .collect();
         Self {
             shared,
             workers: Mutex::new(workers),
             thread_count: threads,
+            metrics,
         }
     }
 
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.thread_count
+    }
+
+    /// The pool's per-worker metrics shards.
+    pub fn metrics(&self) -> &PoolMetrics {
+        &self.metrics
+    }
+
+    /// The enqueue timestamp for a new queue entry: only taken when
+    /// instrumentation is on.
+    fn enqueue_stamp(&self) -> Option<Instant> {
+        if self.metrics.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
     }
 
     /// Pending (not yet started) jobs.
@@ -109,11 +208,12 @@ impl WorkerPool {
     /// the admission-control edge — a `Err` is the caller's cue to
     /// reject the request explicitly.
     pub fn try_submit(&self, job: Job) -> Result<(), Job> {
+        let stamp = self.enqueue_stamp();
         let mut state = self.shared.state.lock().expect("pool lock");
         if state.closing || state.jobs.len() >= self.shared.capacity {
             return Err(job);
         }
-        state.jobs.push_back(job);
+        state.jobs.push_back((stamp, job));
         drop(state);
         self.shared.job_ready.notify_one();
         Ok(())
@@ -129,7 +229,7 @@ impl WorkerPool {
         if state.closing {
             return Err(job);
         }
-        state.jobs.push_back(job);
+        state.jobs.push_back((self.enqueue_stamp(), job));
         drop(state);
         self.shared.job_ready.notify_one();
         Ok(())
@@ -170,14 +270,15 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(index: usize, shared: &Shared) {
+fn worker_loop(index: usize, shared: &Shared, metrics: &PoolMetrics) {
     let mut ws = Workspace::new();
+    let shard = &metrics.shards[index];
     loop {
-        let job = {
+        let (stamp, job) = {
             let mut state = shared.state.lock().expect("pool lock");
             loop {
-                if let Some(job) = state.jobs.pop_front() {
-                    break job;
+                if let Some(entry) = state.jobs.pop_front() {
+                    break entry;
                 }
                 if state.closing {
                     return;
@@ -186,6 +287,15 @@ fn worker_loop(index: usize, shared: &Shared) {
             }
         };
         shared.slot_free.notify_one();
+        shard.jobs.inc();
+        let started = if metrics.enabled {
+            if let Some(enqueued) = stamp {
+                shard.queue_us.record(enqueued.elapsed().as_micros() as u64);
+            }
+            Some(Instant::now())
+        } else {
+            None
+        };
         // Isolate job panics: one hostile request must not cost the
         // pool a worker for the rest of the process lifetime. The
         // workspace is replaced because an unwound scheduler may have
@@ -193,6 +303,9 @@ fn worker_loop(index: usize, shared: &Shared) {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             job(index, &mut ws);
         }));
+        if let Some(t0) = started {
+            shard.run_us.record(t0.elapsed().as_micros() as u64);
+        }
         if result.is_err() {
             eprintln!("fastsched worker {index}: job panicked; worker continues");
             ws = Workspace::new();
@@ -287,6 +400,44 @@ mod tests {
         assert_eq!(makespans, vec![18; 4]);
         // Shutdown joins cleanly — no re-panic from the dead job.
         pool.shutdown();
+    }
+
+    #[test]
+    fn pool_metrics_count_jobs_and_timings() {
+        let pool = WorkerPool::new(2, 16);
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..8 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move |_, _| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                tx.send(()).unwrap();
+            }))
+            .unwrap_or_else(|_| panic!("submit failed"));
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 8);
+        // Join the workers first: the run-time record lands after the
+        // job body (and its channel send) returns.
+        pool.shutdown();
+        let m = pool.metrics();
+        assert!(m.enabled());
+        let total: u64 = m.shards().iter().map(|s| s.jobs.get()).sum();
+        assert_eq!(total, 8);
+        let run = m.merged_run_us();
+        assert_eq!(run.count(), 8);
+        assert!(run.quantile(0.5) >= 200, "p50 run {}", run.quantile(0.5));
+        assert_eq!(m.merged_queue_us().count(), 8);
+
+        // Instrumentation off: jobs still counted, no timings.
+        let bare = WorkerPool::with_metrics(1, 4, false);
+        let (tx, rx) = mpsc::channel();
+        bare.submit(Box::new(move |_, _| tx.send(()).unwrap()))
+            .unwrap_or_else(|_| panic!("submit failed"));
+        rx.recv().unwrap();
+        bare.shutdown();
+        assert!(!bare.metrics().enabled());
+        assert_eq!(bare.metrics().shards()[0].jobs.get(), 1);
+        assert_eq!(bare.metrics().merged_run_us().count(), 0);
     }
 
     #[test]

@@ -73,11 +73,14 @@ USAGE:
                  [--procs <p>] [--threads <t>] [--out <out.ndjson>]
   casch serve    [--addr <host:port>] [--threads <t>] [--queue-depth <n>]
                  [--timeout-ms <ms>] [--max-line-bytes <n>] [--max-procs <p>]
+                 [--metrics-addr <host:port>] [--no-metrics]
+                 [--access-log <file.ndjson>] [--log-sample-rate <n>]
   casch loadgen  (--dir <dir> | --manifest <list.txt> | --dag <file>)
                  [--addr <host:port>] [--algo <name>] [--procs <p>]
                  [--rate <req/s>] [--total <n>] [--duration <s>]
                  [--warmup <s>] [--conns <c>] [--timeout-ms <ms>]
                  [--check] [--stats] [--shutdown]
+                 [--metrics-addr <host:port>] [--metrics-out <file>]
   casch simulate --dag <file.json> --schedule <sched.json>
                  [--topology <mesh|torus|hypercube|full>] [--hop <us>]
                  [--send-overhead <us>] [--recv-overhead <us>]
@@ -126,16 +129,24 @@ buffering, `--timeout-ms` bounds queue wait (per-request `timeout_ms`
 overrides), a request's `procs` / `speeds` length is capped at
 max(node count, `--max-procs`) so one line cannot demand unbounded
 scratch, and SIGINT or `op:\"shutdown\"` drains in-flight work
-before exiting.
+before exiting. `--metrics-addr` serves a Prometheus text exposition
+at `GET /metrics` (and the `op:\"stats\"` JSON at `/metrics.json`)
+from a dedicated thread — never a pool worker — with per-phase
+queue/schedule/serialize/write latency histograms; `--no-metrics`
+turns request timing off entirely, `--access-log <file>` appends one
+NDJSON line per completed/rejected/timed-out request, and
+`--log-sample-rate <n>` keeps every n-th line (default 1 = all).
 
 `casch loadgen` drives a running server open-loop: requests from a
 DAG corpus at `--rate` req/s (0 = unpaced, the saturation probe) over
 `--conns` connections for `--total` requests or `--duration` seconds
 after `--warmup` seconds, then prints a `{\"summary\":true,...}` line
-with achieved throughput and p50/p99 latency. `--check` verifies every
-response byte-for-byte against a local `schedule_into` run (nonzero
-exit on any mismatch); `--stats` and `--shutdown` afterwards fetch the
-server's counters / stop it gracefully.
+with achieved throughput and p50/p99/p999 latency. `--check` verifies
+every response byte-for-byte against a local `schedule_into` run
+(nonzero exit on any mismatch); `--stats` and `--shutdown` afterwards
+fetch the server's counters / stop it gracefully. `--metrics-addr`
+scrapes the server's `/metrics` page mid-run (a hard error if the
+scrape fails) and prints it to stderr or `--metrics-out <file>`.
 
 `casch verify` runs the structural validator over a saved schedule:
 task count, processor bounds, durations under the cost model
@@ -165,7 +176,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("unexpected argument `{a}`"));
         };
         // Boolean flags take no value.
-        if matches!(key, "gantt" | "all" | "check" | "stats" | "shutdown") {
+        if matches!(
+            key,
+            "gantt" | "all" | "check" | "stats" | "shutdown" | "no-metrics"
+        ) {
             out.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -462,10 +476,17 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
             as usize,
         max_procs: get_u64_or(opts, "max-procs", DEFAULT_MAX_PROCS as u64)?
             .clamp(1, u32::MAX as u64) as u32,
+        metrics: !opts.contains_key("no-metrics"),
+        metrics_addr: opts.get("metrics-addr").cloned(),
+        access_log: opts.get("access-log").map(std::path::PathBuf::from),
+        log_sample_rate: get_u64_or(opts, "log-sample-rate", 1)?.max(1),
     };
     install_sigint_handler();
     let server = Server::bind(addr, config.clone()).map_err(|e| format!("bind {addr}: {e}"))?;
     let local = server.local_addr().map_err(|e| e.to_string())?;
+    if let Some(maddr) = server.metrics_addr() {
+        eprintln!("casch serve metrics on http://{maddr}/metrics (JSON at /metrics.json)");
+    }
     eprintln!(
         "casch serve listening on {local} (threads {}, queue depth {}); \
          SIGINT or op:\"shutdown\" drains and exits",
@@ -536,9 +557,19 @@ fn cmd_loadgen(opts: &Flags) -> Result<(), String> {
         },
         check: opts.contains_key("check"),
         connect_retry_s: get_f64_or(opts, "connect-retry", 5.0)?,
+        metrics_addr: opts.get("metrics-addr").cloned(),
     };
     let report = loadgen::run(&config)?;
     println!("{}", report.to_json_line());
+    if let Some(page) = &report.metrics_scrape {
+        match opts.get("metrics-out") {
+            Some(path) => {
+                std::fs::write(path, page).map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("wrote mid-run /metrics scrape to {path}");
+            }
+            None => eprint!("{page}"),
+        }
+    }
     if opts.contains_key("stats") {
         println!(
             "{}",

@@ -37,7 +37,12 @@
 //!   errors, per-request timeouts bound *queue wait* (started work
 //!   runs to completion), and SIGINT drains in-flight requests before
 //!   exit. A `stats` request returns server-wide and per-worker
-//!   counters including p50/p99 service latency;
+//!   counters including p50/p99 service latency. Observability is
+//!   first-class (DESIGN.md §15): every request is timed through
+//!   queue/schedule/serialize/write phase histograms
+//!   (`fastsched_metrics`), `--metrics-addr` serves a Prometheus
+//!   `/metrics` page (JSON twin at `/metrics.json`) from a dedicated
+//!   thread, and `--access-log` writes a sampled NDJSON access log;
 //! * [`loadgen`] — the open-loop load generator (`casch loadgen`):
 //!   paced or unpaced arrivals over N connections, warmup/measure
 //!   phases, and optional `--check` verification of every response

@@ -25,7 +25,7 @@ use crate::serve::scheduler_by_name;
 use fastsched_algorithms::Workspace;
 use fastsched_dag::{io::DagSpec, Dag};
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read as _, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -72,6 +72,12 @@ pub struct LoadgenConfig {
     /// Seconds to keep retrying the initial connect (covers server
     /// startup races in scripts).
     pub connect_retry_s: f64,
+    /// Scrape `GET /metrics` from this address mid-run (halfway
+    /// through a paced window; shortly after start otherwise) and
+    /// carry the page in [`LoadReport::metrics_scrape`]. This proves
+    /// the scrape path answers *while* the server is under the
+    /// offered load, not just at rest.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for LoadgenConfig {
@@ -89,6 +95,7 @@ impl Default for LoadgenConfig {
             timeout_ms: None,
             check: false,
             connect_retry_s: 5.0,
+            metrics_addr: None,
         }
     }
 }
@@ -124,12 +131,20 @@ pub struct LoadReport {
     pub p50_us: u64,
     /// 99th-percentile round-trip latency, µs.
     pub p99_us: u64,
+    /// 99.9th-percentile round-trip latency, µs — computed from the
+    /// full measured sample set (every response is kept), not a
+    /// bounded ring, so the tail is exact even under saturation.
+    pub p999_us: u64,
     /// Mean round-trip latency, µs.
     pub mean_us: u64,
     /// Seconds from the start of measurement to the last response.
     pub wall_s: f64,
     /// Successful responses per second over `wall_s`.
     pub achieved_rps: f64,
+    /// The `/metrics` page scraped mid-run when
+    /// [`LoadgenConfig::metrics_addr`] was set (not part of
+    /// [`LoadReport::to_json_line`]).
+    pub metrics_scrape: Option<String>,
 }
 
 impl LoadReport {
@@ -139,7 +154,7 @@ impl LoadReport {
             "{{\"summary\":true,\"offered_rps\":{:.1},\"conns\":{},\"warmup_sent\":{},\
              \"sent\":{},\"ok\":{},\"rejected\":{},\"timeouts\":{},\"errors\":{},\
              \"unanswered\":{},\"checked\":{},\"mismatches\":{},\"p50_us\":{},\"p99_us\":{},\
-             \"mean_us\":{},\"wall_s\":{:.3},\"achieved_rps\":{:.1}}}",
+             \"p999_us\":{},\"mean_us\":{},\"wall_s\":{:.3},\"achieved_rps\":{:.1}}}",
             self.offered_rps,
             self.conns,
             self.warmup_sent,
@@ -153,6 +168,7 @@ impl LoadReport {
             self.mismatches,
             self.p50_us,
             self.p99_us,
+            self.p999_us,
             self.mean_us,
             self.wall_s,
             self.achieved_rps
@@ -210,6 +226,32 @@ pub fn request_once(addr: &str, request: &Request, retry_s: f64) -> Result<Strin
         return Err("server closed the connection without answering".to_string());
     }
     Ok(line.trim_end().to_string())
+}
+
+/// `GET path` from a `casch serve --metrics-addr` listener and
+/// return the response body. Fails on any status other than 200.
+pub fn scrape_metrics(addr: &str, path: &str, retry_s: f64) -> Result<String, String> {
+    let stream = connect_with_retry(addr, retry_s)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    let mut w = stream.try_clone().map_err(|e| e.to_string())?;
+    w.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .map_err(|e| format!("scrape send: {e}"))?;
+    let mut raw = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("scrape recv: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or("scrape: malformed HTTP response")?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(format!("scrape {path}: {status}"));
+    }
+    Ok(body.to_string())
 }
 
 /// Run one open-loop load generation against `config.addr`.
@@ -297,6 +339,20 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, String> {
         }));
     }
 
+    // Mid-run scraper: waits for the load to be established, then
+    // fetches /metrics exactly once while requests are in flight.
+    let scraper = config.metrics_addr.clone().map(|maddr| {
+        let delay = if config.total.is_none() {
+            warmup + Duration::from_secs_f64(config.duration_s.max(0.01) / 2.0)
+        } else {
+            Duration::from_millis(250)
+        };
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            scrape_metrics(&maddr, "/metrics", 2.0)
+        })
+    });
+
     let mut merged = ConnTally::default();
     for h in handles {
         let tally = h
@@ -336,6 +392,14 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, String> {
     } else {
         merged.latencies_us.iter().sum::<u64>() / merged.latencies_us.len() as u64
     };
+    let metrics_scrape = match scraper {
+        Some(h) => match h.join() {
+            Ok(Ok(page)) => Some(page),
+            Ok(Err(e)) => return Err(format!("mid-run metrics scrape failed: {e}")),
+            Err(_) => return Err("metrics scraper thread panicked".to_string()),
+        },
+        None => None,
+    };
     Ok(LoadReport {
         offered_rps: config.rate.max(0.0),
         conns,
@@ -350,9 +414,11 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadReport, String> {
         mismatches: merged.mismatches,
         p50_us: at(0.50),
         p99_us: at(0.99),
+        p999_us: at(0.999),
         mean_us,
         wall_s,
         achieved_rps: merged.ok as f64 / wall_s,
+        metrics_scrape,
     })
 }
 

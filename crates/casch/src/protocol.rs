@@ -318,6 +318,25 @@ pub struct WorkerSnapshot {
     pub p99_us: u64,
 }
 
+/// One request phase's latency distribution inside a
+/// [`StatsSnapshot`]: quantiles from the server-side histogram, in
+/// microseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    /// Phase name: `queue`, `schedule`, `serialize`, or `write`.
+    pub phase: String,
+    /// Observations recorded in this phase.
+    pub count: u64,
+    /// Median, µs.
+    pub p50_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+    /// 99.9th percentile, µs.
+    pub p999_us: u64,
+    /// Mean, µs.
+    pub mean_us: u64,
+}
+
 /// Server counters answering an `op:"stats"` request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsSnapshot {
@@ -341,6 +360,16 @@ pub struct StatsSnapshot {
     pub in_flight: u64,
     /// Per-worker counters, in worker-index order.
     pub workers: Vec<WorkerSnapshot>,
+    /// CPU cores on the serving host (`0` from servers predating the
+    /// field) — makes recorded benchmark scrapes self-describing.
+    pub host_cores: usize,
+    /// Whole seconds since the server started (`0` from servers
+    /// predating the field).
+    pub uptime_s: u64,
+    /// Per-phase latency distributions (queue / schedule / serialize
+    /// / write), merged across workers; empty when the server has
+    /// phase metrics disabled or predates them.
+    pub phases: Vec<PhaseSnapshot>,
 }
 
 impl StatsSnapshot {
@@ -356,10 +385,30 @@ impl StatsSnapshot {
                 )
             })
             .collect();
+        // New fields ride after `workers` so every pre-existing field
+        // keeps its exact bytes and position (clients that slice the
+        // prefix keep working).
+        let phases: Vec<String> = self
+            .phases
+            .iter()
+            .map(|p| {
+                format!(
+                    "\"{}\":{{\"count\":{},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\
+                     \"mean_us\":{}}}",
+                    json_escape(&p.phase),
+                    p.count,
+                    p.p50_us,
+                    p.p99_us,
+                    p.p999_us,
+                    p.mean_us
+                )
+            })
+            .collect();
         format!(
             "{{\"id\":{},\"ok\":true,\"stats\":{{\"threads\":{},\"queue_depth\":{},\
              \"accepted\":{},\"rejected\":{},\"timeouts\":{},\"malformed\":{},\
-             \"completed\":{},\"in_flight\":{},\"workers\":[{}]}}}}",
+             \"completed\":{},\"in_flight\":{},\"workers\":[{}],\"host_cores\":{},\
+             \"uptime_s\":{},\"phases\":{{{}}}}}}}",
             self.id,
             self.threads,
             self.queue_depth,
@@ -369,7 +418,10 @@ impl StatsSnapshot {
             self.malformed,
             self.completed,
             self.in_flight,
-            workers.join(",")
+            workers.join(","),
+            self.host_cores,
+            self.uptime_s,
+            phases.join(",")
         )
     }
 }
@@ -432,6 +484,29 @@ impl Response {
                     .collect::<Result<Vec<_>, String>>()?,
                 _ => return Err("parse: stats missing `workers`".to_string()),
             };
+            // `host_cores`, `uptime_s` and `phases` are optional:
+            // servers predating them simply don't send them.
+            let phases = match field(stats, "phases") {
+                Some(Value::Object(entries)) => entries
+                    .iter()
+                    .map(|(name, body)| {
+                        let get = |k: &str| {
+                            field(body, k)
+                                .and_then(as_u64)
+                                .ok_or_else(|| format!("parse: phase `{name}` missing `{k}`"))
+                        };
+                        Ok(PhaseSnapshot {
+                            phase: name.clone(),
+                            count: get("count")?,
+                            p50_us: get("p50_us")?,
+                            p99_us: get("p99_us")?,
+                            p999_us: get("p999_us")?,
+                            mean_us: get("mean_us")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                _ => Vec::new(),
+            };
             return Ok(Response::Stats(StatsSnapshot {
                 id,
                 threads: get("threads")? as usize,
@@ -443,6 +518,9 @@ impl Response {
                 completed: get("completed")?,
                 in_flight: get("in_flight")?,
                 workers,
+                host_cores: field(stats, "host_cores").and_then(as_u64).unwrap_or(0) as usize,
+                uptime_s: field(stats, "uptime_s").and_then(as_u64).unwrap_or(0),
+                phases,
             }));
         }
         if field(&v, "shutdown").is_some() {
@@ -761,8 +839,57 @@ mod tests {
                     p99_us: 61,
                 },
             ],
+            host_cores: 8,
+            uptime_s: 42,
+            phases: vec![
+                PhaseSnapshot {
+                    phase: "queue".to_string(),
+                    count: 9,
+                    p50_us: 11,
+                    p99_us: 90,
+                    p999_us: 120,
+                    mean_us: 15,
+                },
+                PhaseSnapshot {
+                    phase: "schedule".to_string(),
+                    count: 9,
+                    p50_us: 30,
+                    p99_us: 61,
+                    p999_us: 61,
+                    mean_us: 33,
+                },
+            ],
         });
         assert_eq!(Response::parse(&stats.to_line()).unwrap(), stats);
+
+        // Byte-compat: every pre-existing stats field renders at its
+        // pre-phases position — the prefix through `"workers":[...]`
+        // is unchanged, new fields only append after it.
+        if let Response::Stats(s) = &stats {
+            let line = s.to_line();
+            let legacy_prefix = format!(
+                "{{\"id\":2,\"ok\":true,\"stats\":{{\"threads\":4,\"queue_depth\":1024,\
+                 \"accepted\":10,\"rejected\":1,\"timeouts\":0,\"malformed\":2,\
+                 \"completed\":9,\"in_flight\":1,\"workers\":[{},{}],",
+                "{\"worker\":0,\"requests\":5,\"p50_us\":30,\"p99_us\":55}",
+                "{\"worker\":1,\"requests\":4,\"p50_us\":28,\"p99_us\":61}"
+            );
+            assert!(line.starts_with(&legacy_prefix), "prefix changed: {line}");
+        }
+
+        // A stats line from a server predating the new fields still
+        // parses, with defaults.
+        let legacy = "{\"id\":2,\"ok\":true,\"stats\":{\"threads\":1,\"queue_depth\":4,\
+                      \"accepted\":0,\"rejected\":0,\"timeouts\":0,\"malformed\":0,\
+                      \"completed\":0,\"in_flight\":0,\"workers\":[]}}";
+        match Response::parse(legacy).unwrap() {
+            Response::Stats(s) => {
+                assert_eq!(s.host_cores, 0);
+                assert_eq!(s.uptime_s, 0);
+                assert!(s.phases.is_empty());
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
 
         let done = Response::Shutdown {
             id: 1,

@@ -31,9 +31,29 @@
 //!   [`install_sigint_handler`]) or an `op:"shutdown"` request stops
 //!   the accept loop, drains every admitted request to a response,
 //!   then joins the workers. Accepted work is never abandoned.
-//! * **Counters** — accepted/rejected/timeout/malformed/completed
-//!   totals plus per-worker request counts and p50/p99 service times
-//!   over a sliding window, served inline by `op:"stats"`.
+//! * **Metrics** — accepted/rejected/timeout/malformed/completed
+//!   totals plus per-worker request counts and per-phase
+//!   (queue / schedule / serialize / write) latency histograms
+//!   ([`fastsched_metrics`]; lock-free, every observation counted —
+//!   no sample-window bias under saturation). Served inline by
+//!   `op:"stats"`, and — when [`ServeConfig::metrics_addr`] is set —
+//!   as Prometheus text exposition on `GET /metrics` (JSON twin at
+//!   `/metrics.json`) from a dedicated thread that is never a pool
+//!   worker, so scrapes keep working while the pool is saturated.
+//!   An optional sampled NDJSON access log
+//!   ([`ServeConfig::access_log`]) records every Nth request's id,
+//!   algorithm, size, phase timings and outcome.
+//!
+//! **Memory ordering.** Every statistic here is `Relaxed`: each
+//! counter/gauge/histogram cell is an independent statistical
+//! quantity whose contract is per-cell atomicity and monotonicity,
+//! not cross-cell synchronization — a stats snapshot is a sample,
+//! not a consistent cut. The one consumer that *waits* on a value,
+//! the shutdown drain (`in_flight == 0`), needs only the gauge's own
+//! modification order plus eventual visibility, which `Relaxed`
+//! atomics guarantee. Snapshots read sinks before sources
+//! (`completed` before `accepted`, `in_flight` last) so derived
+//! inequalities hold in practice.
 //!
 //! Responses to pipelined requests are written by the worker that
 //! finished them, so they may interleave out of order; the `id` field
@@ -46,23 +66,21 @@
 //! shutdown drain) forever.
 
 use crate::protocol::{
-    self, Line, LineReader, Request, Response, ScheduleRequest, ScheduleResponse, StatsSnapshot,
-    WorkerSnapshot,
+    self, Line, LineReader, PhaseSnapshot, Request, Response, ScheduleRequest, ScheduleResponse,
+    StatsSnapshot, WorkerSnapshot,
 };
 use fastsched_algorithms::{
     BoundedDsc, BranchAndBound, Cpop, Dcp, Dls, Dsc, Etf, Ez, Fast, FastParallel, FastSa, Heft,
     HeftHetero, Hlfet, Ish, Lc, Mcp, Md, ProcessorSpeeds, Scheduler, WorkerPool,
 };
 use fastsched_dag::Dag;
-use std::io::{self, BufReader, Write};
+use fastsched_metrics::prometheus::{Exposition, CONTENT_TYPE};
+use fastsched_metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::io::{self, BufReader, Read as _, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
-
-/// Per-worker latency window: enough samples for a stable p99 at a
-/// bounded, allocation-free-after-warmup memory cost.
-const LATENCY_WINDOW: usize = 4096;
+use std::time::{Duration, Instant, SystemTime};
 
 /// How often blocked loops (accept, reads, drain) re-check the
 /// shutdown flag.
@@ -79,6 +97,39 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 /// homogeneous machine while keeping the per-request O(procs) scratch
 /// in the hundreds of KB.
 pub const DEFAULT_MAX_PROCS: u32 = 16_384;
+
+/// Request-vocabulary algorithm names, in the order their per-algo
+/// request counters are kept. The final entry is the heterogeneous
+/// engine, selected by a `speeds` array rather than by name.
+const ALGO_NAMES: [&str; 18] = [
+    "fast",
+    "dsc",
+    "md",
+    "etf",
+    "dls",
+    "hlfet",
+    "mcp",
+    "heft",
+    "fast-ms",
+    "fast-sa",
+    "dcp",
+    "ish",
+    "ez",
+    "lc",
+    "cpop",
+    "dsc-llb",
+    "bnb",
+    "heft-hetero",
+];
+
+/// Index into [`ALGO_NAMES`] (and the per-algo counters) for a
+/// homogeneous request's algorithm name.
+fn algo_index(name: &str) -> usize {
+    ALGO_NAMES
+        .iter()
+        .position(|&a| a == name)
+        .unwrap_or(ALGO_NAMES.len() - 1)
+}
 
 /// Resolve an algorithm name (the CLI vocabulary) to a scheduler.
 pub fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
@@ -125,6 +176,19 @@ pub struct ServeConfig {
     /// Schedulers allocate O(procs) scratch, so this bound is what
     /// keeps a hostile one-line request from demanding gigabytes.
     pub max_procs: u32,
+    /// Record per-phase latency histograms (`false` = the
+    /// `--no-metrics` overhead-measurement mode: no clock reads or
+    /// histogram writes beyond what the response itself needs).
+    pub metrics: bool,
+    /// Bind a scrape listener here (e.g. `127.0.0.1:9460`) serving
+    /// `GET /metrics` (Prometheus text) and `/metrics.json` on a
+    /// dedicated thread. `None` = no listener.
+    pub metrics_addr: Option<String>,
+    /// Append a sampled NDJSON access log to this file.
+    pub access_log: Option<std::path::PathBuf>,
+    /// Log every Nth request (1 = all); only meaningful with
+    /// [`ServeConfig::access_log`].
+    pub log_sample_rate: u64,
 }
 
 impl Default for ServeConfig {
@@ -135,6 +199,10 @@ impl Default for ServeConfig {
             default_timeout_ms: 0,
             max_line_bytes: protocol::DEFAULT_MAX_LINE,
             max_procs: DEFAULT_MAX_PROCS,
+            metrics: true,
+            metrics_addr: None,
+            access_log: None,
+            log_sample_rate: 1,
         }
     }
 }
@@ -156,96 +224,219 @@ pub struct ServeSummary {
     pub completed: u64,
 }
 
+/// The request phases, in reporting order. `queue` is recorded for
+/// every admitted request that reaches a worker (including ones
+/// answered `timeout` — queue wait under saturation is exactly what
+/// the phase exists to show); `schedule`/`serialize`/`write` only for
+/// requests that performed them.
+const PHASE_NAMES: [&str; 4] = ["queue", "schedule", "serialize", "write"];
+
+/// One worker's metrics shard: written only by the owning pool
+/// worker, so recording never contends; merged across workers at
+/// scrape time ([`ServeStats::merged_phase`]).
 struct WorkerCounters {
-    requests: AtomicU64,
-    latencies: Mutex<LatencyRing>,
+    requests: Counter,
+    /// Indexed like [`PHASE_NAMES`].
+    phase_us: [Histogram; 4],
 }
 
-struct LatencyRing {
-    samples: Vec<u64>,
-    next: usize,
+/// Sampled NDJSON access log: one line per [`AccessLog::rate`]-th
+/// request. The sampling decision is one relaxed counter increment;
+/// only sampled requests pay the render + locked file append.
+struct AccessLog {
+    file: Mutex<std::fs::File>,
+    seq: AtomicU64,
+    rate: u64,
 }
 
-impl LatencyRing {
-    fn record(&mut self, us: u64) {
-        if self.samples.len() < LATENCY_WINDOW {
-            self.samples.push(us);
-        } else {
-            self.samples[self.next] = us;
-            self.next = (self.next + 1) % LATENCY_WINDOW;
-        }
+impl AccessLog {
+    fn open(path: &std::path::Path, rate: u64) -> io::Result<AccessLog> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(AccessLog {
+            file: Mutex::new(file),
+            seq: AtomicU64::new(0),
+            rate: rate.max(1),
+        })
     }
 
-    /// (p50, p99) over the window, in µs.
-    fn percentiles(&self) -> (u64, u64) {
-        if self.samples.is_empty() {
-            return (0, 0);
+    /// Log this request if it is a sampled one; `render` runs only
+    /// when it is.
+    fn log(&self, render: impl FnOnce() -> String) {
+        if !self
+            .seq
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.rate)
+        {
+            return;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
-        (at(0.50), at(0.99))
+        let mut line = render();
+        line.push('\n');
+        let mut f = self.file.lock().expect("access log lock");
+        let _ = f.write_all(line.as_bytes());
     }
 }
 
+/// Render one access-log NDJSON line.
+#[allow(clippy::too_many_arguments)]
+fn access_line(
+    id: u64,
+    algo: &str,
+    nodes: usize,
+    procs: u32,
+    outcome: &str,
+    phase_us: [u64; 4],
+) -> String {
+    let ts_ms = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64);
+    format!(
+        "{{\"ts_ms\":{ts_ms},\"id\":{id},\"algo\":\"{}\",\"nodes\":{nodes},\"procs\":{procs},\
+         \"outcome\":\"{outcome}\",\"queue_us\":{},\"schedule_us\":{},\"serialize_us\":{},\
+         \"write_us\":{}}}",
+        protocol::json_escape(algo),
+        phase_us[0],
+        phase_us[1],
+        phase_us[2],
+        phase_us[3],
+    )
+}
+
+/// All serve-side metrics. Counters, gauges and histograms are
+/// `Relaxed` throughout — see the ordering note in the
+/// [module docs](self).
 struct ServeStats {
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-    timeouts: AtomicU64,
-    malformed: AtomicU64,
-    completed: AtomicU64,
-    in_flight: AtomicU64,
-    connections: AtomicU64,
+    accepted: Counter,
+    rejected: Counter,
+    timeouts: Counter,
+    malformed: Counter,
+    completed: Counter,
+    /// Connections accepted over the server's lifetime.
+    connections: Counter,
+    /// Connections currently open.
+    conns_live: Gauge,
+    /// Admitted requests not yet answered. The shutdown drain spins
+    /// on this reaching zero.
+    in_flight: Gauge,
+    /// Per-worker shards, indexed by pool worker.
     workers: Vec<WorkerCounters>,
+    /// Per-algorithm completion counters, indexed like [`ALGO_NAMES`].
+    /// Incremented alongside `completed`, so their sum equals it.
+    algos: Vec<Counter>,
+    start: Instant,
+    host_cores: usize,
+    /// Phase histograms enabled ([`ServeConfig::metrics`]).
+    timing: bool,
+    access: Option<AccessLog>,
 }
 
 impl ServeStats {
-    fn new(threads: usize) -> Self {
+    fn new(threads: usize, timing: bool, access: Option<AccessLog>) -> Self {
         Self {
-            accepted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            timeouts: AtomicU64::new(0),
-            malformed: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            in_flight: AtomicU64::new(0),
-            connections: AtomicU64::new(0),
+            accepted: Counter::new(),
+            rejected: Counter::new(),
+            timeouts: Counter::new(),
+            malformed: Counter::new(),
+            completed: Counter::new(),
+            connections: Counter::new(),
+            conns_live: Gauge::new(),
+            in_flight: Gauge::new(),
             workers: (0..threads)
                 .map(|_| WorkerCounters {
-                    requests: AtomicU64::new(0),
-                    latencies: Mutex::new(LatencyRing {
-                        samples: Vec::new(),
-                        next: 0,
-                    }),
+                    requests: Counter::new(),
+                    phase_us: std::array::from_fn(|_| Histogram::new()),
                 })
                 .collect(),
+            algos: ALGO_NAMES.iter().map(|_| Counter::new()).collect(),
+            start: Instant::now(),
+            host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            timing,
+            access,
         }
     }
 
+    /// Whether phase timestamps need to be taken at all (histograms
+    /// on, or an access log that wants the numbers).
+    fn wants_timings(&self) -> bool {
+        self.timing || self.access.is_some()
+    }
+
+    /// Phase `p`'s latency distribution merged across all workers.
+    fn merged_phase(&self, p: usize) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::empty();
+        for w in &self.workers {
+            out.merge(&w.phase_us[p].snapshot());
+        }
+        out
+    }
+
+    fn uptime_s(&self) -> u64 {
+        self.start.elapsed().as_secs()
+    }
+
     fn snapshot(&self, id: u64, queue_depth: usize) -> StatsSnapshot {
+        // Read sinks before their sources (`completed` before
+        // `accepted`; `in_flight` last) so the usual inequalities
+        // (completed <= accepted, in_flight consistent with both)
+        // hold in practice even though the snapshot is a statistical
+        // sample, not a synchronized cut.
+        let completed = self.completed.get();
+        let timeouts = self.timeouts.get();
+        let rejected = self.rejected.get();
+        let malformed = self.malformed.get();
+        let accepted = self.accepted.get();
+        let in_flight = self.in_flight.get();
+        let phases = if self.timing {
+            PHASE_NAMES
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    let h = self.merged_phase(i);
+                    PhaseSnapshot {
+                        phase: (*name).to_string(),
+                        count: h.count(),
+                        p50_us: h.quantile(0.50),
+                        p99_us: h.quantile(0.99),
+                        p999_us: h.quantile(0.999),
+                        mean_us: h.mean(),
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         StatsSnapshot {
             id,
             threads: self.workers.len(),
             queue_depth,
-            accepted: self.accepted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            malformed: self.malformed.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            in_flight: self.in_flight.load(Ordering::Relaxed),
+            accepted,
+            rejected,
+            timeouts,
+            malformed,
+            completed,
+            in_flight,
             workers: self
                 .workers
                 .iter()
                 .enumerate()
                 .map(|(i, w)| {
-                    let (p50_us, p99_us) = w.latencies.lock().expect("latency lock").percentiles();
+                    // The schedule-phase histogram is the old
+                    // "service time" — same quantity the retired
+                    // sample ring reported, now over every request.
+                    let h = w.phase_us[1].snapshot();
                     WorkerSnapshot {
                         worker: i,
-                        requests: w.requests.load(Ordering::Relaxed),
-                        p50_us,
-                        p99_us,
+                        requests: w.requests.get(),
+                        p50_us: h.quantile(0.50),
+                        p99_us: h.quantile(0.99),
                     }
                 })
                 .collect(),
+            host_cores: self.host_cores,
+            uptime_s: self.uptime_s(),
+            phases,
         }
     }
 }
@@ -286,6 +477,8 @@ struct PreparedRequest {
     engine: Engine,
     deadline: Option<Duration>,
     enqueued: Instant,
+    /// Index into [`ALGO_NAMES`] / the per-algo counters.
+    algo_idx: usize,
 }
 
 enum Engine {
@@ -301,17 +494,25 @@ enum Engine {
 /// and returns the lifetime totals.
 pub struct Server {
     listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
     config: ServeConfig,
     shutdown: Arc<AtomicBool>,
 }
 
 impl Server {
     /// Bind to `addr` (e.g. `127.0.0.1:4800`; port 0 picks a free
-    /// port — read it back with [`Server::local_addr`]).
+    /// port — read it back with [`Server::local_addr`]). Also binds
+    /// the scrape listener when [`ServeConfig::metrics_addr`] is set
+    /// (read it back with [`Server::metrics_addr`]).
     pub fn bind(addr: &str, config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let metrics_listener = match &config.metrics_addr {
+            Some(maddr) => Some(TcpListener::bind(maddr.as_str())?),
+            None => None,
+        };
         Ok(Server {
             listener,
+            metrics_listener,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -320,6 +521,13 @@ impl Server {
     /// The bound address.
     pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The bound scrape address, when a metrics listener exists.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
     }
 
     /// A flag that requests a graceful shutdown when set (what the
@@ -333,6 +541,7 @@ impl Server {
     pub fn run(self) -> io::Result<ServeSummary> {
         let Server {
             listener,
+            metrics_listener,
             config,
             shutdown,
         } = self;
@@ -342,14 +551,36 @@ impl Server {
         } else {
             config.threads
         };
-        let pool = Arc::new(WorkerPool::new(threads, config.queue_depth));
-        let stats = Arc::new(ServeStats::new(pool.threads()));
+        // The pool's own instrumentation mirrors the serve-level
+        // `metrics` switch, so `--no-metrics` removes every clock
+        // read on the hot path.
+        let pool = Arc::new(WorkerPool::with_metrics(
+            threads,
+            config.queue_depth,
+            config.metrics,
+        ));
+        let access = match &config.access_log {
+            Some(path) => Some(AccessLog::open(path, config.log_sample_rate)?),
+            None => None,
+        };
+        let stats = Arc::new(ServeStats::new(pool.threads(), config.metrics, access));
+        // The scrape listener gets its own dedicated thread — never a
+        // pool worker — so /metrics keeps answering while the pool is
+        // saturated or wedged.
+        let scrape_thread = metrics_listener.map(|ml| {
+            let stats = Arc::clone(&stats);
+            let pool = Arc::clone(&pool);
+            let shutdown = Arc::clone(&shutdown);
+            let queue_depth = config.queue_depth;
+            std::thread::spawn(move || scrape_loop(&ml, &stats, &pool, queue_depth, &shutdown))
+        });
         let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
 
         while !shutdown.load(Ordering::SeqCst) && !SIGINT_SEEN.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _peer)) => {
-                    stats.connections.fetch_add(1, Ordering::Relaxed);
+                    stats.connections.inc();
+                    stats.conns_live.inc();
                     let ctx = ConnCtx {
                         pool: Arc::clone(&pool),
                         stats: Arc::clone(&stats),
@@ -357,7 +588,9 @@ impl Server {
                         config: config.clone(),
                     };
                     conns.push(std::thread::spawn(move || {
+                        let stats = Arc::clone(&ctx.stats);
                         let _ = handle_connection(stream, ctx);
+                        stats.conns_live.dec();
                     }));
                     conns.retain(|h| !h.is_finished());
                 }
@@ -376,13 +609,16 @@ impl Server {
             let _ = h.join();
         }
         pool.shutdown();
+        if let Some(h) = scrape_thread {
+            let _ = h.join();
+        }
         Ok(ServeSummary {
-            connections: stats.connections.load(Ordering::Relaxed),
-            accepted: stats.accepted.load(Ordering::Relaxed),
-            rejected: stats.rejected.load(Ordering::Relaxed),
-            timeouts: stats.timeouts.load(Ordering::Relaxed),
-            malformed: stats.malformed.load(Ordering::Relaxed),
-            completed: stats.completed.load(Ordering::Relaxed),
+            connections: stats.connections.get(),
+            accepted: stats.accepted.get(),
+            rejected: stats.rejected.get(),
+            timeouts: stats.timeouts.get(),
+            malformed: stats.malformed.get(),
+            completed: stats.completed.get(),
         })
     }
 }
@@ -470,7 +706,7 @@ fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> io::Result<()> {
         let text = match line {
             Line::TooLong(bytes) => {
                 line_no += 1;
-                ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                ctx.stats.malformed.inc();
                 let resp = Response::Error {
                     id: line_no,
                     error: format!(
@@ -489,7 +725,7 @@ fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> io::Result<()> {
         line_no += 1;
         match Request::parse(&text, line_no) {
             Err(error) => {
-                ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                ctx.stats.malformed.inc();
                 writer.write_line(&Response::Error { id: line_no, error }.to_line());
             }
             Ok(Request::Stats { id }) => {
@@ -500,12 +736,15 @@ fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> io::Result<()> {
                 ctx.shutdown.store(true, Ordering::SeqCst);
                 // Drain before acknowledging: the ack promises that
                 // every previously admitted request has its response.
-                while ctx.stats.in_flight.load(Ordering::SeqCst) > 0 {
+                // (Relaxed is enough: the gauge's own modification
+                // order is monotone toward zero once admissions stop,
+                // and stores become visible eventually.)
+                while ctx.stats.in_flight.get() > 0 {
                     std::thread::sleep(Duration::from_millis(1));
                 }
                 let resp = Response::Shutdown {
                     id,
-                    completed: ctx.stats.completed.load(Ordering::Relaxed),
+                    completed: ctx.stats.completed.get(),
                 };
                 writer.write_line(&resp.to_line());
                 break;
@@ -514,13 +753,16 @@ fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> io::Result<()> {
                 let id = req.id;
                 match prepare(req, &ctx.config) {
                     Err(error) => {
-                        ctx.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                        ctx.stats.malformed.inc();
                         writer.write_line(&Response::Error { id, error }.to_line());
                     }
                     Ok(prepared) => {
                         // Count as in-flight *before* submitting so the
                         // shutdown drain can never miss it.
-                        ctx.stats.in_flight.fetch_add(1, Ordering::SeqCst);
+                        ctx.stats.in_flight.inc();
+                        let algo_idx = prepared.algo_idx;
+                        let nodes = prepared.dag.node_count();
+                        let procs = prepared.procs;
                         let stats = Arc::clone(&ctx.stats);
                         let job_writer = Arc::clone(&writer);
                         let job: fastsched_algorithms::pool::Job = Box::new(move |worker, ws| {
@@ -528,11 +770,23 @@ fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> io::Result<()> {
                         });
                         match ctx.pool.try_submit(job) {
                             Ok(()) => {
-                                ctx.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                                ctx.stats.accepted.inc();
                             }
                             Err(_rejected_job) => {
-                                ctx.stats.in_flight.fetch_sub(1, Ordering::SeqCst);
-                                ctx.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                                ctx.stats.in_flight.dec();
+                                ctx.stats.rejected.inc();
+                                if let Some(log) = &ctx.stats.access {
+                                    log.log(|| {
+                                        access_line(
+                                            id,
+                                            ALGO_NAMES[algo_idx],
+                                            nodes,
+                                            procs,
+                                            "rejected",
+                                            [0; 4],
+                                        )
+                                    });
+                                }
                                 let resp = Response::Error {
                                     id,
                                     error: "overloaded".to_string(),
@@ -559,6 +813,10 @@ fn prepare(req: ScheduleRequest, config: &ServeConfig) -> Result<PreparedRequest
     // to the DAG's own node count always (more can never be used), or
     // the configured cap, whichever is larger.
     let proc_limit = (dag.node_count() as u64).max(u64::from(config.max_procs.max(1)));
+    let algo_idx = match req.speeds {
+        Some(_) => ALGO_NAMES.len() - 1,
+        None => algo_index(&req.algo),
+    };
     let (engine, procs) = match req.speeds {
         Some(speeds) => {
             if req.algo != "heft" {
@@ -609,6 +867,7 @@ fn prepare(req: ScheduleRequest, config: &ServeConfig) -> Result<PreparedRequest
         engine,
         deadline: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
         enqueued: Instant::now(),
+        algo_idx,
     })
 }
 
@@ -623,6 +882,11 @@ struct ResponseGuard<'a> {
     writer: &'a ConnWriter,
     id: u64,
     answered: bool,
+    /// Request identity for the access log's `internal` line when the
+    /// job unwinds before answering.
+    algo_idx: usize,
+    nodes: usize,
+    procs: u32,
 }
 
 impl Drop for ResponseGuard<'_> {
@@ -633,12 +897,26 @@ impl Drop for ResponseGuard<'_> {
                 error: "internal: scheduler panicked".to_string(),
             };
             self.writer.write_line(&resp.to_line());
+            if let Some(log) = &self.stats.access {
+                log.log(|| {
+                    access_line(
+                        self.id,
+                        ALGO_NAMES[self.algo_idx],
+                        self.nodes,
+                        self.procs,
+                        "internal",
+                        [0; 4],
+                    )
+                });
+            }
         }
-        self.stats.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.stats.in_flight.dec();
     }
 }
 
-/// Worker-side execution of one admitted request.
+/// Worker-side execution of one admitted request: schedule,
+/// serialize, write — with each phase (plus the preceding queue wait)
+/// timed into the worker's shard when metrics are on.
 fn process(
     req: PreparedRequest,
     worker: usize,
@@ -651,17 +929,37 @@ fn process(
         writer,
         id: req.id,
         answered: false,
+        algo_idx: req.algo_idx,
+        nodes: req.dag.node_count(),
+        procs: req.procs,
     };
+    let shard = &stats.workers[worker];
+    let detail = stats.wants_timings();
     let waited = req.enqueued.elapsed();
     let queue_us = waited.as_micros().min(u64::MAX as u128) as u64;
+    if stats.timing {
+        shard.phase_us[0].record(queue_us);
+    }
     if req.deadline.is_some_and(|d| waited > d) {
-        stats.timeouts.fetch_add(1, Ordering::Relaxed);
+        stats.timeouts.inc();
         let resp = Response::Error {
             id: req.id,
             error: "timeout".to_string(),
         };
         writer.write_line(&resp.to_line());
         guard.answered = true;
+        if let Some(log) = &stats.access {
+            log.log(|| {
+                access_line(
+                    req.id,
+                    ALGO_NAMES[req.algo_idx],
+                    req.dag.node_count(),
+                    req.procs,
+                    "timeout",
+                    [queue_us, 0, 0, 0],
+                )
+            });
+        }
         return;
     }
     let t0 = Instant::now();
@@ -669,22 +967,230 @@ fn process(
         Engine::Homogeneous(s) => (s.name(), s.schedule_into(&req.dag, req.procs, ws)),
         Engine::Hetero(h) => ("HEFT-hetero", h.schedule(&req.dag)),
     };
-    let service_us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    let t1 = Instant::now();
+    // `service_us` in the response is the schedule phase — the same
+    // quantity it has always carried.
+    let service_us = t1.duration_since(t0).as_micros().min(u64::MAX as u128) as u64;
     let resp =
         ScheduleResponse::from_schedule(req.id, name, req.procs, &schedule, queue_us, service_us);
-    writer.write_line(&Response::Schedule(resp).to_line());
+    let line = Response::Schedule(resp).to_line();
+    // The serialize/write split costs two extra clock reads, so it is
+    // taken only when histograms or the access log want the numbers.
+    let t2 = detail.then(Instant::now);
+    writer.write_line(&line);
+    let (serialize_us, write_us) = match t2 {
+        Some(t2) => (
+            t2.duration_since(t1).as_micros() as u64,
+            t2.elapsed().as_micros() as u64,
+        ),
+        None => (0, 0),
+    };
     guard.answered = true;
     // Recycle the result so the worker's steady state stays
     // allocation-free once its spare pool is warm.
     if let Engine::Homogeneous(_) = req.engine {
         ws.recycle(schedule);
     }
-    let counters = &stats.workers[worker];
-    counters.requests.fetch_add(1, Ordering::Relaxed);
-    counters
-        .latencies
-        .lock()
-        .expect("latency lock")
-        .record(service_us);
-    stats.completed.fetch_add(1, Ordering::Relaxed);
+    shard.requests.inc();
+    if stats.timing {
+        shard.phase_us[1].record(service_us);
+        shard.phase_us[2].record(serialize_us);
+        shard.phase_us[3].record(write_us);
+    }
+    stats.algos[req.algo_idx].inc();
+    stats.completed.inc();
+    if let Some(log) = &stats.access {
+        log.log(|| {
+            access_line(
+                req.id,
+                ALGO_NAMES[req.algo_idx],
+                req.dag.node_count(),
+                req.procs,
+                "ok",
+                [queue_us, service_us, serialize_us, write_us],
+            )
+        });
+    }
+}
+
+// ---------------------------------------------------- scrape listener
+
+/// Accept loop for the metrics listener. Requests are one line and
+/// responses render from lock-free snapshots, so connections are
+/// served serially on this one dedicated thread; read/write timeouts
+/// bound the damage a stalled scraper can do, and a saturated worker
+/// pool cannot delay a scrape at all.
+fn scrape_loop(
+    listener: &TcpListener,
+    stats: &ServeStats,
+    pool: &WorkerPool,
+    queue_depth: usize,
+    shutdown: &AtomicBool,
+) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !shutdown.load(Ordering::SeqCst) && !SIGINT_SEEN.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = serve_scrape(stream, stats, pool, queue_depth);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Answer one scrape connection: a minimal HTTP/1.1 exchange
+/// (`GET /metrics` → Prometheus text, `GET /metrics.json` → the same
+/// line `op:"stats"` would return), then close.
+fn serve_scrape(
+    mut stream: TcpStream,
+    stats: &ServeStats,
+    pool: &WorkerPool,
+    queue_depth: usize,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    // Read the request head (bounded); everything routing needs is in
+    // the request line.
+    let mut head = [0u8; 4096];
+    let mut n = 0;
+    while n < head.len() {
+        match stream.read(&mut head[n..]) {
+            Ok(0) => break,
+            Ok(r) => {
+                n += r;
+                if head[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                break
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&head[..n]);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, ctype, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                CONTENT_TYPE,
+                render_exposition(stats, pool, queue_depth),
+            ),
+            "/metrics.json" => {
+                let mut line = Response::Stats(stats.snapshot(0, queue_depth)).to_line();
+                line.push('\n');
+                ("200 OK", "application/json", line)
+            }
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// Render the full Prometheus exposition page from the serve and
+/// pool registries.
+fn render_exposition(stats: &ServeStats, pool: &WorkerPool, queue_depth: usize) -> String {
+    let mut exp = Exposition::new();
+    exp.gauge("casch_uptime_seconds", "Seconds since the server started.")
+        .sample(&[], stats.uptime_s());
+    exp.gauge("casch_host_cores", "CPU cores on the serving host.")
+        .sample(&[], stats.host_cores as u64);
+    exp.gauge("casch_threads", "Pool worker threads.")
+        .sample(&[], stats.workers.len() as u64);
+    exp.gauge("casch_queue_capacity", "Admission-queue capacity.")
+        .sample(&[], queue_depth as u64);
+    exp.gauge("casch_queue_depth", "Jobs waiting in the admission queue.")
+        .sample(&[], pool.queued() as u64);
+    exp.gauge("casch_in_flight", "Admitted requests not yet answered.")
+        .sample(&[], stats.in_flight.get());
+    exp.gauge("casch_connections_live", "Open client connections.")
+        .sample(&[], stats.conns_live.get());
+    exp.counter("casch_connections_total", "Connections accepted.")
+        .sample(&[], stats.connections.get());
+    exp.counter(
+        "casch_requests_accepted_total",
+        "Schedule requests admitted to the queue.",
+    )
+    .sample(&[], stats.accepted.get());
+    exp.counter(
+        "casch_requests_rejected_total",
+        "Schedule requests rejected by admission control.",
+    )
+    .sample(&[], stats.rejected.get());
+    exp.counter(
+        "casch_requests_timeout_total",
+        "Admitted requests answered `timeout`.",
+    )
+    .sample(&[], stats.timeouts.get());
+    exp.counter(
+        "casch_lines_malformed_total",
+        "Lines answered with a parse or oversize error.",
+    )
+    .sample(&[], stats.malformed.get());
+    {
+        let mut fam = exp.counter(
+            "casch_requests_total",
+            "Schedule requests completed, by algorithm; sums to `completed`.",
+        );
+        for (i, name) in ALGO_NAMES.iter().enumerate() {
+            let v = stats.algos[i].get();
+            if v > 0 {
+                fam.sample(&[("algo", name)], v);
+            }
+        }
+    }
+    {
+        let mut fam = exp.counter(
+            "casch_worker_requests_total",
+            "Schedule requests completed, by pool worker.",
+        );
+        for (i, w) in stats.workers.iter().enumerate() {
+            let label = i.to_string();
+            fam.sample(&[("worker", &label)], w.requests.get());
+        }
+    }
+    {
+        let mut fam = exp.histogram(
+            "casch_phase_latency_us",
+            "Per-phase request latency in microseconds, merged across workers.",
+        );
+        for (i, name) in PHASE_NAMES.iter().enumerate() {
+            fam.series(&[("phase", name)], &stats.merged_phase(i));
+        }
+    }
+    let pm = pool.metrics();
+    exp.histogram(
+        "casch_pool_queue_latency_us",
+        "Microseconds jobs spent in the pool queue (enqueue to pop).",
+    )
+    .series(&[], &pm.merged_queue_us());
+    exp.histogram(
+        "casch_pool_job_latency_us",
+        "Microseconds jobs spent running on a pool worker.",
+    )
+    .series(&[], &pm.merged_run_us());
+    exp.finish()
 }

@@ -456,3 +456,206 @@ fn loadgen_under_load_sees_zero_mismatches() {
     let summary = join.join().expect("server thread");
     assert_eq!(summary.completed, 300);
 }
+
+/// Like [`start_server`] but with the scrape listener bound on its
+/// own loopback port; returns both addresses.
+fn start_server_with_metrics(
+    config: ServeConfig,
+) -> (
+    SocketAddr,
+    SocketAddr,
+    JoinHandle<ServeSummary>,
+    Arc<AtomicBool>,
+) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            ..config
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let maddr = server.metrics_addr().expect("metrics addr");
+    let shutdown = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, maddr, join, shutdown)
+}
+
+/// Drive `total` schedule requests through `stream` and poll
+/// `op:"stats"` until every completion has landed (the response
+/// write happens just before the counter update).
+fn drive_and_settle(
+    stream: &mut TcpStream,
+    total: u64,
+) -> fastsched_casch::protocol::StatsSnapshot {
+    let corpus = small_corpus();
+    for id in 1..=total {
+        let dag = &corpus[(id - 1) as usize % corpus.len()];
+        let req = ScheduleRequest::new(id, DagSpec::from_dag(dag));
+        stream
+            .write_all(format!("{}\n", req.to_line()).as_bytes())
+            .expect("send");
+    }
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    read_responses(&mut reader, total as usize);
+    for _ in 0..200 {
+        stream
+            .write_all(format!("{}\n", Request::Stats { id: 7 }.to_line()).as_bytes())
+            .expect("send stats");
+        match read_responses(&mut reader, 1).remove(0) {
+            Response::Stats(s) => {
+                if s.completed == total {
+                    return s;
+                }
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("stats never reached completed == {total}");
+}
+
+#[test]
+fn metrics_endpoint_serves_exposition_consistent_with_stats() {
+    let (addr, maddr, join, shutdown) = start_server_with_metrics(ServeConfig {
+        threads: 2,
+        ..ServeConfig::default()
+    });
+    let total = 9u64;
+    let mut stream = connect(addr);
+    let snap = drive_and_settle(&mut stream, total);
+
+    let page =
+        loadgen::scrape_metrics(&maddr.to_string(), "/metrics", 2.0).expect("scrape /metrics");
+
+    // Every sample line parses as `name[{labels}] value` with a
+    // numeric value, and families are announced before their samples.
+    let mut announced: Vec<&str> = Vec::new();
+    for line in page.lines().filter(|l| !l.is_empty()) {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            announced.push(rest.split(' ').next().unwrap());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let name = series.split('{').next().unwrap();
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|b| announced.contains(b))
+            .unwrap_or(name);
+        assert!(
+            announced.contains(&base),
+            "sample `{name}` before its # TYPE header"
+        );
+        value
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("bad value in `{line}`"));
+    }
+    for family in [
+        "casch_requests_total",
+        "casch_requests_accepted_total",
+        "casch_in_flight",
+        "casch_queue_depth",
+        "casch_host_cores",
+        "casch_phase_latency_us",
+        "casch_pool_job_latency_us",
+    ] {
+        assert!(
+            announced.contains(&family),
+            "missing family {family} in exposition"
+        );
+    }
+
+    // The per-algorithm counters sum to exactly what op:"stats"
+    // reports as completed — same registry, no drift.
+    let algo_sum: u64 = page
+        .lines()
+        .filter(|l| l.starts_with("casch_requests_total{algo="))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(algo_sum, snap.completed);
+    assert!(page.contains("casch_requests_total{algo=\"fast\"} 9\n"));
+
+    // Phase histograms: the schedule phase saw every request, and
+    // cumulative bucket counts are monotone within each series.
+    for phase in ["queue", "schedule", "serialize", "write"] {
+        let count_line = format!("casch_phase_latency_us_count{{phase=\"{phase}\"}} {total}\n");
+        assert!(page.contains(&count_line), "missing/short series: {phase}");
+        let prefix = format!("casch_phase_latency_us_bucket{{phase=\"{phase}\"");
+        let mut last = 0u64;
+        for line in page.lines().filter(|l| l.starts_with(&prefix)) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-monotone bucket line: {line}");
+            last = v;
+        }
+        assert_eq!(last, total, "+Inf bucket equals count for {phase}");
+    }
+
+    // The JSON twin is the op:"stats" payload verbatim.
+    let body =
+        loadgen::scrape_metrics(&maddr.to_string(), "/metrics.json", 2.0).expect("/metrics.json");
+    match Response::parse(body.trim_end()).expect("parse /metrics.json") {
+        Response::Stats(s) => {
+            assert_eq!(s.completed, snap.completed);
+            assert_eq!(s.threads, snap.threads);
+            assert_eq!(s.host_cores, snap.host_cores);
+            assert!(s.host_cores > 0, "host_cores must be detected");
+            assert!(!s.phases.is_empty(), "phase breakdown missing");
+            let queue = s.phases.iter().find(|p| p.phase == "queue").expect("queue");
+            assert_eq!(queue.count, total);
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    shutdown.store(true, Ordering::SeqCst);
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.completed, total);
+}
+
+#[test]
+fn access_log_samples_every_nth_request() {
+    let path = std::env::temp_dir().join(format!(
+        "casch-access-test-{}-{:?}.ndjson",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let (addr, join, shutdown) = start_server(ServeConfig {
+        threads: 2,
+        access_log: Some(path.clone()),
+        log_sample_rate: 2,
+        ..ServeConfig::default()
+    });
+    let total = 10u64;
+    let mut stream = connect(addr);
+    drive_and_settle(&mut stream, total);
+    shutdown.store(true, Ordering::SeqCst);
+    join.join().expect("server thread");
+
+    let text = std::fs::read_to_string(&path).expect("read access log");
+    let lines: Vec<&str> = text.lines().collect();
+    // Rate 2 logs the 1st, 3rd, ... completion: exactly half of 10.
+    assert_eq!(lines.len(), 5, "sample rate 2 over 10 requests");
+    for line in &lines {
+        for key in [
+            "\"ts_ms\":",
+            "\"id\":",
+            "\"algo\":\"fast\"",
+            "\"nodes\":",
+            "\"procs\":",
+            "\"outcome\":\"ok\"",
+            "\"queue_us\":",
+            "\"schedule_us\":",
+            "\"serialize_us\":",
+            "\"write_us\":",
+        ] {
+            assert!(line.contains(key), "access line missing {key}: {line}");
+        }
+    }
+    std::fs::remove_file(&path).expect("cleanup");
+}

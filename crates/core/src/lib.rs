@@ -15,6 +15,9 @@
 //!   matching the paper's tables exactly ([`workloads`]);
 //! * a discrete-event Paragon-substitute simulator ([`sim`]);
 //! * the CASCH-substitute pipeline and CLI ([`casch`]);
+//! * lock-free service metrics — counters, gauges, mergeable
+//!   log-linear latency histograms, and a Prometheus text-exposition
+//!   writer backing `casch serve --metrics-addr` ([`metrics`]);
 //! * an observability layer — phase timers, search counters and
 //!   schedule-length trajectories ([`trace`]); compile with the
 //!   `trace` cargo feature to actually record (off by default, where
@@ -45,6 +48,7 @@ pub mod counting_alloc;
 pub use fastsched_algorithms as algorithms;
 pub use fastsched_casch as casch;
 pub use fastsched_dag as dag;
+pub use fastsched_metrics as metrics;
 pub use fastsched_schedule as schedule;
 pub use fastsched_sim as sim;
 pub use fastsched_trace as trace;

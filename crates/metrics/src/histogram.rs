@@ -1,0 +1,291 @@
+//! Lock-free log-linear latency histograms.
+//!
+//! A [`Histogram`] is a fixed array of atomic bucket counters indexed
+//! by an HDR-style log-linear scheme: values below
+//! 2·[`SUB_BUCKETS`] land in exact unit buckets, and every further
+//! power-of-two octave is split into [`SUB_BUCKETS`] linear
+//! sub-buckets, so the relative value error of any bucket is bounded
+//! by `1/SUB_BUCKETS` (6.25 %) while the whole `u64` range fits in
+//! [`BUCKET_COUNT`] buckets (~8 KB).
+//!
+//! Recording is a handful of `Relaxed` atomic adds — no locks, no
+//! allocation, safe to call from every worker thread concurrently
+//! with a scrape. Unlike a sample ring, **every** observation lands
+//! in its bucket: percentiles are exact in *count* (only the value is
+//! quantized to its bucket's upper bound), there is no sliding-window
+//! bias, and saturating a service does not push the tail out of the
+//! window.
+//!
+//! A [`HistogramSnapshot`] is a plain copy of the bucket counts;
+//! snapshots **merge** by element-wise addition (associative and
+//! commutative), which is what lets per-worker shards stay
+//! contention-free and be combined only at scrape time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two octave. 16 bounds every
+/// bucket's relative value error by 1/16 = 6.25 %.
+pub const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+const SUB_BUCKET_BITS: u32 = 4;
+
+/// Total bucket count covering the full `u64` value range: one group
+/// of [`SUB_BUCKETS`] unit buckets plus `64 - SUB_BUCKET_BITS`
+/// log-linear octave groups of [`SUB_BUCKETS`] each.
+pub const BUCKET_COUNT: usize = ((64 - SUB_BUCKET_BITS + 1) as usize) * SUB_BUCKETS as usize;
+
+/// The bucket index a value lands in.
+///
+/// Values below `2 * SUB_BUCKETS` map to themselves (exact unit
+/// buckets); larger values map log-linearly. Total order is
+/// preserved: `a <= b` implies `bucket_index(a) <= bucket_index(b)`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let shift = msb - SUB_BUCKET_BITS;
+    (((shift + 1) as usize) << SUB_BUCKET_BITS) + ((value >> shift) - SUB_BUCKETS) as usize
+}
+
+/// The largest value that lands in bucket `index` (inclusive). The
+/// histogram reports a bucket's contents as this bound, so reported
+/// percentiles never under-state a latency.
+#[inline]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    debug_assert!(index < BUCKET_COUNT);
+    if index < SUB_BUCKETS as usize {
+        return index as u64;
+    }
+    let shift = (index >> SUB_BUCKET_BITS) as u32 - 1;
+    let sub = (index as u64 & (SUB_BUCKETS - 1)) + SUB_BUCKETS;
+    // The top octave's last bucket bound is 2^64 - 1; compute in u128
+    // so the shift cannot overflow.
+    let bound = ((u128::from(sub) + 1) << shift) - 1;
+    bound.min(u128::from(u64::MAX)) as u64
+}
+
+/// Add with saturation at `u64::MAX` instead of wrapping — a
+/// histogram fed `u64::MAX`-scale values must clamp, not corrupt.
+fn saturating_fetch_add(cell: &AtomicU64, value: u64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = current.saturating_add(value);
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+/// A lock-free log-linear histogram over `u64` values (typically
+/// microseconds). See the [module docs](self) for the bucket scheme.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    /// Saturating sum of recorded values (for the mean; the bucket
+    /// counts are the authoritative distribution).
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Lock-free: two `Relaxed` atomic adds.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        saturating_fetch_add(&self.sum, value);
+    }
+
+    /// Copy the current bucket counts into a mergeable snapshot.
+    ///
+    /// Safe to call while other threads record; the snapshot's
+    /// `count` is derived from the copied buckets, so it is always
+    /// internally consistent (every counted observation sits in
+    /// exactly one bucket). `sum` is read separately and may lag the
+    /// buckets by in-flight records — it only feeds the mean.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().fold(0u64, |acc, &c| acc.saturating_add(c));
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no observations.
+    pub fn empty() -> Self {
+        Self {
+            buckets: vec![0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Merge `other` into `self` by element-wise saturating addition.
+    /// Associative and commutative — per-worker shards merged in any
+    /// order yield the same aggregate.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The value at quantile `q` (clamped to `[0, 1]`): the upper
+    /// bound of the bucket holding the `ceil(q * count)`-th smallest
+    /// observation. Exact in count; the value is quantized upward by
+    /// at most `1/SUB_BUCKETS` of itself. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKET_COUNT - 1)
+    }
+
+    /// The largest recorded bucket's upper bound (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, bucket_upper_bound)
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)`, in increasing
+    /// bound order — the raw material for exposition rendering.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper_bound(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_are_exact() {
+        for v in 0..2 * SUB_BUCKETS {
+            assert_eq!(bucket_index(v), v as usize, "value {v}");
+            assert_eq!(bucket_upper_bound(v as usize), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_cover_and_order() {
+        // Every bucket's bound maps back to that bucket, bounds are
+        // strictly increasing, and the last bucket tops out at
+        // u64::MAX.
+        let mut prev = None;
+        for i in 0..BUCKET_COUNT {
+            let ub = bucket_upper_bound(i);
+            assert_eq!(bucket_index(ub), i, "bucket {i} bound {ub}");
+            if let Some(p) = prev {
+                assert!(ub > p, "bucket {i}: {ub} <= {p}");
+                // The next value after the previous bound belongs here.
+                assert_eq!(bucket_index(p + 1), i);
+            }
+            prev = Some(ub);
+        }
+        assert_eq!(bucket_upper_bound(BUCKET_COUNT - 1), u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for &v in &[33u64, 100, 999, 4096, 1 << 20, u64::MAX / 3, u64::MAX] {
+            let ub = bucket_upper_bound(bucket_index(v));
+            assert!(ub >= v);
+            // ub - v < 2^shift <= v / SUB_BUCKETS for v >= 2*SUB.
+            assert!(ub - v <= v / SUB_BUCKETS, "value {v} bound {ub}");
+        }
+    }
+
+    #[test]
+    fn quantiles_count_exactly() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        // p50 of 1..=1000 is the 500th value; bucketed upward by <= 1/16.
+        let p50 = s.quantile(0.5);
+        assert!((500..=532).contains(&p50), "p50 {p50}");
+        let p100 = s.quantile(1.0);
+        assert!((1000..=1063).contains(&p100), "p100 {p100}");
+        assert_eq!(s.quantile(0.0), s.quantile(1.0 / 1000.0));
+    }
+
+    #[test]
+    fn saturation_clamps_instead_of_wrapping() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.sum(), u64::MAX, "sum saturates");
+        assert_eq!(s.quantile(1.0), u64::MAX);
+        assert_eq!(s.max(), u64::MAX);
+    }
+}

@@ -1,0 +1,137 @@
+//! Zero-dependency production metrics for the scheduling service.
+//!
+//! Three primitives, all lock-free and safe to touch from every
+//! worker thread on the hot path:
+//!
+//! - [`Counter`] — a monotonically increasing `u64` (requests served,
+//!   errors, bytes).
+//! - [`Gauge`] — a `u64` that goes up and down (queue depth,
+//!   in-flight requests, live connections).
+//! - [`Histogram`] — a log-linear latency distribution with
+//!   mergeable snapshots and exact-count percentiles; see
+//!   [`histogram`] for the bucket scheme and why it replaces a
+//!   bounded sample ring.
+//!
+//! The intended deployment shape is *sharding*: each worker owns its
+//! own histograms and counters (no cross-core cache-line traffic
+//! while recording), and a scrape thread merges
+//! [`HistogramSnapshot`]s element-wise at read time. The
+//! [`prometheus`] module renders merged snapshots in the Prometheus
+//! text exposition format (`text/plain; version=0.0.4`).
+//!
+//! All atomics use `Relaxed` ordering: every metric is an
+//! independent statistical quantity, so per-cell atomicity plus each
+//! cell's own modification order is the whole contract — a scrape is
+//! a statistical sample, not a synchronized cut of the program state.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub mod histogram;
+pub mod prometheus;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value that can rise and fall, stored as `u64`
+/// with saturation at zero on decrement (a gauge briefly observed
+/// mid-update must never wrap to 2^64).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtract one, saturating at zero.
+    #[inline]
+    pub fn dec(&self) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(1);
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_saturates_at_zero() {
+        let g = Gauge::new();
+        g.dec();
+        assert_eq!(g.get(), 0);
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+}

@@ -1,0 +1,230 @@
+//! Prometheus text-format exposition (`text/plain; version=0.0.4`).
+//!
+//! A tiny, allocation-light writer for the subset of the format the
+//! service emits: `counter`, `gauge`, and `histogram` families with
+//! optional labels. Callers build the whole page into a `String`
+//! with an [`Exposition`], then serve it verbatim:
+//!
+//! ```
+//! use fastsched_metrics::{Histogram, prometheus::Exposition};
+//!
+//! let h = Histogram::new();
+//! h.record(120);
+//! let mut exp = Exposition::new();
+//! exp.counter("casch_requests_total", "Requests completed.")
+//!     .sample(&[("algo", "fast")], 7);
+//! exp.gauge("casch_in_flight", "Requests in flight.").sample(&[], 1);
+//! exp.histogram("casch_latency_us", "Service latency.")
+//!     .series(&[], &h.snapshot());
+//! let page = exp.finish();
+//! assert!(page.contains("casch_requests_total{algo=\"fast\"} 7"));
+//! ```
+
+use crate::histogram::HistogramSnapshot;
+use std::fmt::Write as _;
+
+/// The `Content-Type` a scrape endpoint should declare for pages
+/// produced by [`Exposition`].
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_labels(buf: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    buf.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        let _ = write!(buf, "{k}=\"{}\"", escape_label_value(v));
+    }
+    buf.push('}');
+}
+
+/// Like [`write_labels`] but with one extra pair appended — used for
+/// the `le` label on histogram buckets.
+fn write_labels_plus(buf: &mut String, labels: &[(&str, &str)], extra_key: &str, extra_val: &str) {
+    buf.push('{');
+    for (k, v) in labels {
+        let _ = write!(buf, "{k}=\"{}\",", escape_label_value(v));
+    }
+    let _ = write!(buf, "{extra_key}=\"{}\"", escape_label_value(extra_val));
+    buf.push('}');
+}
+
+/// Builder for one exposition page. Families must be emitted
+/// whole — all samples of a family go through the handle returned by
+/// [`counter`](Exposition::counter) / [`gauge`](Exposition::gauge)
+/// before the next family starts, which is exactly what the format
+/// requires (`# HELP`/`# TYPE` precede a family's samples).
+#[derive(Debug, Default)]
+pub struct Exposition {
+    buf: String,
+}
+
+impl Exposition {
+    /// An empty page.
+    pub fn new() -> Self {
+        Self {
+            buf: String::with_capacity(4096),
+        }
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.buf, "# HELP {name} {help}");
+        let _ = writeln!(self.buf, "# TYPE {name} {kind}");
+    }
+
+    /// Start a `counter` family; emit its samples on the returned
+    /// handle.
+    pub fn counter<'a>(&'a mut self, name: &'a str, help: &str) -> Family<'a> {
+        self.header(name, help, "counter");
+        Family { exp: self, name }
+    }
+
+    /// Start a `gauge` family; emit its samples on the returned
+    /// handle.
+    pub fn gauge<'a>(&'a mut self, name: &'a str, help: &str) -> Family<'a> {
+        self.header(name, help, "gauge");
+        Family { exp: self, name }
+    }
+
+    /// Start a `histogram` family; emit one or more labeled series
+    /// on the returned handle. The `# HELP`/`# TYPE` header is
+    /// written once for the whole family, as the format requires.
+    pub fn histogram<'a>(&'a mut self, name: &'a str, help: &str) -> HistogramFamily<'a> {
+        self.header(name, help, "histogram");
+        HistogramFamily { exp: self, name }
+    }
+
+    /// The finished page.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Sample-emitting handle for one counter or gauge family.
+#[derive(Debug)]
+pub struct Family<'a> {
+    exp: &'a mut Exposition,
+    name: &'a str,
+}
+
+impl Family<'_> {
+    /// Emit one sample with the given labels.
+    pub fn sample(&mut self, labels: &[(&str, &str)], value: u64) -> &mut Self {
+        self.exp.buf.push_str(self.name);
+        write_labels(&mut self.exp.buf, labels);
+        let _ = writeln!(self.exp.buf, " {value}");
+        self
+    }
+}
+
+/// Series-emitting handle for one histogram family.
+#[derive(Debug)]
+pub struct HistogramFamily<'a> {
+    exp: &'a mut Exposition,
+    name: &'a str,
+}
+
+impl HistogramFamily<'_> {
+    /// Emit one labeled series from a merged snapshot: cumulative
+    /// `_bucket{le="..."}` lines (only buckets that hold
+    /// observations, plus the mandatory `le="+Inf"`), `_sum`, and
+    /// `_count`.
+    pub fn series(&mut self, labels: &[(&str, &str)], snap: &HistogramSnapshot) -> &mut Self {
+        let buf = &mut self.exp.buf;
+        let name = self.name;
+        let mut cumulative = 0u64;
+        for (upper, count) in snap.nonzero_buckets() {
+            cumulative = cumulative.saturating_add(count);
+            let _ = write!(buf, "{name}_bucket");
+            write_labels_plus(buf, labels, "le", &upper.to_string());
+            let _ = writeln!(buf, " {cumulative}");
+        }
+        let _ = write!(buf, "{name}_bucket");
+        write_labels_plus(buf, labels, "le", "+Inf");
+        let _ = writeln!(buf, " {}", snap.count());
+        let _ = write!(buf, "{name}_sum");
+        write_labels(buf, labels);
+        let _ = writeln!(buf, " {}", snap.sum());
+        let _ = write!(buf, "{name}_count");
+        write_labels(buf, labels);
+        let _ = writeln!(buf, " {}", snap.count());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_label_value(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_label_value("x\ny"), "x\\ny");
+    }
+
+    #[test]
+    fn counter_and_gauge_families() {
+        let mut exp = Exposition::new();
+        exp.counter("c_total", "A counter.")
+            .sample(&[("algo", "fast")], 3)
+            .sample(&[("algo", "heft")], 4);
+        exp.gauge("g", "A gauge.").sample(&[], 9);
+        let page = exp.finish();
+        assert!(page.contains("# TYPE c_total counter\n"));
+        assert!(page.contains("c_total{algo=\"fast\"} 3\n"));
+        assert!(page.contains("c_total{algo=\"heft\"} 4\n"));
+        assert!(page.contains("# TYPE g gauge\ng 9\n"));
+    }
+
+    #[test]
+    fn histogram_family_is_cumulative_and_consistent() {
+        let h = Histogram::new();
+        for v in [5u64, 5, 100, 100_000] {
+            h.record(v);
+        }
+        let h2 = Histogram::new();
+        h2.record(7);
+        let mut exp = Exposition::new();
+        exp.histogram("lat_us", "Latency.")
+            .series(&[("phase", "queue")], &h.snapshot())
+            .series(&[("phase", "write")], &h2.snapshot());
+        let page = exp.finish();
+        // One header for the whole family, even with two series.
+        assert_eq!(page.matches("# TYPE lat_us histogram").count(), 1);
+        assert!(page.contains("lat_us_bucket{phase=\"queue\",le=\"5\"} 2\n"));
+        assert!(page.contains("lat_us_bucket{phase=\"queue\",le=\"+Inf\"} 4\n"));
+        assert!(page.contains("lat_us_count{phase=\"queue\"} 4\n"));
+        assert!(page.contains("lat_us_sum{phase=\"queue\"} 100110\n"));
+        assert!(page.contains("lat_us_bucket{phase=\"write\",le=\"7\"} 1\n"));
+        assert!(page.contains("lat_us_count{phase=\"write\"} 1\n"));
+        // Cumulative counts never decrease within one series.
+        let mut last = 0u64;
+        for line in page
+            .lines()
+            .filter(|l| l.starts_with("lat_us_bucket{phase=\"queue\""))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-monotone bucket line: {line}");
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for the log-linear histogram: merge associativity,
+//! percentile monotonicity, bucket-boundary behavior, u64
+//! saturation — plus a concurrent record-while-scrape test.
+
+use fastsched_metrics::histogram::{bucket_index, bucket_upper_bound, BUCKET_COUNT, SUB_BUCKETS};
+use fastsched_metrics::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Deterministic value stream (vendored proptest has no
+/// `collection::vec` strategy, so vectors are derived from a seed).
+fn lcg_values(seed: u64, len: usize) -> Vec<u64> {
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Spread across magnitudes: shift by 0..=48 bits.
+            let shift = (state >> 58) % 49;
+            state >> shift
+        })
+        .collect()
+}
+
+fn fill(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a ⊎ b) ⊎ c == a ⊎ (b ⊎ c), and merge is commutative.
+    #[test]
+    fn merge_is_associative_and_commutative(seeds in (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40)) {
+        let (sa, sb, sc) = seeds;
+        let (a, b, c) = (fill(&lcg_values(sa, 50)), fill(&lcg_values(sb, 37)), fill(&lcg_values(sc, 23)));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut right_inner = b.clone();
+        right_inner.merge(&c);
+        let mut right = a.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        prop_assert_eq!(left.count(), a.count() + b.count() + c.count());
+    }
+
+    /// q1 <= q2 implies quantile(q1) <= quantile(q2).
+    #[test]
+    fn quantiles_are_monotone(input in (0u64..1 << 40, 1usize..200, 0u32..=1000, 0u32..=1000)) {
+        let (seed, len, qa, qb) = input;
+        let snap = fill(&lcg_values(seed, len));
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(snap.quantile(f64::from(lo) / 1000.0) <= snap.quantile(f64::from(hi) / 1000.0));
+    }
+
+    /// The index function preserves order and its bucket's bound
+    /// brackets the value with bounded relative error.
+    #[test]
+    fn bucket_brackets_value(v in 0u64..=u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKET_COUNT);
+        let ub = bucket_upper_bound(i);
+        prop_assert!(ub >= v);
+        prop_assert!(ub - v <= v / SUB_BUCKETS, "value {} bound {}", v, ub);
+        if v > 0 {
+            prop_assert!(bucket_index(v - 1) <= i);
+        }
+    }
+
+    /// Boundary values: a bucket's upper bound stays in the bucket,
+    /// the next integer moves to the next bucket.
+    #[test]
+    fn bucket_boundaries_are_tight(i in 0usize..BUCKET_COUNT - 1) {
+        let ub = bucket_upper_bound(i);
+        prop_assert_eq!(bucket_index(ub), i);
+        prop_assert_eq!(bucket_index(ub + 1), i + 1);
+        prop_assert!(bucket_upper_bound(i + 1) > ub);
+    }
+
+    /// Quantile reports come from the recorded data: for a single
+    /// repeated value, every quantile is that value's bucket bound.
+    #[test]
+    fn single_value_quantiles(input in (0u64..1 << 50, 1usize..100, 0u32..=1000)) {
+        let (v, n, q) = input;
+        let h = Histogram::new();
+        for _ in 0..n {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count(), n as u64);
+        prop_assert_eq!(s.quantile(f64::from(q) / 1000.0), bucket_upper_bound(bucket_index(v)));
+    }
+}
+
+#[test]
+fn u64_saturation_is_total() {
+    // Extreme values neither panic nor wrap: counts stay exact, the
+    // sum clamps, and max/percentiles land in the top bucket.
+    let h = Histogram::new();
+    for _ in 0..3 {
+        h.record(u64::MAX);
+    }
+    h.record(u64::MAX - 1);
+    h.record(0);
+    let s = h.snapshot();
+    assert_eq!(s.count(), 5);
+    assert_eq!(s.sum(), u64::MAX);
+    assert_eq!(s.max(), u64::MAX);
+    assert_eq!(s.quantile(1.0), u64::MAX);
+    assert_eq!(s.quantile(0.0), 0);
+
+    // Merging two saturated snapshots also saturates instead of wrapping.
+    let mut m = s.clone();
+    m.merge(&s);
+    assert_eq!(m.count(), 10);
+    assert_eq!(m.sum(), u64::MAX);
+}
+
+#[test]
+fn concurrent_record_while_scrape() {
+    // 4 writers hammer one histogram while the main thread scrapes
+    // continuously. Every snapshot must be internally consistent
+    // (count == bucket total by construction, quantiles monotone),
+    // counts must be monotonically non-decreasing across scrapes,
+    // and the final count must equal the number of records.
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 50_000;
+
+    let h = Arc::new(Histogram::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    // Values across several octaves, deterministic per writer.
+                    h.record((i % 1024) << (w * 4));
+                }
+            })
+        })
+        .collect();
+
+    let mut last_count = 0u64;
+    let mut scrapes = 0u64;
+    while !done.load(Ordering::Relaxed) {
+        let s = h.snapshot();
+        assert!(s.count() >= last_count, "count went backwards");
+        assert!(s.quantile(0.5) <= s.quantile(0.99));
+        assert!(s.quantile(0.99) <= s.max() || s.count() == 0);
+        last_count = s.count();
+        scrapes += 1;
+        if handles.iter().all(|j| j.is_finished()) {
+            done.store(true, Ordering::Relaxed);
+        }
+    }
+    for j in handles {
+        j.join().unwrap();
+    }
+    assert!(scrapes > 0);
+    let fin = h.snapshot();
+    assert_eq!(fin.count(), WRITERS as u64 * PER_WRITER);
+}
