@@ -7,12 +7,12 @@
 //! overall.
 
 use crate::list_common::{DatLanes, Machine, ReadySet};
-use crate::scheduler::{gate_schedule, Scheduler};
+use crate::scheduler::{compact_for_model, gate_schedule, gate_schedule_with, Scheduler};
 use crate::workspace::Workspace;
 use fastsched_dag::{
     attributes::static_levels, attributes::static_levels_soa_into, Cost, Dag, NodeId,
 };
-use fastsched_schedule::{ProcId, Schedule};
+use fastsched_schedule::{data_arrival_time_with, CostModel, ProcId, Schedule};
 
 /// The DLS scheduler.
 #[derive(Debug, Clone, Copy, Default)]
@@ -70,6 +70,58 @@ pub(crate) fn dls_run(
         let (_, est, id, proc) = best.expect("ready set non-empty");
         machine.place(dag, NodeId(id), proc, est);
         ready.complete(dag, NodeId(id));
+    }
+}
+
+impl Dls {
+    /// [`Scheduler::schedule`] under an explicit [`CostModel`]: the
+    /// same dynamic-level matching (maximize `SL - EST`, ties to
+    /// smaller EST then smaller id) with message arrival and
+    /// execution time priced by `model`. Probes compute the DAT
+    /// directly rather than through the co-location-only
+    /// [`DatLanes`] cache (see [`crate::etf::Etf::schedule_with_model`]).
+    /// Under homogeneous pricing (α 0, β 1) the schedule is
+    /// byte-identical to [`Scheduler::schedule`].
+    pub fn schedule_with_model<M: CostModel + ?Sized>(
+        &self,
+        dag: &Dag,
+        num_procs: u32,
+        model: &M,
+    ) -> Schedule {
+        assert!(num_procs >= 1);
+        let sl = static_levels(dag);
+        let mut machine = Machine::new(dag.node_count(), num_procs);
+        let mut ready = ReadySet::new(dag);
+
+        while !ready.is_empty() {
+            let mut best: Option<(i64, u64, u32, ProcId)> = None;
+            for &n in ready.ready() {
+                for pi in 0..num_procs {
+                    let p = ProcId(pi);
+                    let dat =
+                        data_arrival_time_with(model, dag, n, p, &machine.finish, &machine.proc);
+                    let est = machine.ready_time(p).max(dat);
+                    let dl = sl[n.index()] as i64 - est as i64;
+                    let better = match best {
+                        None => true,
+                        Some((bdl, best_est, bid, _)) => {
+                            (dl, u64::MAX - est, u32::MAX - n.0)
+                                > (bdl, u64::MAX - best_est, u32::MAX - bid)
+                        }
+                    };
+                    if better {
+                        best = Some((dl, est, n.0, p));
+                    }
+                }
+            }
+            let (_, est, id, proc) = best.expect("ready set non-empty");
+            let n = NodeId(id);
+            machine.place_with_duration(n, proc, est, model.compute_cost(dag, n, proc));
+            ready.complete(dag, n);
+        }
+        let s = compact_for_model(model, machine.into_schedule(dag));
+        gate_schedule_with(self.name(), model, dag, &s);
+        s
     }
 }
 

@@ -7,10 +7,10 @@
 //! node with the higher static level. O(p v²).
 
 use crate::list_common::{DatLanes, Machine, ReadySet};
-use crate::scheduler::{gate_schedule, Scheduler};
+use crate::scheduler::{compact_for_model, gate_schedule, gate_schedule_with, Scheduler};
 use crate::workspace::Workspace;
 use fastsched_dag::{attributes::static_levels, attributes::static_levels_soa_into, Cost, Dag};
-use fastsched_schedule::{ProcId, Schedule};
+use fastsched_schedule::{data_arrival_time_with, CostModel, ProcId, Schedule};
 
 /// The ETF scheduler.
 #[derive(Debug, Clone, Copy, Default)]
@@ -66,6 +66,53 @@ pub(crate) fn etf_run(
         let n = fastsched_dag::NodeId(id);
         machine.place(dag, n, proc, est);
         ready.complete(dag, n);
+    }
+}
+
+impl Etf {
+    /// [`Scheduler::schedule`] under an explicit [`CostModel`]: the
+    /// same O(p v²) pair scan with the same `(EST, static level, id)`
+    /// tie-breaking, but every probe prices the message arrival and
+    /// execution time through `model`. The flat [`DatLanes`] cache is
+    /// *not* used here — its remote-bound/parent-exception structure
+    /// assumes message cost depends only on co-location, which
+    /// hierarchical models violate — so each probe computes the DAT
+    /// directly. Under a model with homogeneous pricing (α 0, β 1)
+    /// the schedule is byte-identical to [`Scheduler::schedule`].
+    pub fn schedule_with_model<M: CostModel + ?Sized>(
+        &self,
+        dag: &Dag,
+        num_procs: u32,
+        model: &M,
+    ) -> Schedule {
+        assert!(num_procs >= 1);
+        let sl = static_levels(dag);
+        let mut machine = Machine::new(dag.node_count(), num_procs);
+        let mut ready = ReadySet::new(dag);
+
+        while !ready.is_empty() {
+            let mut best: Option<(Cost, Cost, u32, ProcId)> = None; // (est, -sl, id, proc)
+            for &n in ready.ready() {
+                for pi in 0..num_procs {
+                    let p = ProcId(pi);
+                    let dat =
+                        data_arrival_time_with(model, dag, n, p, &machine.finish, &machine.proc);
+                    let est = machine.ready_time(p).max(dat);
+                    let key = (est, Cost::MAX - sl[n.index()], n.0);
+                    match best {
+                        Some((e, s, i, _)) if (e, s, i) <= key => {}
+                        _ => best = Some((key.0, key.1, key.2, p)),
+                    }
+                }
+            }
+            let (est, _, id, proc) = best.expect("ready set non-empty");
+            let n = fastsched_dag::NodeId(id);
+            machine.place_with_duration(n, proc, est, model.compute_cost(dag, n, proc));
+            ready.complete(dag, n);
+        }
+        let s = compact_for_model(model, machine.into_schedule(dag));
+        gate_schedule_with(self.name(), model, dag, &s);
+        s
     }
 }
 

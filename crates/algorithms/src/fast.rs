@@ -16,13 +16,13 @@
 //! producing makespans bit-identical to a full O(v + e) replay — the
 //! search trajectory is unchanged, only cheaper.
 
-use crate::scheduler::{gate_schedule, Scheduler};
+use crate::scheduler::{compact_for_model, gate_schedule, gate_schedule_with, Scheduler};
 use crate::workspace::Workspace;
 use fastsched_dag::{
     classify_nodes, classify_nodes_into, cpn_dominate_list, cpn_dominate_list_into, CpnListConfig,
     Dag, GraphAttributes, NodeClass, NodeId, ObnOrder,
 };
-use fastsched_schedule::{DeltaEvaluator, ProcId, Schedule};
+use fastsched_schedule::{CostModel, DeltaEvaluator, ProcId, Schedule};
 use fastsched_trace::SearchTrace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -123,14 +123,87 @@ pub(crate) fn place_by_list(
     }
 }
 
+/// [`place_by_list`] under an explicit [`CostModel`]: identical
+/// candidate collection, probe order and tie-breaking, with message
+/// arrival and execution time priced by the model instead of the
+/// hard-coded homogeneous arithmetic. Under a model that reproduces
+/// [`fastsched_schedule::HomogeneousModel`] pricing (α 0, β 1) every
+/// placement decision — and therefore the schedule — is identical.
+fn place_by_list_with_model<M: CostModel + ?Sized>(
+    model: &M,
+    dag: &Dag,
+    list: &[NodeId],
+    num_procs: u32,
+    schedule: &mut Schedule,
+) -> Vec<ProcId> {
+    let v = dag.node_count();
+    let mut ready = vec![0u64; num_procs as usize];
+    let mut finish = vec![0u64; v];
+    let mut assignment = vec![ProcId(0); v];
+    let mut placed = vec![false; v];
+    let mut candidates: Vec<ProcId> = Vec::with_capacity(8);
+    schedule.reset(v, num_procs);
+    let mut used_procs = 0u32;
+
+    for &n in list {
+        let (psrc, pcost) = dag.pred_lanes(n);
+        candidates.clear();
+        for &t in psrc {
+            let p = assignment[t as usize];
+            if !candidates.contains(&p) {
+                candidates.push(p);
+            }
+        }
+        if used_procs < num_procs {
+            candidates.push(ProcId(used_procs)); // the "new" processor
+        }
+        if candidates.is_empty() {
+            let p = (0..used_procs)
+                .min_by_key(|&i| ready[i as usize])
+                .map(ProcId)
+                .expect("some processor must exist");
+            candidates.push(p);
+        }
+
+        let mut best_p = candidates[0];
+        let mut best_start = u64::MAX;
+        for &p in candidates.iter() {
+            let mut dat = 0u64;
+            for (&t, &c) in psrc.iter().zip(pcost) {
+                debug_assert!(placed[t as usize]);
+                let arrival = finish[t as usize] + model.message_cost(c, assignment[t as usize], p);
+                dat = dat.max(arrival);
+            }
+            let start = dat.max(ready[p.index()]);
+            if start < best_start {
+                best_start = start;
+                best_p = p;
+            }
+        }
+
+        let end = best_start + model.compute_cost(dag, n, best_p);
+        if best_p.0 == used_procs {
+            used_procs += 1;
+        }
+        ready[best_p.index()] = end;
+        finish[n.index()] = end;
+        assignment[n.index()] = best_p;
+        placed[n.index()] = true;
+        schedule.place(n, best_p, best_start, end);
+    }
+    assignment
+}
+
 /// The §4.3–4.4 random-transfer hill climb over `blocking`, shared by
 /// FAST (one chain) and FAST-MS (one call per chain). The evaluator
 /// must hold the initial assignment; on return it holds the refined
-/// one. Returns the best makespan reached.
-pub(crate) fn hill_climb(
+/// one. Returns the best makespan reached. Generic over the
+/// evaluator's [`CostModel`]: the same trajectory machinery prices
+/// probes under homogeneous, α–β or hierarchical communication.
+pub(crate) fn hill_climb<M: CostModel>(
     dag: &Dag,
     blocking: &[NodeId],
-    eval: &mut DeltaEvaluator,
+    eval: &mut DeltaEvaluator<M>,
     num_procs: u32,
     max_steps: u32,
     seed: u64,
@@ -322,6 +395,58 @@ impl Fast {
         trace.phase_end("initial_schedule");
 
         (schedule, list, assignment)
+    }
+
+    /// [`Scheduler::schedule`] under an explicit [`CostModel`]: the
+    /// same two phases (CPN-Dominate placement, then the random
+    /// transfer search through a [`DeltaEvaluator`] carrying the
+    /// model) with message arrival and execution time priced by
+    /// `model`. Under `AlphaBeta { alpha: 0, beta_num: 1, beta_den:
+    /// 1 }` or a single-group identity `Hierarchical` the result is
+    /// byte-identical to the homogeneous [`Scheduler::schedule`] path.
+    pub fn schedule_with_model<M: CostModel + ?Sized>(
+        &self,
+        dag: &Dag,
+        num_procs: u32,
+        model: &M,
+    ) -> Schedule {
+        assert!(num_procs >= 1, "need at least one processor");
+        let attrs = GraphAttributes::compute(dag);
+        let classes = classify_nodes(dag, &attrs);
+        let list = cpn_dominate_list(
+            dag,
+            &attrs,
+            &classes,
+            CpnListConfig {
+                obn_order: self.config.obn_order,
+            },
+        );
+        let mut schedule = Schedule::new(dag.node_count(), num_procs);
+        let assignment = place_by_list_with_model(model, dag, &list, num_procs, &mut schedule);
+
+        let blocking: Vec<NodeId> = dag
+            .nodes()
+            .filter(|&n| classes[n.index()] != NodeClass::Cpn)
+            .collect();
+        if blocking.is_empty() || num_procs < 2 {
+            let s = compact_for_model(model, schedule);
+            gate_schedule_with(self.name(), model, dag, &s);
+            return s;
+        }
+
+        let mut eval = DeltaEvaluator::with_model(model, dag, list, assignment, num_procs);
+        hill_climb(
+            dag,
+            &blocking,
+            &mut eval,
+            num_procs,
+            self.config.max_steps,
+            self.config.seed,
+            &mut SearchTrace::default(),
+        );
+        let s = compact_for_model(model, eval.to_schedule());
+        gate_schedule_with(self.name(), model, dag, &s);
+        s
     }
 
     /// Blocking-node list of §4.3: all IBNs and OBNs, in id order.

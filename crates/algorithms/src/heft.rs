@@ -9,9 +9,9 @@
 //! insertion-based earliest finish time.
 
 use crate::list_common::{run_static_list, Machine};
-use crate::scheduler::{gate_schedule, Scheduler};
-use fastsched_dag::{attributes::b_levels, Dag, NodeId};
-use fastsched_schedule::Schedule;
+use crate::scheduler::{compact_for_model, gate_schedule, gate_schedule_with, Scheduler};
+use fastsched_dag::{attributes::b_levels, Cost, Dag, NodeId};
+use fastsched_schedule::{data_arrival_time_with, CostModel, ProcId, Schedule};
 
 /// The HEFT scheduler (homogeneous specialization).
 #[derive(Debug, Clone, Copy, Default)]
@@ -31,6 +31,44 @@ impl Heft {
         let mut order: Vec<NodeId> = dag.nodes().collect();
         order.sort_by_key(|&n| (std::cmp::Reverse(bl[n.index()]), n.0));
         order
+    }
+
+    /// [`Scheduler::schedule`] under an explicit [`CostModel`]: the
+    /// same b-level priority list and insertion-based placement, with
+    /// message arrival and execution time priced by `model` and the
+    /// processor chosen by minimum `(EFT, EST, id)` — the classic EFT
+    /// rule, which on identical compute costs orders exactly like the
+    /// homogeneous minimum-EST probe, so under homogeneous pricing
+    /// (α 0, β 1) the schedule is byte-identical to
+    /// [`Scheduler::schedule`].
+    pub fn schedule_with_model<M: CostModel + ?Sized>(
+        &self,
+        dag: &Dag,
+        num_procs: u32,
+        model: &M,
+    ) -> Schedule {
+        assert!(num_procs >= 1);
+        let order = Self::priority_list(dag);
+        let mut m = Machine::new(dag.node_count(), num_procs);
+        for &n in &order {
+            let mut best: Option<(Cost, Cost, ProcId)> = None; // (eft, est, proc)
+            for pi in 0..num_procs {
+                let p = ProcId(pi);
+                let w = model.compute_cost(dag, n, p);
+                let dat = data_arrival_time_with(model, dag, n, p, &m.finish, &m.proc);
+                let est = m.earliest_gap_at_or_after(p, dat, w);
+                let eft = est + w;
+                if best.is_none_or(|(beft, best_est, bp)| (eft, est, p.0) < (beft, best_est, bp.0))
+                {
+                    best = Some((eft, est, p));
+                }
+            }
+            let (eft, est, p) = best.expect("at least one processor");
+            m.place_with_duration(n, p, est, eft - est);
+        }
+        let s = compact_for_model(model, m.into_schedule(dag));
+        gate_schedule_with(self.name(), model, dag, &s);
+        s
     }
 }
 

@@ -11,10 +11,10 @@
 
 use fastsched_algorithms::{paper_schedulers, Scheduler};
 use fastsched_casch::protocol::{self, json_escape, Request};
-use fastsched_casch::serve::scheduler_by_name;
+use fastsched_casch::serve::{scheduler_by_name, ModelScheduler};
 use fastsched_casch::{compare_algorithms, run_on_dag, Application};
 use fastsched_dag::{io, Dag, GraphAttributes};
-use fastsched_schedule::gantt;
+use fastsched_schedule::{gantt, CommModel};
 use fastsched_sim::SimConfig;
 use fastsched_workloads::TimingDatabase;
 use std::collections::HashMap;
@@ -66,14 +66,15 @@ USAGE:
   casch info     --dag <file.json>
   casch dot      --dag <file.json>
   casch schedule --dag <file.json> --algo <name> [--procs <p>]
-                 [--gantt] [--gantt-width <cols>] [--svg <out.svg>]
-                 [--out-schedule <out.json>] [--trace <out.ndjson>]
-                 [--perfetto <out.json>]
+                 [--comm <spec>] [--gantt] [--gantt-width <cols>]
+                 [--svg <out.svg>] [--out-schedule <out.json>]
+                 [--trace <out.ndjson>] [--perfetto <out.json>]
   casch batch    (--dir <dir> | --manifest <list.txt>) --algo <name>
-                 [--procs <p>] [--threads <t>] [--out <out.ndjson>]
+                 [--procs <p>] [--threads <t>] [--comm <spec>]
+                 [--out <out.ndjson>]
   casch serve    [--addr <host:port>] [--threads <t>] [--queue-depth <n>]
                  [--timeout-ms <ms>] [--max-line-bytes <n>] [--max-procs <p>]
-                 [--metrics-addr <host:port>] [--no-metrics]
+                 [--max-groups <n>] [--metrics-addr <host:port>] [--no-metrics]
                  [--access-log <file.ndjson>] [--log-sample-rate <n>]
   casch loadgen  (--dir <dir> | --manifest <list.txt> | --dag <file>)
                  [--addr <host:port>] [--algo <name>] [--procs <p>]
@@ -82,12 +83,13 @@ USAGE:
                  [--check] [--stats] [--shutdown]
                  [--metrics-addr <host:port>] [--metrics-out <file>]
   casch simulate --dag <file.json> --schedule <sched.json>
-                 [--topology <mesh|torus|hypercube|full>] [--hop <us>]
+                 [--topology <mesh|torus|hypercube|hier:<g>|full>] [--hop <us>]
                  [--send-overhead <us>] [--recv-overhead <us>]
                  [--trace <out.json>] [--out-report <out.json>]
                  [--perfetto <out.json>]
   casch verify   --dag <file.json> --schedule <sched.json>
-                 [--speeds <pct,pct,...>] [--report <report.json>]
+                 [--speeds <pct,pct,...>] [--comm <spec>]
+                 [--report <report.json>]
   casch compare  (--dag <file.json> | --app <name> --size <n>) [--procs <p>] [--seed <s>] [--all]
   casch trace    --in <trace.ndjson>
   casch explain  (--in <trace.ndjson> | --dag <file.json> --algo <name> [--procs <p>])
@@ -147,6 +149,17 @@ every response byte-for-byte against a local `schedule_into` run
 fetch the server's counters / stop it gracefully. `--metrics-addr`
 scrapes the server's `/metrics` page mid-run (a hard error if the
 scrape fails) and prints it to stderr or `--metrics-out <file>`.
+
+`--comm <spec>` prices communication through an explicit cost model
+(DESIGN.md §16); only the model-aware algorithms accept it (fast,
+etf, dls, heft). Specs: `ideal` (the paper's network),
+`alpha-beta:A,BN,BD` (a remote message of weight c costs
+A + ceil(c*BN/BD)), or `hier:S1+S2+...@A,BN,BD@A,BN,BD` (consecutive
+group sizes, then the intra-group and inter-group tiers; the
+processor count is fixed to the group table's size). `casch verify
+--comm` checks a saved schedule under the same pricing, and `casch
+simulate --topology hier:<g>` is the simulator's matching
+leader-routed shape (groups of g processors).
 
 `casch verify` runs the structural validator over a saved schedule:
 task count, processor bounds, durations under the cost model
@@ -317,8 +330,75 @@ fn cmd_dot(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a `--comm` spec and reconcile `--procs` with it: a
+/// hierarchical model fixes the processor count to its group table.
+fn resolve_comm(opts: &Flags, spec: &str, default_procs: u64) -> Result<(CommModel, u32), String> {
+    let model = CommModel::parse_spec(spec).map_err(|e| format!("--comm: {e}"))?;
+    let procs = match model.required_procs() {
+        Some(n) => {
+            let p = get_u64_or(opts, "procs", u64::from(n))?;
+            if p != u64::from(n) {
+                return Err(format!(
+                    "--procs {p} disagrees with the hier group table ({n} processor(s))"
+                ));
+            }
+            n
+        }
+        None => get_u64_or(opts, "procs", default_procs)? as u32,
+    };
+    Ok((model, procs))
+}
+
+/// `casch schedule --comm`: the model-aware scheduling path. No
+/// simulator run (the simulator has its own topology pricing) and no
+/// `--trace` (the generic path records no provenance).
+fn cmd_schedule_comm(opts: &Flags, dag: &Dag, spec: &str) -> Result<(), String> {
+    let algo = ModelScheduler::by_name(opts.get("algo").ok_or("missing --algo")?)?;
+    let (model, procs) = resolve_comm(opts, spec, dag.node_count() as u64)?;
+    if opts.contains_key("trace") {
+        return Err("--trace is not supported together with --comm".to_string());
+    }
+    let t0 = std::time::Instant::now();
+    let schedule = algo.schedule_with_model(dag, procs, &model);
+    let elapsed = t0.elapsed();
+    println!("algorithm:        {}", algo.name());
+    println!("comm model:       {spec}");
+    println!("schedule length:  {}", schedule.makespan());
+    println!("processors used:  {}", schedule.processors_used());
+    println!("scheduling time:  {elapsed:?}");
+    if opts.contains_key("gantt") {
+        let width = get_u64_or(opts, "gantt-width", 72)?.clamp(20, 512) as usize;
+        println!("\n{}", gantt::render_bars(dag, &schedule, width));
+    } else if opts.contains_key("gantt-width") {
+        return Err("--gantt-width only makes sense together with --gantt".to_string());
+    }
+    if let Some(path) = opts.get("perfetto") {
+        let json = fastsched_schedule::export::chrome_trace(dag, &schedule);
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote Perfetto timeline to {path} (open at https://ui.perfetto.dev)");
+    }
+    if let Some(path) = opts.get("svg") {
+        let svg = fastsched_schedule::svg::render_svg(
+            dag,
+            &schedule,
+            &fastsched_schedule::svg::SvgOptions::default(),
+        );
+        std::fs::write(path, svg).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = opts.get("out-schedule") {
+        std::fs::write(path, fastsched_schedule::io::to_json(&schedule))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn cmd_schedule(opts: &Flags) -> Result<(), String> {
     let dag = load_dag(opts)?;
+    if let Some(spec) = opts.get("comm") {
+        return cmd_schedule_comm(opts, &dag, spec);
+    }
     let algo = scheduler_by_name(opts.get("algo").ok_or("missing --algo")?)?;
     let procs = get_u64_or(opts, "procs", dag.node_count() as u64)? as u32;
     let report = run_on_dag(&dag, algo.as_ref(), procs, &SimConfig::default());
@@ -383,9 +463,79 @@ fn cmd_schedule(opts: &Flags) -> Result<(), String> {
 /// default 1 runs the classic serial loop). Each result line carries
 /// its own wall-clock cost and the closing summary line the aggregate
 /// throughput, so the NDJSON doubles as a throughput record.
+/// `casch batch --comm`: the model-aware batch path. Runs the serial
+/// loop (the warm multi-thread workspaces are homogeneous-only) but
+/// emits the exact same NDJSON shape as the homogeneous batch.
+fn cmd_batch_comm(opts: &Flags, spec: &str) -> Result<(), String> {
+    let algo = ModelScheduler::by_name(opts.get("algo").ok_or("missing --algo")?)?;
+    if get_u64_or(opts, "threads", 1)? > 1 {
+        return Err("--comm batches run single-threaded; drop --threads".to_string());
+    }
+    let paths = collect_dag_paths(opts).map_err(|e| format!("batch: {e}"))?;
+    let mut lines = String::new();
+    let mut scheduled: u64 = 0;
+    let mut rejected: u64 = 0;
+    let wall = std::time::Instant::now();
+    for path in &paths {
+        let display = path.display().to_string();
+        let row = load_dag_file(path).and_then(|dag| {
+            let (model, procs) = resolve_comm(opts, spec, dag.node_count() as u64)?;
+            let t0 = std::time::Instant::now();
+            let schedule = algo.schedule_with_model(&dag, procs, &model);
+            Ok((dag, procs, schedule, t0.elapsed().as_secs_f64()))
+        });
+        match row {
+            Ok((dag, procs, schedule, seconds)) => {
+                scheduled += 1;
+                lines.push_str(&format!(
+                    "{{\"dag\":\"{}\",\"nodes\":{},\"edges\":{},\"algo\":\"{}\",\
+                     \"procs\":{procs},\"threads\":1,\"makespan\":{},\"seconds\":{seconds:.6}}}\n",
+                    json_escape(&display),
+                    dag.node_count(),
+                    dag.edge_count(),
+                    algo.name(),
+                    schedule.makespan(),
+                ));
+            }
+            Err(e) => {
+                rejected += 1;
+                lines.push_str(&format!(
+                    "{{\"dag\":\"{}\",\"rejected\":true,\"error\":\"{}\"}}\n",
+                    json_escape(&display),
+                    json_escape(&e)
+                ));
+                eprintln!("warning: rejected {display}: {e}");
+            }
+        }
+    }
+    if scheduled == 0 {
+        return Err(format!(
+            "batch: all {rejected} DAG file(s) were rejected; nothing to schedule"
+        ));
+    }
+    let wall = wall.elapsed().as_secs_f64();
+    lines.push_str(&format!(
+        "{{\"summary\":true,\"dags\":{scheduled},\"rejected\":{rejected},\"algo\":\"{}\",\
+         \"threads\":1,\"seconds\":{wall:.6},\"dags_per_sec\":{:.1}}}\n",
+        algo.name(),
+        scheduled as f64 / wall.max(1e-9)
+    ));
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &lines).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {} result line(s) to {path}", paths.len());
+        }
+        None => print!("{lines}"),
+    }
+    Ok(())
+}
+
 fn cmd_batch(opts: &Flags) -> Result<(), String> {
     use fastsched_algorithms::schedule_many_par_timed;
 
+    if let Some(spec) = opts.get("comm") {
+        return cmd_batch_comm(opts, spec);
+    }
     let algo = scheduler_by_name(opts.get("algo").ok_or("missing --algo")?)?;
     let threads = get_u64_or(opts, "threads", 1)? as usize;
     let paths = collect_dag_paths(opts).map_err(|e| format!("batch: {e}"))?;
@@ -463,7 +613,9 @@ fn cmd_batch(opts: &Flags) -> Result<(), String> {
 /// The service front-end: see `casch serve` in the usage text and
 /// DESIGN.md §14 for the protocol and architecture.
 fn cmd_serve(opts: &Flags) -> Result<(), String> {
-    use fastsched_casch::serve::{install_sigint_handler, ServeConfig, Server, DEFAULT_MAX_PROCS};
+    use fastsched_casch::serve::{
+        install_sigint_handler, ServeConfig, Server, DEFAULT_MAX_GROUPS, DEFAULT_MAX_PROCS,
+    };
     let addr = opts
         .get("addr")
         .map(String::as_str)
@@ -475,6 +627,8 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
         max_line_bytes: get_u64_or(opts, "max-line-bytes", protocol::DEFAULT_MAX_LINE as u64)?
             as usize,
         max_procs: get_u64_or(opts, "max-procs", DEFAULT_MAX_PROCS as u64)?
+            .clamp(1, u32::MAX as u64) as u32,
+        max_groups: get_u64_or(opts, "max-groups", DEFAULT_MAX_GROUPS as u64)?
             .clamp(1, u32::MAX as u64) as u32,
         metrics: !opts.contains_key("no-metrics"),
         metrics_addr: opts.get("metrics-addr").cloned(),
@@ -728,8 +882,30 @@ fn cmd_simulate(opts: &Flags) -> Result<(), String> {
             let dim = 32 - procs.next_power_of_two().leading_zeros() - 1;
             Some(Topology::Hypercube { dim: dim.max(1) })
         }
+        Some(spec) if spec.starts_with("hier") => {
+            let group_size = spec
+                .strip_prefix("hier:")
+                .and_then(|g| g.trim().parse::<u32>().ok())
+                .filter(|&g| g > 0)
+                .ok_or_else(|| {
+                    format!(
+                        "--topology hier needs a positive group size, e.g. `hier:4`, got `{spec}`"
+                    )
+                })?;
+            Some(Topology::Hierarchical { group_size })
+        }
         Some(other) => return Err(format!("unknown topology `{other}`")),
     };
+    // Reject the pairing here rather than letting the routing panic
+    // mid-simulation on an out-of-topology processor.
+    if let Some(t) = topology {
+        if procs > t.capacity() {
+            return Err(format!(
+                "schedule uses {procs} processor(s) but the topology has only {} slot(s)",
+                t.capacity()
+            ));
+        }
+    }
     let config = SimConfig {
         topology,
         hop_latency_us: get_u64_or(opts, "hop", 2)?,
@@ -775,8 +951,11 @@ fn cmd_verify(opts: &Flags) -> Result<(), String> {
     let schedule = fastsched_schedule::io::from_json(&text, dag.node_count())
         .map_err(|e| format!("{sched_path}: {e}"))?;
 
-    let verdict = match opts.get("speeds") {
-        Some(spec) => {
+    let verdict = match (opts.get("speeds"), opts.get("comm")) {
+        (Some(_), Some(_)) => {
+            return Err("--speeds and --comm are mutually exclusive (pick one model)".to_string())
+        }
+        (Some(spec), None) => {
             let pcts: Vec<u32> = spec
                 .split(',')
                 .map(|s| {
@@ -789,7 +968,7 @@ fn cmd_verify(opts: &Flags) -> Result<(), String> {
                         })
                 })
                 .collect::<Result<_, _>>()?;
-            let speeds = ProcessorSpeeds::new(pcts);
+            let speeds = ProcessorSpeeds::try_new(pcts).map_err(|e| format!("--speeds: {e}"))?;
             if speeds.count() < schedule.num_procs() {
                 return Err(format!(
                     "--speeds lists {} processor(s) but the schedule file declares {}",
@@ -800,7 +979,20 @@ fn cmd_verify(opts: &Flags) -> Result<(), String> {
             println!("model: heterogeneous ({spec} % of nominal)");
             validate_with(&speeds, &dag, &schedule)
         }
-        None => {
+        (None, Some(spec)) => {
+            let model = CommModel::parse_spec(spec).map_err(|e| format!("--comm: {e}"))?;
+            if let Some(n) = model.required_procs() {
+                if n < schedule.num_procs() {
+                    return Err(format!(
+                        "--comm hier covers {n} processor(s) but the schedule file declares {}",
+                        schedule.num_procs()
+                    ));
+                }
+            }
+            println!("model: comm ({spec})");
+            validate_with(&model, &dag, &schedule)
+        }
+        (None, None) => {
             println!("model: homogeneous");
             validate(&dag, &schedule)
         }

@@ -23,6 +23,21 @@
 //! number of speed entries. `timeout_ms` bounds the request's queue
 //! wait (see DESIGN.md §14).
 //!
+//! An optional `comm` object selects a communication cost model
+//! (DESIGN.md §16) for the model-aware schedulers (`fast`, `etf`,
+//! `dls`, `heft`); it cannot be combined with `speeds`:
+//!
+//! ```text
+//! "comm":{"model":"ideal"}
+//! "comm":{"model":"alpha-beta","alpha":20,"beta_num":3,"beta_den":2}
+//! "comm":{"model":"hier","groups":[4,4],"intra":[0,1,1],"inter":[40,2,1]}
+//! ```
+//!
+//! The protocol layer keeps `comm` as pure spec data ([`CommSpec`]);
+//! the service layer checks it against its `--max-groups` /
+//! `--max-procs` caps *before* materializing a model, so a one-line
+//! request cannot demand an enormous group table.
+//!
 //! ## Responses
 //!
 //! ```text
@@ -71,6 +86,145 @@ pub enum Request {
     },
 }
 
+/// The `comm` object of a schedule request: a communication cost
+/// model, kept as *spec data* here. The service layer validates it
+/// against its resource caps and builds the actual
+/// [`fastsched_schedule::CommModel`]; nothing in this type allocates
+/// proportionally to the processor counts it names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommSpec {
+    /// The paper's ideal network (zero-cost links beyond the edge
+    /// weight).
+    Ideal,
+    /// Latency–bandwidth pricing: a remote message costs
+    /// `alpha + ceil(nominal * beta_num / beta_den)`.
+    AlphaBeta {
+        /// Fixed per-message latency.
+        alpha: u64,
+        /// Bandwidth factor numerator.
+        beta_num: u64,
+        /// Bandwidth factor denominator (must be positive).
+        beta_den: u64,
+    },
+    /// Grouped (NUMA-style) pricing: consecutive group sizes plus an
+    /// intra-group and an inter-group `[alpha, beta_num, beta_den]`
+    /// tier.
+    Hier {
+        /// Processors per group, in group order.
+        groups: Vec<u32>,
+        /// Same-group link pricing.
+        intra: [u64; 3],
+        /// Cross-group link pricing.
+        inter: [u64; 3],
+    },
+}
+
+impl CommSpec {
+    /// Render as the protocol's `comm` JSON object.
+    pub fn to_json(&self) -> String {
+        match self {
+            CommSpec::Ideal => "{\"model\":\"ideal\"}".to_string(),
+            CommSpec::AlphaBeta {
+                alpha,
+                beta_num,
+                beta_den,
+            } => format!(
+                "{{\"model\":\"alpha-beta\",\"alpha\":{alpha},\"beta_num\":{beta_num},\
+                 \"beta_den\":{beta_den}}}"
+            ),
+            CommSpec::Hier {
+                groups,
+                intra,
+                inter,
+            } => {
+                let groups: Vec<String> = groups.iter().map(u32::to_string).collect();
+                format!(
+                    "{{\"model\":\"hier\",\"groups\":[{}],\"intra\":[{},{},{}],\
+                     \"inter\":[{},{},{}]}}",
+                    groups.join(","),
+                    intra[0],
+                    intra[1],
+                    intra[2],
+                    inter[0],
+                    inter[1],
+                    inter[2]
+                )
+            }
+        }
+    }
+}
+
+/// Parse the `comm` object of a schedule request. Shape and cheap
+/// value checks only (a zero `beta_den` or empty/zero group is
+/// rejected here); resource caps are the service layer's job.
+fn parse_comm(v: &Value) -> Result<CommSpec, String> {
+    let model = match field(v, "model") {
+        Some(Value::String(s)) => s.as_str(),
+        _ => return Err("parse: `comm.model` must be a string".to_string()),
+    };
+    let tier = |k: &str| -> Result<[u64; 3], String> {
+        match field(v, k) {
+            Some(Value::Array(xs)) if xs.len() == 3 => {
+                let nums: Option<Vec<u64>> = xs.iter().map(as_u64).collect();
+                let nums = nums.ok_or_else(|| {
+                    format!("parse: `comm.{k}` entries must be non-negative integers")
+                })?;
+                if nums[2] == 0 {
+                    return Err(format!("parse: `comm.{k}` beta_den must be positive"));
+                }
+                Ok([nums[0], nums[1], nums[2]])
+            }
+            _ => Err(format!(
+                "parse: `comm.{k}` must be `[alpha,beta_num,beta_den]`"
+            )),
+        }
+    };
+    match model {
+        "ideal" => Ok(CommSpec::Ideal),
+        "alpha-beta" => {
+            let get = |k: &str| {
+                field(v, k)
+                    .and_then(as_u64)
+                    .ok_or_else(|| format!("parse: `comm.{k}` must be a non-negative integer"))
+            };
+            let beta_den = get("beta_den")?;
+            if beta_den == 0 {
+                return Err("parse: `comm.beta_den` must be positive".to_string());
+            }
+            Ok(CommSpec::AlphaBeta {
+                alpha: get("alpha")?,
+                beta_num: get("beta_num")?,
+                beta_den,
+            })
+        }
+        "hier" => {
+            let groups = match field(v, "groups") {
+                Some(Value::Array(xs)) => {
+                    let sizes: Option<Vec<u32>> = xs
+                        .iter()
+                        .map(|x| {
+                            as_u64(x)
+                                .filter(|&s| s > 0 && s <= u32::MAX as u64)
+                                .map(|s| s as u32)
+                        })
+                        .collect();
+                    sizes.ok_or("parse: `comm.groups` must be positive integers")?
+                }
+                _ => return Err("parse: `comm.groups` must be an array".to_string()),
+            };
+            if groups.is_empty() {
+                return Err("parse: `comm.groups` must not be empty".to_string());
+            }
+            Ok(CommSpec::Hier {
+                groups,
+                intra: tier("intra")?,
+                inter: tier("inter")?,
+            })
+        }
+        other => Err(format!("parse: unknown comm model `{other}`")),
+    }
+}
+
 /// The payload of an `op:"schedule"` request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleRequest {
@@ -91,6 +245,10 @@ pub struct ScheduleRequest {
     /// Per-request queue-wait deadline in milliseconds (overrides the
     /// server default; `0` disables).
     pub timeout_ms: Option<u64>,
+    /// Optional communication cost model (see [`CommSpec`]); only the
+    /// model-aware algorithms accept it, and it cannot be combined
+    /// with `speeds`.
+    pub comm: Option<CommSpec>,
 }
 
 impl ScheduleRequest {
@@ -104,6 +262,7 @@ impl ScheduleRequest {
             procs: None,
             speeds: None,
             timeout_ms: None,
+            comm: None,
         }
     }
 
@@ -129,6 +288,10 @@ impl ScheduleRequest {
         }
         if let Some(t) = self.timeout_ms {
             out.push_str(&format!(",\"timeout_ms\":{t}"));
+        }
+        if let Some(comm) = &self.comm {
+            out.push_str(",\"comm\":");
+            out.push_str(&comm.to_json());
         }
         let dag = serde_json::to_string(&self.dag).expect("DagSpec serializes");
         out.push_str(",\"dag\":");
@@ -207,6 +370,10 @@ impl Request {
                         as_u64(x).ok_or("parse: `timeout_ms` must be a non-negative integer")?,
                     ),
                 };
+                let comm = match field(&v, "comm") {
+                    None | Some(Value::Null) => None,
+                    Some(c) => Some(parse_comm(c)?),
+                };
                 Ok(Request::Schedule(ScheduleRequest {
                     id,
                     dag,
@@ -214,6 +381,7 @@ impl Request {
                     procs,
                     speeds,
                     timeout_ms,
+                    comm,
                 }))
             }
             other => Err(format!("parse: unknown op `{other}`")),
@@ -765,6 +933,63 @@ mod tests {
         req.speeds = Some(vec![100, 50, 200]);
         let line = req.to_line();
         assert_eq!(Request::parse(&line, 0).unwrap(), Request::Schedule(req));
+    }
+
+    #[test]
+    fn comm_requests_round_trip() {
+        let mut req = ScheduleRequest::new(3, figure1_spec());
+        req.comm = Some(CommSpec::AlphaBeta {
+            alpha: 20,
+            beta_num: 3,
+            beta_den: 2,
+        });
+        let line = req.to_line();
+        assert_eq!(Request::parse(&line, 0).unwrap(), Request::Schedule(req));
+
+        let mut req = ScheduleRequest::new(4, figure1_spec());
+        req.algo = "heft".to_string();
+        req.procs = Some(8);
+        req.comm = Some(CommSpec::Hier {
+            groups: vec![4, 4],
+            intra: [0, 1, 1],
+            inter: [40, 2, 1],
+        });
+        let line = req.to_line();
+        assert_eq!(Request::parse(&line, 0).unwrap(), Request::Schedule(req));
+
+        let mut req = ScheduleRequest::new(5, figure1_spec());
+        req.comm = Some(CommSpec::Ideal);
+        assert_eq!(
+            Request::parse(&req.to_line(), 0).unwrap(),
+            Request::Schedule(req)
+        );
+    }
+
+    #[test]
+    fn malformed_comm_is_a_parse_error() {
+        let dag = "\"dag\":{\"nodes\":[],\"edges\":[]}";
+        for bad in [
+            format!("{{{dag},\"comm\":7}}"),
+            format!("{{{dag},\"comm\":{{}}}}"),
+            format!("{{{dag},\"comm\":{{\"model\":\"nope\"}}}}"),
+            format!("{{{dag},\"comm\":{{\"model\":\"alpha-beta\",\"alpha\":1}}}}"),
+            format!(
+                "{{{dag},\"comm\":{{\"model\":\"alpha-beta\",\"alpha\":1,\
+                 \"beta_num\":1,\"beta_den\":0}}}}"
+            ),
+            format!("{{{dag},\"comm\":{{\"model\":\"hier\",\"groups\":[]}}}}"),
+            format!(
+                "{{{dag},\"comm\":{{\"model\":\"hier\",\"groups\":[0],\
+                 \"intra\":[0,1,1],\"inter\":[1,1,1]}}}}"
+            ),
+            format!(
+                "{{{dag},\"comm\":{{\"model\":\"hier\",\"groups\":[2],\
+                 \"intra\":[0,1],\"inter\":[1,1,1]}}}}"
+            ),
+        ] {
+            let err = Request::parse(&bad, 1).expect_err(&bad);
+            assert!(err.starts_with("parse:"), "{bad} -> {err}");
+        }
     }
 
     #[test]

@@ -66,8 +66,8 @@
 //! shutdown drain) forever.
 
 use crate::protocol::{
-    self, Line, LineReader, PhaseSnapshot, Request, Response, ScheduleRequest, ScheduleResponse,
-    StatsSnapshot, WorkerSnapshot,
+    self, CommSpec, Line, LineReader, PhaseSnapshot, Request, Response, ScheduleRequest,
+    ScheduleResponse, StatsSnapshot, WorkerSnapshot,
 };
 use fastsched_algorithms::{
     BoundedDsc, BranchAndBound, Cpop, Dcp, Dls, Dsc, Etf, Ez, Fast, FastParallel, FastSa, Heft,
@@ -76,6 +76,7 @@ use fastsched_algorithms::{
 use fastsched_dag::Dag;
 use fastsched_metrics::prometheus::{Exposition, CONTENT_TYPE};
 use fastsched_metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use fastsched_schedule::{AlphaBeta, CommModel, Hierarchical, Schedule};
 use std::io::{self, BufReader, Read as _, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -97,6 +98,10 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 /// homogeneous machine while keeping the per-request O(procs) scratch
 /// in the hundreds of KB.
 pub const DEFAULT_MAX_PROCS: u32 = 16_384;
+
+/// Default [`ServeConfig::max_groups`]: far above any sensible NUMA
+/// hierarchy while bounding the per-request group table.
+pub const DEFAULT_MAX_GROUPS: u32 = 1_024;
 
 /// Request-vocabulary algorithm names, in the order their per-algo
 /// request counters are kept. The final entry is the heterogeneous
@@ -155,6 +160,59 @@ pub fn scheduler_by_name(name: &str) -> Result<Box<dyn Scheduler>, String> {
     })
 }
 
+/// The schedulers with a model-generic entry point
+/// (`schedule_with_model`), selected when a request or CLI invocation
+/// carries an explicit communication cost model.
+#[derive(Debug, Clone)]
+pub enum ModelScheduler {
+    /// FAST under an explicit model.
+    Fast(Fast),
+    /// ETF under an explicit model.
+    Etf(Etf),
+    /// DLS under an explicit model.
+    Dls(Dls),
+    /// HEFT under an explicit model.
+    Heft(Heft),
+}
+
+impl ModelScheduler {
+    /// Resolve a CLI algorithm name to its model-aware scheduler.
+    pub fn by_name(name: &str) -> Result<ModelScheduler, String> {
+        Ok(match name {
+            "fast" => ModelScheduler::Fast(Fast::new()),
+            "etf" => ModelScheduler::Etf(Etf::new()),
+            "dls" => ModelScheduler::Dls(Dls::new()),
+            "heft" => ModelScheduler::Heft(Heft::new()),
+            _ => {
+                return Err(format!(
+                    "algorithm `{name}` has no communication-model path \
+                     (use fast, etf, dls, or heft)"
+                ))
+            }
+        })
+    }
+
+    /// Display name, matching [`Scheduler::name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelScheduler::Fast(_) => "FAST",
+            ModelScheduler::Etf(_) => "ETF",
+            ModelScheduler::Dls(_) => "DLS",
+            ModelScheduler::Heft(_) => "HEFT",
+        }
+    }
+
+    /// Schedule `dag` on `procs` processors under `model`.
+    pub fn schedule_with_model(&self, dag: &Dag, procs: u32, model: &CommModel) -> Schedule {
+        match self {
+            ModelScheduler::Fast(s) => s.schedule_with_model(dag, procs, model),
+            ModelScheduler::Etf(s) => s.schedule_with_model(dag, procs, model),
+            ModelScheduler::Dls(s) => s.schedule_with_model(dag, procs, model),
+            ModelScheduler::Heft(s) => s.schedule_with_model(dag, procs, model),
+        }
+    }
+}
+
 /// Service-layer knobs for [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -176,6 +234,11 @@ pub struct ServeConfig {
     /// Schedulers allocate O(procs) scratch, so this bound is what
     /// keeps a hostile one-line request from demanding gigabytes.
     pub max_procs: u32,
+    /// Cap on the number of groups a hierarchical `comm` model may
+    /// declare. The group *table* (one entry per processor) is
+    /// already bounded by the processor limit; this bounds the group
+    /// count itself, and is checked before the table is materialized.
+    pub max_groups: u32,
     /// Record per-phase latency histograms (`false` = the
     /// `--no-metrics` overhead-measurement mode: no clock reads or
     /// histogram writes beyond what the response itself needs).
@@ -199,6 +262,7 @@ impl Default for ServeConfig {
             default_timeout_ms: 0,
             max_line_bytes: protocol::DEFAULT_MAX_LINE,
             max_procs: DEFAULT_MAX_PROCS,
+            max_groups: DEFAULT_MAX_GROUPS,
             metrics: true,
             metrics_addr: None,
             access_log: None,
@@ -487,6 +551,9 @@ enum Engine {
     Homogeneous(Box<dyn Scheduler>),
     /// Heterogeneous speeds: HEFT over unequal processors.
     Hetero(HeftHetero),
+    /// Explicit communication model: the model-generic (allocating)
+    /// `schedule_with_model` path.
+    Comm(ModelScheduler, CommModel),
 }
 
 /// The `casch serve` server. [`Server::bind`] then [`Server::run`];
@@ -805,6 +872,49 @@ fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> io::Result<()> {
     Ok(())
 }
 
+/// Build a [`CommModel`] from wire spec data, enforcing the server's
+/// group and processor caps *before* the group table is materialized.
+fn build_comm(spec: CommSpec, config: &ServeConfig, proc_limit: u64) -> Result<CommModel, String> {
+    match spec {
+        CommSpec::Ideal => Ok(CommModel::Ideal),
+        CommSpec::AlphaBeta {
+            alpha,
+            beta_num,
+            beta_den,
+        } => AlphaBeta::try_new(alpha, beta_num, beta_den)
+            .map(CommModel::AlphaBeta)
+            .map_err(|e| format!("parse: comm: {e}")),
+        CommSpec::Hier {
+            groups,
+            intra,
+            inter,
+        } => {
+            let max_groups = config.max_groups.max(1);
+            if groups.len() as u64 > u64::from(max_groups) {
+                return Err(format!(
+                    "parse: `comm.groups` lists {} group(s), above the server's \
+                     group limit ({max_groups}); raise --max-groups if intended",
+                    groups.len()
+                ));
+            }
+            let total: u64 = groups.iter().map(|&s| u64::from(s)).sum();
+            if total > proc_limit {
+                return Err(format!(
+                    "parse: hier group table covers {total} processor(s), above the \
+                     server's processor limit ({proc_limit}); raise --max-procs if intended"
+                ));
+            }
+            let intra = AlphaBeta::try_new(intra[0], intra[1], intra[2])
+                .map_err(|e| format!("parse: comm.intra: {e}"))?;
+            let inter = AlphaBeta::try_new(inter[0], inter[1], inter[2])
+                .map_err(|e| format!("parse: comm.inter: {e}"))?;
+            Hierarchical::from_group_sizes(&groups, intra, inter)
+                .map(CommModel::Hierarchical)
+                .map_err(|e| format!("parse: comm: {e}"))
+        }
+    }
+}
+
 /// Validate a schedule request into a ready-to-run job payload.
 fn prepare(req: ScheduleRequest, config: &ServeConfig) -> Result<PreparedRequest, String> {
     let dag = req.dag.build().map_err(|e| format!("parse: dag: {e}"))?;
@@ -817,8 +927,14 @@ fn prepare(req: ScheduleRequest, config: &ServeConfig) -> Result<PreparedRequest
         Some(_) => ALGO_NAMES.len() - 1,
         None => algo_index(&req.algo),
     };
-    let (engine, procs) = match req.speeds {
-        Some(speeds) => {
+    let (engine, procs) = match (req.speeds, req.comm) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "parse: `comm` cannot be combined with `speeds` (pick one machine model)"
+                    .to_string(),
+            )
+        }
+        (Some(speeds), None) => {
             if req.algo != "heft" {
                 return Err(format!(
                     "parse: `speeds` requires algo `heft` (heterogeneous HEFT), got `{}`",
@@ -840,12 +956,44 @@ fn prepare(req: ScheduleRequest, config: &ServeConfig) -> Result<PreparedRequest
                     ));
                 }
             }
-            (
-                Engine::Hetero(HeftHetero::new(ProcessorSpeeds::new(speeds))),
-                n,
-            )
+            let speeds =
+                ProcessorSpeeds::try_new(speeds).map_err(|e| format!("parse: speeds: {e}"))?;
+            (Engine::Hetero(HeftHetero::new(speeds)), n)
         }
-        None => {
+        (None, Some(comm)) => {
+            let scheduler =
+                ModelScheduler::by_name(&req.algo).map_err(|e| format!("parse: {e}"))?;
+            let model = build_comm(comm, config, proc_limit)?;
+            let procs = match model.required_procs() {
+                // A hierarchical model prices every processor through
+                // its group table, so the request must run on exactly
+                // the processors the table covers.
+                Some(n) => {
+                    if let Some(p) = req.procs {
+                        if p != n {
+                            return Err(format!(
+                                "parse: `procs` ({p}) disagrees with the hier group \
+                                 table ({n} processor(s))"
+                            ));
+                        }
+                    }
+                    n
+                }
+                None => {
+                    if let Some(p) = req.procs {
+                        if u64::from(p) > proc_limit {
+                            return Err(format!(
+                                "parse: `procs` ({p}) exceeds the server's processor limit \
+                                 ({proc_limit}); raise --max-procs if intended"
+                            ));
+                        }
+                    }
+                    req.procs.unwrap_or_else(|| dag.node_count().max(1) as u32)
+                }
+            };
+            (Engine::Comm(scheduler, model), procs)
+        }
+        (None, None) => {
             let scheduler = scheduler_by_name(&req.algo).map_err(|e| format!("parse: {e}"))?;
             if let Some(p) = req.procs {
                 if u64::from(p) > proc_limit {
@@ -966,6 +1114,7 @@ fn process(
     let (name, schedule) = match &req.engine {
         Engine::Homogeneous(s) => (s.name(), s.schedule_into(&req.dag, req.procs, ws)),
         Engine::Hetero(h) => ("HEFT-hetero", h.schedule(&req.dag)),
+        Engine::Comm(s, model) => (s.name(), s.schedule_with_model(&req.dag, req.procs, model)),
     };
     let t1 = Instant::now();
     // `service_us` in the response is the schedule phase — the same

@@ -5,9 +5,9 @@
 use fastsched_algorithms::{HeftHetero, ProcessorSpeeds, Workspace};
 use fastsched_casch::loadgen::{self, CorpusItem, LoadgenConfig};
 use fastsched_casch::protocol::{
-    placements_json, placements_of, Request, Response, ScheduleRequest,
+    placements_json, placements_of, CommSpec, Request, Response, ScheduleRequest,
 };
-use fastsched_casch::serve::{scheduler_by_name, ServeConfig, Server};
+use fastsched_casch::serve::{scheduler_by_name, ModelScheduler, ServeConfig, Server};
 use fastsched_casch::ServeSummary;
 use fastsched_dag::examples::{chain, fork_join, paper_figure1};
 use fastsched_dag::io::DagSpec;
@@ -119,6 +119,160 @@ fn responses_are_byte_identical_to_schedule_into() {
     let summary = join.join().expect("server thread");
     assert_eq!(summary.completed, total);
     assert_eq!(summary.rejected, 0);
+}
+
+#[test]
+fn comm_requests_run_the_model_path_and_bad_specs_are_rejected() {
+    use fastsched_schedule::{AlphaBeta, CommModel, Hierarchical, IDEAL_LINK};
+    let (addr, join, shutdown) = start_server(ServeConfig {
+        threads: 1,
+        max_groups: 4,
+        ..ServeConfig::default()
+    });
+    let dag = paper_figure1();
+    let spec = DagSpec::from_dag(&dag);
+
+    // 1: α–β over ETF. 2: hierarchical over FAST (procs from the
+    // table). 3: α–β identity over FAST — must be byte-identical to
+    // the plain homogeneous response. 4–7: rejected at parse time
+    // (group cap, comm+speeds, model-less algo, procs mismatch).
+    let mut reqs: Vec<ScheduleRequest> = Vec::new();
+    let mut r1 = ScheduleRequest::new(1, spec.clone());
+    r1.algo = "etf".into();
+    r1.procs = Some(4);
+    r1.comm = Some(CommSpec::AlphaBeta {
+        alpha: 20,
+        beta_num: 3,
+        beta_den: 2,
+    });
+    reqs.push(r1);
+    let mut r2 = ScheduleRequest::new(2, spec.clone());
+    r2.comm = Some(CommSpec::Hier {
+        groups: vec![2, 2],
+        intra: [0, 1, 1],
+        inter: [40, 2, 1],
+    });
+    reqs.push(r2);
+    let mut r3 = ScheduleRequest::new(3, spec.clone());
+    r3.procs = Some(4);
+    r3.comm = Some(CommSpec::AlphaBeta {
+        alpha: 0,
+        beta_num: 1,
+        beta_den: 1,
+    });
+    reqs.push(r3);
+    let mut r4 = ScheduleRequest::new(4, spec.clone());
+    r4.comm = Some(CommSpec::Hier {
+        groups: vec![1; 5],
+        intra: [0, 1, 1],
+        inter: [1, 1, 1],
+    });
+    reqs.push(r4);
+    let mut r5 = ScheduleRequest::new(5, spec.clone());
+    r5.algo = "heft".into();
+    r5.speeds = Some(vec![100, 50]);
+    r5.comm = Some(CommSpec::Ideal);
+    reqs.push(r5);
+    let mut r6 = ScheduleRequest::new(6, spec.clone());
+    r6.algo = "dsc".into();
+    r6.comm = Some(CommSpec::Ideal);
+    reqs.push(r6);
+    let mut r7 = ScheduleRequest::new(7, spec.clone());
+    r7.procs = Some(9);
+    r7.comm = Some(CommSpec::Hier {
+        groups: vec![2, 2],
+        intra: [0, 1, 1],
+        inter: [1, 1, 1],
+    });
+    reqs.push(r7);
+
+    let mut stream = connect(addr);
+    let mut lines = String::new();
+    for r in &reqs {
+        lines.push_str(&r.to_line());
+        lines.push('\n');
+    }
+    stream.write_all(lines.as_bytes()).expect("send requests");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut by_id: HashMap<u64, Response> = HashMap::new();
+    for resp in read_responses(&mut reader, reqs.len()) {
+        let id = match &resp {
+            Response::Schedule(r) => r.id,
+            Response::Error { id, .. } => *id,
+            other => panic!("unexpected response: {other:?}"),
+        };
+        by_id.insert(id, resp);
+    }
+
+    let ab = CommModel::AlphaBeta(AlphaBeta::new(20, 3, 2));
+    let etf = ModelScheduler::by_name("etf").expect("etf");
+    let expected = etf.schedule_with_model(&dag, 4, &ab);
+    match &by_id[&1] {
+        Response::Schedule(r) => {
+            assert_eq!(r.algo, "ETF");
+            assert_eq!(r.makespan, expected.makespan());
+            assert_eq!(
+                placements_json(&r.placements),
+                placements_json(&placements_of(&expected))
+            );
+        }
+        other => panic!("id 1: {other:?}"),
+    }
+
+    let hier = CommModel::Hierarchical(
+        Hierarchical::from_group_sizes(&[2, 2], IDEAL_LINK, AlphaBeta::new(40, 2, 1))
+            .expect("hier"),
+    );
+    let fast = ModelScheduler::by_name("fast").expect("fast");
+    let expected = fast.schedule_with_model(&dag, 4, &hier);
+    match &by_id[&2] {
+        Response::Schedule(r) => {
+            assert_eq!(r.procs, 4, "procs fixed by the group table");
+            assert_eq!(r.makespan, expected.makespan());
+            assert_eq!(
+                placements_json(&r.placements),
+                placements_json(&placements_of(&expected))
+            );
+        }
+        other => panic!("id 2: {other:?}"),
+    }
+
+    // The identity model must reproduce the homogeneous path's bytes.
+    let mut ws = Workspace::new();
+    let plain = scheduler_by_name("fast")
+        .expect("fast")
+        .schedule_into(&dag, 4, &mut ws);
+    match &by_id[&3] {
+        Response::Schedule(r) => {
+            assert_eq!(r.makespan, plain.makespan());
+            assert_eq!(
+                placements_json(&r.placements),
+                placements_json(&placements_of(&plain)),
+                "alpha-beta(0,1,1) must be byte-identical to homogeneous"
+            );
+        }
+        other => panic!("id 3: {other:?}"),
+    }
+
+    for (id, needle) in [
+        (4, "group limit"),
+        (5, "cannot be combined"),
+        (6, "no communication-model path"),
+        (7, "disagrees with the hier group table"),
+    ] {
+        match &by_id[&id] {
+            Response::Error { error, .. } => {
+                assert!(error.starts_with("parse:"), "id {id}: {error}");
+                assert!(error.contains(needle), "id {id}: {error}");
+            }
+            other => panic!("id {id}: expected error, got {other:?}"),
+        }
+    }
+
+    shutdown.store(true, Ordering::SeqCst);
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.completed, 3);
+    assert_eq!(summary.malformed, 4);
 }
 
 #[test]

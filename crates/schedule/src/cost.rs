@@ -27,6 +27,37 @@ pub trait CostModel {
     /// Extra delay a message of nominal cost `nominal` pays travelling
     /// from `src` to `dst`. Must be 0 when `src == dst`.
     fn message_cost(&self, nominal: Cost, src: ProcId, dst: ProcId) -> Cost;
+
+    /// Whether every cost is invariant under renumbering the
+    /// processors. True for models that price messages purely by
+    /// co-location (homogeneous, alpha-beta); false when processor
+    /// identity carries meaning — per-processor speeds, hierarchical
+    /// groups, interconnect hops. Schedules priced by an
+    /// identity-sensitive model must not be [`compact`]ed: compaction
+    /// reorders processor lanes, which silently reprices every
+    /// cross-processor message and execution.
+    ///
+    /// [`compact`]: ../struct.Schedule.html#method.compact
+    fn permits_renumbering(&self) -> bool {
+        true
+    }
+}
+
+impl<M: CostModel + ?Sized> CostModel for &M {
+    #[inline]
+    fn compute_cost(&self, dag: &Dag, node: NodeId, proc: ProcId) -> Cost {
+        (**self).compute_cost(dag, node, proc)
+    }
+
+    #[inline]
+    fn message_cost(&self, nominal: Cost, src: ProcId, dst: ProcId) -> Cost {
+        (**self).message_cost(nominal, src, dst)
+    }
+
+    #[inline]
+    fn permits_renumbering(&self) -> bool {
+        (**self).permits_renumbering()
+    }
 }
 
 /// The paper's machine model: identical processors, messages cost
@@ -70,14 +101,24 @@ impl ProcessorSpeeds {
         }
     }
 
-    /// Explicit speeds.
+    /// Explicit speeds. Panics on an empty or zero-speed table; use
+    /// [`ProcessorSpeeds::try_new`] for untrusted (network) input.
     pub fn new(speed_percent: Vec<u32>) -> Self {
-        assert!(!speed_percent.is_empty());
-        assert!(
-            speed_percent.iter().all(|&s| s > 0),
-            "speeds must be positive"
-        );
-        Self { speed_percent }
+        Self::try_new(speed_percent).expect("invalid processor speeds")
+    }
+
+    /// Fallible [`ProcessorSpeeds::new`]: rejects an empty table or a
+    /// zero speed with a message instead of asserting, so hostile
+    /// `speeds` arrays arriving over the wire can be answered with a
+    /// protocol error rather than crashing a worker.
+    pub fn try_new(speed_percent: Vec<u32>) -> Result<Self, String> {
+        if speed_percent.is_empty() {
+            return Err("speeds must not be empty".to_string());
+        }
+        if speed_percent.contains(&0) {
+            return Err("speeds must be positive".to_string());
+        }
+        Ok(Self { speed_percent })
     }
 
     /// Processor count.
@@ -86,18 +127,24 @@ impl ProcessorSpeeds {
     }
 
     /// Execution time of a nominal-cost `w` task on processor `p`.
+    /// Saturating: a weight above `u64::MAX / 100` prices at the
+    /// ceiling instead of wrapping to a tiny value in release builds.
     #[inline]
     pub fn exec_time(&self, w: Cost, p: ProcId) -> Cost {
         let s = self.speed_percent[p.index()] as Cost;
-        (w * 100).div_ceil(s).max(1)
+        match w.checked_mul(100) {
+            Some(scaled) => scaled.div_ceil(s).max(1),
+            None => Cost::MAX,
+        }
     }
 
     /// Mean execution time of a nominal-cost `w` task across all
-    /// processors (HEFT's ranking cost).
+    /// processors (HEFT's ranking cost). Saturating, like
+    /// [`ProcessorSpeeds::exec_time`].
     pub fn mean_exec_time(&self, w: Cost) -> Cost {
         let total: Cost = (0..self.count())
             .map(|p| self.exec_time(w, ProcId(p)))
-            .sum();
+            .fold(0, Cost::saturating_add);
         (total / self.count() as Cost).max(1)
     }
 }
@@ -114,6 +161,345 @@ impl CostModel for ProcessorSpeeds {
             0
         } else {
             nominal
+        }
+    }
+
+    /// Processor ids index the speed table — renumbering reassigns
+    /// every task a different speed.
+    #[inline]
+    fn permits_renumbering(&self) -> bool {
+        false
+    }
+}
+
+/// Latency–bandwidth (α–β) communication pricing: a cross-processor
+/// message of nominal cost `c` costs
+/// `alpha + ceil(c * beta_num / beta_den)` — a fixed per-message
+/// latency plus a bandwidth term scaling the edge weight by the
+/// rational `beta_num / beta_den`. Co-located communication stays
+/// free and compute stays the nominal node weight, so
+/// `AlphaBeta { alpha: 0, beta_num: 1, beta_den: 1 }` reproduces
+/// [`HomogeneousModel`] exactly.
+///
+/// All arithmetic saturates at `Cost::MAX`: adversarial edge weights
+/// price at the ceiling instead of wrapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlphaBeta {
+    /// Fixed per-message latency.
+    pub alpha: Cost,
+    /// Bandwidth-term numerator.
+    pub beta_num: Cost,
+    /// Bandwidth-term denominator (must be positive).
+    pub beta_den: Cost,
+}
+
+/// The identity pricing (`alpha` 0, `beta` 1/1): exactly the paper's
+/// ideal network.
+pub const IDEAL_LINK: AlphaBeta = AlphaBeta {
+    alpha: 0,
+    beta_num: 1,
+    beta_den: 1,
+};
+
+impl AlphaBeta {
+    /// New α–β pricing. Panics on a zero `beta_den`; use
+    /// [`AlphaBeta::try_new`] for untrusted input.
+    pub fn new(alpha: Cost, beta_num: Cost, beta_den: Cost) -> Self {
+        Self::try_new(alpha, beta_num, beta_den).expect("invalid alpha-beta parameters")
+    }
+
+    /// Fallible [`AlphaBeta::new`]: a zero denominator is an error,
+    /// not an assert.
+    pub fn try_new(alpha: Cost, beta_num: Cost, beta_den: Cost) -> Result<Self, String> {
+        if beta_den == 0 {
+            return Err("alpha-beta: beta_den must be positive".to_string());
+        }
+        Ok(Self {
+            alpha,
+            beta_num,
+            beta_den,
+        })
+    }
+
+    /// Price of one cross-link message of nominal cost `nominal`:
+    /// `alpha + ceil(nominal * beta_num / beta_den)`, saturating.
+    #[inline]
+    pub fn price(&self, nominal: Cost) -> Cost {
+        let bandwidth = match nominal.checked_mul(self.beta_num) {
+            Some(scaled) => scaled.div_ceil(self.beta_den),
+            None => Cost::MAX,
+        };
+        self.alpha.saturating_add(bandwidth)
+    }
+}
+
+impl CostModel for AlphaBeta {
+    #[inline]
+    fn compute_cost(&self, dag: &Dag, node: NodeId, _proc: ProcId) -> Cost {
+        dag.weight(node)
+    }
+
+    #[inline]
+    fn message_cost(&self, nominal: Cost, src: ProcId, dst: ProcId) -> Cost {
+        if src == dst {
+            0
+        } else {
+            self.price(nominal)
+        }
+    }
+}
+
+/// Hierarchical (NUMA-shaped) communication: processors are
+/// partitioned into groups (`group_of[p]` is `p`'s group), messages
+/// between processors of the *same* group pay the cheap `intra`
+/// [`AlphaBeta`] tier and messages crossing groups pay the expensive
+/// `inter` tier. Compute stays the nominal node weight. With a single
+/// group and an identity `intra` tier ([`IDEAL_LINK`]) this reproduces
+/// [`HomogeneousModel`] exactly.
+///
+/// Pricing a processor outside the configured table is a programming
+/// error and panics with a clear message (network input must be
+/// validated against the table size before scheduling — the CLI and
+/// `casch serve` both reject such requests at parse time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hierarchical {
+    /// `group_of[p]` — the group processor `p` belongs to.
+    group_of: Vec<u32>,
+    /// Pricing for messages within one group.
+    intra: AlphaBeta,
+    /// Pricing for messages crossing groups.
+    inter: AlphaBeta,
+}
+
+impl Hierarchical {
+    /// New hierarchical model from an explicit processor→group table.
+    /// Panics on an empty table; use [`Hierarchical::try_new`] for
+    /// untrusted input.
+    pub fn new(group_of: Vec<u32>, intra: AlphaBeta, inter: AlphaBeta) -> Self {
+        Self::try_new(group_of, intra, inter).expect("invalid hierarchical parameters")
+    }
+
+    /// Fallible [`Hierarchical::new`]: an empty table is an error, not
+    /// an assert.
+    pub fn try_new(group_of: Vec<u32>, intra: AlphaBeta, inter: AlphaBeta) -> Result<Self, String> {
+        if group_of.is_empty() {
+            return Err("hierarchical: group table must not be empty".to_string());
+        }
+        Ok(Self {
+            group_of,
+            intra,
+            inter,
+        })
+    }
+
+    /// Hierarchical model from consecutive group *sizes*: `sizes =
+    /// [4, 2]` puts processors 0–3 in group 0 and 4–5 in group 1.
+    /// Rejects empty specs and zero-sized groups.
+    pub fn from_group_sizes(
+        sizes: &[u32],
+        intra: AlphaBeta,
+        inter: AlphaBeta,
+    ) -> Result<Self, String> {
+        if sizes.is_empty() {
+            return Err("hierarchical: need at least one group".to_string());
+        }
+        let mut group_of = Vec::new();
+        for (g, &size) in sizes.iter().enumerate() {
+            if size == 0 {
+                return Err(format!("hierarchical: group {g} has zero processors"));
+            }
+            if group_of.len() as u64 + size as u64 > u32::MAX as u64 {
+                return Err("hierarchical: group sizes overflow the processor id space".into());
+            }
+            group_of.resize(group_of.len() + size as usize, g as u32);
+        }
+        Self::try_new(group_of, intra, inter)
+    }
+
+    /// Processors covered by the group table.
+    pub fn count(&self) -> u32 {
+        self.group_of.len() as u32
+    }
+
+    /// Number of distinct group ids (`max + 1`).
+    pub fn groups(&self) -> u32 {
+        self.group_of.iter().copied().max().unwrap_or(0) + 1
+    }
+
+    /// The intra-group link pricing.
+    pub fn intra(&self) -> AlphaBeta {
+        self.intra
+    }
+
+    /// The inter-group link pricing.
+    pub fn inter(&self) -> AlphaBeta {
+        self.inter
+    }
+
+    /// Per-group processor counts (`sizes[g]` = processors in group
+    /// `g`). For tables built by [`Hierarchical::from_group_sizes`]
+    /// this round-trips the original spec.
+    pub fn group_sizes(&self) -> Vec<u32> {
+        let mut sizes = vec![0u32; self.groups() as usize];
+        for &g in &self.group_of {
+            sizes[g as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Group of processor `p`. Panics (with the table size in the
+    /// message) when `p` is outside the configured table.
+    #[inline]
+    pub fn group_of(&self, p: ProcId) -> u32 {
+        match self.group_of.get(p.index()) {
+            Some(&g) => g,
+            None => panic!(
+                "Hierarchical cost model: processor {} out of range \
+                 ({} processors configured)",
+                p.0,
+                self.group_of.len()
+            ),
+        }
+    }
+}
+
+impl CostModel for Hierarchical {
+    #[inline]
+    fn compute_cost(&self, dag: &Dag, node: NodeId, _proc: ProcId) -> Cost {
+        dag.weight(node)
+    }
+
+    #[inline]
+    fn message_cost(&self, nominal: Cost, src: ProcId, dst: ProcId) -> Cost {
+        if src == dst {
+            0
+        } else if self.group_of(src) == self.group_of(dst) {
+            self.intra.price(nominal)
+        } else {
+            self.inter.price(nominal)
+        }
+    }
+
+    /// Processor ids index the group table — renumbering moves tasks
+    /// across the intra/inter pricing boundary. With a single group
+    /// that boundary does not exist and pricing degenerates to
+    /// co-location-only, which is renumbering-invariant.
+    #[inline]
+    fn permits_renumbering(&self) -> bool {
+        self.groups() <= 1
+    }
+}
+
+/// Runtime-selected communication model — the dynamic dispatch seam
+/// the CLI (`--comm`) and `casch serve` (the request's `comm` object)
+/// route through. Compute cost is the nominal node weight under every
+/// variant; only message pricing varies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommModel {
+    /// The paper's ideal network ([`HomogeneousModel`] pricing).
+    Ideal,
+    /// Latency–bandwidth pricing.
+    AlphaBeta(AlphaBeta),
+    /// Grouped intra/inter pricing.
+    Hierarchical(Hierarchical),
+}
+
+impl CommModel {
+    /// Parse a CLI `--comm` spec:
+    ///
+    /// * `ideal` — the paper's network;
+    /// * `alpha-beta:A,BN,BD` — [`AlphaBeta`] with latency `A` and
+    ///   bandwidth factor `BN/BD`;
+    /// * `hier:S1+S2+...@A,BN,BD@A,BN,BD` — [`Hierarchical`] with
+    ///   consecutive group sizes `S1,S2,...`, then the intra-group and
+    ///   inter-group α–β tiers.
+    ///
+    /// Errors are plain messages (no `parse:` prefix); callers add
+    /// their own framing.
+    pub fn parse_spec(spec: &str) -> Result<CommModel, String> {
+        fn triple(s: &str, what: &str) -> Result<AlphaBeta, String> {
+            let parts: Vec<&str> = s.split(',').collect();
+            if parts.len() != 3 {
+                return Err(format!(
+                    "{what} must be three comma-separated integers `alpha,beta_num,beta_den`, \
+                     got `{s}`"
+                ));
+            }
+            let mut nums = [0 as Cost; 3];
+            for (slot, part) in nums.iter_mut().zip(&parts) {
+                *slot = part
+                    .trim()
+                    .parse::<Cost>()
+                    .map_err(|_| format!("{what}: `{part}` is not a non-negative integer"))?;
+            }
+            AlphaBeta::try_new(nums[0], nums[1], nums[2])
+        }
+        if spec == "ideal" {
+            return Ok(CommModel::Ideal);
+        }
+        if let Some(rest) = spec.strip_prefix("alpha-beta:") {
+            return Ok(CommModel::AlphaBeta(triple(rest, "alpha-beta")?));
+        }
+        if let Some(rest) = spec.strip_prefix("hier:") {
+            let parts: Vec<&str> = rest.split('@').collect();
+            if parts.len() != 3 {
+                return Err(format!(
+                    "hier spec must be `hier:<sizes>@<intra>@<inter>` \
+                     (e.g. `hier:4+4@0,1,1@20,2,1`), got `{spec}`"
+                ));
+            }
+            let sizes: Result<Vec<u32>, String> = parts[0]
+                .split('+')
+                .map(|s| {
+                    s.trim()
+                        .parse::<u32>()
+                        .map_err(|_| format!("hier: group size `{s}` is not a positive integer"))
+                })
+                .collect();
+            let intra = triple(parts[1], "hier intra tier")?;
+            let inter = triple(parts[2], "hier inter tier")?;
+            return Ok(CommModel::Hierarchical(Hierarchical::from_group_sizes(
+                &sizes?, intra, inter,
+            )?));
+        }
+        Err(format!(
+            "unknown comm model `{spec}` (expected `ideal`, `alpha-beta:A,BN,BD` \
+             or `hier:<sizes>@<intra>@<inter>`)"
+        ))
+    }
+
+    /// The processor count the model requires, when it requires one
+    /// ([`Hierarchical`]'s group table covers a fixed machine; the
+    /// other variants fit any).
+    pub fn required_procs(&self) -> Option<u32> {
+        match self {
+            CommModel::Hierarchical(h) => Some(h.count()),
+            _ => None,
+        }
+    }
+}
+
+impl CostModel for CommModel {
+    #[inline]
+    fn compute_cost(&self, dag: &Dag, node: NodeId, _proc: ProcId) -> Cost {
+        dag.weight(node)
+    }
+
+    #[inline]
+    fn message_cost(&self, nominal: Cost, src: ProcId, dst: ProcId) -> Cost {
+        match self {
+            CommModel::Ideal => HomogeneousModel.message_cost(nominal, src, dst),
+            CommModel::AlphaBeta(ab) => ab.message_cost(nominal, src, dst),
+            CommModel::Hierarchical(h) => h.message_cost(nominal, src, dst),
+        }
+    }
+
+    #[inline]
+    fn permits_renumbering(&self) -> bool {
+        match self {
+            CommModel::Ideal => true,
+            CommModel::AlphaBeta(ab) => ab.permits_renumbering(),
+            CommModel::Hierarchical(h) => h.permits_renumbering(),
         }
     }
 }
@@ -192,6 +578,142 @@ mod tests {
         assert_eq!(s.exec_time(10, ProcId(1)), 5);
         assert_eq!(s.exec_time(10, ProcId(2)), 20);
         assert_eq!(s.mean_exec_time(10), (10 + 5 + 20) / 3);
+    }
+
+    #[test]
+    fn exec_time_saturates_instead_of_wrapping() {
+        // Regression: `(w * 100).div_ceil(s)` wrapped for weights
+        // above u64::MAX / 100, silently producing tiny exec times in
+        // release builds. The adversarial weight below must price at
+        // least as large as its nominal value, never smaller.
+        let s = ProcessorSpeeds::new(vec![100, 50]);
+        let w = u64::MAX / 50;
+        assert!(s.exec_time(w, ProcId(0)) >= w, "wrapped on nominal speed");
+        assert_eq!(s.exec_time(w, ProcId(1)), Cost::MAX);
+        assert!(s.mean_exec_time(w) >= w / 2);
+        // The sum saturates before the division, so the mean stays
+        // huge instead of wrapping toward zero.
+        assert!(s.mean_exec_time(u64::MAX) >= Cost::MAX / 2);
+    }
+
+    #[test]
+    fn try_new_rejects_hostile_speeds() {
+        assert!(ProcessorSpeeds::try_new(vec![]).is_err());
+        assert!(ProcessorSpeeds::try_new(vec![100, 0]).is_err());
+        assert_eq!(
+            ProcessorSpeeds::try_new(vec![100, 50]).unwrap(),
+            ProcessorSpeeds::new(vec![100, 50])
+        );
+    }
+
+    #[test]
+    fn alpha_beta_prices_latency_plus_bandwidth() {
+        let g = sample();
+        let ab = AlphaBeta::new(5, 3, 2);
+        // Compute stays nominal.
+        assert_eq!(ab.compute_cost(&g, NodeId(2), ProcId(1)), 5);
+        // Co-located communication stays free.
+        assert_eq!(ab.message_cost(7, ProcId(1), ProcId(1)), 0);
+        // 5 + ceil(7 * 3 / 2) = 5 + 11 = 16.
+        assert_eq!(ab.message_cost(7, ProcId(0), ProcId(1)), 16);
+        // A zero-cost edge still pays the latency.
+        assert_eq!(ab.message_cost(0, ProcId(0), ProcId(1)), 5);
+    }
+
+    #[test]
+    fn alpha_beta_identity_is_the_homogeneous_model() {
+        for nominal in [0u64, 1, 7, 1_000_003] {
+            for (src, dst) in [(0, 0), (0, 1), (3, 2)] {
+                assert_eq!(
+                    IDEAL_LINK.message_cost(nominal, ProcId(src), ProcId(dst)),
+                    HomogeneousModel.message_cost(nominal, ProcId(src), ProcId(dst)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_beta_saturates() {
+        let ab = AlphaBeta::new(u64::MAX - 1, 1, 1);
+        assert_eq!(ab.message_cost(100, ProcId(0), ProcId(1)), u64::MAX);
+        let wide = AlphaBeta::new(0, u64::MAX, 1);
+        assert_eq!(wide.message_cost(2, ProcId(0), ProcId(1)), u64::MAX);
+    }
+
+    #[test]
+    fn alpha_beta_rejects_zero_denominator() {
+        assert!(AlphaBeta::try_new(1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn hierarchical_prices_by_group() {
+        // Procs 0-1 in group 0, procs 2-3 in group 1; cheap intra
+        // (latency 1, factor 1), dear inter (latency 10, factor 3).
+        let h = Hierarchical::from_group_sizes(
+            &[2, 2],
+            AlphaBeta::new(1, 1, 1),
+            AlphaBeta::new(10, 3, 1),
+        )
+        .unwrap();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.groups(), 2);
+        assert_eq!(h.message_cost(7, ProcId(0), ProcId(0)), 0);
+        assert_eq!(h.message_cost(7, ProcId(0), ProcId(1)), 8); // 1 + 7
+        assert_eq!(h.message_cost(7, ProcId(1), ProcId(2)), 31); // 10 + 21
+        assert_eq!(h.message_cost(7, ProcId(3), ProcId(2)), 8);
+    }
+
+    #[test]
+    fn single_group_identity_hierarchical_is_homogeneous() {
+        let h = Hierarchical::from_group_sizes(&[4], IDEAL_LINK, AlphaBeta::new(9, 9, 1)).unwrap();
+        for nominal in [0u64, 3, 19] {
+            for (src, dst) in [(0u32, 0u32), (0, 3), (2, 1)] {
+                assert_eq!(
+                    h.message_cost(nominal, ProcId(src), ProcId(dst)),
+                    HomogeneousModel.message_cost(nominal, ProcId(src), ProcId(dst)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hierarchical_panics_loudly_on_unknown_processor() {
+        let h = Hierarchical::from_group_sizes(&[2], IDEAL_LINK, IDEAL_LINK).unwrap();
+        h.message_cost(1, ProcId(0), ProcId(7));
+    }
+
+    #[test]
+    fn hierarchical_rejects_bad_specs() {
+        assert!(Hierarchical::try_new(vec![], IDEAL_LINK, IDEAL_LINK).is_err());
+        assert!(Hierarchical::from_group_sizes(&[], IDEAL_LINK, IDEAL_LINK).is_err());
+        assert!(Hierarchical::from_group_sizes(&[2, 0], IDEAL_LINK, IDEAL_LINK).is_err());
+    }
+
+    #[test]
+    fn comm_model_spec_round_trips() {
+        assert_eq!(CommModel::parse_spec("ideal").unwrap(), CommModel::Ideal);
+        assert_eq!(
+            CommModel::parse_spec("alpha-beta:5,3,2").unwrap(),
+            CommModel::AlphaBeta(AlphaBeta::new(5, 3, 2))
+        );
+        let h = CommModel::parse_spec("hier:2+2@1,1,1@10,3,1").unwrap();
+        assert_eq!(h.required_procs(), Some(4));
+        assert_eq!(h.message_cost(7, ProcId(1), ProcId(2)), 31);
+        assert_eq!(h.message_cost(7, ProcId(0), ProcId(1)), 8);
+
+        for bad in [
+            "nope",
+            "alpha-beta:1,2",
+            "alpha-beta:1,2,0",
+            "alpha-beta:a,b,c",
+            "hier:4",
+            "hier:4@0,1,1",
+            "hier:0@0,1,1@1,1,1",
+            "hier:2+x@0,1,1@1,1,1",
+        ] {
+            assert!(CommModel::parse_spec(bad).is_err(), "{bad} should fail");
+        }
     }
 
     #[test]

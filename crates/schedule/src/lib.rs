@@ -50,7 +50,10 @@ pub mod svg;
 pub mod validate;
 
 pub use corrupt::{corrupt_with, Corruption};
-pub use cost::{data_arrival_time_with, CostModel, HomogeneousModel, ProcessorSpeeds};
+pub use cost::{
+    data_arrival_time_with, AlphaBeta, CommModel, CostModel, Hierarchical, HomogeneousModel,
+    ProcessorSpeeds, IDEAL_LINK,
+};
 pub use diff::{diff_schedules, PlacementDelta, ScheduleDiff};
 pub use evaluate::{
     data_arrival_time, evaluate_fixed_order, evaluate_fixed_order_into,

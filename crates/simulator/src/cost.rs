@@ -54,8 +54,19 @@ impl CostModel for TopologyCostModel {
         if src == dst {
             0
         } else {
-            nominal + self.topology.hops(src, dst) as Cost * self.hop_latency_us
+            // Saturate: adversarial weights must cap at `Cost::MAX`,
+            // not wrap into a cheap-looking message.
+            let distance =
+                (self.topology.hops(src, dst) as Cost).saturating_mul(self.hop_latency_us);
+            nominal.saturating_add(distance)
         }
+    }
+
+    /// Hop counts depend on where processors sit in the interconnect —
+    /// renumbering reroutes every message.
+    #[inline]
+    fn permits_renumbering(&self) -> bool {
+        !matches!(self.topology, Topology::FullyConnected)
     }
 }
 
@@ -76,6 +87,31 @@ mod tests {
         // 0 → 8: 4 hops under XY routing.
         assert_eq!(m.message_cost(100, ProcId(0), ProcId(8)), 120);
         assert_eq!(m.message_cost(100, ProcId(4), ProcId(4)), 0);
+    }
+
+    #[test]
+    fn hierarchical_topology_prices_leader_hops() {
+        let m = TopologyCostModel::new(Topology::Hierarchical { group_size: 4 }, 7);
+        // Same group: one crossbar hop.
+        assert_eq!(m.message_cost(100, ProcId(5), ProcId(7)), 107);
+        // Cross group, non-leaders: climb + cross + descend = 3 hops.
+        assert_eq!(m.message_cost(100, ProcId(5), ProcId(10)), 121);
+        assert_eq!(m.message_cost(100, ProcId(6), ProcId(6)), 0);
+    }
+
+    #[test]
+    fn message_cost_saturates_instead_of_wrapping() {
+        let m = TopologyCostModel::new(
+            Topology::Mesh2D {
+                width: 3,
+                height: 3,
+            },
+            Cost::MAX,
+        );
+        assert_eq!(
+            m.message_cost(Cost::MAX - 1, ProcId(0), ProcId(8)),
+            Cost::MAX
+        );
     }
 
     #[test]

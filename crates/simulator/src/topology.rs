@@ -57,6 +57,17 @@ pub enum Topology {
         /// Number of dimensions (processors = 2^dim).
         dim: u32,
     },
+    /// Clusters of `group_size` processors joined by per-group leader
+    /// routers: processor `p` belongs to group `p / group_size`, whose
+    /// leader is the group's first processor. Peers in one group are a
+    /// single hop apart (a crossbar); a cross-group message climbs to
+    /// the source leader, crosses the leader interconnect, and
+    /// descends to the destination — the NUMA / multi-socket shape the
+    /// [`fastsched_schedule::Hierarchical`] cost model abstracts.
+    Hierarchical {
+        /// Processors per group (clamped to at least 1).
+        group_size: u32,
+    },
 }
 
 impl Topology {
@@ -70,21 +81,62 @@ impl Topology {
     }
 
     /// Number of processor slots in the topology (`u32::MAX` for the
-    /// fully-connected ideal).
+    /// unbounded fully-connected and hierarchical shapes). Oversized
+    /// grids saturate at `u32::MAX` instead of wrapping.
     pub fn capacity(&self) -> u32 {
         match *self {
-            Topology::FullyConnected => u32::MAX,
+            Topology::FullyConnected | Topology::Hierarchical { .. } => u32::MAX,
             Topology::Mesh2D { width, height } | Topology::Torus2D { width, height } => {
-                width * height
+                width.saturating_mul(height)
             }
-            Topology::Hypercube { dim } => 1 << dim,
+            Topology::Hypercube { dim } => {
+                if dim >= 32 {
+                    u32::MAX
+                } else {
+                    1 << dim
+                }
+            }
         }
     }
 
+    /// Panic (with the offending coordinates) if either endpoint is
+    /// outside the topology — routing arithmetic on out-of-grid
+    /// processors would otherwise silently address routers that do
+    /// not exist.
+    fn check(&self, a: ProcId, b: ProcId) {
+        let cap = self.capacity();
+        assert!(
+            a.0 < cap && b.0 < cap,
+            "topology {self:?} has {cap} processor slots; \
+             cannot route {} -> {}",
+            a.0,
+            b.0
+        );
+    }
+
     /// Hop count between two processors under the topology's routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either processor lies outside the topology's
+    /// [`capacity`](Self::capacity) — callers (CLI, serve) are
+    /// expected to reject such pairings at parse time.
     pub fn hops(&self, a: ProcId, b: ProcId) -> u32 {
+        self.check(a, b);
         match *self {
             Topology::FullyConnected => u32::from(a != b),
+            Topology::Hierarchical { group_size } => {
+                let gs = group_size.max(1);
+                if a == b {
+                    return 0;
+                }
+                let (ga, gb) = (a.0 / gs, b.0 / gs);
+                if ga == gb {
+                    return 1;
+                }
+                let (la, lb) = (ga * gs, gb * gs);
+                u32::from(a.0 != la) + 1 + u32::from(b.0 != lb)
+            }
             Topology::Mesh2D { width, .. } => {
                 let (ax, ay) = (a.0 % width, a.0 / width);
                 let (bx, by) = (b.0 % width, b.0 / width);
@@ -104,10 +156,46 @@ impl Topology {
     /// The directed links an `a → b` message traverses (empty for
     /// `a == b` or the fully-connected ideal, whose links are private
     /// and never contended). Mesh and torus use XY routing; the
-    /// hypercube uses dimension-ordered (e-cube) routing.
+    /// hypercube uses dimension-ordered (e-cube) routing; the
+    /// hierarchical shape routes through the group leaders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either processor lies outside the topology's
+    /// [`capacity`](Self::capacity), like [`hops`](Self::hops).
     pub fn route(&self, a: ProcId, b: ProcId) -> Vec<LinkId> {
+        self.check(a, b);
         match *self {
             Topology::FullyConnected => Vec::new(),
+            Topology::Hierarchical { group_size } => {
+                let gs = group_size.max(1);
+                if a == b {
+                    return Vec::new();
+                }
+                let (ga, gb) = (a.0 / gs, b.0 / gs);
+                if ga == gb {
+                    return vec![LinkId { from: a.0, to: b.0 }];
+                }
+                let (la, lb) = (ga * gs, gb * gs);
+                // a → (own leader) → (peer leader) → b, skipping the
+                // climb/descend legs when an endpoint *is* its leader,
+                // so `route.len()` always equals `hops`.
+                let mut stops = vec![a.0];
+                if a.0 != la {
+                    stops.push(la);
+                }
+                stops.push(lb);
+                if b.0 != lb {
+                    stops.push(b.0);
+                }
+                stops
+                    .windows(2)
+                    .map(|w| LinkId {
+                        from: w[0],
+                        to: w[1],
+                    })
+                    .collect()
+            }
             Topology::Mesh2D { width, .. } => {
                 let mut links = Vec::new();
                 let (mut x, mut y) = (a.0 % width, a.0 / width);
@@ -299,6 +387,60 @@ mod tests {
     }
 
     #[test]
+    fn hierarchical_routes_through_group_leaders() {
+        let t = Topology::Hierarchical { group_size: 4 };
+        assert_eq!(t.capacity(), u32::MAX);
+        // Same processor / same group.
+        assert_eq!(t.hops(ProcId(5), ProcId(5)), 0);
+        assert_eq!(t.hops(ProcId(5), ProcId(7)), 1);
+        let intra = t.route(ProcId(5), ProcId(7));
+        assert_eq!((intra[0].from, intra[0].to), (5, 7));
+        // Cross-group, neither endpoint a leader: climb to leader 4,
+        // cross to leader 8, descend to 10 — three hops.
+        assert_eq!(t.hops(ProcId(5), ProcId(10)), 3);
+        let pairs: Vec<(u32, u32)> = t
+            .route(ProcId(5), ProcId(10))
+            .iter()
+            .map(|l| (l.from, l.to))
+            .collect();
+        assert_eq!(pairs, vec![(5, 4), (4, 8), (8, 10)]);
+        // Leader-to-leader is a single crossing.
+        assert_eq!(t.hops(ProcId(4), ProcId(8)), 1);
+        // One endpoint a leader: two hops.
+        assert_eq!(t.hops(ProcId(4), ProcId(10)), 2);
+        // group_size 1: everyone is their own leader — one hop apart.
+        let flat = Topology::Hierarchical { group_size: 1 };
+        assert_eq!(flat.hops(ProcId(3), ProcId(9)), 1);
+    }
+
+    #[test]
+    fn capacity_saturates_instead_of_wrapping() {
+        let huge = Topology::Mesh2D {
+            width: u32::MAX,
+            height: 2,
+        };
+        assert_eq!(huge.capacity(), u32::MAX);
+        assert_eq!(Topology::Hypercube { dim: 40 }.capacity(), u32::MAX);
+        assert_eq!(Topology::Hypercube { dim: 31 }.capacity(), 1 << 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot route")]
+    fn hops_panics_on_out_of_grid_processor() {
+        let t = Topology::Mesh2D {
+            width: 3,
+            height: 3,
+        };
+        t.hops(ProcId(0), ProcId(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot route")]
+    fn route_panics_on_out_of_grid_processor() {
+        Topology::Hypercube { dim: 2 }.route(ProcId(4), ProcId(0));
+    }
+
+    #[test]
     fn route_length_equals_hops_everywhere() {
         for t in [
             Topology::Mesh2D {
@@ -310,6 +452,8 @@ mod tests {
                 height: 3,
             },
             Topology::Hypercube { dim: 3 },
+            Topology::Hierarchical { group_size: 4 },
+            Topology::Hierarchical { group_size: 1 },
         ] {
             let n = t.capacity().min(12);
             for a in 0..n {

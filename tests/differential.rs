@@ -275,3 +275,281 @@ fn adversarial_weights_overflow_loudly_not_silently() {
     let m = ScheduleMetrics::compute(&g, &s);
     assert!(m.speedup >= 0.99, "speedup wrapped: {}", m.speedup);
 }
+
+/// The reduction identities that make the generic model paths
+/// trustworthy: alpha-beta(0, 1, 1) and a single-group hierarchy with
+/// an ideal intra link price messages exactly like [`HomogeneousModel`],
+/// so every scheduler's `schedule_with_model` must reproduce its plain
+/// `schedule` byte-for-byte — same placements, same times, not just the
+/// same makespan.
+#[test]
+fn identity_comm_models_are_byte_identical_to_the_homogeneous_paths() {
+    use fastsched::schedule::{AlphaBeta, CommModel, Hierarchical, IDEAL_LINK};
+    for case in fuzz_corpus(CORPUS_SEED ^ 6, 8) {
+        let identities = [
+            (
+                "alpha-beta(0,1,1)",
+                CommModel::AlphaBeta(AlphaBeta::new(0, 1, 1)),
+            ),
+            (
+                "single-group hier",
+                CommModel::Hierarchical(
+                    Hierarchical::from_group_sizes(
+                        &[case.procs],
+                        IDEAL_LINK,
+                        AlphaBeta::new(40, 2, 1),
+                    )
+                    .expect("group table"),
+                ),
+            ),
+        ];
+        for (tag, model) in &identities {
+            let pairs = [
+                (
+                    "FAST",
+                    Fast::new().schedule(&case.dag, case.procs),
+                    Fast::new().schedule_with_model(&case.dag, case.procs, model),
+                ),
+                (
+                    "ETF",
+                    Etf::new().schedule(&case.dag, case.procs),
+                    Etf::new().schedule_with_model(&case.dag, case.procs, model),
+                ),
+                (
+                    "DLS",
+                    Dls::new().schedule(&case.dag, case.procs),
+                    Dls::new().schedule_with_model(&case.dag, case.procs, model),
+                ),
+                (
+                    "HEFT",
+                    Heft::new().schedule(&case.dag, case.procs),
+                    Heft::new().schedule_with_model(&case.dag, case.procs, model),
+                ),
+            ];
+            for (name, plain, modeled) in &pairs {
+                assert_eq!(
+                    plain, modeled,
+                    "{}: {name} under {tag} diverged from the homogeneous path",
+                    case.name
+                );
+            }
+        }
+    }
+}
+
+/// Model-priced schedules must stay legal under the model that priced
+/// them, and the `DeltaEvaluator` seeded with the same model must agree
+/// bit-for-bit with the from-scratch model evaluator through random
+/// probe/commit/revert walks.
+#[test]
+fn delta_evaluator_agrees_with_full_evaluation_under_comm_models() {
+    use fastsched::schedule::evaluate::evaluate_fixed_order_with;
+    use fastsched::schedule::{AlphaBeta, CommModel, Hierarchical, IDEAL_LINK};
+    let mut rng = StdRng::seed_from_u64(CORPUS_SEED ^ 7);
+    for case in fuzz_corpus(CORPUS_SEED ^ 7, 6) {
+        let models = [
+            CommModel::AlphaBeta(AlphaBeta::new(15, 3, 2)),
+            CommModel::Hierarchical(
+                Hierarchical::from_group_sizes(
+                    &[case.procs / 2 + case.procs % 2, case.procs / 2],
+                    IDEAL_LINK,
+                    AlphaBeta::new(25, 2, 1),
+                )
+                .expect("group table"),
+            ),
+        ];
+        for model in models {
+            let schedule = Fast::new().schedule_with_model(&case.dag, case.procs, &model);
+            assert_eq!(
+                validate_with(&model, &case.dag, &schedule),
+                Ok(()),
+                "{}: FAST under {model:?} produced an illegal schedule",
+                case.name
+            );
+
+            let order: Vec<NodeId> = case.dag.topo_order().to_vec();
+            let assignment: Vec<ProcId> = case
+                .dag
+                .nodes()
+                .map(|_| ProcId(rng.gen_range(0..case.procs)))
+                .collect();
+            let mut eval = DeltaEvaluator::with_model(
+                model.clone(),
+                &case.dag,
+                order.clone(),
+                assignment,
+                case.procs,
+            );
+            for _ in 0..25 {
+                let node = NodeId(rng.gen_range(0..case.dag.node_count() as u32));
+                let target = ProcId(rng.gen_range(0..case.procs));
+                if target == eval.assignment()[node.index()] {
+                    continue;
+                }
+                eval.probe_transfer(&case.dag, node, target);
+                if rng.gen_range(0..2u32) == 0 {
+                    eval.commit();
+                } else {
+                    eval.revert();
+                }
+                let full = evaluate_fixed_order_with(
+                    &model,
+                    &case.dag,
+                    &order,
+                    eval.assignment(),
+                    case.procs,
+                );
+                assert_eq!(
+                    eval.makespan(),
+                    full.makespan(),
+                    "{}: delta diverged from full evaluation under {model:?}",
+                    case.name
+                );
+            }
+        }
+    }
+}
+
+/// The corruption operators must keep their teeth when the validator
+/// prices messages through the new models: every applicable corruption
+/// of a model-priced FAST schedule is rejected with its expected kind.
+#[test]
+fn comm_model_schedule_corruptions_are_rejected_with_their_expected_kinds() {
+    use fastsched::schedule::{AlphaBeta, CommModel, Hierarchical, IDEAL_LINK};
+    for (tag, model) in [
+        (
+            "alpha-beta(30,3,2)",
+            CommModel::AlphaBeta(AlphaBeta::new(30, 3, 2)),
+        ),
+        (
+            "two-group hier",
+            CommModel::Hierarchical(
+                Hierarchical::from_group_sizes(&[2, 2], IDEAL_LINK, AlphaBeta::new(50, 2, 1))
+                    .expect("group table"),
+            ),
+        ),
+    ] {
+        let mut rejected = 0usize;
+        for case in fuzz_corpus(CORPUS_SEED ^ 8, 4) {
+            let procs = case.procs.min(4);
+            let schedule = Fast::new().schedule_with_model(&case.dag, procs, &model);
+            assert_eq!(
+                validate_with(&model, &case.dag, &schedule),
+                Ok(()),
+                "{} under {tag}",
+                case.name
+            );
+            for kind in Corruption::ALL {
+                for seed in 0..2u64 {
+                    let Some(bad) = corrupt_with(&model, &case.dag, &schedule, kind, seed) else {
+                        continue;
+                    };
+                    let err = validate_with(&model, &case.dag, &bad).expect_err(&format!(
+                        "{}: corruption {kind:?} under {tag} passed validation",
+                        case.name
+                    ));
+                    assert_eq!(
+                        err.kind(),
+                        kind.expected_kind(),
+                        "{}: {kind:?} under {tag} rejected for the wrong reason: {err}",
+                        case.name
+                    );
+                    rejected += 1;
+                }
+            }
+        }
+        assert!(
+            rejected >= 8,
+            "only {rejected} corruptions exercised under {tag}"
+        );
+    }
+}
+
+/// Hand-computed schedules under the new models, checked number by
+/// number. A two-node chain (weights 10 and 5, edge cost 8):
+///
+/// * alpha-beta(4, 3, 2): cross-processor message = 4 + ceil(8*3/2)
+///   = 16, so placing the child on another processor starts it at
+///   10 + 16 = 26; co-located it starts at 10.
+/// * two groups of two, ideal intra, inter = (100, 1, 1): the child
+///   pays the nominal 8 within the group (an ideal link adds no
+///   overhead but is not free), 100 + 8 across groups, and 0 only
+///   when co-located.
+#[test]
+fn hand_computed_message_prices_drive_the_model_evaluator() {
+    use fastsched::schedule::evaluate::evaluate_fixed_order_with;
+    use fastsched::schedule::{AlphaBeta, Hierarchical, IDEAL_LINK};
+    let mut b = fastsched::dag::DagBuilder::new();
+    let parent = b.add_task(10);
+    let child = b.add_task(5);
+    b.add_edge(parent, child, 8).unwrap();
+    let dag = b.build().unwrap();
+    let order = vec![parent, child];
+
+    let ab = AlphaBeta::new(4, 3, 2);
+    assert_eq!(ab.price(8), 4 + 12);
+    let split = evaluate_fixed_order_with(&ab, &dag, &order, &[ProcId(0), ProcId(1)], 2);
+    assert_eq!(split.start_of(child), Some(26));
+    assert_eq!(split.makespan(), 31);
+    let together = evaluate_fixed_order_with(&ab, &dag, &order, &[ProcId(0), ProcId(0)], 2);
+    assert_eq!(together.start_of(child), Some(10));
+    assert_eq!(together.makespan(), 15);
+
+    let hier = Hierarchical::from_group_sizes(&[2, 2], IDEAL_LINK, AlphaBeta::new(100, 1, 1))
+        .expect("group table");
+    let intra = evaluate_fixed_order_with(&hier, &dag, &order, &[ProcId(0), ProcId(1)], 4);
+    assert_eq!(
+        intra.start_of(child),
+        Some(18),
+        "ideal intra link prices the nominal edge cost"
+    );
+    let colocated = evaluate_fixed_order_with(&hier, &dag, &order, &[ProcId(0), ProcId(0)], 4);
+    assert_eq!(colocated.start_of(child), Some(10), "co-location is free");
+    let inter = evaluate_fixed_order_with(&hier, &dag, &order, &[ProcId(0), ProcId(2)], 4);
+    assert_eq!(inter.start_of(child), Some(10 + 100 + 8));
+    assert_eq!(inter.makespan(), 123);
+}
+
+/// Regression: `Schedule::compact` reorders processor lanes by first
+/// start time, which silently moves tasks across hierarchical group
+/// boundaries and reprices every message — the model A/B bench caught
+/// FAST emitting a precedence-violating "schedule" this way. Under a
+/// multi-group model no generic path may compact; every algorithm's
+/// output must validate under the model that priced it at full width.
+#[test]
+fn multi_group_hierarchical_schedules_are_never_lane_compacted() {
+    use fastsched::schedule::{AlphaBeta, CommModel, CostModel, Hierarchical, IDEAL_LINK};
+    let model = CommModel::Hierarchical(
+        Hierarchical::from_group_sizes(&[4, 4], IDEAL_LINK, AlphaBeta::new(50, 2, 1))
+            .expect("group table"),
+    );
+    assert!(!model.permits_renumbering());
+    for case in fuzz_corpus(CORPUS_SEED ^ 9, 8) {
+        let schedules = [
+            (
+                "FAST",
+                Fast::new().schedule_with_model(&case.dag, 8, &model),
+            ),
+            ("ETF", Etf::new().schedule_with_model(&case.dag, 8, &model)),
+            ("DLS", Dls::new().schedule_with_model(&case.dag, 8, &model)),
+            (
+                "HEFT",
+                Heft::new().schedule_with_model(&case.dag, 8, &model),
+            ),
+        ];
+        for (name, s) in &schedules {
+            assert_eq!(
+                s.num_procs(),
+                8,
+                "{}: {name} compacted a group-sensitive schedule",
+                case.name
+            );
+            assert_eq!(
+                validate_with(&model, &case.dag, s),
+                Ok(()),
+                "{}: {name} illegal under the hierarchical model",
+                case.name
+            );
+        }
+    }
+}
