@@ -129,11 +129,29 @@ pub(crate) fn place_by_list(
 /// hard-coded homogeneous arithmetic. Under a model that reproduces
 /// [`fastsched_schedule::HomogeneousModel`] pricing (α 0, β 1) every
 /// placement decision — and therefore the schedule — is identical.
+///
+/// When the model carries finite memory capacities
+/// ([`CostModel::has_capacities`]) the probe loop rejects
+/// over-capacity placements: candidates whose lane cannot hold the
+/// node's footprint are dropped, and if that empties the §4.2
+/// candidate set the probe widens to every processor with room
+/// (earliest start, ties to the lower id). `proc_mem` is the
+/// caller-owned per-processor resident-set lane (cleared and resized
+/// here); with no finite capacity the loop never reads it and every
+/// decision is byte-identical to the capacity-blind path.
+///
+/// # Panics
+///
+/// Panics when no processor can hold a node's footprint — the
+/// instance is memory-infeasible for a greedy list scheduler and any
+/// returned schedule would be rejected by the validator's capacity
+/// pass anyway.
 fn place_by_list_with_model<M: CostModel + ?Sized>(
     model: &M,
     dag: &Dag,
     list: &[NodeId],
     num_procs: u32,
+    proc_mem: &mut Vec<u64>,
     schedule: &mut Schedule,
 ) -> Vec<ProcId> {
     let v = dag.node_count();
@@ -144,6 +162,13 @@ fn place_by_list_with_model<M: CostModel + ?Sized>(
     let mut candidates: Vec<ProcId> = Vec::with_capacity(8);
     schedule.reset(v, num_procs);
     let mut used_procs = 0u32;
+    let track_mem = model.has_capacities();
+    proc_mem.clear();
+    proc_mem.resize(num_procs as usize, 0);
+    let fits = |proc_mem: &[u64], p: ProcId, need: u64| match model.capacity(p) {
+        Some(cap) => proc_mem[p.index()].saturating_add(need) <= cap,
+        None => true,
+    };
 
     for &n in list {
         let (psrc, pcost) = dag.pred_lanes(n);
@@ -157,7 +182,27 @@ fn place_by_list_with_model<M: CostModel + ?Sized>(
         if used_procs < num_procs {
             candidates.push(ProcId(used_procs)); // the "new" processor
         }
-        if candidates.is_empty() {
+        let need = dag.mem(n);
+        if track_mem {
+            candidates.retain(|&p| fits(proc_mem, p, need));
+            if candidates.is_empty() {
+                // Every preferred processor is at capacity (or the
+                // node had none): widen the probe to the whole
+                // machine, keeping only lanes with room.
+                candidates.extend(
+                    (0..num_procs)
+                        .map(ProcId)
+                        .filter(|&p| fits(proc_mem, p, need)),
+                );
+                if candidates.is_empty() {
+                    panic!(
+                        "memory-infeasible instance: no processor can hold node n{} \
+                         (footprint {need}); every lane is at capacity",
+                        n.0
+                    );
+                }
+            }
+        } else if candidates.is_empty() {
             let p = (0..used_procs)
                 .min_by_key(|&i| ready[i as usize])
                 .map(ProcId)
@@ -182,8 +227,11 @@ fn place_by_list_with_model<M: CostModel + ?Sized>(
         }
 
         let end = best_start + model.compute_cost(dag, n, best_p);
-        if best_p.0 == used_procs {
-            used_procs += 1;
+        if best_p.0 >= used_procs {
+            used_procs = best_p.0 + 1;
+        }
+        if track_mem {
+            proc_mem[best_p.index()] = proc_mem[best_p.index()].saturating_add(need);
         }
         ready[best_p.index()] = end;
         finish[n.index()] = end;
@@ -194,12 +242,30 @@ fn place_by_list_with_model<M: CostModel + ?Sized>(
     assignment
 }
 
+/// Per-processor resident-set tracking for the memory-aware hill
+/// climb. `caps` is the capacity table resolved once from the model
+/// (`None` = unbounded lane); `used` holds the running footprint sums
+/// and is kept in sync as transfers commit.
+pub(crate) struct MemTracker<'a> {
+    /// Per-processor capacity, `None` = unbounded.
+    pub caps: &'a [Option<u64>],
+    /// Per-processor resident-set sums under the current assignment.
+    pub used: &'a mut [u64],
+}
+
 /// The §4.3–4.4 random-transfer hill climb over `blocking`, shared by
 /// FAST (one chain) and FAST-MS (one call per chain). The evaluator
 /// must hold the initial assignment; on return it holds the refined
 /// one. Returns the best makespan reached. Generic over the
 /// evaluator's [`CostModel`]: the same trajectory machinery prices
 /// probes under homogeneous, α–β or hierarchical communication.
+///
+/// With `mem: Some(_)` the walk refuses transfers whose target lane
+/// cannot hold the node's footprint — counted as skipped steps, like
+/// same-processor picks — and keeps the tracker's resident sums in
+/// sync on every commit. `None` leaves the trajectory byte-identical
+/// to the capacity-blind climb.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn hill_climb<M: CostModel>(
     dag: &Dag,
     blocking: &[NodeId],
@@ -208,6 +274,7 @@ pub(crate) fn hill_climb<M: CostModel>(
     max_steps: u32,
     seed: u64,
     trace: &mut SearchTrace,
+    mut mem: Option<MemTracker<'_>>,
 ) -> u64 {
     let mut rng = StdRng::seed_from_u64(seed);
     // Random processor pool: the processors in use plus one spare.
@@ -222,6 +289,15 @@ pub(crate) fn hill_climb<M: CostModel>(
             trace.step_skipped();
             continue;
         }
+        if let Some(m) = mem.as_ref() {
+            let need = dag.mem(node);
+            if let Some(cap) = m.caps.get(target.index()).copied().flatten() {
+                if m.used[target.index()].saturating_add(need) > cap {
+                    trace.step_skipped();
+                    continue;
+                }
+            }
+        }
         trace.probe_attempted();
         let from = eval.assignment()[node.index()];
         // A move is accepted only when it strictly improves, so
@@ -232,6 +308,11 @@ pub(crate) fn hill_climb<M: CostModel>(
                 best = makespan;
                 max_used = max_used.max(target.0);
                 eval.commit();
+                if let Some(m) = mem.as_mut() {
+                    let need = dag.mem(node);
+                    m.used[from.index()] -= need;
+                    m.used[target.index()] = m.used[target.index()].saturating_add(need);
+                }
                 trace.probe_accepted(step as u64, best);
                 trace.node_transferred(step as u64, node.0, from.0, target.0, best, true);
             }
@@ -422,7 +503,9 @@ impl Fast {
             },
         );
         let mut schedule = Schedule::new(dag.node_count(), num_procs);
-        let assignment = place_by_list_with_model(model, dag, &list, num_procs, &mut schedule);
+        let mut proc_mem: Vec<u64> = Vec::new();
+        let assignment =
+            place_by_list_with_model(model, dag, &list, num_procs, &mut proc_mem, &mut schedule);
 
         let blocking: Vec<NodeId> = dag
             .nodes()
@@ -434,7 +517,16 @@ impl Fast {
             return s;
         }
 
+        let caps: Vec<Option<u64>> = if model.has_capacities() {
+            (0..num_procs).map(|p| model.capacity(ProcId(p))).collect()
+        } else {
+            Vec::new()
+        };
         let mut eval = DeltaEvaluator::with_model(model, dag, list, assignment, num_procs);
+        let tracker = model.has_capacities().then(|| MemTracker {
+            caps: &caps,
+            used: &mut proc_mem,
+        });
         hill_climb(
             dag,
             &blocking,
@@ -443,7 +535,67 @@ impl Fast {
             self.config.max_steps,
             self.config.seed,
             &mut SearchTrace::default(),
+            tracker,
         );
+        let s = compact_for_model(model, eval.to_schedule());
+        gate_schedule_with(self.name(), model, dag, &s);
+        s
+    }
+
+    /// [`Self::schedule_with_model`] against a caller-owned
+    /// [`Workspace`]: the list-construction buffers, the blocking
+    /// list, the output schedule and the per-processor resident-set
+    /// lane (`proc_mem`) all come from `ws`, so batch drivers that
+    /// price many DAGs under one model keep that scratch warm across
+    /// items. Byte-identical to [`Self::schedule_with_model`] for
+    /// every `(dag, num_procs, model)`.
+    pub fn schedule_with_model_into<M: CostModel + ?Sized>(
+        &self,
+        dag: &Dag,
+        num_procs: u32,
+        model: &M,
+        ws: &mut Workspace,
+    ) -> Schedule {
+        assert!(num_procs >= 1, "need at least one processor");
+        list_construction_into(dag, self.config.obn_order, ws);
+        let mut schedule = ws.take_schedule();
+        let assignment = place_by_list_with_model(
+            model,
+            dag,
+            &ws.list,
+            num_procs,
+            &mut ws.proc_mem,
+            &mut schedule,
+        );
+        ws.blocking_from_classes(dag);
+        if ws.blocking.is_empty() || num_procs < 2 {
+            let s = compact_for_model(model, schedule);
+            gate_schedule_with(self.name(), model, dag, &s);
+            return s;
+        }
+
+        let caps: Vec<Option<u64>> = if model.has_capacities() {
+            (0..num_procs).map(|p| model.capacity(ProcId(p))).collect()
+        } else {
+            Vec::new()
+        };
+        let mut eval =
+            DeltaEvaluator::with_model(model, dag, ws.list.clone(), assignment, num_procs);
+        let tracker = model.has_capacities().then(|| MemTracker {
+            caps: &caps,
+            used: &mut ws.proc_mem,
+        });
+        hill_climb(
+            dag,
+            &ws.blocking,
+            &mut eval,
+            num_procs,
+            self.config.max_steps,
+            self.config.seed,
+            &mut SearchTrace::default(),
+            tracker,
+        );
+        ws.recycle(schedule);
         let s = compact_for_model(model, eval.to_schedule());
         gate_schedule_with(self.name(), model, dag, &s);
         s
@@ -488,6 +640,7 @@ impl Scheduler for Fast {
             self.config.max_steps,
             self.config.seed,
             trace,
+            None,
         );
         trace.phase_end("local_search");
         let s = eval.to_schedule().compact();
@@ -516,6 +669,7 @@ impl Scheduler for Fast {
             self.config.max_steps,
             self.config.seed,
             &mut trace,
+            None,
         );
         ws.eval.write_schedule(&mut ws.staging);
         ws.staging.compact_into(&mut ws.compact, &mut out);

@@ -87,7 +87,7 @@ fn run_chain(
     let mut trace = SearchTrace::default();
     let mut eval = DeltaEvaluator::new(dag, order.to_vec(), assignment, num_procs);
     let best = hill_climb(
-        dag, blocking, &mut eval, num_procs, max_steps, seed, &mut trace,
+        dag, blocking, &mut eval, num_procs, max_steps, seed, &mut trace, None,
     );
     (best, eval.into_assignment(), trace)
 }
@@ -229,6 +229,7 @@ impl Scheduler for FastParallel {
                             max_steps,
                             base_seed + i as u64,
                             &mut slot.trace,
+                            None,
                         );
                     }
                 });

@@ -41,6 +41,16 @@ impl Heft {
     /// homogeneous minimum-EST probe, so under homogeneous pricing
     /// (α 0, β 1) the schedule is byte-identical to
     /// [`Scheduler::schedule`].
+    ///
+    /// When the model carries finite memory capacities
+    /// ([`CostModel::has_capacities`]) the EFT probe skips processors
+    /// whose lane cannot hold the node's footprint on top of what is
+    /// already resident there.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no processor can hold a node's footprint (the
+    /// instance is memory-infeasible for a list scheduler).
     pub fn schedule_with_model<M: CostModel + ?Sized>(
         &self,
         dag: &Dag,
@@ -50,10 +60,20 @@ impl Heft {
         assert!(num_procs >= 1);
         let order = Self::priority_list(dag);
         let mut m = Machine::new(dag.node_count(), num_procs);
+        let track_mem = model.has_capacities();
+        let mut proc_mem = vec![0u64; if track_mem { num_procs as usize } else { 0 }];
         for &n in &order {
+            let need = dag.mem(n);
             let mut best: Option<(Cost, Cost, ProcId)> = None; // (eft, est, proc)
             for pi in 0..num_procs {
                 let p = ProcId(pi);
+                if track_mem {
+                    if let Some(cap) = model.capacity(p) {
+                        if proc_mem[p.index()].saturating_add(need) > cap {
+                            continue; // over capacity: lane is closed to n
+                        }
+                    }
+                }
                 let w = model.compute_cost(dag, n, p);
                 let dat = data_arrival_time_with(model, dag, n, p, &m.finish, &m.proc);
                 let est = m.earliest_gap_at_or_after(p, dat, w);
@@ -63,7 +83,16 @@ impl Heft {
                     best = Some((eft, est, p));
                 }
             }
-            let (eft, est, p) = best.expect("at least one processor");
+            let Some((eft, est, p)) = best else {
+                panic!(
+                    "memory-infeasible instance: no processor can hold node n{} \
+                     (footprint {need}); every lane is at capacity",
+                    n.0
+                );
+            };
+            if track_mem {
+                proc_mem[p.index()] = proc_mem[p.index()].saturating_add(need);
+            }
             m.place_with_duration(n, p, est, eft - est);
         }
         let s = compact_for_model(model, m.into_schedule(dag));

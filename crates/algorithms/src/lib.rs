@@ -109,4 +109,4 @@ pub use scheduler::{
 };
 pub use workspace::{schedule_many, schedule_many_into, Workspace};
 #[cfg(feature = "parallel")]
-pub use workspace::{schedule_many_par, schedule_many_par_timed};
+pub use workspace::{schedule_many_par, schedule_many_par_by, schedule_many_par_timed};

@@ -16,9 +16,9 @@
 //! that use the result as a bound must go through
 //! [`BranchAndBound::solve`] and check [`OracleOutcome::complete`].
 
-use crate::scheduler::{gate_schedule, Scheduler};
+use crate::scheduler::{gate_schedule, gate_schedule_with, Scheduler};
 use fastsched_dag::{Cost, Dag, NodeId};
-use fastsched_schedule::{ProcId, Schedule};
+use fastsched_schedule::{HomogeneousModel, MemoryCapacities, ProcId, Schedule};
 
 /// The exhaustive reference scheduler.
 #[derive(Debug, Clone, Copy)]
@@ -49,9 +49,34 @@ impl BranchAndBound {
     /// optimality bound must check [`OracleOutcome::complete`] first —
     /// a truncated incumbent is an upper bound on nothing.
     pub fn solve(&self, dag: &Dag, num_procs: u32) -> OracleOutcome {
+        self.solve_with_caps(dag, num_procs, &[])
+    }
+
+    /// [`Self::solve`] under per-processor memory capacities: the
+    /// enumeration never places a node on a processor whose resident
+    /// footprint sum would exceed its capacity, so a `complete`
+    /// outcome is the exact non-delay optimum *within the capacity
+    /// constraint* — the optimality floor the differential harness
+    /// compares memory-aware heuristics against. `caps` is indexed by
+    /// processor; `None` (or out-of-table) lanes are unbounded, and an
+    /// empty slice reproduces [`Self::solve`] exactly. With any finite
+    /// capacity the returned schedule is *not* compacted (lane
+    /// identity is part of the answer).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no complete schedule fits the capacities (the
+    /// instance is memory-infeasible).
+    pub fn solve_with_caps(
+        &self,
+        dag: &Dag,
+        num_procs: u32,
+        caps: &[Option<Cost>],
+    ) -> OracleOutcome {
         assert!(num_procs >= 1);
         let v = dag.node_count();
         assert!(v <= 16, "exhaustive search is for tiny graphs (v <= 16)");
+        let capped = caps.iter().any(Option::is_some);
 
         // Computation-only b-level (ignores communication): admissible.
         let mut comp = vec![0 as Cost; v];
@@ -69,6 +94,7 @@ impl BranchAndBound {
             dag,
             num_procs,
             comp_blevel: comp,
+            caps,
             best: Cost::MAX,
             best_plan: Vec::new(),
             plan: Vec::new(),
@@ -80,14 +106,20 @@ impl BranchAndBound {
         let mut finish = vec![0 as Cost; v];
         let mut proc = vec![ProcId(0); v];
         let mut proc_ready = vec![0 as Cost; num_procs as usize];
+        let mut proc_mem = vec![0 as Cost; num_procs as usize];
         search.dfs(
             &mut indeg,
             &mut ready,
             &mut finish,
             &mut proc,
             &mut proc_ready,
+            &mut proc_mem,
             0,
             0,
+        );
+        assert!(
+            !capped || v == 0 || !search.best_plan.is_empty(),
+            "memory-infeasible instance: no complete schedule fits the capacities"
         );
 
         // Replay the best plan into a Schedule.
@@ -112,8 +144,18 @@ impl BranchAndBound {
             pr[p.index()] = end;
             schedule.place(n, p, start, end);
         }
-        let s = schedule.compact();
-        gate_schedule("B&B", dag, &s);
+        // With finite capacities lane identity is part of the answer:
+        // compaction would renumber processors out from under the
+        // capacity table, so the schedule is returned as placed.
+        let s = if capped {
+            let model = MemoryCapacities::from_option_caps(HomogeneousModel, caps.to_vec());
+            gate_schedule_with("B&B", &model, dag, &schedule);
+            schedule
+        } else {
+            let s = schedule.compact();
+            gate_schedule("B&B", dag, &s);
+            s
+        };
         OracleOutcome {
             schedule: s,
             complete: search.states <= search.max_states,
@@ -138,7 +180,8 @@ pub struct OracleOutcome {
 struct Search<'a> {
     dag: &'a Dag,
     num_procs: u32,
-    comp_blevel: Vec<Cost>, // computation-only b-level: admissible bound
+    comp_blevel: Vec<Cost>,   // computation-only b-level: admissible bound
+    caps: &'a [Option<Cost>], // per-proc memory capacity, empty = unbounded
     best: Cost,
     best_plan: Vec<(NodeId, ProcId)>,
     plan: Vec<(NodeId, ProcId)>,
@@ -155,6 +198,7 @@ impl Search<'_> {
         finish: &mut [Cost],
         proc: &mut [ProcId],
         proc_ready: &mut [Cost],
+        proc_mem: &mut [Cost],
         makespan: Cost,
         placed: usize,
     ) {
@@ -182,13 +226,21 @@ impl Search<'_> {
 
         let snapshot: Vec<NodeId> = ready.clone();
         for n in snapshot {
+            let need = self.dag.mem(n);
             // Symmetry breaking: probing more than one *empty*
-            // processor is redundant on identical machines.
+            // processor is redundant on identical machines — but a
+            // capacity table makes lanes distinguishable, so the
+            // shortcut is disabled whenever one is present.
             let mut tried_empty = false;
             for pi in 0..self.num_procs {
                 let p = ProcId(pi);
+                if let Some(cap) = self.caps.get(p.index()).copied().flatten() {
+                    if proc_mem[p.index()].saturating_add(need) > cap {
+                        continue; // over capacity: lane is closed to n
+                    }
+                }
                 let empty = proc_ready[p.index()] == 0;
-                if empty && tried_empty {
+                if empty && tried_empty && self.caps.is_empty() {
                     continue;
                 }
                 if empty {
@@ -223,6 +275,7 @@ impl Search<'_> {
                 finish[n.index()] = end;
                 proc[n.index()] = p;
                 proc_ready[p.index()] = end;
+                proc_mem[p.index()] += need;
                 self.plan.push((n, p));
 
                 self.dfs(
@@ -231,6 +284,7 @@ impl Search<'_> {
                     finish,
                     proc,
                     proc_ready,
+                    proc_mem,
                     makespan.max(end),
                     placed + 1,
                 );
@@ -242,6 +296,7 @@ impl Search<'_> {
                 finish[n.index()] = old_finish;
                 proc[n.index()] = old_proc;
                 proc_ready[p.index()] = old_ready;
+                proc_mem[p.index()] -= need;
                 for r in released.drain(..) {
                     let pos = ready.iter().position(|&x| x == r).unwrap();
                     ready.swap_remove(pos);

@@ -89,6 +89,9 @@ pub struct Workspace {
     pub(crate) assignment: Vec<ProcId>,
     pub(crate) placed: Vec<bool>,
     pub(crate) candidates: Vec<ProcId>,
+    /// Per-processor resident-set sums for memory-aware model paths
+    /// (peak footprint per lane); untouched by capacity-blind runs.
+    pub(crate) proc_mem: Vec<Cost>,
     // --- list-scheduling family (ETF, DLS) ---
     pub(crate) machine: Machine,
     pub(crate) ready_set: ReadySet,
@@ -123,6 +126,7 @@ impl Workspace {
             assignment: Vec::new(),
             placed: Vec::new(),
             candidates: Vec::new(),
+            proc_mem: Vec::new(),
             machine: Machine::new(0, 0),
             ready_set: ReadySet::empty(),
             static_level: Vec::new(),
@@ -305,6 +309,61 @@ pub fn schedule_many_par_timed(
                 .zip(procs.chunks(chunk))
                 .zip(out.chunks_mut(chunk))
             {
+                s.spawn(move |_| run_chunk(dag_chunk, proc_chunk, out_chunk));
+            }
+        })
+        .expect("batch worker panicked");
+    }
+    out.into_iter()
+        .map(|s| s.expect("every batch slot filled"))
+        .collect()
+}
+
+/// [`schedule_many_par_timed`] for model-priced schedulers: each item
+/// is scheduled by `schedule_one(dag, procs)` — typically a closure
+/// over an algorithm's `schedule_with_model` — sharded across scoped
+/// worker threads with the same chunking as [`schedule_many_par`].
+/// Model paths re-derive everything from `(dag, procs)` and workers
+/// share nothing mutable, so results are byte-identical to calling
+/// the closure serially per item, at every thread count. Returns
+/// `(schedule, seconds)` per input, in input order.
+///
+/// # Panics
+/// If `procs.len() != dags.len()`, or if `schedule_one` panics (e.g.
+/// on a memory-infeasible instance) — worker panics propagate.
+#[cfg(feature = "parallel")]
+pub fn schedule_many_par_by<F>(
+    dags: &[Dag],
+    procs: &[u32],
+    threads: usize,
+    schedule_one: F,
+) -> Vec<(Schedule, f64)>
+where
+    F: Fn(&Dag, u32) -> Schedule + Sync,
+{
+    assert_eq!(procs.len(), dags.len(), "one procs entry per DAG");
+    let threads = effective_threads(threads, dags.len());
+    let mut out: Vec<Option<(Schedule, f64)>> = Vec::with_capacity(dags.len());
+    out.resize_with(dags.len(), || None);
+    let run_chunk =
+        |dag_chunk: &[Dag], proc_chunk: &[u32], out_chunk: &mut [Option<(Schedule, f64)>]| {
+            for ((dag, &np), slot) in dag_chunk.iter().zip(proc_chunk).zip(out_chunk.iter_mut()) {
+                let t0 = std::time::Instant::now();
+                let s = schedule_one(dag, np);
+                *slot = Some((s, t0.elapsed().as_secs_f64()));
+            }
+        };
+    if threads <= 1 {
+        run_chunk(dags, procs, &mut out);
+    } else {
+        let chunk = dags.len().div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for ((dag_chunk, proc_chunk), out_chunk) in dags
+                .chunks(chunk)
+                .zip(procs.chunks(chunk))
+                .zip(out.chunks_mut(chunk))
+            {
+                let run_chunk = &run_chunk;
                 s.spawn(move |_| run_chunk(dag_chunk, proc_chunk, out_chunk));
             }
         })

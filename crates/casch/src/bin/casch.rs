@@ -14,7 +14,7 @@ use fastsched_casch::protocol::{self, json_escape, Request};
 use fastsched_casch::serve::{scheduler_by_name, ModelScheduler};
 use fastsched_casch::{compare_algorithms, run_on_dag, Application};
 use fastsched_dag::{io, Dag, GraphAttributes};
-use fastsched_schedule::{gantt, CommModel};
+use fastsched_schedule::{gantt, CommModel, MemCapsSpec, MemoryCapacities, Schedule};
 use fastsched_sim::SimConfig;
 use fastsched_workloads::TimingDatabase;
 use std::collections::HashMap;
@@ -66,12 +66,13 @@ USAGE:
   casch info     --dag <file.json>
   casch dot      --dag <file.json>
   casch schedule --dag <file.json> --algo <name> [--procs <p>]
-                 [--comm <spec>] [--gantt] [--gantt-width <cols>]
+                 [--comm <spec>] [--mem-caps <spec>]
+                 [--gantt] [--gantt-width <cols>]
                  [--svg <out.svg>] [--out-schedule <out.json>]
                  [--trace <out.ndjson>] [--perfetto <out.json>]
   casch batch    (--dir <dir> | --manifest <list.txt>) --algo <name>
                  [--procs <p>] [--threads <t>] [--comm <spec>]
-                 [--out <out.ndjson>]
+                 [--mem-caps <spec>] [--out <out.ndjson>]
   casch serve    [--addr <host:port>] [--threads <t>] [--queue-depth <n>]
                  [--timeout-ms <ms>] [--max-line-bytes <n>] [--max-procs <p>]
                  [--max-groups <n>] [--metrics-addr <host:port>] [--no-metrics]
@@ -89,7 +90,7 @@ USAGE:
                  [--perfetto <out.json>]
   casch verify   --dag <file.json> --schedule <sched.json>
                  [--speeds <pct,pct,...>] [--comm <spec>]
-                 [--report <report.json>]
+                 [--mem-caps <spec>] [--report <report.json>]
   casch compare  (--dag <file.json> | --app <name> --size <n>) [--procs <p>] [--seed <s>] [--all]
   casch trace    --in <trace.ndjson>
   casch explain  (--in <trace.ndjson> | --dag <file.json> --algo <name> [--procs <p>])
@@ -122,7 +123,7 @@ processors as it has nodes.
 
 `casch serve` runs a persistent NDJSON-over-TCP scheduling service:
 one JSON request per line (`{\"op\":\"schedule\",\"id\",\"algo\",
-[\"procs\"],[\"speeds\"],[\"timeout_ms\"],\"dag\"}` plus `op:\"stats\"`
+[\"procs\"],[\"speeds\"],[\"mem_caps\"],[\"timeout_ms\"],\"dag\"}` plus `op:\"stats\"`
 and `op:\"shutdown\"`), one JSON response per line, correlated by id
 and possibly out of order. Requests shard across `--threads` workers
 (0 = all cores) each owning a pinned warm workspace; a full
@@ -160,6 +161,17 @@ processor count is fixed to the group table's size). `casch verify
 --comm` checks a saved schedule under the same pricing, and `casch
 simulate --topology hier:<g>` is the simulator's matching
 leader-routed shape (groups of g processors).
+
+`--mem-caps <spec>` bounds each processor's memory (DESIGN.md §17): a
+placement is only legal while the footprints (`mem` field on DAG
+nodes, default 0) resident on the processor sum to at most its
+capacity. Specs: `uniform:C` (every processor holds C) or `C1,C2,...`
+(per-processor capacities; fixes the processor count, like a hier
+group table). Only the memory-aware algorithms accept it (fast,
+heft); it composes with `--comm`, works on `schedule` and `batch`
+(threaded batches stay byte-identical), and `casch verify --mem-caps`
+re-checks a saved schedule against the same budgets, reporting the
+first over-capacity processor as `INVALID: capacity`.
 
 `casch verify` runs the structural validator over a saved schedule:
 task count, processor bounds, durations under the cost model
@@ -330,39 +342,106 @@ fn cmd_dot(opts: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// Parse a `--comm` spec and reconcile `--procs` with it: a
-/// hierarchical model fixes the processor count to its group table.
-fn resolve_comm(opts: &Flags, spec: &str, default_procs: u64) -> Result<(CommModel, u32), String> {
-    let model = CommModel::parse_spec(spec).map_err(|e| format!("--comm: {e}"))?;
-    let procs = match model.required_procs() {
+/// Parse the `--comm` / `--mem-caps` model flags (absent `--comm`
+/// prices like the paper's ideal network).
+fn parse_model_flags(opts: &Flags) -> Result<(CommModel, Option<MemCapsSpec>), String> {
+    let comm = match opts.get("comm") {
+        Some(spec) => CommModel::parse_spec(spec).map_err(|e| format!("--comm: {e}"))?,
+        None => CommModel::Ideal,
+    };
+    let mem = match opts.get("mem-caps") {
+        // Parse errors already lead with `mem-caps: `.
+        Some(spec) => Some(MemCapsSpec::parse(spec).map_err(|e| format!("--{e}"))?),
+        None => None,
+    };
+    if mem.is_some() {
+        let algo = opts.get("algo").ok_or("missing --algo")?;
+        if !ModelScheduler::by_name(algo).is_ok_and(|s| s.is_memory_aware()) {
+            return Err(format!(
+                "--mem-caps: algorithm `{algo}` has no memory-aware path (use fast or heft)"
+            ));
+        }
+    }
+    Ok((comm, mem))
+}
+
+/// Reconcile `--procs` with the model flags: a hier group table and a
+/// per-processor `--mem-caps` table each fix the processor count, so
+/// they must agree with each other and with an explicit `--procs`.
+fn resolve_model_procs(
+    opts: &Flags,
+    comm: &CommModel,
+    mem: Option<&MemCapsSpec>,
+    default_procs: u64,
+) -> Result<u32, String> {
+    let hier = comm.required_procs();
+    let caps = mem.and_then(MemCapsSpec::required_procs);
+    if let (Some(h), Some(n)) = (hier, caps) {
+        if h != n {
+            return Err(format!(
+                "--mem-caps lists {n} capacities but the hier group table covers \
+                 {h} processor(s)"
+            ));
+        }
+    }
+    match hier.or(caps) {
         Some(n) => {
             let p = get_u64_or(opts, "procs", u64::from(n))?;
             if p != u64::from(n) {
+                let what = if hier.is_some() {
+                    "hier group table"
+                } else {
+                    "--mem-caps table"
+                };
                 return Err(format!(
-                    "--procs {p} disagrees with the hier group table ({n} processor(s))"
+                    "--procs {p} disagrees with the {what} ({n} processor(s))"
                 ));
             }
-            n
+            Ok(n)
         }
-        None => get_u64_or(opts, "procs", default_procs)? as u32,
-    };
-    Ok((model, procs))
+        None => Ok(get_u64_or(opts, "procs", default_procs)? as u32),
+    }
 }
 
-/// `casch schedule --comm`: the model-aware scheduling path. No
-/// simulator run (the simulator has its own topology pricing) and no
-/// `--trace` (the generic path records no provenance).
-fn cmd_schedule_comm(opts: &Flags, dag: &Dag, spec: &str) -> Result<(), String> {
+/// Run one DAG through the model-aware path, wrapping the comm model
+/// in a capacity table when `--mem-caps` was given.
+fn schedule_with_flags(
+    algo: &ModelScheduler,
+    dag: &Dag,
+    procs: u32,
+    comm: &CommModel,
+    mem: Option<&MemCapsSpec>,
+) -> Schedule {
+    match mem {
+        Some(spec) => {
+            let model = MemoryCapacities::new(comm.clone(), spec.resolve(procs));
+            algo.schedule_with_model(dag, procs, &model)
+        }
+        None => algo.schedule_with_model(dag, procs, comm),
+    }
+}
+
+/// `casch schedule --comm` / `--mem-caps`: the model-aware scheduling
+/// path. No simulator run (the simulator has its own topology
+/// pricing) and no `--trace` (the generic path records no
+/// provenance).
+fn cmd_schedule_model(opts: &Flags, dag: &Dag) -> Result<(), String> {
     let algo = ModelScheduler::by_name(opts.get("algo").ok_or("missing --algo")?)?;
-    let (model, procs) = resolve_comm(opts, spec, dag.node_count() as u64)?;
+    let (comm, mem) = parse_model_flags(opts)?;
+    let procs = resolve_model_procs(opts, &comm, mem.as_ref(), dag.node_count() as u64)?;
     if opts.contains_key("trace") {
-        return Err("--trace is not supported together with --comm".to_string());
+        return Err("--trace is not supported together with --comm/--mem-caps".to_string());
     }
     let t0 = std::time::Instant::now();
-    let schedule = algo.schedule_with_model(dag, procs, &model);
+    let schedule = schedule_with_flags(&algo, dag, procs, &comm, mem.as_ref());
     let elapsed = t0.elapsed();
     println!("algorithm:        {}", algo.name());
-    println!("comm model:       {spec}");
+    if let Some(spec) = opts.get("comm") {
+        println!("comm model:       {spec}");
+    }
+    if let Some(spec) = opts.get("mem-caps") {
+        println!("mem caps:         {spec}");
+    }
     println!("schedule length:  {}", schedule.makespan());
     println!("processors used:  {}", schedule.processors_used());
     println!("scheduling time:  {elapsed:?}");
@@ -396,8 +475,8 @@ fn cmd_schedule_comm(opts: &Flags, dag: &Dag, spec: &str) -> Result<(), String> 
 
 fn cmd_schedule(opts: &Flags) -> Result<(), String> {
     let dag = load_dag(opts)?;
-    if let Some(spec) = opts.get("comm") {
-        return cmd_schedule_comm(opts, &dag, spec);
+    if opts.contains_key("comm") || opts.contains_key("mem-caps") {
+        return cmd_schedule_model(opts, &dag);
     }
     let algo = scheduler_by_name(opts.get("algo").ok_or("missing --algo")?)?;
     let procs = get_u64_or(opts, "procs", dag.node_count() as u64)? as u32;
@@ -463,39 +542,35 @@ fn cmd_schedule(opts: &Flags) -> Result<(), String> {
 /// default 1 runs the classic serial loop). Each result line carries
 /// its own wall-clock cost and the closing summary line the aggregate
 /// throughput, so the NDJSON doubles as a throughput record.
-/// `casch batch --comm`: the model-aware batch path. Runs the serial
-/// loop (the warm multi-thread workspaces are homogeneous-only) but
-/// emits the exact same NDJSON shape as the homogeneous batch.
-fn cmd_batch_comm(opts: &Flags, spec: &str) -> Result<(), String> {
+/// `casch batch --comm` / `--mem-caps`: the model-aware batch path.
+/// Shards across `--threads` workers exactly like the homogeneous
+/// batch (the model paths re-derive everything from the DAG and the
+/// shared immutable model, so schedules stay byte-identical at every
+/// thread count) and emits the same NDJSON shape.
+fn cmd_batch_model(opts: &Flags) -> Result<(), String> {
+    use fastsched_algorithms::schedule_many_par_by;
+
     let algo = ModelScheduler::by_name(opts.get("algo").ok_or("missing --algo")?)?;
-    if get_u64_or(opts, "threads", 1)? > 1 {
-        return Err("--comm batches run single-threaded; drop --threads".to_string());
-    }
+    let (comm, mem) = parse_model_flags(opts)?;
+    let threads = get_u64_or(opts, "threads", 1)? as usize;
     let paths = collect_dag_paths(opts).map_err(|e| format!("batch: {e}"))?;
+
+    let mut dags: Vec<Dag> = Vec::with_capacity(paths.len());
+    let mut procs: Vec<u32> = Vec::with_capacity(paths.len());
+    let mut displays: Vec<String> = Vec::with_capacity(paths.len());
     let mut lines = String::new();
-    let mut scheduled: u64 = 0;
     let mut rejected: u64 = 0;
-    let wall = std::time::Instant::now();
     for path in &paths {
         let display = path.display().to_string();
         let row = load_dag_file(path).and_then(|dag| {
-            let (model, procs) = resolve_comm(opts, spec, dag.node_count() as u64)?;
-            let t0 = std::time::Instant::now();
-            let schedule = algo.schedule_with_model(&dag, procs, &model);
-            Ok((dag, procs, schedule, t0.elapsed().as_secs_f64()))
+            let p = resolve_model_procs(opts, &comm, mem.as_ref(), dag.node_count() as u64)?;
+            Ok((dag, p))
         });
         match row {
-            Ok((dag, procs, schedule, seconds)) => {
-                scheduled += 1;
-                lines.push_str(&format!(
-                    "{{\"dag\":\"{}\",\"nodes\":{},\"edges\":{},\"algo\":\"{}\",\
-                     \"procs\":{procs},\"threads\":1,\"makespan\":{},\"seconds\":{seconds:.6}}}\n",
-                    json_escape(&display),
-                    dag.node_count(),
-                    dag.edge_count(),
-                    algo.name(),
-                    schedule.makespan(),
-                ));
+            Ok((dag, p)) => {
+                procs.push(p);
+                dags.push(dag);
+                displays.push(display);
             }
             Err(e) => {
                 rejected += 1;
@@ -508,17 +583,39 @@ fn cmd_batch_comm(opts: &Flags, spec: &str) -> Result<(), String> {
             }
         }
     }
-    if scheduled == 0 {
+    if dags.is_empty() {
         return Err(format!(
             "batch: all {rejected} DAG file(s) were rejected; nothing to schedule"
         ));
     }
+
+    let wall = std::time::Instant::now();
+    let results = schedule_many_par_by(&dags, &procs, threads, |dag, np| {
+        schedule_with_flags(&algo, dag, np, &comm, mem.as_ref())
+    });
     let wall = wall.elapsed().as_secs_f64();
+
+    for (i, (schedule, seconds)) in results.iter().enumerate() {
+        lines.push_str(&format!(
+            "{{\"dag\":\"{}\",\"nodes\":{},\"edges\":{},\"algo\":\"{}\",\
+             \"procs\":{},\"threads\":{},\"makespan\":{},\"seconds\":{:.6}}}\n",
+            json_escape(&displays[i]),
+            dags[i].node_count(),
+            dags[i].edge_count(),
+            algo.name(),
+            procs[i],
+            threads,
+            schedule.makespan(),
+            seconds
+        ));
+    }
     lines.push_str(&format!(
-        "{{\"summary\":true,\"dags\":{scheduled},\"rejected\":{rejected},\"algo\":\"{}\",\
-         \"threads\":1,\"seconds\":{wall:.6},\"dags_per_sec\":{:.1}}}\n",
+        "{{\"summary\":true,\"dags\":{},\"rejected\":{rejected},\"algo\":\"{}\",\
+         \"threads\":{},\"seconds\":{wall:.6},\"dags_per_sec\":{:.1}}}\n",
+        dags.len(),
         algo.name(),
-        scheduled as f64 / wall.max(1e-9)
+        threads,
+        dags.len() as f64 / wall.max(1e-9)
     ));
     match opts.get("out") {
         Some(path) => {
@@ -533,8 +630,8 @@ fn cmd_batch_comm(opts: &Flags, spec: &str) -> Result<(), String> {
 fn cmd_batch(opts: &Flags) -> Result<(), String> {
     use fastsched_algorithms::schedule_many_par_timed;
 
-    if let Some(spec) = opts.get("comm") {
-        return cmd_batch_comm(opts, spec);
+    if opts.contains_key("comm") || opts.contains_key("mem-caps") {
+        return cmd_batch_model(opts);
     }
     let algo = scheduler_by_name(opts.get("algo").ok_or("missing --algo")?)?;
     let threads = get_u64_or(opts, "threads", 1)? as usize;
@@ -943,13 +1040,45 @@ fn cmd_simulate(opts: &Flags) -> Result<(), String> {
 }
 
 fn cmd_verify(opts: &Flags) -> Result<(), String> {
-    use fastsched_schedule::{validate, validate_with, ProcessorSpeeds};
+    use fastsched_schedule::{CostModel, HomogeneousModel, ProcessorSpeeds};
     let dag = load_dag(opts)?;
     let sched_path = opts.get("schedule").ok_or("missing --schedule")?;
     let text =
         std::fs::read_to_string(sched_path).map_err(|e| format!("reading {sched_path}: {e}"))?;
     let schedule = fastsched_schedule::io::from_json(&text, dag.node_count())
         .map_err(|e| format!("{sched_path}: {e}"))?;
+
+    let mem = match opts.get("mem-caps") {
+        // Parse errors already lead with `mem-caps: `.
+        Some(spec) => Some(MemCapsSpec::parse(spec).map_err(|e| format!("--{e}"))?),
+        None => None,
+    };
+    if let Some(MemCapsSpec::PerProc(caps)) = &mem {
+        if (caps.len() as u32) < schedule.num_procs() {
+            return Err(format!(
+                "--mem-caps lists {} capacit(y/ies) but the schedule file declares {} \
+                 processor(s)",
+                caps.len(),
+                schedule.num_procs()
+            ));
+        }
+    }
+    /// Validate under `model`, first wrapping it in a capacity table
+    /// when `--mem-caps` was given.
+    fn verdict_with<M: CostModel>(
+        model: M,
+        mem: Option<&MemCapsSpec>,
+        dag: &Dag,
+        schedule: &Schedule,
+    ) -> Result<(), fastsched_schedule::ScheduleError> {
+        match mem {
+            Some(spec) => {
+                let capped = MemoryCapacities::new(model, spec.resolve(schedule.num_procs()));
+                fastsched_schedule::validate_with(&capped, dag, schedule)
+            }
+            None => fastsched_schedule::validate_with(&model, dag, schedule),
+        }
+    }
 
     let verdict = match (opts.get("speeds"), opts.get("comm")) {
         (Some(_), Some(_)) => {
@@ -977,7 +1106,7 @@ fn cmd_verify(opts: &Flags) -> Result<(), String> {
                 ));
             }
             println!("model: heterogeneous ({spec} % of nominal)");
-            validate_with(&speeds, &dag, &schedule)
+            verdict_with(speeds, mem.as_ref(), &dag, &schedule)
         }
         (None, Some(spec)) => {
             let model = CommModel::parse_spec(spec).map_err(|e| format!("--comm: {e}"))?;
@@ -990,13 +1119,16 @@ fn cmd_verify(opts: &Flags) -> Result<(), String> {
                 }
             }
             println!("model: comm ({spec})");
-            validate_with(&model, &dag, &schedule)
+            verdict_with(model, mem.as_ref(), &dag, &schedule)
         }
         (None, None) => {
             println!("model: homogeneous");
-            validate(&dag, &schedule)
+            verdict_with(HomogeneousModel, mem.as_ref(), &dag, &schedule)
         }
     };
+    if let Some(spec) = opts.get("mem-caps") {
+        println!("mem caps: {spec}");
+    }
     if let Err(e) = verdict {
         println!("INVALID: {e}");
         // A failed verification is a verdict, not a usage error: exit

@@ -38,6 +38,14 @@
 //! `--max-procs` caps *before* materializing a model, so a one-line
 //! request cannot demand an enormous group table.
 //!
+//! An optional `mem_caps` field selects memory-constrained scheduling
+//! (DESIGN.md §17) for the memory-aware schedulers (`fast`, `heft`):
+//! a number is a uniform per-processor capacity, an array is one
+//! capacity per processor (fixing the processor count, length capped
+//! like `procs`/`speeds` before any allocation). Per-node footprints
+//! travel as optional `mem` fields on the DAG's nodes. `mem_caps`
+//! cannot be combined with `speeds`.
+//!
 //! ## Responses
 //!
 //! ```text
@@ -60,7 +68,7 @@
 //! job panicked on the worker; the worker itself survives).
 
 use fastsched_dag::io::DagSpec;
-use fastsched_schedule::Schedule;
+use fastsched_schedule::{MemCapsSpec, Schedule};
 use serde::Value;
 use std::io::{self, BufRead};
 
@@ -70,6 +78,10 @@ pub const DEFAULT_MAX_LINE: usize = 4 << 20;
 // ----------------------------------------------------------- requests
 
 /// One client request line.
+// Schedule dwarfs Stats/Shutdown, but exactly one Request exists per
+// parsed line and it is consumed immediately — boxing would only add
+// an allocation to the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Schedule a DAG.
@@ -249,6 +261,14 @@ pub struct ScheduleRequest {
     /// model-aware algorithms accept it, and it cannot be combined
     /// with `speeds`.
     pub comm: Option<CommSpec>,
+    /// Optional per-processor memory capacities: a number (uniform
+    /// capacity) or an array (one capacity per processor, fixing the
+    /// processor count — the service layer caps its length like
+    /// `procs`/`speeds` before allocating anything). Per-node
+    /// footprints ride in the DAG's `mem` fields; only the
+    /// memory-aware algorithms (`fast`, `heft`) accept capacities,
+    /// and they cannot be combined with `speeds`.
+    pub mem_caps: Option<MemCapsSpec>,
 }
 
 impl ScheduleRequest {
@@ -263,6 +283,7 @@ impl ScheduleRequest {
             speeds: None,
             timeout_ms: None,
             comm: None,
+            mem_caps: None,
         }
     }
 
@@ -292,6 +313,20 @@ impl ScheduleRequest {
         if let Some(comm) = &self.comm {
             out.push_str(",\"comm\":");
             out.push_str(&comm.to_json());
+        }
+        match &self.mem_caps {
+            Some(MemCapsSpec::Uniform(cap)) => out.push_str(&format!(",\"mem_caps\":{cap}")),
+            Some(MemCapsSpec::PerProc(caps)) => {
+                out.push_str(",\"mem_caps\":[");
+                for (i, c) in caps.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&c.to_string());
+                }
+                out.push(']');
+            }
+            None => {}
         }
         let dag = serde_json::to_string(&self.dag).expect("DagSpec serializes");
         out.push_str(",\"dag\":");
@@ -374,6 +409,21 @@ impl Request {
                     None | Some(Value::Null) => None,
                     Some(c) => Some(parse_comm(c)?),
                 };
+                let mem_caps = match field(&v, "mem_caps") {
+                    None | Some(Value::Null) => None,
+                    Some(Value::Array(xs)) => {
+                        let caps: Option<Vec<u64>> = xs.iter().map(as_u64).collect();
+                        let caps =
+                            caps.ok_or("parse: `mem_caps` entries must be non-negative integers")?;
+                        if caps.is_empty() {
+                            return Err("parse: `mem_caps` must not be empty".to_string());
+                        }
+                        Some(MemCapsSpec::PerProc(caps))
+                    }
+                    Some(x) => Some(MemCapsSpec::Uniform(as_u64(x).ok_or(
+                        "parse: `mem_caps` must be a non-negative integer or an array of them",
+                    )?)),
+                };
                 Ok(Request::Schedule(ScheduleRequest {
                     id,
                     dag,
@@ -382,6 +432,7 @@ impl Request {
                     speeds,
                     timeout_ms,
                     comm,
+                    mem_caps,
                 }))
             }
             other => Err(format!("parse: unknown op `{other}`")),

@@ -26,7 +26,8 @@
 //!   DAG's own node count): schedulers allocate O(procs) scratch, so
 //!   an uncapped `procs` (or hetero `speeds` array) would let one
 //!   tiny line force a multi-GB allocation. Oversized values are
-//!   answered with a `parse:` error instead.
+//!   answered with a `parse:` error instead. Per-processor `mem_caps`
+//!   tables obey the same cap, checked before the table is resolved.
 //! * **Graceful shutdown** — SIGINT (via
 //!   [`install_sigint_handler`]) or an `op:"shutdown"` request stops
 //!   the accept loop, drains every admitted request to a response,
@@ -76,7 +77,9 @@ use fastsched_algorithms::{
 use fastsched_dag::Dag;
 use fastsched_metrics::prometheus::{Exposition, CONTENT_TYPE};
 use fastsched_metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
-use fastsched_schedule::{AlphaBeta, CommModel, Hierarchical, Schedule};
+use fastsched_schedule::{
+    AlphaBeta, CommModel, CostModel, Hierarchical, MemCapsSpec, MemoryCapacities, Schedule,
+};
 use std::io::{self, BufReader, Read as _, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -202,14 +205,29 @@ impl ModelScheduler {
         }
     }
 
-    /// Schedule `dag` on `procs` processors under `model`.
-    pub fn schedule_with_model(&self, dag: &Dag, procs: u32, model: &CommModel) -> Schedule {
+    /// Schedule `dag` on `procs` processors under `model` (any
+    /// [`CostModel`], e.g. a [`CommModel`] or a
+    /// [`fastsched_schedule::MemoryCapacities`] wrapper).
+    pub fn schedule_with_model<M: CostModel + ?Sized>(
+        &self,
+        dag: &Dag,
+        procs: u32,
+        model: &M,
+    ) -> Schedule {
         match self {
             ModelScheduler::Fast(s) => s.schedule_with_model(dag, procs, model),
             ModelScheduler::Etf(s) => s.schedule_with_model(dag, procs, model),
             ModelScheduler::Dls(s) => s.schedule_with_model(dag, procs, model),
             ModelScheduler::Heft(s) => s.schedule_with_model(dag, procs, model),
         }
+    }
+
+    /// Whether this scheduler's probe loop honours per-processor
+    /// memory capacities. Only memory-aware schedulers may run under a
+    /// capacity-carrying model: a capacity-blind one (ETF, DLS) would
+    /// hand the validation gate an over-capacity schedule and panic.
+    pub fn is_memory_aware(&self) -> bool {
+        matches!(self, ModelScheduler::Fast(_) | ModelScheduler::Heft(_))
     }
 }
 
@@ -554,6 +572,11 @@ enum Engine {
     /// Explicit communication model: the model-generic (allocating)
     /// `schedule_with_model` path.
     Comm(ModelScheduler, CommModel),
+    /// Memory-constrained: a per-processor capacity table over a
+    /// communication model (`Ideal` when the request priced none),
+    /// served by a memory-aware scheduler (`fast`, `heft`) whose probe
+    /// loops reject over-capacity placements.
+    Mem(ModelScheduler, MemoryCapacities<CommModel>),
 }
 
 /// The `casch serve` server. [`Server::bind`] then [`Server::run`];
@@ -1007,6 +1030,73 @@ fn prepare(req: ScheduleRequest, config: &ServeConfig) -> Result<PreparedRequest
             (Engine::Homogeneous(scheduler), procs)
         }
     };
+    // A capacity table turns any engine except heterogeneous HEFT into
+    // the memory-aware model path. Per-processor tables are length-
+    // checked against the server cap *before* `resolve` materializes
+    // anything, mirroring the `speeds` admission rule.
+    let (engine, procs) = match req.mem_caps {
+        None => (engine, procs),
+        Some(spec) => {
+            let procs = match &spec {
+                MemCapsSpec::PerProc(caps) => {
+                    let n = caps.len() as u32;
+                    if caps.len() as u64 > proc_limit {
+                        return Err(format!(
+                            "parse: `mem_caps` lists {} capacities, above the server's \
+                             processor limit ({proc_limit}); raise --max-procs if intended",
+                            caps.len()
+                        ));
+                    }
+                    if let Some(p) = req.procs {
+                        if p != n {
+                            return Err(format!(
+                                "parse: `procs` ({p}) disagrees with `mem_caps` length ({n})"
+                            ));
+                        }
+                    } else if let Engine::Comm(_, model) = &engine {
+                        if let Some(h) = model.required_procs() {
+                            if h != n {
+                                return Err(format!(
+                                    "parse: `mem_caps` length ({n}) disagrees with the \
+                                     hier group table ({h} processor(s))"
+                                ));
+                            }
+                        }
+                    }
+                    n
+                }
+                MemCapsSpec::Uniform(_) => procs,
+            };
+            let (scheduler, inner) = match engine {
+                Engine::Hetero(_) => {
+                    return Err(
+                        "parse: `mem_caps` cannot be combined with `speeds` (memory-aware \
+                         scheduling runs on the homogeneous and communication machine models)"
+                            .to_string(),
+                    )
+                }
+                Engine::Comm(s, model) => (s, model),
+                Engine::Homogeneous(_) => {
+                    let s = ModelScheduler::by_name(&req.algo).map_err(|_| {
+                        format!(
+                            "parse: algorithm `{}` has no memory-aware path (use fast or heft)",
+                            req.algo
+                        )
+                    })?;
+                    (s, CommModel::Ideal)
+                }
+                Engine::Mem(..) => unreachable!("the memory engine is only built here"),
+            };
+            if !scheduler.is_memory_aware() {
+                return Err(format!(
+                    "parse: algorithm `{}` has no memory-aware path (use fast or heft)",
+                    req.algo
+                ));
+            }
+            let model = MemoryCapacities::new(inner, spec.resolve(procs));
+            (Engine::Mem(scheduler, model), procs)
+        }
+    };
     let timeout_ms = req.timeout_ms.unwrap_or(config.default_timeout_ms);
     Ok(PreparedRequest {
         id: req.id,
@@ -1115,6 +1205,7 @@ fn process(
         Engine::Homogeneous(s) => (s.name(), s.schedule_into(&req.dag, req.procs, ws)),
         Engine::Hetero(h) => ("HEFT-hetero", h.schedule(&req.dag)),
         Engine::Comm(s, model) => (s.name(), s.schedule_with_model(&req.dag, req.procs, model)),
+        Engine::Mem(s, model) => (s.name(), s.schedule_with_model(&req.dag, req.procs, model)),
     };
     let t1 = Instant::now();
     // `service_us` in the response is the schedule phase — the same

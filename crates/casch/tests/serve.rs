@@ -276,6 +276,147 @@ fn comm_requests_run_the_model_path_and_bad_specs_are_rejected() {
 }
 
 #[test]
+fn mem_caps_requests_run_the_memory_path_and_bad_combos_are_rejected() {
+    use fastsched_dag::DagBuilder;
+    use fastsched_schedule::{CommModel, MemCapsSpec, MemoryCapacities};
+    let (addr, join, shutdown) = start_server(ServeConfig {
+        threads: 1,
+        ..ServeConfig::default()
+    });
+    // Four independent 6-byte tasks: a 12-byte budget fits exactly two
+    // per processor, so memory-aware FAST must use at least two lanes.
+    let mut b = DagBuilder::new();
+    for _ in 0..4 {
+        b.add_task_with_mem(10, 6);
+    }
+    let dag = b.build().expect("dag");
+    let spec = DagSpec::from_dag(&dag);
+
+    // 1: uniform caps over FAST. 2: per-proc caps fix the processor
+    // count. 3: unbounded caps must be byte-identical to the plain
+    // homogeneous response. 4–7: rejected at parse time (speeds
+    // combo, memory-blind algo, procs mismatch, per-proc table above
+    // the server cap).
+    let mut reqs: Vec<ScheduleRequest> = Vec::new();
+    let mut r1 = ScheduleRequest::new(1, spec.clone());
+    r1.procs = Some(2);
+    r1.mem_caps = Some(MemCapsSpec::Uniform(12));
+    reqs.push(r1);
+    let mut r2 = ScheduleRequest::new(2, spec.clone());
+    r2.mem_caps = Some(MemCapsSpec::PerProc(vec![12, 12, 12]));
+    reqs.push(r2);
+    let mut r3 = ScheduleRequest::new(3, spec.clone());
+    r3.procs = Some(4);
+    r3.mem_caps = Some(MemCapsSpec::Uniform(u64::MAX));
+    reqs.push(r3);
+    let mut r4 = ScheduleRequest::new(4, spec.clone());
+    r4.algo = "heft".into();
+    r4.speeds = Some(vec![100, 50]);
+    r4.mem_caps = Some(MemCapsSpec::Uniform(12));
+    reqs.push(r4);
+    let mut r5 = ScheduleRequest::new(5, spec.clone());
+    r5.algo = "etf".into();
+    r5.mem_caps = Some(MemCapsSpec::Uniform(12));
+    reqs.push(r5);
+    let mut r6 = ScheduleRequest::new(6, spec.clone());
+    r6.procs = Some(4);
+    r6.mem_caps = Some(MemCapsSpec::PerProc(vec![12, 12]));
+    reqs.push(r6);
+    let mut r7 = ScheduleRequest::new(7, spec.clone());
+    r7.mem_caps = Some(MemCapsSpec::PerProc(vec![12; 100_000]));
+    reqs.push(r7);
+
+    let mut stream = connect(addr);
+    let mut lines = String::new();
+    for r in &reqs {
+        lines.push_str(&r.to_line());
+        lines.push('\n');
+    }
+    stream.write_all(lines.as_bytes()).expect("send requests");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut by_id: HashMap<u64, Response> = HashMap::new();
+    for resp in read_responses(&mut reader, reqs.len()) {
+        let id = match &resp {
+            Response::Schedule(r) => r.id,
+            Response::Error { id, .. } => *id,
+            other => panic!("unexpected response: {other:?}"),
+        };
+        by_id.insert(id, resp);
+    }
+
+    let fast = ModelScheduler::by_name("fast").expect("fast");
+    let capped = MemoryCapacities::uniform(CommModel::Ideal, 12, 2);
+    let expected = fast.schedule_with_model(&dag, 2, &capped);
+    match &by_id[&1] {
+        Response::Schedule(r) => {
+            assert_eq!(r.algo, "FAST");
+            assert_eq!(r.makespan, expected.makespan());
+            assert_eq!(
+                placements_json(&r.placements),
+                placements_json(&placements_of(&expected))
+            );
+            // Two lanes of two 6-byte tasks each: the capacity split
+            // is visible in the answer.
+            let lanes: std::collections::HashSet<u32> =
+                r.placements.iter().map(|&(p, _, _)| p).collect();
+            assert!(lanes.len() >= 2, "cap 12 cannot hold all four tasks");
+        }
+        other => panic!("id 1: {other:?}"),
+    }
+
+    let capped = MemoryCapacities::new(CommModel::Ideal, vec![12, 12, 12]);
+    let expected = fast.schedule_with_model(&dag, 3, &capped);
+    match &by_id[&2] {
+        Response::Schedule(r) => {
+            assert_eq!(r.procs, 3, "procs fixed by the mem_caps table");
+            assert_eq!(r.makespan, expected.makespan());
+            assert_eq!(
+                placements_json(&r.placements),
+                placements_json(&placements_of(&expected))
+            );
+        }
+        other => panic!("id 2: {other:?}"),
+    }
+
+    // An unbounded budget must reproduce the homogeneous path's bytes.
+    let mut ws = Workspace::new();
+    let plain = scheduler_by_name("fast")
+        .expect("fast")
+        .schedule_into(&dag, 4, &mut ws);
+    match &by_id[&3] {
+        Response::Schedule(r) => {
+            assert_eq!(r.makespan, plain.makespan());
+            assert_eq!(
+                placements_json(&r.placements),
+                placements_json(&placements_of(&plain)),
+                "a never-binding budget must be byte-identical to homogeneous"
+            );
+        }
+        other => panic!("id 3: {other:?}"),
+    }
+
+    for (id, needle) in [
+        (4, "cannot be combined with `speeds`"),
+        (5, "no memory-aware path"),
+        (6, "disagrees with `mem_caps` length"),
+        (7, "above the server's processor limit"),
+    ] {
+        match &by_id[&id] {
+            Response::Error { error, .. } => {
+                assert!(error.starts_with("parse:"), "id {id}: {error}");
+                assert!(error.contains(needle), "id {id}: {error}");
+            }
+            other => panic!("id {id}: expected error, got {other:?}"),
+        }
+    }
+
+    shutdown.store(true, Ordering::SeqCst);
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.completed, 3);
+    assert_eq!(summary.malformed, 4);
+}
+
+#[test]
 fn malformed_lines_get_error_responses_and_the_connection_survives() {
     let (addr, join, shutdown) = start_server(ServeConfig::default());
     let mut stream = connect(addr);

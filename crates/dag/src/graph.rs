@@ -56,6 +56,10 @@ pub struct EdgeRef {
 #[derive(Debug, Clone)]
 pub struct Dag {
     weights: Vec<Cost>,
+    /// Per-node memory footprint `mem(n)` (0 = no footprint). An
+    /// optional resource axis: graphs built without footprints carry
+    /// an all-zero lane and behave exactly as before.
+    mems: Vec<Cost>,
     names: Vec<String>,
     // CSR successors.
     succ_offsets: Vec<u32>,
@@ -85,6 +89,8 @@ pub struct Dag {
     tsucc_costs: Vec<Cost>,
     /// Node weights keyed by topo position.
     topo_weights: Vec<Cost>,
+    /// Node memory footprints keyed by topo position.
+    topo_mems: Vec<Cost>,
 }
 
 /// Borrowed structure-of-arrays view of the successor adjacency keyed
@@ -106,6 +112,8 @@ pub struct TopoCsr<'a> {
     pub pos_of: &'a [u32],
     /// Node weights keyed by topo position.
     pub weights: &'a [Cost],
+    /// Node memory footprints keyed by topo position.
+    pub mems: &'a [Cost],
     /// Successor run offsets keyed by topo position (`len = v + 1`);
     /// `offsets[p + 1] - offsets[p]` is the out-degree lane.
     pub offsets: &'a [u32],
@@ -147,6 +155,30 @@ impl Dag {
     #[inline]
     pub fn weights(&self) -> &[Cost] {
         &self.weights
+    }
+
+    /// Memory footprint `mem(n)` of a node (0 when the graph carries
+    /// no memory annotations).
+    #[inline]
+    pub fn mem(&self, n: NodeId) -> Cost {
+        self.mems[n.index()]
+    }
+
+    /// All node memory footprints, indexed by `NodeId`.
+    #[inline]
+    pub fn mems(&self) -> &[Cost] {
+        &self.mems
+    }
+
+    /// `true` if any node carries a nonzero memory footprint.
+    #[inline]
+    pub fn has_memory(&self) -> bool {
+        self.mems.iter().any(|&m| m != 0)
+    }
+
+    /// Sum of all node memory footprints.
+    pub fn total_memory(&self) -> Cost {
+        self.mems.iter().sum()
     }
 
     /// Human-readable node name (defaults to `n<i>`).
@@ -261,6 +293,7 @@ impl Dag {
             node_at: &self.topo,
             pos_of: &self.topo_pos,
             weights: &self.topo_weights,
+            mems: &self.topo_mems,
             offsets: &self.tsucc_offsets,
             targets: &self.tsucc_targets,
             costs: &self.tsucc_costs,
@@ -305,6 +338,7 @@ impl Dag {
 #[derive(Debug, Default, Clone)]
 pub struct DagBuilder {
     weights: Vec<Cost>,
+    mems: Vec<Cost>,
     names: Vec<String>,
     edges: Vec<(NodeId, NodeId, Cost)>,
     // CSR buffers handed to `build`: `with_capacity` preallocates
@@ -330,6 +364,7 @@ impl DagBuilder {
     pub fn with_capacity(nodes: usize, edges: usize) -> Self {
         Self {
             weights: Vec::with_capacity(nodes),
+            mems: Vec::with_capacity(nodes),
             names: Vec::with_capacity(nodes),
             edges: Vec::with_capacity(edges),
             succ_offsets: Vec::with_capacity(nodes + 1),
@@ -344,6 +379,7 @@ impl DagBuilder {
     pub fn add_node(&mut self, name: impl Into<String>, weight: Cost) -> NodeId {
         let id = NodeId(self.weights.len() as u32);
         self.weights.push(weight);
+        self.mems.push(0);
         self.names.push(name.into());
         id
     }
@@ -352,8 +388,25 @@ impl DagBuilder {
     pub fn add_task(&mut self, weight: Cost) -> NodeId {
         let id = NodeId(self.weights.len() as u32);
         self.weights.push(weight);
+        self.mems.push(0);
         self.names.push(format!("n{}", id.0));
         id
+    }
+
+    /// Add an anonymous task with a memory footprint.
+    pub fn add_task_with_mem(&mut self, weight: Cost, mem: Cost) -> NodeId {
+        let id = self.add_task(weight);
+        self.mems[id.index()] = mem;
+        id
+    }
+
+    /// Set the memory footprint of an already-added node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not added to this builder.
+    pub fn set_mem(&mut self, node: NodeId, mem: Cost) {
+        self.mems[node.index()] = mem;
     }
 
     /// Add a directed message edge `src → dst` with communication cost
@@ -388,6 +441,7 @@ impl DagBuilder {
     pub fn build(self) -> Result<Dag, DagError> {
         let Self {
             weights,
+            mems,
             names,
             edges,
             mut succ_offsets,
@@ -461,6 +515,7 @@ impl DagBuilder {
 
         let mut dag = Dag {
             weights,
+            mems,
             names,
             succ_offsets,
             succ_edges,
@@ -474,6 +529,7 @@ impl DagBuilder {
             tsucc_targets: Vec::new(),
             tsucc_costs: Vec::new(),
             topo_weights: Vec::new(),
+            topo_mems: Vec::new(),
         };
         dag.topo = crate::topo::topological_order(&dag)?;
 
@@ -489,9 +545,11 @@ impl DagBuilder {
         let mut tsucc_targets = Vec::with_capacity(e);
         let mut tsucc_costs = Vec::with_capacity(e);
         let mut topo_weights = Vec::with_capacity(v);
+        let mut topo_mems = Vec::with_capacity(v);
         tsucc_offsets.push(0u32);
         for (p, &n) in dag.topo.iter().enumerate() {
             topo_weights.push(dag.weights[n.index()]);
+            topo_mems.push(dag.mems[n.index()]);
             for er in dag.succs(n) {
                 let tp = topo_pos[er.node.index()];
                 debug_assert!(tp as usize > p, "topo position must increase along edges");
@@ -505,6 +563,7 @@ impl DagBuilder {
         dag.tsucc_targets = tsucc_targets;
         dag.tsucc_costs = tsucc_costs;
         dag.topo_weights = topo_weights;
+        dag.topo_mems = topo_mems;
         debug_assert_eq!(dag.edge_count(), e);
         Ok(dag)
     }
@@ -691,6 +750,36 @@ mod tests {
                 assert!(run[k] as usize > p, "edges must go forward in topo order");
             }
         }
+    }
+
+    #[test]
+    fn mem_lane_defaults_to_zero_and_mirrors_into_topo_csr() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task(2);
+        let c = b.add_task_with_mem(3, 40);
+        let d = b.add_task(5);
+        b.add_edge(a, c, 1).unwrap();
+        b.add_edge(a, d, 1).unwrap();
+        b.set_mem(a, 10);
+        let g = b.build().unwrap();
+        assert_eq!(g.mem(a), 10);
+        assert_eq!(g.mem(c), 40);
+        assert_eq!(g.mem(d), 0);
+        assert_eq!(g.mems(), &[10, 40, 0]);
+        assert!(g.has_memory());
+        assert_eq!(g.total_memory(), 50);
+        let t = g.topo_csr();
+        for (p, &n) in t.node_at.iter().enumerate() {
+            assert_eq!(t.mems[p], g.mem(n), "topo mem lane for {n}");
+        }
+    }
+
+    #[test]
+    fn graphs_without_footprints_have_no_memory() {
+        let g = chain3();
+        assert!(!g.has_memory());
+        assert_eq!(g.total_memory(), 0);
+        assert_eq!(g.mems(), &[0, 0, 0]);
     }
 
     #[test]

@@ -18,12 +18,45 @@ pub struct DagSpec {
 }
 
 /// One task in a [`DagSpec`].
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeSpec {
     /// Human-readable name.
     pub name: String,
     /// Computation cost `w(n)`.
     pub weight: Cost,
+    /// Memory footprint `mem(n)`; omitted from the JSON when zero, so
+    /// files written before the memory axis existed parse unchanged.
+    pub mem: Cost,
+}
+
+// Hand-written (de)serialization: the derive macros require every
+// field, but `mem` must stay optional — absent keys default to 0 and
+// zero footprints are not written, so pre-memory DAG files and wire
+// requests round-trip byte-identically.
+impl Serialize for NodeSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut pairs = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("weight".to_string(), self.weight.to_value()),
+        ];
+        if self.mem != 0 {
+            pairs.push(("mem".to_string(), self.mem.to_value()));
+        }
+        serde::Value::Object(pairs)
+    }
+}
+
+impl Deserialize for NodeSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(NodeSpec {
+            name: String::from_value(serde::__field(v, "name")?)?,
+            weight: Cost::from_value(serde::__field(v, "weight")?)?,
+            mem: match serde::__field(v, "mem") {
+                Ok(m) => Cost::from_value(m)?,
+                Err(_) => 0,
+            },
+        })
+    }
 }
 
 /// One message edge in a [`DagSpec`].
@@ -45,6 +78,7 @@ impl DagSpec {
             .map(|n| NodeSpec {
                 name: dag.name(n).to_string(),
                 weight: dag.weight(n),
+                mem: dag.mem(n),
             })
             .collect();
         let edges = dag
@@ -62,7 +96,8 @@ impl DagSpec {
     pub fn build(&self) -> Result<Dag, DagError> {
         let mut b = DagBuilder::with_capacity(self.nodes.len(), self.edges.len());
         for n in &self.nodes {
-            b.add_node(n.name.clone(), n.weight);
+            let id = b.add_node(n.name.clone(), n.weight);
+            b.set_mem(id, n.mem);
         }
         for e in &self.edges {
             b.add_edge(NodeId(e.src), NodeId(e.dst), e.cost)?;
@@ -144,6 +179,7 @@ mod tests {
             nodes: vec![NodeSpec {
                 name: "a".into(),
                 weight: 1,
+                mem: 0,
             }],
             edges: vec![EdgeSpec {
                 src: 0,
@@ -152,6 +188,24 @@ mod tests {
             }],
         };
         assert_eq!(spec.build().unwrap_err(), DagError::UnknownNode(5));
+    }
+
+    #[test]
+    fn mem_roundtrips_and_is_omitted_when_zero() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node("src", 2);
+        let c = b.add_node("dst", 3);
+        b.add_edge(a, c, 4).unwrap();
+        b.set_mem(c, 77);
+        let g = b.build().unwrap();
+        let json = to_json(&g).unwrap();
+        // The zero-footprint node serializes without a `mem` key.
+        assert_eq!(json.matches("\"mem\"").count(), 1, "{json}");
+        let g2 = from_json(&json).unwrap();
+        assert_eq!(g2.mems(), &[0, 77]);
+        // Pre-memory files (no `mem` keys at all) parse to zero lanes.
+        let legacy = from_json(r#"{"nodes":[{"name":"a","weight":1}],"edges":[]}"#).unwrap();
+        assert_eq!(legacy.mems(), &[0]);
     }
 
     #[test]

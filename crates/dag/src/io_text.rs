@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! # comments run to end of line
-//! task load   20      # task <name> <computation cost>
-//! task parse  40
+//! task load   20      # task <name> <computation cost> [memory]
+//! task parse  40 128  # optional trailing memory footprint
 //! task index  35
 //! edge load  parse 15 # edge <src> <dst> <communication cost>
 //! edge parse index 10
@@ -41,6 +41,12 @@ pub fn from_text(input: &str) -> Result<Dag, DagError> {
                     .ok_or_else(|| err("task needs a weight"))?
                     .parse()
                     .map_err(|_| err("task weight must be a positive integer"))?;
+                let mem: u64 = match parts.next() {
+                    Some(tok) => tok
+                        .parse()
+                        .map_err(|_| err("task memory must be a non-negative integer"))?,
+                    None => 0,
+                };
                 if parts.next().is_some() {
                     return Err(err("trailing tokens after task declaration"));
                 }
@@ -48,6 +54,7 @@ pub fn from_text(input: &str) -> Result<Dag, DagError> {
                     return Err(err(&format!("duplicate task name `{name}`")));
                 }
                 let id = builder.add_node(name.to_string(), weight);
+                builder.set_mem(id, mem);
                 names.insert(name.to_string(), id);
             }
             Some("edge") => {
@@ -87,7 +94,10 @@ pub fn from_text(input: &str) -> Result<Dag, DagError> {
 pub fn to_text(dag: &Dag) -> String {
     let mut out = String::new();
     for n in dag.nodes() {
-        writeln!(out, "task {} {}", dag.name(n), dag.weight(n)).unwrap();
+        match dag.mem(n) {
+            0 => writeln!(out, "task {} {}", dag.name(n), dag.weight(n)).unwrap(),
+            m => writeln!(out, "task {} {} {m}", dag.name(n), dag.weight(n)).unwrap(),
+        }
     }
     for (s, d, c) in dag.edges() {
         writeln!(out, "edge {} {} {c}", dag.name(s), dag.name(d)).unwrap();
@@ -148,6 +158,25 @@ edge parse save 5
         assert!(from_text("task a 1\ntask a 2").is_err());
         assert!(from_text("node a 1").is_err());
         assert!(from_text("task a 1\ntask b 1\nedge a b 1 extra").is_err());
+    }
+
+    #[test]
+    fn optional_memory_token_parses_and_roundtrips() {
+        let g = from_text("task a 5 64\ntask b 7\nedge a b 3").unwrap();
+        assert_eq!(g.mems(), &[64, 0]);
+        let text = to_text(&g);
+        assert!(text.contains("task a 5 64"), "{text}");
+        assert!(text.contains("task b 7\n"), "{text}");
+        let g2 = from_text(&text).unwrap();
+        assert_eq!(g2.mems(), g.mems());
+        // A fourth token is still rejected; a malformed third reports
+        // the memory-specific message.
+        assert!(from_text("task a 1 2 3").is_err());
+        let e = from_text("task a 1 big").unwrap_err();
+        assert!(
+            matches!(&e, DagError::Serde(m) if m.contains("memory")),
+            "{e}"
+        );
     }
 
     #[test]

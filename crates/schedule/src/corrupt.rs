@@ -46,12 +46,16 @@ pub enum Corruption {
     OverflowStart,
     /// Resize the schedule container to the wrong node count.
     WrongSize,
+    /// Move one task onto a processor whose memory capacity its
+    /// footprint then exceeds (applicable only under models with
+    /// finite [`CostModel::capacity`] entries).
+    OverCapacity,
 }
 
 impl Corruption {
     /// Every operator, in a fixed order (the mutation test iterates
     /// this).
-    pub const ALL: [Corruption; 9] = [
+    pub const ALL: [Corruption; 10] = [
         Corruption::Unschedule,
         Corruption::StretchDuration,
         Corruption::TruncateDuration,
@@ -61,6 +65,7 @@ impl Corruption {
         Corruption::NominalDuration,
         Corruption::OverflowStart,
         Corruption::WrongSize,
+        Corruption::OverCapacity,
     ];
 
     /// The error kind the validator must report for this corruption.
@@ -76,6 +81,7 @@ impl Corruption {
             Corruption::OverlapPair => ScheduleErrorKind::Overlap,
             Corruption::OverflowStart => ScheduleErrorKind::TimeOverflow,
             Corruption::WrongSize => ScheduleErrorKind::WrongSize,
+            Corruption::OverCapacity => ScheduleErrorKind::CapacityExceeded,
         }
     }
 }
@@ -270,6 +276,48 @@ pub fn corrupt_with<M: CostModel + ?Sized>(
             }
             Some(bigger)
         }
+        Corruption::OverCapacity => {
+            // A (task, target) pair where moving the task onto the
+            // target lane pushes that lane's resident footprint past a
+            // finite capacity. The capacity pass runs before
+            // precedence and overlap, so the move only has to keep
+            // pass-1 rules (machine bounds and model-priced duration)
+            // intact — the verdict is CapacityExceeded regardless of
+            // what the move does to message arrivals.
+            if !model.has_capacities() {
+                return None;
+            }
+            let mut used = vec![0 as Cost; s.num_procs() as usize];
+            for t in s.tasks() {
+                used[t.proc.index()] = used[t.proc.index()].saturating_add(dag.mem(t.node));
+            }
+            let mut sites: Vec<(NodeId, crate::schedule::ProcId)> = Vec::new();
+            for t in s.tasks() {
+                let mem = dag.mem(t.node);
+                if mem == 0 {
+                    continue;
+                }
+                for q in 0..s.num_procs() {
+                    let q = crate::schedule::ProcId(q);
+                    if q == t.proc {
+                        continue;
+                    }
+                    if let Some(cap) = model.capacity(q) {
+                        if used[q.index()].saturating_add(mem) > cap {
+                            sites.push((t.node, q));
+                        }
+                    }
+                }
+            }
+            if sites.is_empty() {
+                return None;
+            }
+            let (node, q) = sites[rng.pick(sites.len())];
+            let t = s.task(node)?;
+            let dur = model.compute_cost(dag, node, q);
+            s.place(node, q, t.start, t.start.checked_add(dur)?);
+            Some(s)
+        }
     }
 }
 
@@ -344,6 +392,40 @@ mod tests {
             validate_with(&speeds, &g, &bad).map_err(|e| e.kind()),
             Err(ScheduleErrorKind::BadDuration)
         );
+    }
+
+    #[test]
+    fn over_capacity_applies_only_under_finite_caps() {
+        use crate::cost::MemoryCapacities;
+        // No capacities anywhere: the operator has no site.
+        let (g, s) = rig();
+        assert!(corrupt_with(&HomogeneousModel, &g, &s, Corruption::OverCapacity, 0).is_none());
+
+        // Two tasks with footprint 60 on separate lanes under cap 100:
+        // moving either onto the other's lane breaches it.
+        let mut b = DagBuilder::new();
+        b.add_task_with_mem(3, 60);
+        b.add_task_with_mem(4, 60);
+        let g = b.build().unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(NodeId(0), ProcId(0), 0, 3);
+        s.place(NodeId(1), ProcId(1), 0, 4);
+        let capped = MemoryCapacities::uniform(HomogeneousModel, 100, 2);
+        assert_eq!(validate_with(&capped, &g, &s), Ok(()));
+        for seed in 0..4u64 {
+            let bad = corrupt_with(&capped, &g, &s, Corruption::OverCapacity, seed)
+                .expect("both lanes offer a breach site");
+            assert_eq!(
+                validate_with(&capped, &g, &bad).map_err(|e| e.kind()),
+                Err(ScheduleErrorKind::CapacityExceeded),
+                "seed {seed}"
+            );
+        }
+
+        // All-zero footprints: no site even under finite caps.
+        let (g2, s2) = rig();
+        let capped2 = MemoryCapacities::uniform(HomogeneousModel, 1, 2);
+        assert!(corrupt_with(&capped2, &g2, &s2, Corruption::OverCapacity, 0).is_none());
     }
 
     #[test]

@@ -41,6 +41,28 @@ pub trait CostModel {
     fn permits_renumbering(&self) -> bool {
         true
     }
+
+    /// Memory capacity of processor `proc`, or `None` for unbounded.
+    ///
+    /// The default — every processor unbounded — is the paper's
+    /// machine model; only [`MemoryCapacities`] overrides it. The
+    /// validator charges each processor the *sum* of the footprints of
+    /// the tasks assigned to it and rejects lanes over capacity; the
+    /// memory-aware scheduler paths refuse such placements up front.
+    fn capacity(&self, proc: ProcId) -> Option<Cost> {
+        let _ = proc;
+        None
+    }
+
+    /// `true` when some processor has a finite [`capacity`]. Lets hot
+    /// paths skip capacity bookkeeping entirely (and stay
+    /// byte-identical to the capacity-blind code) when everything is
+    /// unbounded.
+    ///
+    /// [`capacity`]: CostModel::capacity
+    fn has_capacities(&self) -> bool {
+        false
+    }
 }
 
 impl<M: CostModel + ?Sized> CostModel for &M {
@@ -57,6 +79,16 @@ impl<M: CostModel + ?Sized> CostModel for &M {
     #[inline]
     fn permits_renumbering(&self) -> bool {
         (**self).permits_renumbering()
+    }
+
+    #[inline]
+    fn capacity(&self, proc: ProcId) -> Option<Cost> {
+        (**self).capacity(proc)
+    }
+
+    #[inline]
+    fn has_capacities(&self) -> bool {
+        (**self).has_capacities()
     }
 }
 
@@ -418,21 +450,23 @@ impl CommModel {
     /// their own framing.
     pub fn parse_spec(spec: &str) -> Result<CommModel, String> {
         fn triple(s: &str, what: &str) -> Result<AlphaBeta, String> {
+            const FIELDS: [&str; 3] = ["alpha", "beta_num", "beta_den"];
             let parts: Vec<&str> = s.split(',').collect();
             if parts.len() != 3 {
                 return Err(format!(
                     "{what} must be three comma-separated integers `alpha,beta_num,beta_den`, \
-                     got `{s}`"
+                     got {} value(s) in `{s}`",
+                    parts.len()
                 ));
             }
             let mut nums = [0 as Cost; 3];
-            for (slot, part) in nums.iter_mut().zip(&parts) {
-                *slot = part
-                    .trim()
-                    .parse::<Cost>()
-                    .map_err(|_| format!("{what}: `{part}` is not a non-negative integer"))?;
+            for ((slot, part), field) in nums.iter_mut().zip(&parts).zip(FIELDS) {
+                *slot = part.trim().parse::<Cost>().map_err(|_| {
+                    format!("{what}: {field} `{part}` is not a non-negative integer")
+                })?;
             }
             AlphaBeta::try_new(nums[0], nums[1], nums[2])
+                .map_err(|_| format!("{what}: beta_den must be positive, got `{s}`"))
         }
         if spec == "ideal" {
             return Ok(CommModel::Ideal);
@@ -445,7 +479,8 @@ impl CommModel {
             if parts.len() != 3 {
                 return Err(format!(
                     "hier spec must be `hier:<sizes>@<intra>@<inter>` \
-                     (e.g. `hier:4+4@0,1,1@20,2,1`), got `{spec}`"
+                     (e.g. `hier:4+4@0,1,1@20,2,1`), got {} `@`-separated part(s) in `{spec}`",
+                    parts.len()
                 ));
             }
             let sizes: Result<Vec<u32>, String> = parts[0]
@@ -458,9 +493,9 @@ impl CommModel {
                 .collect();
             let intra = triple(parts[1], "hier intra tier")?;
             let inter = triple(parts[2], "hier inter tier")?;
-            return Ok(CommModel::Hierarchical(Hierarchical::from_group_sizes(
-                &sizes?, intra, inter,
-            )?));
+            let model = Hierarchical::from_group_sizes(&sizes?, intra, inter)
+                .map_err(|e| format!("hier group sizes `{}`: {e}", parts[0]))?;
+            return Ok(CommModel::Hierarchical(model));
         }
         Err(format!(
             "unknown comm model `{spec}` (expected `ideal`, `alpha-beta:A,BN,BD` \
@@ -500,6 +535,150 @@ impl CostModel for CommModel {
             CommModel::Ideal => true,
             CommModel::AlphaBeta(ab) => ab.permits_renumbering(),
             CommModel::Hierarchical(h) => h.permits_renumbering(),
+        }
+    }
+}
+
+/// Per-processor memory capacities layered over any inner cost model.
+///
+/// The wrapper changes *nothing* about pricing — compute and message
+/// costs forward to `inner` — it only answers
+/// [`capacity`](CostModel::capacity) from its table. `None` entries
+/// (and processors beyond the table) are unbounded, so
+/// [`MemoryCapacities::unbounded`] is byte-identical to the inner
+/// model on every path: scheduling, validation, compaction.
+///
+/// With any finite capacity the wrapper stops permitting processor
+/// renumbering: compaction permutes lanes, which would re-pair each
+/// lane's resident set with a different capacity. (A schedule produced
+/// under finite capacities is therefore never compacted, like the
+/// multi-group hierarchical model.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryCapacities<M> {
+    inner: M,
+    caps: Vec<Option<Cost>>,
+}
+
+impl<M: CostModel> MemoryCapacities<M> {
+    /// Finite capacities for the first `caps.len()` processors;
+    /// processors beyond the table are unbounded.
+    pub fn new(inner: M, caps: Vec<Cost>) -> Self {
+        Self {
+            inner,
+            caps: caps.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// Every processor unbounded — the identity wrapper (byte-identical
+    /// to `inner` everywhere).
+    pub fn unbounded(inner: M) -> Self {
+        Self {
+            inner,
+            caps: Vec::new(),
+        }
+    }
+
+    /// The same finite capacity `cap` on each of `procs` processors.
+    pub fn uniform(inner: M, cap: Cost, procs: u32) -> Self {
+        Self::new(inner, vec![cap; procs as usize])
+    }
+
+    /// Explicit mixed table: `None` entries (and processors beyond the
+    /// table) are unbounded, `Some` entries are finite capacities.
+    pub fn from_option_caps(inner: M, caps: Vec<Option<Cost>>) -> Self {
+        Self { inner, caps }
+    }
+
+    /// The capacity table (entries beyond it are unbounded).
+    pub fn caps(&self) -> &[Option<Cost>] {
+        &self.caps
+    }
+
+    /// The wrapped pricing model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: CostModel> CostModel for MemoryCapacities<M> {
+    #[inline]
+    fn compute_cost(&self, dag: &Dag, node: NodeId, proc: ProcId) -> Cost {
+        self.inner.compute_cost(dag, node, proc)
+    }
+
+    #[inline]
+    fn message_cost(&self, nominal: Cost, src: ProcId, dst: ProcId) -> Cost {
+        self.inner.message_cost(nominal, src, dst)
+    }
+
+    #[inline]
+    fn permits_renumbering(&self) -> bool {
+        self.inner.permits_renumbering() && !self.has_capacities()
+    }
+
+    #[inline]
+    fn capacity(&self, proc: ProcId) -> Option<Cost> {
+        self.caps.get(proc.index()).copied().flatten()
+    }
+
+    #[inline]
+    fn has_capacities(&self) -> bool {
+        self.caps.iter().any(Option::is_some)
+    }
+}
+
+/// A parsed `--mem-caps` capacity spec, before the processor count is
+/// known:
+///
+/// * `uniform:C` — every processor gets capacity `C`;
+/// * `C1,C2,...` — one capacity per processor, fixing the count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemCapsSpec {
+    /// One capacity replicated across all processors.
+    Uniform(Cost),
+    /// Explicit per-processor capacities (fixes the processor count).
+    PerProc(Vec<Cost>),
+}
+
+impl MemCapsSpec {
+    /// Parse a `--mem-caps` spec. Errors are plain messages (no
+    /// `parse:` prefix); callers add their own framing.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if let Some(rest) = spec.strip_prefix("uniform:") {
+            let cap = rest.trim().parse::<Cost>().map_err(|_| {
+                format!("mem-caps: uniform capacity `{rest}` is not a non-negative integer")
+            })?;
+            return Ok(MemCapsSpec::Uniform(cap));
+        }
+        let caps: Result<Vec<Cost>, String> = spec
+            .split(',')
+            .map(|s| {
+                s.trim().parse::<Cost>().map_err(|_| {
+                    format!(
+                        "mem-caps: capacity `{s}` is not a non-negative integer \
+                         (expected `uniform:C` or a comma-separated list `C1,C2,...`)"
+                    )
+                })
+            })
+            .collect();
+        Ok(MemCapsSpec::PerProc(caps?))
+    }
+
+    /// The processor count the spec requires, when it fixes one (an
+    /// explicit per-processor list covers exactly its own length).
+    pub fn required_procs(&self) -> Option<u32> {
+        match self {
+            MemCapsSpec::PerProc(caps) => Some(caps.len() as u32),
+            MemCapsSpec::Uniform(_) => None,
+        }
+    }
+
+    /// Materialize the per-processor capacity table for `procs`
+    /// processors.
+    pub fn resolve(&self, procs: u32) -> Vec<Cost> {
+        match self {
+            MemCapsSpec::Uniform(cap) => vec![*cap; procs as usize],
+            MemCapsSpec::PerProc(caps) => caps.clone(),
         }
     }
 }
@@ -713,6 +892,104 @@ mod tests {
             "hier:2+x@0,1,1@1,1,1",
         ] {
             assert!(CommModel::parse_spec(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_spec_errors_name_the_offending_branch() {
+        // Each malformed spec must produce a message specific to the
+        // branch that rejected it, not a generic parse failure.
+        for (bad, needle) in [
+            ("nope", "unknown comm model `nope`"),
+            (
+                "alpha-beta:1,2",
+                "alpha-beta must be three comma-separated integers",
+            ),
+            ("alpha-beta:1,2", "got 2 value(s)"),
+            (
+                "alpha-beta:1,x,1",
+                "alpha-beta: beta_num `x` is not a non-negative integer",
+            ),
+            ("alpha-beta:1,2,0", "alpha-beta: beta_den must be positive"),
+            ("hier:4", "got 1 `@`-separated part(s)"),
+            (
+                "hier:4@0,1,1",
+                "hier spec must be `hier:<sizes>@<intra>@<inter>`",
+            ),
+            (
+                "hier:2+x@0,1,1@1,1,1",
+                "hier: group size `x` is not a positive integer",
+            ),
+            (
+                "hier:2+0@0,1,1@1,1,1",
+                "hier group sizes `2+0`: hierarchical: group 1 has zero processors",
+            ),
+            (
+                "hier:4@0,1,1@1,1,0",
+                "hier inter tier: beta_den must be positive",
+            ),
+            (
+                "hier:4@0,y,1@1,1,1",
+                "hier intra tier: beta_num `y` is not a non-negative integer",
+            ),
+        ] {
+            let err = CommModel::parse_spec(bad).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "spec `{bad}`: expected `{needle}` in `{err}`"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_capacities_forward_pricing_and_answer_caps() {
+        let g = sample();
+        let m = MemoryCapacities::new(HomogeneousModel, vec![100, 50]);
+        assert_eq!(m.compute_cost(&g, NodeId(2), ProcId(0)), 5);
+        assert_eq!(m.message_cost(7, ProcId(0), ProcId(1)), 7);
+        assert_eq!(m.message_cost(7, ProcId(1), ProcId(1)), 0);
+        assert_eq!(m.capacity(ProcId(0)), Some(100));
+        assert_eq!(m.capacity(ProcId(1)), Some(50));
+        // Beyond the table: unbounded.
+        assert_eq!(m.capacity(ProcId(9)), None);
+        assert!(m.has_capacities());
+        // Finite caps pin processor identity.
+        assert!(!m.permits_renumbering());
+    }
+
+    #[test]
+    fn unbounded_capacities_are_the_identity_wrapper() {
+        let m = MemoryCapacities::unbounded(HomogeneousModel);
+        assert!(!m.has_capacities());
+        assert_eq!(m.capacity(ProcId(0)), None);
+        assert!(m.permits_renumbering());
+        // Composing with an identity-sensitive model keeps its rule.
+        let hetero = MemoryCapacities::unbounded(ProcessorSpeeds::new(vec![100, 200]));
+        assert!(!hetero.permits_renumbering());
+        // The default on every other model: no capacities anywhere.
+        assert!(!HomogeneousModel.has_capacities());
+        assert_eq!(HomogeneousModel.capacity(ProcId(3)), None);
+    }
+
+    #[test]
+    fn mem_caps_spec_parses_uniform_and_per_proc() {
+        let u = MemCapsSpec::parse("uniform:64").unwrap();
+        assert_eq!(u, MemCapsSpec::Uniform(64));
+        assert_eq!(u.required_procs(), None);
+        assert_eq!(u.resolve(3), vec![64, 64, 64]);
+
+        let p = MemCapsSpec::parse("10,20,30").unwrap();
+        assert_eq!(p, MemCapsSpec::PerProc(vec![10, 20, 30]));
+        assert_eq!(p.required_procs(), Some(3));
+        assert_eq!(p.resolve(3), vec![10, 20, 30]);
+
+        for (bad, needle) in [
+            ("uniform:x", "uniform capacity `x`"),
+            ("10,oops,30", "capacity `oops`"),
+            ("", "capacity ``"),
+        ] {
+            let err = MemCapsSpec::parse(bad).unwrap_err();
+            assert!(err.contains(needle), "`{bad}`: `{needle}` not in `{err}`");
         }
     }
 

@@ -52,7 +52,7 @@ pub mod validate;
 pub use corrupt::{corrupt_with, Corruption};
 pub use cost::{
     data_arrival_time_with, AlphaBeta, CommModel, CostModel, Hierarchical, HomogeneousModel,
-    ProcessorSpeeds, IDEAL_LINK,
+    MemCapsSpec, MemoryCapacities, ProcessorSpeeds, IDEAL_LINK,
 };
 pub use diff::{diff_schedules, PlacementDelta, ScheduleDiff};
 pub use evaluate::{

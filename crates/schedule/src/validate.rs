@@ -74,6 +74,16 @@ pub enum ScheduleError {
         /// The node whose timing arithmetic overflowed.
         node: u32,
     },
+    /// The memory footprints of the tasks assigned to one processor
+    /// exceed its capacity under the cost model.
+    CapacityExceeded {
+        /// The over-committed processor.
+        proc: u32,
+        /// Its configured memory capacity.
+        capacity: Cost,
+        /// Total footprint of the tasks assigned to it (saturating).
+        used: Cost,
+    },
 }
 
 /// The class of a [`ScheduleError`], with the witness data stripped —
@@ -94,6 +104,8 @@ pub enum ScheduleErrorKind {
     ProcOutOfRange,
     /// [`ScheduleError::TimeOverflow`].
     TimeOverflow,
+    /// [`ScheduleError::CapacityExceeded`].
+    CapacityExceeded,
 }
 
 impl ScheduleError {
@@ -107,6 +119,7 @@ impl ScheduleError {
             ScheduleError::WrongSize { .. } => ScheduleErrorKind::WrongSize,
             ScheduleError::ProcOutOfRange { .. } => ScheduleErrorKind::ProcOutOfRange,
             ScheduleError::TimeOverflow { .. } => ScheduleErrorKind::TimeOverflow,
+            ScheduleError::CapacityExceeded { .. } => ScheduleErrorKind::CapacityExceeded,
         }
     }
 }
@@ -152,6 +165,14 @@ impl fmt::Display for ScheduleError {
             ScheduleError::TimeOverflow { node } => {
                 write!(f, "node n{node}: time arithmetic overflows u64")
             }
+            ScheduleError::CapacityExceeded {
+                proc,
+                capacity,
+                used,
+            } => write!(
+                f,
+                "PE{proc}: resident memory {used} exceeds capacity {capacity}"
+            ),
         }
     }
 }
@@ -220,6 +241,30 @@ pub fn validate_with<M: CostModel + ?Sized>(
                         actual: t.finish.saturating_sub(t.start),
                     });
                 }
+            }
+        }
+    }
+
+    // 1b. Per-processor memory capacity: the sum of the footprints of
+    // the tasks resident on a lane must fit its capacity. Checked
+    // before precedence so a task moved onto an over-committed
+    // processor is reported as the capacity breach it is, whatever
+    // that move did to its children's start times. Skipped entirely
+    // (not merely vacuous) when the model caps nothing.
+    if model.has_capacities() {
+        for (pi, lane) in schedule.timelines().iter().enumerate() {
+            let Some(capacity) = model.capacity(crate::schedule::ProcId(pi as u32)) else {
+                continue;
+            };
+            let used = lane
+                .iter()
+                .fold(0 as Cost, |acc, t| acc.saturating_add(dag.mem(t.node)));
+            if used > capacity {
+                return Err(ScheduleError::CapacityExceeded {
+                    proc: pi as u32,
+                    capacity,
+                    used,
+                });
             }
         }
     }
@@ -431,6 +476,75 @@ mod tests {
         assert_eq!(
             validate(&g, &s),
             Err(ScheduleError::TimeOverflow { node: 1 })
+        );
+    }
+
+    #[test]
+    fn capacity_pass_charges_per_lane_sums() {
+        use crate::cost::{HomogeneousModel, MemoryCapacities};
+        // Two independent tasks with footprints 30 and 40.
+        let mut b = DagBuilder::new();
+        let a = b.add_task_with_mem(5, 30);
+        let c = b.add_task_with_mem(5, 40);
+        let _ = (a, c);
+        let g = b.build().unwrap();
+
+        let mut together = Schedule::new(2, 2);
+        together.place(NodeId(0), ProcId(0), 0, 5);
+        together.place(NodeId(1), ProcId(0), 5, 10);
+        let mut split = Schedule::new(2, 2);
+        split.place(NodeId(0), ProcId(0), 0, 5);
+        split.place(NodeId(1), ProcId(1), 0, 5);
+
+        // Unbounded wrapper accepts both (and the plain model too).
+        let open = MemoryCapacities::unbounded(HomogeneousModel);
+        assert_eq!(validate_with(&open, &g, &together), Ok(()));
+        assert_eq!(validate_with(&open, &g, &split), Ok(()));
+        assert_eq!(validate(&g, &together), Ok(()));
+
+        // Capacity 50 per lane: 30 + 40 on one lane breaches, the
+        // split fits exactly.
+        let tight = MemoryCapacities::uniform(HomogeneousModel, 50, 2);
+        assert_eq!(
+            validate_with(&tight, &g, &together),
+            Err(ScheduleError::CapacityExceeded {
+                proc: 0,
+                capacity: 50,
+                used: 70,
+            })
+        );
+        assert_eq!(validate_with(&tight, &g, &split), Ok(()));
+
+        // A per-proc table can cap one lane only.
+        let lopsided = MemoryCapacities::new(HomogeneousModel, vec![10, 100]);
+        assert_eq!(
+            validate_with(&lopsided, &g, &split).map_err(|e| e.kind()),
+            Err(ScheduleErrorKind::CapacityExceeded)
+        );
+        let mut swapped = Schedule::new(2, 2);
+        swapped.place(NodeId(0), ProcId(1), 0, 5);
+        swapped.place(NodeId(1), ProcId(1), 5, 10);
+        assert_eq!(validate_with(&lopsided, &g, &swapped), Ok(()));
+    }
+
+    #[test]
+    fn capacity_breach_outranks_precedence_breach() {
+        use crate::cost::{HomogeneousModel, MemoryCapacities};
+        // Parent → child, both with footprints; a schedule that both
+        // over-commits a lane and starts the child too early must
+        // report the capacity breach (pass 1b precedes pass 2).
+        let mut b = DagBuilder::new();
+        let a = b.add_task_with_mem(2, 30);
+        let c = b.add_task_with_mem(3, 30);
+        b.add_edge(a, c, 4).unwrap();
+        let g = b.build().unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(NodeId(0), ProcId(0), 1, 3);
+        s.place(NodeId(1), ProcId(0), 0, 3); // overlaps AND precedence-breaks
+        let tight = MemoryCapacities::uniform(HomogeneousModel, 40, 2);
+        assert_eq!(
+            validate_with(&tight, &g, &s).map_err(|e| e.kind()),
+            Err(ScheduleErrorKind::CapacityExceeded)
         );
     }
 

@@ -167,6 +167,76 @@ pub fn tiny_corpus(seed: u64, count: usize, max_nodes: usize) -> Vec<FuzzCase> {
     cases
 }
 
+/// A memory-constrained differential-testing input: a DAG carrying
+/// per-node footprints plus two uniform per-processor capacity
+/// budgets, both provably feasible for greedy list placement.
+#[derive(Debug, Clone)]
+pub struct MemFuzzCase {
+    /// Shape tag + seed, for failure messages.
+    pub name: String,
+    /// The task graph, `mem` lane populated.
+    pub dag: Dag,
+    /// Processor count to hand every scheduler.
+    pub procs: u32,
+    /// Tight uniform capacity: `2·max(⌈total/procs⌉, max footprint)`.
+    /// Greedy-safe: if every lane rejected a node the resident sums
+    /// would exceed the total footprint — a contradiction — so a
+    /// scheduler that can fall back to any processor with room never
+    /// wedges.
+    pub tight_cap: Cost,
+    /// Loose uniform capacity: at least the whole graph's footprint
+    /// (and never below `tight_cap`), so any placement at all fits.
+    pub loose_cap: Cost,
+}
+
+/// Rebuild `dag` with the same structure and weights plus seeded
+/// per-node memory footprints (0..=32, roughly a quarter zero — mixed
+/// lanes exercise the "footprint-free node always fits" edge).
+pub fn assign_mems(dag: &Dag, seed: u64) -> Dag {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3E3);
+    let mut b = DagBuilder::with_capacity(dag.node_count(), dag.edge_count());
+    for n in dag.nodes() {
+        let mem: Cost = if rng.gen_range(0..4u32) == 0 {
+            0
+        } else {
+            rng.gen_range(1..=32)
+        };
+        b.add_task_with_mem(dag.weight(n), mem);
+    }
+    for (p, c, cost) in dag.edges() {
+        b.add_edge(p, c, cost).unwrap();
+    }
+    b.build().expect("same structure stays acyclic")
+}
+
+/// The [`fuzz_corpus`] with footprints assigned and feasible tight and
+/// loose uniform capacity budgets derived per case (see
+/// [`MemFuzzCase`] for the feasibility argument). Deterministic from
+/// `seed`, same shapes and processor counts as the plain corpus.
+pub fn mem_corpus(seed: u64, count: usize) -> Vec<MemFuzzCase> {
+    fuzz_corpus(seed, count)
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let dag = assign_mems(
+                &c.dag,
+                seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9),
+            );
+            let total = dag.total_memory();
+            let max_mem = dag.mems().iter().copied().max().unwrap_or(0);
+            let tight_cap = 2 * total.div_ceil(c.procs as u64).max(max_mem);
+            let loose_cap = total.max(tight_cap);
+            MemFuzzCase {
+                name: c.name,
+                dag,
+                procs: c.procs,
+                tight_cap,
+                loose_cap,
+            }
+        })
+        .collect()
+}
+
 /// Seeded weight mutation: rebuild `dag` with every node and edge
 /// weight independently jittered (×0.5..×2, floor 1 for node weights).
 /// Structure is preserved; only the cost surface moves. Use to check
@@ -239,6 +309,38 @@ mod tests {
             assert!(c.dag.node_count() <= 12, "{} too big", c.name);
             assert!(c.procs <= 3);
         }
+    }
+
+    #[test]
+    fn mem_corpus_is_deterministic_and_feasible() {
+        let a = mem_corpus(42, 12);
+        let b = mem_corpus(42, 12);
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.dag.mems(), y.dag.mems());
+            assert_eq!((x.tight_cap, x.loose_cap), (y.tight_cap, y.loose_cap));
+        }
+        // Footprints landed, budgets are ordered and greedy-safe: a
+        // node always fits on an empty lane, and even with every
+        // other node resident on one lane the loose budget holds.
+        assert!(a.iter().any(|c| c.dag.has_memory()));
+        for c in &a {
+            assert!(c.tight_cap <= c.loose_cap, "{}", c.name);
+            let max_mem = c.dag.mems().iter().copied().max().unwrap_or(0);
+            assert!(c.tight_cap >= max_mem, "{}", c.name);
+            assert!(c.loose_cap >= c.dag.total_memory(), "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn assign_mems_preserves_structure_and_weights() {
+        let g = fuzz_corpus(7, 2).pop().unwrap().dag;
+        let m = assign_mems(&g, 23);
+        assert_eq!(g.node_count(), m.node_count());
+        assert!(g.edges().eq(m.edges()));
+        assert!(g.nodes().all(|n| g.weight(n) == m.weight(n)));
+        assert_eq!(m.mems(), assign_mems(&g, 23).mems());
     }
 
     #[test]

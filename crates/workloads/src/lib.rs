@@ -37,7 +37,10 @@ pub mod timing;
 pub mod trees;
 
 pub use fft::fft_dag;
-pub use fuzz::{adversarial_weights, fuzz_corpus, mutate_weights, tiny_corpus, FuzzCase};
+pub use fuzz::{
+    adversarial_weights, assign_mems, fuzz_corpus, mem_corpus, mutate_weights, tiny_corpus,
+    FuzzCase, MemFuzzCase,
+};
 pub use gaussian::gaussian_elimination_dag;
 pub use laplace::laplace_dag;
 pub use linalg::{cholesky_dag, systolic_matmul_dag};

@@ -24,7 +24,9 @@ use fastsched::algorithms::optimal::BranchAndBound;
 use fastsched::prelude::*;
 use fastsched::schedule::corrupt::{corrupt_with, Corruption};
 use fastsched::schedule::evaluate::evaluate_fixed_order;
-use fastsched::schedule::{validate_with, DeltaEvaluator, HomogeneousModel, ScheduleError};
+use fastsched::schedule::{
+    validate_with, CostModel, DeltaEvaluator, HomogeneousModel, ScheduleError,
+};
 use fastsched::workloads::fuzz::{adversarial_weights, fuzz_corpus, mutate_weights, tiny_corpus};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -549,6 +551,313 @@ fn multi_group_hierarchical_schedules_are_never_lane_compacted() {
                 Ok(()),
                 "{}: {name} illegal under the hierarchical model",
                 case.name
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory-constrained scheduling (DESIGN.md §17): unbounded capacities
+// are byte-identical to the capacity-blind paths, finite capacities
+// are enforced end to end, and the validator's capacity pass has
+// mutation-tested teeth under both machine models.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unbounded_capacities_are_byte_identical_to_the_capacity_blind_paths() {
+    use fastsched::schedule::MemoryCapacities;
+    use fastsched::workloads::fuzz::assign_mems;
+    for case in fuzz_corpus(CORPUS_SEED ^ 10, 8) {
+        // Footprints are populated, but no lane has a budget: the
+        // memory machinery must be a spectator.
+        let dag = assign_mems(&case.dag, CORPUS_SEED ^ 10);
+        let unbounded = MemoryCapacities::unbounded(HomogeneousModel);
+        assert!(!unbounded.has_capacities());
+        let pairs = [
+            (
+                "FAST",
+                Fast::new().schedule(&dag, case.procs),
+                Fast::new().schedule_with_model(&dag, case.procs, &unbounded),
+            ),
+            (
+                "HEFT",
+                Heft::new().schedule(&dag, case.procs),
+                Heft::new().schedule_with_model(&dag, case.procs, &unbounded),
+            ),
+        ];
+        for (name, plain, modeled) in &pairs {
+            assert_eq!(
+                plain, modeled,
+                "{}: {name} under unbounded capacities diverged from schedule()",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn capped_schedules_respect_every_lane_budget_and_are_never_compacted() {
+    use fastsched::schedule::MemoryCapacities;
+    use fastsched::workloads::fuzz::mem_corpus;
+    for case in mem_corpus(CORPUS_SEED ^ 11, 10) {
+        for cap in [case.tight_cap, case.loose_cap] {
+            let model = MemoryCapacities::uniform(HomogeneousModel, cap, case.procs);
+            assert!(!model.permits_renumbering());
+            let schedules = [
+                (
+                    "FAST",
+                    Fast::new().schedule_with_model(&case.dag, case.procs, &model),
+                ),
+                (
+                    "HEFT",
+                    Heft::new().schedule_with_model(&case.dag, case.procs, &model),
+                ),
+            ];
+            for (name, s) in &schedules {
+                assert_eq!(
+                    s.num_procs(),
+                    case.procs,
+                    "{}: {name} compacted a capacity-constrained schedule",
+                    case.name
+                );
+                assert_eq!(
+                    validate_with(&model, &case.dag, s),
+                    Ok(()),
+                    "{}: {name} broke a {cap}-byte lane budget",
+                    case.name
+                );
+            }
+        }
+    }
+}
+
+/// Hand-computed rejection case: a 4-task chain of 6-byte tasks on
+/// two 12-byte processors. The capacity-blind schedule co-locates the
+/// whole chain (24 resident bytes on PE0 — invalid), while the
+/// memory-aware path must split it two-and-two and stay legal.
+#[test]
+fn a_capacity_blind_chain_is_rejected_where_the_memory_aware_split_fits() {
+    use fastsched::dag::DagBuilder;
+    use fastsched::schedule::MemoryCapacities;
+    let mut b = DagBuilder::new();
+    let mut prev = b.add_task_with_mem(10, 6);
+    for _ in 0..3 {
+        let n = b.add_task_with_mem(10, 6);
+        b.add_edge(prev, n, 2).expect("edge");
+        prev = n;
+    }
+    let dag = b.build().expect("dag");
+    let model = MemoryCapacities::uniform(HomogeneousModel, 12, 2);
+
+    // A chain offers no parallelism, so the blind path packs one lane.
+    let blind = Fast::new().schedule(&dag, 2);
+    let err =
+        validate_with(&model, &dag, &blind).expect_err("24 resident bytes passed a 12-byte budget");
+    assert_eq!(
+        err,
+        ScheduleError::CapacityExceeded {
+            proc: 0,
+            capacity: 12,
+            used: 24,
+        }
+    );
+
+    let aware = Fast::new().schedule_with_model(&dag, 2, &model);
+    assert_eq!(validate_with(&model, &dag, &aware), Ok(()));
+    // Two tasks per lane is the only legal split; the second lane's
+    // first task pays the crossing edge (weight-2 message).
+    assert_eq!(aware.num_procs(), 2);
+    let heft = Heft::new().schedule_with_model(&dag, 2, &model);
+    assert_eq!(validate_with(&model, &dag, &heft), Ok(()));
+}
+
+/// The validator-strength proof for the capacity pass: seeded
+/// over-capacity corruptions must be rejected with exactly
+/// `CapacityExceeded`, under the homogeneous *and* the heterogeneous
+/// machine models.
+#[test]
+fn over_capacity_corruptions_are_rejected_under_homo_and_hetero_models() {
+    use fastsched::schedule::{MemoryCapacities, ScheduleErrorKind};
+    use fastsched::workloads::fuzz::mem_corpus;
+    let mut homo_hits = 0usize;
+    let mut hetero_hits = 0usize;
+    for case in mem_corpus(CORPUS_SEED ^ 12, 6) {
+        let homo = MemoryCapacities::uniform(HomogeneousModel, case.tight_cap, case.procs);
+        let speeds: Vec<u32> = (0..case.procs)
+            .map(|p| [100, 200, 50, 150][p as usize % 4])
+            .collect();
+        let hetero =
+            MemoryCapacities::uniform(ProcessorSpeeds::new(speeds), case.tight_cap, case.procs);
+        let s_homo = Fast::new().schedule_with_model(&case.dag, case.procs, &homo);
+        let s_hetero = Heft::new().schedule_with_model(&case.dag, case.procs, &hetero);
+        assert_eq!(validate_with(&homo, &case.dag, &s_homo), Ok(()));
+        assert_eq!(validate_with(&hetero, &case.dag, &s_hetero), Ok(()));
+        for seed in 0..3u64 {
+            if let Some(bad) =
+                corrupt_with(&homo, &case.dag, &s_homo, Corruption::OverCapacity, seed)
+            {
+                let err = validate_with(&homo, &case.dag, &bad).expect_err(&format!(
+                    "{}: over-capacity mutant passed the homogeneous validator",
+                    case.name
+                ));
+                assert_eq!(
+                    err.kind(),
+                    ScheduleErrorKind::CapacityExceeded,
+                    "{}",
+                    case.name
+                );
+                homo_hits += 1;
+            }
+            if let Some(bad) = corrupt_with(
+                &hetero,
+                &case.dag,
+                &s_hetero,
+                Corruption::OverCapacity,
+                seed,
+            ) {
+                let err = validate_with(&hetero, &case.dag, &bad).expect_err(&format!(
+                    "{}: over-capacity mutant passed the heterogeneous validator",
+                    case.name
+                ));
+                assert_eq!(
+                    err.kind(),
+                    ScheduleErrorKind::CapacityExceeded,
+                    "{}",
+                    case.name
+                );
+                hetero_hits += 1;
+            }
+        }
+    }
+    // The proof must not be vacuous on either model.
+    assert!(
+        homo_hits >= 4,
+        "only {homo_hits} homogeneous capacity mutants fired"
+    );
+    assert!(
+        hetero_hits >= 4,
+        "only {hetero_hits} heterogeneous capacity mutants fired"
+    );
+}
+
+/// Capacity-aware optimality floor: on instances small enough to
+/// enumerate, no memory-aware heuristic may beat the capacity-aware
+/// exhaustive oracle, and the oracle's own answer must respect the
+/// budgets it was given.
+#[test]
+fn no_memory_aware_heuristic_beats_the_capacity_aware_oracle() {
+    use fastsched::schedule::MemoryCapacities;
+    use fastsched::workloads::fuzz::{assign_mems, tiny_corpus};
+    let oracle = BranchAndBound::new();
+    let mut proven = 0usize;
+    for case in tiny_corpus(CORPUS_SEED ^ 13, 8, 9) {
+        let dag = assign_mems(&case.dag, CORPUS_SEED ^ 13);
+        let total: u64 = dag.mems().iter().sum();
+        let max_mem = dag.mems().iter().copied().max().unwrap_or(0);
+        // The same feasible-by-construction budget the fuzz corpus
+        // uses: twice the balanced share, floored by the largest task.
+        let cap = 2 * (total.div_ceil(u64::from(case.procs))).max(max_mem);
+        let caps: Vec<Option<u64>> = vec![Some(cap); case.procs as usize];
+        let outcome = oracle.solve_with_caps(&dag, case.procs, &caps);
+        if !outcome.complete {
+            continue;
+        }
+        proven += 1;
+        let model = MemoryCapacities::uniform(HomogeneousModel, cap, case.procs);
+        assert_eq!(
+            validate_with(&model, &dag, &outcome.schedule),
+            Ok(()),
+            "{}: the oracle broke its own budgets",
+            case.name
+        );
+        let optimum = outcome.schedule.makespan();
+        for (name, m) in [
+            (
+                "FAST",
+                Fast::new()
+                    .schedule_with_model(&dag, case.procs, &model)
+                    .makespan(),
+            ),
+            (
+                "HEFT",
+                Heft::new()
+                    .schedule_with_model(&dag, case.procs, &model)
+                    .makespan(),
+            ),
+        ] {
+            assert!(
+                m >= optimum,
+                "{}: memory-aware {name} produced {m} below the capped optimum {optimum}",
+                case.name
+            );
+        }
+    }
+    assert!(
+        proven >= 4,
+        "only {proven}/8 capped oracle searches completed"
+    );
+}
+
+/// `Fast::schedule_with_model_into` (the workspace-scratch model
+/// path) must be byte-identical to the allocating model path, capped
+/// and uncapped, across workspace reuse.
+#[test]
+fn workspace_model_path_is_byte_identical_capped_and_uncapped() {
+    use fastsched::algorithms::Workspace;
+    use fastsched::schedule::MemoryCapacities;
+    use fastsched::workloads::fuzz::mem_corpus;
+    let mut ws = Workspace::new();
+    for case in mem_corpus(CORPUS_SEED ^ 14, 8) {
+        for model in [
+            MemoryCapacities::uniform(HomogeneousModel, case.tight_cap, case.procs),
+            MemoryCapacities::unbounded(HomogeneousModel),
+        ] {
+            let fresh = Fast::new().schedule_with_model(&case.dag, case.procs, &model);
+            let warm = Fast::new().schedule_with_model_into(&case.dag, case.procs, &model, &mut ws);
+            assert_eq!(
+                fresh,
+                warm,
+                "{}: workspace model path diverged (caps: {:?})",
+                case.name,
+                model.caps()
+            );
+        }
+    }
+}
+
+/// `schedule_many_par_by` (the model-aware batch shards) must be
+/// element-wise byte-identical at every thread count — the test
+/// behind `casch batch --comm/--mem-caps --threads N`.
+#[test]
+fn model_batches_are_byte_identical_at_every_thread_count() {
+    use fastsched::algorithms::schedule_many_par_by;
+    use fastsched::schedule::MemoryCapacities;
+    use fastsched::workloads::fuzz::mem_corpus;
+    let corpus = mem_corpus(CORPUS_SEED ^ 15, 9);
+    let dags: Vec<_> = corpus.iter().map(|c| c.dag.clone()).collect();
+    let procs: Vec<u32> = corpus.iter().map(|c| c.procs).collect();
+    let caps: Vec<u64> = corpus.iter().map(|c| c.tight_cap).collect();
+    let run = |threads: usize| {
+        schedule_many_par_by(&dags, &procs, threads, |dag, np| {
+            // Each corpus entry carries its own budget; recover it by
+            // identity since the closure only sees (dag, procs).
+            let i = dags
+                .iter()
+                .position(|d| std::ptr::eq(d, dag))
+                .expect("corpus dag");
+            let model = MemoryCapacities::uniform(HomogeneousModel, caps[i], np);
+            Fast::new().schedule_with_model(dag, np, &model)
+        })
+    };
+    let serial = run(1);
+    for threads in [2, 4, 8] {
+        let par = run(threads);
+        assert_eq!(serial.len(), par.len());
+        for (i, (s, p)) in serial.iter().zip(&par).enumerate() {
+            assert_eq!(
+                s.0, p.0,
+                "{}: schedule diverged at {threads} thread(s)",
+                corpus[i].name
             );
         }
     }

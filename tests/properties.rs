@@ -263,4 +263,51 @@ proptest! {
         let homo = fastsched::algorithms::Heft::new().schedule(&dag, 4);
         prop_assert_eq!(hu.makespan(), homo.makespan());
     }
+
+    #[test]
+    fn unbounded_memory_capacities_are_byte_identical_to_schedule(
+        dag in arb_dag(),
+        mem_seed in 0u64..10_000,
+    ) {
+        // The memory dimension's zero-cost contract: footprints on the
+        // DAG plus a capacity model with no finite entry must leave
+        // every placement decision untouched, bit for bit.
+        use fastsched::schedule::{HomogeneousModel, MemoryCapacities};
+        use fastsched::workloads::fuzz::assign_mems;
+        let dag = assign_mems(&dag, mem_seed);
+        let procs = (dag.node_count() as u32).clamp(2, 8);
+        let unbounded = MemoryCapacities::unbounded(HomogeneousModel);
+        prop_assert_eq!(
+            Fast::new().schedule_with_model(&dag, procs, &unbounded),
+            Fast::new().schedule(&dag, procs),
+            "FAST: a never-binding capacity model changed the schedule"
+        );
+        prop_assert_eq!(
+            Heft::new().schedule_with_model(&dag, procs, &unbounded),
+            Heft::new().schedule(&dag, procs),
+            "HEFT: a never-binding capacity model changed the schedule"
+        );
+    }
+
+    #[test]
+    fn capped_schedules_always_validate_under_their_own_budget(
+        dag in arb_dag(),
+        mem_seed in 0u64..10_000,
+    ) {
+        // Feasible-by-construction budget (twice the balanced share,
+        // floored by the largest footprint): memory-aware FAST and
+        // HEFT must always find and return a legal packing.
+        use fastsched::schedule::{validate_with, HomogeneousModel, MemoryCapacities};
+        use fastsched::workloads::fuzz::assign_mems;
+        let dag = assign_mems(&dag, mem_seed);
+        let procs = (dag.node_count() as u32).clamp(2, 8);
+        let total: u64 = dag.mems().iter().sum();
+        let max_mem = dag.mems().iter().copied().max().unwrap_or(0);
+        let cap = 2 * (total.div_ceil(u64::from(procs))).max(max_mem);
+        let model = MemoryCapacities::uniform(HomogeneousModel, cap, procs);
+        let fast = Fast::new().schedule_with_model(&dag, procs, &model);
+        prop_assert_eq!(validate_with(&model, &dag, &fast), Ok(()));
+        let heft = Heft::new().schedule_with_model(&dag, procs, &model);
+        prop_assert_eq!(validate_with(&model, &dag, &heft), Ok(()));
+    }
 }
